@@ -1,0 +1,122 @@
+// Checkpoint-restart on blobs vs file systems — the BlobCR use case the
+// paper cites ([49]) as an early proof point of blob storage for HPC.
+//
+// Workload: 24 ranks each dump a fixed-size state snapshot per checkpoint
+// generation; a manifest publishes the generation (on blobs, via one atomic
+// Týr transaction). Restart reads the newest complete generation back.
+// Backends: strict POSIX PFS, relaxed PFS, and the blob store (raw client —
+// checkpoint libraries target storage directly, not a POSIX facade).
+#include <cstdio>
+
+#include <vector>
+
+#include "blob/client.hpp"
+#include "common/strings.hpp"
+#include "common/thread_pool.hpp"
+#include "common/rng.hpp"
+#include "pfs/pfs.hpp"
+#include "vfs/helpers.hpp"
+
+using namespace bsc;
+
+namespace {
+
+constexpr std::uint32_t kRanks = 24;
+constexpr std::uint64_t kStateBytes = 256 * 1024;  // 256 MB real, scaled
+constexpr std::uint32_t kGenerations = 4;
+
+/// File-system checkpointing: per-rank files + a manifest file; the write
+/// path every classic checkpoint library uses.
+SimMicros run_on_fs(vfs::FileSystem& fs) {
+  ThreadPool pool(kRanks);
+  sim::SimAgent driver;
+  vfs::IoCtx dctx{&driver, 500, 500};
+  (void)vfs::mkdir_recursive(fs, dctx, "/ckpt");
+  for (std::uint32_t gen = 1; gen <= kGenerations; ++gen) {
+    std::vector<sim::SimAgent> agents(kRanks, driver.fork());
+    pool.parallel_for(kRanks, [&](std::size_t r) {
+      vfs::IoCtx ctx{&agents[r], 500, 500};
+      const Bytes state = make_payload(gen * 100 + r, 0, kStateBytes);
+      (void)vfs::write_file(fs, ctx,
+                            strfmt("/ckpt/gen-%03u-rank-%02zu.dat", gen, r),
+                            as_view(state), 64 * 1024);
+    });
+    for (const auto& a : agents) driver.join(a);
+    // Manifest rename-commit: write tmp, rename into place (the classic
+    // atomic-publish idiom on POSIX).
+    const std::string manifest = strfmt("generation=%u\n", gen);
+    (void)vfs::write_file(fs, dctx, "/ckpt/MANIFEST.tmp", as_view(to_bytes(manifest)));
+    if (vfs::exists(fs, dctx, "/ckpt/MANIFEST")) {
+      (void)fs.unlink(dctx, "/ckpt/MANIFEST");
+    }
+    (void)fs.rename(dctx, "/ckpt/MANIFEST.tmp", "/ckpt/MANIFEST");
+  }
+  // Restart: read manifest + every rank's newest state.
+  std::vector<sim::SimAgent> agents(kRanks, driver.fork());
+  pool.parallel_for(kRanks, [&](std::size_t r) {
+    vfs::IoCtx ctx{&agents[r], 500, 500};
+    (void)vfs::read_file(fs, ctx,
+                         strfmt("/ckpt/gen-%03u-rank-%02zu.dat", kGenerations, r));
+  });
+  for (const auto& a : agents) driver.join(a);
+  return driver.now();
+}
+
+/// Blob checkpointing: per-rank blobs + a transactional manifest.
+SimMicros run_on_blobs(blob::BlobStore& store) {
+  ThreadPool pool(kRanks);
+  sim::SimAgent driver;
+  for (std::uint32_t gen = 1; gen <= kGenerations; ++gen) {
+    std::vector<sim::SimAgent> agents(kRanks, driver.fork());
+    pool.parallel_for(kRanks, [&](std::size_t r) {
+      blob::BlobClient client(store, &agents[r]);
+      const Bytes state = make_payload(gen * 100 + r, 0, kStateBytes);
+      (void)client.write(strfmt("ckpt/gen-%03u/rank-%02zu", gen, r), 0, as_view(state));
+    });
+    for (const auto& a : agents) driver.join(a);
+    blob::BlobClient client(store, &driver);
+    auto txn = client.begin_transaction();
+    if (client.exists("ckpt/MANIFEST")) txn.truncate("ckpt/MANIFEST", 0);
+    txn.write("ckpt/MANIFEST", 0, as_view(to_bytes(strfmt("generation=%u\n", gen))));
+    (void)txn.commit();
+  }
+  std::vector<sim::SimAgent> agents(kRanks, driver.fork());
+  pool.parallel_for(kRanks, [&](std::size_t r) {
+    blob::BlobClient client(store, &agents[r]);
+    (void)client.read(strfmt("ckpt/gen-%03u/rank-%02zu", kGenerations, r), 0, kStateBytes);
+  });
+  for (const auto& a : agents) driver.join(a);
+  return driver.now();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Checkpoint-restart: %u ranks x %s state x %u generations + restart\n\n",
+              kRanks, format_bytes(kStateBytes).c_str(), kGenerations);
+
+  sim::Cluster c1;
+  pfs::LustreLikeFs strict(c1);
+  const SimMicros t_strict = run_on_fs(strict);
+
+  sim::Cluster c2;
+  pfs::LustreLikeFs relaxed(c2, pfs::PfsConfig{.strict_locking = false});
+  const SimMicros t_relaxed = run_on_fs(relaxed);
+
+  sim::Cluster c3;
+  blob::BlobStore store(c3);
+  const SimMicros t_blob = run_on_blobs(store);
+
+  std::printf("%-22s %14s %10s\n", "Backend", "sim time", "vs strict");
+  std::printf("%-22s %14s %10s\n", "pfs-strict", format_sim_time(t_strict).c_str(), "1.00x");
+  std::printf("%-22s %14s %9.2fx\n", "pfs-relaxed",
+              format_sim_time(t_relaxed).c_str(),
+              static_cast<double>(t_strict) / static_cast<double>(t_relaxed));
+  std::printf("%-22s %14s %9.2fx\n", "blob store (+txn)",
+              format_sim_time(t_blob).c_str(),
+              static_cast<double>(t_strict) / static_cast<double>(t_blob));
+  std::printf("\nBlob manifests commit atomically (one transaction); the POSIX path\n");
+  std::printf("needs the write-tmp/unlink/rename dance and pays lock + journal costs\n");
+  std::printf("on every state write.\n");
+  return 0;
+}

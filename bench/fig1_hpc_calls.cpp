@@ -1,0 +1,53 @@
+// Figure 1 — measured relative amount of different storage calls to the
+// persistent file system for HPC applications: BLAST, MOM, EH (with run
+// scripts traced), EH/MPI (scripts offline), RT.
+//
+// Expected shape (paper §IV-C): reads and writes dominate every bar; only
+// EH shows directory/other calls, and they disappear in EH/MPI.
+#include <cstdio>
+
+#include "support.hpp"
+
+using namespace bsc;
+
+int main() {
+  bench::print_banner("FIGURE 1 — HPC STORAGE-CALL RATIOS");
+
+  struct Row {
+    apps::HpcAppKind kind;
+    bool prep;
+  };
+  const Row rows[] = {
+      {apps::HpcAppKind::blast, true},
+      {apps::HpcAppKind::mom, true},
+      {apps::HpcAppKind::ecoham, true},   // "EH"
+      {apps::HpcAppKind::ecoham, false},  // "EH / MPI"
+      {apps::HpcAppKind::raytracing, true},
+  };
+
+  std::vector<trace::AppCensus> measured;
+  for (const auto& row : rows) {
+    auto r = bench::run_hpc(row.kind, bench::Backend::pfs_strict, row.prep);
+    if (!r.ok) {
+      std::fprintf(stderr, "HPC app failed: %s\n", r.error.c_str());
+      return 1;
+    }
+    measured.push_back(r.census);
+  }
+
+  std::printf("%s\n", trace::render_call_ratio_figure(
+                          "Relative storage-call ratio (%) per HPC application",
+                          measured)
+                          .c_str());
+
+  std::printf("Paper's qualitative claims, checked:\n");
+  for (const auto& app : measured) {
+    const double rw = app.census.category_pct(trace::Category::file_read) +
+                      app.census.category_pct(trace::Category::file_write);
+    const auto dirs = app.census.category_count(trace::Category::directory);
+    std::printf("  %-8s reads+writes = %6.2f%%  directory calls = %llu %s\n",
+                app.name.c_str(), rw, static_cast<unsigned long long>(dirs),
+                app.name == "EH" ? "(run scripts)" : "");
+  }
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Figure 2 — measured relative amount of different storage calls to the
+// persistent file system (HDFS) for Big Data applications: Sort, Grep, DT,
+// CC, Tokenizer.
+//
+// Expected shape (paper §IV-D): reads and writes vastly dominate (>98% of
+// calls are file operations); every app performs a handful of directory
+// operations tied to logs / staging / input listing.
+#include <cstdio>
+
+#include "support.hpp"
+
+using namespace bsc;
+
+int main() {
+  bench::print_banner("FIGURE 2 — BIG DATA (SPARK) STORAGE-CALL RATIOS");
+
+  auto suite = bench::run_spark(bench::Backend::hdfs);
+  if (!suite.ok) {
+    std::fprintf(stderr, "Spark suite failed: %s\n", suite.error.c_str());
+    return 1;
+  }
+
+  std::printf("%s\n", trace::render_call_ratio_figure(
+                          "Relative storage-call ratio (%) per Spark application",
+                          suite.per_app)
+                          .c_str());
+
+  std::uint64_t file_calls = 0;
+  std::uint64_t all_calls = 0;
+  std::uint64_t dir_calls = 0;
+  for (const auto& app : suite.per_app) {
+    all_calls += app.census.total_calls();
+    dir_calls += app.census.category_count(trace::Category::directory);
+    file_calls += app.census.category_count(trace::Category::file_read) +
+                  app.census.category_count(trace::Category::file_write) +
+                  app.census.count(trace::OpKind::open) +
+                  app.census.count(trace::OpKind::close) +
+                  app.census.count(trace::OpKind::unlink) +
+                  app.census.count(trace::OpKind::sync);
+  }
+  std::printf("Across all five applications:\n");
+  std::printf("  file operations  : %6.2f%% of all storage calls (paper: >98%%)\n",
+              100.0 * static_cast<double>(file_calls) / static_cast<double>(all_calls));
+  std::printf("  directory calls  : %llu total (paper: 86 + 5 input listings)\n",
+              static_cast<unsigned long long>(dir_calls));
+  return 0;
+}

@@ -1,0 +1,178 @@
+// Microbenchmarks of the blob store's §III primitive set and its
+// transaction layer. Two kinds of measurements per operation:
+//   * wall-clock throughput of the implementation (what google-benchmark
+//     reports natively), and
+//   * simulated latency per operation (reported as a counter), which is the
+//     number the storage comparison actually argues about.
+#include <benchmark/benchmark.h>
+
+#include "blob/client.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+
+using namespace bsc;
+
+namespace {
+
+struct BlobRig {
+  sim::Cluster cluster;
+  blob::BlobStore store{cluster};
+  sim::SimAgent agent;
+  blob::BlobClient client{store, &agent};
+};
+
+void BM_BlobWrite(benchmark::State& state) {
+  BlobRig rig;
+  const auto size = static_cast<std::uint64_t>(state.range(0));
+  const Bytes data = make_payload(1, 0, size);
+  std::uint64_t i = 0;
+  const SimMicros t0 = rig.agent.now();
+  for (auto _ : state) {
+    auto r = rig.client.write(strfmt("w-%llu", static_cast<unsigned long long>(i++ % 64)),
+                              0, as_view(data));
+    benchmark::DoNotOptimize(r.ok());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(size) * state.iterations());
+  state.counters["sim_us_per_op"] = benchmark::Counter(
+      static_cast<double>(rig.agent.now() - t0) / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_BlobWrite)->Arg(1024)->Arg(64 * 1024)->Arg(1 << 20);
+
+void BM_BlobRead(benchmark::State& state) {
+  BlobRig rig;
+  const auto size = static_cast<std::uint64_t>(state.range(0));
+  (void)rig.client.write("r", 0, as_view(make_payload(2, 0, size)));
+  const SimMicros t0 = rig.agent.now();
+  for (auto _ : state) {
+    auto r = rig.client.read("r", 0, size);
+    benchmark::DoNotOptimize(r.ok());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(size) * state.iterations());
+  state.counters["sim_us_per_op"] = benchmark::Counter(
+      static_cast<double>(rig.agent.now() - t0) / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_BlobRead)->Arg(1024)->Arg(64 * 1024)->Arg(1 << 20);
+
+void BM_BlobCreateRemove(benchmark::State& state) {
+  BlobRig rig;
+  std::uint64_t i = 0;
+  const SimMicros t0 = rig.agent.now();
+  for (auto _ : state) {
+    const std::string key = strfmt("cr-%llu", static_cast<unsigned long long>(i++));
+    benchmark::DoNotOptimize(rig.client.create(key).ok());
+    benchmark::DoNotOptimize(rig.client.remove(key).ok());
+  }
+  state.counters["sim_us_per_pair"] = benchmark::Counter(
+      static_cast<double>(rig.agent.now() - t0) / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_BlobCreateRemove);
+
+void BM_BlobScan(benchmark::State& state) {
+  BlobRig rig;
+  const auto objects = static_cast<std::uint64_t>(state.range(0));
+  for (std::uint64_t i = 0; i < objects; ++i) {
+    (void)rig.client.create(strfmt("s-%06llu", static_cast<unsigned long long>(i)));
+  }
+  const SimMicros t0 = rig.agent.now();
+  for (auto _ : state) {
+    auto r = rig.client.scan("s-0000");
+    benchmark::DoNotOptimize(r.ok());
+  }
+  // The §III point: scan cost grows with the WHOLE namespace, not with the
+  // number of matches.
+  state.counters["sim_us_per_scan"] = benchmark::Counter(
+      static_cast<double>(rig.agent.now() - t0) / static_cast<double>(state.iterations()));
+  state.counters["namespace_objects"] = benchmark::Counter(static_cast<double>(objects));
+}
+BENCHMARK(BM_BlobScan)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_BlobTransactionCommit(benchmark::State& state) {
+  BlobRig rig;
+  const auto ops = static_cast<std::uint64_t>(state.range(0));
+  const Bytes data = make_payload(3, 0, 4096);
+  std::uint64_t round = 0;
+  const SimMicros t0 = rig.agent.now();
+  for (auto _ : state) {
+    auto txn = rig.client.begin_transaction();
+    for (std::uint64_t i = 0; i < ops; ++i) {
+      txn.write(strfmt("t-%llu", static_cast<unsigned long long>(i)),
+                (round % 16) * 4096, as_view(data));
+    }
+    benchmark::DoNotOptimize(txn.commit().ok());
+    ++round;
+  }
+  state.counters["sim_us_per_txn"] = benchmark::Counter(
+      static_cast<double>(rig.agent.now() - t0) / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_BlobTransactionCommit)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_RingLocate(benchmark::State& state) {
+  blob::HashRing ring;
+  for (std::uint32_t n = 0; n < 8; ++n) ring.add_node(n);
+  Rng rng(1);
+  for (auto _ : state) {
+    const std::string key = strfmt("k-%llu",
+        static_cast<unsigned long long>(rng.next_below(1000000)));
+    benchmark::DoNotOptimize(ring.locate(key, 3));
+  }
+}
+BENCHMARK(BM_RingLocate);
+
+void BM_EngineCompaction(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    blob::StorageEngine engine(blob::EngineConfig{.segment_bytes = 1 << 20});
+    Rng rng(7);
+    const Bytes data = make_payload(4, 0, 8192);
+    for (int i = 0; i < 2000; ++i) {
+      (void)engine.write(strfmt("o-%d", i % 50), rng.next_below(1 << 16), as_view(data),
+                         true);
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(engine.compact());
+  }
+}
+BENCHMARK(BM_EngineCompaction);
+
+// Ablation: replication factor vs simulated write latency.
+void BM_ReplicationLatency(benchmark::State& state) {
+  sim::Cluster cluster;
+  blob::StoreConfig cfg;
+  cfg.replication = static_cast<std::uint32_t>(state.range(0));
+  blob::BlobStore store(cluster, cfg);
+  sim::SimAgent agent;
+  blob::BlobClient client(store, &agent);
+  const Bytes data = make_payload(5, 0, 64 * 1024);
+  std::uint64_t i = 0;
+  const SimMicros t0 = agent.now();
+  for (auto _ : state) {
+    (void)client.write(strfmt("r-%llu", static_cast<unsigned long long>(i++ % 32)), 0,
+                       as_view(data));
+  }
+  state.counters["sim_us_per_write"] = benchmark::Counter(
+      static_cast<double>(agent.now() - t0) / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_ReplicationLatency)->Arg(1)->Arg(2)->Arg(3);
+
+// Ablation: GbE vs InfiniBand interconnect.
+void BM_NetworkProfile(benchmark::State& state) {
+  sim::ClusterSpec spec = state.range(0) == 0 ? sim::ClusterSpec::parapluie()
+                                              : sim::ClusterSpec::parapluie_ib();
+  sim::Cluster cluster(spec);
+  blob::BlobStore store(cluster);
+  sim::SimAgent agent;
+  blob::BlobClient client(store, &agent);
+  const Bytes data = make_payload(6, 0, 256 * 1024);
+  std::uint64_t i = 0;
+  const SimMicros t0 = agent.now();
+  for (auto _ : state) {
+    (void)client.write(strfmt("n-%llu", static_cast<unsigned long long>(i++ % 32)), 0,
+                       as_view(data));
+  }
+  state.SetLabel(state.range(0) == 0 ? "gbe" : "ib-ddr-4x");
+  state.counters["sim_us_per_write"] = benchmark::Counter(
+      static_cast<double>(agent.now() - t0) / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_NetworkProfile)->Arg(0)->Arg(1);
+
+}  // namespace

@@ -1,0 +1,133 @@
+// Microbenchmarks of the storage abstractions layered on blobs (§I: "a base
+// for storage abstractions like key-value stores or time-series databases"):
+// KV put/get under varying bucket counts, transactional batch puts, and
+// time-series append/query throughput.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "kvstore/kv.hpp"
+#include "kvstore/timeseries.hpp"
+
+using namespace bsc;
+
+namespace {
+
+void BM_KvPut(benchmark::State& state) {
+  sim::Cluster cluster;
+  blob::BlobStore store(cluster);
+  kvstore::KvStore kv(store, "bench",
+                      kvstore::KvConfig{.buckets = static_cast<std::uint32_t>(state.range(0))});
+  sim::SimAgent agent;
+  std::uint64_t i = 0;
+  const SimMicros t0 = agent.now();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        kv.put(agent, strfmt("key-%llu", static_cast<unsigned long long>(i++ % 512)),
+               "value-payload-0123456789")
+            .ok());
+  }
+  state.SetLabel(strfmt("buckets=%lld", static_cast<long long>(state.range(0))));
+  state.counters["sim_us_per_put"] = benchmark::Counter(
+      static_cast<double>(agent.now() - t0) / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_KvPut)->Arg(4)->Arg(64)->Arg(256);
+
+void BM_KvGet(benchmark::State& state) {
+  sim::Cluster cluster;
+  blob::BlobStore store(cluster);
+  kvstore::KvStore kv(store, "bench");
+  sim::SimAgent agent;
+  for (int i = 0; i < 512; ++i) {
+    (void)kv.put(agent, strfmt("key-%d", i), "value-payload-0123456789");
+  }
+  std::uint64_t i = 0;
+  const SimMicros t0 = agent.now();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        kv.get(agent, strfmt("key-%llu", static_cast<unsigned long long>(i++ % 512))).ok());
+  }
+  state.counters["sim_us_per_get"] = benchmark::Counter(
+      static_cast<double>(agent.now() - t0) / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_KvGet);
+
+void BM_KvPutManyBatch(benchmark::State& state) {
+  sim::Cluster cluster;
+  blob::BlobStore store(cluster);
+  kvstore::KvStore kv(store, "bench");
+  sim::SimAgent agent;
+  const auto batch_size = static_cast<std::size_t>(state.range(0));
+  std::uint64_t round = 0;
+  const SimMicros t0 = agent.now();
+  for (auto _ : state) {
+    std::vector<std::pair<std::string, std::string>> batch;
+    batch.reserve(batch_size);
+    for (std::size_t i = 0; i < batch_size; ++i) {
+      batch.emplace_back(strfmt("b%llu-%zu", static_cast<unsigned long long>(round), i),
+                         "v");
+    }
+    benchmark::DoNotOptimize(kv.put_many(agent, batch).ok());
+    ++round;
+  }
+  state.SetLabel(strfmt("batch=%zu", batch_size));
+  state.counters["sim_us_per_batch"] = benchmark::Counter(
+      static_cast<double>(agent.now() - t0) / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_KvPutManyBatch)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_TsAppend(benchmark::State& state) {
+  sim::Cluster cluster;
+  blob::BlobStore store(cluster);
+  kvstore::TimeSeriesStore ts(store, "bench");
+  sim::SimAgent agent;
+  std::int64_t t = 0;
+  const SimMicros t0 = agent.now();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ts.append(agent, "metric", {t++, 1.0}).ok());
+  }
+  state.counters["sim_us_per_append"] = benchmark::Counter(
+      static_cast<double>(agent.now() - t0) / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_TsAppend);
+
+void BM_TsAppendBatch(benchmark::State& state) {
+  sim::Cluster cluster;
+  blob::BlobStore store(cluster);
+  kvstore::TimeSeriesStore ts(store, "bench");
+  sim::SimAgent agent;
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::int64_t t = 0;
+  const SimMicros t0 = agent.now();
+  for (auto _ : state) {
+    std::vector<kvstore::TsPoint> batch(n);
+    for (auto& p : batch) p = {t++, 2.0};
+    benchmark::DoNotOptimize(ts.append_batch(agent, "metric", batch).ok());
+  }
+  state.SetLabel(strfmt("batch=%zu", n));
+  state.counters["sim_us_per_point"] =
+      benchmark::Counter(static_cast<double>(agent.now() - t0) /
+                         static_cast<double>(state.iterations() * static_cast<int64_t>(n)));
+}
+BENCHMARK(BM_TsAppendBatch)->Arg(16)->Arg(256);
+
+void BM_TsRangeQuery(benchmark::State& state) {
+  sim::Cluster cluster;
+  blob::BlobStore store(cluster);
+  kvstore::TimeSeriesStore ts(store, "bench");
+  sim::SimAgent agent;
+  std::vector<kvstore::TsPoint> batch;
+  for (int i = 0; i < 20000; ++i) batch.push_back({i, i * 0.1});
+  (void)ts.append_batch(agent, "metric", batch);
+  Rng rng(1);
+  const SimMicros t0 = agent.now();
+  for (auto _ : state) {
+    const auto start = static_cast<std::int64_t>(rng.next_below(19000));
+    benchmark::DoNotOptimize(ts.query(agent, "metric", start, start + 1000).ok());
+  }
+  state.counters["sim_us_per_query"] = benchmark::Counter(
+      static_cast<double>(agent.now() - t0) / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_TsRangeQuery);
+
+}  // namespace

@@ -1,0 +1,145 @@
+// Microbenchmarks of the metadata paths the paper calls the hierarchical
+// namespace's overhead: path resolution depth, directory operations, and
+// the POSIX-features tax (locking, permissions, journalled size updates) —
+// measured as simulated latency per operation on each backend.
+#include <benchmark/benchmark.h>
+
+#include "adapter/blobfs.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "hdfs/hdfs.hpp"
+#include "pfs/pfs.hpp"
+#include "vfs/helpers.hpp"
+
+using namespace bsc;
+
+namespace {
+
+enum class Which { pfs_strict, pfs_relaxed, hdfs, blobfs };
+
+struct FsRig {
+  explicit FsRig(Which which) {
+    switch (which) {
+      case Which::pfs_strict:
+        fs = std::make_unique<pfs::LustreLikeFs>(cluster);
+        break;
+      case Which::pfs_relaxed:
+        fs = std::make_unique<pfs::LustreLikeFs>(cluster,
+                                                 pfs::PfsConfig{.strict_locking = false});
+        break;
+      case Which::hdfs:
+        fs = std::make_unique<hdfs::HdfsLikeFs>(cluster);
+        break;
+      case Which::blobfs:
+        store = std::make_unique<blob::BlobStore>(cluster);
+        fs = std::make_unique<adapter::BlobFs>(*store);
+        break;
+    }
+  }
+  sim::Cluster cluster;
+  std::unique_ptr<blob::BlobStore> store;
+  std::unique_ptr<vfs::FileSystem> fs;
+  sim::SimAgent agent;
+  vfs::IoCtx ctx{&agent, 100, 100};
+};
+
+const char* label_of(int w) {
+  switch (static_cast<Which>(w)) {
+    case Which::pfs_strict: return "pfs-strict";
+    case Which::pfs_relaxed: return "pfs-relaxed";
+    case Which::hdfs: return "hdfs";
+    case Which::blobfs: return "blobfs";
+  }
+  return "?";
+}
+
+/// stat() at increasing path depth: hierarchical namespaces pay per
+/// component; the flat blob namespace pays one key lookup.
+void BM_StatAtDepth(benchmark::State& state) {
+  FsRig rig(static_cast<Which>(state.range(0)));
+  const auto depth = static_cast<std::uint32_t>(state.range(1));
+  std::string dir = "/";
+  for (std::uint32_t d = 0; d < depth; ++d) {
+    dir = join_path(dir, strfmt("level-%u", d));
+    (void)rig.fs->mkdir(rig.ctx, dir);
+  }
+  const std::string path = join_path(dir, "leaf");
+  (void)vfs::write_file(*rig.fs, rig.ctx, path, as_view(to_bytes("x")));
+  const SimMicros t0 = rig.agent.now();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rig.fs->stat(rig.ctx, path).ok());
+  }
+  state.SetLabel(strfmt("%s depth=%u", label_of(static_cast<int>(state.range(0))), depth));
+  state.counters["sim_us_per_stat"] = benchmark::Counter(
+      static_cast<double>(rig.agent.now() - t0) / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_StatAtDepth)
+    ->Args({0, 1})->Args({0, 4})->Args({0, 8})
+    ->Args({3, 1})->Args({3, 4})->Args({3, 8});
+
+/// Small-file create+write+close — the metadata-heavy pattern where the
+/// POSIX stack pays open RPC + lock + size journal vs blob's write+meta.
+void BM_SmallFileChurn(benchmark::State& state) {
+  FsRig rig(static_cast<Which>(state.range(0)));
+  const Bytes data = make_payload(1, 0, 4096);
+  std::uint64_t i = 0;
+  const SimMicros t0 = rig.agent.now();
+  for (auto _ : state) {
+    const std::string path = strfmt("/churn-%llu", static_cast<unsigned long long>(i++));
+    benchmark::DoNotOptimize(vfs::write_file(*rig.fs, rig.ctx, path, as_view(data)).ok());
+  }
+  state.SetLabel(label_of(static_cast<int>(state.range(0))));
+  state.counters["sim_us_per_file"] = benchmark::Counter(
+      static_cast<double>(rig.agent.now() - t0) / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_SmallFileChurn)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+/// readdir on a directory of fixed size while the rest of the namespace
+/// grows: native directories are indexed; blob listings scan everything.
+void BM_ReaddirVsNamespaceSize(benchmark::State& state) {
+  FsRig rig(static_cast<Which>(state.range(0)));
+  (void)rig.fs->mkdir(rig.ctx, "/watched");
+  for (int i = 0; i < 10; ++i) {
+    (void)vfs::write_file(*rig.fs, rig.ctx, strfmt("/watched/f%d", i),
+                          as_view(to_bytes("x")));
+  }
+  const auto clutter = static_cast<int>(state.range(1));
+  for (int i = 0; i < clutter; ++i) {
+    (void)vfs::write_file(*rig.fs, rig.ctx, strfmt("/clutter-%05d", i),
+                          as_view(to_bytes("x")));
+  }
+  const SimMicros t0 = rig.agent.now();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rig.fs->readdir(rig.ctx, "/watched").ok());
+  }
+  state.SetLabel(strfmt("%s clutter=%d", label_of(static_cast<int>(state.range(0))), clutter));
+  state.counters["sim_us_per_readdir"] = benchmark::Counter(
+      static_cast<double>(rig.agent.now() - t0) / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_ReaddirVsNamespaceSize)
+    ->Args({0, 0})->Args({0, 2000})
+    ->Args({3, 0})->Args({3, 2000});
+
+/// Shared-file concurrent writes: the strict-locking serialization tax.
+void BM_SharedFileWrite(benchmark::State& state) {
+  FsRig rig(static_cast<Which>(state.range(0)));
+  (void)vfs::write_file(*rig.fs, rig.ctx, "/shared", as_view(make_payload(2, 0, 1 << 20)));
+  auto h = rig.fs->open(rig.ctx, "/shared", vfs::OpenFlags::rw());
+  if (!h.ok()) {
+    state.SkipWithError("open failed");
+    return;
+  }
+  const Bytes data = make_payload(3, 0, 64 * 1024);
+  Rng rng(1);
+  const SimMicros t0 = rig.agent.now();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rig.fs->write(rig.ctx, h.value(), rng.next_below(16) * 65536, as_view(data)).ok());
+  }
+  state.SetLabel(label_of(static_cast<int>(state.range(0))));
+  state.counters["sim_us_per_write"] = benchmark::Counter(
+      static_cast<double>(rig.agent.now() - t0) / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_SharedFileWrite)->Arg(0)->Arg(1)->Arg(3);
+
+}  // namespace

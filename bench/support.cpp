@@ -1,0 +1,94 @@
+#include "support.hpp"
+
+#include <cstdio>
+
+#include "adapter/blobfs.hpp"
+#include "hdfs/hdfs.hpp"
+#include "pfs/pfs.hpp"
+
+namespace bsc::bench {
+
+std::string backend_name(Backend b) {
+  switch (b) {
+    case Backend::pfs_strict: return "pfs-strict";
+    case Backend::pfs_relaxed: return "pfs-relaxed";
+    case Backend::hdfs: return "hdfs";
+    case Backend::blobfs: return "blobfs";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Owns the cluster + backend triplet for one run.
+struct Rig {
+  std::unique_ptr<sim::Cluster> cluster;
+  std::unique_ptr<blob::BlobStore> store;       // blobfs only
+  std::unique_ptr<vfs::FileSystem> fs;
+};
+
+Rig make_rig(Backend backend, std::uint32_t storage_nodes) {
+  Rig rig;
+  rig.cluster = std::make_unique<sim::Cluster>(sim::ClusterSpec::with_storage_nodes(storage_nodes));
+  switch (backend) {
+    case Backend::pfs_strict:
+      rig.fs = std::make_unique<pfs::LustreLikeFs>(*rig.cluster);
+      break;
+    case Backend::pfs_relaxed:
+      rig.fs = std::make_unique<pfs::LustreLikeFs>(*rig.cluster,
+                                                   pfs::PfsConfig{.strict_locking = false});
+      break;
+    case Backend::hdfs:
+      rig.fs = std::make_unique<hdfs::HdfsLikeFs>(*rig.cluster);
+      break;
+    case Backend::blobfs:
+      rig.store = std::make_unique<blob::BlobStore>(*rig.cluster);
+      rig.fs = std::make_unique<adapter::BlobFs>(*rig.store);
+      break;
+  }
+  return rig;
+}
+
+}  // namespace
+
+HpcOutcome run_hpc(apps::HpcAppKind kind, Backend backend, bool with_prep,
+                   std::uint32_t ranks, std::uint32_t storage_nodes) {
+  Rig rig = make_rig(backend, storage_nodes);
+  apps::HpcRunOptions opts;
+  opts.ranks = ranks;
+  opts.with_prep_script = with_prep;
+  auto r = apps::run_hpc_app(kind, *rig.fs, *rig.cluster, opts);
+  return {r.census, r.sim_time, r.ok, r.error};
+}
+
+apps::SparkSuiteResult run_spark(Backend backend, std::uint32_t storage_nodes) {
+  Rig rig = make_rig(backend, storage_nodes);
+  ThreadPool pool(10);
+  apps::SparkSuiteOptions opts;
+  return apps::run_spark_suite(*rig.fs, *rig.cluster, pool, opts);
+}
+
+const std::vector<PaperRow>& paper_table1() {
+  static const std::vector<PaperRow> rows = {
+      {"HPC / MPI", "BLAST", "27.7 GB", "12.8 MB", "2.1 x 10^3", "Read-intensive"},
+      {"HPC / MPI", "MOM", "19.5 GB", "3.2 GB", "6.01", "Read-intensive"},
+      {"HPC / MPI", "EH", "0.4 GB", "9.7 GB", "4.2 x 10^-2", "Write-intensive"},
+      {"HPC / MPI", "RT", "67.4 GB", "71.2 GB", "0.94", "Balanced"},
+      {"Cloud / Spark", "Sort", "5.8 GB", "5.8 GB", "1.00", "Balanced"},
+      {"Cloud / Spark", "CC", "13.1 GB", "71.2 MB", "(see note)", "Read-intensive"},
+      {"Cloud / Spark", "Grep", "55.8 GB", "863.8 MB", "64.52", "Read-intensive"},
+      {"Cloud / Spark", "DT", "59.1 GB", "4.7 GB", "12.58", "Read-intensive"},
+      {"Cloud / Spark", "Tokenizer", "55.8 GB", "235.7 GB", "0.24", "Write-intensive"},
+  };
+  return rows;
+}
+
+void print_banner(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Scaling: volumes and request sizes 1:1024 (call counts and\n");
+  std::printf("percentages are scale-invariant; see DESIGN.md / EXPERIMENTS.md)\n");
+  std::printf("================================================================\n\n");
+}
+
+}  // namespace bsc::bench

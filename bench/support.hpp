@@ -1,0 +1,49 @@
+// Shared bench-harness helpers: run the paper's application set on a chosen
+// storage backend and collect censuses, plus the paper's reference numbers
+// for side-by-side printing.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/hpc_apps.hpp"
+#include "apps/spark_apps.hpp"
+#include "trace/report.hpp"
+
+namespace bsc::bench {
+
+enum class Backend { pfs_strict, pfs_relaxed, hdfs, blobfs };
+
+[[nodiscard]] std::string backend_name(Backend b);
+
+/// One HPC application run on a fresh cluster + backend.
+struct HpcOutcome {
+  trace::AppCensus census;
+  SimMicros sim_time = 0;
+  bool ok = false;
+  std::string error;
+};
+
+HpcOutcome run_hpc(apps::HpcAppKind kind, Backend backend, bool with_prep,
+                   std::uint32_t ranks = 24, std::uint32_t storage_nodes = 8);
+
+/// The full five-application Spark suite on a fresh cluster + backend.
+apps::SparkSuiteResult run_spark(Backend backend, std::uint32_t storage_nodes = 8);
+
+/// Paper reference values (Table I) for side-by-side output.
+struct PaperRow {
+  const char* platform;
+  const char* app;
+  const char* reads;
+  const char* writes;
+  const char* ratio;
+  const char* profile;
+};
+[[nodiscard]] const std::vector<PaperRow>& paper_table1();
+
+/// Render a "paper vs measured" header once per bench.
+void print_banner(const std::string& title);
+
+}  // namespace bsc::bench

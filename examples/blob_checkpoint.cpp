@@ -1,0 +1,121 @@
+// Checkpoint-restart on blobs (the BlobCR use case the paper cites [49]):
+// N simulated ranks periodically checkpoint their state into blobs, with
+// the checkpoint manifest committed atomically via a Týr transaction —
+// either a whole consistent checkpoint generation becomes visible, or none
+// of it. After a simulated failure, ranks restore from the newest manifest.
+#include <cstdio>
+
+#include "blob/client.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "common/thread_pool.hpp"
+
+using namespace bsc;
+
+namespace {
+
+constexpr std::uint32_t kRanks = 8;
+constexpr std::uint64_t kStateBytes = 64 * 1024;
+
+std::string ckpt_key(std::uint32_t gen, std::uint32_t rank) {
+  return strfmt("ckpt/gen-%03u/rank-%02u", gen, rank);
+}
+
+/// Write every rank's state, then atomically publish the generation.
+bool checkpoint_generation(blob::BlobStore& store, std::uint32_t gen) {
+  ThreadPool pool(kRanks);
+  std::atomic<bool> ok{true};
+  pool.parallel_for(kRanks, [&](std::size_t rank) {
+    sim::SimAgent agent;
+    blob::BlobClient client(store, &agent);
+    const Bytes state = make_payload(gen * 100 + rank, 0, kStateBytes);
+    if (!client.write(ckpt_key(gen, static_cast<std::uint32_t>(rank)), 0,
+                      as_view(state)).ok()) {
+      ok = false;
+    }
+  });
+  if (!ok) return false;
+
+  // The manifest commit is the atomicity point: a crash before this leaves
+  // only unreferenced per-rank blobs (garbage, not corruption).
+  sim::SimAgent agent;
+  blob::BlobClient client(store, &agent);
+  auto txn = client.begin_transaction();
+  std::string manifest = strfmt("generation=%u ranks=%u\n", gen, kRanks);
+  for (std::uint32_t r = 0; r < kRanks; ++r) manifest += ckpt_key(gen, r) + "\n";
+  // Truncate-then-write replaces any previous (possibly longer) manifest;
+  // the first generation has nothing to truncate.
+  if (client.exists("ckpt/latest")) txn.truncate("ckpt/latest", 0);
+  txn.write("ckpt/latest", 0, as_view(to_bytes(manifest)));
+  auto st = txn.commit();
+  std::printf("  generation %u committed (%s), manifest %zu bytes\n", gen,
+              st.ok() ? "ok" : st.message().c_str(), manifest.size());
+  return st.ok();
+}
+
+bool restore_latest(blob::BlobStore& store) {
+  sim::SimAgent agent;
+  blob::BlobClient client(store, &agent);
+  auto size = client.size("ckpt/latest");
+  if (!size.ok()) {
+    std::fprintf(stderr, "no checkpoint manifest found\n");
+    return false;
+  }
+  auto manifest = client.read("ckpt/latest", 0, size.value());
+  if (!manifest.ok()) return false;
+  const auto lines = split(to_string(as_view(manifest.value())), '\n');
+  std::printf("restoring from: %s\n", lines.front().c_str());
+
+  // Parse "generation=G ..." to recompute the expected payload seeds.
+  std::uint32_t gen = 0;
+  (void)std::sscanf(lines.front().c_str(), "generation=%u", &gen);
+
+  ThreadPool pool(kRanks);
+  std::atomic<bool> ok{true};
+  pool.parallel_for(kRanks, [&](std::size_t rank) {
+    sim::SimAgent a;
+    blob::BlobClient c(store, &a);
+    auto state = c.read(ckpt_key(gen, static_cast<std::uint32_t>(rank)), 0, kStateBytes);
+    if (!state.ok() || state.value().size() != kStateBytes ||
+        !check_payload(gen * 100 + rank, 0, as_view(state.value()))) {
+      ok = false;
+    }
+  });
+  std::printf("all %u rank states verified byte-exact: %s\n", kRanks,
+              ok ? "yes" : "NO");
+  return ok;
+}
+
+}  // namespace
+
+int main() {
+  sim::Cluster cluster;
+  blob::BlobStore store(cluster);
+
+  std::printf("checkpointing 3 generations of %u ranks x %s each:\n", kRanks,
+              format_bytes(kStateBytes).c_str());
+  for (std::uint32_t gen = 1; gen <= 3; ++gen) {
+    if (!checkpoint_generation(store, gen)) return 1;
+  }
+
+  // Simulate a generation-4 crash mid-checkpoint: rank states written but
+  // the manifest transaction never committed.
+  {
+    sim::SimAgent agent;
+    blob::BlobClient client(store, &agent);
+    (void)client.write(ckpt_key(4, 0), 0, as_view(make_payload(400, 0, kStateBytes)));
+    std::printf("  generation 4 crashed before manifest commit (partial state)\n");
+  }
+
+  std::printf("\nfailure! restarting from storage...\n");
+  if (!restore_latest(store)) return 1;
+
+  // Garbage-collect unreferenced checkpoints with scan + remove.
+  sim::SimAgent agent;
+  blob::BlobClient client(store, &agent);
+  auto orphans = client.scan("ckpt/gen-004/");
+  for (const auto& b : orphans.value()) (void)client.remove(b.key);
+  std::printf("garbage-collected %zu orphaned generation-4 blobs\n",
+              orphans.value().size());
+  return 0;
+}

@@ -1,0 +1,86 @@
+// POSIX-on-blob: run the same file-system workload against the strict
+// parallel file system and against BlobFs (the §III mapping of file
+// operations onto blob primitives), and compare simulated completion times.
+//
+// This demonstrates the two sides of the paper's argument:
+//   * data-path file I/O maps cleanly and runs faster on the blob stack;
+//   * directory operations are emulated via scan and get slower — and are
+//     rare enough in real workloads not to matter.
+#include <cstdio>
+
+#include "adapter/blobfs.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "pfs/pfs.hpp"
+#include "vfs/helpers.hpp"
+
+using namespace bsc;
+
+namespace {
+
+/// A small mixed workload: a few directories, many file writes/reads,
+/// one listing pass.
+SimMicros run_workload(vfs::FileSystem& fs, const char* label) {
+  sim::SimAgent agent;
+  vfs::IoCtx ctx{&agent, 100, 100};
+
+  (void)vfs::mkdir_recursive(fs, ctx, "/project/frames");
+  (void)vfs::mkdir_recursive(fs, ctx, "/project/results");
+
+  const Bytes frame = make_payload(1, 0, 128 * 1024);
+  for (int i = 0; i < 32; ++i) {
+    if (auto st = vfs::write_file(fs, ctx, strfmt("/project/frames/f-%03d", i),
+                                  as_view(frame));
+        !st.ok()) {
+      std::fprintf(stderr, "[%s] write failed: %s\n", label, st.message().c_str());
+      return -1;
+    }
+  }
+  for (int i = 0; i < 32; ++i) {
+    auto data = vfs::read_file(fs, ctx, strfmt("/project/frames/f-%03d", i));
+    if (!data.ok() || data.value().size() != frame.size()) {
+      std::fprintf(stderr, "[%s] read-back failed\n", label);
+      return -1;
+    }
+    (void)vfs::write_file(fs, ctx, strfmt("/project/results/r-%03d", i),
+                          subview(as_view(data.value()), 0, 16 * 1024));
+  }
+
+  auto listing = fs.readdir(ctx, "/project/frames");
+  std::printf("[%s] listed %zu frames; total simulated time %s\n", label,
+              listing.ok() ? listing.value().size() : 0,
+              format_sim_time(agent.now()).c_str());
+  return agent.now();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Same POSIX workload, two storage stacks (paper §III / §V):\n\n");
+
+  sim::Cluster pfs_cluster;
+  pfs::LustreLikeFs posix_fs(pfs_cluster);
+  const SimMicros t_pfs = run_workload(posix_fs, "pfs-strict");
+
+  sim::Cluster blob_cluster;
+  blob::BlobStore store(blob_cluster);
+  adapter::BlobFs blob_fs(store);
+  const SimMicros t_blob = run_workload(blob_fs, "blobfs   ");
+
+  if (t_pfs > 0 && t_blob > 0) {
+    std::printf("\nspeedup (pfs-strict / blobfs): %.2fx\n",
+                static_cast<double>(t_pfs) / static_cast<double>(t_blob));
+  }
+
+  // Show what the flat namespace actually stores: no directories, just keys.
+  sim::SimAgent agent;
+  blob::BlobClient client(store, &agent);
+  auto metas = client.scan("m!");
+  std::printf("\nunderlying blob namespace holds %zu metadata blobs, e.g.:\n",
+              metas.value().size());
+  for (std::size_t i = 0; i < std::min<std::size_t>(4, metas.value().size()); ++i) {
+    std::printf("  %s\n", metas.value()[i].key.c_str());
+  }
+  std::printf("(directories exist only as marker blobs; readdir is a scan)\n");
+  return 0;
+}

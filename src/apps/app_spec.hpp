@@ -1,0 +1,88 @@
+// The nine applications of the paper's Table I, with their measured I/O
+// volumes and the scaling rule of this reproduction.
+//
+// Scaling: all volumes are divided by 1024 (GB -> MiB, MB -> KiB) *and* all
+// request sizes are divided by 1024 relative to realistic request sizes.
+// Both numerator and denominator shrink together, so per-application call
+// counts — and therefore every percentage in Figures 1-2 and every ratio in
+// Table I — are invariant under the scaling.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.hpp"
+
+namespace bsc::apps {
+
+/// Divide-by-1024 volume scaling (GB -> MiB).
+inline constexpr std::uint64_t kScaleShift = 10;
+
+/// A Table I volume given in real gigabytes, scaled to simulation bytes.
+constexpr std::uint64_t scaled_gb(double gb) {
+  return static_cast<std::uint64_t>(gb * static_cast<double>(GiB)) >> kScaleShift;
+}
+/// A Table I volume given in real megabytes, scaled to simulation bytes.
+constexpr std::uint64_t scaled_mb(double mb) {
+  return static_cast<std::uint64_t>(mb * static_cast<double>(MiB)) >> kScaleShift;
+}
+
+struct HpcAppSpec {
+  std::string name;
+  std::string usage;
+  std::uint64_t read_total;   ///< scaled bytes
+  std::uint64_t write_total;  ///< scaled bytes
+  std::uint64_t read_req;     ///< scaled per-call request size
+  std::uint64_t write_req;
+  std::uint32_t ranks = 24;   ///< paper: 24 compute nodes
+};
+
+struct SparkAppSpec {
+  std::string name;
+  std::string usage;
+  std::uint64_t input_total;   ///< scaled bytes read
+  std::uint64_t output_total;  ///< scaled bytes written
+  std::uint32_t passes = 1;    ///< iterations over the input (DT, CC)
+  std::uint64_t read_req = 4 * 1024;
+  std::uint64_t write_req = 4 * 1024;
+  std::uint64_t shuffle_fraction_pct = 0;  ///< % of input shuffled between stages
+};
+
+// --- Table I, HPC / MPI ---
+inline HpcAppSpec blast_spec() {
+  return {"BLAST", "Protein docking", scaled_gb(27.7), scaled_mb(12.8), 1024, 512};
+}
+inline HpcAppSpec mom_spec() {
+  return {"MOM", "Oceanic model", scaled_gb(19.5), scaled_gb(3.2), 1024, 1024};
+}
+inline HpcAppSpec ecoham_spec() {
+  return {"EH", "Sediment propagation", scaled_gb(0.4), scaled_gb(9.7), 1024, 1024};
+}
+inline HpcAppSpec raytracing_spec() {
+  return {"RT", "Video processing", scaled_gb(67.4), scaled_gb(71.2), 2048, 2048};
+}
+
+// --- Table I, Cloud / Spark ---
+inline SparkAppSpec sort_spec() {
+  return {.name = "Sort", .usage = "Text Processing", .input_total = scaled_gb(5.8),
+          .output_total = scaled_gb(5.8), .shuffle_fraction_pct = 100};
+}
+inline SparkAppSpec grep_spec() {
+  return {.name = "Grep", .usage = "Text Processing", .input_total = scaled_gb(55.8),
+          .output_total = scaled_mb(863.8), .shuffle_fraction_pct = 2};
+}
+inline SparkAppSpec decision_tree_spec() {
+  return {.name = "DT", .usage = "Machine Learning", .input_total = scaled_gb(59.1),
+          .output_total = scaled_gb(4.7), .passes = 10, .shuffle_fraction_pct = 5};
+}
+inline SparkAppSpec connected_components_spec() {
+  return {.name = "CC", .usage = "Graph Processing", .input_total = scaled_gb(13.1),
+          .output_total = scaled_mb(71.2), .passes = 5, .shuffle_fraction_pct = 40};
+}
+inline SparkAppSpec tokenizer_spec() {
+  return {.name = "Tokenizer", .usage = "Text Processing", .input_total = scaled_gb(55.8),
+          .output_total = scaled_gb(235.7),
+          .shuffle_fraction_pct = 0};
+}
+
+}  // namespace bsc::apps

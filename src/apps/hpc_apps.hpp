@@ -1,0 +1,50 @@
+// Workload models of the four HPC applications (Table I, "HPC / MPI").
+//
+// Each model reproduces the application's storage-call footprint: the same
+// total read/write volumes (scaled 1:1024), the same request-size regime,
+// the same file layout and the same access pattern class, all issued
+// through the MPI-IO library (src/mpiio) — never directly against POSIX —
+// exactly as the paper observes for real MPI applications (§IV-C).
+//
+// Input staging (generating the datasets) happens before tracing starts,
+// like the pre-populated datasets of the paper's testbed. ECOHAM is special:
+// its run script performs directory listings, xattr reads and small config
+// I/O around the MPI phase. Traced together with the run, that is the "EH"
+// bar of Figure 1; traced without it (prep done offline), it is "EH / MPI".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/thread_pool.hpp"
+#include "sim/cluster.hpp"
+#include "trace/report.hpp"
+#include "vfs/file_system.hpp"
+
+namespace bsc::apps {
+
+enum class HpcAppKind { blast, mom, ecoham, raytracing };
+
+struct HpcRunOptions {
+  std::uint32_t ranks = 24;
+  bool with_prep_script = true;  ///< ECOHAM only: trace the run scripts too
+  std::uint64_t seed = 1337;
+};
+
+struct HpcRunResult {
+  trace::AppCensus census;   ///< traced storage-call census + volumes
+  SimMicros sim_time = 0;    ///< simulated wall time of the traced phase
+  bool ok = false;
+  std::string error;
+};
+
+/// Stage inputs (untraced), then run the workload against `backing_fs`
+/// through a tracing interceptor. Rank threads are spawned internally (the
+/// MPI barrier needs every rank running concurrently).
+HpcRunResult run_hpc_app(HpcAppKind kind, vfs::FileSystem& backing_fs,
+                         sim::Cluster& cluster, const HpcRunOptions& opts = {});
+
+[[nodiscard]] std::string hpc_app_name(HpcAppKind kind, bool with_prep_script);
+
+}  // namespace bsc::apps

@@ -1,0 +1,53 @@
+// Workload models of the five Spark applications (Table I, "Cloud / Spark"),
+// run through the mini dataflow engine (src/spark) against an HDFS-like (or
+// any other) FileSystem backend.
+//
+// The suite runner owns the full deployment lifecycle the paper traced:
+// untraced provisioning (home dirs, input datasets, output roots), traced
+// session setup, the five applications in sequence (each with its own
+// tracing interceptor for the per-application census of Figure 2), traced
+// session teardown, and the Table II directory-operation breakdown.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "sim/cluster.hpp"
+#include "trace/report.hpp"
+#include "vfs/file_system.hpp"
+
+namespace bsc::apps {
+
+enum class SparkAppKind { sort, grep, decision_tree, connected_components, tokenizer };
+
+struct SparkSuiteOptions {
+  std::uint64_t seed = 2024;
+  std::uint32_t executors = 5;
+  std::uint64_t split_bytes = 2 * 1024 * 1024;  ///< input split size (scaled)
+  bool cleanup_outputs_between_apps = true;     ///< untraced, bounds memory
+};
+
+struct SparkSuiteResult {
+  std::vector<trace::AppCensus> per_app;  ///< one census per application
+  trace::Census session;                  ///< setup/teardown activity
+  trace::DirOpBreakdown dir_ops;          ///< Table II
+  bool ok = false;
+  std::string error;
+};
+
+/// Run the whole five-application suite. `backing_fs` is typically an
+/// HdfsLikeFs, but any FileSystem works (the §V experiment swaps in BlobFs).
+SparkSuiteResult run_spark_suite(vfs::FileSystem& backing_fs, sim::Cluster& cluster,
+                                 ThreadPool& pool, const SparkSuiteOptions& opts = {});
+
+/// Run a single application (fresh session; per-app census only). Used by
+/// unit tests and the quick examples.
+SparkSuiteResult run_spark_single(SparkAppKind kind, vfs::FileSystem& backing_fs,
+                                  sim::Cluster& cluster, ThreadPool& pool,
+                                  const SparkSuiteOptions& opts = {});
+
+[[nodiscard]] std::string spark_app_name(SparkAppKind kind);
+
+}  // namespace bsc::apps

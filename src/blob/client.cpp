@@ -1,0 +1,330 @@
+#include "blob/client.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace bsc::blob {
+
+namespace {
+/// Wire envelope overhead of a request/response (header, op code, status).
+constexpr std::uint64_t kEnvelope = 32;
+
+std::uint64_t req_bytes(std::string_view key, std::uint64_t payload = 0) {
+  return kEnvelope + key.size() + payload;
+}
+}  // namespace
+
+Status BlobClient::replicated_mutation(std::string_view key,
+                                       const BlobServer::TxnOp& op) {
+  auto replicas = store_->replicas_of(key);
+  if (replicas.empty()) return {Errc::no_space, "no storage nodes in ring"};
+
+  // Exclusive access to the whole replica set for the duration of the
+  // mutation, acquired in ascending node order (the same global order the
+  // transaction path uses — no deadlock, and racing writers to one key
+  // apply in the same order on every replica).
+  std::vector<std::uint32_t> sorted = replicas;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<std::unique_lock<std::shared_mutex>> locks;
+  locks.reserve(sorted.size());
+  for (std::uint32_t n : sorted) locks.push_back(store_->server(n).lock_exclusive());
+
+  // Applicability check against the acting primary's current state, so the
+  // apply below cannot fail on one replica and succeed on another. Down
+  // replicas are skipped (degraded write); resync repairs them later.
+  const auto acting = store_->first_up(replicas);
+  if (!acting) return {Errc::io_error, "all replicas down: " + std::string{key}};
+  BlobServer& primary = store_->server(*acting);
+  const bool exists = !primary.version_matches(std::string{op.key}, 0);
+  Status precheck = Status::success();
+  switch (op.kind) {
+    case BlobServer::TxnOp::Kind::create:
+      if (exists) precheck = {Errc::already_exists, op.key};
+      break;
+    case BlobServer::TxnOp::Kind::remove:
+    case BlobServer::TxnOp::Kind::truncate:
+      if (!exists) precheck = {Errc::not_found, op.key};
+      break;
+    case BlobServer::TxnOp::Kind::write:
+      if (!exists && !store_->config().write_creates) {
+        precheck = {Errc::not_found, op.key};
+      }
+      break;
+  }
+
+  const auto& net = store_->cluster().net();
+  const std::uint64_t req = req_bytes(key, op.data.size());
+  const SimMicros start = agent_ ? agent_->now() : 0;
+
+  if (!precheck.ok()) {
+    // Pay the failed round-trip to the primary.
+    const SimMicros done = primary.node().serve(start + net.transfer_us(req), 3);
+    if (agent_) agent_->advance_to(done + net.transfer_us(kEnvelope));
+    return precheck;
+  }
+
+  // Apply at the acting primary, then forward to the remaining live
+  // replicas in parallel; the client's ack waits for the slowest replica
+  // (strong durability, as in RADOS).
+  const std::vector<BlobServer::TxnOp> ops{op};
+  SimMicros svc0 = 0;
+  Status st = primary.apply_txn_ops(ops, &svc0);
+  const SimMicros prim_done = primary.node().serve(start + net.transfer_us(req), svc0);
+  SimMicros done = prim_done;
+  for (std::uint32_t rid : replicas) {
+    if (!st.ok()) break;
+    if (rid == *acting || store_->is_down(rid)) continue;
+    SimMicros svc = 0;
+    BlobServer& rep = store_->server(rid);
+    Status rs = rep.apply_txn_ops(ops, &svc);
+    if (!rs.ok()) st = {Errc::io_error, "replica divergence: " + rs.message()};
+    done = std::max(done, rep.node().serve(prim_done + net.transfer_us(req), svc));
+  }
+  if (agent_) agent_->advance_to(done + net.transfer_us(kEnvelope));
+  return st;
+}
+
+Status BlobClient::create(std::string_view key) {
+  ++counters_.creates;
+  if (key.empty()) return {Errc::invalid_argument, "empty blob key"};
+  return replicated_mutation(
+      key, {BlobServer::TxnOp::Kind::create, std::string{key}, 0, {}, 0});
+}
+
+Status BlobClient::remove(std::string_view key) {
+  ++counters_.removes;
+  return replicated_mutation(
+      key, {BlobServer::TxnOp::Kind::remove, std::string{key}, 0, {}, 0});
+}
+
+Result<Bytes> BlobClient::read(std::string_view key, std::uint64_t offset,
+                               std::uint64_t len) {
+  ++counters_.reads;
+  const auto replicas = store_->replicas_of(key);
+  if (replicas.empty()) return {Errc::no_space, "no storage nodes in ring"};
+  // Failover: reads are served by the first live replica.
+  const auto acting = store_->first_up(replicas);
+  if (!acting) return {Errc::io_error, "all replicas down: " + std::string{key}};
+  BlobServer& primary = store_->server(*acting);
+  SimMicros svc = 0;
+  auto r = primary.read(std::string{key}, offset, len, &svc);
+  const std::uint64_t resp = kEnvelope + (r.ok() ? r.value().data.size() : 0);
+  if (agent_) {
+    store_->transport().call(*agent_, primary.node(), req_bytes(key), resp, svc);
+  } else {
+    primary.node().serve(0, svc);
+  }
+  if (!r.ok()) return r.error();
+  counters_.bytes_read += r.value().data.size();
+  return std::move(r.value().data);
+}
+
+Result<std::uint64_t> BlobClient::size(std::string_view key) {
+  ++counters_.sizes;
+  const auto replicas = store_->replicas_of(key);
+  if (replicas.empty()) return {Errc::no_space, "no storage nodes in ring"};
+  const auto acting = store_->first_up(replicas);
+  if (!acting) return {Errc::io_error, "all replicas down: " + std::string{key}};
+  BlobServer& primary = store_->server(*acting);
+  SimMicros svc = 0;
+  auto r = primary.size(std::string{key}, &svc);
+  if (agent_) store_->transport().call(*agent_, primary.node(), req_bytes(key), kEnvelope, svc);
+  return r;
+}
+
+Result<BlobStat> BlobClient::stat(std::string_view key) {
+  const auto replicas = store_->replicas_of(key);
+  if (replicas.empty()) return {Errc::no_space, "no storage nodes in ring"};
+  const auto acting = store_->first_up(replicas);
+  if (!acting) return {Errc::io_error, "all replicas down: " + std::string{key}};
+  BlobServer& primary = store_->server(*acting);
+  SimMicros svc = 0;
+  auto r = primary.stat(std::string{key}, &svc);
+  if (agent_) {
+    store_->transport().call(*agent_, primary.node(), req_bytes(key), kEnvelope + 24, svc);
+  }
+  return r;
+}
+
+bool BlobClient::exists(std::string_view key) { return stat(key).ok(); }
+
+Result<std::uint64_t> BlobClient::write(std::string_view key, std::uint64_t offset,
+                                        ByteView data) {
+  ++counters_.writes;
+  if (key.empty()) return {Errc::invalid_argument, "empty blob key"};
+  Status st = replicated_mutation(
+      key, {BlobServer::TxnOp::Kind::write, std::string{key}, offset,
+            Bytes(data.begin(), data.end()), 0});
+  if (!st.ok()) return st.error();
+  counters_.bytes_written += data.size();
+  return data.size();
+}
+
+Status BlobClient::truncate(std::string_view key, std::uint64_t new_size) {
+  ++counters_.truncates;
+  return replicated_mutation(
+      key, {BlobServer::TxnOp::Kind::truncate, std::string{key}, 0, {}, new_size});
+}
+
+Result<std::vector<BlobStat>> BlobClient::scan(std::string_view prefix) {
+  ++counters_.scans;
+  const auto& net = store_->cluster().net();
+  const SimMicros start = agent_ ? agent_->now() : 0;
+  const std::string pfx{prefix};
+
+  // Fan out to every server in parallel; merge + dedupe (replicas hold
+  // copies of the same key) and present a sorted global namespace view.
+  std::map<std::string, BlobStat> merged;
+  SimMicros done = start;
+  for (std::size_t i = 0; i < store_->server_count(); ++i) {
+    if (store_->is_down(static_cast<std::uint32_t>(i))) continue;
+    BlobServer& s = store_->server(i);
+    SimMicros svc = 0;
+    auto part = s.scan(pfx, &svc);
+    const SimMicros arr = start + net.transfer_us(req_bytes(prefix));
+    std::uint64_t resp = kEnvelope;
+    for (auto& bs : part) resp += bs.key.size() + 16;
+    const SimMicros fin = s.node().serve(arr, svc) + net.transfer_us(resp);
+    done = std::max(done, fin);
+    for (auto& bs : part) {
+      auto [it, inserted] = merged.try_emplace(bs.key, bs);
+      if (!inserted && bs.version > it->second.version) it->second = bs;
+    }
+  }
+  if (agent_) agent_->advance_to(done);
+
+  std::vector<BlobStat> out;
+  out.reserve(merged.size());
+  for (auto& [k, v] : merged) out.push_back(std::move(v));
+  return out;
+}
+
+BlobTransaction BlobClient::begin_transaction() { return BlobTransaction(*this); }
+
+// ---------------------------------------------------------------- txn ----
+
+BlobTransaction& BlobTransaction::write(std::string_view key, std::uint64_t offset,
+                                        ByteView data) {
+  ops_.push_back({BlobServer::TxnOp::Kind::write, std::string{key}, offset,
+                  Bytes(data.begin(), data.end()), 0});
+  return *this;
+}
+
+BlobTransaction& BlobTransaction::truncate(std::string_view key, std::uint64_t new_size) {
+  ops_.push_back({BlobServer::TxnOp::Kind::truncate, std::string{key}, 0, {}, new_size});
+  return *this;
+}
+
+BlobTransaction& BlobTransaction::create(std::string_view key) {
+  ops_.push_back({BlobServer::TxnOp::Kind::create, std::string{key}, 0, {}, 0});
+  return *this;
+}
+
+BlobTransaction& BlobTransaction::remove(std::string_view key) {
+  ops_.push_back({BlobServer::TxnOp::Kind::remove, std::string{key}, 0, {}, 0});
+  return *this;
+}
+
+BlobTransaction& BlobTransaction::expect_version(std::string_view key, Version version) {
+  preconditions_.emplace_back(std::string{key}, version);
+  return *this;
+}
+
+Status BlobTransaction::commit() {
+  BlobClient& c = *client_;
+  ++c.counters_.txns;
+  if (ops_.empty()) return Status::success();
+  BlobStore& store = c.store();
+
+  // Involved servers: every replica of every touched key.
+  std::set<std::uint32_t> involved;
+  std::map<std::uint32_t, std::vector<BlobServer::TxnOp>> per_server;
+  std::uint64_t payload = 0;
+  for (const auto& op : ops_) {
+    payload += op.key.size() + op.data.size() + 24;
+    for (std::uint32_t n : store.replicas_of(op.key)) {
+      involved.insert(n);
+      per_server[n].push_back(op);
+    }
+  }
+  if (involved.empty()) return {Errc::no_space, "no storage nodes in ring"};
+
+  // Lock phase: ascending node id order rules out deadlock between
+  // concurrent transactions (CP.21 in spirit — one consistent order).
+  std::vector<std::unique_lock<std::shared_mutex>> locks;
+  locks.reserve(involved.size());
+  for (std::uint32_t n : involved) locks.push_back(store.server(n).lock_exclusive());
+
+  const auto& net = store.cluster().net();
+  sim::SimAgent* agent = c.agent();
+  const SimMicros start = agent ? agent->now() : 0;
+
+  // Prepare round: small validation message to every involved server.
+  SimMicros prepare_done = start;
+  for (std::uint32_t n : involved) {
+    const SimMicros arr = start + net.transfer_us(64);
+    prepare_done = std::max(prepare_done, store.server(n).node().serve(arr, 3));
+  }
+
+  // Precondition validation at the acting primaries.
+  for (const auto& [key, expected] : preconditions_) {
+    const auto reps = store.replicas_of(key);
+    const auto acting = store.first_up(reps);
+    if (reps.empty() || !acting ||
+        !store.server(*acting).version_matches(key, expected)) {
+      if (agent) agent->advance_to(prepare_done + net.transfer_us(32));
+      return {Errc::conflict, "precondition failed: " + key};
+    }
+  }
+
+  // Applicability validation against the pre-transaction state, so the
+  // commit round below cannot fail halfway (all-or-nothing). Ops within one
+  // transaction apply in order on every server, so a create followed by
+  // ops on the same key is fine; validation only checks the initial state.
+  std::set<std::string> created_in_txn;
+  for (const auto& op : ops_) {
+    const auto reps = store.replicas_of(op.key);
+    const auto acting = store.first_up(reps);
+    if (!acting) {
+      if (agent) agent->advance_to(prepare_done + net.transfer_us(32));
+      return {Errc::io_error, "all replicas down: " + op.key};
+    }
+    const bool pre_exists = !store.server(*acting).version_matches(op.key, 0);
+    const bool exists = pre_exists || created_in_txn.count(op.key) != 0;
+    bool applicable = true;
+    switch (op.kind) {
+      case BlobServer::TxnOp::Kind::create:
+        applicable = !exists;
+        created_in_txn.insert(op.key);
+        break;
+      case BlobServer::TxnOp::Kind::remove:
+      case BlobServer::TxnOp::Kind::truncate:
+        applicable = exists;
+        break;
+      case BlobServer::TxnOp::Kind::write:
+        created_in_txn.insert(op.key);  // auto-creates
+        break;
+    }
+    if (!applicable) {
+      if (agent) agent->advance_to(prepare_done + net.transfer_us(32));
+      return {Errc::conflict, "inapplicable op on: " + op.key};
+    }
+  }
+
+  // Commit round: apply the batch on every involved server (replicas too).
+  SimMicros commit_done = prepare_done;
+  Status failure = Status::success();
+  for (auto& [n, server_ops] : per_server) {
+    if (store.is_down(n)) continue;  // degraded commit; resync repairs later
+    SimMicros svc = 0;
+    Status st = store.server(n).apply_txn_ops(server_ops, &svc);
+    if (!st.ok() && failure.ok()) failure = st;
+    const SimMicros arr = prepare_done + net.transfer_us(64 + payload);
+    commit_done = std::max(commit_done, store.server(n).node().serve(arr, svc));
+  }
+  if (agent) agent->advance_to(commit_done + net.transfer_us(32));
+  return failure;
+}
+
+}  // namespace bsc::blob

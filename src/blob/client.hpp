@@ -1,0 +1,116 @@
+// BlobClient — the application-facing API of the blob store, exactly the
+// primitive set of the paper's §III:
+//
+//   Blob Access:         read(), size()
+//   Blob Manipulation:   write(), truncate()
+//   Blob Administration: create(), remove()
+//   Namespace Access:    scan()
+//
+// plus Týr-style multi-blob transactions (begin_transaction / commit).
+//
+// One client per logical execution thread: the client charges its SimAgent
+// for every call (request transfer, queueing + service at the replica
+// servers, response transfer). Mutations are applied to the full replica
+// set with primary-forwarding timing; reads are served by the primary.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "blob/store.hpp"
+#include "common/result.hpp"
+#include "sim/sim_clock.hpp"
+
+namespace bsc::blob {
+
+struct ClientCounters {
+  std::uint64_t creates = 0;
+  std::uint64_t removes = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t truncates = 0;
+  std::uint64_t sizes = 0;
+  std::uint64_t scans = 0;
+  std::uint64_t txns = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+};
+
+class BlobTransaction;
+
+class BlobClient {
+ public:
+  BlobClient(BlobStore& store, sim::SimAgent* agent) : store_(&store), agent_(agent) {}
+
+  // --- Blob Administration ---
+  [[nodiscard]] Status create(std::string_view key);
+  [[nodiscard]] Status remove(std::string_view key);
+
+  // --- Blob Access ---
+  [[nodiscard]] Result<Bytes> read(std::string_view key, std::uint64_t offset,
+                                   std::uint64_t len);
+  [[nodiscard]] Result<std::uint64_t> size(std::string_view key);
+  [[nodiscard]] Result<BlobStat> stat(std::string_view key);
+  [[nodiscard]] bool exists(std::string_view key);
+
+  // --- Blob Manipulation ---
+  [[nodiscard]] Result<std::uint64_t> write(std::string_view key, std::uint64_t offset,
+                                            ByteView data);
+  [[nodiscard]] Status truncate(std::string_view key, std::uint64_t new_size);
+
+  // --- Namespace Access ---
+  /// Enumerate all blobs (deduplicated across replicas, sorted by key).
+  /// `prefix` filters the result but the walk still visits every object on
+  /// every server — the honest cost of a flat namespace.
+  [[nodiscard]] Result<std::vector<BlobStat>> scan(std::string_view prefix = {});
+
+  // --- Transactions (Týr) ---
+  [[nodiscard]] BlobTransaction begin_transaction();
+
+  [[nodiscard]] const ClientCounters& counters() const noexcept { return counters_; }
+  [[nodiscard]] sim::SimAgent* agent() noexcept { return agent_; }
+  [[nodiscard]] BlobStore& store() noexcept { return *store_; }
+
+ private:
+  friend class BlobTransaction;
+
+  /// Apply one mutation to all replicas with primary-forwarding timing,
+  /// holding the replica set's server locks (ascending node order) so that
+  /// racing writers serialize identically on every replica.
+  Status replicated_mutation(std::string_view key, const BlobServer::TxnOp& op);
+
+  BlobStore* store_;
+  sim::SimAgent* agent_;
+  ClientCounters counters_;
+};
+
+/// A batch of mutations committed atomically across blobs. Preconditions
+/// (expected versions) make the transaction optimistic: commit() fails with
+/// Errc::conflict — applying nothing — if any precondition no longer holds.
+class BlobTransaction {
+ public:
+  explicit BlobTransaction(BlobClient& client) : client_(&client) {}
+
+  BlobTransaction& write(std::string_view key, std::uint64_t offset, ByteView data);
+  BlobTransaction& truncate(std::string_view key, std::uint64_t new_size);
+  BlobTransaction& create(std::string_view key);
+  BlobTransaction& remove(std::string_view key);
+
+  /// Require `key` to be at `version` at commit time (0 = must not exist).
+  BlobTransaction& expect_version(std::string_view key, Version version);
+
+  [[nodiscard]] std::size_t op_count() const noexcept { return ops_.size(); }
+
+  /// Two-round commit: lock all involved servers (ascending node id — no
+  /// deadlock), validate preconditions, apply everywhere, release.
+  [[nodiscard]] Status commit();
+
+ private:
+  BlobClient* client_;
+  std::vector<BlobServer::TxnOp> ops_;
+  std::vector<std::pair<std::string, Version>> preconditions_;
+};
+
+}  // namespace bsc::blob

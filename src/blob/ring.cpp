@@ -1,0 +1,58 @@
+#include "blob/ring.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/hash.hpp"
+
+namespace bsc::blob {
+
+HashRing::HashRing(std::uint32_t vnodes_per_node)
+    : vnodes_(vnodes_per_node ? vnodes_per_node : 1) {}
+
+void HashRing::add_node(std::uint32_t node_id) {
+  if (!nodes_.insert(node_id).second) return;
+  for (std::uint32_t v = 0; v < vnodes_; ++v) {
+    const std::uint64_t point = mix64(hash_combine(mix64(node_id), v));
+    ring_.emplace(point, node_id);
+  }
+}
+
+void HashRing::remove_node(std::uint32_t node_id) {
+  if (nodes_.erase(node_id) == 0) return;
+  for (auto it = ring_.begin(); it != ring_.end();) {
+    it = it->second == node_id ? ring_.erase(it) : std::next(it);
+  }
+}
+
+bool HashRing::has_node(std::uint32_t node_id) const { return nodes_.count(node_id) != 0; }
+
+std::vector<std::uint32_t> HashRing::locate(std::string_view key,
+                                            std::uint32_t replicas) const {
+  std::vector<std::uint32_t> out;
+  if (ring_.empty() || replicas == 0) return out;
+  // FNV-1a alone has weak high-bit avalanche on short keys that differ only
+  // in their last characters (each input byte gets few multiplies), which
+  // would cluster such keys into one arc of the ring; the splitmix64
+  // finalizer restores full diffusion.
+  const std::uint64_t h = mix64(fnv1a64(key));
+  auto it = ring_.lower_bound(h);
+  const std::size_t want = std::min<std::size_t>(replicas, nodes_.size());
+  out.reserve(want);
+  // Walk clockwise collecting distinct physical nodes.
+  for (std::size_t steps = 0; steps < ring_.size() && out.size() < want; ++steps) {
+    if (it == ring_.end()) it = ring_.begin();
+    const std::uint32_t node = it->second;
+    if (std::find(out.begin(), out.end(), node) == out.end()) out.push_back(node);
+    ++it;
+  }
+  return out;
+}
+
+std::uint32_t HashRing::primary(std::string_view key) const {
+  auto r = locate(key, 1);
+  assert(!r.empty());
+  return r.front();
+}
+
+}  // namespace bsc::blob

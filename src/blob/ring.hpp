@@ -1,0 +1,41 @@
+// Consistent-hashing placement ring with virtual nodes.
+//
+// Each physical storage node owns `vnodes` points on a 64-bit ring; a key is
+// placed on the first `replicas` *distinct* physical nodes at or after
+// hash(key). Adding or removing a node relocates only the keys adjacent to
+// its vnodes (the property the ring tests assert).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bsc::blob {
+
+class HashRing {
+ public:
+  explicit HashRing(std::uint32_t vnodes_per_node = 64);
+
+  void add_node(std::uint32_t node_id);
+  void remove_node(std::uint32_t node_id);
+  [[nodiscard]] bool has_node(std::uint32_t node_id) const;
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+
+  /// The ordered replica set (primary first) for `key`. Returns at most
+  /// min(replicas, node_count) distinct nodes; empty when the ring is empty.
+  [[nodiscard]] std::vector<std::uint32_t> locate(std::string_view key,
+                                                  std::uint32_t replicas) const;
+
+  /// Primary node for `key` (first entry of locate).
+  [[nodiscard]] std::uint32_t primary(std::string_view key) const;
+
+ private:
+  std::uint32_t vnodes_;
+  std::set<std::uint32_t> nodes_;
+  std::map<std::uint64_t, std::uint32_t> ring_;  ///< point -> node id
+};
+
+}  // namespace bsc::blob

@@ -1,0 +1,92 @@
+// A blob storage server: one per simulated storage node. Wraps the
+// log-structured engine with thread safety (shared for reads, exclusive for
+// mutations) and computes the simulated service time of every operation from
+// the node's disk model plus fixed CPU costs.
+#pragma once
+
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "blob/storage_engine.hpp"
+#include "blob/types.hpp"
+#include "common/result.hpp"
+#include "sim/node.hpp"
+
+namespace bsc::blob {
+
+/// CPU/journal cost constants of the server's request path.
+struct ServerCosts {
+  SimMicros cpu_op_us = 3;          ///< fixed request-handling CPU
+  double cpu_byte_us = 0.0001;      ///< per-byte copy/checksum cost (~10 GB/s)
+  SimMicros meta_journal_us = 40;   ///< sequential journal append for metadata ops
+  double scan_per_obj_us = 0.2;     ///< index walk per object during scan
+};
+
+class BlobServer {
+ public:
+  BlobServer(sim::SimNode& node, EngineConfig ecfg = {}, ServerCosts costs = {})
+      : node_(&node), engine_(ecfg), costs_(costs) {}
+
+  [[nodiscard]] sim::SimNode& node() noexcept { return *node_; }
+
+  // Each operation applies to the in-memory engine and reports the simulated
+  // service time in *service_us.
+
+  Status create(const std::string& key, SimMicros* service_us);
+  Status remove(const std::string& key, SimMicros* service_us);
+  Result<WriteOutcome> write(const std::string& key, std::uint64_t off, ByteView data,
+                             bool create_if_missing, SimMicros* service_us);
+  Result<ReadOutcome> read(const std::string& key, std::uint64_t off, std::uint64_t len,
+                           SimMicros* service_us);
+  Result<Version> truncate(const std::string& key, std::uint64_t new_size,
+                           SimMicros* service_us);
+  Result<std::uint64_t> size(const std::string& key, SimMicros* service_us);
+  Result<BlobStat> stat(const std::string& key, SimMicros* service_us);
+  std::vector<BlobStat> scan(const std::string& prefix, SimMicros* service_us);
+
+  /// Apply a batch of mutations atomically under the server lock; used by
+  /// the transaction commit path. Precondition checks were already done.
+  struct TxnOp {
+    enum class Kind { write, truncate, create, remove } kind;
+    std::string key;
+    std::uint64_t offset = 0;
+    Bytes data;
+    std::uint64_t new_size = 0;
+  };
+  Status apply_txn_ops(const std::vector<TxnOp>& ops, SimMicros* service_us);
+
+  /// Expected-version check for optimistic transactions (0 = "must not exist").
+  [[nodiscard]] bool version_matches(const std::string& key, Version expected);
+
+  /// Exclusive access for multi-server commit protocols. Locks are acquired
+  /// by the client in ascending node-id order, which rules out deadlock.
+  [[nodiscard]] std::unique_lock<std::shared_mutex> lock_exclusive() {
+    return std::unique_lock(mu_);
+  }
+
+  // --- maintenance / introspection (used by tests and ablation benches) ---
+  [[nodiscard]] std::uint64_t object_count();
+  [[nodiscard]] std::uint64_t live_bytes();
+  [[nodiscard]] std::uint64_t dead_bytes();
+  std::uint64_t compact(SimMicros* service_us);
+  [[nodiscard]] Status verify_integrity();
+  [[nodiscard]] Status verify_key(const std::string& key);
+  bool corrupt_for_testing(const std::string& key);
+
+ private:
+  [[nodiscard]] SimMicros svc_metadata() const noexcept {
+    return costs_.cpu_op_us + costs_.meta_journal_us;
+  }
+  [[nodiscard]] SimMicros svc_bytes_cpu(std::uint64_t bytes) const noexcept {
+    return static_cast<SimMicros>(static_cast<double>(bytes) * costs_.cpu_byte_us);
+  }
+
+  sim::SimNode* node_;
+  std::shared_mutex mu_;
+  StorageEngine engine_;
+  ServerCosts costs_;
+};
+
+}  // namespace bsc::blob

@@ -1,0 +1,253 @@
+#include "blob/storage_engine.hpp"
+
+#include <algorithm>
+
+#include "common/hash.hpp"
+
+namespace bsc::blob {
+
+StorageEngine::StorageEngine(EngineConfig cfg) : cfg_(cfg) {
+  segments_.emplace_back();  // active segment
+}
+
+Status StorageEngine::create(const std::string& key) {
+  if (key.empty()) return {Errc::invalid_argument, "empty blob key"};
+  auto [it, inserted] = objects_.try_emplace(key);
+  if (!inserted) return {Errc::already_exists, key};
+  it->second.version = 1;
+  return Status::success();
+}
+
+Status StorageEngine::remove(const std::string& key) {
+  auto it = objects_.find(key);
+  if (it == objects_.end()) return {Errc::not_found, key};
+  for (const auto& e : it->second.extents) {
+    live_bytes_ -= e.len;
+    dead_bytes_ += e.len;
+  }
+  objects_.erase(it);
+  return Status::success();
+}
+
+bool StorageEngine::contains(const std::string& key) const {
+  return objects_.count(key) != 0;
+}
+
+std::pair<std::uint32_t, std::uint64_t> StorageEngine::append_to_log(ByteView data) {
+  if (segments_.back().size() + data.size() > cfg_.segment_bytes &&
+      !segments_.back().empty()) {
+    segments_.emplace_back();  // seal active segment, open a fresh one
+  }
+  Bytes& seg = segments_.back();
+  const std::uint64_t seg_off = seg.size();
+  append(seg, data);
+  return {static_cast<std::uint32_t>(segments_.size() - 1), seg_off};
+}
+
+void StorageEngine::supersede_range(ObjectRec& rec, std::uint64_t off, std::uint64_t len) {
+  const std::uint64_t end = off + len;
+  std::vector<Extent> kept;
+  kept.reserve(rec.extents.size() + 2);
+  for (const Extent& e : rec.extents) {
+    const std::uint64_t e_end = e.log_off + e.len;
+    if (e_end <= off || e.log_off >= end) {
+      kept.push_back(e);
+      continue;
+    }
+    // Overlap: keep the non-overlapping left/right slices, kill the middle.
+    std::uint64_t killed = std::min(e_end, end) - std::max(e.log_off, off);
+    live_bytes_ -= killed;
+    dead_bytes_ += killed;
+    if (e.log_off < off) {
+      Extent left = e;
+      left.len = off - e.log_off;
+      left.checksum = 0;  // partial extents lose their whole-extent checksum
+      kept.push_back(left);
+    }
+    if (e_end > end) {
+      Extent right = e;
+      const std::uint64_t skip = end - e.log_off;
+      right.log_off = end;
+      right.seg_off = e.seg_off + skip;
+      right.len = e_end - end;
+      right.checksum = 0;
+      kept.push_back(right);
+    }
+  }
+  rec.extents = std::move(kept);
+}
+
+Result<WriteOutcome> StorageEngine::write(const std::string& key, std::uint64_t offset,
+                                          ByteView data, bool create_if_missing) {
+  if (key.empty()) return {Errc::invalid_argument, "empty blob key"};
+  auto it = objects_.find(key);
+  if (it == objects_.end()) {
+    if (!create_if_missing) return {Errc::not_found, key};
+    it = objects_.try_emplace(key).first;
+    it->second.version = 0;
+  }
+  ObjectRec& rec = it->second;
+  if (!data.empty()) {
+    supersede_range(rec, offset, data.size());
+    auto [seg, seg_off] = append_to_log(data);
+    Extent e{.log_off = offset, .segment = seg, .seg_off = seg_off,
+             .len = data.size(), .checksum = content_checksum(data)};
+    auto pos = std::lower_bound(rec.extents.begin(), rec.extents.end(), e,
+                                [](const Extent& a, const Extent& b) {
+                                  return a.log_off < b.log_off;
+                                });
+    rec.extents.insert(pos, e);
+    live_bytes_ += data.size();
+  }
+  rec.length = std::max(rec.length, offset + data.size());
+  ++rec.version;
+  return WriteOutcome{.bytes = data.size(), .sequential_disk = true,
+                      .version = rec.version};
+}
+
+Result<ReadOutcome> StorageEngine::read(const std::string& key, std::uint64_t offset,
+                                        std::uint64_t len) const {
+  auto it = objects_.find(key);
+  if (it == objects_.end()) return {Errc::not_found, key};
+  const ObjectRec& rec = it->second;
+  if (offset >= rec.length) return ReadOutcome{};
+  len = std::min(len, rec.length - offset);
+  ReadOutcome out;
+  out.data.assign(len, std::byte{0});  // holes read as zero
+  const std::uint64_t end = offset + len;
+  for (const Extent& e : rec.extents) {
+    const std::uint64_t e_end = e.log_off + e.len;
+    if (e_end <= offset || e.log_off >= end) continue;
+    const std::uint64_t lo = std::max(e.log_off, offset);
+    const std::uint64_t hi = std::min(e_end, end);
+    const Bytes& seg = segments_[e.segment];
+    std::copy_n(seg.begin() + static_cast<std::ptrdiff_t>(e.seg_off + (lo - e.log_off)),
+                hi - lo, out.data.begin() + static_cast<std::ptrdiff_t>(lo - offset));
+    ++out.extents_touched;
+  }
+  return out;
+}
+
+Result<Version> StorageEngine::truncate(const std::string& key, std::uint64_t new_size) {
+  auto it = objects_.find(key);
+  if (it == objects_.end()) return {Errc::not_found, key};
+  ObjectRec& rec = it->second;
+  if (new_size < rec.length) {
+    // Drop extents fully past the new end; trim any extent straddling it.
+    std::vector<Extent> kept;
+    for (const Extent& e : rec.extents) {
+      if (e.log_off >= new_size) {
+        live_bytes_ -= e.len;
+        dead_bytes_ += e.len;
+        continue;
+      }
+      if (e.log_off + e.len > new_size) {
+        Extent trimmed = e;
+        const std::uint64_t cut = e.log_off + e.len - new_size;
+        trimmed.len -= cut;
+        trimmed.checksum = 0;
+        live_bytes_ -= cut;
+        dead_bytes_ += cut;
+        kept.push_back(trimmed);
+      } else {
+        kept.push_back(e);
+      }
+    }
+    rec.extents = std::move(kept);
+  }
+  rec.length = new_size;
+  ++rec.version;
+  return rec.version;
+}
+
+Result<std::uint64_t> StorageEngine::size(const std::string& key) const {
+  auto it = objects_.find(key);
+  if (it == objects_.end()) return {Errc::not_found, key};
+  return it->second.length;
+}
+
+Result<Version> StorageEngine::version(const std::string& key) const {
+  auto it = objects_.find(key);
+  if (it == objects_.end()) return {Errc::not_found, key};
+  return it->second.version;
+}
+
+std::vector<BlobStat> StorageEngine::scan(const std::string& prefix) const {
+  std::vector<BlobStat> out;
+  for (const auto& [key, rec] : objects_) {
+    if (!prefix.empty() && key.compare(0, prefix.size(), prefix) != 0) continue;
+    out.push_back({key, rec.length, rec.version});
+  }
+  return out;
+}
+
+bool StorageEngine::needs_compaction() const noexcept {
+  const std::uint64_t total = live_bytes_ + dead_bytes_;
+  return total > 0 &&
+         static_cast<double>(dead_bytes_) / static_cast<double>(total) >
+             cfg_.compact_dead_ratio;
+}
+
+std::uint64_t StorageEngine::compact() {
+  const std::uint64_t reclaimed = dead_bytes_;
+  std::vector<Bytes> fresh;
+  fresh.emplace_back();
+  auto fresh_append = [&](ByteView data) -> std::pair<std::uint32_t, std::uint64_t> {
+    if (fresh.back().size() + data.size() > cfg_.segment_bytes && !fresh.back().empty()) {
+      fresh.emplace_back();
+    }
+    Bytes& seg = fresh.back();
+    const std::uint64_t off = seg.size();
+    append(seg, data);
+    return {static_cast<std::uint32_t>(fresh.size() - 1), off};
+  };
+  for (auto& [key, rec] : objects_) {
+    for (Extent& e : rec.extents) {
+      const Bytes& seg = segments_[e.segment];
+      ByteView data = subview(as_view(seg), e.seg_off, e.len);
+      auto [ns, noff] = fresh_append(data);
+      e.segment = ns;
+      e.seg_off = noff;
+      e.checksum = content_checksum(data);
+    }
+  }
+  segments_ = std::move(fresh);
+  dead_bytes_ = 0;
+  return reclaimed;
+}
+
+Status StorageEngine::verify_integrity() const {
+  for (const auto& [key, rec] : objects_) {
+    auto st = verify_object(key);
+    if (!st.ok()) return st;
+  }
+  return Status::success();
+}
+
+Status StorageEngine::verify_object(const std::string& key) const {
+  auto it = objects_.find(key);
+  if (it == objects_.end()) return {Errc::not_found, key};
+  for (const Extent& e : it->second.extents) {
+    if (e.checksum == 0) continue;  // partial extents: checksum dropped
+    const Bytes& seg = segments_[e.segment];
+    if (e.seg_off + e.len > seg.size()) {
+      return {Errc::io_error, "extent past segment end: " + key};
+    }
+    if (content_checksum(subview(as_view(seg), e.seg_off, e.len)) != e.checksum) {
+      return {Errc::io_error, "checksum mismatch: " + key};
+    }
+  }
+  return Status::success();
+}
+
+bool StorageEngine::corrupt_for_testing(const std::string& key) {
+  auto it = objects_.find(key);
+  if (it == objects_.end() || it->second.extents.empty()) return false;
+  const Extent& e = it->second.extents.front();
+  if (e.len == 0) return false;
+  Bytes& seg = segments_[e.segment];
+  seg[e.seg_off] ^= std::byte{0xff};
+  return true;
+}
+
+}  // namespace bsc::blob

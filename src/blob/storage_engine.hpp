@@ -1,0 +1,124 @@
+// Per-node log-structured object store.
+//
+// All writes append to the active segment (sequential on the simulated
+// disk — this is the mechanical root of the blob stack's write advantage
+// over update-in-place file systems). A per-object extent index maps
+// logical object ranges onto segment extents; overwrites supersede extents
+// and leave dead bytes behind, which `compact()` reclaims.
+//
+// The engine is deliberately single-node and unlocked: thread safety and
+// distribution live one layer up (blob::BlobServer / blob::BlobStore).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "blob/types.hpp"
+
+namespace bsc::blob {
+
+struct EngineConfig {
+  std::uint64_t segment_bytes = 8ULL << 20;  ///< sealed-segment size
+  double compact_dead_ratio = 0.5;           ///< compaction trigger threshold
+};
+
+/// Outcome of a write, carrying what the cost model needs.
+struct WriteOutcome {
+  std::uint64_t bytes = 0;
+  bool sequential_disk = true;  ///< log-structured appends always are
+  Version version = 0;
+};
+
+/// Outcome of a read: data plus the number of distinct extents touched
+/// (each non-adjacent extent costs a seek on the simulated disk).
+struct ReadOutcome {
+  Bytes data;
+  std::uint32_t extents_touched = 0;
+};
+
+class StorageEngine {
+ public:
+  explicit StorageEngine(EngineConfig cfg = {});
+
+  /// Create an empty object. Fails with already_exists if present.
+  Status create(const std::string& key);
+
+  /// Remove an object and account its extents as dead.
+  Status remove(const std::string& key);
+
+  [[nodiscard]] bool contains(const std::string& key) const;
+
+  /// Random-access write; grows the object as needed. Creates the object
+  /// when `create_if_missing` (RADOS semantics), else not_found.
+  Result<WriteOutcome> write(const std::string& key, std::uint64_t offset, ByteView data,
+                             bool create_if_missing);
+
+  /// Random-access read; unwritten holes read as zero; reads past the end
+  /// are clipped (empty result at/after EOF).
+  Result<ReadOutcome> read(const std::string& key, std::uint64_t offset,
+                           std::uint64_t len) const;
+
+  /// Grow (sparse) or shrink the object.
+  Result<Version> truncate(const std::string& key, std::uint64_t new_size);
+
+  Result<std::uint64_t> size(const std::string& key) const;
+  Result<Version> version(const std::string& key) const;
+
+  /// All keys in lexicographic order, optionally filtered by prefix.
+  /// The walk always visits every object (the namespace is flat; prefix
+  /// filtering is not an index) — the cost model reflects that.
+  [[nodiscard]] std::vector<BlobStat> scan(const std::string& prefix = {}) const;
+
+  [[nodiscard]] std::uint64_t object_count() const noexcept { return objects_.size(); }
+
+  // --- space accounting / compaction ---
+  [[nodiscard]] std::uint64_t live_bytes() const noexcept { return live_bytes_; }
+  [[nodiscard]] std::uint64_t dead_bytes() const noexcept { return dead_bytes_; }
+  [[nodiscard]] std::uint64_t segments_total() const noexcept { return segments_.size(); }
+  [[nodiscard]] bool needs_compaction() const noexcept;
+
+  /// Rewrite all live extents into fresh segments; returns bytes reclaimed.
+  std::uint64_t compact();
+
+  /// Verify every extent checksum (failure injection tests flip bytes).
+  [[nodiscard]] Status verify_integrity() const;
+
+  /// Verify one object's extent checksums.
+  [[nodiscard]] Status verify_object(const std::string& key) const;
+
+  /// Test hook: corrupt one byte of stored data for `key` (if any exists).
+  bool corrupt_for_testing(const std::string& key);
+
+ private:
+  struct Extent {
+    std::uint64_t log_off = 0;  ///< logical offset within the object
+    std::uint32_t segment = 0;
+    std::uint64_t seg_off = 0;
+    std::uint64_t len = 0;
+    std::uint64_t checksum = 0;
+  };
+
+  struct ObjectRec {
+    std::uint64_t length = 0;
+    Version version = 0;
+    std::vector<Extent> extents;  ///< sorted by log_off, non-overlapping
+  };
+
+  /// Append raw data to the log; returns (segment, seg_off).
+  std::pair<std::uint32_t, std::uint64_t> append_to_log(ByteView data);
+
+  /// Replace [off, off+len) of the object's extent list with a new extent.
+  void supersede_range(ObjectRec& rec, std::uint64_t off, std::uint64_t len);
+
+  EngineConfig cfg_;
+  std::map<std::string, ObjectRec> objects_;
+  std::vector<Bytes> segments_;
+  std::uint64_t live_bytes_ = 0;
+  std::uint64_t dead_bytes_ = 0;
+};
+
+}  // namespace bsc::blob

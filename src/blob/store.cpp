@@ -1,0 +1,331 @@
+#include "blob/store.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/hash.hpp"
+
+namespace bsc::blob {
+
+BlobStore::BlobStore(sim::Cluster& cluster, StoreConfig cfg)
+    : cluster_(&cluster), cfg_(cfg), transport_(cluster), ring_(cfg.vnodes_per_node) {
+  servers_.reserve(cluster.storage_count());
+  for (std::size_t i = 0; i < cluster.storage_count(); ++i) {
+    servers_.push_back(std::make_unique<BlobServer>(cluster.storage_node(i)));
+    ring_.add_node(static_cast<std::uint32_t>(i));
+    down_.push_back(std::make_unique<std::atomic<bool>>(false));
+  }
+}
+
+void BlobStore::fail_server(std::uint32_t index) {
+  down_[index]->store(true, std::memory_order_release);
+}
+
+void BlobStore::recover_server(std::uint32_t index) {
+  down_[index]->store(false, std::memory_order_release);
+}
+
+bool BlobStore::is_down(std::uint32_t index) const {
+  return down_[index]->load(std::memory_order_acquire);
+}
+
+std::optional<std::uint32_t> BlobStore::first_up(
+    const std::vector<std::uint32_t>& replicas) const {
+  for (std::uint32_t n : replicas) {
+    if (!is_down(n)) return n;
+  }
+  return std::nullopt;
+}
+
+std::uint64_t BlobStore::resync_server(std::uint32_t index, sim::SimAgent* agent) {
+  if (is_down(index)) return 0;  // recover first
+  // Collect every key that should live on `index`, as seen by any healthy
+  // peer (the recovering server's own view may be stale or empty).
+  std::map<std::string, std::uint32_t> to_repair;  // key -> source server
+  for (std::uint32_t j = 0; j < servers_.size(); ++j) {
+    if (j == index || is_down(j)) continue;
+    SimMicros svc = 0;
+    for (const auto& stat : servers_[j]->scan("", &svc)) {
+      const auto replicas = replicas_of(stat.key);
+      if (std::find(replicas.begin(), replicas.end(), index) == replicas.end()) continue;
+      // Source = the acting primary among healthy peers.
+      for (std::uint32_t r : replicas) {
+        if (r != index && !is_down(r)) {
+          to_repair.emplace(stat.key, r);
+          break;
+        }
+      }
+    }
+  }
+  std::uint64_t repaired = 0;
+
+  // Deletion pass: keys the recovering server still holds but no healthy
+  // peer knows were removed while it was down — drop the ghosts, or they
+  // would resurrect through scan().
+  {
+    BlobServer& target = *servers_[index];
+    SimMicros svc = 0;
+    for (const auto& stat : target.scan("", &svc)) {
+      if (to_repair.count(stat.key)) continue;  // will be overwritten anyway
+      const auto replicas = replicas_of(stat.key);
+      bool any_healthy_peer = false;
+      bool held_by_peer = false;
+      for (std::uint32_t r : replicas) {
+        if (r == index || is_down(r)) continue;
+        any_healthy_peer = true;
+        SimMicros peek_svc = 0;
+        if (servers_[r]->stat(stat.key, &peek_svc).ok()) held_by_peer = true;
+      }
+      if (any_healthy_peer && !held_by_peer) {
+        SimMicros rm_svc = 0;
+        (void)target.remove(stat.key, &rm_svc);
+        target.node().serve(agent ? agent->now() : 0, rm_svc);
+        ++repaired;
+      }
+    }
+  }
+
+  for (const auto& [key, src] : to_repair) {
+    BlobServer& source = *servers_[src];
+    BlobServer& target = *servers_[index];
+    SimMicros svc = 0;
+    auto size = source.size(key, &svc);
+    if (!size.ok()) continue;
+    auto data = source.read(key, 0, size.value(), &svc);
+    if (!data.ok()) continue;
+    // Replace the target's copy wholesale; the copy is content-equal (holes
+    // come back as explicit zeros) even though versions restart.
+    {
+      auto lock = target.lock_exclusive();
+      std::vector<BlobServer::TxnOp> ops;
+      ops.push_back({BlobServer::TxnOp::Kind::remove, key, 0, {}, 0});
+      ops.push_back({BlobServer::TxnOp::Kind::write, key, 0,
+                     std::move(data.value().data), 0});
+      ops.push_back({BlobServer::TxnOp::Kind::truncate, key, 0, {}, size.value()});
+      SimMicros apply_svc = 0;
+      // remove may fail when the target never had the key; retry without it.
+      if (!target.apply_txn_ops(ops, &apply_svc).ok()) {
+        ops.erase(ops.begin());
+        apply_svc = 0;
+        if (!target.apply_txn_ops(ops, &apply_svc).ok()) continue;
+      }
+      svc += apply_svc;
+    }
+    if (agent) {
+      transport_.call(*agent, target.node(), size.value() + 64, 64, svc);
+    } else {
+      target.node().serve(0, svc);
+    }
+    ++repaired;
+  }
+  return repaired;
+}
+
+namespace {
+/// Snapshot of every live key with a reachable holder, taken before a ring
+/// change so post-change placements can be compared against it.
+struct KeySnapshot {
+  std::map<std::string, std::uint32_t> holder;  ///< key -> some live server
+};
+}  // namespace
+
+std::uint32_t BlobStore::add_server(sim::SimNode& node, RebalanceStats* stats,
+                                    sim::SimAgent* agent) {
+  // Capture pre-change key universe (any live holder suffices as source).
+  KeySnapshot snap;
+  for (std::uint32_t j = 0; j < servers_.size(); ++j) {
+    if (!in_ring(j) || is_down(j)) continue;
+    SimMicros svc = 0;
+    for (const auto& s : servers_[j]->scan("", &svc)) snap.holder.emplace(s.key, j);
+  }
+
+  const auto index = static_cast<std::uint32_t>(servers_.size());
+  servers_.push_back(std::make_unique<BlobServer>(node));
+  down_.push_back(std::make_unique<std::atomic<bool>>(false));
+  ring_.add_node(index);
+
+  rebalance_after_ring_change(snap.holder, stats, agent);
+  return index;
+}
+
+Status BlobStore::decommission_server(std::uint32_t index, RebalanceStats* stats,
+                                      sim::SimAgent* agent) {
+  if (index >= servers_.size() || !in_ring(index)) {
+    return {Errc::not_found, "server not in ring"};
+  }
+  if (is_down(index)) return {Errc::busy, "server is down; recover or resync first"};
+  KeySnapshot snap;
+  for (std::uint32_t j = 0; j < servers_.size(); ++j) {
+    if (!in_ring(j) || is_down(j)) continue;
+    SimMicros svc = 0;
+    for (const auto& s : servers_[j]->scan("", &svc)) snap.holder.emplace(s.key, j);
+  }
+  ring_.remove_node(index);
+  rebalance_after_ring_change(snap.holder, stats, agent);
+
+  // Drop everything the decommissioned server still holds.
+  SimMicros svc = 0;
+  for (const auto& s : servers_[index]->scan("", &svc)) {
+    SimMicros rm_svc = 0;
+    (void)servers_[index]->remove(s.key, &rm_svc);
+    if (stats) ++stats->objects_dropped;
+  }
+  return Status::success();
+}
+
+void BlobStore::rebalance_after_ring_change(
+    const std::map<std::string, std::uint32_t>& holders, RebalanceStats* stats,
+    sim::SimAgent* agent) {
+  for (const auto& [key, src_hint] : holders) {
+    const auto new_replicas = replicas_of(key);
+    // Source: any live server currently holding the key (the hint, unless
+    // placement says it should not have it — it still does physically).
+    BlobServer& src = *servers_[src_hint];
+    SimMicros src_svc = 0;
+    auto size = src.size(key, &src_svc);
+    if (!size.ok()) continue;
+
+    for (std::uint32_t owner : new_replicas) {
+      BlobServer& dst = *servers_[owner];
+      if (is_down(owner)) continue;
+      SimMicros peek_svc = 0;
+      if (dst.stat(key, &peek_svc).ok()) continue;  // already holds a copy
+      auto data = src.read(key, 0, size.value(), &src_svc);
+      if (!data.ok()) break;
+      SimMicros put_svc = 0;
+      {
+        auto lock = dst.lock_exclusive();
+        std::vector<BlobServer::TxnOp> ops;
+        ops.push_back({BlobServer::TxnOp::Kind::write, key, 0,
+                       std::move(data.value().data), 0});
+        ops.push_back({BlobServer::TxnOp::Kind::truncate, key, 0, {}, size.value()});
+        if (!dst.apply_txn_ops(ops, &put_svc).ok()) continue;
+      }
+      if (agent) {
+        transport_.call(*agent, dst.node(), size.value() + 64, 64, put_svc);
+      } else {
+        dst.node().serve(0, put_svc);
+      }
+      if (stats) {
+        ++stats->objects_moved;
+        stats->bytes_moved += size.value();
+      }
+    }
+
+    // Drop copies from servers no longer in the key's replica set (skip the
+    // decommission case where the server was already pulled from the ring —
+    // its copies are dropped wholesale by the caller).
+    for (std::uint32_t j = 0; j < servers_.size(); ++j) {
+      if (!in_ring(j) || is_down(j)) continue;
+      if (std::find(new_replicas.begin(), new_replicas.end(), j) != new_replicas.end()) {
+        continue;
+      }
+      SimMicros peek_svc = 0;
+      if (!servers_[j]->stat(key, &peek_svc).ok()) continue;
+      SimMicros rm_svc = 0;
+      (void)servers_[j]->remove(key, &rm_svc);
+      if (stats) ++stats->objects_dropped;
+    }
+  }
+}
+
+BlobStore::ScrubReport BlobStore::scrub(bool repair, sim::SimAgent* agent) {
+  ScrubReport report;
+  // Key universe across all live servers.
+  std::map<std::string, bool> keys;
+  for (std::uint32_t j = 0; j < servers_.size(); ++j) {
+    if (!in_ring(j) || is_down(j)) continue;
+    SimMicros svc = 0;
+    for (const auto& s : servers_[j]->scan("", &svc)) keys.emplace(s.key, true);
+  }
+
+  for (const auto& [key, unused] : keys) {
+    (void)unused;
+    ++report.objects_checked;
+    const auto replicas = replicas_of(key);
+
+    // Gather each live replica's bytes + its engine checksum verdict.
+    struct Copy {
+      std::uint32_t server;
+      Bytes data;
+      std::uint64_t fingerprint;
+      bool checksum_ok;
+    };
+    std::vector<Copy> copies;
+    for (std::uint32_t r : replicas) {
+      if (is_down(r)) continue;
+      BlobServer& srv = *servers_[r];
+      SimMicros svc = 0;
+      auto size = srv.size(key, &svc);
+      if (!size.ok()) continue;  // missing copy: resync territory, not scrub
+      auto data = srv.read(key, 0, size.value(), &svc);
+      if (!data.ok()) continue;
+      const bool sum_ok = srv.verify_key(key).ok();
+      if (!sum_ok) ++report.checksum_errors;
+      // Charge the scrub read (sequential sweep) to the maintenance agent.
+      if (agent) transport_.call(*agent, srv.node(), 64, size.value(), svc);
+      const std::uint64_t fp = content_checksum(as_view(data.value().data));
+      copies.push_back({r, std::move(data.value().data), fp, sum_ok});
+    }
+    if (copies.size() < 2) continue;
+
+    // Quorum content: the fingerprint shared by the most checksum-clean
+    // copies (clean copies outrank corrupt ones).
+    std::map<std::uint64_t, std::uint32_t> votes;
+    for (const auto& c : copies) {
+      if (c.checksum_ok) ++votes[c.fingerprint];
+    }
+    if (votes.empty()) continue;  // everything corrupt: unrecoverable here
+    const auto quorum =
+        std::max_element(votes.begin(), votes.end(),
+                         [](const auto& a, const auto& b) { return a.second < b.second; })
+            ->first;
+    const Copy* good = nullptr;
+    for (const auto& c : copies) {
+      if (c.checksum_ok && c.fingerprint == quorum) {
+        good = &c;
+        break;
+      }
+    }
+    for (const auto& c : copies) {
+      if (c.fingerprint == quorum && c.checksum_ok) continue;
+      ++report.divergent_replicas;
+      if (!repair || !good) continue;
+      BlobServer& target = *servers_[c.server];
+      auto lock = target.lock_exclusive();
+      std::vector<BlobServer::TxnOp> ops;
+      ops.push_back({BlobServer::TxnOp::Kind::remove, key, 0, {}, 0});
+      ops.push_back({BlobServer::TxnOp::Kind::write, key, 0, good->data, 0});
+      ops.push_back(
+          {BlobServer::TxnOp::Kind::truncate, key, 0, {}, good->data.size()});
+      SimMicros svc = 0;
+      if (target.apply_txn_ops(ops, &svc).ok()) {
+        ++report.repaired;
+        if (agent) transport_.call(*agent, target.node(), good->data.size() + 64, 64, svc);
+      }
+    }
+  }
+  return report;
+}
+
+std::uint64_t BlobStore::total_objects() {
+  std::uint64_t n = 0;
+  for (auto& s : servers_) n += s->object_count();
+  return n;
+}
+
+std::uint64_t BlobStore::total_live_bytes() {
+  std::uint64_t n = 0;
+  for (auto& s : servers_) n += s->live_bytes();
+  return n;
+}
+
+Status BlobStore::verify_all_integrity() {
+  for (auto& s : servers_) {
+    auto st = s->verify_integrity();
+    if (!st.ok()) return st;
+  }
+  return Status::success();
+}
+
+}  // namespace bsc::blob

@@ -1,0 +1,107 @@
+// BlobStore: the distributed blob storage service — one BlobServer per
+// simulated storage node, a consistent-hashing ring for placement, and the
+// replication configuration. Clients (blob::BlobClient) are cheap handles
+// onto the store; create one per logical application thread.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "blob/ring.hpp"
+#include "blob/server.hpp"
+#include "blob/types.hpp"
+#include "rpc/transport.hpp"
+#include "sim/cluster.hpp"
+
+namespace bsc::blob {
+
+class BlobStore {
+ public:
+  BlobStore(sim::Cluster& cluster, StoreConfig cfg = {});
+
+  [[nodiscard]] const StoreConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] const HashRing& ring() const noexcept { return ring_; }
+  [[nodiscard]] rpc::Transport& transport() noexcept { return transport_; }
+  [[nodiscard]] sim::Cluster& cluster() noexcept { return *cluster_; }
+
+  [[nodiscard]] std::size_t server_count() const noexcept { return servers_.size(); }
+  [[nodiscard]] BlobServer& server(std::uint32_t index) noexcept { return *servers_[index]; }
+
+  /// Replica servers (primary first) for `key`.
+  [[nodiscard]] std::vector<std::uint32_t> replicas_of(std::string_view key) const {
+    return ring_.locate(key, cfg_.replication);
+  }
+
+  // --- failure injection & recovery ---
+  /// Mark a server down: reads fail over to the next replica, mutations
+  /// proceed degraded (the down replica misses updates until resync).
+  void fail_server(std::uint32_t index);
+  /// Mark a server up again. Call resync_server to repair its contents.
+  void recover_server(std::uint32_t index);
+  [[nodiscard]] bool is_down(std::uint32_t index) const;
+  /// First live replica of a set (acting primary); nullopt if none is up.
+  [[nodiscard]] std::optional<std::uint32_t> first_up(
+      const std::vector<std::uint32_t>& replicas) const;
+
+  /// Repair a recovered server: every object whose replica set includes it
+  /// is copied from its acting primary. Returns the number of objects
+  /// repaired. Charges `agent` (when non-null) for the recovery traffic.
+  std::uint64_t resync_server(std::uint32_t index, sim::SimAgent* agent = nullptr);
+
+  // --- elasticity: add / decommission storage nodes with data movement ---
+  /// Statistics of one rebalance pass.
+  struct RebalanceStats {
+    std::uint64_t objects_moved = 0;   ///< copies installed on new owners
+    std::uint64_t objects_dropped = 0; ///< copies removed from old owners
+    std::uint64_t bytes_moved = 0;
+  };
+
+  /// Register `node` (a storage node of the cluster not yet in the store)
+  /// as a new blob server, extend the ring, and migrate the keys whose
+  /// replica sets changed. Returns the new server's index.
+  std::uint32_t add_server(sim::SimNode& node, RebalanceStats* stats = nullptr,
+                           sim::SimAgent* agent = nullptr);
+
+  /// Remove server `index` from the ring and re-replicate its keys onto
+  /// their new owners, then drop every copy it held. The server object
+  /// stays allocated (indices remain stable) but owns no placement.
+  Status decommission_server(std::uint32_t index, RebalanceStats* stats = nullptr,
+                             sim::SimAgent* agent = nullptr);
+
+  [[nodiscard]] bool in_ring(std::uint32_t index) const { return ring_.has_node(index); }
+
+  // --- scrubbing: detect and repair silent corruption / divergence ---
+  struct ScrubReport {
+    std::uint64_t objects_checked = 0;
+    std::uint64_t checksum_errors = 0;   ///< engine-level checksum mismatches
+    std::uint64_t divergent_replicas = 0;///< replicas disagreeing with quorum
+    std::uint64_t repaired = 0;
+  };
+
+  /// Deep scrub: verify every engine's checksums, then compare replica
+  /// contents per key; with `repair`, rewrite bad copies from a healthy
+  /// majority/any-clean replica. Maintenance traffic charges `agent`.
+  ScrubReport scrub(bool repair, sim::SimAgent* agent = nullptr);
+
+  // --- store-wide introspection for tests/benches ---
+  [[nodiscard]] std::uint64_t total_objects();
+  [[nodiscard]] std::uint64_t total_live_bytes();
+  [[nodiscard]] Status verify_all_integrity();
+
+ private:
+  /// Move/copy/drop keys so physical placement matches the (changed) ring.
+  void rebalance_after_ring_change(const std::map<std::string, std::uint32_t>& holders,
+                                   RebalanceStats* stats, sim::SimAgent* agent);
+
+  sim::Cluster* cluster_;
+  StoreConfig cfg_;
+  rpc::Transport transport_;
+  HashRing ring_;
+  std::vector<std::unique_ptr<BlobServer>> servers_;
+  std::vector<std::unique_ptr<std::atomic<bool>>> down_;
+};
+
+}  // namespace bsc::blob

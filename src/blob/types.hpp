@@ -1,0 +1,37 @@
+// Vocabulary types of the blob layer.
+//
+// A blob is a named, flat-namespace binary object supporting the primitive
+// set of the paper's §III:
+//   Blob Access:         read(key, off, len), size(key)
+//   Blob Manipulation:   write(key, off, data), truncate(key, len)
+//   Blob Administration: create(key), remove(key)
+//   Namespace Access:    scan()
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace bsc::blob {
+
+/// Blob keys are arbitrary non-empty strings in a single flat namespace.
+using BlobKey = std::string;
+
+/// Monotonic per-blob version, bumped on every mutation. Used by the
+/// transaction layer for optimistic conflict detection and by tests to
+/// assert replica convergence.
+using Version = std::uint64_t;
+
+struct BlobStat {
+  BlobKey key;
+  std::uint64_t size = 0;
+  Version version = 0;
+};
+
+struct StoreConfig {
+  std::uint32_t replication = 3;      ///< replicas per chunk (primary included)
+  std::uint64_t chunk_bytes = 1 << 20; ///< striping unit across storage nodes
+  std::uint32_t vnodes_per_node = 64; ///< ring virtual nodes
+  bool write_creates = true;          ///< RADOS-style implicit create on write
+};
+
+}  // namespace bsc::blob

@@ -1,0 +1,204 @@
+#include "bplite/bp.hpp"
+
+#include <algorithm>
+
+#include "rpc/wire.hpp"
+
+namespace bsc::bplite {
+
+namespace {
+
+Bytes encode_index(std::uint32_t steps, const std::vector<VarExtent>& index) {
+  rpc::WireWriter w;
+  w.put_u32(steps);
+  w.put_u32(static_cast<std::uint32_t>(index.size()));
+  for (const auto& e : index) {
+    w.put_u32(e.step);
+    w.put_u32(e.rank);
+    w.put_string(e.name);
+    w.put_u64(e.file_offset);
+    w.put_u64(e.bytes);
+  }
+  return std::move(w).take();
+}
+
+Status decode_index(ByteView data, std::uint32_t* steps, std::vector<VarExtent>* index) {
+  rpc::WireReader r(data);
+  auto s = r.get_u32();
+  auto n = r.get_u32();
+  if (!s.ok() || !n.ok()) return {Errc::io_error, "corrupt BP index header"};
+  *steps = s.value();
+  index->clear();
+  index->reserve(n.value());
+  for (std::uint32_t i = 0; i < n.value(); ++i) {
+    VarExtent e;
+    auto step = r.get_u32();
+    auto rank = r.get_u32();
+    auto name = r.get_string();
+    auto off = r.get_u64();
+    auto bytes = r.get_u64();
+    if (!step.ok() || !rank.ok() || !name.ok() || !off.ok() || !bytes.ok()) {
+      return {Errc::io_error, "corrupt BP index entry"};
+    }
+    e.step = step.value();
+    e.rank = rank.value();
+    e.name = std::move(name).take();
+    e.file_offset = off.value();
+    e.bytes = bytes.value();
+    index->push_back(std::move(e));
+  }
+  return Status::success();
+}
+
+}  // namespace
+
+Result<BpWriter> BpWriter::open(mpiio::MpiIo& io, std::string_view path) {
+  auto fh = io.file_open(path, mpiio::AccessMode::rdwr_create());
+  if (!fh.ok()) return fh.error();
+  return BpWriter(io, fh.value());
+}
+
+Status BpWriter::put(std::string_view var, ByteView data) {
+  if (closed_) return {Errc::closed, "writer closed"};
+  VarExtent e;
+  e.step = step_;
+  e.rank = io_->rank();
+  e.name = std::string{var};
+  e.file_offset = step_buffer_.size();  // relative until end_step
+  e.bytes = data.size();
+  pending_.push_back(std::move(e));
+  append(step_buffer_, data);
+  return Status::success();
+}
+
+Status BpWriter::end_step() {
+  if (closed_) return {Errc::closed, "writer closed"};
+  // Offset coordination: one allgather of block sizes, then every rank
+  // issues exactly one contiguous write — the BP write path.
+  const auto sizes =
+      io_->comm().allgather_u64(io_->rank(), *io_->ctx().agent, step_buffer_.size());
+  std::uint64_t my_offset = file_cursor_;
+  for (std::uint32_t r = 0; r < io_->rank(); ++r) my_offset += sizes[r];
+  std::uint64_t total = 0;
+  for (const std::uint64_t s : sizes) total += s;
+
+  if (!step_buffer_.empty()) {
+    auto w = io_->write_at(fh_, my_offset, as_view(step_buffer_));
+    if (!w.ok()) return w.error();
+  }
+  for (VarExtent& e : pending_) {
+    e.file_offset += my_offset;
+    local_index_.push_back(std::move(e));
+  }
+  pending_.clear();
+  step_buffer_.clear();
+  file_cursor_ += total;  // identical on every rank
+  ++step_;
+  return Status::success();
+}
+
+Status BpWriter::close() {
+  if (closed_) return {Errc::closed, "writer closed"};
+  if (!pending_.empty() || !step_buffer_.empty()) {
+    auto st = end_step();  // implicit final step flush
+    if (!st.ok()) return st;
+  }
+  closed_ = true;
+
+  // Gather every rank's index fragments at rank 0.
+  mpiio::Communicator::Piece mine;
+  mine.rank = io_->rank();
+  mine.data = encode_index(step_, local_index_);
+  auto fragments =
+      io_->comm().gather_pieces(io_->rank(), *io_->ctx().agent, std::move(mine));
+
+  if (io_->rank() == 0) {
+    std::vector<VarExtent> merged;
+    std::uint32_t steps = 0;
+    for (const auto& frag : fragments) {
+      std::uint32_t s = 0;
+      std::vector<VarExtent> part;
+      auto st = decode_index(as_view(frag.data), &s, &part);
+      if (!st.ok()) return st;
+      steps = std::max(steps, s);
+      for (auto& e : part) merged.push_back(std::move(e));
+    }
+    std::sort(merged.begin(), merged.end(), [](const VarExtent& a, const VarExtent& b) {
+      return std::tie(a.step, a.name, a.rank) < std::tie(b.step, b.name, b.rank);
+    });
+    const Bytes index = encode_index(steps, merged);
+    auto w = io_->write_at(fh_, file_cursor_, as_view(index));
+    if (!w.ok()) return w.error();
+    rpc::WireWriter hdr;
+    hdr.put_u64(kMagic);
+    hdr.put_u64(file_cursor_);
+    hdr.put_u64(index.size());
+    hdr.put_u64(0);  // reserved
+    auto w2 = io_->write_at(fh_, 0, as_view(hdr.buffer()));
+    if (!w2.ok()) return w2.error();
+  }
+  auto st = io_->file_sync(fh_);
+  if (!st.ok()) return st;
+  return io_->file_close(fh_);
+}
+
+Result<BpReader> BpReader::open(mpiio::MpiIo& io, std::string_view path) {
+  auto fh = io.file_open(path, mpiio::AccessMode::read_only());
+  if (!fh.ok()) return fh.error();
+  BpReader reader(io, fh.value());
+  auto hdr = io.read_at(fh.value(), 0, 32);
+  if (!hdr.ok()) return hdr.error();
+  rpc::WireReader r(as_view(hdr.value()));
+  auto magic = r.get_u64();
+  auto index_off = r.get_u64();
+  auto index_len = r.get_u64();
+  if (!magic.ok() || magic.value() != 0x4250'4C49'5445'0001ULL || !index_off.ok() ||
+      !index_len.ok()) {
+    (void)io.file_close(fh.value());
+    return {Errc::io_error, "not a BpLite file: " + std::string{path}};
+  }
+  auto index = io.read_at(fh.value(), index_off.value(), index_len.value());
+  if (!index.ok()) return index.error();
+  auto st = decode_index(as_view(index.value()), &reader.steps_, &reader.index_);
+  if (!st.ok()) return st.error();
+  return reader;
+}
+
+std::vector<std::string> BpReader::variables() const {
+  std::vector<std::string> names;
+  for (const auto& e : index_) names.push_back(e.name);
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  return names;
+}
+
+Result<Bytes> BpReader::read_var(std::uint32_t step, std::string_view var) {
+  std::vector<const VarExtent*> hits;
+  for (const auto& e : index_) {
+    if (e.step == step && e.name == var) hits.push_back(&e);
+  }
+  if (hits.empty()) return {Errc::not_found, std::string{var}};
+  std::sort(hits.begin(), hits.end(),
+            [](const VarExtent* a, const VarExtent* b) { return a->rank < b->rank; });
+  Bytes out;
+  for (const VarExtent* e : hits) {
+    auto chunk = io_->read_at(fh_, e->file_offset, e->bytes);
+    if (!chunk.ok()) return chunk.error();
+    append(out, as_view(chunk.value()));
+  }
+  return out;
+}
+
+Result<Bytes> BpReader::read_var_rank(std::uint32_t step, std::uint32_t rank,
+                                      std::string_view var) {
+  for (const auto& e : index_) {
+    if (e.step == step && e.rank == rank && e.name == var) {
+      return io_->read_at(fh_, e.file_offset, e.bytes);
+    }
+  }
+  return {Errc::not_found, std::string{var}};
+}
+
+Status BpReader::close() { return io_->file_close(fh_); }
+
+}  // namespace bsc::bplite

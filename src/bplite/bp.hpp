@@ -1,0 +1,102 @@
+// BpLite — an ADIOS-BP-style log-structured output format on MPI-IO, the
+// second intermediate I/O library of the paper's §II-A stack ("either
+// directly or via intermediate libraries such as HDF5 or ADIOS").
+//
+// Where H5Lite lays datasets out contiguously (read-optimized, offsets fixed
+// at definition time), BpLite is write-optimized the way ADIOS BP is:
+//
+//   * each rank buffers its variables locally during a step;
+//   * at end_step, ranks allgather their buffered block sizes, compute
+//     disjoint offsets with a prefix sum, and every rank issues ONE large
+//     contiguous write of its process-group block — no data exchange, no
+//     shared-region locking, append-only file growth;
+//   * close() has rank 0 append the global index (step -> rank -> variable
+//     -> extent) and stamp the header.
+//
+// Readers open the index and fetch a variable's per-rank chunks directly.
+//
+// File layout:
+//   [header: magic, index_offset, index_bytes]
+//   [step 0: rank-0 PG][step 0: rank-1 PG]... [step 1: rank-0 PG]...
+//   [index]
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.hpp"
+#include "mpiio/mpi_file.hpp"
+
+namespace bsc::bplite {
+
+/// One variable chunk as recorded in the index.
+struct VarExtent {
+  std::uint32_t step = 0;
+  std::uint32_t rank = 0;
+  std::string name;
+  std::uint64_t file_offset = 0;
+  std::uint64_t bytes = 0;
+};
+
+class BpWriter {
+ public:
+  /// Collective open-for-write.
+  static Result<BpWriter> open(mpiio::MpiIo& io, std::string_view path);
+
+  /// Buffer one variable's bytes for the current step (local, no I/O).
+  Status put(std::string_view var, ByteView data);
+
+  /// Collective: write every rank's buffered block at coordinated offsets.
+  Status end_step();
+
+  /// Collective close: rank 0 appends the index and stamps the header.
+  Status close();
+
+  [[nodiscard]] std::uint32_t current_step() const noexcept { return step_; }
+
+ private:
+  BpWriter(mpiio::MpiIo& io, vfs::FileHandle fh) : io_(&io), fh_(fh) {}
+
+  static constexpr std::uint64_t kMagic = 0x4250'4C49'5445'0001ULL;  // "BPLITE\1"
+  static constexpr std::uint64_t kHeaderBytes = 32;
+
+  mpiio::MpiIo* io_;
+  vfs::FileHandle fh_ = vfs::kInvalidHandle;
+  bool closed_ = false;
+  std::uint32_t step_ = 0;
+  std::uint64_t file_cursor_ = kHeaderBytes;  ///< identical on every rank
+  Bytes step_buffer_;                          ///< this rank's pending PG block
+  std::vector<VarExtent> pending_;             ///< extents within step_buffer_
+  std::vector<VarExtent> local_index_;         ///< this rank's committed extents
+};
+
+class BpReader {
+ public:
+  /// Collective open-for-read: loads the index on every rank.
+  static Result<BpReader> open(mpiio::MpiIo& io, std::string_view path);
+
+  [[nodiscard]] std::uint32_t steps() const noexcept { return steps_; }
+  [[nodiscard]] const std::vector<VarExtent>& index() const noexcept { return index_; }
+  [[nodiscard]] std::vector<std::string> variables() const;
+
+  /// All chunks of `var` at `step`, concatenated in rank order.
+  Result<Bytes> read_var(std::uint32_t step, std::string_view var);
+
+  /// One rank's chunk only.
+  Result<Bytes> read_var_rank(std::uint32_t step, std::uint32_t rank,
+                              std::string_view var);
+
+  Status close();
+
+ private:
+  BpReader(mpiio::MpiIo& io, vfs::FileHandle fh) : io_(&io), fh_(fh) {}
+
+  mpiio::MpiIo* io_;
+  vfs::FileHandle fh_ = vfs::kInvalidHandle;
+  std::uint32_t steps_ = 0;
+  std::vector<VarExtent> index_;
+};
+
+}  // namespace bsc::bplite

@@ -1,0 +1,32 @@
+#include "common/hash.hpp"
+
+namespace bsc {
+
+namespace {
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+}  // namespace
+
+std::uint64_t fnv1a64(std::string_view s) noexcept {
+  std::uint64_t h = kFnvOffset;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a64(ByteView data) noexcept {
+  std::uint64_t h = kFnvOffset;
+  for (std::byte b : data) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t content_checksum(ByteView data) noexcept {
+  return hash_combine(fnv1a64(data), mix64(data.size()));
+}
+
+}  // namespace bsc

@@ -1,0 +1,34 @@
+// Hashing primitives used by the blob placement ring, block maps, and
+// deterministic payload generation/verification.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/bytes.hpp"
+
+namespace bsc {
+
+/// FNV-1a 64-bit — stable, endian-independent; used for key → ring placement.
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view s) noexcept;
+[[nodiscard]] std::uint64_t fnv1a64(ByteView data) noexcept;
+
+/// 64-bit avalanche mixer (splitmix64 finalizer). Used to derive independent
+/// hash streams (e.g., replica ranks on the ring) from one base hash.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combine two 64-bit hashes (boost-style).
+[[nodiscard]] constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept {
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+}
+
+/// Content checksum for integrity verification in the storage engines.
+/// (CRC-like via FNV over the payload plus its length.)
+[[nodiscard]] std::uint64_t content_checksum(ByteView data) noexcept;
+
+}  // namespace bsc

@@ -1,0 +1,37 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace bsc {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::warn};
+std::mutex g_log_mu;
+
+constexpr const char* level_name(LogLevel l) noexcept {
+  switch (l) {
+    case LogLevel::debug: return "DEBUG";
+    case LogLevel::info: return "INFO";
+    case LogLevel::warn: return "WARN";
+    case LogLevel::error: return "ERROR";
+    case LogLevel::off: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level.store(level, std::memory_order_relaxed); }
+
+LogLevel log_level() noexcept { return g_level.load(std::memory_order_relaxed); }
+
+void log(LogLevel level, std::string_view component, std::string_view message) {
+  if (level < g_level.load(std::memory_order_relaxed)) return;
+  std::scoped_lock lk(g_log_mu);
+  std::fprintf(stderr, "[%s] %.*s: %.*s\n", level_name(level),
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace bsc

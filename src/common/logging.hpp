@@ -1,0 +1,21 @@
+// Minimal leveled logger. Off by default at debug level so experiments stay
+// quiet; benches flip the level when narrating runs.
+#pragma once
+
+#include <string_view>
+
+namespace bsc {
+
+enum class LogLevel { debug = 0, info = 1, warn = 2, error = 3, off = 4 };
+
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+void log(LogLevel level, std::string_view component, std::string_view message);
+
+inline void log_debug(std::string_view c, std::string_view m) { log(LogLevel::debug, c, m); }
+inline void log_info(std::string_view c, std::string_view m) { log(LogLevel::info, c, m); }
+inline void log_warn(std::string_view c, std::string_view m) { log(LogLevel::warn, c, m); }
+inline void log_error(std::string_view c, std::string_view m) { log(LogLevel::error, c, m); }
+
+}  // namespace bsc

@@ -1,0 +1,104 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+namespace bsc {
+
+void StatSummary::add(double x) noexcept {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void StatSummary::merge(const StatSummary& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n = static_cast<double>(n_ + other.n_);
+  m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                         static_cast<double>(other.n_) / n;
+  mean_ = (mean_ * static_cast<double>(n_) + other.mean_ * static_cast<double>(other.n_)) / n;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double StatSummary::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double StatSummary::stddev() const noexcept { return std::sqrt(variance()); }
+
+namespace {
+constexpr int kSubBucketsLog2 = 1;  // 2 sub-buckets per octave
+constexpr std::size_t kNumBuckets = 63 << kSubBucketsLog2;
+}  // namespace
+
+Histogram::Histogram() : buckets_(kNumBuckets, 0) {}
+
+std::size_t Histogram::bucket_of(std::uint64_t v) noexcept {
+  if (v < 2) return v;  // 0 and 1 get exact buckets at the bottom
+  const int octave = 63 - std::countl_zero(v);
+  const auto sub = static_cast<std::size_t>((v >> (octave - kSubBucketsLog2)) &
+                                            ((1u << kSubBucketsLog2) - 1));
+  auto idx = (static_cast<std::size_t>(octave) << kSubBucketsLog2) + sub;
+  return std::min(idx, kNumBuckets - 1);
+}
+
+std::uint64_t Histogram::bucket_upper(std::size_t b) noexcept {
+  if (b < 2) return b;
+  const auto octave = b >> kSubBucketsLog2;
+  const auto sub = b & ((1u << kSubBucketsLog2) - 1);
+  return (1ULL << octave) + ((sub + 1) << (octave - kSubBucketsLog2)) - 1;
+}
+
+void Histogram::add(std::uint64_t value) noexcept {
+  ++buckets_[bucket_of(value)];
+  ++total_;
+  sum_ += static_cast<double>(value);
+  max_ = std::max(max_, value);
+}
+
+void Histogram::merge(const Histogram& other) noexcept {
+  for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  total_ += other.total_;
+  sum_ += other.sum_;
+  max_ = std::max(max_, other.max_);
+}
+
+std::uint64_t Histogram::percentile(double p) const noexcept {
+  if (total_ == 0) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(total_)));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) return std::min(bucket_upper(i), max_);
+  }
+  return max_;
+}
+
+double Histogram::mean() const noexcept {
+  return total_ ? sum_ / static_cast<double>(total_) : 0.0;
+}
+
+std::string Histogram::summary() const {
+  std::ostringstream os;
+  os << "count=" << total_ << " mean=" << mean() << " p50=" << percentile(50)
+     << " p99=" << percentile(99) << " max=" << max_;
+  return os.str();
+}
+
+}  // namespace bsc

@@ -1,0 +1,63 @@
+// Statistics collection: streaming summaries and log-bucketed histograms.
+// Used by the trace layer for call-latency distributions and by the benches
+// to print the paper's tables.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace bsc {
+
+/// Streaming count/sum/min/max/mean/variance (Welford).
+class StatSummary {
+ public:
+  void add(double x) noexcept;
+  void merge(const StatSummary& other) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+
+ private:
+  std::uint64_t n_ = 0;
+  double sum_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Histogram with power-of-two-ish buckets (2 sub-buckets per octave)
+/// covering [1, ~2^62]. Approximate percentiles with bounded error.
+class Histogram {
+ public:
+  Histogram();
+
+  void add(std::uint64_t value) noexcept;
+  void merge(const Histogram& other) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return total_; }
+  /// Approximate p-th percentile (p in [0, 100]).
+  [[nodiscard]] std::uint64_t percentile(double p) const noexcept;
+  [[nodiscard]] double mean() const noexcept;
+
+  /// Render as "count=N mean=X p50=.. p99=.. max=..".
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  static std::size_t bucket_of(std::uint64_t v) noexcept;
+  static std::uint64_t bucket_upper(std::size_t b) noexcept;
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t total_ = 0;
+  double sum_ = 0.0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace bsc

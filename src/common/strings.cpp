@@ -1,0 +1,118 @@
+#include "common/strings.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "common/units.hpp"
+
+namespace bsc {
+
+std::vector<std::string> split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string join(const std::vector<std::string>& parts, char sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i) out.push_back(sep);
+    out += parts[i];
+  }
+  return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) noexcept {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) noexcept {
+  return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string normalize_path(std::string_view path) {
+  std::vector<std::string> stack;
+  for (const auto& part : split(path, '/')) {
+    if (part.empty() || part == ".") continue;
+    if (part == "..") {
+      if (!stack.empty()) stack.pop_back();
+      continue;
+    }
+    stack.push_back(part);
+  }
+  if (stack.empty()) return "/";
+  std::string out;
+  for (const auto& p : stack) {
+    out.push_back('/');
+    out += p;
+  }
+  return out;
+}
+
+std::vector<std::string> path_components(std::string_view path) {
+  std::vector<std::string> out;
+  for (const auto& part : split(path, '/')) {
+    if (!part.empty() && part != ".") out.push_back(part);
+  }
+  return out;
+}
+
+std::string parent_path(std::string_view path) {
+  const std::string norm = normalize_path(path);
+  const auto pos = norm.find_last_of('/');
+  if (pos == 0) return "/";
+  return norm.substr(0, pos);
+}
+
+std::string base_name(std::string_view path) {
+  const std::string norm = normalize_path(path);
+  if (norm == "/") return "";
+  return norm.substr(norm.find_last_of('/') + 1);
+}
+
+std::string join_path(std::string_view dir, std::string_view child) {
+  std::string out{dir};
+  if (out.empty() || out.back() != '/') out.push_back('/');
+  while (!child.empty() && child.front() == '/') child.remove_prefix(1);
+  out += child;
+  return normalize_path(out);
+}
+
+std::string strfmt(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  va_list ap2;
+  va_copy(ap2, ap);
+  const int n = std::vsnprintf(nullptr, 0, fmt, ap);
+  va_end(ap);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<std::size_t>(n));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, ap2);
+  }
+  va_end(ap2);
+  return out;
+}
+
+std::string format_bytes(std::uint64_t bytes) {
+  const auto b = static_cast<double>(bytes);
+  if (bytes >= GiB) return strfmt("%.1f GB", b / static_cast<double>(GiB));
+  if (bytes >= MiB) return strfmt("%.1f MB", b / static_cast<double>(MiB));
+  if (bytes >= KiB) return strfmt("%.1f KB", b / static_cast<double>(KiB));
+  return strfmt("%llu B", static_cast<unsigned long long>(bytes));
+}
+
+std::string format_sim_time(SimMicros us) {
+  if (us >= 1000LL * 1000 * 60) return strfmt("%.2f min", static_cast<double>(us) / 60e6);
+  if (us >= 1000LL * 1000) return strfmt("%.2f s", static_cast<double>(us) / 1e6);
+  if (us >= 1000) return strfmt("%.2f ms", static_cast<double>(us) / 1e3);
+  return strfmt("%lld us", static_cast<long long>(us));
+}
+
+}  // namespace bsc

@@ -1,0 +1,34 @@
+// Small string/path helpers shared by the namespace implementations.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bsc {
+
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char sep);
+[[nodiscard]] std::string join(const std::vector<std::string>& parts, char sep);
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix) noexcept;
+[[nodiscard]] bool ends_with(std::string_view s, std::string_view suffix) noexcept;
+
+/// Normalize an absolute POSIX path: collapse "//", resolve "." and "..",
+/// strip trailing slash (except for "/"). Returns "/" for empty input.
+[[nodiscard]] std::string normalize_path(std::string_view path);
+
+/// Split a normalized absolute path into components ("/a/b" -> {"a","b"}).
+[[nodiscard]] std::vector<std::string> path_components(std::string_view path);
+
+/// Parent directory of a normalized absolute path ("/a/b" -> "/a", "/" -> "/").
+[[nodiscard]] std::string parent_path(std::string_view path);
+
+/// Final component of a normalized absolute path ("/a/b" -> "b", "/" -> "").
+[[nodiscard]] std::string base_name(std::string_view path);
+
+/// Join a directory and a child name with exactly one slash.
+[[nodiscard]] std::string join_path(std::string_view dir, std::string_view child);
+
+/// printf-style formatting into std::string.
+[[nodiscard]] std::string strfmt(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace bsc

@@ -1,0 +1,27 @@
+// Size and time unit helpers. All simulated time in this codebase is carried
+// as integral microseconds (SimMicros) to keep cross-thread accounting exact.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace bsc {
+
+inline constexpr std::uint64_t KiB = 1024ULL;
+inline constexpr std::uint64_t MiB = 1024ULL * KiB;
+inline constexpr std::uint64_t GiB = 1024ULL * MiB;
+
+/// Simulated time, microseconds.
+using SimMicros = std::int64_t;
+
+inline constexpr SimMicros sim_us(std::int64_t v) { return v; }
+inline constexpr SimMicros sim_ms(std::int64_t v) { return v * 1000; }
+inline constexpr SimMicros sim_s(std::int64_t v) { return v * 1000 * 1000; }
+
+/// Render a byte count the way the paper's Table I does ("27.7 GB", "12.8 MB").
+std::string format_bytes(std::uint64_t bytes);
+
+/// Render simulated microseconds as a human-readable duration.
+std::string format_sim_time(SimMicros us);
+
+}  // namespace bsc

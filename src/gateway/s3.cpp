@@ -1,0 +1,291 @@
+#include "gateway/s3.hpp"
+
+#include <algorithm>
+
+#include "common/hash.hpp"
+#include "common/strings.hpp"
+#include "rpc/wire.hpp"
+
+namespace bsc::gateway {
+
+std::string S3Gateway::bucket_key(std::string_view bucket) {
+  return "s3!" + std::string{bucket};
+}
+
+std::string S3Gateway::data_key(std::string_view bucket, std::string_view key) {
+  return strfmt("s3!%.*s!o!%.*s", static_cast<int>(bucket.size()), bucket.data(),
+                static_cast<int>(key.size()), key.data());
+}
+
+std::string S3Gateway::meta_key(std::string_view bucket, std::string_view key) {
+  return strfmt("s3!%.*s!m!%.*s", static_cast<int>(bucket.size()), bucket.data(),
+                static_cast<int>(key.size()), key.data());
+}
+
+std::string S3Gateway::part_key(std::string_view bucket, std::string_view upload_id,
+                                std::uint32_t part) {
+  return strfmt("s3!%.*s!u!%.*s!%05u", static_cast<int>(bucket.size()), bucket.data(),
+                static_cast<int>(upload_id.size()), upload_id.data(), part);
+}
+
+std::string S3Gateway::etag_of(ByteView data) {
+  return strfmt("%016llx", static_cast<unsigned long long>(content_checksum(data)));
+}
+
+Bytes S3Gateway::encode_meta(std::string_view etag,
+                             const std::map<std::string, std::string>& user) {
+  rpc::WireWriter w;
+  w.put_string(etag);
+  w.put_u32(static_cast<std::uint32_t>(user.size()));
+  for (const auto& [k, v] : user) {
+    w.put_string(k);
+    w.put_string(v);
+  }
+  return std::move(w).take();
+}
+
+Status S3Gateway::decode_meta(ByteView data, std::string* etag,
+                              std::map<std::string, std::string>* user) {
+  rpc::WireReader r(data);
+  auto e = r.get_string();
+  auto n = r.get_u32();
+  if (!e.ok() || !n.ok()) return {Errc::io_error, "corrupt object metadata"};
+  if (etag) *etag = std::move(e).take();
+  for (std::uint32_t i = 0; i < n.value(); ++i) {
+    auto k = r.get_string();
+    auto v = r.get_string();
+    if (!k.ok() || !v.ok()) return {Errc::io_error, "corrupt user metadata"};
+    if (user) user->emplace(std::move(k).take(), std::move(v).take());
+  }
+  return Status::success();
+}
+
+Status S3Gateway::create_bucket(sim::SimAgent& agent, std::string_view bucket) {
+  if (bucket.empty() || bucket.find('!') != std::string_view::npos) {
+    return {Errc::invalid_argument, "invalid bucket name"};
+  }
+  blob::BlobClient client(*store_, &agent);
+  return client.create(bucket_key(bucket));
+}
+
+bool S3Gateway::bucket_exists(sim::SimAgent& agent, std::string_view bucket) {
+  blob::BlobClient client(*store_, &agent);
+  return client.exists(bucket_key(bucket));
+}
+
+Status S3Gateway::delete_bucket(sim::SimAgent& agent, std::string_view bucket) {
+  blob::BlobClient client(*store_, &agent);
+  if (!client.exists(bucket_key(bucket))) return {Errc::not_found, std::string{bucket}};
+  auto contents = client.scan(bucket_key(bucket) + "!o!");
+  if (!contents.ok()) return contents.error();
+  if (!contents.value().empty()) return {Errc::not_empty, std::string{bucket}};
+  return client.remove(bucket_key(bucket));
+}
+
+Result<std::vector<std::string>> S3Gateway::list_buckets(sim::SimAgent& agent) {
+  blob::BlobClient client(*store_, &agent);
+  auto blobs = client.scan("s3!");
+  if (!blobs.ok()) return blobs.error();
+  std::vector<std::string> out;
+  for (const auto& b : blobs.value()) {
+    std::string_view rest{b.key};
+    rest.remove_prefix(3);
+    if (rest.find('!') == std::string_view::npos) out.emplace_back(rest);
+  }
+  return out;
+}
+
+Status S3Gateway::put_object(sim::SimAgent& agent, std::string_view bucket,
+                             std::string_view key, ByteView data, const PutOptions& opts) {
+  blob::BlobClient client(*store_, &agent);
+  if (!client.exists(bucket_key(bucket))) return {Errc::not_found, "no such bucket"};
+  if (key.empty()) return {Errc::invalid_argument, "empty object key"};
+  // Replace semantics: data + metadata land atomically (readers see the old
+  // object or the new one).
+  const Bytes meta = encode_meta(etag_of(data), opts.user_metadata);
+  auto txn = client.begin_transaction();
+  if (client.exists(data_key(bucket, key))) {
+    txn.truncate(data_key(bucket, key), data.size());
+    txn.truncate(meta_key(bucket, key), meta.size());
+  }
+  txn.write(data_key(bucket, key), 0, data);
+  txn.write(meta_key(bucket, key), 0, as_view(meta));
+  return txn.commit();
+}
+
+Result<Bytes> S3Gateway::get_object(sim::SimAgent& agent, std::string_view bucket,
+                                    std::string_view key) {
+  blob::BlobClient client(*store_, &agent);
+  auto size = client.size(data_key(bucket, key));
+  if (!size.ok()) return {Errc::not_found, std::string{key}};
+  return client.read(data_key(bucket, key), 0, size.value());
+}
+
+Result<Bytes> S3Gateway::get_object_range(sim::SimAgent& agent, std::string_view bucket,
+                                          std::string_view key, std::uint64_t first,
+                                          std::uint64_t last) {
+  if (last < first) return {Errc::invalid_argument, "bad range"};
+  blob::BlobClient client(*store_, &agent);
+  if (!client.exists(data_key(bucket, key))) return {Errc::not_found, std::string{key}};
+  return client.read(data_key(bucket, key), first, last - first + 1);
+}
+
+Result<ObjectInfo> S3Gateway::head_object(sim::SimAgent& agent, std::string_view bucket,
+                                          std::string_view key) {
+  blob::BlobClient client(*store_, &agent);
+  auto size = client.size(data_key(bucket, key));
+  if (!size.ok()) return {Errc::not_found, std::string{key}};
+  auto msize = client.size(meta_key(bucket, key));
+  if (!msize.ok()) return {Errc::io_error, "metadata missing"};
+  auto mdata = client.read(meta_key(bucket, key), 0, msize.value());
+  if (!mdata.ok()) return mdata.error();
+  std::string etag;
+  auto st = decode_meta(as_view(mdata.value()), &etag, nullptr);
+  if (!st.ok()) return st.error();
+  return ObjectInfo{std::string{key}, size.value(), std::move(etag)};
+}
+
+Result<std::string> S3Gateway::object_metadata(sim::SimAgent& agent,
+                                               std::string_view bucket,
+                                               std::string_view key,
+                                               std::string_view name) {
+  blob::BlobClient client(*store_, &agent);
+  auto msize = client.size(meta_key(bucket, key));
+  if (!msize.ok()) return {Errc::not_found, std::string{key}};
+  auto mdata = client.read(meta_key(bucket, key), 0, msize.value());
+  if (!mdata.ok()) return mdata.error();
+  std::map<std::string, std::string> user;
+  auto st = decode_meta(as_view(mdata.value()), nullptr, &user);
+  if (!st.ok()) return st.error();
+  auto it = user.find(std::string{name});
+  if (it == user.end()) return {Errc::not_found, std::string{name}};
+  return it->second;
+}
+
+Status S3Gateway::delete_object(sim::SimAgent& agent, std::string_view bucket,
+                                std::string_view key) {
+  blob::BlobClient client(*store_, &agent);
+  if (!client.exists(data_key(bucket, key))) return {Errc::not_found, std::string{key}};
+  auto txn = client.begin_transaction();
+  txn.remove(data_key(bucket, key)).remove(meta_key(bucket, key));
+  return txn.commit();
+}
+
+Status S3Gateway::copy_object(sim::SimAgent& agent, std::string_view src_bucket,
+                              std::string_view src_key, std::string_view dst_bucket,
+                              std::string_view dst_key) {
+  auto data = get_object(agent, src_bucket, src_key);
+  if (!data.ok()) return data.error();
+  return put_object(agent, dst_bucket, dst_key, as_view(data.value()));
+}
+
+Result<ListResult> S3Gateway::list_objects(sim::SimAgent& agent, std::string_view bucket,
+                                           std::string_view prefix,
+                                           std::optional<char> delimiter,
+                                           std::uint32_t max_keys,
+                                           std::string_view continuation) {
+  blob::BlobClient client(*store_, &agent);
+  if (!client.exists(bucket_key(bucket))) return {Errc::not_found, "no such bucket"};
+  const std::string scan_prefix = bucket_key(bucket) + "!o!" + std::string{prefix};
+  auto blobs = client.scan(scan_prefix);
+  if (!blobs.ok()) return blobs.error();
+
+  const std::string strip = bucket_key(bucket) + "!o!";
+  ListResult out;
+  std::vector<std::string> seen_prefixes;
+  for (const auto& b : blobs.value()) {
+    std::string key = b.key.substr(strip.size());
+    if (!continuation.empty() && key <= continuation) continue;  // resume point
+    if (delimiter) {
+      const auto pos = key.find(*delimiter, prefix.size());
+      if (pos != std::string::npos) {
+        std::string cp = key.substr(0, pos + 1);
+        if (seen_prefixes.empty() || seen_prefixes.back() != cp) {
+          if (std::find(seen_prefixes.begin(), seen_prefixes.end(), cp) ==
+              seen_prefixes.end()) {
+            seen_prefixes.push_back(cp);
+          }
+        }
+        continue;
+      }
+    }
+    if (out.objects.size() + seen_prefixes.size() >= max_keys) {
+      out.truncated = true;
+      out.next_continuation = out.objects.empty() ? "" : out.objects.back().key;
+      break;
+    }
+    out.objects.push_back({key, b.size, ""});
+  }
+  out.common_prefixes = std::move(seen_prefixes);
+  // ETags on demand: fill for the returned page only.
+  for (auto& obj : out.objects) {
+    auto msize = client.size(meta_key(bucket, obj.key));
+    if (!msize.ok()) continue;
+    auto mdata = client.read(meta_key(bucket, obj.key), 0, msize.value());
+    if (mdata.ok()) (void)decode_meta(as_view(mdata.value()), &obj.etag, nullptr);
+  }
+  return out;
+}
+
+Result<std::string> S3Gateway::create_multipart_upload(sim::SimAgent& agent,
+                                                       std::string_view bucket,
+                                                       std::string_view key) {
+  blob::BlobClient client(*store_, &agent);
+  if (!client.exists(bucket_key(bucket))) return {Errc::not_found, "no such bucket"};
+  (void)key;  // the target key is named again at completion, as in S3
+  return strfmt("upl-%08llu",
+                static_cast<unsigned long long>(
+                    upload_seq_.fetch_add(1, std::memory_order_relaxed)));
+}
+
+Status S3Gateway::upload_part(sim::SimAgent& agent, std::string_view bucket,
+                              std::string_view upload_id, std::uint32_t part_number,
+                              ByteView data) {
+  if (part_number == 0) return {Errc::invalid_argument, "parts are 1-based"};
+  blob::BlobClient client(*store_, &agent);
+  auto w = client.write(part_key(bucket, upload_id, part_number), 0, data);
+  return w.ok() ? Status::success() : Status{w.error()};
+}
+
+Status S3Gateway::complete_multipart_upload(sim::SimAgent& agent, std::string_view bucket,
+                                            std::string_view key,
+                                            std::string_view upload_id,
+                                            const std::vector<std::uint32_t>& parts) {
+  blob::BlobClient client(*store_, &agent);
+  // Gather the parts (their content is immutable once uploaded).
+  Bytes assembled;
+  for (std::uint32_t p : parts) {
+    auto size = client.size(part_key(bucket, upload_id, p));
+    if (!size.ok()) return {Errc::not_found, strfmt("part %u missing", p)};
+    auto data = client.read(part_key(bucket, upload_id, p), 0, size.value());
+    if (!data.ok()) return data.error();
+    append(assembled, as_view(data.value()));
+  }
+  // One transaction: final object + metadata appear, parts disappear.
+  const Bytes meta = encode_meta(etag_of(as_view(assembled)), {});
+  auto txn = client.begin_transaction();
+  if (client.exists(data_key(bucket, key))) {
+    txn.truncate(data_key(bucket, key), assembled.size());
+    txn.truncate(meta_key(bucket, key), meta.size());
+  }
+  txn.write(data_key(bucket, key), 0, as_view(assembled));
+  txn.write(meta_key(bucket, key), 0, as_view(meta));
+  for (std::uint32_t p : parts) txn.remove(part_key(bucket, upload_id, p));
+  return txn.commit();
+}
+
+Status S3Gateway::abort_multipart_upload(sim::SimAgent& agent, std::string_view bucket,
+                                         std::string_view upload_id) {
+  blob::BlobClient client(*store_, &agent);
+  auto parts = client.scan(strfmt("s3!%.*s!u!%.*s!", static_cast<int>(bucket.size()),
+                                  bucket.data(), static_cast<int>(upload_id.size()),
+                                  upload_id.data()));
+  if (!parts.ok()) return parts.error();
+  for (const auto& p : parts.value()) {
+    auto st = client.remove(p.key);
+    if (!st.ok() && st.code() != Errc::not_found) return st;
+  }
+  return Status::success();
+}
+
+}  // namespace bsc::gateway

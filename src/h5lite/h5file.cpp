@@ -1,0 +1,199 @@
+#include "h5lite/h5file.hpp"
+
+#include <algorithm>
+
+#include "rpc/wire.hpp"
+
+namespace bsc::h5lite {
+
+Result<H5File> H5File::create(mpiio::MpiIo& io, std::string_view path) {
+  auto fh = io.file_open(path, mpiio::AccessMode::rdwr_create());
+  if (!fh.ok()) return fh.error();
+  return H5File(io, fh.value(), /*writable=*/true);
+}
+
+Result<H5File> H5File::open(mpiio::MpiIo& io, std::string_view path) {
+  auto fh = io.file_open(path, mpiio::AccessMode::read_only());
+  if (!fh.ok()) return fh.error();
+  H5File file(io, fh.value(), /*writable=*/false);
+  auto super = io.read_at(fh.value(), 0, kSuperblockBytes);
+  if (!super.ok()) return super.error();
+  rpc::WireReader r(as_view(super.value()));
+  auto magic = r.get_u64();
+  auto index_off = r.get_u64();
+  auto index_len = r.get_u64();
+  if (!magic.ok() || magic.value() != kMagic || !index_off.ok() || !index_len.ok()) {
+    (void)io.file_close(fh.value());
+    return {Errc::io_error, "not an H5Lite file: " + std::string{path}};
+  }
+  auto index = io.read_at(fh.value(), index_off.value(), index_len.value());
+  if (!index.ok()) return index.error();
+  auto st = file.decode_index(as_view(index.value()));
+  if (!st.ok()) return st.error();
+  return file;
+}
+
+std::uint64_t H5File::data_end() const {
+  std::uint64_t end = kSuperblockBytes;
+  for (const auto& d : datasets_) {
+    end = std::max(end, d.file_offset + d.payload_bytes());
+  }
+  return end;
+}
+
+Result<std::size_t> H5File::create_dataset(std::string_view name, std::uint64_t rows,
+                                           std::uint64_t cols, std::uint64_t elem_bytes) {
+  if (!writable_ || closed_) return {Errc::read_only, "file not writable"};
+  if (rows == 0 || cols == 0 || elem_bytes == 0) {
+    return {Errc::invalid_argument, "empty dataset shape"};
+  }
+  if (dataset_by_name(name).ok()) return {Errc::already_exists, std::string{name}};
+  DatasetInfo d;
+  d.name = std::string{name};
+  d.rows = rows;
+  d.cols = cols;
+  d.elem_bytes = elem_bytes;
+  d.file_offset = data_end();  // deterministic: identical on every rank
+  datasets_.push_back(std::move(d));
+  return datasets_.size() - 1;
+}
+
+Status H5File::write_rows(std::size_t dataset, std::uint64_t row0, std::uint64_t nrows,
+                          ByteView data) {
+  if (!writable_ || closed_) return {Errc::read_only, "file not writable"};
+  if (dataset >= datasets_.size()) return {Errc::not_found, "dataset id"};
+  const DatasetInfo& d = datasets_[dataset];
+  if (row0 + nrows > d.rows) return {Errc::out_of_range, d.name};
+  if (data.size() != nrows * d.row_bytes()) {
+    return {Errc::invalid_argument, "data size != nrows * row_bytes"};
+  }
+  auto w = io_->write_at(fh_, d.file_offset + row0 * d.row_bytes(), data);
+  return w.ok() ? Status::success() : Status{w.error()};
+}
+
+Status H5File::write_rows_all(std::size_t dataset, std::uint64_t row0, std::uint64_t nrows,
+                              ByteView data) {
+  if (!writable_ || closed_) return {Errc::read_only, "file not writable"};
+  if (dataset >= datasets_.size()) return {Errc::not_found, "dataset id"};
+  const DatasetInfo& d = datasets_[dataset];
+  if (row0 + nrows > d.rows) return {Errc::out_of_range, d.name};
+  if (data.size() != nrows * d.row_bytes()) {
+    return {Errc::invalid_argument, "data size != nrows * row_bytes"};
+  }
+  auto w = io_->write_at_all(fh_, d.file_offset + row0 * d.row_bytes(), data);
+  return w.ok() ? Status::success() : Status{w.error()};
+}
+
+Result<Bytes> H5File::read_rows(std::size_t dataset, std::uint64_t row0,
+                                std::uint64_t nrows) {
+  if (dataset >= datasets_.size()) return {Errc::not_found, "dataset id"};
+  const DatasetInfo& d = datasets_[dataset];
+  if (row0 + nrows > d.rows) return {Errc::out_of_range, d.name};
+  return io_->read_at(fh_, d.file_offset + row0 * d.row_bytes(),
+                      nrows * d.row_bytes());
+}
+
+Status H5File::set_attribute(std::string_view name, std::string_view value) {
+  if (!writable_ || closed_) return {Errc::read_only, "file not writable"};
+  for (auto& [k, v] : attributes_) {
+    if (k == name) {
+      v = std::string{value};
+      return Status::success();
+    }
+  }
+  attributes_.emplace_back(std::string{name}, std::string{value});
+  return Status::success();
+}
+
+Result<std::string> H5File::attribute(std::string_view name) const {
+  for (const auto& [k, v] : attributes_) {
+    if (k == name) return v;
+  }
+  return {Errc::not_found, std::string{name}};
+}
+
+Result<std::size_t> H5File::dataset_by_name(std::string_view name) const {
+  for (std::size_t i = 0; i < datasets_.size(); ++i) {
+    if (datasets_[i].name == name) return i;
+  }
+  return {Errc::not_found, std::string{name}};
+}
+
+Bytes H5File::encode_index() const {
+  rpc::WireWriter w;
+  w.put_u32(static_cast<std::uint32_t>(datasets_.size()));
+  for (const auto& d : datasets_) {
+    w.put_string(d.name);
+    w.put_u64(d.rows);
+    w.put_u64(d.cols);
+    w.put_u64(d.elem_bytes);
+    w.put_u64(d.file_offset);
+  }
+  w.put_u32(static_cast<std::uint32_t>(attributes_.size()));
+  for (const auto& [k, v] : attributes_) {
+    w.put_string(k);
+    w.put_string(v);
+  }
+  return std::move(w).take();
+}
+
+Status H5File::decode_index(ByteView data) {
+  rpc::WireReader r(data);
+  auto nd = r.get_u32();
+  if (!nd.ok()) return {Errc::io_error, "corrupt index"};
+  datasets_.clear();
+  for (std::uint32_t i = 0; i < nd.value(); ++i) {
+    DatasetInfo d;
+    auto name = r.get_string();
+    auto rows = r.get_u64();
+    auto cols = r.get_u64();
+    auto elem = r.get_u64();
+    auto off = r.get_u64();
+    if (!name.ok() || !rows.ok() || !cols.ok() || !elem.ok() || !off.ok()) {
+      return {Errc::io_error, "corrupt dataset record"};
+    }
+    d.name = std::move(name).take();
+    d.rows = rows.value();
+    d.cols = cols.value();
+    d.elem_bytes = elem.value();
+    d.file_offset = off.value();
+    datasets_.push_back(std::move(d));
+  }
+  auto na = r.get_u32();
+  if (!na.ok()) return {Errc::io_error, "corrupt attribute count"};
+  attributes_.clear();
+  for (std::uint32_t i = 0; i < na.value(); ++i) {
+    auto k = r.get_string();
+    auto v = r.get_string();
+    if (!k.ok() || !v.ok()) return {Errc::io_error, "corrupt attribute"};
+    attributes_.emplace_back(std::move(k).take(), std::move(v).take());
+  }
+  return Status::success();
+}
+
+Status H5File::close() {
+  if (closed_) return {Errc::closed, "already closed"};
+  closed_ = true;
+  if (writable_) {
+    // Rank 0 persists index then superblock (ordering matters: a reader
+    // that sees the new superblock must find the index it points to).
+    const std::uint64_t index_off = data_end();
+    if (io_->rank() == 0) {
+      const Bytes index = encode_index();
+      auto w = io_->write_at(fh_, index_off, as_view(index));
+      if (!w.ok()) return w.error();
+      rpc::WireWriter sb;
+      sb.put_u64(kMagic);
+      sb.put_u64(index_off);
+      sb.put_u64(index.size());
+      sb.put_u64(0);  // reserved
+      auto w2 = io_->write_at(fh_, 0, as_view(sb.buffer()));
+      if (!w2.ok()) return w2.error();
+    }
+    auto st = io_->file_sync(fh_);
+    if (!st.ok()) return st;
+  }
+  return io_->file_close(fh_);
+}
+
+}  // namespace bsc::h5lite

@@ -1,0 +1,98 @@
+// H5Lite — a minimal HDF5-style container format on top of the MPI-IO
+// library (src/mpiio), standing in for the HDF5/NetCDF/ADIOS layer of the
+// common HPC I/O stack (§II-A: "most HPC applications do not talk to the
+// file system directly ... HDF5 or ADIOS").
+//
+// One file holds named 2-D datasets plus string attributes:
+//
+//   [superblock: magic, version, index_offset, index_bytes]
+//   [dataset 0 payload][dataset 1 payload]...
+//   [index: datasets {name, rows, cols, elem_bytes, offset} + attributes]
+//
+// Dataset payloads are row-major and contiguous, so a rank's row range maps
+// to one contiguous byte range — the access pattern collective I/O loves.
+//
+// Collective-call discipline (as in real parallel HDF5): create/open,
+// create_dataset, set_attribute and close are collective — every rank of
+// the communicator calls them in the same order with the same arguments;
+// each rank deterministically derives the identical layout, so no metadata
+// traffic is needed until close, when rank 0 persists index + superblock.
+// write_rows/read_rows are independent; write_rows_all is collective.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.hpp"
+#include "mpiio/mpi_file.hpp"
+
+namespace bsc::h5lite {
+
+struct DatasetInfo {
+  std::string name;
+  std::uint64_t rows = 0;
+  std::uint64_t cols = 0;
+  std::uint64_t elem_bytes = 0;
+  std::uint64_t file_offset = 0;
+
+  [[nodiscard]] std::uint64_t row_bytes() const noexcept { return cols * elem_bytes; }
+  [[nodiscard]] std::uint64_t payload_bytes() const noexcept { return rows * row_bytes(); }
+};
+
+class H5File {
+ public:
+  /// Collective create (truncates any previous content logically: the new
+  /// index supersedes it).
+  static Result<H5File> create(mpiio::MpiIo& io, std::string_view path);
+  /// Collective open for reading: loads superblock + index on every rank.
+  static Result<H5File> open(mpiio::MpiIo& io, std::string_view path);
+
+  /// Collective: defines a dataset and allocates its contiguous region.
+  /// Returns the dataset id used by the I/O calls.
+  Result<std::size_t> create_dataset(std::string_view name, std::uint64_t rows,
+                                     std::uint64_t cols, std::uint64_t elem_bytes);
+
+  /// Independent write of rows [row0, row0+nrows); data must be exactly
+  /// nrows * row_bytes long.
+  Status write_rows(std::size_t dataset, std::uint64_t row0, std::uint64_t nrows,
+                    ByteView data);
+  /// Collective variant: two-phase aggregation via MPI-IO.
+  Status write_rows_all(std::size_t dataset, std::uint64_t row0, std::uint64_t nrows,
+                        ByteView data);
+
+  Result<Bytes> read_rows(std::size_t dataset, std::uint64_t row0, std::uint64_t nrows);
+
+  /// Collective: file-level string attribute (persisted in the index).
+  Status set_attribute(std::string_view name, std::string_view value);
+  [[nodiscard]] Result<std::string> attribute(std::string_view name) const;
+
+  [[nodiscard]] const std::vector<DatasetInfo>& datasets() const noexcept {
+    return datasets_;
+  }
+  [[nodiscard]] Result<std::size_t> dataset_by_name(std::string_view name) const;
+
+  /// Collective close: rank 0 writes index + superblock; all ranks sync.
+  Status close();
+
+ private:
+  static constexpr std::uint64_t kMagic = 0x4835'4C49'5445'0001ULL;  // "H5LITE\1"
+  static constexpr std::uint64_t kSuperblockBytes = 32;
+
+  H5File(mpiio::MpiIo& io, vfs::FileHandle fh, bool writable)
+      : io_(&io), fh_(fh), writable_(writable) {}
+
+  [[nodiscard]] Bytes encode_index() const;
+  Status decode_index(ByteView data);
+  [[nodiscard]] std::uint64_t data_end() const;
+
+  mpiio::MpiIo* io_;
+  vfs::FileHandle fh_ = vfs::kInvalidHandle;
+  bool writable_ = false;
+  bool closed_ = false;
+  std::vector<DatasetInfo> datasets_;
+  std::vector<std::pair<std::string, std::string>> attributes_;
+};
+
+}  // namespace bsc::h5lite

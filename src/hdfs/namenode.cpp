@@ -1,0 +1,313 @@
+#include "hdfs/namenode.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "common/strings.hpp"
+
+namespace bsc::hdfs {
+
+Namenode::Namenode(sim::SimNode& node, std::uint32_t num_datanodes,
+                   std::uint32_t replication, std::uint64_t block_bytes,
+                   NamenodeCosts costs)
+    : node_(&node),
+      num_datanodes_(num_datanodes),
+      replication_(std::min(replication ? replication : 1, num_datanodes)),
+      block_bytes_(block_bytes ? block_bytes : 1),
+      costs_(costs) {
+  root_.type = vfs::FileType::directory;
+  root_.mode = 0777;
+}
+
+Namenode::Node* Namenode::walk_locked(std::string_view path, std::uint32_t* comps) {
+  Node* cur = &root_;
+  *comps = 0;
+  for (const auto& c : path_components(path)) {
+    if (!cur->is_dir()) return nullptr;
+    auto it = cur->children.find(c);
+    if (it == cur->children.end()) return nullptr;
+    cur = &it->second;
+    ++*comps;
+  }
+  return cur;
+}
+
+Result<std::pair<Namenode::Node*, std::string>> Namenode::walk_parent_locked(
+    std::string_view path, std::uint32_t* comps) {
+  const std::string norm = normalize_path(path);
+  if (norm == "/") return {Errc::invalid_argument, "root"};
+  Node* parent = walk_locked(parent_path(norm), comps);
+  if (!parent) return {Errc::not_found, parent_path(norm)};
+  if (!parent->is_dir()) return {Errc::not_a_directory, parent_path(norm)};
+  return std::pair<Node*, std::string>{parent, base_name(norm)};
+}
+
+std::vector<std::uint32_t> Namenode::pick_datanodes_locked() {
+  // Round-robin placement: deterministic and balanced, standing in for
+  // HDFS's rack-aware random placement.
+  std::vector<std::uint32_t> out;
+  out.reserve(replication_);
+  for (std::uint32_t i = 0; i < replication_; ++i) {
+    out.push_back((placement_cursor_ + i) % num_datanodes_);
+  }
+  placement_cursor_ = (placement_cursor_ + 1) % num_datanodes_;
+  return out;
+}
+
+Status Namenode::create_file(std::string_view path, vfs::Mode mode, std::uint32_t uid,
+                             std::uint32_t gid, SimMicros* service_us) {
+  std::unique_lock lk(mu_);
+  std::uint32_t comps = 0;
+  auto p = walk_parent_locked(path, &comps);
+  *service_us = lookup_cost(comps) + costs_.editlog_us;
+  if (!p.ok()) return p.error();
+  auto [parent, name] = p.value();
+  if (parent->children.count(name)) return {Errc::already_exists, std::string{path}};
+  Node f;
+  f.type = vfs::FileType::regular;
+  f.mode = mode;
+  f.uid = uid;
+  f.gid = gid;
+  f.under_construction = true;
+  parent->children.emplace(name, std::move(f));
+  return Status::success();
+}
+
+Status Namenode::reopen_for_append(std::string_view path, std::uint32_t uid,
+                                   std::uint32_t gid, SimMicros* service_us) {
+  (void)uid;
+  (void)gid;
+  std::unique_lock lk(mu_);
+  std::uint32_t comps = 0;
+  Node* f = walk_locked(path, &comps);
+  *service_us = lookup_cost(comps) + costs_.editlog_us;
+  if (!f) return {Errc::not_found, std::string{path}};
+  if (f->is_dir()) return {Errc::is_a_directory, std::string{path}};
+  if (f->under_construction) return {Errc::busy, "already under construction"};
+  f->under_construction = true;
+  return Status::success();
+}
+
+Result<BlockInfo> Namenode::allocate_block(std::string_view path, SimMicros* service_us) {
+  std::unique_lock lk(mu_);
+  std::uint32_t comps = 0;
+  Node* f = walk_locked(path, &comps);
+  *service_us = lookup_cost(comps) + costs_.editlog_us;
+  if (!f) return {Errc::not_found, std::string{path}};
+  if (!f->under_construction) return {Errc::read_only, "file is sealed"};
+  BlockInfo b;
+  b.id = next_block_++;
+  b.datanodes = pick_datanodes_locked();
+  f->blocks.push_back(b);
+  return b;
+}
+
+Status Namenode::extend_last_block(std::string_view path, std::uint64_t bytes,
+                                   SimMicros* service_us) {
+  std::unique_lock lk(mu_);
+  std::uint32_t comps = 0;
+  Node* f = walk_locked(path, &comps);
+  *service_us = costs_.cpu_op_us;
+  if (!f) return {Errc::not_found, std::string{path}};
+  if (f->blocks.empty()) return {Errc::io_error, "no block to extend"};
+  f->blocks.back().length += bytes;
+  f->size += bytes;
+  return Status::success();
+}
+
+Status Namenode::complete_file(std::string_view path, SimMicros* service_us) {
+  std::unique_lock lk(mu_);
+  std::uint32_t comps = 0;
+  Node* f = walk_locked(path, &comps);
+  *service_us = lookup_cost(comps) + costs_.editlog_us;
+  if (!f) return {Errc::not_found, std::string{path}};
+  f->under_construction = false;
+  return Status::success();
+}
+
+Result<std::vector<BlockInfo>> Namenode::block_locations(std::string_view path,
+                                                         std::uint32_t uid,
+                                                         std::uint32_t gid,
+                                                         SimMicros* service_us) {
+  (void)uid;
+  (void)gid;
+  std::shared_lock lk(mu_);
+  std::uint32_t comps = 0;
+  Node* f = walk_locked(path, &comps);
+  *service_us = lookup_cost(comps);
+  if (!f) return {Errc::not_found, std::string{path}};
+  if (f->is_dir()) return {Errc::is_a_directory, std::string{path}};
+  return f->blocks;
+}
+
+Result<vfs::FileInfo> Namenode::stat(std::string_view path, std::uint32_t uid,
+                                     std::uint32_t gid, SimMicros* service_us) {
+  (void)uid;
+  (void)gid;
+  std::shared_lock lk(mu_);
+  std::uint32_t comps = 0;
+  Node* f = walk_locked(path, &comps);
+  *service_us = lookup_cost(comps);
+  if (!f) return {Errc::not_found, std::string{path}};
+  return vfs::FileInfo{normalize_path(path), f->type, f->size, f->mode, f->uid, f->gid, 0};
+}
+
+Status Namenode::mkdir(std::string_view path, vfs::Mode mode, std::uint32_t uid,
+                       std::uint32_t gid, SimMicros* service_us) {
+  std::unique_lock lk(mu_);
+  std::uint32_t comps = 0;
+  auto p = walk_parent_locked(path, &comps);
+  *service_us = lookup_cost(comps) + costs_.editlog_us;
+  if (!p.ok()) return p.error();
+  auto [parent, name] = p.value();
+  if (parent->children.count(name)) return {Errc::already_exists, std::string{path}};
+  Node d;
+  d.type = vfs::FileType::directory;
+  d.mode = mode;
+  d.uid = uid;
+  d.gid = gid;
+  parent->children.emplace(name, std::move(d));
+  return Status::success();
+}
+
+Status Namenode::rmdir(std::string_view path, std::uint32_t uid, std::uint32_t gid,
+                       SimMicros* service_us) {
+  (void)uid;
+  (void)gid;
+  std::unique_lock lk(mu_);
+  std::uint32_t comps = 0;
+  auto p = walk_parent_locked(path, &comps);
+  *service_us = lookup_cost(comps) + costs_.editlog_us;
+  if (!p.ok()) return p.error();
+  auto [parent, name] = p.value();
+  auto it = parent->children.find(name);
+  if (it == parent->children.end()) return {Errc::not_found, std::string{path}};
+  if (!it->second.is_dir()) return {Errc::not_a_directory, std::string{path}};
+  if (!it->second.children.empty()) return {Errc::not_empty, std::string{path}};
+  parent->children.erase(it);
+  return Status::success();
+}
+
+Result<std::vector<vfs::DirEntry>> Namenode::readdir(std::string_view path,
+                                                     std::uint32_t uid, std::uint32_t gid,
+                                                     SimMicros* service_us) {
+  (void)uid;
+  (void)gid;
+  std::shared_lock lk(mu_);
+  std::uint32_t comps = 0;
+  Node* d = walk_locked(path, &comps);
+  if (!d) {
+    *service_us = lookup_cost(comps);
+    return {Errc::not_found, std::string{path}};
+  }
+  if (!d->is_dir()) {
+    *service_us = lookup_cost(comps);
+    return {Errc::not_a_directory, std::string{path}};
+  }
+  std::vector<vfs::DirEntry> out;
+  out.reserve(d->children.size());
+  for (const auto& [name, child] : d->children) out.push_back({name, child.type});
+  *service_us = lookup_cost(comps) + static_cast<SimMicros>(out.size());
+  return out;
+}
+
+Result<std::vector<BlockInfo>> Namenode::unlink(std::string_view path, std::uint32_t uid,
+                                                std::uint32_t gid, SimMicros* service_us) {
+  (void)uid;
+  (void)gid;
+  std::unique_lock lk(mu_);
+  std::uint32_t comps = 0;
+  auto p = walk_parent_locked(path, &comps);
+  *service_us = lookup_cost(comps) + costs_.editlog_us;
+  if (!p.ok()) return p.error();
+  auto [parent, name] = p.value();
+  auto it = parent->children.find(name);
+  if (it == parent->children.end()) return {Errc::not_found, std::string{path}};
+  if (it->second.is_dir()) return {Errc::is_a_directory, std::string{path}};
+  auto blocks = std::move(it->second.blocks);
+  parent->children.erase(it);
+  return blocks;
+}
+
+Status Namenode::rename(std::string_view from, std::string_view to, std::uint32_t uid,
+                        std::uint32_t gid, SimMicros* service_us) {
+  (void)uid;
+  (void)gid;
+  std::unique_lock lk(mu_);
+  std::uint32_t comps_f = 0;
+  std::uint32_t comps_t = 0;
+  auto pf = walk_parent_locked(from, &comps_f);
+  if (!pf.ok()) {
+    *service_us = lookup_cost(comps_f) + costs_.editlog_us;
+    return pf.error();
+  }
+  auto pt = walk_parent_locked(to, &comps_t);
+  *service_us = lookup_cost(comps_f + comps_t) + costs_.editlog_us;
+  if (!pt.ok()) return pt.error();
+  auto [sp, sname] = pf.value();
+  auto [dp, dname] = pt.value();
+  auto sit = sp->children.find(sname);
+  if (sit == sp->children.end()) return {Errc::not_found, std::string{from}};
+  // HDFS rename fails if the destination exists (no implicit replace).
+  if (dp->children.count(dname)) return {Errc::already_exists, std::string{to}};
+  Node moving = std::move(sit->second);
+  sp->children.erase(sit);
+  dp->children.emplace(dname, std::move(moving));
+  return Status::success();
+}
+
+Status Namenode::chmod(std::string_view path, vfs::Mode mode, std::uint32_t uid,
+                       std::uint32_t gid, SimMicros* service_us) {
+  (void)uid;
+  (void)gid;
+  std::unique_lock lk(mu_);
+  std::uint32_t comps = 0;
+  Node* f = walk_locked(path, &comps);
+  *service_us = lookup_cost(comps) + costs_.editlog_us;
+  if (!f) return {Errc::not_found, std::string{path}};
+  f->mode = mode & 0777;
+  return Status::success();
+}
+
+Result<std::string> Namenode::getxattr(std::string_view path, std::string_view name,
+                                       SimMicros* service_us) {
+  std::shared_lock lk(mu_);
+  std::uint32_t comps = 0;
+  Node* f = walk_locked(path, &comps);
+  *service_us = lookup_cost(comps);
+  if (!f) return {Errc::not_found, std::string{path}};
+  auto it = f->xattrs.find(std::string{name});
+  if (it == f->xattrs.end()) return {Errc::not_found, std::string{name}};
+  return it->second;
+}
+
+Status Namenode::setxattr(std::string_view path, std::string_view name,
+                          std::string_view value, SimMicros* service_us) {
+  std::unique_lock lk(mu_);
+  std::uint32_t comps = 0;
+  Node* f = walk_locked(path, &comps);
+  *service_us = lookup_cost(comps) + costs_.editlog_us;
+  if (!f) return {Errc::not_found, std::string{path}};
+  f->xattrs[std::string{name}] = std::string{value};
+  return Status::success();
+}
+
+std::uint64_t Namenode::file_count() {
+  std::shared_lock lk(mu_);
+  std::uint64_t n = 0;
+  std::vector<const Node*> stack{&root_};
+  while (!stack.empty()) {
+    const Node* cur = stack.back();
+    stack.pop_back();
+    for (const auto& [name, child] : cur->children) {
+      if (child.is_dir()) {
+        stack.push_back(&child);
+      } else {
+        ++n;
+      }
+    }
+  }
+  return n;
+}
+
+}  // namespace bsc::hdfs

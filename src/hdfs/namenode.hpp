@@ -1,0 +1,124 @@
+// HDFS-style namenode: hierarchical namespace + block map.
+//
+// Faithful to the design the paper discusses (§II-B): a single metadata
+// service implementing *part* of POSIX — directories and permissions exist,
+// but concurrent writes are excluded by design (write-once-read-many), and
+// random in-place updates are rejected at the protocol level.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.hpp"
+#include "sim/node.hpp"
+#include "vfs/file_system.hpp"
+
+namespace bsc::hdfs {
+
+using BlockId = std::uint64_t;
+
+struct BlockInfo {
+  BlockId id = 0;
+  std::uint64_t length = 0;
+  std::vector<std::uint32_t> datanodes;  ///< replica datanode indices
+};
+
+struct NamenodeCosts {
+  SimMicros cpu_op_us = 5;
+  SimMicros per_component_us = 5;
+  SimMicros editlog_us = 50;  ///< edit-log append for namespace mutations
+};
+
+class Namenode {
+ public:
+  Namenode(sim::SimNode& node, std::uint32_t num_datanodes, std::uint32_t replication,
+           std::uint64_t block_bytes, NamenodeCosts costs = {});
+
+  [[nodiscard]] sim::SimNode& node() noexcept { return *node_; }
+  [[nodiscard]] std::uint64_t block_bytes() const noexcept { return block_bytes_; }
+  [[nodiscard]] std::uint32_t replication() const noexcept { return replication_; }
+
+  /// Create a file entry (fails if it exists — WORM). The file is "under
+  /// construction" until complete_file.
+  Status create_file(std::string_view path, vfs::Mode mode, std::uint32_t uid,
+                     std::uint32_t gid, SimMicros* service_us);
+
+  /// Re-open a sealed file for append (resumes its last block).
+  Status reopen_for_append(std::string_view path, std::uint32_t uid, std::uint32_t gid,
+                           SimMicros* service_us);
+
+  /// Allocate the next block of an under-construction file; the namenode
+  /// picks the replica datanodes.
+  Result<BlockInfo> allocate_block(std::string_view path, SimMicros* service_us);
+
+  /// Record bytes appended to the file's last block.
+  Status extend_last_block(std::string_view path, std::uint64_t bytes,
+                           SimMicros* service_us);
+
+  /// Seal an under-construction file.
+  Status complete_file(std::string_view path, SimMicros* service_us);
+
+  /// Block locations covering the whole file (HDFS getBlockLocations).
+  Result<std::vector<BlockInfo>> block_locations(std::string_view path, std::uint32_t uid,
+                                                 std::uint32_t gid, SimMicros* service_us);
+
+  Result<vfs::FileInfo> stat(std::string_view path, std::uint32_t uid, std::uint32_t gid,
+                             SimMicros* service_us);
+  Status mkdir(std::string_view path, vfs::Mode mode, std::uint32_t uid, std::uint32_t gid,
+               SimMicros* service_us);
+  Status rmdir(std::string_view path, std::uint32_t uid, std::uint32_t gid,
+               SimMicros* service_us);
+  Result<std::vector<vfs::DirEntry>> readdir(std::string_view path, std::uint32_t uid,
+                                             std::uint32_t gid, SimMicros* service_us);
+  /// Unlink returns the file's blocks so the client layer can release them.
+  Result<std::vector<BlockInfo>> unlink(std::string_view path, std::uint32_t uid,
+                                        std::uint32_t gid, SimMicros* service_us);
+  Status rename(std::string_view from, std::string_view to, std::uint32_t uid,
+                std::uint32_t gid, SimMicros* service_us);
+  Status chmod(std::string_view path, vfs::Mode mode, std::uint32_t uid, std::uint32_t gid,
+               SimMicros* service_us);
+  Result<std::string> getxattr(std::string_view path, std::string_view name,
+                               SimMicros* service_us);
+  Status setxattr(std::string_view path, std::string_view name, std::string_view value,
+                  SimMicros* service_us);
+
+  [[nodiscard]] std::uint64_t file_count();
+
+ private:
+  struct Node {
+    vfs::FileType type = vfs::FileType::regular;
+    vfs::Mode mode = vfs::kDefaultFileMode;
+    std::uint32_t uid = 0;
+    std::uint32_t gid = 0;
+    bool under_construction = false;
+    std::uint64_t size = 0;
+    std::vector<BlockInfo> blocks;
+    std::map<std::string, Node> children;  ///< directories only
+    std::map<std::string, std::string> xattrs;
+    [[nodiscard]] bool is_dir() const noexcept { return type == vfs::FileType::directory; }
+  };
+
+  Node* walk_locked(std::string_view path, std::uint32_t* comps);
+  Result<std::pair<Node*, std::string>> walk_parent_locked(std::string_view path,
+                                                           std::uint32_t* comps);
+  [[nodiscard]] SimMicros lookup_cost(std::uint32_t comps) const noexcept {
+    return costs_.cpu_op_us + static_cast<SimMicros>(comps) * costs_.per_component_us;
+  }
+  std::vector<std::uint32_t> pick_datanodes_locked();
+
+  sim::SimNode* node_;
+  std::uint32_t num_datanodes_;
+  std::uint32_t replication_;
+  std::uint64_t block_bytes_;
+  NamenodeCosts costs_;
+  std::shared_mutex mu_;
+  Node root_;
+  BlockId next_block_ = 1;
+  std::uint32_t placement_cursor_ = 0;
+};
+
+}  // namespace bsc::hdfs

@@ -1,0 +1,95 @@
+// TimeSeriesStore — an append-oriented time-series database on blobs (the
+// second abstraction the paper's §I motivates).
+//
+// Layout:
+//   * points are fixed 16-byte records (timestamp, value) appended in time
+//     order into segment blobs "ts!<store>!<series>!seg-NNNNNN", each
+//     holding at most `points_per_segment` records;
+//   * a small descriptor blob "ts!<store>!<series>" tracks the segment
+//     count and the fill of the open segment; every append commits the
+//     point and the descriptor update in one Týr transaction, so a reader
+//     never observes a descriptor pointing past real data;
+//   * range queries binary-search the ordered segments and scan only the
+//     overlapping ones.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "blob/client.hpp"
+#include "common/result.hpp"
+
+namespace bsc::kvstore {
+
+struct TsPoint {
+  std::int64_t timestamp = 0;  ///< caller-defined units, must be non-decreasing
+  double value = 0.0;
+};
+
+struct TsConfig {
+  std::uint32_t points_per_segment = 1024;
+  std::uint32_t max_txn_retries = 64;
+};
+
+struct TsAggregate {
+  std::uint64_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+};
+
+class TimeSeriesStore {
+ public:
+  TimeSeriesStore(blob::BlobStore& store, std::string name, TsConfig cfg = {});
+
+  /// Append one point; timestamps must be non-decreasing per series.
+  Status append(sim::SimAgent& agent, std::string_view series, TsPoint point);
+
+  /// Append a batch (one transaction per touched segment boundary).
+  Status append_batch(sim::SimAgent& agent, std::string_view series,
+                      const std::vector<TsPoint>& points);
+
+  /// All points with t0 <= timestamp <= t1, in time order.
+  Result<std::vector<TsPoint>> query(sim::SimAgent& agent, std::string_view series,
+                                     std::int64_t t0, std::int64_t t1);
+
+  /// min/max/mean over a range without materializing every point upstream.
+  Result<TsAggregate> aggregate(sim::SimAgent& agent, std::string_view series,
+                                std::int64_t t0, std::int64_t t1);
+
+  [[nodiscard]] Result<std::uint64_t> point_count(sim::SimAgent& agent,
+                                                  std::string_view series);
+
+  /// Series names present in the store (descriptor scan).
+  Result<std::vector<std::string>> list_series(sim::SimAgent& agent);
+
+  [[nodiscard]] const TsConfig& config() const noexcept { return cfg_; }
+
+ private:
+  struct Descriptor {
+    std::uint64_t segments = 0;   ///< sealed + open
+    std::uint64_t last_fill = 0;  ///< points in the open (last) segment
+    std::int64_t last_timestamp = 0;
+  };
+  static constexpr std::uint64_t kPointBytes = 16;
+
+  [[nodiscard]] std::string desc_key(std::string_view series) const;
+  [[nodiscard]] std::string seg_key(std::string_view series, std::uint64_t seg) const;
+
+  Result<Descriptor> load_descriptor(blob::BlobClient& client, std::string_view series,
+                                     blob::Version* version);
+  [[nodiscard]] static Bytes encode_descriptor(const Descriptor& d);
+  [[nodiscard]] static Bytes encode_points(const std::vector<TsPoint>& pts,
+                                           std::size_t from, std::size_t n);
+  Result<std::vector<TsPoint>> read_segment(blob::BlobClient& client,
+                                            std::string_view series, std::uint64_t seg,
+                                            std::uint64_t fill);
+
+  blob::BlobStore* store_;
+  std::string name_;
+  TsConfig cfg_;
+};
+
+}  // namespace bsc::kvstore

@@ -1,0 +1,88 @@
+// MPI-IO-style file access library (the stack HPC applications actually
+// program against — §II-A). Key properties the paper leans on:
+//
+//   * the API exposes *only* file data operations — no directory listings,
+//     no permissions, no hierarchy; exactly the surface a blob store covers;
+//   * semantics are relaxed: a write is only guaranteed visible to other
+//     ranks after sync/close (our backends may be stronger; the library
+//     never *requires* more);
+//   * collective I/O (two-phase): ranks exchange pieces and an aggregator
+//     issues large contiguous writes — fewer, bigger storage calls.
+//
+// One MpiIo facade per rank; all ranks of a communicator share a
+// CollectiveContext created by MpiIo::make_shared_state.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/result.hpp"
+#include "mpiio/communicator.hpp"
+#include "vfs/file_system.hpp"
+
+namespace bsc::mpiio {
+
+/// MPI_MODE_* subset.
+struct AccessMode {
+  bool rdonly = false;
+  bool wronly = false;
+  bool rdwr = false;
+  bool create = false;
+  bool excl = false;
+  bool append = false;
+
+  static AccessMode read_only() { return {.rdonly = true}; }
+  static AccessMode write_create() { return {.wronly = true, .create = true}; }
+  static AccessMode rdwr_create() { return {.rdwr = true, .create = true}; }
+};
+
+/// Per-rank MPI-IO facade.
+class MpiIo {
+ public:
+  MpiIo(Communicator& comm, std::uint32_t rank, vfs::FileSystem& fs, vfs::IoCtx ctx)
+      : comm_(&comm), rank_(rank), fs_(&fs), ctx_(ctx) {}
+
+  [[nodiscard]] std::uint32_t rank() const noexcept { return rank_; }
+  [[nodiscard]] Communicator& comm() noexcept { return *comm_; }
+  [[nodiscard]] vfs::IoCtx& ctx() noexcept { return ctx_; }
+
+  /// MPI_File_open — collective: all ranks call, each gets its own handle.
+  Result<vfs::FileHandle> file_open(std::string_view path, AccessMode amode);
+  /// MPI_File_close — collective.
+  Status file_close(vfs::FileHandle fh);
+  /// MPI_File_sync — collective; after it, all prior writes are visible.
+  Status file_sync(vfs::FileHandle fh);
+
+  /// MPI_File_set_view (displacement only; etype is bytes).
+  void set_view(vfs::FileHandle fh, std::uint64_t displacement) {
+    displacement_ = displacement;
+    viewed_handle_ = fh;
+  }
+
+  /// Independent I/O.
+  Result<Bytes> read_at(vfs::FileHandle fh, std::uint64_t offset, std::uint64_t len);
+  Result<std::uint64_t> write_at(vfs::FileHandle fh, std::uint64_t offset, ByteView data);
+
+  /// Collective I/O (two-phase): all ranks call with their own piece;
+  /// rank 0 aggregates contiguous runs and issues the storage writes.
+  Result<std::uint64_t> write_at_all(vfs::FileHandle fh, std::uint64_t offset,
+                                     ByteView data);
+  /// Collective read: all ranks call; reads stay independent (ROMIO skips
+  /// aggregation when ranges are disjoint) but ranks synchronize.
+  Result<Bytes> read_at_all(vfs::FileHandle fh, std::uint64_t offset, std::uint64_t len);
+
+ private:
+  [[nodiscard]] std::uint64_t viewed(vfs::FileHandle fh, std::uint64_t offset) const {
+    return offset + (fh == viewed_handle_ ? displacement_ : 0);
+  }
+
+  Communicator* comm_;
+  std::uint32_t rank_;
+  vfs::FileSystem* fs_;
+  vfs::IoCtx ctx_;
+  std::uint64_t displacement_ = 0;
+  vfs::FileHandle viewed_handle_ = vfs::kInvalidHandle;
+};
+
+}  // namespace bsc::mpiio

@@ -1,0 +1,51 @@
+// Inode model of the POSIX-compliant parallel file system.
+//
+// This is the machinery the paper argues most applications pay for without
+// using: a hierarchical namespace (directory inodes with child maps), full
+// ownership/permission metadata, and extended attributes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "vfs/file_system.hpp"
+
+namespace bsc::pfs {
+
+using InodeId = std::uint64_t;
+inline constexpr InodeId kRootInode = 1;
+
+struct Inode {
+  InodeId id = 0;
+  vfs::FileType type = vfs::FileType::regular;
+  vfs::Mode mode = vfs::kDefaultFileMode;
+  std::uint32_t uid = 0;
+  std::uint32_t gid = 0;
+  std::uint64_t size = 0;            ///< regular files only
+  std::uint32_t nlink = 1;
+  std::uint32_t open_handles = 0;    ///< unlinked files persist while open
+  bool unlinked = false;
+  std::map<std::string, InodeId> children;          ///< directories only
+  std::map<std::string, std::string> xattrs;
+
+  [[nodiscard]] bool is_dir() const noexcept { return type == vfs::FileType::directory; }
+};
+
+/// Classic POSIX permission evaluation: owner / group / other bit triplet.
+/// `want` is a bitmask of 4 (r), 2 (w), 1 (x). uid 0 bypasses checks (root).
+[[nodiscard]] inline bool permits(const Inode& ino, std::uint32_t uid, std::uint32_t gid,
+                                  std::uint32_t want) noexcept {
+  if (uid == 0) return true;
+  std::uint32_t bits = 0;
+  if (uid == ino.uid) {
+    bits = (ino.mode >> 6) & 7;
+  } else if (gid == ino.gid) {
+    bits = (ino.mode >> 3) & 7;
+  } else {
+    bits = ino.mode & 7;
+  }
+  return (bits & want) == want;
+}
+
+}  // namespace bsc::pfs

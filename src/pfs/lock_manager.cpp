@@ -1,0 +1,74 @@
+#include "pfs/lock_manager.hpp"
+
+#include <algorithm>
+
+namespace bsc::pfs {
+
+LockManager::InodeLocks& LockManager::table_for(InodeId ino) {
+  std::scoped_lock lk(mu_);
+  auto& slot = locks_[ino];
+  if (!slot) slot = std::make_unique<InodeLocks>();
+  return *slot;
+}
+
+void LockManager::slots_of(std::uint64_t offset, std::uint64_t len, std::uint32_t* first,
+                           std::uint32_t* last) const noexcept {
+  const std::uint64_t lo = offset / granularity_;
+  const std::uint64_t hi = len == 0 ? lo : (offset + len - 1) / granularity_;
+  if (hi - lo + 1 >= kSlotsPerInode) {
+    *first = 0;
+    *last = kSlotsPerInode - 1;
+    return;
+  }
+  *first = static_cast<std::uint32_t>(lo % kSlotsPerInode);
+  *last = static_cast<std::uint32_t>(hi % kSlotsPerInode);
+}
+
+SimMicros LockManager::acquire_exclusive(InodeId ino, std::uint64_t offset,
+                                         std::uint64_t len, SimMicros arrival,
+                                         SimMicros hold_us) {
+  exclusive_grants_.fetch_add(1, std::memory_order_relaxed);
+  InodeLocks& t = table_for(ino);
+  std::uint32_t first = 0;
+  std::uint32_t last = 0;
+  slots_of(offset, len, &first, &last);
+  // Reserve every covered slot: the grant time is when all slots are free,
+  // and each slot stays busy until grant + hold. Slots are reserved in
+  // ascending index order by every caller, so concurrent reservations
+  // converge (no deadlock; at worst an earlier caller re-waits).
+  SimMicros grant = arrival;
+  for (std::uint32_t s = first;; s = (s + 1) % kSlotsPerInode) {
+    SimMicros busy = t.writer_busy_until[s].load(std::memory_order_relaxed);
+    SimMicros target = 0;
+    do {
+      grant = std::max(grant, busy);
+      target = grant + hold_us;
+    } while (!t.writer_busy_until[s].compare_exchange_weak(busy, target,
+                                                           std::memory_order_acq_rel,
+                                                           std::memory_order_relaxed));
+    if (s == last) break;
+  }
+  return grant;
+}
+
+SimMicros LockManager::acquire_shared(InodeId ino, std::uint64_t offset, std::uint64_t len,
+                                      SimMicros arrival) {
+  shared_grants_.fetch_add(1, std::memory_order_relaxed);
+  InodeLocks& t = table_for(ino);
+  std::uint32_t first = 0;
+  std::uint32_t last = 0;
+  slots_of(offset, len, &first, &last);
+  SimMicros grant = arrival;
+  for (std::uint32_t s = first;; s = (s + 1) % kSlotsPerInode) {
+    grant = std::max(grant, t.writer_busy_until[s].load(std::memory_order_relaxed));
+    if (s == last) break;
+  }
+  return grant;
+}
+
+void LockManager::forget(InodeId ino) {
+  std::scoped_lock lk(mu_);
+  locks_.erase(ino);
+}
+
+}  // namespace bsc::pfs

@@ -1,0 +1,77 @@
+// Distributed lock manager (DLM) enforcing strict POSIX write semantics.
+//
+// Every data I/O acquires a range lock from the lock service (hosted on the
+// metadata node): this is the per-operation "POSIX tax". Ranges are hashed
+// onto a fixed number of slots per inode — the granularity of a real DLM's
+// extent locks. A write reserves its slots for the duration of the I/O
+// (overlapping writers serialize in simulated time); a read waits for any
+// writer holding its slots but does not exclude other readers.
+//
+// The relaxed mode of OrangeFS/MPI-IO semantics is modelled simply by not
+// calling the lock manager at all (pfs::PfsConfig::strict_locking = false) —
+// the ablation benches flip exactly this switch.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "pfs/inode.hpp"
+#include "sim/node.hpp"
+
+namespace bsc::pfs {
+
+class LockManager {
+ public:
+  static constexpr std::uint32_t kSlotsPerInode = 16;
+
+  LockManager(sim::SimNode& lock_node, std::uint64_t slot_granularity)
+      : node_(&lock_node), granularity_(slot_granularity ? slot_granularity : 1) {}
+
+  [[nodiscard]] sim::SimNode& node() noexcept { return *node_; }
+
+  /// Cost of one lock enqueue/grant RPC at the lock server.
+  [[nodiscard]] static SimMicros grant_service_us() noexcept { return 8; }
+
+  /// Acquire an exclusive (write) lock over [offset, offset+len) at
+  /// simulated time `arrival`, holding it for `hold_us`. Returns the grant
+  /// time (the I/O may start then). Overlapping writers serialize.
+  SimMicros acquire_exclusive(InodeId ino, std::uint64_t offset, std::uint64_t len,
+                              SimMicros arrival, SimMicros hold_us);
+
+  /// Acquire a shared (read) lock: returns the time the range is free of
+  /// writers (no reservation is made).
+  SimMicros acquire_shared(InodeId ino, std::uint64_t offset, std::uint64_t len,
+                           SimMicros arrival);
+
+  /// Drop all lock state for an inode (unlink / close cleanup).
+  void forget(InodeId ino);
+
+  [[nodiscard]] std::uint64_t exclusive_grants() const noexcept {
+    return exclusive_grants_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t shared_grants() const noexcept {
+    return shared_grants_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct InodeLocks {
+    std::array<std::atomic<SimMicros>, kSlotsPerInode> writer_busy_until{};
+  };
+
+  InodeLocks& table_for(InodeId ino);
+  void slots_of(std::uint64_t offset, std::uint64_t len, std::uint32_t* first,
+                std::uint32_t* last) const noexcept;
+
+  sim::SimNode* node_;
+  std::uint64_t granularity_;
+  std::mutex mu_;  ///< protects the map only; slots are atomics
+  std::unordered_map<InodeId, std::unique_ptr<InodeLocks>> locks_;
+  std::atomic<std::uint64_t> exclusive_grants_{0};
+  std::atomic<std::uint64_t> shared_grants_{0};
+};
+
+}  // namespace bsc::pfs

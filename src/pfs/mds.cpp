@@ -1,0 +1,387 @@
+#include "pfs/mds.hpp"
+
+#include <mutex>
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+
+namespace bsc::pfs {
+
+MetadataServer::MetadataServer(sim::SimNode& node, MdsCosts costs)
+    : node_(&node), costs_(costs) {
+  Inode root;
+  root.id = kRootInode;
+  root.type = vfs::FileType::directory;
+  root.mode = 0777;
+  inodes_.emplace(kRootInode, std::move(root));
+}
+
+Inode* MetadataServer::get_locked(InodeId ino) {
+  auto it = inodes_.find(ino);
+  return it == inodes_.end() ? nullptr : &it->second;
+}
+
+InodeId MetadataServer::alloc_inode_locked(vfs::FileType type, vfs::Mode mode,
+                                           std::uint32_t uid, std::uint32_t gid) {
+  Inode ino;
+  ino.id = next_ino_++;
+  ino.type = type;
+  ino.mode = mode;
+  ino.uid = uid;
+  ino.gid = gid;
+  const InodeId id = ino.id;
+  inodes_.emplace(id, std::move(ino));
+  return id;
+}
+
+Result<Resolved> MetadataServer::resolve_locked(std::string_view path, std::uint32_t uid,
+                                                std::uint32_t gid) {
+  const auto comps = path_components(path);
+  Inode* cur = get_locked(kRootInode);
+  std::uint32_t walked = 0;
+  for (const auto& c : comps) {
+    if (!cur->is_dir()) return {Errc::not_a_directory, std::string{path}};
+    if (!permits(*cur, uid, gid, 1)) return {Errc::permission, std::string{path}};
+    auto it = cur->children.find(c);
+    if (it == cur->children.end()) return {Errc::not_found, std::string{path}};
+    cur = get_locked(it->second);
+    ++walked;
+  }
+  return Resolved{cur->id, walked};
+}
+
+Result<std::pair<Inode*, std::string>> MetadataServer::resolve_parent_locked(
+    std::string_view path, std::uint32_t uid, std::uint32_t gid, std::uint32_t* comps) {
+  const std::string norm = normalize_path(path);
+  if (norm == "/") return {Errc::invalid_argument, "root has no parent"};
+  const std::string parent = parent_path(norm);
+  const std::string name = base_name(norm);
+  auto r = resolve_locked(parent, uid, gid);
+  if (!r.ok()) return r.error();
+  *comps = r.value().components;
+  Inode* p = get_locked(r.value().ino);
+  if (!p->is_dir()) return {Errc::not_a_directory, parent};
+  return std::pair<Inode*, std::string>{p, name};
+}
+
+Result<Resolved> MetadataServer::resolve(std::string_view path, std::uint32_t uid,
+                                         std::uint32_t gid, SimMicros* service_us) {
+  std::shared_lock lk(mu_);
+  auto r = resolve_locked(path, uid, gid);
+  *service_us = lookup_cost(r.ok() ? r.value().components
+                                   : static_cast<std::uint32_t>(path_components(path).size()));
+  return r;
+}
+
+Result<Resolved> MetadataServer::resolve_checked(std::string_view path, std::uint32_t uid,
+                                                 std::uint32_t gid, std::uint32_t want,
+                                                 SimMicros* service_us) {
+  std::shared_lock lk(mu_);
+  auto r = resolve_locked(path, uid, gid);
+  *service_us = lookup_cost(r.ok() ? r.value().components : 1);
+  if (!r.ok()) return r;
+  if (!permits(*get_locked(r.value().ino), uid, gid, want)) {
+    return {Errc::permission, std::string{path}};
+  }
+  return r;
+}
+
+Result<vfs::FileInfo> MetadataServer::stat(std::string_view path, std::uint32_t uid,
+                                           std::uint32_t gid, SimMicros* service_us) {
+  std::shared_lock lk(mu_);
+  auto r = resolve_locked(path, uid, gid);
+  *service_us = lookup_cost(r.ok() ? r.value().components : 1);
+  if (!r.ok()) return r.error();
+  const Inode* ino = get_locked(r.value().ino);
+  return vfs::FileInfo{normalize_path(path), ino->type, ino->size,
+                       ino->mode, ino->uid, ino->gid, ino->id};
+}
+
+Result<vfs::FileInfo> MetadataServer::stat_inode(InodeId id, SimMicros* service_us) {
+  std::shared_lock lk(mu_);
+  *service_us = costs_.cpu_op_us;
+  const Inode* ino = get_locked(id);
+  if (!ino) return {Errc::not_found, "inode"};
+  return vfs::FileInfo{"", ino->type, ino->size, ino->mode, ino->uid, ino->gid, ino->id};
+}
+
+Result<InodeId> MetadataServer::create_file(std::string_view path, vfs::Mode mode,
+                                            std::uint32_t uid, std::uint32_t gid,
+                                            bool exclusive, SimMicros* service_us) {
+  std::unique_lock lk(mu_);
+  std::uint32_t comps = 0;
+  auto p = resolve_parent_locked(path, uid, gid, &comps);
+  *service_us = lookup_cost(comps) + costs_.journal_us;
+  if (!p.ok()) return p.error();
+  auto [parent, name] = p.value();
+  auto it = parent->children.find(name);
+  if (it != parent->children.end()) {
+    if (exclusive) return {Errc::already_exists, std::string{path}};
+    Inode* existing = get_locked(it->second);
+    if (existing->is_dir()) return {Errc::is_a_directory, std::string{path}};
+    return existing->id;
+  }
+  if (!permits(*parent, uid, gid, 2)) return {Errc::permission, std::string{path}};
+  const InodeId id = alloc_inode_locked(vfs::FileType::regular, mode, uid, gid);
+  parent->children.emplace(name, id);
+  return id;
+}
+
+Status MetadataServer::mkdir(std::string_view path, vfs::Mode mode, std::uint32_t uid,
+                             std::uint32_t gid, SimMicros* service_us) {
+  std::unique_lock lk(mu_);
+  std::uint32_t comps = 0;
+  auto p = resolve_parent_locked(path, uid, gid, &comps);
+  *service_us = lookup_cost(comps) + costs_.journal_us;
+  if (!p.ok()) return p.error();
+  auto [parent, name] = p.value();
+  if (parent->children.count(name)) return {Errc::already_exists, std::string{path}};
+  if (!permits(*parent, uid, gid, 2)) return {Errc::permission, std::string{path}};
+  const InodeId id = alloc_inode_locked(vfs::FileType::directory, mode, uid, gid);
+  parent->children.emplace(name, id);
+  ++parent->nlink;
+  return Status::success();
+}
+
+Status MetadataServer::rmdir(std::string_view path, std::uint32_t uid, std::uint32_t gid,
+                             SimMicros* service_us) {
+  std::unique_lock lk(mu_);
+  std::uint32_t comps = 0;
+  auto p = resolve_parent_locked(path, uid, gid, &comps);
+  *service_us = lookup_cost(comps) + costs_.journal_us;
+  if (!p.ok()) return p.error();
+  auto [parent, name] = p.value();
+  auto it = parent->children.find(name);
+  if (it == parent->children.end()) return {Errc::not_found, std::string{path}};
+  Inode* victim = get_locked(it->second);
+  if (!victim->is_dir()) return {Errc::not_a_directory, std::string{path}};
+  if (!victim->children.empty()) return {Errc::not_empty, std::string{path}};
+  if (!permits(*parent, uid, gid, 2)) return {Errc::permission, std::string{path}};
+  inodes_.erase(victim->id);
+  parent->children.erase(it);
+  --parent->nlink;
+  return Status::success();
+}
+
+Result<std::vector<vfs::DirEntry>> MetadataServer::readdir(std::string_view path,
+                                                           std::uint32_t uid,
+                                                           std::uint32_t gid,
+                                                           SimMicros* service_us) {
+  std::shared_lock lk(mu_);
+  auto r = resolve_locked(path, uid, gid);
+  if (!r.ok()) {
+    *service_us = lookup_cost(1);
+    return r.error();
+  }
+  Inode* dir = get_locked(r.value().ino);
+  if (!dir->is_dir()) {
+    *service_us = lookup_cost(r.value().components);
+    return {Errc::not_a_directory, std::string{path}};
+  }
+  if (!permits(*dir, uid, gid, 4)) {
+    *service_us = lookup_cost(r.value().components);
+    return {Errc::permission, std::string{path}};
+  }
+  std::vector<vfs::DirEntry> out;
+  out.reserve(dir->children.size());
+  for (const auto& [name, id] : dir->children) {
+    out.push_back({name, get_locked(id)->type});
+  }
+  // Listing cost scales with directory size.
+  *service_us = lookup_cost(r.value().components) +
+                static_cast<SimMicros>(out.size()) * 1;
+  return out;
+}
+
+Result<MetadataServer::UnlinkResult> MetadataServer::unlink(std::string_view path,
+                                                            std::uint32_t uid,
+                                                            std::uint32_t gid,
+                                                            SimMicros* service_us) {
+  std::unique_lock lk(mu_);
+  std::uint32_t comps = 0;
+  auto p = resolve_parent_locked(path, uid, gid, &comps);
+  *service_us = lookup_cost(comps) + costs_.journal_us;
+  if (!p.ok()) return p.error();
+  auto [parent, name] = p.value();
+  auto it = parent->children.find(name);
+  if (it == parent->children.end()) return {Errc::not_found, std::string{path}};
+  Inode* victim = get_locked(it->second);
+  if (victim->is_dir()) return {Errc::is_a_directory, std::string{path}};
+  if (!permits(*parent, uid, gid, 2)) return {Errc::permission, std::string{path}};
+  UnlinkResult res{victim->id, victim->open_handles == 0};
+  victim->unlinked = true;
+  parent->children.erase(it);
+  if (res.reclaim_now) inodes_.erase(victim->id);
+  return res;
+}
+
+Status MetadataServer::rename(std::string_view from, std::string_view to, std::uint32_t uid,
+                              std::uint32_t gid, SimMicros* service_us) {
+  std::unique_lock lk(mu_);
+  std::uint32_t comps_from = 0;
+  std::uint32_t comps_to = 0;
+  auto pf = resolve_parent_locked(from, uid, gid, &comps_from);
+  if (!pf.ok()) {
+    *service_us = lookup_cost(comps_from) + costs_.journal_us;
+    return pf.error();
+  }
+  auto pt = resolve_parent_locked(to, uid, gid, &comps_to);
+  *service_us = lookup_cost(comps_from + comps_to) + costs_.journal_us;
+  if (!pt.ok()) return pt.error();
+  auto [src_parent, src_name] = pf.value();
+  auto [dst_parent, dst_name] = pt.value();
+  auto sit = src_parent->children.find(src_name);
+  if (sit == src_parent->children.end()) return {Errc::not_found, std::string{from}};
+  if (!permits(*src_parent, uid, gid, 2) || !permits(*dst_parent, uid, gid, 2)) {
+    return {Errc::permission, std::string{from}};
+  }
+  const InodeId moving = sit->second;
+  // POSIX: an existing destination is atomically replaced (file over file,
+  // empty dir over empty dir).
+  auto dit = dst_parent->children.find(dst_name);
+  if (dit != dst_parent->children.end()) {
+    Inode* dst = get_locked(dit->second);
+    Inode* src = get_locked(moving);
+    if (dst->is_dir() != src->is_dir()) {
+      return {dst->is_dir() ? Errc::is_a_directory : Errc::not_a_directory, std::string{to}};
+    }
+    if (dst->is_dir() && !dst->children.empty()) return {Errc::not_empty, std::string{to}};
+    inodes_.erase(dst->id);
+    dst_parent->children.erase(dit);
+  }
+  src_parent->children.erase(sit);
+  dst_parent->children.emplace(dst_name, moving);
+  return Status::success();
+}
+
+Status MetadataServer::chmod(std::string_view path, vfs::Mode mode, std::uint32_t uid,
+                             std::uint32_t gid, SimMicros* service_us) {
+  std::unique_lock lk(mu_);
+  auto r = resolve_locked(path, uid, gid);
+  *service_us = lookup_cost(r.ok() ? r.value().components : 1) + costs_.journal_us;
+  if (!r.ok()) return r.error();
+  Inode* ino = get_locked(r.value().ino);
+  if (uid != 0 && uid != ino->uid) return {Errc::permission, std::string{path}};
+  ino->mode = mode & 0777;
+  return Status::success();
+}
+
+Result<std::string> MetadataServer::getxattr(std::string_view path, std::string_view name,
+                                             std::uint32_t uid, std::uint32_t gid,
+                                             SimMicros* service_us) {
+  std::shared_lock lk(mu_);
+  auto r = resolve_locked(path, uid, gid);
+  *service_us = lookup_cost(r.ok() ? r.value().components : 1);
+  if (!r.ok()) return r.error();
+  const Inode* ino = get_locked(r.value().ino);
+  if (!permits(*ino, uid, gid, 4)) return {Errc::permission, std::string{path}};
+  auto it = ino->xattrs.find(std::string{name});
+  if (it == ino->xattrs.end()) return {Errc::not_found, std::string{name}};
+  return it->second;
+}
+
+Status MetadataServer::setxattr(std::string_view path, std::string_view name,
+                                std::string_view value, std::uint32_t uid, std::uint32_t gid,
+                                SimMicros* service_us) {
+  std::unique_lock lk(mu_);
+  auto r = resolve_locked(path, uid, gid);
+  *service_us = lookup_cost(r.ok() ? r.value().components : 1) + costs_.journal_us;
+  if (!r.ok()) return r.error();
+  Inode* ino = get_locked(r.value().ino);
+  if (!permits(*ino, uid, gid, 2)) return {Errc::permission, std::string{path}};
+  ino->xattrs[std::string{name}] = std::string{value};
+  return Status::success();
+}
+
+Status MetadataServer::set_size(InodeId id, std::uint64_t size, SimMicros* service_us) {
+  std::unique_lock lk(mu_);
+  *service_us = costs_.cpu_op_us + costs_.journal_us;
+  Inode* ino = get_locked(id);
+  if (!ino) return {Errc::not_found, "inode"};
+  ino->size = size;
+  return Status::success();
+}
+
+Result<std::uint64_t> MetadataServer::get_size(InodeId id, SimMicros* service_us) {
+  std::shared_lock lk(mu_);
+  *service_us = costs_.cpu_op_us;
+  Inode* ino = get_locked(id);
+  if (!ino) return {Errc::not_found, "inode"};
+  return ino->size;
+}
+
+Status MetadataServer::extend_size(InodeId id, std::uint64_t min_size,
+                                   SimMicros* service_us) {
+  std::unique_lock lk(mu_);
+  *service_us = costs_.cpu_op_us;
+  Inode* ino = get_locked(id);
+  if (!ino) return {Errc::not_found, "inode"};
+  if (ino->size < min_size) {
+    ino->size = min_size;
+    *service_us += costs_.journal_us;
+  }
+  return Status::success();
+}
+
+Status MetadataServer::handle_opened(InodeId id, SimMicros* service_us) {
+  std::unique_lock lk(mu_);
+  *service_us = costs_.cpu_op_us;
+  Inode* ino = get_locked(id);
+  if (!ino) return {Errc::not_found, "inode"};
+  ++ino->open_handles;
+  return Status::success();
+}
+
+Status MetadataServer::handle_closed(InodeId id, bool* reclaim_now, SimMicros* service_us) {
+  std::unique_lock lk(mu_);
+  *service_us = costs_.cpu_op_us;
+  *reclaim_now = false;
+  Inode* ino = get_locked(id);
+  if (!ino) return {Errc::not_found, "inode"};
+  if (ino->open_handles > 0) --ino->open_handles;
+  if (ino->unlinked && ino->open_handles == 0) {
+    *reclaim_now = true;
+    inodes_.erase(id);
+  }
+  return Status::success();
+}
+
+std::uint64_t MetadataServer::inode_count() {
+  std::shared_lock lk(mu_);
+  return inodes_.size();
+}
+
+Status MetadataServer::check_tree_invariants() {
+  std::shared_lock lk(mu_);
+  // Every directory child must exist; count reachable inodes from the root
+  // and compare with the table (unlinked-but-open inodes are off-tree).
+  std::uint64_t reachable = 0;
+  std::vector<InodeId> stack{kRootInode};
+  std::vector<InodeId> seen;
+  while (!stack.empty()) {
+    const InodeId id = stack.back();
+    stack.pop_back();
+    if (std::find(seen.begin(), seen.end(), id) != seen.end()) {
+      return {Errc::io_error, "cycle in namespace tree"};
+    }
+    seen.push_back(id);
+    const Inode* ino = get_locked(id);
+    if (!ino) return {Errc::io_error, "dangling child inode"};
+    ++reachable;
+    for (const auto& [name, child] : ino->children) {
+      if (name.empty()) return {Errc::io_error, "empty child name"};
+      stack.push_back(child);
+    }
+  }
+  std::uint64_t off_tree = 0;
+  for (const auto& [id, ino] : inodes_) {
+    if (ino.unlinked) ++off_tree;
+  }
+  if (reachable + off_tree != inodes_.size()) {
+    return {Errc::io_error, "unreachable inodes present"};
+  }
+  return Status::success();
+}
+
+}  // namespace bsc::pfs

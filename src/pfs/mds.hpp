@@ -1,0 +1,128 @@
+// Metadata server (MDS) of the parallel file system.
+//
+// One logical MDS owns the whole namespace — the classic Lustre design and
+// the classic Lustre bottleneck: every path resolution, permission check and
+// namespace mutation serializes through it. The simulated cost model charges
+// per-component resolution work on the metadata node, so metadata-heavy
+// workloads queue here, which is precisely the overhead the paper attributes
+// to hierarchical-namespace file systems.
+#pragma once
+
+#include <cstdint>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.hpp"
+#include "pfs/inode.hpp"
+#include "sim/node.hpp"
+
+namespace bsc::pfs {
+
+struct MdsCosts {
+  SimMicros cpu_op_us = 4;         ///< fixed request handling
+  SimMicros per_component_us = 6;  ///< lookup + permission check per path component
+  SimMicros journal_us = 60;       ///< synchronous journal append for mutations
+};
+
+/// A resolved path: the inode plus how much resolution work it took
+/// (drives the simulated MDS service time).
+struct Resolved {
+  InodeId ino = 0;
+  std::uint32_t components = 0;
+};
+
+class MetadataServer {
+ public:
+  explicit MetadataServer(sim::SimNode& node, MdsCosts costs = {});
+
+  [[nodiscard]] sim::SimNode& node() noexcept { return *node_; }
+
+  // Every method returns the outcome and reports simulated service time.
+
+  /// Resolve `path` checking execute permission on every ancestor.
+  Result<Resolved> resolve(std::string_view path, std::uint32_t uid, std::uint32_t gid,
+                           SimMicros* service_us);
+
+  /// Resolve and check `want` permission bits on the final inode.
+  Result<Resolved> resolve_checked(std::string_view path, std::uint32_t uid,
+                                   std::uint32_t gid, std::uint32_t want,
+                                   SimMicros* service_us);
+
+  Result<vfs::FileInfo> stat(std::string_view path, std::uint32_t uid, std::uint32_t gid,
+                             SimMicros* service_us);
+  Result<vfs::FileInfo> stat_inode(InodeId ino, SimMicros* service_us);
+
+  /// Create a regular file (parent must exist, be a dir, and be writable).
+  Result<InodeId> create_file(std::string_view path, vfs::Mode mode, std::uint32_t uid,
+                              std::uint32_t gid, bool exclusive, SimMicros* service_us);
+
+  Status mkdir(std::string_view path, vfs::Mode mode, std::uint32_t uid, std::uint32_t gid,
+               SimMicros* service_us);
+  Status rmdir(std::string_view path, std::uint32_t uid, std::uint32_t gid,
+               SimMicros* service_us);
+  Result<std::vector<vfs::DirEntry>> readdir(std::string_view path, std::uint32_t uid,
+                                             std::uint32_t gid, SimMicros* service_us);
+
+  /// Unlink a regular file. The inode lingers while handles are open
+  /// (POSIX delete-on-last-close); returns the inode and whether its
+  /// storage can be reclaimed immediately.
+  struct UnlinkResult {
+    InodeId ino = 0;
+    bool reclaim_now = false;
+  };
+  Result<UnlinkResult> unlink(std::string_view path, std::uint32_t uid, std::uint32_t gid,
+                              SimMicros* service_us);
+
+  Status rename(std::string_view from, std::string_view to, std::uint32_t uid,
+                std::uint32_t gid, SimMicros* service_us);
+  Status chmod(std::string_view path, vfs::Mode mode, std::uint32_t uid, std::uint32_t gid,
+               SimMicros* service_us);
+
+  Result<std::string> getxattr(std::string_view path, std::string_view name,
+                               std::uint32_t uid, std::uint32_t gid, SimMicros* service_us);
+  Status setxattr(std::string_view path, std::string_view name, std::string_view value,
+                  std::uint32_t uid, std::uint32_t gid, SimMicros* service_us);
+
+  // --- size & handle bookkeeping driven by the client layer ---
+  Status set_size(InodeId ino, std::uint64_t size, SimMicros* service_us);
+  Result<std::uint64_t> get_size(InodeId ino, SimMicros* service_us);
+  /// Grow-only size update used on writes (concurrent writers never shrink).
+  Status extend_size(InodeId ino, std::uint64_t min_size, SimMicros* service_us);
+
+  /// Register/deregister an open handle on the inode. `closed_last` reports
+  /// whether this close released the last handle of an unlinked inode
+  /// (storage may then be reclaimed).
+  Status handle_opened(InodeId ino, SimMicros* service_us);
+  Status handle_closed(InodeId ino, bool* reclaim_now, SimMicros* service_us);
+
+  [[nodiscard]] std::uint64_t inode_count();
+
+  /// Tree-structure invariant check used by property tests: every child's
+  /// parent linkage is consistent and reachable from the root.
+  [[nodiscard]] Status check_tree_invariants();
+
+ private:
+  Result<Resolved> resolve_locked(std::string_view path, std::uint32_t uid,
+                                  std::uint32_t gid);
+  Result<std::pair<Inode*, std::string>> resolve_parent_locked(std::string_view path,
+                                                               std::uint32_t uid,
+                                                               std::uint32_t gid,
+                                                               std::uint32_t* comps);
+  Inode* get_locked(InodeId ino);
+  InodeId alloc_inode_locked(vfs::FileType type, vfs::Mode mode, std::uint32_t uid,
+                             std::uint32_t gid);
+  [[nodiscard]] SimMicros lookup_cost(std::uint32_t components) const noexcept {
+    return costs_.cpu_op_us + static_cast<SimMicros>(components) * costs_.per_component_us;
+  }
+
+  sim::SimNode* node_;
+  MdsCosts costs_;
+  std::shared_mutex mu_;
+  std::unordered_map<InodeId, Inode> inodes_;
+  InodeId next_ino_ = kRootInode + 1;
+};
+
+}  // namespace bsc::pfs

@@ -1,0 +1,25 @@
+#include "rpc/transport.hpp"
+
+namespace bsc::rpc {
+
+CallCost Transport::call(sim::SimAgent& agent, sim::SimNode& server,
+                         std::uint64_t request_bytes, std::uint64_t response_bytes,
+                         SimMicros server_service_us) {
+  const SimMicros start = agent.now();
+  const SimMicros arrival = start + net().transfer_us(request_bytes);
+  const SimMicros served = server.serve(arrival, server_service_us);
+  const SimMicros completion = served + net().transfer_us(response_bytes);
+  agent.advance_to(completion);
+  return {.start = start, .completion = completion};
+}
+
+SimMicros Transport::send_oneway(sim::SimAgent& agent, sim::SimNode& server,
+                                 std::uint64_t message_bytes,
+                                 SimMicros server_service_us) {
+  const SimMicros arrival = agent.now() + net().transfer_us(message_bytes);
+  // The sender only pays serialization/injection cost, not the full transfer.
+  agent.charge(net().profile().per_packet_us + 1);
+  return server.serve(arrival, server_service_us);
+}
+
+}  // namespace bsc::rpc

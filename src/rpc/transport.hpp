@@ -1,0 +1,45 @@
+// Cost-charging in-process transport.
+//
+// A Call describes one client→server→client exchange: the client's agent is
+// charged request transfer, then the server node queues the service time
+// (FCFS in simulated time), then the response transfer. The returned value
+// is the simulated completion time; the agent's clock is advanced to it.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/cluster.hpp"
+#include "sim/sim_clock.hpp"
+
+namespace bsc::rpc {
+
+struct CallCost {
+  SimMicros start;       ///< simulated time the request left the client
+  SimMicros completion;  ///< simulated time the response arrived back
+  [[nodiscard]] SimMicros latency() const noexcept { return completion - start; }
+};
+
+class Transport {
+ public:
+  explicit Transport(sim::Cluster& cluster) : cluster_(&cluster) {}
+
+  /// Execute a simulated RPC against `server`. Advances `agent` past the
+  /// response arrival and returns the timing breakdown.
+  CallCost call(sim::SimAgent& agent, sim::SimNode& server,
+                std::uint64_t request_bytes, std::uint64_t response_bytes,
+                SimMicros server_service_us);
+
+  /// One-way fire-and-forget message (used for pipelined replication).
+  /// Charges only the send leg to the agent; server service is queued at the
+  /// receiving node and the completion time is returned (but not awaited).
+  SimMicros send_oneway(sim::SimAgent& agent, sim::SimNode& server,
+                        std::uint64_t message_bytes, SimMicros server_service_us);
+
+  [[nodiscard]] sim::Cluster& cluster() noexcept { return *cluster_; }
+  [[nodiscard]] const sim::NetModel& net() const noexcept { return cluster_->net(); }
+
+ private:
+  sim::Cluster* cluster_;
+};
+
+}  // namespace bsc::rpc

@@ -1,0 +1,94 @@
+#include "rpc/wire.hpp"
+
+#include <cstring>
+
+namespace bsc::rpc {
+
+namespace {
+template <typename T>
+void put_le(Bytes& buf, T v) {
+  const auto old = buf.size();
+  buf.resize(old + sizeof(T));
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    buf[old + i] = static_cast<std::byte>((v >> (8 * i)) & 0xff);
+  }
+}
+
+template <typename T>
+T get_le(ByteView data, std::size_t pos) {
+  T v = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    v |= static_cast<T>(static_cast<std::uint8_t>(data[pos + i])) << (8 * i);
+  }
+  return v;
+}
+}  // namespace
+
+void WireWriter::put_u8(std::uint8_t v) { buf_.push_back(static_cast<std::byte>(v)); }
+void WireWriter::put_u32(std::uint32_t v) { put_le(buf_, v); }
+void WireWriter::put_u64(std::uint64_t v) { put_le(buf_, v); }
+void WireWriter::put_i64(std::int64_t v) { put_le(buf_, static_cast<std::uint64_t>(v)); }
+
+void WireWriter::put_string(std::string_view s) {
+  put_u32(static_cast<std::uint32_t>(s.size()));
+  const auto old = buf_.size();
+  buf_.resize(old + s.size());
+  if (!s.empty()) std::memcpy(buf_.data() + old, s.data(), s.size());
+}
+
+void WireWriter::put_bytes(ByteView b) {
+  put_u64(b.size());
+  append(buf_, b);
+}
+
+Result<std::uint8_t> WireReader::get_u8() {
+  if (!need(1)) return Errc::out_of_range;
+  return static_cast<std::uint8_t>(data_[pos_++]);
+}
+
+Result<std::uint32_t> WireReader::get_u32() {
+  if (!need(4)) return Errc::out_of_range;
+  auto v = get_le<std::uint32_t>(data_, pos_);
+  pos_ += 4;
+  return v;
+}
+
+Result<std::uint64_t> WireReader::get_u64() {
+  if (!need(8)) return Errc::out_of_range;
+  auto v = get_le<std::uint64_t>(data_, pos_);
+  pos_ += 8;
+  return v;
+}
+
+Result<std::int64_t> WireReader::get_i64() {
+  auto v = get_u64();
+  if (!v.ok()) return v.error();
+  return static_cast<std::int64_t>(v.value());
+}
+
+Result<std::string> WireReader::get_string() {
+  auto len = get_u32();
+  if (!len.ok()) return len.error();
+  if (!need(len.value())) return Errc::out_of_range;
+  std::string s(reinterpret_cast<const char*>(data_.data() + pos_), len.value());
+  pos_ += len.value();
+  return s;
+}
+
+Result<Bytes> WireReader::get_bytes() {
+  auto len = get_u64();
+  if (!len.ok()) return len.error();
+  if (!need(len.value())) return Errc::out_of_range;
+  Bytes b(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+          data_.begin() + static_cast<std::ptrdiff_t>(pos_ + len.value()));
+  pos_ += len.value();
+  return b;
+}
+
+Result<bool> WireReader::get_bool() {
+  auto v = get_u8();
+  if (!v.ok()) return v.error();
+  return v.value() != 0;
+}
+
+}  // namespace bsc::rpc

@@ -1,0 +1,62 @@
+// Wire-format serialization for RPC messages.
+//
+// Services in this codebase execute in-process, but every request and
+// response is nevertheless encoded into a wire buffer. This serves two
+// purposes: (1) message sizes fed to the network cost model are the real
+// encoded sizes, not guesses; (2) the encode/decode round-trip is a genuine
+// serialization layer that a networked deployment could reuse unchanged.
+//
+// Encoding: little-endian fixed-width integers, length-prefixed strings and
+// byte blobs. No alignment padding.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+
+namespace bsc::rpc {
+
+class WireWriter {
+ public:
+  void put_u8(std::uint8_t v);
+  void put_u32(std::uint32_t v);
+  void put_u64(std::uint64_t v);
+  void put_i64(std::int64_t v);
+  void put_string(std::string_view s);
+  void put_bytes(ByteView b);
+  void put_bool(bool v) { put_u8(v ? 1 : 0); }
+
+  [[nodiscard]] const Bytes& buffer() const noexcept { return buf_; }
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+  [[nodiscard]] Bytes take() && noexcept { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+class WireReader {
+ public:
+  explicit WireReader(ByteView data) : data_(data) {}
+
+  [[nodiscard]] Result<std::uint8_t> get_u8();
+  [[nodiscard]] Result<std::uint32_t> get_u32();
+  [[nodiscard]] Result<std::uint64_t> get_u64();
+  [[nodiscard]] Result<std::int64_t> get_i64();
+  [[nodiscard]] Result<std::string> get_string();
+  [[nodiscard]] Result<Bytes> get_bytes();
+  [[nodiscard]] Result<bool> get_bool();
+
+  [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  [[nodiscard]] bool exhausted() const noexcept { return remaining() == 0; }
+
+ private:
+  [[nodiscard]] bool need(std::size_t n) const noexcept { return remaining() >= n; }
+
+  ByteView data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace bsc::rpc

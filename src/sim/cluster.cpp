@@ -1,0 +1,39 @@
+#include "sim/cluster.hpp"
+
+namespace bsc::sim {
+
+Cluster::Cluster(ClusterSpec spec) : spec_(spec), net_(spec.network) {
+  std::uint32_t next_id = 0;
+  compute_.reserve(spec.compute_nodes);
+  for (std::uint32_t i = 0; i < spec.compute_nodes; ++i) {
+    compute_.push_back(std::make_unique<SimNode>(next_id++, NodeRole::compute, spec.disk, spec.page_cache_bytes));
+  }
+  storage_.reserve(spec.storage_nodes);
+  for (std::uint32_t i = 0; i < spec.storage_nodes; ++i) {
+    storage_.push_back(std::make_unique<SimNode>(next_id++, NodeRole::storage, spec.disk, spec.page_cache_bytes));
+  }
+  metadata_.reserve(spec.metadata_nodes);
+  for (std::uint32_t i = 0; i < spec.metadata_nodes; ++i) {
+    metadata_.push_back(std::make_unique<SimNode>(next_id++, NodeRole::metadata, spec.disk, spec.page_cache_bytes));
+  }
+}
+
+SimMicros Cluster::total_storage_busy() const noexcept {
+  SimMicros t = 0;
+  for (const auto& n : storage_) t += n->busy_total();
+  return t;
+}
+
+std::uint64_t Cluster::total_storage_requests() const noexcept {
+  std::uint64_t t = 0;
+  for (const auto& n : storage_) t += n->requests_served();
+  return t;
+}
+
+void Cluster::reset() noexcept {
+  for (auto& n : compute_) n->reset();
+  for (auto& n : storage_) n->reset();
+  for (auto& n : metadata_) n->reset();
+}
+
+}  // namespace bsc::sim

@@ -1,0 +1,69 @@
+// Cluster topology: a set of SimNodes plus a shared network model.
+// The default preset mirrors the paper's Grid'5000 parapluie configuration:
+// 24 compute nodes and 8 storage nodes (§IV-B), with variants at 4 and 12
+// storage nodes used for the sensitivity check.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/net_model.hpp"
+#include "sim/node.hpp"
+
+namespace bsc::sim {
+
+struct ClusterSpec {
+  std::uint32_t compute_nodes = 24;
+  std::uint32_t storage_nodes = 8;
+  std::uint32_t metadata_nodes = 1;
+  NetProfile network = NetProfile::gigabit_ethernet();
+  DiskParams disk = DiskParams::hdd_250gb();
+  /// parapluie: 48 GB RAM per node, scaled 1:1024 to 48 MiB of page cache.
+  std::uint64_t page_cache_bytes = 48ULL << 20;
+
+  /// The paper's testbed: parapluie, 24 compute / 8 storage, GbE.
+  static ClusterSpec parapluie() { return {}; }
+  static ClusterSpec parapluie_ib() {
+    ClusterSpec s;
+    s.network = NetProfile::infiniband_ddr();
+    return s;
+  }
+  static ClusterSpec with_storage_nodes(std::uint32_t n) {
+    ClusterSpec s;
+    s.storage_nodes = n;
+    return s;
+  }
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterSpec spec = ClusterSpec::parapluie());
+
+  [[nodiscard]] const ClusterSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] const NetModel& net() const noexcept { return net_; }
+
+  [[nodiscard]] std::size_t storage_count() const noexcept { return storage_.size(); }
+  [[nodiscard]] std::size_t metadata_count() const noexcept { return metadata_.size(); }
+  [[nodiscard]] std::size_t compute_count() const noexcept { return compute_.size(); }
+
+  [[nodiscard]] SimNode& storage_node(std::size_t i) noexcept { return *storage_[i]; }
+  [[nodiscard]] SimNode& metadata_node(std::size_t i = 0) noexcept { return *metadata_[i]; }
+  [[nodiscard]] SimNode& compute_node(std::size_t i) noexcept { return *compute_[i]; }
+
+  /// Aggregate utilization report across storage nodes.
+  [[nodiscard]] SimMicros total_storage_busy() const noexcept;
+  [[nodiscard]] std::uint64_t total_storage_requests() const noexcept;
+
+  /// Reset all node queues (between benchmark repetitions).
+  void reset() noexcept;
+
+ private:
+  ClusterSpec spec_;
+  NetModel net_;
+  std::vector<std::unique_ptr<SimNode>> compute_;
+  std::vector<std::unique_ptr<SimNode>> storage_;
+  std::vector<std::unique_ptr<SimNode>> metadata_;
+};
+
+}  // namespace bsc::sim

@@ -1,0 +1,14 @@
+#include "sim/disk_model.hpp"
+
+#include <cmath>
+
+namespace bsc::sim {
+
+SimMicros DiskModel::service_us(std::uint64_t bytes, bool sequential) const noexcept {
+  SimMicros t = p_.controller_us;
+  if (!sequential) t += p_.seek_us + p_.rotational_us;
+  t += static_cast<SimMicros>(std::llround(static_cast<double>(bytes) / p_.bytes_per_us));
+  return t;
+}
+
+}  // namespace bsc::sim

@@ -1,0 +1,38 @@
+// Rotational-disk service-time model calibrated to the parapluie nodes'
+// 250 GB HDDs (CLUSTER'17 paper, §IV-B): ~8.5 ms average seek, 7200 RPM,
+// ~100 MB/s sequential transfer.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+
+namespace bsc::sim {
+
+struct DiskParams {
+  SimMicros seek_us = 8500;        ///< average seek
+  SimMicros rotational_us = 4170;  ///< half-rotation at 7200 RPM
+  double bytes_per_us = 100.0;     ///< ~100 MB/s sequential throughput
+  SimMicros controller_us = 30;    ///< fixed per-request controller overhead
+
+  static DiskParams hdd_250gb() { return {}; }
+  /// A fast device profile used by ablation benches (NVMe-like).
+  static DiskParams nvme() { return {.seek_us = 0, .rotational_us = 10,
+                                     .bytes_per_us = 2000.0, .controller_us = 5}; }
+};
+
+class DiskModel {
+ public:
+  explicit DiskModel(DiskParams p = DiskParams::hdd_250gb()) : p_(p) {}
+
+  /// Service time for a request of `bytes`. `sequential` requests (detected
+  /// by the storage engines as appends / adjacent offsets) skip the seek.
+  [[nodiscard]] SimMicros service_us(std::uint64_t bytes, bool sequential) const noexcept;
+
+  [[nodiscard]] const DiskParams& params() const noexcept { return p_; }
+
+ private:
+  DiskParams p_;
+};
+
+}  // namespace bsc::sim

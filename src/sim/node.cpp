@@ -1,0 +1,31 @@
+#include "sim/node.hpp"
+
+#include <algorithm>
+
+namespace bsc::sim {
+
+SimMicros SimNode::serve(SimMicros arrival_us, SimMicros service_us) noexcept {
+  service_us = std::max<SimMicros>(0, service_us);
+  SimMicros busy = busy_until_.load(std::memory_order_relaxed);
+  SimMicros start = 0;
+  SimMicros end = 0;
+  do {
+    start = std::max(arrival_us, busy);
+    end = start + service_us;
+  } while (!busy_until_.compare_exchange_weak(busy, end, std::memory_order_acq_rel,
+                                              std::memory_order_relaxed));
+  busy_total_.fetch_add(service_us, std::memory_order_relaxed);
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  return end;
+}
+
+void SimNode::reset() noexcept {
+  // Queue/accounting state only: the page cache survives a reset, exactly
+  // as freshly staged data remains cache-resident on a real node between
+  // the provisioning step and the traced run.
+  busy_until_.store(0, std::memory_order_relaxed);
+  busy_total_.store(0, std::memory_order_relaxed);
+  requests_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace bsc::sim

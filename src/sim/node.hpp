@@ -1,0 +1,60 @@
+// A simulated cluster node: a single-server queue with an atomic
+// busy-until timestamp, plus an attached disk model for storage nodes.
+//
+// The queueing discipline is work-conserving FCFS in *simulated* time:
+// a request arriving (in simulated time) while the node is busy starts when
+// the node frees up. Because real threads race to reserve service windows,
+// the reservation is a CAS loop — the result is a linearizable sequence of
+// non-overlapping service intervals, which is exactly a single-server queue.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/units.hpp"
+#include "sim/disk_model.hpp"
+#include "sim/page_cache.hpp"
+
+namespace bsc::sim {
+
+enum class NodeRole { compute, storage, metadata };
+
+class SimNode {
+ public:
+  SimNode(std::uint32_t id, NodeRole role, DiskParams disk = DiskParams::hdd_250gb(),
+          std::uint64_t page_cache_bytes = 48ULL << 20)
+      : id_(id), role_(role), disk_(disk), cache_(page_cache_bytes) {}
+
+  [[nodiscard]] std::uint32_t id() const noexcept { return id_; }
+  [[nodiscard]] NodeRole role() const noexcept { return role_; }
+  [[nodiscard]] const DiskModel& disk() const noexcept { return disk_; }
+  /// Node-local page cache shared by every storage service on the node.
+  [[nodiscard]] PageCache& cache() noexcept { return cache_; }
+
+  /// Reserve a service window of `service_us` starting no earlier than
+  /// `arrival_us`. Returns the completion time. Thread-safe.
+  SimMicros serve(SimMicros arrival_us, SimMicros service_us) noexcept;
+
+  /// Total busy time accumulated (for utilization reporting).
+  [[nodiscard]] SimMicros busy_total() const noexcept {
+    return busy_total_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t requests_served() const noexcept {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+  /// Reset queue state between experiments.
+  void reset() noexcept;
+
+ private:
+  std::uint32_t id_;
+  NodeRole role_;
+  DiskModel disk_;
+  PageCache cache_;
+  std::atomic<SimMicros> busy_until_{0};
+  std::atomic<SimMicros> busy_total_{0};
+  std::atomic<std::uint64_t> requests_{0};
+};
+
+}  // namespace bsc::sim

@@ -1,0 +1,87 @@
+#include "sim/page_cache.hpp"
+
+namespace bsc::sim {
+
+bool PageCache::touch_read(std::uint64_t key, std::uint64_t bytes) {
+  std::scoped_lock lk(mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second.pos);
+    if (bytes > it->second.bytes) {
+      bytes_ += bytes - it->second.bytes;
+      it->second.bytes = bytes;
+      evict_locked();
+    }
+    return true;
+  }
+  ++misses_;
+  insert_locked(key, bytes);
+  return false;
+}
+
+void PageCache::touch_write(std::uint64_t key, std::uint64_t bytes) {
+  std::scoped_lock lk(mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second.pos);
+    if (bytes > it->second.bytes) {
+      bytes_ += bytes - it->second.bytes;
+      it->second.bytes = bytes;
+      evict_locked();
+    }
+    return;
+  }
+  insert_locked(key, bytes);
+}
+
+void PageCache::invalidate(std::uint64_t key) {
+  std::scoped_lock lk(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  bytes_ -= it->second.bytes;
+  lru_.erase(it->second.pos);
+  entries_.erase(it);
+}
+
+void PageCache::clear() {
+  std::scoped_lock lk(mu_);
+  lru_.clear();
+  entries_.clear();
+  bytes_ = 0;
+}
+
+std::uint64_t PageCache::bytes_cached() const {
+  std::scoped_lock lk(mu_);
+  return bytes_;
+}
+
+std::uint64_t PageCache::hits() const {
+  std::scoped_lock lk(mu_);
+  return hits_;
+}
+
+std::uint64_t PageCache::misses() const {
+  std::scoped_lock lk(mu_);
+  return misses_;
+}
+
+void PageCache::insert_locked(std::uint64_t key, std::uint64_t bytes) {
+  if (bytes > capacity_) return;  // never cache objects larger than the budget
+  lru_.push_front(key);
+  entries_[key] = Entry{bytes, lru_.begin()};
+  bytes_ += bytes;
+  evict_locked();
+}
+
+void PageCache::evict_locked() {
+  while (bytes_ > capacity_ && !lru_.empty()) {
+    const std::uint64_t victim = lru_.back();
+    lru_.pop_back();
+    auto it = entries_.find(victim);
+    bytes_ -= it->second.bytes;
+    entries_.erase(it);
+  }
+}
+
+}  // namespace bsc::sim

@@ -1,0 +1,56 @@
+// Per-node page-cache model: an LRU over object identifiers with a byte
+// budget (the node's RAM available for caching — parapluie nodes have 48 GB,
+// scaled 1:1024 to 48 MiB).
+//
+// Every storage service on a node (blob server, OST, HDFS datanode) consults
+// the same cache: a read that hits skips the disk entirely; reads that miss
+// and all writes install the object (write-through). Whole objects are the
+// caching unit — an approximation that matches the small-object metadata
+// blobs exactly and streaming data closely enough.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+
+namespace bsc::sim {
+
+class PageCache {
+ public:
+  explicit PageCache(std::uint64_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+  /// Record a read of object `key` totalling `bytes`; returns true when the
+  /// object was resident (the disk access is skipped).
+  bool touch_read(std::uint64_t key, std::uint64_t bytes);
+
+  /// Record a write: the object becomes resident (write-through).
+  void touch_write(std::uint64_t key, std::uint64_t bytes);
+
+  /// Drop an object (delete/truncate invalidation).
+  void invalidate(std::uint64_t key);
+
+  void clear();
+
+  [[nodiscard]] std::uint64_t bytes_cached() const;
+  [[nodiscard]] std::uint64_t hits() const;
+  [[nodiscard]] std::uint64_t misses() const;
+
+ private:
+  void insert_locked(std::uint64_t key, std::uint64_t bytes);
+  void evict_locked();
+
+  const std::uint64_t capacity_;
+  mutable std::mutex mu_;
+  std::list<std::uint64_t> lru_;  ///< front = most recent
+  struct Entry {
+    std::uint64_t bytes = 0;
+    std::list<std::uint64_t>::iterator pos;
+  };
+  std::unordered_map<std::uint64_t, Entry> entries_;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace bsc::sim

@@ -1,0 +1,45 @@
+// Simulated-time accounting.
+//
+// The cluster is simulated analytically: services execute instantly in real
+// time but every operation *charges* simulated microseconds. Each logical
+// client (an MPI rank, a Spark task, an example program) owns a SimAgent
+// whose clock advances along that client's critical path. Shared server
+// resources are modelled by SimNode's atomic busy-until timestamp
+// (src/sim/node.hpp), which introduces queueing delay under contention.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/units.hpp"
+
+namespace bsc::sim {
+
+/// Per-client simulated clock. Not thread-safe by design: one agent belongs
+/// to exactly one logical thread of execution (CP.2 — no sharing).
+class SimAgent {
+ public:
+  SimAgent() = default;
+  explicit SimAgent(SimMicros start) : now_(start) {}
+
+  [[nodiscard]] SimMicros now() const noexcept { return now_; }
+
+  /// Advance the clock by a non-negative duration.
+  void charge(SimMicros dur) noexcept { now_ += std::max<SimMicros>(0, dur); }
+
+  /// Move the clock forward to `t` if `t` is later (used when an operation
+  /// completes at an absolute simulated time computed by a server).
+  void advance_to(SimMicros t) noexcept { now_ = std::max(now_, t); }
+
+  /// Fork a child agent that starts at this agent's current time (e.g., a
+  /// task spawned by a driver). Join with `join`.
+  [[nodiscard]] SimAgent fork() const noexcept { return SimAgent(now_); }
+
+  /// Join a child: the parent resumes no earlier than the child finished.
+  void join(const SimAgent& child) noexcept { advance_to(child.now()); }
+
+ private:
+  SimMicros now_ = 0;
+};
+
+}  // namespace bsc::sim

@@ -1,0 +1,187 @@
+#include "spark/analytics.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/strings.hpp"
+
+namespace bsc::spark {
+
+Bytes generate_text(std::uint64_t seed, std::uint64_t bytes, std::uint32_t vocabulary) {
+  Rng rng(seed);
+  Zipf zipf(vocabulary, 0.9);  // natural-ish word frequency skew
+  Bytes out;
+  out.reserve(bytes);
+  while (out.size() < bytes) {
+    const std::uint64_t word_id = zipf.sample(rng);
+    const std::string word = strfmt("w%llu", static_cast<unsigned long long>(word_id));
+    for (char c : word) {
+      if (out.size() >= bytes) break;
+      out.push_back(static_cast<std::byte>(c));
+    }
+    if (out.size() < bytes) {
+      out.push_back(static_cast<std::byte>(rng.chance(0.1) ? '\n' : ' '));
+    }
+  }
+  return out;
+}
+
+Bytes generate_edges(std::uint64_t seed, std::uint32_t nodes, std::uint32_t edges) {
+  Rng rng(seed);
+  Bytes out(static_cast<std::size_t>(edges) * 8);
+  for (std::uint32_t e = 0; e < edges; ++e) {
+    const auto u = static_cast<std::uint32_t>(rng.next_below(nodes));
+    const auto v = static_cast<std::uint32_t>(rng.next_below(nodes));
+    std::memcpy(out.data() + e * 8ULL, &u, 4);
+    std::memcpy(out.data() + e * 8ULL + 4, &v, 4);
+  }
+  return out;
+}
+
+Bytes generate_features(std::uint64_t seed, std::uint32_t rows, std::uint32_t features) {
+  Rng rng(seed);
+  Bytes out(static_cast<std::size_t>(rows) * features * 8);
+  std::size_t off = 0;
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    for (std::uint32_t f = 0; f < features; ++f) {
+      const double v = rng.next_double() * 100.0;
+      std::memcpy(out.data() + off, &v, 8);
+      off += 8;
+    }
+  }
+  return out;
+}
+
+std::uint64_t grep_count(ByteView text, std::string_view pattern) {
+  if (pattern.empty() || text.size() < pattern.size()) return 0;
+  std::uint64_t count = 0;
+  const char* hay = reinterpret_cast<const char*>(text.data());
+  std::size_t pos = 0;
+  while (pos + pattern.size() <= text.size()) {
+    const void* hit = std::memchr(hay + pos, pattern.front(), text.size() - pos);
+    if (!hit) break;
+    pos = static_cast<std::size_t>(static_cast<const char*>(hit) - hay);
+    if (pos + pattern.size() > text.size()) break;
+    if (std::memcmp(hay + pos, pattern.data(), pattern.size()) == 0) {
+      ++count;
+      pos += pattern.size();
+    } else {
+      ++pos;
+    }
+  }
+  return count;
+}
+
+namespace {
+constexpr bool is_space(std::byte b) noexcept {
+  return b == std::byte{' '} || b == std::byte{'\n'} || b == std::byte{'\t'} ||
+         b == std::byte{'\r'};
+}
+}  // namespace
+
+std::uint64_t tokenize(ByteView text, Bytes* out) {
+  std::uint64_t tokens = 0;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && is_space(text[i])) ++i;
+    const std::size_t start = i;
+    while (i < text.size() && !is_space(text[i])) ++i;
+    if (i > start) {
+      ++tokens;
+      if (out) {
+        out->insert(out->end(), text.begin() + static_cast<std::ptrdiff_t>(start),
+                    text.begin() + static_cast<std::ptrdiff_t>(i));
+        out->push_back(std::byte{'\n'});
+      }
+    }
+  }
+  return tokens;
+}
+
+std::unordered_map<std::string, std::uint64_t> word_frequencies(ByteView text) {
+  std::unordered_map<std::string, std::uint64_t> freq;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && is_space(text[i])) ++i;
+    const std::size_t start = i;
+    while (i < text.size() && !is_space(text[i])) ++i;
+    if (i > start) {
+      ++freq[std::string(reinterpret_cast<const char*>(text.data()) + start, i - start)];
+    }
+  }
+  return freq;
+}
+
+std::vector<std::uint64_t> sample_sort_keys(ByteView data, std::uint32_t stride) {
+  std::vector<std::uint64_t> keys;
+  if (stride == 0) stride = 1;
+  for (std::size_t off = 0; off + 8 <= data.size();
+       off += static_cast<std::size_t>(stride) * 8) {
+    std::uint64_t k = 0;
+    std::memcpy(&k, data.data() + off, 8);
+    keys.push_back(k);
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+std::uint64_t label_propagation_sweep(ByteView edges, std::vector<std::uint32_t>* labels) {
+  std::uint64_t changed = 0;
+  auto& lab = *labels;
+  for (std::size_t off = 0; off + 8 <= edges.size(); off += 8) {
+    std::uint32_t u = 0;
+    std::uint32_t v = 0;
+    std::memcpy(&u, edges.data() + off, 4);
+    std::memcpy(&v, edges.data() + off + 4, 4);
+    if (u >= lab.size() || v >= lab.size()) continue;
+    const std::uint32_t m = std::min(lab[u], lab[v]);
+    if (lab[u] != m) {
+      lab[u] = m;
+      ++changed;
+    }
+    if (lab[v] != m) {
+      lab[v] = m;
+      ++changed;
+    }
+  }
+  return changed;
+}
+
+std::uint32_t connected_components(ByteView edges, std::uint32_t nodes) {
+  std::vector<std::uint32_t> labels(nodes);
+  for (std::uint32_t i = 0; i < nodes; ++i) labels[i] = i;
+  while (label_propagation_sweep(edges, &labels) != 0) {
+  }
+  std::vector<std::uint32_t> roots = labels;
+  std::sort(roots.begin(), roots.end());
+  roots.erase(std::unique(roots.begin(), roots.end()), roots.end());
+  return static_cast<std::uint32_t>(roots.size());
+}
+
+std::vector<FeatureStats> feature_stats(ByteView rows, std::uint32_t features) {
+  std::vector<FeatureStats> stats(features);
+  if (features == 0) return stats;
+  std::vector<double> sums(features, 0.0);
+  std::uint64_t nrows = 0;
+  const std::size_t row_bytes = static_cast<std::size_t>(features) * 8;
+  for (std::size_t off = 0; off + row_bytes <= rows.size(); off += row_bytes) {
+    for (std::uint32_t f = 0; f < features; ++f) {
+      double v = 0.0;
+      std::memcpy(&v, rows.data() + off + f * 8ULL, 8);
+      if (nrows == 0) {
+        stats[f].min = stats[f].max = v;
+      } else {
+        stats[f].min = std::min(stats[f].min, v);
+        stats[f].max = std::max(stats[f].max, v);
+      }
+      sums[f] += v;
+    }
+    ++nrows;
+  }
+  for (std::uint32_t f = 0; f < features; ++f) {
+    stats[f].mean = nrows ? sums[f] / static_cast<double>(nrows) : 0.0;
+  }
+  return stats;
+}
+
+}  // namespace bsc::spark

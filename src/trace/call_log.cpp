@@ -1,0 +1,74 @@
+#include "trace/call_log.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+
+namespace bsc::trace {
+
+void CallRecord::set_path(std::string_view p) noexcept {
+  const std::size_t n = std::min(p.size(), sizeof(path) - 1);
+  std::memcpy(path, p.data(), n);
+  path[n] = '\0';
+}
+
+CallLog::CallLog(std::size_t capacity) : capacity_(capacity ? capacity : 1) {
+  ring_.reserve(std::min<std::size_t>(capacity_, 4096));
+}
+
+void CallLog::record(const CallRecord& rec) {
+  std::scoped_lock lk(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(rec);
+  } else {
+    ring_[next_ % capacity_] = rec;
+  }
+  ++next_;
+  ++total_;
+}
+
+std::vector<CallRecord> CallLog::snapshot() const {
+  std::scoped_lock lk(mu_);
+  std::vector<CallRecord> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    // Oldest surviving record sits at next_ % capacity_.
+    const std::size_t head = next_ % capacity_;
+    out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(head), ring_.end());
+    out.insert(out.end(), ring_.begin(), ring_.begin() + static_cast<std::ptrdiff_t>(head));
+  }
+  return out;
+}
+
+std::uint64_t CallLog::recorded() const {
+  std::scoped_lock lk(mu_);
+  return total_;
+}
+
+std::uint64_t CallLog::dropped() const {
+  std::scoped_lock lk(mu_);
+  return total_ > ring_.size() ? total_ - ring_.size() : 0;
+}
+
+void CallLog::clear() {
+  std::scoped_lock lk(mu_);
+  ring_.clear();
+  next_ = 0;
+  total_ = 0;
+}
+
+std::string CallLog::to_csv() const {
+  const auto records = snapshot();
+  std::ostringstream os;
+  os << "op,category,path,bytes,start_us,latency_us,ok\n";
+  for (const auto& r : records) {
+    os << to_string(r.op) << ',' << to_string(classify(r.op)) << ',' << r.path << ','
+       << r.bytes << ',' << r.start_us << ',' << r.latency_us << ','
+       << (r.ok ? 1 : 0) << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace bsc::trace

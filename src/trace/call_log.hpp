@@ -1,0 +1,58 @@
+// CallLog — the persisted artifact of the paper's tracing methodology: a
+// bounded, thread-safe log of individual storage calls, exportable as CSV
+// for offline analysis (the paper's authors analyzed exactly such logs to
+// produce Tables I-II and Figures 1-2).
+//
+// The log is a ring buffer: when full, the oldest records are overwritten
+// and `dropped()` counts what was lost — tracing must never stall the
+// traced application.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "trace/taxonomy.hpp"
+
+namespace bsc::trace {
+
+struct CallRecord {
+  OpKind op = OpKind::open;
+  std::uint64_t bytes = 0;       ///< payload bytes (read/write only)
+  SimMicros start_us = 0;        ///< simulated start time
+  SimMicros latency_us = 0;      ///< simulated duration
+  bool ok = true;
+  char path[48] = {};            ///< truncated path/target (fixed width, no alloc)
+
+  void set_path(std::string_view p) noexcept;
+};
+
+class CallLog {
+ public:
+  explicit CallLog(std::size_t capacity = 65536);
+
+  void record(const CallRecord& rec);
+
+  /// Records in arrival order (oldest surviving first).
+  [[nodiscard]] std::vector<CallRecord> snapshot() const;
+
+  [[nodiscard]] std::uint64_t recorded() const;
+  [[nodiscard]] std::uint64_t dropped() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  void clear();
+
+  /// CSV export: header + one line per record.
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<CallRecord> ring_;
+  std::size_t next_ = 0;      ///< next slot to write
+  std::uint64_t total_ = 0;   ///< records ever written
+};
+
+}  // namespace bsc::trace

@@ -1,0 +1,69 @@
+#include "trace/recorder.hpp"
+
+namespace bsc::trace {
+
+std::uint64_t Census::category_count(Category c) const noexcept {
+  std::uint64_t n = 0;
+  for (std::size_t i = 0; i < kOpKindCount; ++i) {
+    if (classify(static_cast<OpKind>(i)) == c) n += op_counts[i];
+  }
+  return n;
+}
+
+std::uint64_t Census::total_calls() const noexcept {
+  std::uint64_t n = 0;
+  for (auto c : op_counts) n += c;
+  return n;
+}
+
+double Census::category_pct(Category c) const noexcept {
+  const std::uint64_t total = total_calls();
+  if (total == 0) return 0.0;
+  return 100.0 * static_cast<double>(category_count(c)) / static_cast<double>(total);
+}
+
+Census& Census::operator+=(const Census& other) noexcept {
+  for (std::size_t i = 0; i < kOpKindCount; ++i) op_counts[i] += other.op_counts[i];
+  bytes_read += other.bytes_read;
+  bytes_written += other.bytes_written;
+  return *this;
+}
+
+void TraceRecorder::record(OpKind op, std::uint64_t bytes, SimMicros latency_us,
+                           bool ok) noexcept {
+  op_counts_[static_cast<std::size_t>(op)].fetch_add(1, std::memory_order_relaxed);
+  if (op == OpKind::read) bytes_read_.fetch_add(bytes, std::memory_order_relaxed);
+  if (op == OpKind::write) bytes_written_.fetch_add(bytes, std::memory_order_relaxed);
+  if (!ok) failures_.fetch_add(1, std::memory_order_relaxed);
+  if (latency_us >= 0) {
+    std::scoped_lock lk(hist_mu_);
+    latency_[static_cast<std::size_t>(classify(op))].add(
+        static_cast<std::uint64_t>(latency_us));
+  }
+}
+
+Census TraceRecorder::census() const noexcept {
+  Census c;
+  for (std::size_t i = 0; i < kOpKindCount; ++i) {
+    c.op_counts[i] = op_counts_[i].load(std::memory_order_relaxed);
+  }
+  c.bytes_read = bytes_read_.load(std::memory_order_relaxed);
+  c.bytes_written = bytes_written_.load(std::memory_order_relaxed);
+  return c;
+}
+
+Histogram TraceRecorder::latency(Category c) const {
+  std::scoped_lock lk(hist_mu_);
+  return latency_[static_cast<std::size_t>(c)];
+}
+
+void TraceRecorder::reset() noexcept {
+  for (auto& c : op_counts_) c.store(0, std::memory_order_relaxed);
+  bytes_read_.store(0, std::memory_order_relaxed);
+  bytes_written_.store(0, std::memory_order_relaxed);
+  failures_.store(0, std::memory_order_relaxed);
+  std::scoped_lock lk(hist_mu_);
+  for (auto& h : latency_) h = Histogram{};
+}
+
+}  // namespace bsc::trace

@@ -1,0 +1,60 @@
+// Thread-safe storage-call recorder: per-OpKind counters, byte totals,
+// latency histograms per category. This is the aggregation the paper builds
+// Figures 1-2 and Tables I-II from.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/units.hpp"
+#include "trace/taxonomy.hpp"
+
+namespace bsc::trace {
+
+/// Immutable snapshot of a recorder's state.
+struct Census {
+  std::array<std::uint64_t, kOpKindCount> op_counts{};
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+
+  [[nodiscard]] std::uint64_t count(OpKind k) const noexcept {
+    return op_counts[static_cast<std::size_t>(k)];
+  }
+  [[nodiscard]] std::uint64_t category_count(Category c) const noexcept;
+  [[nodiscard]] std::uint64_t total_calls() const noexcept;
+  /// Percentage of all calls falling into `c` (0 when no calls).
+  [[nodiscard]] double category_pct(Category c) const noexcept;
+
+  Census& operator+=(const Census& other) noexcept;
+};
+
+class TraceRecorder {
+ public:
+  TraceRecorder() = default;
+
+  void record(OpKind op, std::uint64_t bytes, SimMicros latency_us, bool ok) noexcept;
+
+  [[nodiscard]] Census census() const noexcept;
+  [[nodiscard]] std::uint64_t failures() const noexcept {
+    return failures_.load(std::memory_order_relaxed);
+  }
+  /// Latency distribution of one category (locked copy).
+  [[nodiscard]] Histogram latency(Category c) const;
+
+  void reset() noexcept;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kOpKindCount> op_counts_{};
+  std::atomic<std::uint64_t> bytes_read_{0};
+  std::atomic<std::uint64_t> bytes_written_{0};
+  std::atomic<std::uint64_t> failures_{0};
+  mutable std::mutex hist_mu_;
+  std::array<Histogram, kCategoryCount> latency_{};
+};
+
+}  // namespace bsc::trace

@@ -1,0 +1,107 @@
+#include "trace/report.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/strings.hpp"
+
+namespace bsc::trace {
+
+std::string classify_profile(double rw_ratio) {
+  if (rw_ratio > 2.0) return "Read-intensive";
+  if (rw_ratio < 0.5) return "Write-intensive";
+  return "Balanced";
+}
+
+std::string format_ratio(double rw_ratio) {
+  if (rw_ratio >= 100.0 || (rw_ratio > 0 && rw_ratio < 0.1)) {
+    const int exp = static_cast<int>(std::floor(std::log10(rw_ratio)));
+    const double mant = rw_ratio / std::pow(10.0, exp);
+    return strfmt("%.1f x 10^%d", mant, exp);
+  }
+  return strfmt("%.2f", rw_ratio);
+}
+
+std::string render_table1(const std::vector<AppCensus>& apps) {
+  std::ostringstream os;
+  os << strfmt("%-14s %-12s %-22s %12s %12s %14s %-16s\n", "Platform", "Application",
+               "Usage", "Total reads", "Total writes", "R/W ratio", "Profile");
+  os << std::string(108, '-') << '\n';
+  for (const auto& a : apps) {
+    const double ratio =
+        a.census.bytes_written == 0
+            ? static_cast<double>(a.census.bytes_read)
+            : static_cast<double>(a.census.bytes_read) /
+                  static_cast<double>(a.census.bytes_written);
+    os << strfmt("%-14s %-12s %-22s %12s %12s %14s %-16s\n", a.platform.c_str(),
+                 a.name.c_str(), a.usage.c_str(),
+                 format_bytes(a.census.bytes_read).c_str(),
+                 format_bytes(a.census.bytes_written).c_str(), format_ratio(ratio).c_str(),
+                 classify_profile(ratio).c_str());
+  }
+  return os.str();
+}
+
+namespace {
+std::string bar(double pct, std::size_t width = 40) {
+  const auto n = static_cast<std::size_t>(pct / 100.0 * static_cast<double>(width) + 0.5);
+  return std::string(n, '#') + std::string(width - std::min(n, width), '.');
+}
+}  // namespace
+
+std::string render_call_ratio_figure(const std::string& title,
+                                     const std::vector<AppCensus>& apps) {
+  std::ostringstream os;
+  os << title << '\n';
+  os << strfmt("%-10s %10s %10s %10s %10s %12s\n", "App", "read%", "write%", "dir%",
+               "other%", "total calls");
+  os << std::string(68, '-') << '\n';
+  for (const auto& a : apps) {
+    os << strfmt("%-10s %10.2f %10.2f %10.2f %10.2f %12llu\n", a.name.c_str(),
+                 a.census.category_pct(Category::file_read),
+                 a.census.category_pct(Category::file_write),
+                 a.census.category_pct(Category::directory),
+                 a.census.category_pct(Category::other),
+                 static_cast<unsigned long long>(a.census.total_calls()));
+  }
+  os << '\n';
+  for (const auto& a : apps) {
+    os << strfmt("%-10s read  |%s| %6.2f%%\n", a.name.c_str(),
+                 bar(a.census.category_pct(Category::file_read)).c_str(),
+                 a.census.category_pct(Category::file_read));
+    os << strfmt("%-10s write |%s| %6.2f%%\n", "",
+                 bar(a.census.category_pct(Category::file_write)).c_str(),
+                 a.census.category_pct(Category::file_write));
+  }
+  return os.str();
+}
+
+std::string render_table2(const DirOpBreakdown& ops) {
+  std::ostringstream os;
+  os << strfmt("%-32s %-24s %16s\n", "Operation", "Action", "Operation count");
+  os << std::string(74, '-') << '\n';
+  os << strfmt("%-32s %-24s %16llu\n", "mkdir", "Create directory",
+               static_cast<unsigned long long>(ops.mkdir));
+  os << strfmt("%-32s %-24s %16llu\n", "rmdir", "Remove directory",
+               static_cast<unsigned long long>(ops.rmdir));
+  os << strfmt("%-32s %-24s %16llu\n", "opendir (Input data directory)",
+               "Open / List directory",
+               static_cast<unsigned long long>(ops.opendir_input));
+  os << strfmt("%-32s %-24s %16llu\n", "opendir (Other directories)",
+               "Open / List directory",
+               static_cast<unsigned long long>(ops.opendir_other));
+  return os.str();
+}
+
+std::string render_census_detail(const std::string& name, const Census& c) {
+  std::ostringstream os;
+  os << "census[" << name << "]:";
+  for (std::size_t i = 0; i < kOpKindCount; ++i) {
+    if (c.op_counts[i] == 0) continue;
+    os << ' ' << to_string(static_cast<OpKind>(i)) << '=' << c.op_counts[i];
+  }
+  os << " bytes_read=" << c.bytes_read << " bytes_written=" << c.bytes_written;
+  return os.str();
+}
+
+}  // namespace bsc::trace

@@ -1,0 +1,50 @@
+// Report renderers: print the same rows/series as the paper's tables and
+// figures from collected censuses. Used by the bench binaries.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "trace/recorder.hpp"
+
+namespace bsc::trace {
+
+/// One traced application run.
+struct AppCensus {
+  std::string name;      ///< e.g. "BLAST"
+  std::string platform;  ///< "HPC / MPI" or "Cloud / Spark"
+  std::string usage;     ///< e.g. "Protein docking"
+  Census census;
+  SimMicros sim_time = 0;
+};
+
+/// I/O-profile classification used in Table I's last column.
+[[nodiscard]] std::string classify_profile(double rw_ratio);
+
+/// Format a read/write ratio the way Table I prints it (scientific for
+/// extreme ratios, plain otherwise).
+[[nodiscard]] std::string format_ratio(double rw_ratio);
+
+/// Table I: platform, application, usage, total reads, total writes,
+/// R/W ratio, profile.
+[[nodiscard]] std::string render_table1(const std::vector<AppCensus>& apps);
+
+/// Figures 1-2: per-application relative storage-call percentages in the
+/// four categories, as an aligned table plus ASCII bars.
+[[nodiscard]] std::string render_call_ratio_figure(const std::string& title,
+                                                   const std::vector<AppCensus>& apps);
+
+/// Table II: Spark directory-operation breakdown.
+struct DirOpBreakdown {
+  std::uint64_t mkdir = 0;
+  std::uint64_t rmdir = 0;
+  std::uint64_t opendir_input = 0;  ///< input-data directory listings
+  std::uint64_t opendir_other = 0;  ///< every other directory listing
+};
+[[nodiscard]] std::string render_table2(const DirOpBreakdown& ops);
+
+/// Raw per-OpKind dump for one census (debugging / EXPERIMENTS.md evidence).
+[[nodiscard]] std::string render_census_detail(const std::string& name, const Census& c);
+
+}  // namespace bsc::trace

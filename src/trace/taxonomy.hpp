@@ -1,0 +1,93 @@
+// Storage-call taxonomy of the paper's §IV.
+//
+// Every FileSystem call is one OpKind; each OpKind rolls up into one of the
+// four categories of Figures 1-2: file reads, file writes, directory
+// operations, and "other" (open/close/sync/stat/xattr/rename/... — the paper
+// classifies open and unlink as file operations for the blob-mapping
+// argument of §III, but the traced figures bucket everything that is neither
+// a data read, a data write, nor a directory operation under "Other").
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace bsc::trace {
+
+enum class OpKind : std::uint8_t {
+  open = 0,
+  close,
+  read,
+  write,
+  sync,
+  truncate,
+  unlink,
+  mkdir,
+  rmdir,
+  readdir,
+  stat,
+  rename,
+  chmod,
+  getxattr,
+  setxattr,
+  kCount_,
+};
+inline constexpr std::size_t kOpKindCount = static_cast<std::size_t>(OpKind::kCount_);
+
+enum class Category : std::uint8_t {
+  file_read = 0,
+  file_write,
+  directory,
+  other,
+  kCount_,
+};
+inline constexpr std::size_t kCategoryCount = static_cast<std::size_t>(Category::kCount_);
+
+constexpr Category classify(OpKind op) noexcept {
+  switch (op) {
+    case OpKind::read:
+      return Category::file_read;
+    case OpKind::write:
+      return Category::file_write;
+    case OpKind::mkdir:
+    case OpKind::rmdir:
+    case OpKind::readdir:
+      return Category::directory;
+    default:
+      return Category::other;
+  }
+}
+
+constexpr std::string_view to_string(OpKind op) noexcept {
+  switch (op) {
+    case OpKind::open: return "open";
+    case OpKind::close: return "close";
+    case OpKind::read: return "read";
+    case OpKind::write: return "write";
+    case OpKind::sync: return "sync";
+    case OpKind::truncate: return "truncate";
+    case OpKind::unlink: return "unlink";
+    case OpKind::mkdir: return "mkdir";
+    case OpKind::rmdir: return "rmdir";
+    case OpKind::readdir: return "readdir";
+    case OpKind::stat: return "stat";
+    case OpKind::rename: return "rename";
+    case OpKind::chmod: return "chmod";
+    case OpKind::getxattr: return "getxattr";
+    case OpKind::setxattr: return "setxattr";
+    case OpKind::kCount_: break;
+  }
+  return "?";
+}
+
+constexpr std::string_view to_string(Category c) noexcept {
+  switch (c) {
+    case Category::file_read: return "file_read";
+    case Category::file_write: return "file_write";
+    case Category::directory: return "directory";
+    case Category::other: return "other";
+    case Category::kCount_: break;
+  }
+  return "?";
+}
+
+}  // namespace bsc::trace

@@ -1,0 +1,110 @@
+// The storage-layer interface of this codebase.
+//
+// FileSystem is the POSIX-IO-shaped API the paper's applications program
+// against. Three backends implement it:
+//   * pfs::LustreLikeFs     — strictly POSIX-compliant parallel file system
+//   * hdfs::HdfsLikeFs      — write-once-read-many big-data file system
+//   * adapter::BlobFs       — POSIX-on-blob adapter (flat namespace below)
+// and trace::TracingFs decorates any of them to record the storage-call
+// census of §IV.
+//
+// The operation set is exactly the taxonomy the paper traces: file I/O
+// (open/close/read/write/sync/truncate), directory operations
+// (mkdir/rmdir/readdir), and "other" metadata (stat/rename/unlink/chmod/
+// xattrs).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "vfs/io_ctx.hpp"
+
+namespace bsc::vfs {
+
+using FileHandle = std::uint64_t;
+inline constexpr FileHandle kInvalidHandle = 0;
+
+/// POSIX-style open flags (subset the traced applications use).
+struct OpenFlags {
+  bool read = false;
+  bool write = false;
+  bool create = false;
+  bool truncate = false;
+  bool append = false;
+  bool exclusive = false;  ///< with create: fail if the file exists
+
+  static OpenFlags rd() { return {.read = true}; }
+  static OpenFlags wr() { return {.write = true, .create = true, .truncate = true}; }
+  static OpenFlags rw() { return {.read = true, .write = true, .create = true}; }
+  static OpenFlags ap() { return {.write = true, .create = true, .append = true}; }
+};
+
+/// Permission bits, classic rwxrwxrwx encoding.
+using Mode = std::uint32_t;
+inline constexpr Mode kDefaultFileMode = 0644;
+inline constexpr Mode kDefaultDirMode = 0755;
+
+enum class FileType : std::uint8_t { regular, directory };
+
+struct FileInfo {
+  std::string path;
+  FileType type = FileType::regular;
+  std::uint64_t size = 0;
+  Mode mode = kDefaultFileMode;
+  std::uint32_t uid = 0;
+  std::uint32_t gid = 0;
+  std::uint64_t inode = 0;
+};
+
+struct DirEntry {
+  std::string name;
+  FileType type = FileType::regular;
+};
+
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+
+  [[nodiscard]] virtual std::string backend_name() const = 0;
+
+  // --- file operations (the calls that dominate Figs 1-2) ---
+  [[nodiscard]] virtual Result<FileHandle> open(const IoCtx& ctx, std::string_view path,
+                                                OpenFlags flags,
+                                                Mode mode = kDefaultFileMode) = 0;
+  [[nodiscard]] virtual Status close(const IoCtx& ctx, FileHandle fh) = 0;
+  /// Read up to `len` bytes at `offset`; returns the bytes actually read
+  /// (short only at EOF).
+  [[nodiscard]] virtual Result<Bytes> read(const IoCtx& ctx, FileHandle fh,
+                                           std::uint64_t offset, std::uint64_t len) = 0;
+  /// Write `data` at `offset` (or at EOF when the handle is append-mode).
+  /// Returns bytes written.
+  [[nodiscard]] virtual Result<std::uint64_t> write(const IoCtx& ctx, FileHandle fh,
+                                                    std::uint64_t offset, ByteView data) = 0;
+  [[nodiscard]] virtual Status sync(const IoCtx& ctx, FileHandle fh) = 0;
+  [[nodiscard]] virtual Status truncate(const IoCtx& ctx, std::string_view path,
+                                        std::uint64_t new_size) = 0;
+  [[nodiscard]] virtual Status unlink(const IoCtx& ctx, std::string_view path) = 0;
+
+  // --- directory operations ---
+  [[nodiscard]] virtual Status mkdir(const IoCtx& ctx, std::string_view path,
+                                     Mode mode = kDefaultDirMode) = 0;
+  [[nodiscard]] virtual Status rmdir(const IoCtx& ctx, std::string_view path) = 0;
+  [[nodiscard]] virtual Result<std::vector<DirEntry>> readdir(const IoCtx& ctx,
+                                                              std::string_view path) = 0;
+
+  // --- other metadata operations ---
+  [[nodiscard]] virtual Result<FileInfo> stat(const IoCtx& ctx, std::string_view path) = 0;
+  [[nodiscard]] virtual Status rename(const IoCtx& ctx, std::string_view from,
+                                      std::string_view to) = 0;
+  [[nodiscard]] virtual Status chmod(const IoCtx& ctx, std::string_view path, Mode mode) = 0;
+  [[nodiscard]] virtual Result<std::string> getxattr(const IoCtx& ctx, std::string_view path,
+                                                     std::string_view name) = 0;
+  [[nodiscard]] virtual Status setxattr(const IoCtx& ctx, std::string_view path,
+                                        std::string_view name, std::string_view value) = 0;
+};
+
+}  // namespace bsc::vfs

@@ -1,0 +1,82 @@
+#include "vfs/helpers.hpp"
+
+#include "common/strings.hpp"
+
+namespace bsc::vfs {
+
+Status write_file(FileSystem& fs, const IoCtx& ctx, std::string_view path, ByteView data,
+                  std::uint64_t chunk) {
+  auto fh = fs.open(ctx, path, OpenFlags::wr());
+  if (!fh.ok()) return fh.error();
+  std::uint64_t off = 0;
+  while (off < data.size()) {
+    const auto n = std::min<std::uint64_t>(chunk, data.size() - off);
+    auto w = fs.write(ctx, fh.value(), off, subview(data, off, n));
+    if (!w.ok()) {
+      (void)fs.close(ctx, fh.value());
+      return w.error();
+    }
+    off += w.value();
+  }
+  return fs.close(ctx, fh.value());
+}
+
+Result<Bytes> read_file(FileSystem& fs, const IoCtx& ctx, std::string_view path,
+                        std::uint64_t chunk) {
+  auto st = fs.stat(ctx, path);
+  if (!st.ok()) return st.error();
+  auto fh = fs.open(ctx, path, OpenFlags::rd());
+  if (!fh.ok()) return fh.error();
+  Bytes out;
+  out.reserve(st.value().size);
+  std::uint64_t off = 0;
+  while (off < st.value().size) {
+    auto r = fs.read(ctx, fh.value(), off, std::min(chunk, st.value().size - off));
+    if (!r.ok()) {
+      (void)fs.close(ctx, fh.value());
+      return r.error();
+    }
+    if (r.value().empty()) break;  // concurrent truncate
+    off += r.value().size();
+    append(out, as_view(r.value()));
+  }
+  auto c = fs.close(ctx, fh.value());
+  if (!c.ok()) return c.error();
+  return out;
+}
+
+Status mkdir_recursive(FileSystem& fs, const IoCtx& ctx, std::string_view path, Mode mode) {
+  const auto comps = path_components(path);
+  std::string cur = "/";
+  for (const auto& c : comps) {
+    cur = join_path(cur, c);
+    auto st = fs.mkdir(ctx, cur, mode);
+    if (!st.ok() && st.code() != Errc::already_exists) return st;
+  }
+  return Status::success();
+}
+
+Status remove_recursive(FileSystem& fs, const IoCtx& ctx, std::string_view path) {
+  auto info = fs.stat(ctx, path);
+  if (!info.ok()) return info.error();
+  if (info.value().type == FileType::regular) return fs.unlink(ctx, path);
+  auto entries = fs.readdir(ctx, path);
+  if (!entries.ok()) return entries.error();
+  for (const auto& e : entries.value()) {
+    auto st = remove_recursive(fs, ctx, join_path(path, e.name));
+    if (!st.ok()) return st;
+  }
+  return fs.rmdir(ctx, path);
+}
+
+bool exists(FileSystem& fs, const IoCtx& ctx, std::string_view path) {
+  return fs.stat(ctx, path).ok();
+}
+
+Result<std::uint64_t> file_size(FileSystem& fs, const IoCtx& ctx, std::string_view path) {
+  auto st = fs.stat(ctx, path);
+  if (!st.ok()) return st.error();
+  return st.value().size;
+}
+
+}  // namespace bsc::vfs

@@ -1,0 +1,33 @@
+// Convenience wrappers over the FileSystem interface used by workloads,
+// examples and tests: whole-file read/write, recursive mkdir, existence
+// checks, and recursive removal.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "vfs/file_system.hpp"
+
+namespace bsc::vfs {
+
+/// Create the file (truncating) and write `data` in `chunk` sized requests.
+[[nodiscard]] Status write_file(FileSystem& fs, const IoCtx& ctx, std::string_view path,
+                                ByteView data, std::uint64_t chunk = 1 << 20);
+
+/// Read the whole file in `chunk` sized requests.
+[[nodiscard]] Result<Bytes> read_file(FileSystem& fs, const IoCtx& ctx, std::string_view path,
+                                      std::uint64_t chunk = 1 << 20);
+
+/// mkdir -p.
+[[nodiscard]] Status mkdir_recursive(FileSystem& fs, const IoCtx& ctx, std::string_view path,
+                                     Mode mode = kDefaultDirMode);
+
+/// rm -r (directories and files).
+[[nodiscard]] Status remove_recursive(FileSystem& fs, const IoCtx& ctx, std::string_view path);
+
+[[nodiscard]] bool exists(FileSystem& fs, const IoCtx& ctx, std::string_view path);
+
+[[nodiscard]] Result<std::uint64_t> file_size(FileSystem& fs, const IoCtx& ctx,
+                                              std::string_view path);
+
+}  // namespace bsc::vfs

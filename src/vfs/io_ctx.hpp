@@ -1,0 +1,22 @@
+// Per-call I/O context: the simulated agent whose clock the call charges,
+// plus POSIX-style credentials for permission checks in src/pfs.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/sim_clock.hpp"
+
+namespace bsc::vfs {
+
+struct IoCtx {
+  sim::SimAgent* agent = nullptr;  ///< may be null: no time accounting
+  std::uint32_t uid = 0;
+  std::uint32_t gid = 0;
+
+  [[nodiscard]] SimMicros now() const noexcept { return agent ? agent->now() : 0; }
+  void charge(SimMicros us) const noexcept {
+    if (agent) agent->charge(us);
+  }
+};
+
+}  // namespace bsc::vfs

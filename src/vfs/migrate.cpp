@@ -1,0 +1,162 @@
+#include "vfs/migrate.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+#include "vfs/helpers.hpp"
+
+namespace bsc::vfs {
+
+namespace {
+
+Status copy_file(FileSystem& src, const IoCtx& sctx, const std::string& spath,
+                 FileSystem& dst, const IoCtx& dctx, const std::string& dpath,
+                 const MigrateOptions& opts, MigrateStats& stats) {
+  auto info = src.stat(sctx, spath);
+  if (!info.ok()) return info.error();
+  auto in = src.open(sctx, spath, OpenFlags::rd());
+  if (!in.ok()) return in.error();
+  auto out = dst.open(dctx, dpath, OpenFlags::wr(),
+                      opts.preserve_mode ? info.value().mode : kDefaultFileMode);
+  if (!out.ok()) {
+    (void)src.close(sctx, in.value());
+    return out.error();
+  }
+  std::uint64_t off = 0;
+  Status failure = Status::success();
+  while (off < info.value().size) {
+    const std::uint64_t n = std::min(opts.io_chunk, info.value().size - off);
+    auto chunk = src.read(sctx, in.value(), off, n);
+    if (!chunk.ok()) {
+      failure = chunk.error();
+      break;
+    }
+    if (chunk.value().empty()) break;
+    auto w = dst.write(dctx, out.value(), off, as_view(chunk.value()));
+    if (!w.ok()) {
+      failure = w.error();
+      break;
+    }
+    off += w.value();
+  }
+  (void)src.close(sctx, in.value());
+  auto cs = dst.close(dctx, out.value());
+  if (failure.ok() && !cs.ok()) failure = cs;
+  if (!failure.ok()) return failure;
+
+  stats.bytes += off;
+  ++stats.files;
+  if (opts.preserve_xattrs) {
+    for (const auto& name : opts.xattr_names) {
+      auto v = src.getxattr(sctx, spath, name);
+      if (!v.ok()) continue;
+      if (dst.setxattr(dctx, dpath, name, v.value()).ok()) ++stats.xattrs;
+    }
+  }
+  return Status::success();
+}
+
+Status migrate_recursive(FileSystem& src, const IoCtx& sctx, const std::string& spath,
+                         FileSystem& dst, const IoCtx& dctx, const std::string& dpath,
+                         const MigrateOptions& opts, MigrateStats& stats) {
+  auto info = src.stat(sctx, spath);
+  if (!info.ok()) return info.error();
+  if (info.value().type == FileType::regular) {
+    auto st = copy_file(src, sctx, spath, dst, dctx, dpath, opts, stats);
+    if (!st.ok()) {
+      if (!opts.continue_on_error) return st;
+      stats.skipped.push_back(spath + ": " + st.message());
+    }
+    return Status::success();
+  }
+  // Directory: create (or reuse) and recurse.
+  if (dpath != "/") {
+    auto st = dst.mkdir(dctx, dpath,
+                        opts.preserve_mode ? info.value().mode : kDefaultDirMode);
+    if (!st.ok() && st.code() != Errc::already_exists) {
+      if (!opts.continue_on_error) return st;
+      stats.skipped.push_back(dpath + ": " + st.message());
+      return Status::success();
+    }
+    if (st.ok()) ++stats.directories;
+  }
+  auto entries = src.readdir(sctx, spath);
+  if (!entries.ok()) return entries.error();
+  for (const auto& e : entries.value()) {
+    auto st = migrate_recursive(src, sctx, join_path(spath, e.name), dst, dctx,
+                                join_path(dpath, e.name), opts, stats);
+    if (!st.ok()) return st;
+  }
+  return Status::success();
+}
+
+}  // namespace
+
+Result<MigrateStats> migrate_tree(FileSystem& src, const IoCtx& src_ctx,
+                                  std::string_view src_path, FileSystem& dst,
+                                  const IoCtx& dst_ctx, std::string_view dst_path,
+                                  const MigrateOptions& opts) {
+  MigrateStats stats;
+  const std::string dnorm = normalize_path(dst_path);
+  // The destination may be nested under directories that don't exist yet.
+  if (dnorm != "/") {
+    auto pre = mkdir_recursive(dst, dst_ctx, parent_path(dnorm));
+    if (!pre.ok()) return pre.error();
+  }
+  auto st = migrate_recursive(src, src_ctx, normalize_path(src_path), dst, dst_ctx,
+                              dnorm, opts, stats);
+  if (!st.ok()) return st.error();
+  return stats;
+}
+
+Status verify_trees_equal(FileSystem& a, const IoCtx& actx, std::string_view a_path,
+                          FileSystem& b, const IoCtx& bctx, std::string_view b_path,
+                          bool compare_modes) {
+  auto ia = a.stat(actx, normalize_path(a_path));
+  auto ib = b.stat(bctx, normalize_path(b_path));
+  if (!ia.ok() || !ib.ok()) {
+    return {Errc::not_found, std::string{a_path} + " vs " + std::string{b_path}};
+  }
+  if (ia.value().type != ib.value().type) {
+    return {Errc::invalid_argument, "type mismatch at " + std::string{a_path}};
+  }
+  if (compare_modes && ia.value().mode != ib.value().mode) {
+    return {Errc::invalid_argument, "mode mismatch at " + std::string{a_path}};
+  }
+  if (ia.value().type == FileType::regular) {
+    if (ia.value().size != ib.value().size) {
+      return {Errc::invalid_argument, "size mismatch at " + std::string{a_path}};
+    }
+    auto ca = read_file(a, actx, a_path);
+    auto cb = read_file(b, bctx, b_path);
+    if (!ca.ok() || !cb.ok()) return {Errc::io_error, std::string{a_path}};
+    if (!equal(as_view(ca.value()), as_view(cb.value()))) {
+      return {Errc::invalid_argument, "content mismatch at " + std::string{a_path}};
+    }
+    return Status::success();
+  }
+  auto ea = a.readdir(actx, a_path);
+  auto eb = b.readdir(bctx, b_path);
+  if (!ea.ok() || !eb.ok()) return {Errc::io_error, std::string{a_path}};
+  auto names = [](std::vector<DirEntry> v) {
+    std::sort(v.begin(), v.end(),
+              [](const auto& x, const auto& y) { return x.name < y.name; });
+    return v;
+  };
+  const auto va = names(ea.value());
+  const auto vb = names(eb.value());
+  if (va.size() != vb.size()) {
+    return {Errc::invalid_argument, "entry count mismatch at " + std::string{a_path}};
+  }
+  for (std::size_t i = 0; i < va.size(); ++i) {
+    if (va[i].name != vb[i].name) {
+      return {Errc::invalid_argument, "entry name mismatch at " + std::string{a_path}};
+    }
+    auto st = verify_trees_equal(a, actx, join_path(a_path, va[i].name), b, bctx,
+                                 join_path(b_path, vb[i].name), compare_modes);
+    if (!st.ok()) return st;
+  }
+  return Status::success();
+}
+
+}  // namespace bsc::vfs

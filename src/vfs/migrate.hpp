@@ -1,0 +1,48 @@
+// Cross-backend data migration: copy a subtree from any FileSystem to any
+// other, preserving contents, modes and xattrs — the adoption path for a
+// site replacing its PFS/HDFS deployment with blob storage (§V), and a
+// workout for the claim that the POSIX surface maps onto blobs cleanly.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "vfs/file_system.hpp"
+
+namespace bsc::vfs {
+
+struct MigrateStats {
+  std::uint64_t files = 0;
+  std::uint64_t directories = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t xattrs = 0;
+  std::vector<std::string> skipped;  ///< paths that could not be copied, with reason
+};
+
+struct MigrateOptions {
+  std::uint64_t io_chunk = 1 << 20;  ///< copy granularity
+  bool preserve_mode = true;
+  bool preserve_xattrs = true;
+  /// xattr names to carry over (enumeration is not part of the FileSystem
+  /// interface, so the caller lists candidates; absent ones are skipped).
+  std::vector<std::string> xattr_names = {"user.tag", "user.station", "user.origin"};
+  bool continue_on_error = true;  ///< record into skipped instead of aborting
+};
+
+/// Recursively copy `src_path` (file or directory) from `src` into
+/// `dst_path` on `dst`. Existing destination files are overwritten;
+/// existing directories are reused.
+Result<MigrateStats> migrate_tree(FileSystem& src, const IoCtx& src_ctx,
+                                  std::string_view src_path, FileSystem& dst,
+                                  const IoCtx& dst_ctx, std::string_view dst_path,
+                                  const MigrateOptions& opts = {});
+
+/// Compare two trees (structure, sizes, contents); returns the first
+/// difference found, or success when identical. Directory entry order is
+/// normalized; modes are compared only when `compare_modes`.
+Status verify_trees_equal(FileSystem& a, const IoCtx& actx, std::string_view a_path,
+                          FileSystem& b, const IoCtx& bctx, std::string_view b_path,
+                          bool compare_modes = false);
+
+}  // namespace bsc::vfs

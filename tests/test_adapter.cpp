@@ -1,0 +1,195 @@
+// Tests for BlobFs, the POSIX-on-blob adapter: file I/O mapping, chunking,
+// scan-based directory emulation, and the documented semantic reductions.
+#include <gtest/gtest.h>
+
+#include "adapter/blobfs.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "vfs/helpers.hpp"
+
+namespace bsc::adapter {
+namespace {
+
+class BlobFsTest : public ::testing::Test {
+ protected:
+  sim::Cluster cluster_;
+  blob::BlobStore store_{cluster_};
+  BlobFs fs_{store_};
+  sim::SimAgent agent_;
+  vfs::IoCtx ctx_{&agent_, 100, 100};
+};
+
+TEST_F(BlobFsTest, KeyEncoding) {
+  EXPECT_EQ(BlobFs::meta_key("/a/b"), "m!/a/b");
+  EXPECT_EQ(BlobFs::chunk_key("/a/b", 3), "d!/a/b!00000003");
+  EXPECT_EQ(BlobFs::child_meta_prefix("/a"), "m!/a/");
+  EXPECT_EQ(BlobFs::child_meta_prefix("/"), "m!/");
+}
+
+TEST_F(BlobFsTest, FileRoundTripAcrossChunks) {
+  const Bytes data = make_payload(1, 0, 900000);  // several 256 KiB chunks
+  ASSERT_TRUE(vfs::write_file(fs_, ctx_, "/f", as_view(data)).ok());
+  EXPECT_EQ(fs_.stat(ctx_, "/f").value().size, 900000u);
+  auto back = vfs::read_file(fs_, ctx_, "/f");
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(equal(as_view(back.value()), as_view(data)));
+}
+
+TEST_F(BlobFsTest, FileDataLandsInBlobStore) {
+  ASSERT_TRUE(vfs::write_file(fs_, ctx_, "/blobby", as_view(make_payload(2, 0, 600000))).ok());
+  sim::SimAgent a;
+  blob::BlobClient client(store_, &a);
+  EXPECT_TRUE(client.exists("m!/blobby"));
+  EXPECT_TRUE(client.exists("d!/blobby!00000000"));
+  EXPECT_TRUE(client.exists("d!/blobby!00000002"));
+  EXPECT_EQ(client.size("d!/blobby!00000000").value(), fs_.config().chunk_bytes);
+}
+
+TEST_F(BlobFsTest, SparseWriteReadsZeros) {
+  auto h = fs_.open(ctx_, "/sparse", vfs::OpenFlags::rw());
+  ASSERT_TRUE(h.ok());
+  ASSERT_TRUE(fs_.write(ctx_, h.value(), 700000, as_view(to_bytes("end"))).ok());
+  auto r = fs_.read(ctx_, h.value(), 0, 700003);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().size(), 700003u);
+  EXPECT_EQ(r.value()[0], std::byte{0});
+  EXPECT_EQ(r.value()[699999], std::byte{0});
+  EXPECT_EQ(to_string(subview(as_view(r.value()), 700000, 3)), "end");
+}
+
+TEST_F(BlobFsTest, MkdirReaddirRmdirViaScan) {
+  ASSERT_TRUE(fs_.mkdir(ctx_, "/dir").ok());
+  EXPECT_EQ(fs_.mkdir(ctx_, "/dir").code(), Errc::already_exists);
+  EXPECT_EQ(fs_.mkdir(ctx_, "/none/child").code(), Errc::not_found);
+  ASSERT_TRUE(vfs::write_file(fs_, ctx_, "/dir/f1", as_view(to_bytes("1"))).ok());
+  ASSERT_TRUE(fs_.mkdir(ctx_, "/dir/sub").ok());
+  ASSERT_TRUE(vfs::write_file(fs_, ctx_, "/dir/sub/deep", as_view(to_bytes("2"))).ok());
+  auto ls = fs_.readdir(ctx_, "/dir");
+  ASSERT_TRUE(ls.ok());
+  ASSERT_EQ(ls.value().size(), 2u);  // deep child not listed at this level
+  EXPECT_EQ(ls.value()[0].name, "f1");
+  EXPECT_EQ(ls.value()[0].type, vfs::FileType::regular);
+  EXPECT_EQ(ls.value()[1].name, "sub");
+  EXPECT_EQ(ls.value()[1].type, vfs::FileType::directory);
+  EXPECT_EQ(fs_.rmdir(ctx_, "/dir").code(), Errc::not_empty);
+  ASSERT_TRUE(fs_.unlink(ctx_, "/dir/sub/deep").ok());
+  ASSERT_TRUE(fs_.rmdir(ctx_, "/dir/sub").ok());
+  ASSERT_TRUE(fs_.unlink(ctx_, "/dir/f1").ok());
+  EXPECT_TRUE(fs_.rmdir(ctx_, "/dir").ok());
+}
+
+TEST_F(BlobFsTest, RootListing) {
+  ASSERT_TRUE(vfs::write_file(fs_, ctx_, "/top", as_view(to_bytes("x"))).ok());
+  ASSERT_TRUE(fs_.mkdir(ctx_, "/d").ok());
+  auto ls = fs_.readdir(ctx_, "/");
+  ASSERT_TRUE(ls.ok());
+  EXPECT_EQ(ls.value().size(), 2u);
+}
+
+TEST_F(BlobFsTest, UnlinkRemovesAllBlobs) {
+  ASSERT_TRUE(vfs::write_file(fs_, ctx_, "/gone", as_view(make_payload(3, 0, 600000))).ok());
+  ASSERT_TRUE(fs_.unlink(ctx_, "/gone").ok());
+  sim::SimAgent a;
+  blob::BlobClient client(store_, &a);
+  auto leftovers = client.scan("d!/gone");
+  ASSERT_TRUE(leftovers.ok());
+  EXPECT_TRUE(leftovers.value().empty());
+  EXPECT_FALSE(client.exists("m!/gone"));
+}
+
+TEST_F(BlobFsTest, TruncateShrinkGrowNoStaleData) {
+  const Bytes data = make_payload(4, 0, 600000);
+  ASSERT_TRUE(vfs::write_file(fs_, ctx_, "/t", as_view(data)).ok());
+  ASSERT_TRUE(fs_.truncate(ctx_, "/t", 100000).ok());
+  EXPECT_EQ(fs_.stat(ctx_, "/t").value().size, 100000u);
+  ASSERT_TRUE(fs_.truncate(ctx_, "/t", 500000).ok());
+  auto back = vfs::read_file(fs_, ctx_, "/t");
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back.value().size(), 500000u);
+  EXPECT_TRUE(
+      equal(subview(as_view(back.value()), 0, 100000), subview(as_view(data), 0, 100000)));
+  for (std::size_t i = 100000; i < 500000; ++i) {
+    ASSERT_EQ(back.value()[i], std::byte{0}) << "stale byte at " << i;
+  }
+}
+
+TEST_F(BlobFsTest, RenameCopiesChunks) {
+  const Bytes data = make_payload(5, 0, 300000);
+  ASSERT_TRUE(vfs::write_file(fs_, ctx_, "/old", as_view(data)).ok());
+  ASSERT_TRUE(fs_.rename(ctx_, "/old", "/new").ok());
+  EXPECT_EQ(fs_.stat(ctx_, "/old").code(), Errc::not_found);
+  auto back = vfs::read_file(fs_, ctx_, "/new");
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(equal(as_view(back.value()), as_view(data)));
+  // Directory rename is documented-unsupported on a flat namespace.
+  ASSERT_TRUE(fs_.mkdir(ctx_, "/dr").ok());
+  EXPECT_EQ(fs_.rename(ctx_, "/dr", "/dr2").code(), Errc::unsupported);
+}
+
+TEST_F(BlobFsTest, PermissionsStoredNotEnforced) {
+  // The documented reduction: chmod round-trips, but access is never denied.
+  ASSERT_TRUE(vfs::write_file(fs_, ctx_, "/open-to-all", as_view(to_bytes("x"))).ok());
+  ASSERT_TRUE(fs_.chmod(ctx_, "/open-to-all", 0600).ok());
+  EXPECT_EQ(fs_.stat(ctx_, "/open-to-all").value().mode, 0600u);
+  vfs::IoCtx stranger{&agent_, 999, 999};
+  EXPECT_TRUE(fs_.open(stranger, "/open-to-all", vfs::OpenFlags::rd()).ok());
+}
+
+TEST_F(BlobFsTest, XattrsPersistInMetaBlob) {
+  ASSERT_TRUE(vfs::write_file(fs_, ctx_, "/x", as_view(to_bytes("x"))).ok());
+  ASSERT_TRUE(fs_.setxattr(ctx_, "/x", "user.a", "1").ok());
+  ASSERT_TRUE(fs_.setxattr(ctx_, "/x", "user.b", "2").ok());
+  ASSERT_TRUE(fs_.setxattr(ctx_, "/x", "user.a", "override").ok());
+  EXPECT_EQ(fs_.getxattr(ctx_, "/x", "user.a").value(), "override");
+  EXPECT_EQ(fs_.getxattr(ctx_, "/x", "user.b").value(), "2");
+  // Metadata survives independent of any handle/cache.
+  sim::SimAgent fresh;
+  vfs::IoCtx fctx{&fresh, 100, 100};
+  EXPECT_EQ(fs_.getxattr(fctx, "/x", "user.a").value(), "override");
+}
+
+TEST_F(BlobFsTest, AppendMode) {
+  ASSERT_TRUE(vfs::write_file(fs_, ctx_, "/log", as_view(to_bytes("one"))).ok());
+  auto h = fs_.open(ctx_, "/log", vfs::OpenFlags::ap());
+  ASSERT_TRUE(h.ok());
+  ASSERT_TRUE(fs_.write(ctx_, h.value(), 0, as_view(to_bytes("two"))).ok());
+  ASSERT_TRUE(fs_.close(ctx_, h.value()).ok());
+  EXPECT_EQ(to_string(as_view(vfs::read_file(fs_, ctx_, "/log").value())), "onetwo");
+}
+
+TEST_F(BlobFsTest, ReaddirCostScalesWithNamespaceSize) {
+  // The paper's §III caveat, measured: a scan-based listing gets more
+  // expensive as unrelated objects accumulate in the flat namespace.
+  ASSERT_TRUE(fs_.mkdir(ctx_, "/small").ok());
+  ASSERT_TRUE(vfs::write_file(fs_, ctx_, "/small/one", as_view(to_bytes("1"))).ok());
+  sim::SimAgent a1;
+  vfs::IoCtx c1{&a1, 0, 0};
+  ASSERT_TRUE(fs_.readdir(c1, "/small").ok());
+  const SimMicros small_cost = a1.now();
+
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(
+        vfs::write_file(fs_, ctx_, strfmt("/clutter-%03d", i), as_view(to_bytes("x"))).ok());
+  }
+  sim::SimAgent a2;
+  vfs::IoCtx c2{&a2, 0, 0};
+  ASSERT_TRUE(fs_.readdir(c2, "/small").ok());
+  EXPECT_GT(a2.now(), small_cost);
+}
+
+TEST_F(BlobFsTest, AtomicUnlinkViaTransaction) {
+  sim::Cluster cluster;
+  blob::BlobStore store(cluster);
+  BlobFs fs(store, BlobFsConfig{.atomic_meta_updates = true});
+  sim::SimAgent agent;
+  vfs::IoCtx ctx{&agent, 100, 100};
+  ASSERT_TRUE(vfs::write_file(fs, ctx, "/atomic", as_view(make_payload(6, 0, 600000))).ok());
+  ASSERT_TRUE(fs.unlink(ctx, "/atomic").ok());
+  sim::SimAgent a;
+  blob::BlobClient client(store, &a);
+  EXPECT_TRUE(client.scan("m!/atomic").value().empty());
+  EXPECT_TRUE(client.scan("d!/atomic").value().empty());
+}
+
+}  // namespace
+}  // namespace bsc::adapter

@@ -1,0 +1,149 @@
+// Tests for the analytics kernels and dataset generators backing the Spark
+// workload models.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "spark/analytics.hpp"
+
+namespace bsc::spark {
+namespace {
+
+TEST(Generators, TextIsDeterministicAndSized) {
+  const Bytes a = generate_text(1, 10000);
+  const Bytes b = generate_text(1, 10000);
+  const Bytes c = generate_text(2, 10000);
+  EXPECT_EQ(a.size(), 10000u);
+  EXPECT_TRUE(equal(as_view(a), as_view(b)));
+  EXPECT_FALSE(equal(as_view(a), as_view(c)));
+  // Content is printable word/space/newline soup.
+  for (std::byte ch : a) {
+    const char x = static_cast<char>(ch);
+    EXPECT_TRUE((x >= '0' && x <= '9') || x == 'w' || x == ' ' || x == '\n') << x;
+  }
+}
+
+TEST(Generators, TextVocabularyIsSkewed) {
+  const Bytes text = generate_text(3, 200000, 1024);
+  auto freq = word_frequencies(as_view(text));
+  ASSERT_GT(freq.size(), 50u);
+  // Zipf: the most frequent word should dwarf the median.
+  std::uint64_t max_count = 0;
+  std::uint64_t total = 0;
+  for (const auto& [w, c] : freq) {
+    max_count = std::max(max_count, c);
+    total += c;
+  }
+  EXPECT_GT(max_count, total / freq.size() * 10);
+}
+
+TEST(Generators, EdgesShapeAndRange) {
+  const Bytes edges = generate_edges(4, 1000, 500);
+  ASSERT_EQ(edges.size(), 500u * 8);
+  for (std::size_t off = 0; off < edges.size(); off += 4) {
+    std::uint32_t v = 0;
+    std::memcpy(&v, edges.data() + off, 4);
+    EXPECT_LT(v, 1000u);
+  }
+}
+
+TEST(Generators, FeaturesShape) {
+  const Bytes rows = generate_features(5, 100, 8);
+  EXPECT_EQ(rows.size(), 100u * 8 * 8);
+  const auto stats = feature_stats(as_view(rows), 8);
+  ASSERT_EQ(stats.size(), 8u);
+  for (const auto& s : stats) {
+    EXPECT_GE(s.min, 0.0);
+    EXPECT_LE(s.max, 100.0);
+    EXPECT_GT(s.mean, 20.0);  // uniform(0,100): mean ~50
+    EXPECT_LT(s.mean, 80.0);
+  }
+}
+
+TEST(Kernels, GrepCountExact) {
+  const Bytes text = to_bytes("abc ab abc xabcx abc");
+  EXPECT_EQ(grep_count(as_view(text), "abc"), 4u);
+  EXPECT_EQ(grep_count(as_view(text), "ab"), 5u);
+  EXPECT_EQ(grep_count(as_view(text), "zzz"), 0u);
+  EXPECT_EQ(grep_count(as_view(text), ""), 0u);
+  // Non-overlapping: "aaaa" contains 2 "aa", not 3.
+  EXPECT_EQ(grep_count(as_view(to_bytes("aaaa")), "aa"), 2u);
+}
+
+TEST(Kernels, TokenizeCountsAndEmits) {
+  const Bytes text = to_bytes("  one two\nthree\t\tfour ");
+  Bytes out;
+  EXPECT_EQ(tokenize(as_view(text), &out), 4u);
+  EXPECT_EQ(to_string(as_view(out)), "one\ntwo\nthree\nfour\n");
+  EXPECT_EQ(tokenize(as_view(to_bytes("   \n\t")), nullptr), 0u);
+  EXPECT_EQ(tokenize({}, nullptr), 0u);
+}
+
+TEST(Kernels, WordFrequencies) {
+  const Bytes text = to_bytes("a b a c a b");
+  auto freq = word_frequencies(as_view(text));
+  EXPECT_EQ(freq["a"], 3u);
+  EXPECT_EQ(freq["b"], 2u);
+  EXPECT_EQ(freq["c"], 1u);
+}
+
+TEST(Kernels, SampleSortKeysSortedAndStrided) {
+  Bytes data(10 * 8);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    const std::uint64_t v = 100 - i;  // descending input
+    std::memcpy(data.data() + i * 8, &v, 8);
+  }
+  auto keys = sample_sort_keys(as_view(data), 1);
+  ASSERT_EQ(keys.size(), 10u);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  EXPECT_EQ(sample_sort_keys(as_view(data), 2).size(), 5u);
+}
+
+TEST(Kernels, ConnectedComponentsOnKnownGraph) {
+  // 6 nodes: {0-1-2} chained, {3-4} paired, {5} isolated -> 3 components.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edge_list = {
+      {0, 1}, {1, 2}, {3, 4}};
+  Bytes edges(edge_list.size() * 8);
+  for (std::size_t i = 0; i < edge_list.size(); ++i) {
+    std::memcpy(edges.data() + i * 8, &edge_list[i].first, 4);
+    std::memcpy(edges.data() + i * 8 + 4, &edge_list[i].second, 4);
+  }
+  EXPECT_EQ(connected_components(as_view(edges), 6), 3u);
+  // A sweep on fresh labels reports changes, then converges to zero.
+  std::vector<std::uint32_t> labels{0, 1, 2, 3, 4, 5};
+  EXPECT_GT(label_propagation_sweep(as_view(edges), &labels), 0u);
+  while (label_propagation_sweep(as_view(edges), &labels) != 0) {
+  }
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[1], labels[2]);
+  EXPECT_EQ(labels[3], labels[4]);
+  EXPECT_NE(labels[0], labels[3]);
+  EXPECT_EQ(labels[5], 5u);
+}
+
+TEST(Kernels, FeatureStatsExact) {
+  // Two rows, two features: (1, 10), (3, 30).
+  Bytes rows(2 * 2 * 8);
+  const double vals[4] = {1.0, 10.0, 3.0, 30.0};
+  std::memcpy(rows.data(), vals, sizeof(vals));
+  auto stats = feature_stats(as_view(rows), 2);
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_DOUBLE_EQ(stats[0].min, 1.0);
+  EXPECT_DOUBLE_EQ(stats[0].max, 3.0);
+  EXPECT_DOUBLE_EQ(stats[0].mean, 2.0);
+  EXPECT_DOUBLE_EQ(stats[1].min, 10.0);
+  EXPECT_DOUBLE_EQ(stats[1].max, 30.0);
+  EXPECT_DOUBLE_EQ(stats[1].mean, 20.0);
+}
+
+TEST(Kernels, GrepFindsRealWordsInGeneratedText) {
+  const Bytes text = generate_text(7, 100000);
+  // "w0" is the hottest Zipf word; it must occur (as a substring) often.
+  EXPECT_GT(grep_count(as_view(text), "w0"), 100u);
+  Bytes tokens;
+  const std::uint64_t n = tokenize(as_view(text), &tokens);
+  EXPECT_GT(n, 10000u);  // short words -> many tokens in 100 KB
+}
+
+}  // namespace
+}  // namespace bsc::spark

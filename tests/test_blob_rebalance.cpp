@@ -1,0 +1,170 @@
+// Tests for blob-store elasticity: adding and decommissioning storage
+// nodes with live data migration.
+#include <gtest/gtest.h>
+
+#include "blob/client.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+
+namespace bsc::blob {
+namespace {
+
+class RebalanceTest : public ::testing::Test {
+ protected:
+  /// Cluster with spare storage nodes the store does not use initially.
+  RebalanceTest() : cluster_(spec()), store_(cluster_, initial_cfg()) {}
+
+  static sim::ClusterSpec spec() {
+    sim::ClusterSpec s;
+    s.storage_nodes = 12;  // store starts on the first 12? No: see below.
+    return s;
+  }
+  static StoreConfig initial_cfg() { return {}; }
+
+  /// Every replica of every key must hold content equal to what a client
+  /// reads, and every key's placement must match the current ring.
+  void verify_placement_and_content() {
+    sim::SimAgent a;
+    BlobClient client(store_, &a);
+    auto all = client.scan();
+    ASSERT_TRUE(all.ok());
+    for (const auto& bs : all.value()) {
+      auto expect = client.read(bs.key, 0, bs.size);
+      ASSERT_TRUE(expect.ok()) << bs.key;
+      const auto replicas = store_.replicas_of(bs.key);
+      EXPECT_EQ(replicas.size(),
+                std::min<std::size_t>(store_.config().replication,
+                                      ring_size()));
+      for (std::uint32_t n : replicas) {
+        SimMicros svc = 0;
+        auto copy = store_.server(n).read(bs.key, 0, bs.size, &svc);
+        ASSERT_TRUE(copy.ok()) << bs.key << " missing on server " << n;
+        EXPECT_TRUE(equal(as_view(copy.value().data), as_view(expect.value())))
+            << bs.key << " differs on server " << n;
+      }
+    }
+  }
+
+  std::size_t ring_size() {
+    std::size_t n = 0;
+    for (std::uint32_t i = 0; i < store_.server_count(); ++i) {
+      if (store_.in_ring(i)) ++n;
+    }
+    return n;
+  }
+
+  sim::Cluster cluster_;
+  BlobStore store_;
+};
+
+TEST_F(RebalanceTest, AddServerMigratesAndKeepsAllData) {
+  sim::SimAgent agent;
+  BlobClient client(store_, &agent);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(
+        client.write(strfmt("obj-%03d", i), 0, as_view(make_payload(i, 0, 2048))).ok());
+  }
+  // The cluster has 12 storage nodes; the store used all of them at
+  // construction — grow instead onto a fresh compute-side node repurposed
+  // as storage (any SimNode works).
+  BlobStore::RebalanceStats stats;
+  const std::uint32_t fresh = store_.add_server(cluster_.compute_node(0), &stats, &agent);
+  EXPECT_EQ(fresh, 12u);
+  EXPECT_GT(stats.objects_moved, 0u);
+  EXPECT_GT(stats.bytes_moved, 0u);
+  // Everything still readable, placements consistent, replicas identical.
+  for (int i = 0; i < 100; ++i) {
+    auto r = client.read(strfmt("obj-%03d", i), 0, 2048);
+    ASSERT_TRUE(r.ok()) << i;
+    EXPECT_TRUE(check_payload(i, 0, as_view(r.value()))) << i;
+  }
+  verify_placement_and_content();
+  // The new server actually owns data.
+  EXPECT_GT(store_.server(fresh).object_count(), 0u);
+}
+
+TEST_F(RebalanceTest, AddServerMovesOnlyAShare) {
+  sim::SimAgent agent;
+  BlobClient client(store_, &agent);
+  constexpr int kObjects = 200;
+  for (int i = 0; i < kObjects; ++i) {
+    ASSERT_TRUE(client.create(strfmt("k-%04d", i)).ok());
+  }
+  BlobStore::RebalanceStats stats;
+  store_.add_server(cluster_.compute_node(1), &stats, &agent);
+  // Consistent hashing: roughly replication * N/13 objects gain a copy on
+  // the new node; far less than total re-shuffling (3 * 200 copies).
+  EXPECT_LT(stats.objects_moved, 3u * kObjects / 2);
+  EXPECT_GT(stats.objects_moved, 0u);
+}
+
+TEST_F(RebalanceTest, DecommissionKeepsDataAndDrainsServer) {
+  sim::SimAgent agent;
+  BlobClient client(store_, &agent);
+  for (int i = 0; i < 120; ++i) {
+    ASSERT_TRUE(
+        client.write(strfmt("d-%03d", i), 0, as_view(make_payload(i, 0, 1024))).ok());
+  }
+  // Pick a server that holds data.
+  std::uint32_t victim = 0;
+  for (std::uint32_t i = 0; i < store_.server_count(); ++i) {
+    if (store_.server(i).object_count() > 0) {
+      victim = i;
+      break;
+    }
+  }
+  BlobStore::RebalanceStats stats;
+  ASSERT_TRUE(store_.decommission_server(victim, &stats, &agent).ok());
+  EXPECT_FALSE(store_.in_ring(victim));
+  EXPECT_EQ(store_.server(victim).object_count(), 0u);  // fully drained
+  for (int i = 0; i < 120; ++i) {
+    auto r = client.read(strfmt("d-%03d", i), 0, 1024);
+    ASSERT_TRUE(r.ok()) << i;
+    EXPECT_TRUE(check_payload(i, 0, as_view(r.value()))) << i;
+  }
+  verify_placement_and_content();
+}
+
+TEST_F(RebalanceTest, DecommissionUnknownOrDownServerFails) {
+  EXPECT_EQ(store_.decommission_server(99).code(), Errc::not_found);
+  store_.fail_server(3);
+  EXPECT_EQ(store_.decommission_server(3).code(), Errc::busy);
+  store_.recover_server(3);
+}
+
+TEST_F(RebalanceTest, GrowThenShrinkRoundTrip) {
+  sim::SimAgent agent;
+  BlobClient client(store_, &agent);
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(
+        client.write(strfmt("rt-%02d", i), 0, as_view(make_payload(i, 0, 4096))).ok());
+  }
+  const std::uint32_t extra = store_.add_server(cluster_.compute_node(2), nullptr, &agent);
+  verify_placement_and_content();
+  ASSERT_TRUE(store_.decommission_server(extra, nullptr, &agent).ok());
+  verify_placement_and_content();
+  for (int i = 0; i < 60; ++i) {
+    auto r = client.read(strfmt("rt-%02d", i), 0, 4096);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(check_payload(i, 0, as_view(r.value())));
+  }
+}
+
+TEST_F(RebalanceTest, WritesAfterRebalanceLandOnNewTopology) {
+  sim::SimAgent agent;
+  BlobClient client(store_, &agent);
+  const std::uint32_t fresh = store_.add_server(cluster_.compute_node(3), nullptr, &agent);
+  // Write enough new keys that some must choose the new server as replica.
+  std::uint64_t on_fresh = 0;
+  for (int i = 0; i < 200; ++i) {
+    const std::string key = strfmt("post-%03d", i);
+    ASSERT_TRUE(client.create(key).ok());
+    const auto reps = store_.replicas_of(key);
+    if (std::find(reps.begin(), reps.end(), fresh) != reps.end()) ++on_fresh;
+  }
+  EXPECT_GT(on_fresh, 0u);
+  EXPECT_EQ(store_.server(fresh).object_count() >= on_fresh, true);
+}
+
+}  // namespace
+}  // namespace bsc::blob

@@ -1,0 +1,136 @@
+// Property tests for the consistent-hashing placement ring.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "blob/ring.hpp"
+#include "common/strings.hpp"
+
+namespace bsc::blob {
+namespace {
+
+std::vector<std::string> make_keys(std::size_t n) {
+  std::vector<std::string> keys;
+  keys.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) keys.push_back(strfmt("key-%06zu", i));
+  return keys;
+}
+
+TEST(Ring, EmptyRingLocatesNothing) {
+  HashRing ring;
+  EXPECT_TRUE(ring.locate("k", 3).empty());
+  EXPECT_EQ(ring.node_count(), 0u);
+}
+
+TEST(Ring, ReplicasAreDistinctNodes) {
+  HashRing ring;
+  for (std::uint32_t n = 0; n < 8; ++n) ring.add_node(n);
+  for (const auto& key : make_keys(500)) {
+    const auto reps = ring.locate(key, 3);
+    ASSERT_EQ(reps.size(), 3u);
+    std::set<std::uint32_t> uniq(reps.begin(), reps.end());
+    EXPECT_EQ(uniq.size(), 3u);
+  }
+}
+
+TEST(Ring, ReplicasClampedToNodeCount) {
+  HashRing ring;
+  ring.add_node(0);
+  ring.add_node(1);
+  EXPECT_EQ(ring.locate("k", 5).size(), 2u);
+}
+
+TEST(Ring, PlacementIsDeterministic) {
+  HashRing a;
+  HashRing b;
+  for (std::uint32_t n = 0; n < 8; ++n) {
+    a.add_node(n);
+    b.add_node(n);
+  }
+  for (const auto& key : make_keys(200)) {
+    EXPECT_EQ(a.locate(key, 3), b.locate(key, 3));
+  }
+}
+
+TEST(Ring, LoadIsRoughlyBalanced) {
+  HashRing ring(128);
+  constexpr std::uint32_t kNodes = 8;
+  for (std::uint32_t n = 0; n < kNodes; ++n) ring.add_node(n);
+  std::map<std::uint32_t, std::size_t> load;
+  const auto keys = make_keys(20000);
+  for (const auto& key : keys) ++load[ring.primary(key)];
+  const double expect = static_cast<double>(keys.size()) / kNodes;
+  for (const auto& [node, count] : load) {
+    EXPECT_GT(static_cast<double>(count), expect * 0.6) << "node " << node;
+    EXPECT_LT(static_cast<double>(count), expect * 1.4) << "node " << node;
+  }
+}
+
+TEST(Ring, AddingNodeMovesOnlyItsShare) {
+  HashRing ring;
+  for (std::uint32_t n = 0; n < 8; ++n) ring.add_node(n);
+  const auto keys = make_keys(10000);
+  std::map<std::string, std::uint32_t> before;
+  for (const auto& key : keys) before[key] = ring.primary(key);
+  ring.add_node(8);
+  std::size_t moved = 0;
+  for (const auto& key : keys) {
+    const std::uint32_t now = ring.primary(key);
+    if (now != before[key]) {
+      ++moved;
+      // A key that moved must have moved TO the new node.
+      EXPECT_EQ(now, 8u) << key;
+    }
+  }
+  // Expected share ~1/9 of keys; allow generous slack for vnode variance.
+  EXPECT_GT(moved, keys.size() / 20);
+  EXPECT_LT(moved, keys.size() / 4);
+}
+
+TEST(Ring, RemovingNodeMovesOnlyItsKeys) {
+  HashRing ring;
+  for (std::uint32_t n = 0; n < 8; ++n) ring.add_node(n);
+  const auto keys = make_keys(10000);
+  std::map<std::string, std::uint32_t> before;
+  for (const auto& key : keys) before[key] = ring.primary(key);
+  ring.remove_node(3);
+  EXPECT_FALSE(ring.has_node(3));
+  for (const auto& key : keys) {
+    if (before[key] != 3) {
+      EXPECT_EQ(ring.primary(key), before[key]) << key;  // untouched keys stay
+    } else {
+      EXPECT_NE(ring.primary(key), 3u);
+    }
+  }
+}
+
+TEST(Ring, AddRemoveRoundTripRestoresPlacement) {
+  HashRing ring;
+  for (std::uint32_t n = 0; n < 8; ++n) ring.add_node(n);
+  const auto keys = make_keys(2000);
+  std::map<std::string, std::vector<std::uint32_t>> before;
+  for (const auto& key : keys) before[key] = ring.locate(key, 3);
+  ring.add_node(99);
+  ring.remove_node(99);
+  for (const auto& key : keys) EXPECT_EQ(ring.locate(key, 3), before[key]);
+}
+
+// Parameterized over replication factor.
+class RingReplication : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(RingReplication, AllNodesServeAsReplicas) {
+  const std::uint32_t rf = GetParam();
+  HashRing ring;
+  for (std::uint32_t n = 0; n < 8; ++n) ring.add_node(n);
+  std::set<std::uint32_t> seen;
+  for (const auto& key : make_keys(5000)) {
+    for (std::uint32_t n : ring.locate(key, rf)) seen.insert(n);
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rf, RingReplication, ::testing::Values(1u, 2u, 3u, 5u));
+
+}  // namespace
+}  // namespace bsc::blob

@@ -1,0 +1,101 @@
+// Tests for the blob store's deep-scrub: silent-corruption detection and
+// quorum-based repair.
+#include <gtest/gtest.h>
+
+#include "blob/client.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+
+namespace bsc::blob {
+namespace {
+
+class ScrubTest : public ::testing::Test {
+ protected:
+  sim::Cluster cluster_;
+  BlobStore store_{cluster_};
+  sim::SimAgent agent_;
+  BlobClient client_{store_, &agent_};
+};
+
+TEST_F(ScrubTest, CleanStoreScrubsClean) {
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(
+        client_.write(strfmt("c-%02d", i), 0, as_view(make_payload(i, 0, 4096))).ok());
+  }
+  const auto report = store_.scrub(/*repair=*/false, &agent_);
+  EXPECT_EQ(report.objects_checked, 20u);
+  EXPECT_EQ(report.checksum_errors, 0u);
+  EXPECT_EQ(report.divergent_replicas, 0u);
+  EXPECT_EQ(report.repaired, 0u);
+}
+
+TEST_F(ScrubTest, DetectsSilentCorruption) {
+  ASSERT_TRUE(client_.write("victim", 0, as_view(make_payload(1, 0, 8192))).ok());
+  const auto replicas = store_.replicas_of("victim");
+  ASSERT_TRUE(store_.server(replicas[1]).corrupt_for_testing("victim"));
+
+  const auto report = store_.scrub(/*repair=*/false, &agent_);
+  EXPECT_EQ(report.checksum_errors, 1u);
+  EXPECT_EQ(report.divergent_replicas, 1u);
+  EXPECT_EQ(report.repaired, 0u);  // detection only
+}
+
+TEST_F(ScrubTest, RepairsCorruptReplicaFromQuorum) {
+  const Bytes data = make_payload(2, 0, 8192);
+  ASSERT_TRUE(client_.write("fixme", 0, as_view(data)).ok());
+  const auto replicas = store_.replicas_of("fixme");
+  ASSERT_TRUE(store_.server(replicas[2]).corrupt_for_testing("fixme"));
+
+  const auto report = store_.scrub(/*repair=*/true, &agent_);
+  EXPECT_EQ(report.divergent_replicas, 1u);
+  EXPECT_EQ(report.repaired, 1u);
+
+  // All replicas byte-identical and checksum-clean again.
+  for (std::uint32_t r : replicas) {
+    SimMicros svc = 0;
+    auto copy = store_.server(r).read("fixme", 0, 8192, &svc);
+    ASSERT_TRUE(copy.ok());
+    EXPECT_TRUE(equal(as_view(copy.value().data), as_view(data))) << "replica " << r;
+    EXPECT_TRUE(store_.server(r).verify_key("fixme").ok()) << "replica " << r;
+  }
+  // A second scrub is clean.
+  const auto again = store_.scrub(/*repair=*/false, &agent_);
+  EXPECT_EQ(again.divergent_replicas, 0u);
+  EXPECT_EQ(again.checksum_errors, 0u);
+}
+
+TEST_F(ScrubTest, RepairsMultipleVictims) {
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(
+        client_.write(strfmt("m-%02d", i), 0, as_view(make_payload(i, 0, 2048))).ok());
+  }
+  int corrupted = 0;
+  for (int i = 0; i < 30; i += 7) {
+    const auto reps = store_.replicas_of(strfmt("m-%02d", i));
+    if (store_.server(reps[1]).corrupt_for_testing(strfmt("m-%02d", i))) ++corrupted;
+  }
+  ASSERT_GT(corrupted, 0);
+  const auto report = store_.scrub(/*repair=*/true, &agent_);
+  EXPECT_EQ(report.repaired, static_cast<std::uint64_t>(corrupted));
+  EXPECT_TRUE(store_.verify_all_integrity().ok());
+}
+
+TEST_F(ScrubTest, ScrubChargesMaintenanceAgent) {
+  ASSERT_TRUE(client_.write("t", 0, as_view(make_payload(3, 0, 100000))).ok());
+  sim::SimAgent maintenance;
+  const SimMicros t0 = maintenance.now();
+  (void)store_.scrub(false, &maintenance);
+  EXPECT_GT(maintenance.now(), t0);
+}
+
+TEST_F(ScrubTest, ScrubSkipsDownServers) {
+  ASSERT_TRUE(client_.write("d", 0, as_view(make_payload(4, 0, 4096))).ok());
+  const auto replicas = store_.replicas_of("d");
+  store_.fail_server(replicas[0]);
+  const auto report = store_.scrub(true, &agent_);
+  EXPECT_EQ(report.divergent_replicas, 0u);  // two live copies agree
+  store_.recover_server(replicas[0]);
+}
+
+}  // namespace
+}  // namespace bsc::blob

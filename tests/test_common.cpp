@@ -1,0 +1,233 @@
+// Unit tests for src/common: results, bytes, hashing, RNG, stats, strings,
+// thread pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "common/bytes.hpp"
+#include "common/hash.hpp"
+#include "common/result.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/strings.hpp"
+#include "common/thread_pool.hpp"
+#include "common/units.hpp"
+
+namespace bsc {
+namespace {
+
+TEST(Result, ValueAndError) {
+  Result<int> ok_r(42);
+  EXPECT_TRUE(ok_r.ok());
+  EXPECT_EQ(ok_r.value(), 42);
+  EXPECT_EQ(ok_r.code(), Errc::ok);
+
+  Result<int> err_r(Errc::not_found, "missing");
+  EXPECT_FALSE(err_r.ok());
+  EXPECT_EQ(err_r.code(), Errc::not_found);
+  EXPECT_EQ(err_r.error().message(), "not_found: missing");
+  EXPECT_EQ(err_r.value_or(7), 7);
+}
+
+TEST(Result, StatusDefaultIsSuccess) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.message(), "ok");
+  Status e{Errc::busy, "locked"};
+  EXPECT_FALSE(e.ok());
+  EXPECT_EQ(e.code(), Errc::busy);
+}
+
+TEST(Result, EveryErrcHasName) {
+  for (int i = 0; i <= static_cast<int>(Errc::timeout); ++i) {
+    EXPECT_NE(to_string(static_cast<Errc>(i)), "unknown");
+  }
+}
+
+TEST(Bytes, WriteAtGrowsAndZeroFills) {
+  Bytes b;
+  write_at(b, 4, as_view(to_bytes("xy")));
+  ASSERT_EQ(b.size(), 6u);
+  EXPECT_EQ(b[0], std::byte{0});
+  EXPECT_EQ(b[3], std::byte{0});
+  EXPECT_EQ(to_string(subview(as_view(b), 4, 2)), "xy");
+}
+
+TEST(Bytes, SubviewClipsAtEnd) {
+  Bytes b = to_bytes("hello");
+  EXPECT_EQ(to_string(subview(as_view(b), 3, 10)), "lo");
+  EXPECT_TRUE(subview(as_view(b), 9, 2).empty());
+}
+
+TEST(Hash, Deterministic) {
+  EXPECT_EQ(fnv1a64("abc"), fnv1a64("abc"));
+  EXPECT_NE(fnv1a64("abc"), fnv1a64("abd"));
+  EXPECT_EQ(fnv1a64(as_view(to_bytes("abc"))), fnv1a64("abc"));
+}
+
+TEST(Hash, ChecksumDetectsSizeAndContent) {
+  const Bytes a = to_bytes("aaaa");
+  const Bytes b = to_bytes("aaab");
+  const Bytes c = to_bytes("aaa");
+  EXPECT_NE(content_checksum(as_view(a)), content_checksum(as_view(b)));
+  EXPECT_NE(content_checksum(as_view(a)), content_checksum(as_view(c)));
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng r(1);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.next_below(17), 17u);
+  }
+  EXPECT_EQ(r.next_below(1), 0u);
+}
+
+TEST(Rng, NextInInclusive) {
+  Rng r(2);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.next_in(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Zipf, SkewsTowardLowRanks) {
+  Rng r(4);
+  Zipf z(1000, 0.99);
+  std::uint64_t low = 0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    const auto v = z.sample(r);
+    ASSERT_LT(v, 1000u);
+    if (v < 10) ++low;
+  }
+  // With theta=0.99 the head is heavily favored over uniform (1%).
+  EXPECT_GT(low, kSamples / 10);
+}
+
+TEST(Payload, DeterministicAndOffsetConsistent) {
+  const Bytes whole = make_payload(9, 0, 256);
+  const Bytes tail = make_payload(9, 100, 156);
+  EXPECT_TRUE(equal(subview(as_view(whole), 100, 156), as_view(tail)));
+  EXPECT_TRUE(check_payload(9, 100, as_view(tail)));
+  EXPECT_FALSE(check_payload(10, 100, as_view(tail)));
+}
+
+TEST(Stats, SummaryMergeMatchesSingle) {
+  StatSummary a;
+  StatSummary b;
+  StatSummary whole;
+  Rng r(5);
+  for (int i = 0; i < 500; ++i) {
+    const double x = r.next_double() * 10;
+    whole.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(Stats, HistogramPercentiles) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.add(v);
+  EXPECT_EQ(h.count(), 1000u);
+  // Log-bucketed: percentiles are approximate within a bucket factor (~2x).
+  EXPECT_GE(h.percentile(50), 400u);
+  EXPECT_LE(h.percentile(50), 1024u);
+  EXPECT_LE(h.percentile(100), 1000u);
+  EXPECT_GE(h.percentile(99), 900u);
+  EXPECT_NEAR(h.mean(), 500.5, 0.01);
+}
+
+TEST(Stats, HistogramMerge) {
+  Histogram a;
+  Histogram b;
+  a.add(10);
+  b.add(1000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_GE(a.percentile(100), 1000u);
+}
+
+TEST(Strings, NormalizePath) {
+  EXPECT_EQ(normalize_path(""), "/");
+  EXPECT_EQ(normalize_path("/"), "/");
+  EXPECT_EQ(normalize_path("//a//b/"), "/a/b");
+  EXPECT_EQ(normalize_path("/a/./b/../c"), "/a/c");
+  EXPECT_EQ(normalize_path("/../a"), "/a");
+}
+
+TEST(Strings, ParentAndBase) {
+  EXPECT_EQ(parent_path("/a/b/c"), "/a/b");
+  EXPECT_EQ(parent_path("/a"), "/");
+  EXPECT_EQ(parent_path("/"), "/");
+  EXPECT_EQ(base_name("/a/b"), "b");
+  EXPECT_EQ(base_name("/"), "");
+}
+
+TEST(Strings, JoinPath) {
+  EXPECT_EQ(join_path("/a", "b"), "/a/b");
+  EXPECT_EQ(join_path("/a/", "/b/c"), "/a/b/c");
+  EXPECT_EQ(join_path("/", "x"), "/x");
+}
+
+TEST(Strings, SplitAndJoin) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(join(parts, ','), "a,b,,c");
+}
+
+TEST(Strings, FormatBytesMatchesTableStyle) {
+  EXPECT_EQ(format_bytes(27ULL * GiB + 700 * MiB + 100 * MiB), "27.8 GB");
+  EXPECT_EQ(format_bytes(12 * MiB + 800 * KiB), "12.8 MB");
+  EXPECT_EQ(format_bytes(512), "512 B");
+}
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  pool.parallel_for(100, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(4, [](std::size_t i) {
+        if (i == 2) throw std::runtime_error("boom");
+      }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, SubmitReturnsFuture) {
+  ThreadPool pool(1);
+  auto f = pool.submit([] {});
+  f.get();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace bsc

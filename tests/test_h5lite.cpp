@@ -1,0 +1,229 @@
+// Tests for the H5Lite parallel container format, on the PFS and on the
+// blob stack — the "intermediate libraries run unchanged" claim.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "adapter/blobfs.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "h5lite/h5file.hpp"
+#include "pfs/pfs.hpp"
+
+namespace bsc::h5lite {
+namespace {
+
+constexpr std::uint32_t kRanks = 4;
+
+/// Run `body(rank, io)` across kRanks threads against `fs`.
+template <typename Fn>
+void with_ranks(vfs::FileSystem& fs, sim::Cluster& cluster, Fn&& body) {
+  mpiio::Communicator comm(kRanks, cluster.net());
+  ThreadPool pool(kRanks);
+  std::vector<sim::SimAgent> agents(kRanks);
+  pool.parallel_for(kRanks, [&](std::size_t r) {
+    mpiio::MpiIo io(comm, static_cast<std::uint32_t>(r), fs,
+                    vfs::IoCtx{&agents[r], 100, 100});
+    body(static_cast<std::uint32_t>(r), io);
+  });
+}
+
+class H5LiteTest : public ::testing::Test {
+ protected:
+  sim::Cluster cluster_;
+  pfs::LustreLikeFs fs_{cluster_};
+};
+
+TEST_F(H5LiteTest, ParallelWriteThenReadBack) {
+  constexpr std::uint64_t kRows = 64;
+  constexpr std::uint64_t kCols = 16;
+  std::atomic<int> failures{0};
+  with_ranks(fs_, cluster_, [&](std::uint32_t rank, mpiio::MpiIo& io) {
+    auto file = H5File::create(io, "/sim.h5");
+    if (!file.ok()) {
+      ++failures;
+      return;
+    }
+    auto ds = file.value().create_dataset("temperature", kRows, kCols, 8);
+    if (!ds.ok()) {
+      ++failures;
+      return;
+    }
+    // Each rank writes its row block.
+    const std::uint64_t rows_per_rank = kRows / kRanks;
+    const std::uint64_t row0 = rank * rows_per_rank;
+    const Bytes mine = make_payload(rank, 0, rows_per_rank * kCols * 8);
+    if (!file.value().write_rows(ds.value(), row0, rows_per_rank, as_view(mine)).ok()) {
+      ++failures;
+    }
+    if (!file.value().set_attribute("model", "MOM-sim").ok()) ++failures;
+    if (!file.value().close().ok()) ++failures;
+  });
+  ASSERT_EQ(failures.load(), 0);
+
+  // Reopen collectively; every rank reads a peer's block and verifies.
+  with_ranks(fs_, cluster_, [&](std::uint32_t rank, mpiio::MpiIo& io) {
+    auto file = H5File::open(io, "/sim.h5");
+    if (!file.ok()) {
+      ++failures;
+      return;
+    }
+    if (file.value().attribute("model").value_or("") != "MOM-sim") ++failures;
+    auto ds = file.value().dataset_by_name("temperature");
+    if (!ds.ok()) {
+      ++failures;
+      return;
+    }
+    const std::uint64_t rows_per_rank = kRows / kRanks;
+    const std::uint32_t peer = (rank + 1) % kRanks;
+    auto block =
+        file.value().read_rows(ds.value(), peer * rows_per_rank, rows_per_rank);
+    if (!block.ok() || !check_payload(peer, 0, as_view(block.value()))) ++failures;
+    if (!file.value().close().ok()) ++failures;
+  });
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_F(H5LiteTest, MultipleDatasetsNonOverlapping) {
+  std::atomic<int> failures{0};
+  with_ranks(fs_, cluster_, [&](std::uint32_t rank, mpiio::MpiIo& io) {
+    auto file = H5File::create(io, "/multi.h5");
+    if (!file.ok()) {
+      ++failures;
+      return;
+    }
+    auto a = file.value().create_dataset("a", 8, 4, 8);
+    auto b = file.value().create_dataset("b", 16, 2, 4);
+    auto c = file.value().create_dataset("c", 4, 4, 2);
+    if (!a.ok() || !b.ok() || !c.ok()) {
+      ++failures;
+      return;
+    }
+    // Layout identical on every rank and non-overlapping.
+    const auto& ds = file.value().datasets();
+    for (std::size_t i = 1; i < ds.size(); ++i) {
+      if (ds[i].file_offset < ds[i - 1].file_offset + ds[i - 1].payload_bytes()) {
+        ++failures;
+      }
+    }
+    if (rank == 0) {
+      const Bytes data = make_payload(7, 0, 16 * 2 * 4);
+      if (!file.value().write_rows(b.value(), 0, 16, as_view(data)).ok()) ++failures;
+    }
+    if (!file.value().close().ok()) ++failures;
+  });
+  ASSERT_EQ(failures.load(), 0);
+  with_ranks(fs_, cluster_, [&](std::uint32_t, mpiio::MpiIo& io) {
+    auto file = H5File::open(io, "/multi.h5");
+    if (!file.ok()) {
+      ++failures;
+      return;
+    }
+    if (file.value().datasets().size() != 3) ++failures;
+    auto b = file.value().dataset_by_name("b");
+    auto rows = file.value().read_rows(b.value(), 0, 16);
+    if (!rows.ok() || !check_payload(7, 0, as_view(rows.value()))) ++failures;
+    (void)file.value().close();
+  });
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_F(H5LiteTest, CollectiveWriteMatchesIndependent) {
+  std::atomic<int> failures{0};
+  with_ranks(fs_, cluster_, [&](std::uint32_t rank, mpiio::MpiIo& io) {
+    auto file = H5File::create(io, "/coll.h5");
+    auto ds = file.value().create_dataset("grid", 32, 8, 8);
+    const std::uint64_t rows_per_rank = 32 / kRanks;
+    const Bytes mine = make_payload(50 + rank, 0, rows_per_rank * 8 * 8);
+    if (!file.value()
+             .write_rows_all(ds.value(), rank * rows_per_rank, rows_per_rank,
+                             as_view(mine))
+             .ok()) {
+      ++failures;
+    }
+    if (!file.value().close().ok()) ++failures;
+  });
+  ASSERT_EQ(failures.load(), 0);
+  with_ranks(fs_, cluster_, [&](std::uint32_t rank, mpiio::MpiIo& io) {
+    auto file = H5File::open(io, "/coll.h5");
+    auto ds = file.value().dataset_by_name("grid");
+    const std::uint64_t rows_per_rank = 32 / kRanks;
+    auto mine = file.value().read_rows(ds.value(), rank * rows_per_rank, rows_per_rank);
+    if (!mine.ok() || !check_payload(50 + rank, 0, as_view(mine.value()))) ++failures;
+    (void)file.value().close();
+  });
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_F(H5LiteTest, ErrorPaths) {
+  std::atomic<int> failures{0};
+  with_ranks(fs_, cluster_, [&](std::uint32_t, mpiio::MpiIo& io) {
+    auto file = H5File::create(io, "/err.h5");
+    auto ds = file.value().create_dataset("d", 4, 4, 1);
+    if (file.value().create_dataset("d", 4, 4, 1).code() != Errc::already_exists) {
+      ++failures;
+    }
+    if (file.value().create_dataset("zero", 0, 4, 1).code() != Errc::invalid_argument) {
+      ++failures;
+    }
+    const Bytes row = make_payload(1, 0, 4);
+    if (file.value().write_rows(ds.value(), 4, 1, as_view(row)).code() !=
+        Errc::out_of_range) {
+      ++failures;
+    }
+    if (file.value().write_rows(ds.value(), 0, 2, as_view(row)).code() !=
+        Errc::invalid_argument) {
+      ++failures;
+    }
+    if (!file.value().close().ok()) ++failures;
+    if (file.value().close().code() != Errc::closed) ++failures;
+  });
+  EXPECT_EQ(failures.load(), 0);
+
+  // Opening a non-H5Lite file fails cleanly.
+  with_ranks(fs_, cluster_, [&](std::uint32_t, mpiio::MpiIo& io) {
+    auto raw = io.file_open("/plain.txt", mpiio::AccessMode::write_create());
+    (void)io.write_at(raw.value(), 0, as_view(to_bytes(
+        "just text, long enough to cover a superblock read attempt")));
+    (void)io.file_close(raw.value());
+    if (H5File::open(io, "/plain.txt").code() != Errc::io_error) ++failures;
+  });
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(H5LiteOnBlob, WorksUnchangedOnBlobStack) {
+  // The §II-A stack (app -> HDF5-like -> MPI-IO) atop the blob adapter:
+  // no code changes anywhere up the stack.
+  sim::Cluster cluster;
+  blob::BlobStore store(cluster);
+  adapter::BlobFs fs(store);
+  std::atomic<int> failures{0};
+  with_ranks(fs, cluster, [&](std::uint32_t rank, mpiio::MpiIo& io) {
+    auto file = H5File::create(io, "/blob.h5");
+    if (!file.ok()) {
+      ++failures;
+      return;
+    }
+    auto ds = file.value().create_dataset("x", 16, 4, 8);
+    const Bytes mine = make_payload(rank, 0, 4 * 4 * 8);
+    if (!file.value().write_rows(ds.value(), rank * 4, 4, as_view(mine)).ok()) {
+      ++failures;
+    }
+    if (!file.value().close().ok()) ++failures;
+  });
+  ASSERT_EQ(failures.load(), 0);
+  with_ranks(fs, cluster, [&](std::uint32_t rank, mpiio::MpiIo& io) {
+    auto file = H5File::open(io, "/blob.h5");
+    if (!file.ok()) {
+      ++failures;
+      return;
+    }
+    auto rows = file.value().read_rows(0, rank * 4, 4);
+    if (!rows.ok() || !check_payload(rank, 0, as_view(rows.value()))) ++failures;
+    (void)file.value().close();
+  });
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace bsc::h5lite

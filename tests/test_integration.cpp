@@ -1,0 +1,154 @@
+// End-to-end integration tests reproducing the paper's headline numbers:
+// the full Spark suite's Table II counts, the Figure 1/2 call-mix shapes,
+// and the §V blob-vs-file-system comparison direction.
+#include <gtest/gtest.h>
+
+#include "adapter/blobfs.hpp"
+#include "apps/app_spec.hpp"
+#include "apps/hpc_apps.hpp"
+#include "apps/spark_apps.hpp"
+#include "hdfs/hdfs.hpp"
+#include "pfs/pfs.hpp"
+#include "trace/report.hpp"
+
+namespace bsc {
+namespace {
+
+TEST(Integration, SparkSuiteReproducesTable2) {
+  sim::Cluster cluster;
+  hdfs::HdfsLikeFs fs(cluster);
+  ThreadPool pool(10);
+  apps::SparkSuiteOptions opts;
+  const auto r = apps::run_spark_suite(fs, cluster, pool, opts);
+  ASSERT_TRUE(r.ok) << r.error;
+  ASSERT_EQ(r.per_app.size(), 5u);
+  // Table II: 43 mkdir, 43 rmdir, 5 input-dir listings, 0 other listings.
+  EXPECT_EQ(r.dir_ops.mkdir, 43u);
+  EXPECT_EQ(r.dir_ops.rmdir, 43u);
+  EXPECT_EQ(r.dir_ops.opendir_input, 5u);
+  EXPECT_EQ(r.dir_ops.opendir_other, 0u);
+
+  // Figure 2 shape: every app >98% file operations; Table I profiles hold.
+  for (const auto& app : r.per_app) {
+    const double file_ops = app.census.category_pct(trace::Category::file_read) +
+                            app.census.category_pct(trace::Category::file_write);
+    EXPECT_GT(file_ops, 90.0) << app.name;
+    const double dir_and_other = app.census.category_pct(trace::Category::directory) +
+                                 app.census.category_pct(trace::Category::other);
+    EXPECT_LT(dir_and_other, 10.0) << app.name;
+  }
+  // Per-app profile classification (Table I, Spark rows).
+  auto profile_of = [&](const std::string& name) {
+    for (const auto& app : r.per_app) {
+      if (app.name == name) {
+        return trace::classify_profile(static_cast<double>(app.census.bytes_read) /
+                                       static_cast<double>(app.census.bytes_written));
+      }
+    }
+    return std::string("missing");
+  };
+  EXPECT_EQ(profile_of("Sort"), "Balanced");
+  EXPECT_EQ(profile_of("Grep"), "Read-intensive");
+  EXPECT_EQ(profile_of("DT"), "Read-intensive");
+  EXPECT_EQ(profile_of("CC"), "Read-intensive");
+  EXPECT_EQ(profile_of("Tokenizer"), "Write-intensive");
+}
+
+TEST(Integration, HpcFigure1Shape) {
+  struct Row {
+    apps::HpcAppKind kind;
+    bool prep;
+  };
+  const Row rows[] = {{apps::HpcAppKind::blast, true},
+                      {apps::HpcAppKind::ecoham, true},
+                      {apps::HpcAppKind::ecoham, false},
+                      {apps::HpcAppKind::raytracing, true}};
+  for (const auto& row : rows) {
+    sim::Cluster cluster;
+    pfs::LustreLikeFs fs(cluster);
+    apps::HpcRunOptions opts;
+    opts.ranks = 8;
+    opts.with_prep_script = row.prep;
+    const auto r = apps::run_hpc_app(row.kind, fs, cluster, opts);
+    ASSERT_TRUE(r.ok) << r.error;
+    const auto& c = r.census.census;
+    const double rw_pct = c.category_pct(trace::Category::file_read) +
+                          c.category_pct(trace::Category::file_write);
+    // "the predominance of reads and writes" (§IV-C)
+    EXPECT_GT(rw_pct, 90.0) << r.census.name;
+    if (row.kind == apps::HpcAppKind::ecoham) {
+      if (row.prep) {
+        EXPECT_GT(c.category_count(trace::Category::directory), 0u);
+      } else {
+        EXPECT_EQ(c.category_count(trace::Category::directory), 0u);
+      }
+    } else {
+      EXPECT_EQ(c.category_count(trace::Category::directory), 0u) << r.census.name;
+    }
+  }
+}
+
+TEST(Integration, BlobFsBeatsStrictPfsOnMetadataHeavyWorkload) {
+  // The §V hypothesis, smallest meaningful check: a metadata-light data
+  // workload (ECOHAM write phase) completes no slower on the blob stack
+  // than on the strict POSIX stack, because the blob path pays neither
+  // lock round-trips nor journalled size updates per write.
+  apps::HpcRunOptions opts;
+  opts.ranks = 8;
+  opts.with_prep_script = false;
+
+  sim::Cluster c1;
+  pfs::LustreLikeFs strict(c1);
+  const auto on_pfs = apps::run_hpc_app(apps::HpcAppKind::ecoham, strict, c1, opts);
+  ASSERT_TRUE(on_pfs.ok) << on_pfs.error;
+
+  sim::Cluster c2;
+  blob::BlobStore store(c2, blob::StoreConfig{.replication = 1});
+  adapter::BlobFs blobfs(store);
+  const auto on_blob = apps::run_hpc_app(apps::HpcAppKind::ecoham, blobfs, c2, opts);
+  ASSERT_TRUE(on_blob.ok) << on_blob.error;
+
+  EXPECT_LT(on_blob.sim_time, on_pfs.sim_time);
+}
+
+TEST(Integration, SparkSuiteRunsOnBlobFsUnchanged) {
+  // Storage-based convergence: the same Spark suite, unmodified, on the
+  // POSIX-on-blob adapter instead of HDFS.
+  sim::Cluster cluster;
+  blob::BlobStore store(cluster);
+  adapter::BlobFs fs(store);
+  ThreadPool pool(10);
+  const auto r = apps::run_spark_single(apps::SparkAppKind::sort, fs, cluster, pool);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.dir_ops.mkdir, 11u);
+  EXPECT_EQ(r.dir_ops.rmdir, 11u);
+  EXPECT_EQ(r.dir_ops.opendir_input, 1u);
+}
+
+TEST(Integration, StorageNodeCountInsensitivityForCensus) {
+  // §IV-B: "Using 4 or 12 storage nodes does not lead to any significant
+  // difference in the results" — the call census is topology-invariant.
+  trace::Census base;
+  bool first = true;
+  for (std::uint32_t nodes : {4u, 8u, 12u}) {
+    sim::Cluster cluster(sim::ClusterSpec::with_storage_nodes(nodes));
+    pfs::LustreLikeFs fs(cluster);
+    apps::HpcRunOptions opts;
+    opts.ranks = 8;
+    const auto r = apps::run_hpc_app(apps::HpcAppKind::mom, fs, cluster, opts);
+    ASSERT_TRUE(r.ok) << r.error;
+    if (first) {
+      base = r.census.census;
+      first = false;
+    } else {
+      EXPECT_EQ(r.census.census.count(trace::OpKind::read), base.count(trace::OpKind::read));
+      EXPECT_EQ(r.census.census.count(trace::OpKind::write),
+                base.count(trace::OpKind::write));
+      EXPECT_EQ(r.census.census.bytes_read, base.bytes_read);
+      EXPECT_EQ(r.census.census.bytes_written, base.bytes_written);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bsc

@@ -1,0 +1,90 @@
+// Unit tests for the wire format and the cost-charging transport.
+#include <gtest/gtest.h>
+
+#include "rpc/transport.hpp"
+#include "rpc/wire.hpp"
+
+namespace bsc::rpc {
+namespace {
+
+TEST(Wire, RoundTripAllTypes) {
+  WireWriter w;
+  w.put_u8(7);
+  w.put_u32(123456);
+  w.put_u64(9876543210ULL);
+  w.put_i64(-42);
+  w.put_string("hello");
+  w.put_bytes(as_view(to_bytes("payload")));
+  w.put_bool(true);
+
+  WireReader r(as_view(w.buffer()));
+  EXPECT_EQ(r.get_u8().value(), 7);
+  EXPECT_EQ(r.get_u32().value(), 123456u);
+  EXPECT_EQ(r.get_u64().value(), 9876543210ULL);
+  EXPECT_EQ(r.get_i64().value(), -42);
+  EXPECT_EQ(r.get_string().value(), "hello");
+  EXPECT_EQ(to_string(as_view(r.get_bytes().value())), "payload");
+  EXPECT_TRUE(r.get_bool().value());
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Wire, EmptyStringAndBytes) {
+  WireWriter w;
+  w.put_string("");
+  w.put_bytes({});
+  WireReader r(as_view(w.buffer()));
+  EXPECT_EQ(r.get_string().value(), "");
+  EXPECT_TRUE(r.get_bytes().value().empty());
+}
+
+TEST(Wire, TruncatedBufferFailsCleanly) {
+  WireWriter w;
+  w.put_u64(1);
+  Bytes buf = std::move(w).take();
+  buf.resize(4);  // cut in half
+  WireReader r(as_view(buf));
+  EXPECT_EQ(r.get_u64().code(), Errc::out_of_range);
+}
+
+TEST(Wire, StringLengthBeyondBufferFails) {
+  WireWriter w;
+  w.put_u32(1000);  // claims 1000 bytes follow; none do
+  WireReader r(as_view(w.buffer()));
+  EXPECT_EQ(r.get_string().code(), Errc::out_of_range);
+}
+
+TEST(Transport, ChargesRequestServiceResponse) {
+  sim::Cluster cluster;
+  Transport t(cluster);
+  sim::SimAgent agent;
+  auto cost = t.call(agent, cluster.storage_node(0), 1000, 2000, 500);
+  EXPECT_EQ(cost.start, 0);
+  const auto& net = cluster.net();
+  const SimMicros expected =
+      net.transfer_us(1000) + 500 + net.transfer_us(2000);
+  EXPECT_EQ(cost.completion, expected);
+  EXPECT_EQ(agent.now(), expected);
+}
+
+TEST(Transport, QueueingDelaysSecondCaller) {
+  sim::Cluster cluster;
+  Transport t(cluster);
+  sim::SimAgent a1;
+  sim::SimAgent a2;
+  t.call(a1, cluster.storage_node(0), 0, 0, 10000);
+  t.call(a2, cluster.storage_node(0), 0, 0, 10000);
+  // a2's request queued behind a1's service window.
+  EXPECT_GT(a2.now(), a1.now());
+}
+
+TEST(Transport, OnewayDoesNotBlockSender) {
+  sim::Cluster cluster;
+  Transport t(cluster);
+  sim::SimAgent agent;
+  const SimMicros completion = t.send_oneway(agent, cluster.storage_node(0), 100, 5000);
+  EXPECT_LT(agent.now(), completion);  // sender returned before service ended
+  EXPECT_GT(completion, 5000);
+}
+
+}  // namespace
+}  // namespace bsc::rpc

@@ -1,0 +1,163 @@
+// Tests for the mini Spark engine: application lifecycle directory
+// footprint, input planning, stage execution, log aggregation.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "hdfs/hdfs.hpp"
+#include "spark/engine.hpp"
+#include "trace/tracing_fs.hpp"
+#include "vfs/helpers.hpp"
+
+namespace bsc::spark {
+namespace {
+
+class SparkEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Platform provisioning (untraced).
+    vfs::IoCtx prov{nullptr, 0, 0};
+    ASSERT_TRUE(vfs::mkdir_recursive(hdfs_, prov, "/user/spark").ok());
+    ASSERT_TRUE(vfs::mkdir_recursive(hdfs_, prov, "/logs-archive").ok());
+    ASSERT_TRUE(vfs::mkdir_recursive(hdfs_, prov, "/input/data").ok());
+    ASSERT_TRUE(vfs::mkdir_recursive(hdfs_, prov, "/output/app").ok());
+    for (int f = 0; f < 3; ++f) {
+      const Bytes data = make_payload(f, 0, 100000);
+      ASSERT_TRUE(vfs::write_file(hdfs_, prov,
+                                  "/input/data/part-" + std::to_string(f),
+                                  as_view(data)).ok());
+    }
+  }
+
+  sim::Cluster cluster_;
+  hdfs::HdfsLikeFs hdfs_{cluster_};
+  trace::TraceRecorder rec_;
+  trace::TracingFs traced_{hdfs_, rec_};
+  ThreadPool pool_{8};
+};
+
+TEST_F(SparkEngineTest, SessionSetupCreatesExactlyThreeDirs) {
+  SparkCluster sc(traced_, cluster_, pool_);
+  sim::SimAgent agent;
+  ASSERT_TRUE(sc.setup(agent).ok());
+  EXPECT_EQ(rec_.census().count(trace::OpKind::mkdir), 3u);
+  ASSERT_TRUE(sc.teardown(agent).ok());
+  EXPECT_EQ(rec_.census().count(trace::OpKind::rmdir), 3u);
+}
+
+TEST_F(SparkEngineTest, AppLifecycleDirFootprint) {
+  SparkCluster sc(traced_, cluster_, pool_);
+  sim::SimAgent agent;
+  ASSERT_TRUE(sc.setup(agent).ok());
+  rec_.reset();
+
+  SparkApp app(sc, "TestApp", 1);
+  ASSERT_TRUE(app.submit(agent).ok());
+  // staging(1) + app log dir(1) + driver(1) + 5 executors = 8 mkdirs.
+  EXPECT_EQ(rec_.census().count(trace::OpKind::mkdir), 8u);
+  ASSERT_TRUE(app.finish(agent).ok());
+  EXPECT_EQ(rec_.census().count(trace::OpKind::rmdir), 8u);
+  ASSERT_TRUE(sc.teardown(agent).ok());
+}
+
+TEST_F(SparkEngineTest, ExecutorCountDrivesDirFootprint) {
+  SparkConfig cfg;
+  cfg.executors = 2;
+  SparkCluster sc(traced_, cluster_, pool_, cfg);
+  sim::SimAgent agent;
+  ASSERT_TRUE(sc.setup(agent).ok());
+  rec_.reset();
+  SparkApp app(sc, "Small", 1);
+  ASSERT_TRUE(app.submit(agent).ok());
+  EXPECT_EQ(rec_.census().count(trace::OpKind::mkdir), 5u);  // 3 + 2 executors
+  ASSERT_TRUE(app.finish(agent).ok());
+  ASSERT_TRUE(sc.teardown(agent).ok());
+}
+
+TEST_F(SparkEngineTest, PlanInputListsOnceAndSplits) {
+  SparkCluster sc(traced_, cluster_, pool_);
+  sim::SimAgent agent;
+  ASSERT_TRUE(sc.setup(agent).ok());
+  SparkApp app(sc, "Planner", 1);
+  ASSERT_TRUE(app.submit(agent).ok());
+  auto splits = app.plan_input(agent, "/input/data", 30000);
+  ASSERT_TRUE(splits.ok());
+  // 3 files x 100000 bytes / 30000-byte splits = 4 splits per file.
+  EXPECT_EQ(splits.value().size(), 12u);
+  std::uint64_t covered = 0;
+  for (const auto& s : splits.value()) covered += s.length;
+  EXPECT_EQ(covered, 300000u);
+  EXPECT_EQ(sc.input_listings(), 1u);
+  EXPECT_EQ(rec_.census().count(trace::OpKind::readdir), 1u);
+  ASSERT_TRUE(app.finish(agent).ok());
+  ASSERT_TRUE(sc.teardown(agent).ok());
+}
+
+TEST_F(SparkEngineTest, StageRunsAllTasksAndJoinsTime) {
+  SparkCluster sc(traced_, cluster_, pool_);
+  sim::SimAgent agent;
+  ASSERT_TRUE(sc.setup(agent).ok());
+  SparkApp app(sc, "Stager", 1);
+  ASSERT_TRUE(app.submit(agent).ok());
+  std::atomic<int> ran{0};
+  const SimMicros before = agent.now();
+  ASSERT_TRUE(app.run_stage(agent, "s0", 16, [&](TaskContext& tc) {
+    ++ran;
+    tc.io.charge(1000);
+    return Status::success();
+  }).ok());
+  EXPECT_EQ(ran.load(), 16);
+  EXPECT_GE(agent.now(), before + 1000);  // driver waited for the tasks
+  ASSERT_TRUE(app.finish(agent).ok());
+  ASSERT_TRUE(sc.teardown(agent).ok());
+}
+
+TEST_F(SparkEngineTest, StageFailurePropagates) {
+  SparkCluster sc(traced_, cluster_, pool_);
+  sim::SimAgent agent;
+  ASSERT_TRUE(sc.setup(agent).ok());
+  SparkApp app(sc, "Failer", 1);
+  ASSERT_TRUE(app.submit(agent).ok());
+  auto st = app.run_stage(agent, "bad", 4, [&](TaskContext& tc) -> Status {
+    if (tc.task_id == 2) return {Errc::io_error, "task exploded"};
+    return Status::success();
+  });
+  EXPECT_EQ(st.code(), Errc::io_error);
+}
+
+TEST_F(SparkEngineTest, FinishAggregatesLogsIntoArchive) {
+  SparkCluster sc(traced_, cluster_, pool_);
+  sim::SimAgent agent;
+  ASSERT_TRUE(sc.setup(agent).ok());
+  SparkApp app(sc, "Archiver", 7);
+  ASSERT_TRUE(app.submit(agent).ok());
+  ASSERT_TRUE(app.run_stage(agent, "s0", 2,
+                            [](TaskContext&) { return Status::success(); }).ok());
+  ASSERT_TRUE(app.finish(agent).ok());
+  vfs::IoCtx ctx{&agent, 0, 0};
+  auto archive = vfs::read_file(hdfs_, ctx, "/logs-archive/Archiver_0007.log");
+  ASSERT_TRUE(archive.ok());
+  const std::string text = to_string(as_view(archive.value()));
+  EXPECT_NE(text.find("SparkListenerApplicationStart"), std::string::npos);
+  EXPECT_NE(text.find("SparkListenerStageCompleted"), std::string::npos);
+  EXPECT_NE(text.find("SparkListenerApplicationEnd"), std::string::npos);
+  // App log tree and staging dir are gone.
+  EXPECT_EQ(hdfs_.stat(ctx, app.log_dir()).code(), Errc::not_found);
+  EXPECT_EQ(hdfs_.stat(ctx, app.staging_dir()).code(), Errc::not_found);
+  ASSERT_TRUE(sc.teardown(agent).ok());
+}
+
+TEST_F(SparkEngineTest, ShuffleChargesTimeWithoutStorageCalls) {
+  SparkCluster sc(traced_, cluster_, pool_);
+  sim::SimAgent agent;
+  ASSERT_TRUE(sc.setup(agent).ok());
+  SparkApp app(sc, "Shuffler", 1);
+  ASSERT_TRUE(app.submit(agent).ok());
+  const auto calls_before = rec_.census().total_calls();
+  const SimMicros t0 = agent.now();
+  app.charge_shuffle(agent, 10 << 20);
+  EXPECT_GT(agent.now(), t0);
+  EXPECT_EQ(rec_.census().total_calls(), calls_before);
+}
+
+}  // namespace
+}  // namespace bsc::spark

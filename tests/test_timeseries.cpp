@@ -1,0 +1,143 @@
+// Tests for the blob-backed time-series store.
+#include <gtest/gtest.h>
+
+#include "common/strings.hpp"
+#include "common/thread_pool.hpp"
+#include "kvstore/timeseries.hpp"
+
+namespace bsc::kvstore {
+namespace {
+
+class TsTest : public ::testing::Test {
+ protected:
+  sim::Cluster cluster_;
+  blob::BlobStore store_{cluster_};
+  TimeSeriesStore ts_{store_, "metrics", TsConfig{.points_per_segment = 16}};
+  sim::SimAgent agent_;
+};
+
+TEST_F(TsTest, AppendAndQueryBack) {
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(ts_.append(agent_, "cpu", {i * 10, i * 1.5}).ok());
+  }
+  auto pts = ts_.query(agent_, "cpu", 0, 1000);
+  ASSERT_TRUE(pts.ok());
+  ASSERT_EQ(pts.value().size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(pts.value()[i].timestamp, i * 10);
+    EXPECT_DOUBLE_EQ(pts.value()[i].value, i * 1.5);
+  }
+  EXPECT_EQ(ts_.point_count(agent_, "cpu").value(), 10u);
+}
+
+TEST_F(TsTest, RangeQueryBoundsInclusive) {
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(ts_.append(agent_, "s", {i, static_cast<double>(i)}).ok());
+  }
+  auto pts = ts_.query(agent_, "s", 5, 9);
+  ASSERT_TRUE(pts.ok());
+  ASSERT_EQ(pts.value().size(), 5u);
+  EXPECT_EQ(pts.value().front().timestamp, 5);
+  EXPECT_EQ(pts.value().back().timestamp, 9);
+  EXPECT_TRUE(ts_.query(agent_, "s", 100, 200).value().empty());
+  EXPECT_TRUE(ts_.query(agent_, "s", 9, 5).value().empty());
+}
+
+TEST_F(TsTest, SpansMultipleSegments) {
+  std::vector<TsPoint> batch;
+  for (int i = 0; i < 100; ++i) {  // 16 points/segment -> 7 segments
+    batch.push_back({i, i * 0.5});
+  }
+  ASSERT_TRUE(ts_.append_batch(agent_, "big", batch).ok());
+  EXPECT_EQ(ts_.point_count(agent_, "big").value(), 100u);
+  auto all = ts_.query(agent_, "big", 0, 99);
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all.value().size(), 100u);
+  // Mid-range query crossing segment boundaries.
+  auto mid = ts_.query(agent_, "big", 15, 49);
+  ASSERT_TRUE(mid.ok());
+  EXPECT_EQ(mid.value().size(), 35u);
+  // The underlying blobs are segments + descriptor.
+  sim::SimAgent a;
+  blob::BlobClient client(store_, &a);
+  auto blobs = client.scan("ts!metrics!big");
+  EXPECT_EQ(blobs.value().size(), 8u);  // 7 segments + 1 descriptor
+}
+
+TEST_F(TsTest, RejectsOutOfOrderTimestamps) {
+  ASSERT_TRUE(ts_.append(agent_, "mono", {100, 1.0}).ok());
+  EXPECT_EQ(ts_.append(agent_, "mono", {50, 2.0}).code(), Errc::invalid_argument);
+  EXPECT_EQ(ts_.append_batch(agent_, "mono", {{200, 1.0}, {150, 2.0}}).code(),
+            Errc::invalid_argument);
+  // Equal timestamps are allowed (non-decreasing).
+  EXPECT_TRUE(ts_.append(agent_, "mono", {100, 3.0}).ok());
+}
+
+TEST_F(TsTest, Aggregates) {
+  for (int i = 1; i <= 10; ++i) {
+    ASSERT_TRUE(ts_.append(agent_, "agg", {i, static_cast<double>(i)}).ok());
+  }
+  auto a = ts_.aggregate(agent_, "agg", 1, 10);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a.value().count, 10u);
+  EXPECT_DOUBLE_EQ(a.value().min, 1.0);
+  EXPECT_DOUBLE_EQ(a.value().max, 10.0);
+  EXPECT_DOUBLE_EQ(a.value().mean, 5.5);
+  auto empty = ts_.aggregate(agent_, "agg", 100, 200);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty.value().count, 0u);
+}
+
+TEST_F(TsTest, ListSeries) {
+  ASSERT_TRUE(ts_.append(agent_, "cpu", {1, 0.5}).ok());
+  ASSERT_TRUE(ts_.append(agent_, "mem", {1, 0.7}).ok());
+  ASSERT_TRUE(ts_.append(agent_, "net.rx", {1, 0.1}).ok());
+  auto series = ts_.list_series(agent_);
+  ASSERT_TRUE(series.ok());
+  ASSERT_EQ(series.value().size(), 3u);
+  EXPECT_EQ(series.value()[0], "cpu");
+  EXPECT_EQ(series.value()[1], "mem");
+  EXPECT_EQ(series.value()[2], "net.rx");
+}
+
+TEST_F(TsTest, EmptySeriesQueries) {
+  EXPECT_TRUE(ts_.query(agent_, "nothing", 0, 100).value().empty());
+  EXPECT_EQ(ts_.point_count(agent_, "nothing").value(), 0u);
+}
+
+TEST_F(TsTest, ConcurrentAppendersToDistinctSeries) {
+  constexpr int kThreads = 6;
+  ThreadPool pool(kThreads);
+  pool.parallel_for(kThreads, [&](std::size_t t) {
+    sim::SimAgent agent;
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_TRUE(ts_.append(agent, strfmt("series-%zu", t),
+                             {i, static_cast<double>(t)}).ok());
+    }
+  });
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(ts_.point_count(agent_, strfmt("series-%d", t)).value(), 50u);
+  }
+}
+
+TEST_F(TsTest, ConcurrentAppendersToSameSeriesSerialize) {
+  // Timestamps all equal: no ordering violation; the descriptor transaction
+  // must serialize appenders so no point is lost.
+  constexpr int kThreads = 4;
+  constexpr int kAppends = 20;
+  ThreadPool pool(kThreads);
+  pool.parallel_for(kThreads, [&](std::size_t t) {
+    sim::SimAgent agent;
+    for (int i = 0; i < kAppends; ++i) {
+      ASSERT_TRUE(ts_.append(agent, "shared", {42, static_cast<double>(t)}).ok());
+    }
+  });
+  EXPECT_EQ(ts_.point_count(agent_, "shared").value(),
+            static_cast<std::uint64_t>(kThreads) * kAppends);
+  auto pts = ts_.query(agent_, "shared", 42, 42);
+  ASSERT_TRUE(pts.ok());
+  EXPECT_EQ(pts.value().size(), static_cast<std::size_t>(kThreads) * kAppends);
+}
+
+}  // namespace
+}  // namespace bsc::kvstore
