@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsc_bench_support.dir/support.cpp.o"
+  "CMakeFiles/bsc_bench_support.dir/support.cpp.o.d"
+  "libbsc_bench_support.a"
+  "libbsc_bench_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsc_bench_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckpt_blob_vs_fs.dir/ckpt_blob_vs_fs.cpp.o"
+  "CMakeFiles/ckpt_blob_vs_fs.dir/ckpt_blob_vs_fs.cpp.o.d"
+  "ckpt_blob_vs_fs"
+  "ckpt_blob_vs_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckpt_blob_vs_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ckpt_blob_vs_fs.
+# This may be replaced when dependencies are built.

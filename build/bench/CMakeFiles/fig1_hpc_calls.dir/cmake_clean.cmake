@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_hpc_calls.dir/fig1_hpc_calls.cpp.o"
+  "CMakeFiles/fig1_hpc_calls.dir/fig1_hpc_calls.cpp.o.d"
+  "fig1_hpc_calls"
+  "fig1_hpc_calls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_hpc_calls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_bigdata_calls.dir/fig2_bigdata_calls.cpp.o"
+  "CMakeFiles/fig2_bigdata_calls.dir/fig2_bigdata_calls.cpp.o.d"
+  "fig2_bigdata_calls"
+  "fig2_bigdata_calls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_bigdata_calls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_blob_vs_fs.dir/fig3_blob_vs_fs.cpp.o"
+  "CMakeFiles/fig3_blob_vs_fs.dir/fig3_blob_vs_fs.cpp.o.d"
+  "fig3_blob_vs_fs"
+  "fig3_blob_vs_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_blob_vs_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

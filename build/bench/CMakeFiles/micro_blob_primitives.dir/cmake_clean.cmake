@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_blob_primitives.dir/micro_blob_primitives.cpp.o"
+  "CMakeFiles/micro_blob_primitives.dir/micro_blob_primitives.cpp.o.d"
+  "micro_blob_primitives"
+  "micro_blob_primitives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_blob_primitives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_kv_ts.dir/micro_kv_ts.cpp.o"
+  "CMakeFiles/micro_kv_ts.dir/micro_kv_ts.cpp.o.d"
+  "micro_kv_ts"
+  "micro_kv_ts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_kv_ts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_dir_ops.dir/table2_dir_ops.cpp.o"
+  "CMakeFiles/table2_dir_ops.dir/table2_dir_ops.cpp.o.d"
+  "table2_dir_ops"
+  "table2_dir_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_dir_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

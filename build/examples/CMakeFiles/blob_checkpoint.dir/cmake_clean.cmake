@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blob_checkpoint.dir/blob_checkpoint.cpp.o"
+  "CMakeFiles/blob_checkpoint.dir/blob_checkpoint.cpp.o.d"
+  "blob_checkpoint"
+  "blob_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blob_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_timeseries.dir/kv_timeseries.cpp.o"
+  "CMakeFiles/kv_timeseries.dir/kv_timeseries.cpp.o.d"
+  "kv_timeseries"
+  "kv_timeseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

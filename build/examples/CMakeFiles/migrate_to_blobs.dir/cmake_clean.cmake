@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/migrate_to_blobs.dir/migrate_to_blobs.cpp.o"
+  "CMakeFiles/migrate_to_blobs.dir/migrate_to_blobs.cpp.o.d"
+  "migrate_to_blobs"
+  "migrate_to_blobs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/migrate_to_blobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

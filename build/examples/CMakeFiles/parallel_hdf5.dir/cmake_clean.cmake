@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_hdf5.dir/parallel_hdf5.cpp.o"
+  "CMakeFiles/parallel_hdf5.dir/parallel_hdf5.cpp.o.d"
+  "parallel_hdf5"
+  "parallel_hdf5.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_hdf5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/posix_on_blob.dir/posix_on_blob.cpp.o"
+  "CMakeFiles/posix_on_blob.dir/posix_on_blob.cpp.o.d"
+  "posix_on_blob"
+  "posix_on_blob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/posix_on_blob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_census.dir/trace_census.cpp.o"
+  "CMakeFiles/trace_census.dir/trace_census.cpp.o.d"
+  "trace_census"
+  "trace_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

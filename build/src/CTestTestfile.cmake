@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("rpc")
+subdirs("vfs")
+subdirs("blob")
+subdirs("pfs")
+subdirs("hdfs")
+subdirs("adapter")
+subdirs("kvstore")
+subdirs("gateway")
+subdirs("mpiio")
+subdirs("h5lite")
+subdirs("bplite")
+subdirs("trace")
+subdirs("spark")
+subdirs("apps")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsc_adapter.dir/blobfs.cpp.o"
+  "CMakeFiles/bsc_adapter.dir/blobfs.cpp.o.d"
+  "libbsc_adapter.a"
+  "libbsc_adapter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsc_adapter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

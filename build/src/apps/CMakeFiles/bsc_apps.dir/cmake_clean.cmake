@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsc_apps.dir/hpc_apps.cpp.o"
+  "CMakeFiles/bsc_apps.dir/hpc_apps.cpp.o.d"
+  "CMakeFiles/bsc_apps.dir/spark_apps.cpp.o"
+  "CMakeFiles/bsc_apps.dir/spark_apps.cpp.o.d"
+  "libbsc_apps.a"
+  "libbsc_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsc_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/blob/client.cpp" "src/blob/CMakeFiles/bsc_blob.dir/client.cpp.o" "gcc" "src/blob/CMakeFiles/bsc_blob.dir/client.cpp.o.d"
+  "/root/repo/src/blob/ring.cpp" "src/blob/CMakeFiles/bsc_blob.dir/ring.cpp.o" "gcc" "src/blob/CMakeFiles/bsc_blob.dir/ring.cpp.o.d"
+  "/root/repo/src/blob/server.cpp" "src/blob/CMakeFiles/bsc_blob.dir/server.cpp.o" "gcc" "src/blob/CMakeFiles/bsc_blob.dir/server.cpp.o.d"
+  "/root/repo/src/blob/storage_engine.cpp" "src/blob/CMakeFiles/bsc_blob.dir/storage_engine.cpp.o" "gcc" "src/blob/CMakeFiles/bsc_blob.dir/storage_engine.cpp.o.d"
+  "/root/repo/src/blob/store.cpp" "src/blob/CMakeFiles/bsc_blob.dir/store.cpp.o" "gcc" "src/blob/CMakeFiles/bsc_blob.dir/store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bsc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bsc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/bsc_rpc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

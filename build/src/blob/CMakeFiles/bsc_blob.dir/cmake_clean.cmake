@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsc_blob.dir/client.cpp.o"
+  "CMakeFiles/bsc_blob.dir/client.cpp.o.d"
+  "CMakeFiles/bsc_blob.dir/ring.cpp.o"
+  "CMakeFiles/bsc_blob.dir/ring.cpp.o.d"
+  "CMakeFiles/bsc_blob.dir/server.cpp.o"
+  "CMakeFiles/bsc_blob.dir/server.cpp.o.d"
+  "CMakeFiles/bsc_blob.dir/storage_engine.cpp.o"
+  "CMakeFiles/bsc_blob.dir/storage_engine.cpp.o.d"
+  "CMakeFiles/bsc_blob.dir/store.cpp.o"
+  "CMakeFiles/bsc_blob.dir/store.cpp.o.d"
+  "libbsc_blob.a"
+  "libbsc_blob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsc_blob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

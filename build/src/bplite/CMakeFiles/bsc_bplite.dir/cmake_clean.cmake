@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsc_bplite.dir/bp.cpp.o"
+  "CMakeFiles/bsc_bplite.dir/bp.cpp.o.d"
+  "libbsc_bplite.a"
+  "libbsc_bplite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsc_bplite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

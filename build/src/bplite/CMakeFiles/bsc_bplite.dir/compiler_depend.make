@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bsc_bplite.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsc_common.dir/hash.cpp.o"
+  "CMakeFiles/bsc_common.dir/hash.cpp.o.d"
+  "CMakeFiles/bsc_common.dir/logging.cpp.o"
+  "CMakeFiles/bsc_common.dir/logging.cpp.o.d"
+  "CMakeFiles/bsc_common.dir/rng.cpp.o"
+  "CMakeFiles/bsc_common.dir/rng.cpp.o.d"
+  "CMakeFiles/bsc_common.dir/stats.cpp.o"
+  "CMakeFiles/bsc_common.dir/stats.cpp.o.d"
+  "CMakeFiles/bsc_common.dir/strings.cpp.o"
+  "CMakeFiles/bsc_common.dir/strings.cpp.o.d"
+  "CMakeFiles/bsc_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/bsc_common.dir/thread_pool.cpp.o.d"
+  "libbsc_common.a"
+  "libbsc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

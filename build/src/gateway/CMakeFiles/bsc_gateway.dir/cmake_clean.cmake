@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsc_gateway.dir/s3.cpp.o"
+  "CMakeFiles/bsc_gateway.dir/s3.cpp.o.d"
+  "libbsc_gateway.a"
+  "libbsc_gateway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsc_gateway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

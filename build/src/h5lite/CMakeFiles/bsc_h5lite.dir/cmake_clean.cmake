@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsc_h5lite.dir/h5file.cpp.o"
+  "CMakeFiles/bsc_h5lite.dir/h5file.cpp.o.d"
+  "libbsc_h5lite.a"
+  "libbsc_h5lite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsc_h5lite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hdfs/datanode.cpp" "src/hdfs/CMakeFiles/bsc_hdfs.dir/datanode.cpp.o" "gcc" "src/hdfs/CMakeFiles/bsc_hdfs.dir/datanode.cpp.o.d"
+  "/root/repo/src/hdfs/hdfs.cpp" "src/hdfs/CMakeFiles/bsc_hdfs.dir/hdfs.cpp.o" "gcc" "src/hdfs/CMakeFiles/bsc_hdfs.dir/hdfs.cpp.o.d"
+  "/root/repo/src/hdfs/namenode.cpp" "src/hdfs/CMakeFiles/bsc_hdfs.dir/namenode.cpp.o" "gcc" "src/hdfs/CMakeFiles/bsc_hdfs.dir/namenode.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bsc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bsc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/bsc_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/bsc_vfs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsc_hdfs.dir/datanode.cpp.o"
+  "CMakeFiles/bsc_hdfs.dir/datanode.cpp.o.d"
+  "CMakeFiles/bsc_hdfs.dir/hdfs.cpp.o"
+  "CMakeFiles/bsc_hdfs.dir/hdfs.cpp.o.d"
+  "CMakeFiles/bsc_hdfs.dir/namenode.cpp.o"
+  "CMakeFiles/bsc_hdfs.dir/namenode.cpp.o.d"
+  "libbsc_hdfs.a"
+  "libbsc_hdfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsc_hdfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

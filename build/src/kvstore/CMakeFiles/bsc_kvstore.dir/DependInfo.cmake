@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kvstore/kv.cpp" "src/kvstore/CMakeFiles/bsc_kvstore.dir/kv.cpp.o" "gcc" "src/kvstore/CMakeFiles/bsc_kvstore.dir/kv.cpp.o.d"
+  "/root/repo/src/kvstore/timeseries.cpp" "src/kvstore/CMakeFiles/bsc_kvstore.dir/timeseries.cpp.o" "gcc" "src/kvstore/CMakeFiles/bsc_kvstore.dir/timeseries.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bsc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bsc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/bsc_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/blob/CMakeFiles/bsc_blob.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsc_kvstore.dir/kv.cpp.o"
+  "CMakeFiles/bsc_kvstore.dir/kv.cpp.o.d"
+  "CMakeFiles/bsc_kvstore.dir/timeseries.cpp.o"
+  "CMakeFiles/bsc_kvstore.dir/timeseries.cpp.o.d"
+  "libbsc_kvstore.a"
+  "libbsc_kvstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsc_kvstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

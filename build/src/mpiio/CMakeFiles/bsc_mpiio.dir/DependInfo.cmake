@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpiio/communicator.cpp" "src/mpiio/CMakeFiles/bsc_mpiio.dir/communicator.cpp.o" "gcc" "src/mpiio/CMakeFiles/bsc_mpiio.dir/communicator.cpp.o.d"
+  "/root/repo/src/mpiio/mpi_file.cpp" "src/mpiio/CMakeFiles/bsc_mpiio.dir/mpi_file.cpp.o" "gcc" "src/mpiio/CMakeFiles/bsc_mpiio.dir/mpi_file.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bsc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bsc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/bsc_vfs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

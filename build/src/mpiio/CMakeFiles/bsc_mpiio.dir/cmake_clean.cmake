@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsc_mpiio.dir/communicator.cpp.o"
+  "CMakeFiles/bsc_mpiio.dir/communicator.cpp.o.d"
+  "CMakeFiles/bsc_mpiio.dir/mpi_file.cpp.o"
+  "CMakeFiles/bsc_mpiio.dir/mpi_file.cpp.o.d"
+  "libbsc_mpiio.a"
+  "libbsc_mpiio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsc_mpiio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

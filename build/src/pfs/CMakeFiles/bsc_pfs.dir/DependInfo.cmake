@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pfs/lock_manager.cpp" "src/pfs/CMakeFiles/bsc_pfs.dir/lock_manager.cpp.o" "gcc" "src/pfs/CMakeFiles/bsc_pfs.dir/lock_manager.cpp.o.d"
+  "/root/repo/src/pfs/mds.cpp" "src/pfs/CMakeFiles/bsc_pfs.dir/mds.cpp.o" "gcc" "src/pfs/CMakeFiles/bsc_pfs.dir/mds.cpp.o.d"
+  "/root/repo/src/pfs/ost.cpp" "src/pfs/CMakeFiles/bsc_pfs.dir/ost.cpp.o" "gcc" "src/pfs/CMakeFiles/bsc_pfs.dir/ost.cpp.o.d"
+  "/root/repo/src/pfs/pfs.cpp" "src/pfs/CMakeFiles/bsc_pfs.dir/pfs.cpp.o" "gcc" "src/pfs/CMakeFiles/bsc_pfs.dir/pfs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bsc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bsc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/bsc_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/bsc_vfs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsc_pfs.dir/lock_manager.cpp.o"
+  "CMakeFiles/bsc_pfs.dir/lock_manager.cpp.o.d"
+  "CMakeFiles/bsc_pfs.dir/mds.cpp.o"
+  "CMakeFiles/bsc_pfs.dir/mds.cpp.o.d"
+  "CMakeFiles/bsc_pfs.dir/ost.cpp.o"
+  "CMakeFiles/bsc_pfs.dir/ost.cpp.o.d"
+  "CMakeFiles/bsc_pfs.dir/pfs.cpp.o"
+  "CMakeFiles/bsc_pfs.dir/pfs.cpp.o.d"
+  "libbsc_pfs.a"
+  "libbsc_pfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsc_pfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsc_rpc.dir/transport.cpp.o"
+  "CMakeFiles/bsc_rpc.dir/transport.cpp.o.d"
+  "CMakeFiles/bsc_rpc.dir/wire.cpp.o"
+  "CMakeFiles/bsc_rpc.dir/wire.cpp.o.d"
+  "libbsc_rpc.a"
+  "libbsc_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsc_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

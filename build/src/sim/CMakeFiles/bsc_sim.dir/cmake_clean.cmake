@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsc_sim.dir/cluster.cpp.o"
+  "CMakeFiles/bsc_sim.dir/cluster.cpp.o.d"
+  "CMakeFiles/bsc_sim.dir/disk_model.cpp.o"
+  "CMakeFiles/bsc_sim.dir/disk_model.cpp.o.d"
+  "CMakeFiles/bsc_sim.dir/net_model.cpp.o"
+  "CMakeFiles/bsc_sim.dir/net_model.cpp.o.d"
+  "CMakeFiles/bsc_sim.dir/node.cpp.o"
+  "CMakeFiles/bsc_sim.dir/node.cpp.o.d"
+  "CMakeFiles/bsc_sim.dir/page_cache.cpp.o"
+  "CMakeFiles/bsc_sim.dir/page_cache.cpp.o.d"
+  "libbsc_sim.a"
+  "libbsc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

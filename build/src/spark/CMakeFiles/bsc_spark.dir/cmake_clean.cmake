@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsc_spark.dir/analytics.cpp.o"
+  "CMakeFiles/bsc_spark.dir/analytics.cpp.o.d"
+  "CMakeFiles/bsc_spark.dir/engine.cpp.o"
+  "CMakeFiles/bsc_spark.dir/engine.cpp.o.d"
+  "libbsc_spark.a"
+  "libbsc_spark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsc_spark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/call_log.cpp" "src/trace/CMakeFiles/bsc_trace.dir/call_log.cpp.o" "gcc" "src/trace/CMakeFiles/bsc_trace.dir/call_log.cpp.o.d"
+  "/root/repo/src/trace/recorder.cpp" "src/trace/CMakeFiles/bsc_trace.dir/recorder.cpp.o" "gcc" "src/trace/CMakeFiles/bsc_trace.dir/recorder.cpp.o.d"
+  "/root/repo/src/trace/report.cpp" "src/trace/CMakeFiles/bsc_trace.dir/report.cpp.o" "gcc" "src/trace/CMakeFiles/bsc_trace.dir/report.cpp.o.d"
+  "/root/repo/src/trace/tracing_fs.cpp" "src/trace/CMakeFiles/bsc_trace.dir/tracing_fs.cpp.o" "gcc" "src/trace/CMakeFiles/bsc_trace.dir/tracing_fs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bsc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bsc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/bsc_vfs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsc_trace.dir/call_log.cpp.o"
+  "CMakeFiles/bsc_trace.dir/call_log.cpp.o.d"
+  "CMakeFiles/bsc_trace.dir/recorder.cpp.o"
+  "CMakeFiles/bsc_trace.dir/recorder.cpp.o.d"
+  "CMakeFiles/bsc_trace.dir/report.cpp.o"
+  "CMakeFiles/bsc_trace.dir/report.cpp.o.d"
+  "CMakeFiles/bsc_trace.dir/tracing_fs.cpp.o"
+  "CMakeFiles/bsc_trace.dir/tracing_fs.cpp.o.d"
+  "libbsc_trace.a"
+  "libbsc_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsc_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsc_vfs.dir/helpers.cpp.o"
+  "CMakeFiles/bsc_vfs.dir/helpers.cpp.o.d"
+  "CMakeFiles/bsc_vfs.dir/migrate.cpp.o"
+  "CMakeFiles/bsc_vfs.dir/migrate.cpp.o.d"
+  "libbsc_vfs.a"
+  "libbsc_vfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsc_vfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

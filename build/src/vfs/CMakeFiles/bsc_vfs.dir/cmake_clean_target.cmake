@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbsc_vfs.a"
+)

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_blob_client.cpp" "tests/CMakeFiles/test_blob_client.dir/test_blob_client.cpp.o" "gcc" "tests/CMakeFiles/test_blob_client.dir/test_blob_client.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bsc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bsc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/bsc_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/bsc_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/blob/CMakeFiles/bsc_blob.dir/DependInfo.cmake"
+  "/root/repo/build/src/pfs/CMakeFiles/bsc_pfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdfs/CMakeFiles/bsc_hdfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/adapter/CMakeFiles/bsc_adapter.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpiio/CMakeFiles/bsc_mpiio.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/bsc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/spark/CMakeFiles/bsc_spark.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/bsc_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvstore/CMakeFiles/bsc_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/h5lite/CMakeFiles/bsc_h5lite.dir/DependInfo.cmake"
+  "/root/repo/build/src/bplite/CMakeFiles/bsc_bplite.dir/DependInfo.cmake"
+  "/root/repo/build/src/gateway/CMakeFiles/bsc_gateway.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blob_engine.dir/test_blob_engine.cpp.o"
+  "CMakeFiles/test_blob_engine.dir/test_blob_engine.cpp.o.d"
+  "test_blob_engine"
+  "test_blob_engine.pdb"
+  "test_blob_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blob_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blob_failure.dir/test_blob_failure.cpp.o"
+  "CMakeFiles/test_blob_failure.dir/test_blob_failure.cpp.o.d"
+  "test_blob_failure"
+  "test_blob_failure.pdb"
+  "test_blob_failure[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blob_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blob_rebalance.dir/test_blob_rebalance.cpp.o"
+  "CMakeFiles/test_blob_rebalance.dir/test_blob_rebalance.cpp.o.d"
+  "test_blob_rebalance"
+  "test_blob_rebalance.pdb"
+  "test_blob_rebalance[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blob_rebalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

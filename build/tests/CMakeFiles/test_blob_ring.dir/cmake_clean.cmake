@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blob_ring.dir/test_blob_ring.cpp.o"
+  "CMakeFiles/test_blob_ring.dir/test_blob_ring.cpp.o.d"
+  "test_blob_ring"
+  "test_blob_ring.pdb"
+  "test_blob_ring[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blob_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

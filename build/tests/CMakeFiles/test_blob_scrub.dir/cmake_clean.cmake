@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blob_scrub.dir/test_blob_scrub.cpp.o"
+  "CMakeFiles/test_blob_scrub.dir/test_blob_scrub.cpp.o.d"
+  "test_blob_scrub"
+  "test_blob_scrub.pdb"
+  "test_blob_scrub[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blob_scrub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

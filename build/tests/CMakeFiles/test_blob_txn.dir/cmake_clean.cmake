@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blob_txn.dir/test_blob_txn.cpp.o"
+  "CMakeFiles/test_blob_txn.dir/test_blob_txn.cpp.o.d"
+  "test_blob_txn"
+  "test_blob_txn.pdb"
+  "test_blob_txn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blob_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bplite.dir/test_bplite.cpp.o"
+  "CMakeFiles/test_bplite.dir/test_bplite.cpp.o.d"
+  "test_bplite"
+  "test_bplite.pdb"
+  "test_bplite[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bplite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fs_equivalence.dir/test_fs_equivalence.cpp.o"
+  "CMakeFiles/test_fs_equivalence.dir/test_fs_equivalence.cpp.o.d"
+  "test_fs_equivalence"
+  "test_fs_equivalence.pdb"
+  "test_fs_equivalence[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fs_equivalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_h5lite.dir/test_h5lite.cpp.o"
+  "CMakeFiles/test_h5lite.dir/test_h5lite.cpp.o.d"
+  "test_h5lite"
+  "test_h5lite.pdb"
+  "test_h5lite[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_h5lite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

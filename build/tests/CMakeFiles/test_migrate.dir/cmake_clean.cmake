@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_migrate.dir/test_migrate.cpp.o"
+  "CMakeFiles/test_migrate.dir/test_migrate.cpp.o.d"
+  "test_migrate"
+  "test_migrate.pdb"
+  "test_migrate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_migrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

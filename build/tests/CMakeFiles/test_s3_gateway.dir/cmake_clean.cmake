@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_s3_gateway.dir/test_s3_gateway.cpp.o"
+  "CMakeFiles/test_s3_gateway.dir/test_s3_gateway.cpp.o.d"
+  "test_s3_gateway"
+  "test_s3_gateway.pdb"
+  "test_s3_gateway[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_s3_gateway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

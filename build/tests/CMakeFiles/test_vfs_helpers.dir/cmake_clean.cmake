@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vfs_helpers.dir/test_vfs_helpers.cpp.o"
+  "CMakeFiles/test_vfs_helpers.dir/test_vfs_helpers.cpp.o.d"
+  "test_vfs_helpers"
+  "test_vfs_helpers.pdb"
+  "test_vfs_helpers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vfs_helpers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

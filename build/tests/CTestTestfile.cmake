@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_page_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_rpc[1]_include.cmake")
+include("/root/repo/build/tests/test_blob_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_blob_ring[1]_include.cmake")
+include("/root/repo/build/tests/test_blob_client[1]_include.cmake")
+include("/root/repo/build/tests/test_blob_txn[1]_include.cmake")
+include("/root/repo/build/tests/test_blob_failure[1]_include.cmake")
+include("/root/repo/build/tests/test_blob_rebalance[1]_include.cmake")
+include("/root/repo/build/tests/test_blob_scrub[1]_include.cmake")
+include("/root/repo/build/tests/test_kvstore[1]_include.cmake")
+include("/root/repo/build/tests/test_timeseries[1]_include.cmake")
+include("/root/repo/build/tests/test_h5lite[1]_include.cmake")
+include("/root/repo/build/tests/test_bplite[1]_include.cmake")
+include("/root/repo/build/tests/test_migrate[1]_include.cmake")
+include("/root/repo/build/tests/test_vfs_helpers[1]_include.cmake")
+include("/root/repo/build/tests/test_s3_gateway[1]_include.cmake")
+include("/root/repo/build/tests/test_analytics[1]_include.cmake")
+include("/root/repo/build/tests/test_pfs[1]_include.cmake")
+include("/root/repo/build/tests/test_hdfs[1]_include.cmake")
+include("/root/repo/build/tests/test_adapter[1]_include.cmake")
+include("/root/repo/build/tests/test_fs_equivalence[1]_include.cmake")
+include("/root/repo/build/tests/test_mpiio[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_spark_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_apps[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
