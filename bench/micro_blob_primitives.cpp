@@ -6,9 +6,13 @@
 //     number the storage comparison actually argues about.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+#include <vector>
+
 #include "blob/client.hpp"
 #include "common/rng.hpp"
 #include "common/strings.hpp"
+#include "support.hpp"
 
 using namespace bsc;
 
@@ -37,6 +41,70 @@ void BM_BlobWrite(benchmark::State& state) {
       static_cast<double>(rig.agent.now() - t0) / static_cast<double>(state.iterations()));
 }
 BENCHMARK(BM_BlobWrite)->Arg(1024)->Arg(64 * 1024)->Arg(1 << 20);
+
+// --- multi-threaded write scenarios (wall-clock scaling of the write path) ---
+//
+// One shared store, one client per benchmark thread. Distinct-key writers
+// must scale with threads (per-key striped locking); same-key writers are
+// the worst case and serialize by design (the per-key ordering invariant).
+
+struct MtRig {
+  sim::Cluster cluster;
+  blob::BlobStore store{cluster};
+  std::vector<std::unique_ptr<sim::SimAgent>> agents;
+  std::vector<std::unique_ptr<blob::BlobClient>> clients;
+
+  explicit MtRig(int threads) {
+    for (int t = 0; t < threads; ++t) {
+      agents.push_back(std::make_unique<sim::SimAgent>());
+      clients.push_back(std::make_unique<blob::BlobClient>(store, agents.back().get()));
+    }
+  }
+};
+MtRig* g_mt_rig = nullptr;  // created/destroyed by benchmark thread 0
+
+void BM_BlobWriteMTDistinctKeys(benchmark::State& state) {
+  if (state.thread_index() == 0) g_mt_rig = new MtRig(static_cast<int>(state.threads()));
+  const auto size = static_cast<std::uint64_t>(state.range(0));
+  const Bytes data = make_payload(11, 0, size);
+  const int t = state.thread_index();
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    auto& client = *g_mt_rig->clients[static_cast<std::size_t>(t)];
+    auto r = client.write(strfmt("mt-%d-%llu", t, static_cast<unsigned long long>(i++ % 64)),
+                          0, as_view(data));
+    benchmark::DoNotOptimize(r.ok());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(size) * state.iterations());
+  if (state.thread_index() == 0) {
+    delete g_mt_rig;
+    g_mt_rig = nullptr;
+  }
+}
+BENCHMARK(BM_BlobWriteMTDistinctKeys)
+    ->Arg(64 * 1024)
+    ->Threads(1)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+
+void BM_BlobWriteMTSameKey(benchmark::State& state) {
+  if (state.thread_index() == 0) g_mt_rig = new MtRig(static_cast<int>(state.threads()));
+  const auto size = static_cast<std::uint64_t>(state.range(0));
+  const Bytes data = make_payload(12, 0, size);
+  const int t = state.thread_index();
+  for (auto _ : state) {
+    auto& client = *g_mt_rig->clients[static_cast<std::size_t>(t)];
+    auto r = client.write("mt-hot", 0, as_view(data));
+    benchmark::DoNotOptimize(r.ok());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(size) * state.iterations());
+  if (state.thread_index() == 0) {
+    delete g_mt_rig;
+    g_mt_rig = nullptr;
+  }
+}
+BENCHMARK(BM_BlobWriteMTSameKey)->Arg(64 * 1024)->Threads(8)->UseRealTime();
 
 void BM_BlobRead(benchmark::State& state) {
   BlobRig rig;
@@ -175,4 +243,40 @@ void BM_NetworkProfile(benchmark::State& state) {
 }
 BENCHMARK(BM_NetworkProfile)->Arg(0)->Arg(1);
 
+/// Console reporter that also captures every run for `--json <path>` output
+/// (the machine-readable perf trajectory; schema in EXPERIMENTS.md).
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      bench::BenchResult r;
+      r.name = run.benchmark_name();
+      r.iterations = static_cast<std::uint64_t>(run.iterations);
+      r.ns_per_op = run.iterations > 0
+                        ? run.real_accumulated_time * 1e9 / static_cast<double>(run.iterations)
+                        : 0.0;
+      auto bps = run.counters.find("bytes_per_second");
+      if (bps != run.counters.end()) r.bytes_per_s = bps->second;
+      auto sim = run.counters.find("sim_us_per_op");
+      if (sim != run.counters.end()) r.sim_us_per_op = sim->second;
+      results.push_back(std::move(r));
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  std::vector<bench::BenchResult> results;
+};
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json = bench::take_json_path(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!json.empty() && !bench::write_bench_json(json, reporter.results)) return 1;
+  return 0;
+}

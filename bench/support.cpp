@@ -1,6 +1,8 @@
 #include "support.hpp"
 
+#include <algorithm>
 #include <cstdio>
+#include <string_view>
 
 #include "adapter/blobfs.hpp"
 #include "hdfs/hdfs.hpp"
@@ -51,6 +53,32 @@ Rig make_rig(Backend backend, std::uint32_t storage_nodes) {
 
 }  // namespace
 
+ContentionReport collect_contention(blob::BlobStore& store) {
+  ContentionReport rep;
+  std::vector<std::uint64_t> acquisitions;
+  for (std::size_t s = 0; s < store.server_count(); ++s) {
+    for (std::uint64_t a : store.server(static_cast<std::uint32_t>(s)).stripe_acquisitions()) {
+      acquisitions.push_back(a);
+      rep.hot_stripe_max = std::max(rep.hot_stripe_max, a);
+      if (a > 0) ++rep.stripes_touched;
+    }
+  }
+  rep.stripe_acquisitions = summarize(acquisitions);
+  std::vector<std::uint64_t> occupancy;
+  auto& cluster = store.cluster();
+  for (std::size_t n = 0; n < cluster.storage_count(); ++n) {
+    auto& cache = cluster.storage_node(n).cache();
+    rep.cache_hits += cache.hits();
+    rep.cache_misses += cache.misses();
+    rep.cache_evictions += cache.evictions();
+    for (std::size_t i = 0; i < cache.shard_count(); ++i) {
+      occupancy.push_back(cache.shard_counters(i).bytes_cached);
+    }
+  }
+  rep.shard_occupancy = summarize(occupancy);
+  return rep;
+}
+
 HpcOutcome run_hpc(apps::HpcAppKind kind, Backend backend, bool with_prep,
                    std::uint32_t ranks, std::uint32_t storage_nodes) {
   Rig rig = make_rig(backend, storage_nodes);
@@ -58,7 +86,12 @@ HpcOutcome run_hpc(apps::HpcAppKind kind, Backend backend, bool with_prep,
   opts.ranks = ranks;
   opts.with_prep_script = with_prep;
   auto r = apps::run_hpc_app(kind, *rig.fs, *rig.cluster, opts);
-  return {r.census, r.sim_time, r.ok, r.error};
+  HpcOutcome out{r.census, r.sim_time, r.ok, r.error, {}, false};
+  if (rig.store) {
+    out.contention = collect_contention(*rig.store);
+    out.has_contention = true;
+  }
+  return out;
 }
 
 apps::SparkSuiteResult run_spark(Backend backend, std::uint32_t storage_nodes) {
@@ -66,6 +99,42 @@ apps::SparkSuiteResult run_spark(Backend backend, std::uint32_t storage_nodes) {
   ThreadPool pool(10);
   apps::SparkSuiteOptions opts;
   return apps::run_spark_suite(*rig.fs, *rig.cluster, pool, opts);
+}
+
+std::string take_json_path(int* argc, char** argv) {
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::string_view{argv[i]} == "--json" && i + 1 < *argc) {
+      path = argv[++i];
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+  return path;
+}
+
+bool write_bench_json(const std::string& path, const std::vector<BenchResult>& results) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "[\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const BenchResult& r = results[i];
+    // Names are benchmark identifiers (no quotes/backslashes) — emit as-is.
+    std::fprintf(f,
+                 "  {\"name\": \"%s\", \"iterations\": %llu, \"ns_per_op\": %.3f, "
+                 "\"bytes_per_s\": %.1f, \"sim_us_per_op\": %.3f}%s\n",
+                 r.name.c_str(), static_cast<unsigned long long>(r.iterations),
+                 r.ns_per_op, r.bytes_per_s, r.sim_us_per_op,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  return true;
 }
 
 const std::vector<PaperRow>& paper_table1() {

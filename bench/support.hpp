@@ -10,6 +10,8 @@
 
 #include "apps/hpc_apps.hpp"
 #include "apps/spark_apps.hpp"
+#include "blob/store.hpp"
+#include "common/stats.hpp"
 #include "trace/report.hpp"
 
 namespace bsc::bench {
@@ -18,12 +20,36 @@ enum class Backend { pfs_strict, pfs_relaxed, hdfs, blobfs };
 
 [[nodiscard]] std::string backend_name(Backend b);
 
+/// Lock / cache observability harvested from a blob store after a run:
+/// per-stripe lock-acquisition counts across every (server, stripe) pair and
+/// the aggregated page-cache shard counters across every storage node.
+struct ContentionReport {
+  StatSummary stripe_acquisitions;       ///< one sample per (server, stripe)
+  std::uint64_t hot_stripe_max = 0;      ///< busiest single stripe
+  std::uint64_t stripes_touched = 0;     ///< stripes with >=1 acquisition
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+  StatSummary shard_occupancy;           ///< bytes cached, one sample per shard
+
+  [[nodiscard]] double cache_hit_rate() const noexcept {
+    const std::uint64_t total = cache_hits + cache_misses;
+    return total ? static_cast<double>(cache_hits) / static_cast<double>(total) : 0.0;
+  }
+};
+
+[[nodiscard]] ContentionReport collect_contention(blob::BlobStore& store);
+
 /// One HPC application run on a fresh cluster + backend.
 struct HpcOutcome {
   trace::AppCensus census;
   SimMicros sim_time = 0;
   bool ok = false;
   std::string error;
+  /// Populated for Backend::blobfs only (the rig is torn down on return, so
+  /// lock/cache counters are harvested before it dies).
+  ContentionReport contention;
+  bool has_contention = false;
 };
 
 HpcOutcome run_hpc(apps::HpcAppKind kind, Backend backend, bool with_prep,
@@ -31,6 +57,26 @@ HpcOutcome run_hpc(apps::HpcAppKind kind, Backend backend, bool with_prep,
 
 /// The full five-application Spark suite on a fresh cluster + backend.
 apps::SparkSuiteResult run_spark(Backend backend, std::uint32_t storage_nodes = 8);
+
+// --- machine-readable results (--json mode, schema in EXPERIMENTS.md) ---
+
+/// One benchmark result row. `sim_us_per_op` is 0 when the benchmark has no
+/// simulated-time dimension (pure wall-clock micro).
+struct BenchResult {
+  std::string name;
+  std::uint64_t iterations = 0;
+  double ns_per_op = 0.0;
+  double bytes_per_s = 0.0;
+  double sim_us_per_op = 0.0;
+};
+
+/// Extract and REMOVE a `--json <path>` argument pair from argv (so that the
+/// remaining args can be handed to google-benchmark). Empty when absent.
+[[nodiscard]] std::string take_json_path(int* argc, char** argv);
+
+/// Write `results` to `path` as a JSON array of objects. Returns false (and
+/// prints to stderr) on I/O failure.
+bool write_bench_json(const std::string& path, const std::vector<BenchResult>& results);
 
 /// Paper reference values (Table I) for side-by-side output.
 struct PaperRow {

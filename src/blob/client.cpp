@@ -15,59 +15,73 @@ std::uint64_t req_bytes(std::string_view key, std::uint64_t payload = 0) {
 }
 }  // namespace
 
-Status BlobClient::replicated_mutation(std::string_view key,
-                                       const BlobServer::TxnOp& op) {
-  auto replicas = store_->replicas_of(key);
+Status BlobClient::mutation_leg(const std::string& ekey,
+                                const std::vector<BlobServer::TxnOp>& ops,
+                                bool force_create, SimMicros start,
+                                SimMicros* completion) {
+  *completion = start;
+  auto replicas = store_->replicas_of(ekey);
   if (replicas.empty()) return {Errc::no_space, "no storage nodes in ring"};
 
-  // Exclusive access to the whole replica set for the duration of the
-  // mutation, acquired in ascending node order (the same global order the
-  // transaction path uses — no deadlock, and racing writers to one key
-  // apply in the same order on every replica).
+  // Per-key striped locks on every replica of this key, acquired in
+  // ascending node order (the same global order the transaction path uses —
+  // no deadlock). Racing writers to one key serialize on its stripe and
+  // apply in the same order on every replica; writers to distinct keys
+  // proceed in parallel.
   std::vector<std::uint32_t> sorted = replicas;
   std::sort(sorted.begin(), sorted.end());
-  std::vector<std::unique_lock<std::shared_mutex>> locks;
+  std::vector<BlobServer::KeyLock> locks;
   locks.reserve(sorted.size());
-  for (std::uint32_t n : sorted) locks.push_back(store_->server(n).lock_exclusive());
+  for (std::uint32_t n : sorted) locks.push_back(store_->server(n).lock_key(ekey));
 
   // Applicability check against the acting primary's current state, so the
-  // apply below cannot fail on one replica and succeed on another. Down
-  // replicas are skipped (degraded write); resync repairs them later.
+  // apply below cannot fail on one replica and succeed on another. Ops in a
+  // leg are validated sequentially (later ops see earlier ops' effects).
+  // Down replicas are skipped (degraded write); resync repairs them later.
   const auto acting = store_->first_up(replicas);
-  if (!acting) return {Errc::io_error, "all replicas down: " + std::string{key}};
+  if (!acting) return {Errc::io_error, "all replicas down: " + ekey};
   BlobServer& primary = store_->server(*acting);
-  const bool exists = !primary.version_matches(std::string{op.key}, 0);
+  bool exists = !primary.version_matches(ekey, 0);
   Status precheck = Status::success();
-  switch (op.kind) {
-    case BlobServer::TxnOp::Kind::create:
-      if (exists) precheck = {Errc::already_exists, op.key};
-      break;
-    case BlobServer::TxnOp::Kind::remove:
-    case BlobServer::TxnOp::Kind::truncate:
-      if (!exists) precheck = {Errc::not_found, op.key};
-      break;
-    case BlobServer::TxnOp::Kind::write:
-      if (!exists && !store_->config().write_creates) {
-        precheck = {Errc::not_found, op.key};
-      }
-      break;
+  std::uint64_t payload = 0;
+  for (const auto& op : ops) {
+    payload += op.data.size();
+    switch (op.kind) {
+      case BlobServer::TxnOp::Kind::create:
+        if (exists) precheck = {Errc::already_exists, op.key};
+        exists = true;
+        break;
+      case BlobServer::TxnOp::Kind::remove:
+        if (!exists) precheck = {Errc::not_found, op.key};
+        exists = false;
+        break;
+      case BlobServer::TxnOp::Kind::truncate:
+      case BlobServer::TxnOp::Kind::grow:
+        if (!exists) precheck = {Errc::not_found, op.key};
+        break;
+      case BlobServer::TxnOp::Kind::write:
+        if (!exists && !force_create && !store_->config().write_creates) {
+          precheck = {Errc::not_found, op.key};
+        }
+        exists = true;
+        break;
+    }
+    if (!precheck.ok()) break;
   }
 
   const auto& net = store_->cluster().net();
-  const std::uint64_t req = req_bytes(key, op.data.size());
-  const SimMicros start = agent_ ? agent_->now() : 0;
+  const std::uint64_t req = req_bytes(ekey, payload);
 
   if (!precheck.ok()) {
     // Pay the failed round-trip to the primary.
     const SimMicros done = primary.node().serve(start + net.transfer_us(req), 3);
-    if (agent_) agent_->advance_to(done + net.transfer_us(kEnvelope));
+    *completion = done + net.transfer_us(kEnvelope);
     return precheck;
   }
 
   // Apply at the acting primary, then forward to the remaining live
   // replicas in parallel; the client's ack waits for the slowest replica
   // (strong durability, as in RADOS).
-  const std::vector<BlobServer::TxnOp> ops{op};
   SimMicros svc0 = 0;
   Status st = primary.apply_txn_ops(ops, &svc0);
   const SimMicros prim_done = primary.node().serve(start + net.transfer_us(req), svc0);
@@ -81,43 +95,162 @@ Status BlobClient::replicated_mutation(std::string_view key,
     if (!rs.ok()) st = {Errc::io_error, "replica divergence: " + rs.message()};
     done = std::max(done, rep.node().serve(prim_done + net.transfer_us(req), svc));
   }
-  if (agent_) agent_->advance_to(done + net.transfer_us(kEnvelope));
+  *completion = done + net.transfer_us(kEnvelope);
   return st;
+}
+
+Status BlobClient::replicated_mutation(std::string_view key,
+                                       const std::vector<BlobServer::TxnOp>& ops,
+                                       bool force_create) {
+  const SimMicros start = agent_ ? agent_->now() : 0;
+  SimMicros completion = start;
+  Status st = mutation_leg(std::string{key}, ops, force_create, start, &completion);
+  if (agent_) agent_->advance_to(completion);
+  return st;
+}
+
+Result<ReadOutcome> BlobClient::read_leg(const std::string& ekey, std::uint64_t off,
+                                         std::uint64_t len, SimMicros start,
+                                         SimMicros* completion) {
+  *completion = start;
+  const auto replicas = store_->replicas_of(ekey);
+  if (replicas.empty()) return {Errc::no_space, "no storage nodes in ring"};
+  // Failover: reads are served by the first live replica.
+  const auto acting = store_->first_up(replicas);
+  if (!acting) return {Errc::io_error, "all replicas down: " + ekey};
+  BlobServer& primary = store_->server(*acting);
+  const auto& net = store_->cluster().net();
+  SimMicros svc = 0;
+  auto r = primary.read(ekey, off, len, &svc);
+  const std::uint64_t resp = kEnvelope + (r.ok() ? r.value().data.size() : 0);
+  const SimMicros served = primary.node().serve(start + net.transfer_us(req_bytes(ekey)), svc);
+  *completion = served + net.transfer_us(resp);
+  return r;
+}
+
+Result<std::uint64_t> BlobClient::peek_logical_size(const std::string& ekey) {
+  const auto replicas = store_->replicas_of(ekey);
+  if (replicas.empty()) return {Errc::no_space, "no storage nodes in ring"};
+  const auto acting = store_->first_up(replicas);
+  if (!acting) return {Errc::io_error, "all replicas down: " + ekey};
+  return store_->server(*acting).peek_size(ekey);
 }
 
 Status BlobClient::create(std::string_view key) {
   ++counters_.creates;
   if (key.empty()) return {Errc::invalid_argument, "empty blob key"};
   return replicated_mutation(
-      key, {BlobServer::TxnOp::Kind::create, std::string{key}, 0, {}, 0});
+      key, {{BlobServer::TxnOp::Kind::create, std::string{key}, 0, {}, 0}});
 }
 
 Status BlobClient::remove(std::string_view key) {
   ++counters_.removes;
-  return replicated_mutation(
-      key, {BlobServer::TxnOp::Kind::remove, std::string{key}, 0, {}, 0});
+  const std::uint64_t cb = store_->config().chunk_bytes;
+  std::uint64_t logical = 0;
+  if (cb > 0) {
+    if (auto sz = peek_logical_size(std::string{key}); sz.ok()) logical = sz.value();
+  }
+  if (cb == 0 || logical <= cb) {
+    return replicated_mutation(
+        key, {{BlobServer::TxnOp::Kind::remove, std::string{key}, 0, {}, 0}});
+  }
+  // Striped blob: drop chunk 0 and every existing chunk key, scatter-gather.
+  const SimMicros start = agent_ ? agent_->now() : 0;
+  SimMicros done = start;
+  SimMicros comp = start;
+  Status st = mutation_leg(std::string{key},
+                           {{BlobServer::TxnOp::Kind::remove, std::string{key}, 0, {}, 0}},
+                           false, start, &comp);
+  done = std::max(done, comp);
+  const std::uint64_t chunks = (logical + cb - 1) / cb;
+  for (std::uint64_t c = 1; c < chunks && st.ok(); ++c) {
+    const std::string ekey = chunk_engine_key(key, c);
+    if (!peek_logical_size(ekey).ok()) continue;  // hole chunk: nothing stored
+    st = mutation_leg(ekey, {{BlobServer::TxnOp::Kind::remove, ekey, 0, {}, 0}}, false,
+                      start, &comp);
+    done = std::max(done, comp);
+  }
+  if (agent_) agent_->advance_to(done);
+  return st;
 }
 
 Result<Bytes> BlobClient::read(std::string_view key, std::uint64_t offset,
                                std::uint64_t len) {
   ++counters_.reads;
-  const auto replicas = store_->replicas_of(key);
-  if (replicas.empty()) return {Errc::no_space, "no storage nodes in ring"};
-  // Failover: reads are served by the first live replica.
-  const auto acting = store_->first_up(replicas);
-  if (!acting) return {Errc::io_error, "all replicas down: " + std::string{key}};
-  BlobServer& primary = store_->server(*acting);
-  SimMicros svc = 0;
-  auto r = primary.read(std::string{key}, offset, len, &svc);
-  const std::uint64_t resp = kEnvelope + (r.ok() ? r.value().data.size() : 0);
-  if (agent_) {
-    store_->transport().call(*agent_, primary.node(), req_bytes(key), resp, svc);
-  } else {
-    primary.node().serve(0, svc);
+  const std::uint64_t cb = store_->config().chunk_bytes;
+  if (cb == 0 || offset + len <= cb) {
+    // Single-chunk fast path: one round trip to the acting primary.
+    const auto replicas = store_->replicas_of(key);
+    if (replicas.empty()) return {Errc::no_space, "no storage nodes in ring"};
+    const auto acting = store_->first_up(replicas);
+    if (!acting) return {Errc::io_error, "all replicas down: " + std::string{key}};
+    BlobServer& primary = store_->server(*acting);
+    SimMicros svc = 0;
+    auto r = primary.read(std::string{key}, offset, len, &svc);
+    const std::uint64_t resp = kEnvelope + (r.ok() ? r.value().data.size() : 0);
+    if (agent_) {
+      store_->transport().call(*agent_, primary.node(), req_bytes(key), resp, svc);
+    } else {
+      primary.node().serve(0, svc);
+    }
+    if (!r.ok()) return r.error();
+    counters_.bytes_read += r.value().data.size();
+    return std::move(r.value().data);
   }
-  if (!r.ok()) return r.error();
-  counters_.bytes_read += r.value().data.size();
-  return std::move(r.value().data);
+
+  // Striped read: clip to the logical size (held by chunk 0), then issue one
+  // leg per touched chunk to its own acting primary. Legs fork from the same
+  // simulated instant; the call completes at the slowest leg.
+  const std::string base{key};
+  auto lsz = peek_logical_size(base);
+  if (!lsz.ok()) {
+    // Blob absent (or ring empty): one failed round trip, as in the fast path.
+    const SimMicros start = agent_ ? agent_->now() : 0;
+    SimMicros comp = start;
+    auto r = read_leg(base, offset, len, start, &comp);
+    if (agent_) agent_->advance_to(comp);
+    return r.ok() ? Result<Bytes>{Errc::not_found, base} : Result<Bytes>{r.error()};
+  }
+  const std::uint64_t logical = lsz.value();
+  const std::uint64_t rlen = offset < logical ? std::min(len, logical - offset) : 0;
+
+  const SimMicros start = agent_ ? agent_->now() : 0;
+  SimMicros done = start;
+  Bytes out(rlen, std::byte{0});  // unwritten holes (and absent chunks) read as zero
+  if (rlen == 0) {
+    // At/after EOF: the engine answers from chunk 0's index alone.
+    SimMicros comp = start;
+    auto r = read_leg(base, offset, len, start, &comp);
+    done = std::max(done, comp);
+    if (agent_) agent_->advance_to(done);
+    if (!r.ok()) return r.error();
+    return out;
+  }
+  const std::uint64_t end = offset + rlen;
+  Status fail = Status::success();
+  for (std::uint64_t c = offset / cb; c * cb < end; ++c) {
+    const std::uint64_t lo = std::max(offset, c * cb);
+    const std::uint64_t hi = std::min(end, (c + 1) * cb);
+    const std::string ekey = chunk_engine_key(key, c);
+    SimMicros comp = start;
+    auto r = read_leg(ekey, lo - c * cb, hi - lo, start, &comp);
+    done = std::max(done, comp);
+    if (r.ok()) {
+      // The leg may return fewer bytes than requested (hole at the chunk's
+      // tail): the remainder stays zero.
+      const Bytes& part = r.value().data;
+      std::copy(part.begin(), part.end(),
+                out.begin() + static_cast<std::ptrdiff_t>(lo - offset));
+    } else if (r.error().code != Errc::not_found) {
+      fail = r.error();
+      break;
+    }
+    // not_found: the whole chunk is a hole — zeros are already in place.
+  }
+  if (agent_) agent_->advance_to(done);
+  if (!fail.ok()) return fail.error();
+  counters_.bytes_read += out.size();
+  return out;
 }
 
 Result<std::uint64_t> BlobClient::size(std::string_view key) {
@@ -128,6 +261,7 @@ Result<std::uint64_t> BlobClient::size(std::string_view key) {
   if (!acting) return {Errc::io_error, "all replicas down: " + std::string{key}};
   BlobServer& primary = store_->server(*acting);
   SimMicros svc = 0;
+  // Chunk 0 carries the full logical size of a striped blob.
   auto r = primary.size(std::string{key}, &svc);
   if (agent_) store_->transport().call(*agent_, primary.node(), req_bytes(key), kEnvelope, svc);
   return r;
@@ -153,9 +287,59 @@ Result<std::uint64_t> BlobClient::write(std::string_view key, std::uint64_t offs
                                         ByteView data) {
   ++counters_.writes;
   if (key.empty()) return {Errc::invalid_argument, "empty blob key"};
-  Status st = replicated_mutation(
-      key, {BlobServer::TxnOp::Kind::write, std::string{key}, offset,
-            Bytes(data.begin(), data.end()), 0});
+  const std::uint64_t cb = store_->config().chunk_bytes;
+  const std::uint64_t end = offset + data.size();
+  if (cb == 0 || end <= cb) {
+    // Single-chunk fast path.
+    Status st = replicated_mutation(
+        key, {{BlobServer::TxnOp::Kind::write, std::string{key}, offset,
+               Bytes(data.begin(), data.end()), 0}});
+    if (!st.ok()) return st.error();
+    counters_.bytes_written += data.size();
+    return data.size();
+  }
+
+  // Striped write: slice the range over fixed-size chunks. The base leg
+  // (chunk 0) carries its slice — or an empty creating write when the range
+  // starts past chunk 0 — plus a grow() keeping the full logical size on the
+  // chunk-0 record. It runs first (it owns create semantics); the remaining
+  // chunk legs go to their own replica sets and fork from the same
+  // simulated instant (scatter-gather: the ack waits for the slowest leg).
+  const std::string base{key};
+  const SimMicros start = agent_ ? agent_->now() : 0;
+  SimMicros done = start;
+  SimMicros comp = start;
+
+  std::vector<BlobServer::TxnOp> base_ops;
+  if (offset < cb) {
+    const std::uint64_t hi = std::min(end, cb);
+    base_ops.push_back({BlobServer::TxnOp::Kind::write, base, offset,
+                        Bytes(data.begin(), data.begin() + static_cast<std::ptrdiff_t>(
+                                                hi - offset)),
+                        0});
+  } else {
+    base_ops.push_back({BlobServer::TxnOp::Kind::write, base, 0, {}, 0});
+  }
+  base_ops.push_back({BlobServer::TxnOp::Kind::grow, base, 0, {}, end});
+  Status st = mutation_leg(base, base_ops, false, start, &comp);
+  done = std::max(done, comp);
+
+  for (std::uint64_t c = std::max<std::uint64_t>(1, offset / cb); c * cb < end && st.ok();
+       ++c) {
+    const std::uint64_t lo = std::max(offset, c * cb);
+    const std::uint64_t hi = std::min(end, (c + 1) * cb);
+    const std::string ekey = chunk_engine_key(key, c);
+    std::vector<BlobServer::TxnOp> ops;
+    ops.push_back({BlobServer::TxnOp::Kind::write, ekey, lo - c * cb,
+                   Bytes(data.begin() + static_cast<std::ptrdiff_t>(lo - offset),
+                         data.begin() + static_cast<std::ptrdiff_t>(hi - offset)),
+                   0});
+    // Chunk keys of an existing blob are created on demand regardless of the
+    // write_creates policy (the application-visible blob already exists).
+    st = mutation_leg(ekey, ops, /*force_create=*/true, start, &comp);
+    done = std::max(done, comp);
+  }
+  if (agent_) agent_->advance_to(done);
   if (!st.ok()) return st.error();
   counters_.bytes_written += data.size();
   return data.size();
@@ -163,8 +347,53 @@ Result<std::uint64_t> BlobClient::write(std::string_view key, std::uint64_t offs
 
 Status BlobClient::truncate(std::string_view key, std::uint64_t new_size) {
   ++counters_.truncates;
-  return replicated_mutation(
-      key, {BlobServer::TxnOp::Kind::truncate, std::string{key}, 0, {}, new_size});
+  const std::uint64_t cb = store_->config().chunk_bytes;
+  std::uint64_t logical = 0;
+  bool known = false;
+  if (cb > 0) {
+    if (auto sz = peek_logical_size(std::string{key}); sz.ok()) {
+      logical = sz.value();
+      known = true;
+    }
+  }
+  if (cb == 0 || !known || (logical <= cb && new_size <= cb)) {
+    // Unchunked blob (or absent: the leg reports not_found with the usual
+    // failed-round-trip timing).
+    return replicated_mutation(
+        key, {{BlobServer::TxnOp::Kind::truncate, std::string{key}, 0, {}, new_size}});
+  }
+
+  // Striped truncate. Chunk 0's record carries the logical size, so its leg
+  // is a plain truncate to new_size: shrinking below chunk_bytes drops data
+  // extents, any other target only moves the logical length (chunk 0 never
+  // holds data past chunk_bytes). Chunks entirely past the new end are
+  // removed; the chunk straddling it is trimmed locally.
+  const std::string base{key};
+  const SimMicros start = agent_ ? agent_->now() : 0;
+  SimMicros done = start;
+  SimMicros comp = start;
+  Status st = mutation_leg(
+      base, {{BlobServer::TxnOp::Kind::truncate, base, 0, {}, new_size}}, false, start,
+      &comp);
+  done = std::max(done, comp);
+  const std::uint64_t chunks = (std::max(logical, new_size) + cb - 1) / cb;
+  for (std::uint64_t c = 1; c < chunks && st.ok(); ++c) {
+    const std::uint64_t cstart = c * cb;
+    const std::string ekey = chunk_engine_key(key, c);
+    if (!peek_logical_size(ekey).ok()) continue;  // hole chunk: nothing stored
+    std::vector<BlobServer::TxnOp> ops;
+    if (cstart >= new_size) {
+      ops.push_back({BlobServer::TxnOp::Kind::remove, ekey, 0, {}, 0});
+    } else if (new_size < cstart + cb) {
+      ops.push_back({BlobServer::TxnOp::Kind::truncate, ekey, 0, {}, new_size - cstart});
+    } else {
+      continue;  // chunk fully below the new end
+    }
+    st = mutation_leg(ekey, ops, false, start, &comp);
+    done = std::max(done, comp);
+  }
+  if (agent_) agent_->advance_to(done);
+  return st;
 }
 
 Result<std::vector<BlobStat>> BlobClient::scan(std::string_view prefix) {
@@ -175,6 +404,8 @@ Result<std::vector<BlobStat>> BlobClient::scan(std::string_view prefix) {
 
   // Fan out to every server in parallel; merge + dedupe (replicas hold
   // copies of the same key) and present a sorted global namespace view.
+  // Internal chunk keys are implementation detail — hidden from the
+  // namespace (their bytes are reported via chunk 0's logical size).
   std::map<std::string, BlobStat> merged;
   SimMicros done = start;
   for (std::size_t i = 0; i < store_->server_count(); ++i) {
@@ -188,6 +419,7 @@ Result<std::vector<BlobStat>> BlobClient::scan(std::string_view prefix) {
     const SimMicros fin = s.node().serve(arr, svc) + net.transfer_us(resp);
     done = std::max(done, fin);
     for (auto& bs : part) {
+      if (is_chunk_key(bs.key)) continue;
       auto [it, inserted] = merged.try_emplace(bs.key, bs);
       if (!inserted && bs.version > it->second.version) it->second = bs;
     }
@@ -250,8 +482,9 @@ Status BlobTransaction::commit() {
   }
   if (involved.empty()) return {Errc::no_space, "no storage nodes in ring"};
 
-  // Lock phase: ascending node id order rules out deadlock between
-  // concurrent transactions (CP.21 in spirit — one consistent order).
+  // Lock phase: whole-server exclusive locks in ascending node id order —
+  // the one global order shared with the per-key mutation path, which rules
+  // out deadlock between concurrent transactions and striped writers alike.
   std::vector<std::unique_lock<std::shared_mutex>> locks;
   locks.reserve(involved.size());
   for (std::uint32_t n : involved) locks.push_back(store.server(n).lock_exclusive());
@@ -300,6 +533,7 @@ Status BlobTransaction::commit() {
         break;
       case BlobServer::TxnOp::Kind::remove:
       case BlobServer::TxnOp::Kind::truncate:
+      case BlobServer::TxnOp::Kind::grow:
         applicable = exists;
         break;
       case BlobServer::TxnOp::Kind::write:

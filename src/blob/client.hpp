@@ -12,6 +12,18 @@
 // for every call (request transfer, queueing + service at the replica
 // servers, response transfer). Mutations are applied to the full replica
 // set with primary-forwarding timing; reads are served by the primary.
+//
+// Concurrency: mutations hold per-key striped locks (BlobServer::lock_key)
+// on every replica — acquired in ascending node order, the same global order
+// the transaction commit path uses for its exclusive locks — so writers
+// racing on one key serialize identically on every replica while writers to
+// distinct keys proceed in parallel.
+//
+// Striping: I/O past StoreConfig::chunk_bytes is split into chunk legs, one
+// per chunk, each placed independently on the ring (chunk 0 under the
+// application key itself, carrying the full logical size). Legs fork from
+// the same simulated instant and the call completes at the slowest leg
+// (scatter-gather). Blobs at or below one chunk never pay for striping.
 #pragma once
 
 #include <cstdint>
@@ -61,9 +73,10 @@ class BlobClient {
   [[nodiscard]] Status truncate(std::string_view key, std::uint64_t new_size);
 
   // --- Namespace Access ---
-  /// Enumerate all blobs (deduplicated across replicas, sorted by key).
-  /// `prefix` filters the result but the walk still visits every object on
-  /// every server — the honest cost of a flat namespace.
+  /// Enumerate all blobs (deduplicated across replicas, sorted by key;
+  /// internal chunk keys are hidden). `prefix` filters the result but the
+  /// walk still visits every object on every server — the honest cost of a
+  /// flat namespace.
   [[nodiscard]] Result<std::vector<BlobStat>> scan(std::string_view prefix = {});
 
   // --- Transactions (Týr) ---
@@ -76,10 +89,27 @@ class BlobClient {
  private:
   friend class BlobTransaction;
 
-  /// Apply one mutation to all replicas with primary-forwarding timing,
-  /// holding the replica set's server locks (ascending node order) so that
-  /// racing writers serialize identically on every replica.
-  Status replicated_mutation(std::string_view key, const BlobServer::TxnOp& op);
+  /// One replicated mutation leg: apply `ops` (all targeting engine key
+  /// `ekey`) to the full replica set with primary-forwarding timing, holding
+  /// the key's stripe on every replica (ascending node order). Forks from
+  /// simulated time `start`; sets *completion to the slowest-replica ack.
+  /// `force_create` lets a write leg create the key regardless of
+  /// StoreConfig::write_creates (chunk keys of an existing blob).
+  Status mutation_leg(const std::string& ekey, const std::vector<BlobServer::TxnOp>& ops,
+                      bool force_create, SimMicros start, SimMicros* completion);
+
+  /// Single-leg convenience wrapper: runs the leg at the agent's current
+  /// time and advances the agent to its completion.
+  Status replicated_mutation(std::string_view key,
+                             const std::vector<BlobServer::TxnOp>& ops,
+                             bool force_create = false);
+
+  /// One read leg against the acting primary of `ekey`, forked from `start`.
+  Result<ReadOutcome> read_leg(const std::string& ekey, std::uint64_t off,
+                               std::uint64_t len, SimMicros start, SimMicros* completion);
+
+  /// Uncharged logical-size peek at the acting primary of `ekey`.
+  Result<std::uint64_t> peek_logical_size(const std::string& ekey);
 
   BlobStore* store_;
   sim::SimAgent* agent_;
@@ -89,6 +119,8 @@ class BlobClient {
 /// A batch of mutations committed atomically across blobs. Preconditions
 /// (expected versions) make the transaction optimistic: commit() fails with
 /// Errc::conflict — applying nothing — if any precondition no longer holds.
+/// Transactional writes address keys directly (no chunk striping): the
+/// transaction layer is for small metadata blobs (Týr's use case).
 class BlobTransaction {
  public:
   explicit BlobTransaction(BlobClient& client) : client_(&client) {}
@@ -104,7 +136,8 @@ class BlobTransaction {
   [[nodiscard]] std::size_t op_count() const noexcept { return ops_.size(); }
 
   /// Two-round commit: lock all involved servers (ascending node id — no
-  /// deadlock), validate preconditions, apply everywhere, release.
+  /// deadlock), validate preconditions, apply everywhere, release. The only
+  /// path that still takes whole-server exclusive locks.
   [[nodiscard]] Status commit();
 
  private:

@@ -6,29 +6,59 @@
 
 namespace bsc::blob {
 
+std::size_t BlobServer::stripe_of(std::string_view key) noexcept {
+  static_assert((kLockStripes & (kLockStripes - 1)) == 0, "stripe count is a power of two");
+  return fnv1a64(key) & (kLockStripes - 1);
+}
+
+BlobServer::KeyLock BlobServer::lock_key(std::string_view key) {
+  KeyLock lk;
+  lk.structure = std::shared_lock(mu_);
+  Stripe& s = stripes_[stripe_of(key)];
+  lk.stripe = std::unique_lock(s.mu);
+  s.acquisitions.fetch_add(1, std::memory_order_relaxed);
+  return lk;
+}
+
+std::array<std::uint64_t, BlobServer::kLockStripes> BlobServer::stripe_acquisitions() const {
+  std::array<std::uint64_t, kLockStripes> out{};
+  for (std::size_t i = 0; i < kLockStripes; ++i) {
+    out[i] = stripes_[i].acquisitions.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
 Status BlobServer::create(const std::string& key, SimMicros* service_us) {
-  std::unique_lock lk(mu_);
+  KeyLock lk = lock_key(key);
   *service_us = svc_metadata();
+  std::scoped_lock elk(engine_mu_);
   return engine_.create(key);
 }
 
 Status BlobServer::remove(const std::string& key, SimMicros* service_us) {
-  std::unique_lock lk(mu_);
+  KeyLock lk = lock_key(key);
   *service_us = svc_metadata();
   node_->cache().invalidate(fnv1a64(key));
+  std::scoped_lock elk(engine_mu_);
   return engine_.remove(key);
 }
 
 Result<WriteOutcome> BlobServer::write(const std::string& key, std::uint64_t off,
                                        ByteView data, bool create_if_missing,
                                        SimMicros* service_us) {
-  std::unique_lock lk(mu_);
-  auto r = engine_.write(key, off, data, create_if_missing);
+  KeyLock lk = lock_key(key);
+  std::uint64_t obj_size = 0;
+  auto r = [&] {
+    std::scoped_lock elk(engine_mu_);
+    auto rr = engine_.write(key, off, data, create_if_missing);
+    if (rr.ok()) obj_size = engine_.size(key).value_or(0);
+    return rr;
+  }();
   SimMicros t = costs_.cpu_op_us + svc_bytes_cpu(data.size());
   if (r.ok()) {
     // Log-structured append: sequential disk write; write-through cache.
     t += node_->disk().service_us(data.size(), /*sequential=*/true);
-    node_->cache().touch_write(fnv1a64(key), engine_.size(key).value_or(0));
+    node_->cache().touch_write(fnv1a64(key), obj_size);
   }
   *service_us = t;
   return r;
@@ -37,13 +67,18 @@ Result<WriteOutcome> BlobServer::write(const std::string& key, std::uint64_t off
 Result<ReadOutcome> BlobServer::read(const std::string& key, std::uint64_t off,
                                      std::uint64_t len, SimMicros* service_us) {
   std::shared_lock lk(mu_);
-  auto r = engine_.read(key, off, len);
+  std::uint64_t obj_size = 0;
+  auto r = [&] {
+    std::scoped_lock elk(engine_mu_);
+    auto rr = engine_.read(key, off, len);
+    if (rr.ok()) obj_size = engine_.size(key).value_or(0);
+    return rr;
+  }();
   SimMicros t = costs_.cpu_op_us;
   if (r.ok()) {
     const auto& out = r.value();
     t += svc_bytes_cpu(out.data.size());
-    const bool cached =
-        node_->cache().touch_read(fnv1a64(key), engine_.size(key).value_or(0));
+    const bool cached = node_->cache().touch_read(fnv1a64(key), obj_size);
     if (cached || out.extents_touched == 0) {
       // Served from the page cache (or a pure hole): no disk access.
       t += 1;
@@ -61,20 +96,23 @@ Result<ReadOutcome> BlobServer::read(const std::string& key, std::uint64_t off,
 
 Result<Version> BlobServer::truncate(const std::string& key, std::uint64_t new_size,
                                      SimMicros* service_us) {
-  std::unique_lock lk(mu_);
+  KeyLock lk = lock_key(key);
   *service_us = svc_metadata();
+  std::scoped_lock elk(engine_mu_);
   return engine_.truncate(key, new_size);
 }
 
 Result<std::uint64_t> BlobServer::size(const std::string& key, SimMicros* service_us) {
   std::shared_lock lk(mu_);
   *service_us = costs_.cpu_op_us;
+  std::scoped_lock elk(engine_mu_);
   return engine_.size(key);
 }
 
 Result<BlobStat> BlobServer::stat(const std::string& key, SimMicros* service_us) {
   std::shared_lock lk(mu_);
   *service_us = costs_.cpu_op_us;
+  std::scoped_lock elk(engine_mu_);
   auto s = engine_.size(key);
   if (!s.ok()) return s.error();
   auto v = engine_.version(key);
@@ -86,6 +124,7 @@ std::vector<BlobStat> BlobServer::scan(const std::string& prefix, SimMicros* ser
   std::shared_lock lk(mu_);
   // The flat namespace has no directory index: scan walks every object
   // regardless of how selective the prefix is (§III: "far from optimized").
+  std::scoped_lock elk(engine_mu_);
   *service_us = costs_.cpu_op_us +
                 static_cast<SimMicros>(std::ceil(static_cast<double>(engine_.object_count()) *
                                                  costs_.scan_per_obj_us));
@@ -93,22 +132,32 @@ std::vector<BlobStat> BlobServer::scan(const std::string& prefix, SimMicros* ser
 }
 
 Status BlobServer::apply_txn_ops(const std::vector<TxnOp>& ops, SimMicros* service_us) {
-  // Caller holds lock_exclusive(); engine access is safe.
+  // Caller holds lock_exclusive() or a KeyLock covering every op's key; the
+  // engine itself is guarded by engine_mu_ (per op, so concurrent readers of
+  // other keys interleave between ops, never inside one).
   SimMicros t = costs_.cpu_op_us;
   for (const auto& op : ops) {
     switch (op.kind) {
       case TxnOp::Kind::write: {
-        auto r = engine_.write(op.key, op.offset, as_view(op.data), true);
-        if (!r.ok()) {
+        std::uint64_t obj_size = 0;
+        Status st = [&]() -> Status {
+          std::scoped_lock elk(engine_mu_);
+          auto r = engine_.write(op.key, op.offset, as_view(op.data), true);
+          if (!r.ok()) return r.error();
+          obj_size = engine_.size(op.key).value_or(0);
+          return Status::success();
+        }();
+        if (!st.ok()) {
           *service_us = t;
-          return r.error();
+          return st;
         }
         t += svc_bytes_cpu(op.data.size()) +
              node_->disk().service_us(op.data.size(), true);
-        node_->cache().touch_write(fnv1a64(op.key), engine_.size(op.key).value_or(0));
+        node_->cache().touch_write(fnv1a64(op.key), obj_size);
         break;
       }
       case TxnOp::Kind::truncate: {
+        std::scoped_lock elk(engine_mu_);
         auto r = engine_.truncate(op.key, op.new_size);
         if (!r.ok()) {
           *service_us = t;
@@ -118,6 +167,7 @@ Status BlobServer::apply_txn_ops(const std::vector<TxnOp>& ops, SimMicros* servi
         break;
       }
       case TxnOp::Kind::create: {
+        std::scoped_lock elk(engine_mu_);
         auto r = engine_.create(op.key);
         if (!r.ok()) {
           *service_us = t;
@@ -128,10 +178,21 @@ Status BlobServer::apply_txn_ops(const std::vector<TxnOp>& ops, SimMicros* servi
       }
       case TxnOp::Kind::remove: {
         node_->cache().invalidate(fnv1a64(op.key));
+        std::scoped_lock elk(engine_mu_);
         auto r = engine_.remove(op.key);
         if (!r.ok()) {
           *service_us = t;
           return r;
+        }
+        t += svc_metadata();
+        break;
+      }
+      case TxnOp::Kind::grow: {
+        std::scoped_lock elk(engine_mu_);
+        auto r = engine_.grow(op.key, op.new_size);
+        if (!r.ok()) {
+          *service_us = t;
+          return r.error();
         }
         t += svc_metadata();
         break;
@@ -143,29 +204,39 @@ Status BlobServer::apply_txn_ops(const std::vector<TxnOp>& ops, SimMicros* servi
 }
 
 bool BlobServer::version_matches(const std::string& key, Version expected) {
-  // Caller holds lock_exclusive().
+  // Caller holds lock_exclusive() or a KeyLock on `key`.
+  std::scoped_lock elk(engine_mu_);
   auto v = engine_.version(key);
   if (!v.ok()) return expected == 0;  // "must not exist"
   return v.value() == expected;
 }
 
+Result<std::uint64_t> BlobServer::peek_size(const std::string& key) {
+  std::scoped_lock elk(engine_mu_);
+  return engine_.size(key);
+}
+
 std::uint64_t BlobServer::object_count() {
   std::shared_lock lk(mu_);
+  std::scoped_lock elk(engine_mu_);
   return engine_.object_count();
 }
 
 std::uint64_t BlobServer::live_bytes() {
   std::shared_lock lk(mu_);
+  std::scoped_lock elk(engine_mu_);
   return engine_.live_bytes();
 }
 
 std::uint64_t BlobServer::dead_bytes() {
   std::shared_lock lk(mu_);
+  std::scoped_lock elk(engine_mu_);
   return engine_.dead_bytes();
 }
 
 std::uint64_t BlobServer::compact(SimMicros* service_us) {
   std::unique_lock lk(mu_);
+  std::scoped_lock elk(engine_mu_);
   const std::uint64_t live = engine_.live_bytes();
   const std::uint64_t reclaimed = engine_.compact();
   // Compaction reads and rewrites every live byte sequentially.
@@ -175,16 +246,19 @@ std::uint64_t BlobServer::compact(SimMicros* service_us) {
 
 Status BlobServer::verify_integrity() {
   std::shared_lock lk(mu_);
+  std::scoped_lock elk(engine_mu_);
   return engine_.verify_integrity();
 }
 
 Status BlobServer::verify_key(const std::string& key) {
   std::shared_lock lk(mu_);
+  std::scoped_lock elk(engine_mu_);
   return engine_.verify_object(key);
 }
 
 bool BlobServer::corrupt_for_testing(const std::string& key) {
   std::unique_lock lk(mu_);
+  std::scoped_lock elk(engine_mu_);
   return engine_.corrupt_for_testing(key);
 }
 

@@ -1,12 +1,29 @@
 // A blob storage server: one per simulated storage node. Wraps the
-// log-structured engine with thread safety (shared for reads, exclusive for
-// mutations) and computes the simulated service time of every operation from
-// the node's disk model plus fixed CPU costs.
+// log-structured engine with thread safety and computes the simulated service
+// time of every operation from the node's disk model plus fixed CPU costs.
+//
+// Locking model (acquisition order: client ascending server id → mu_ →
+// stripe → engine_mu_, engine_mu_ strictly innermost):
+//
+//  * mu_ (shared_mutex) — the "structure" lock. Exclusive for multi-key
+//    transaction commits and maintenance (compaction, repair, rebalance);
+//    shared for every per-key operation. A committing transaction therefore
+//    drains and excludes all per-key traffic, and per-key traffic never
+//    observes a half-applied transaction.
+//  * stripes_[kLockStripes] — per-key mutation order. A mutating client
+//    holds the key's stripe on every replica (all acquired in ascending
+//    node order), so racing writers to one key apply in the same order on
+//    every replica while writers to distinct keys proceed in parallel.
+//  * engine_mu_ — the single-threaded StorageEngine is only ever touched
+//    with this held; it is never held while acquiring any other lock.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <mutex>
 #include <shared_mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "blob/storage_engine.hpp"
@@ -26,6 +43,9 @@ struct ServerCosts {
 
 class BlobServer {
  public:
+  /// Number of per-key lock stripes (power of two).
+  static constexpr std::size_t kLockStripes = 64;
+
   BlobServer(sim::SimNode& node, EngineConfig ecfg = {}, ServerCosts costs = {})
       : node_(&node), engine_(ecfg), costs_(costs) {}
 
@@ -46,25 +66,51 @@ class BlobServer {
   Result<BlobStat> stat(const std::string& key, SimMicros* service_us);
   std::vector<BlobStat> scan(const std::string& prefix, SimMicros* service_us);
 
-  /// Apply a batch of mutations atomically under the server lock; used by
-  /// the transaction commit path. Precondition checks were already done.
+  /// Apply a batch of mutations; used by the replicated-mutation and
+  /// transaction commit paths. The caller holds either lock_exclusive() or
+  /// a KeyLock covering every key in `ops`; precondition checks were
+  /// already done.
   struct TxnOp {
-    enum class Kind { write, truncate, create, remove } kind;
+    enum class Kind { write, truncate, create, remove, grow } kind;
     std::string key;
     std::uint64_t offset = 0;
     Bytes data;
-    std::uint64_t new_size = 0;
+    std::uint64_t new_size = 0;  ///< truncate target / grow minimum size
   };
   Status apply_txn_ops(const std::vector<TxnOp>& ops, SimMicros* service_us);
 
-  /// Expected-version check for optimistic transactions (0 = "must not exist").
+  /// Expected-version check for optimistic transactions (0 = "must not
+  /// exist"). Caller holds lock_exclusive() or a KeyLock on `key`.
   [[nodiscard]] bool version_matches(const std::string& key, Version expected);
+
+  /// Uncharged engine-size peek for client-side layout/precondition
+  /// decisions; caller holds lock_exclusive() or a KeyLock on `key` when a
+  /// stable answer matters.
+  [[nodiscard]] Result<std::uint64_t> peek_size(const std::string& key);
 
   /// Exclusive access for multi-server commit protocols. Locks are acquired
   /// by the client in ascending node-id order, which rules out deadlock.
   [[nodiscard]] std::unique_lock<std::shared_mutex> lock_exclusive() {
     return std::unique_lock(mu_);
   }
+
+  /// Holds the structure lock (shared) plus the key's mutation stripe.
+  struct KeyLock {
+    std::shared_lock<std::shared_mutex> structure;
+    std::unique_lock<std::mutex> stripe;
+  };
+
+  /// Per-key mutation lock: shared structure access plus exclusive ownership
+  /// of the key's stripe. Clients acquire one per replica, ascending node
+  /// order — the same global order as lock_exclusive(), so the two paths
+  /// cannot deadlock against each other.
+  [[nodiscard]] KeyLock lock_key(std::string_view key);
+
+  [[nodiscard]] static std::size_t stripe_of(std::string_view key) noexcept;
+
+  /// Lifetime acquisition count per stripe (observability: skew here means
+  /// hot keys are convoying on one stripe).
+  [[nodiscard]] std::array<std::uint64_t, kLockStripes> stripe_acquisitions() const;
 
   // --- maintenance / introspection (used by tests and ablation benches) ---
   [[nodiscard]] std::uint64_t object_count();
@@ -83,8 +129,15 @@ class BlobServer {
     return static_cast<SimMicros>(static_cast<double>(bytes) * costs_.cpu_byte_us);
   }
 
+  struct Stripe {
+    std::mutex mu;
+    std::atomic<std::uint64_t> acquisitions{0};
+  };
+
   sim::SimNode* node_;
   std::shared_mutex mu_;
+  std::array<Stripe, kLockStripes> stripes_;
+  std::mutex engine_mu_;
   StorageEngine engine_;
   ServerCosts costs_;
 };

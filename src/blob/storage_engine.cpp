@@ -160,6 +160,15 @@ Result<Version> StorageEngine::truncate(const std::string& key, std::uint64_t ne
   return rec.version;
 }
 
+Result<Version> StorageEngine::grow(const std::string& key, std::uint64_t min_size) {
+  auto it = objects_.find(key);
+  if (it == objects_.end()) return {Errc::not_found, key};
+  ObjectRec& rec = it->second;
+  rec.length = std::max(rec.length, min_size);
+  ++rec.version;
+  return rec.version;
+}
+
 Result<std::uint64_t> StorageEngine::size(const std::string& key) const {
   auto it = objects_.find(key);
   if (it == objects_.end()) return {Errc::not_found, key};

@@ -65,6 +65,11 @@ class StorageEngine {
   /// Grow (sparse) or shrink the object.
   Result<Version> truncate(const std::string& key, std::uint64_t new_size);
 
+  /// Raise the object's logical length to at least `min_size` (no data is
+  /// written; the gap reads as a hole). Bumps the version. Used to keep a
+  /// striped blob's full logical size on its chunk-0 record.
+  Result<Version> grow(const std::string& key, std::uint64_t min_size);
+
   Result<std::uint64_t> size(const std::string& key) const;
   Result<Version> version(const std::string& key) const;
 

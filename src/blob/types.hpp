@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 namespace bsc::blob {
 
@@ -29,9 +30,37 @@ struct BlobStat {
 
 struct StoreConfig {
   std::uint32_t replication = 3;      ///< replicas per chunk (primary included)
-  std::uint64_t chunk_bytes = 1 << 20; ///< striping unit across storage nodes
+  std::uint64_t chunk_bytes = 1 << 20; ///< striping unit across storage nodes (0 = off)
   std::uint32_t vnodes_per_node = 64; ///< ring virtual nodes
   bool write_creates = true;          ///< RADOS-style implicit create on write
 };
+
+// --- chunk striping -------------------------------------------------------
+//
+// Blobs larger than StoreConfig::chunk_bytes are striped: chunk 0 is stored
+// under the application key itself (small blobs never pay for chunking, and
+// chunk 0's engine length carries the FULL logical blob size), while chunk
+// c >= 1 is stored under an internal key `key SEP c`. Chunk keys are ordinary
+// ring keys, so each chunk lands on its own replica set and resync /
+// rebalance / scrub handle them with no special casing.
+
+/// Separator between an application key and a chunk index. ASCII "unit
+/// separator" — application keys never contain it.
+inline constexpr char kChunkKeySep = '\x1f';
+
+/// Engine key holding chunk `chunk` of blob `key` (chunk 0 = the key itself).
+inline std::string chunk_engine_key(std::string_view key, std::uint64_t chunk) {
+  std::string out{key};
+  if (chunk > 0) {
+    out += kChunkKeySep;
+    out += std::to_string(chunk);
+  }
+  return out;
+}
+
+/// True for internal chunk keys (c >= 1); namespace scans filter these out.
+inline bool is_chunk_key(std::string_view key) {
+  return key.find(kChunkKeySep) != std::string_view::npos;
+}
 
 }  // namespace bsc::blob

@@ -1,5 +1,7 @@
 #include "common/hash.hpp"
 
+#include <cstring>
+
 namespace bsc {
 
 namespace {
@@ -26,7 +28,36 @@ std::uint64_t fnv1a64(ByteView data) noexcept {
 }
 
 std::uint64_t content_checksum(ByteView data) noexcept {
-  return hash_combine(fnv1a64(data), mix64(data.size()));
+  // Four independent FNV-style lanes over 64-bit words, folded through
+  // mix64. The byte-serial FNV multiply chain (~5 cycles/byte of latency)
+  // was the single largest CPU cost of the blob write path — it runs under
+  // the per-key lock once per replica. Word-wide lanes give the superscalar
+  // core independent multiplies; any flipped bit still flips its lane.
+  const auto* p = reinterpret_cast<const unsigned char*>(data.data());
+  const std::size_t n = data.size();
+  std::uint64_t h0 = kFnvOffset;
+  std::uint64_t h1 = kFnvOffset ^ 0x9e3779b97f4a7c15ULL;
+  std::uint64_t h2 = kFnvOffset ^ 0xbf58476d1ce4e5b9ULL;
+  std::uint64_t h3 = kFnvOffset ^ 0x94d049bb133111ebULL;
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    std::uint64_t w0, w1, w2, w3;
+    std::memcpy(&w0, p + i, 8);
+    std::memcpy(&w1, p + i + 8, 8);
+    std::memcpy(&w2, p + i + 16, 8);
+    std::memcpy(&w3, p + i + 24, 8);
+    h0 = (h0 ^ w0) * kFnvPrime;
+    h1 = (h1 ^ w1) * kFnvPrime;
+    h2 = (h2 ^ w2) * kFnvPrime;
+    h3 = (h3 ^ w3) * kFnvPrime;
+  }
+  for (; i < n; ++i) {
+    h0 ^= p[i];
+    h0 *= kFnvPrime;
+  }
+  const std::uint64_t folded =
+      mix64(h0) ^ hash_combine(mix64(h1), hash_combine(mix64(h2), mix64(h3)));
+  return hash_combine(folded, mix64(n));
 }
 
 }  // namespace bsc

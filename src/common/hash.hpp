@@ -28,7 +28,9 @@ namespace bsc {
 }
 
 /// Content checksum for integrity verification in the storage engines.
-/// (CRC-like via FNV over the payload plus its length.)
+/// Word-wide multi-lane FNV folded through mix64 — computed under per-key
+/// locks on the write path, so throughput matters. The value is only ever
+/// compared within one process run; the algorithm may change across versions.
 [[nodiscard]] std::uint64_t content_checksum(ByteView data) noexcept;
 
 }  // namespace bsc

@@ -34,6 +34,12 @@ void StatSummary::merge(const StatSummary& other) noexcept {
   max_ = std::max(max_, other.max_);
 }
 
+StatSummary summarize(const std::vector<std::uint64_t>& values) noexcept {
+  StatSummary s;
+  for (std::uint64_t v : values) s.add(static_cast<double>(v));
+  return s;
+}
+
 double StatSummary::variance() const noexcept {
   return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
 }

@@ -33,6 +33,10 @@ class StatSummary {
   double max_ = -std::numeric_limits<double>::infinity();
 };
 
+/// Summarize a batch of counter readings (e.g. per-stripe lock acquisition
+/// counts or per-shard cache occupancy) into a StatSummary.
+[[nodiscard]] StatSummary summarize(const std::vector<std::uint64_t>& values) noexcept;
+
 /// Histogram with power-of-two-ish buckets (2 sub-buckets per octave)
 /// covering [1, ~2^62]. Approximate percentiles with bounded error.
 class Histogram {

@@ -4,17 +4,25 @@
 
 namespace bsc {
 
+namespace {
+/// Identity of the current thread within its pool, for locality-aware submit.
+thread_local const ThreadPool* tl_pool = nullptr;
+thread_local std::size_t tl_worker = 0;
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t threads) {
   threads = std::max<std::size_t>(1, threads);
+  queues_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) queues_.push_back(std::make_unique<Worker>());
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
 ThreadPool::~ThreadPool() {
   {
-    std::scoped_lock lk(mu_);
+    std::scoped_lock lk(sleep_mu_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -24,10 +32,20 @@ ThreadPool::~ThreadPool() {
 std::future<void> ThreadPool::submit(std::function<void()> task) {
   std::packaged_task<void()> pt(std::move(task));
   auto fut = pt.get_future();
+  // A worker submitting new work keeps it local; external threads spread
+  // submissions round-robin. Stealing rebalances either way.
+  const std::size_t target =
+      tl_pool == this ? tl_worker
+                      : next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
   {
-    std::scoped_lock lk(mu_);
-    queue_.push_back(std::move(pt));
+    std::scoped_lock lk(queues_[target]->mu);
+    queues_[target]->tasks.push_back(std::move(pt));
   }
+  pending_.fetch_add(1, std::memory_order_release);
+  // Empty critical section: a worker between its wait-predicate check and
+  // blocking still holds sleep_mu_, so locking here (then notifying) cannot
+  // slip into that window — no lost wakeup.
+  { std::scoped_lock lk(sleep_mu_); }
   cv_.notify_one();
   return fut;
 }
@@ -42,17 +60,61 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
   for (auto& f : futs) f.get();
 }
 
-void ThreadPool::worker_loop() {
+std::uint64_t ThreadPool::steals() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& q : queues_) total += q->steals.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::uint64_t ThreadPool::tasks_executed() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& q : queues_) total += q->executed.load(std::memory_order_relaxed);
+  return total;
+}
+
+bool ThreadPool::try_claim(std::size_t self, std::packaged_task<void()>* out) {
+  // Own deque first (front: FIFO within a worker), then sweep the victims
+  // from the back (the work least likely to be cache-warm at its owner).
+  {
+    Worker& own = *queues_[self];
+    std::scoped_lock lk(own.mu);
+    if (!own.tasks.empty()) {
+      *out = std::move(own.tasks.front());
+      own.tasks.pop_front();
+      own.executed.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  for (std::size_t k = 1; k < queues_.size(); ++k) {
+    const std::size_t victim = (self + k) % queues_.size();
+    Worker& v = *queues_[victim];
+    std::scoped_lock lk(v.mu);  // never hold two deque locks at once
+    if (!v.tasks.empty()) {
+      *out = std::move(v.tasks.back());
+      v.tasks.pop_back();
+      Worker& own = *queues_[self];
+      own.steals.fetch_add(1, std::memory_order_relaxed);
+      own.executed.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  tl_pool = this;
+  tl_worker = self;
   for (;;) {
     std::packaged_task<void()> task;
-    {
-      std::unique_lock lk(mu_);
-      cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stop_ must be true
-      task = std::move(queue_.front());
-      queue_.pop_front();
+    if (try_claim(self, &task)) {
+      pending_.fetch_sub(1, std::memory_order_acq_rel);
+      task();
+      continue;
     }
-    task();
+    std::unique_lock lk(sleep_mu_);
+    if (stop_ && pending_.load(std::memory_order_acquire) == 0) return;
+    cv_.wait(lk, [this] { return stop_ || pending_.load(std::memory_order_acquire) > 0; });
+    if (stop_ && pending_.load(std::memory_order_acquire) == 0) return;
   }
 }
 

@@ -1,13 +1,23 @@
-// Fixed-size thread pool used to run simulated compute tasks (MPI ranks,
+// Work-stealing thread pool used to run simulated compute tasks (MPI ranks,
 // Spark tasks) concurrently. Tasks over threads (CP.4); the pool is created
 // once per experiment and joined on destruction (CP.23/25).
+//
+// Each worker owns a deque guarded by its own mutex: external submissions are
+// distributed round-robin, a worker pops from the front of its own deque and
+// steals from the back of a victim's when it runs dry. Thousands of small
+// Spark tasks therefore contend on per-worker locks instead of one global
+// mutex; a shared condition variable is only touched by workers that found
+// the whole pool empty.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -23,22 +33,49 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueue a task; returns a future for its completion.
+  /// Enqueue a task; returns a future for its completion. Tasks submitted
+  /// from inside a worker go to that worker's own deque (locality); external
+  /// submissions round-robin across workers.
+  ///
+  /// Do NOT block on the returned future from inside a worker task: a
+  /// blocked worker cannot drain its own deque, and if every worker blocks
+  /// on work only the pool can run, the pool deadlocks. Join from the
+  /// outside, or structure nested work as fire-and-forget.
   std::future<void> submit(std::function<void()> task);
 
   /// Run fn(i) for i in [0, n) across the pool and wait for all of them.
   /// Exceptions from tasks propagate (the first one) to the caller.
+  /// Same caveat as submit(): call from outside the pool, not from a worker.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
 
- private:
-  void worker_loop();
+  /// Total tasks a worker claimed from another worker's deque (observability:
+  /// a high ratio of steals/executed means the submission pattern is skewed).
+  [[nodiscard]] std::uint64_t steals() const noexcept;
+  [[nodiscard]] std::uint64_t tasks_executed() const noexcept;
 
-  std::mutex mu_;
+ private:
+  struct Worker {
+    std::mutex mu;
+    std::deque<std::packaged_task<void()>> tasks;
+    std::atomic<std::uint64_t> steals{0};    ///< tasks this worker stole
+    std::atomic<std::uint64_t> executed{0};  ///< tasks this worker ran
+  };
+
+  void worker_loop(std::size_t self);
+  /// Pop from own deque front, else steal from the back of the next
+  /// non-empty victim. Returns false when every deque is empty.
+  bool try_claim(std::size_t self, std::packaged_task<void()>* out);
+
+  std::vector<std::unique_ptr<Worker>> queues_;
+  std::atomic<std::size_t> next_queue_{0};  ///< round-robin external target
+  std::atomic<std::size_t> pending_{0};     ///< queued, not yet claimed
+
+  std::mutex sleep_mu_;
   std::condition_variable cv_;
-  std::deque<std::packaged_task<void()>> queue_;
   bool stop_ = false;
+
   std::vector<std::thread> workers_;
 };
 

@@ -1,86 +1,146 @@
 #include "sim/page_cache.hpp"
 
+#include <algorithm>
+
+#include "common/hash.hpp"
+
 namespace bsc::sim {
 
+namespace {
+std::uint32_t round_up_pow2(std::uint32_t v) {
+  std::uint32_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+}  // namespace
+
+PageCache::PageCache(std::uint64_t capacity_bytes, std::uint32_t shards) {
+  const std::uint32_t count = round_up_pow2(std::max<std::uint32_t>(1, shards));
+  mask_ = count - 1;
+  shards_.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    shards_.push_back(std::make_unique<Shard>(capacity_bytes / count));
+  }
+}
+
+PageCache::Shard& PageCache::shard_of(std::uint64_t key) const {
+  // mix64 so that sequential object ids (common for block numbers) spread
+  // across shards instead of striding through them.
+  return *shards_[mix64(key) & mask_];
+}
+
 bool PageCache::touch_read(std::uint64_t key, std::uint64_t bytes) {
-  std::scoped_lock lk(mu_);
-  auto it = entries_.find(key);
-  if (it != entries_.end()) {
-    ++hits_;
-    lru_.splice(lru_.begin(), lru_, it->second.pos);
+  Shard& s = shard_of(key);
+  std::scoped_lock lk(s.mu);
+  auto it = s.entries.find(key);
+  if (it != s.entries.end()) {
+    ++s.hits;
+    s.lru.splice(s.lru.begin(), s.lru, it->second.pos);
     if (bytes > it->second.bytes) {
-      bytes_ += bytes - it->second.bytes;
+      s.bytes += bytes - it->second.bytes;
       it->second.bytes = bytes;
-      evict_locked();
+      s.evict_locked();
     }
     return true;
   }
-  ++misses_;
-  insert_locked(key, bytes);
+  ++s.misses;
+  s.insert_locked(key, bytes);
   return false;
 }
 
 void PageCache::touch_write(std::uint64_t key, std::uint64_t bytes) {
-  std::scoped_lock lk(mu_);
-  auto it = entries_.find(key);
-  if (it != entries_.end()) {
-    lru_.splice(lru_.begin(), lru_, it->second.pos);
+  Shard& s = shard_of(key);
+  std::scoped_lock lk(s.mu);
+  auto it = s.entries.find(key);
+  if (it != s.entries.end()) {
+    s.lru.splice(s.lru.begin(), s.lru, it->second.pos);
     if (bytes > it->second.bytes) {
-      bytes_ += bytes - it->second.bytes;
+      s.bytes += bytes - it->second.bytes;
       it->second.bytes = bytes;
-      evict_locked();
+      s.evict_locked();
     }
     return;
   }
-  insert_locked(key, bytes);
+  s.insert_locked(key, bytes);
 }
 
 void PageCache::invalidate(std::uint64_t key) {
-  std::scoped_lock lk(mu_);
-  auto it = entries_.find(key);
-  if (it == entries_.end()) return;
-  bytes_ -= it->second.bytes;
-  lru_.erase(it->second.pos);
-  entries_.erase(it);
+  Shard& s = shard_of(key);
+  std::scoped_lock lk(s.mu);
+  auto it = s.entries.find(key);
+  if (it == s.entries.end()) return;
+  s.bytes -= it->second.bytes;
+  s.lru.erase(it->second.pos);
+  s.entries.erase(it);
 }
 
 void PageCache::clear() {
-  std::scoped_lock lk(mu_);
-  lru_.clear();
-  entries_.clear();
-  bytes_ = 0;
+  for (auto& s : shards_) {
+    std::scoped_lock lk(s->mu);
+    s->lru.clear();
+    s->entries.clear();
+    s->bytes = 0;
+  }
 }
 
 std::uint64_t PageCache::bytes_cached() const {
-  std::scoped_lock lk(mu_);
-  return bytes_;
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) {
+    std::scoped_lock lk(s->mu);
+    total += s->bytes;
+  }
+  return total;
 }
 
 std::uint64_t PageCache::hits() const {
-  std::scoped_lock lk(mu_);
-  return hits_;
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) {
+    std::scoped_lock lk(s->mu);
+    total += s->hits;
+  }
+  return total;
 }
 
 std::uint64_t PageCache::misses() const {
-  std::scoped_lock lk(mu_);
-  return misses_;
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) {
+    std::scoped_lock lk(s->mu);
+    total += s->misses;
+  }
+  return total;
 }
 
-void PageCache::insert_locked(std::uint64_t key, std::uint64_t bytes) {
-  if (bytes > capacity_) return;  // never cache objects larger than the budget
-  lru_.push_front(key);
-  entries_[key] = Entry{bytes, lru_.begin()};
-  bytes_ += bytes;
+std::uint64_t PageCache::evictions() const {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) {
+    std::scoped_lock lk(s->mu);
+    total += s->evictions;
+  }
+  return total;
+}
+
+PageCache::ShardCounters PageCache::shard_counters(std::size_t i) const {
+  const Shard& s = *shards_[i];
+  std::scoped_lock lk(s.mu);
+  return ShardCounters{s.hits, s.misses, s.evictions, s.bytes};
+}
+
+void PageCache::Shard::insert_locked(std::uint64_t key, std::uint64_t obj_bytes) {
+  if (obj_bytes > capacity) return;  // never cache objects larger than the budget
+  lru.push_front(key);
+  entries[key] = Entry{obj_bytes, lru.begin()};
+  bytes += obj_bytes;
   evict_locked();
 }
 
-void PageCache::evict_locked() {
-  while (bytes_ > capacity_ && !lru_.empty()) {
-    const std::uint64_t victim = lru_.back();
-    lru_.pop_back();
-    auto it = entries_.find(victim);
-    bytes_ -= it->second.bytes;
-    entries_.erase(it);
+void PageCache::Shard::evict_locked() {
+  while (bytes > capacity && !lru.empty()) {
+    const std::uint64_t victim = lru.back();
+    lru.pop_back();
+    auto it = entries.find(victim);
+    bytes -= it->second.bytes;
+    entries.erase(it);
+    ++evictions;
   }
 }
 

@@ -7,18 +7,30 @@
 // and all writes install the object (write-through). Whole objects are the
 // caching unit — an approximation that matches the small-object metadata
 // blobs exactly and streaming data closely enough.
+//
+// The cache is sharded 2^k ways by object id so that concurrent clients of
+// one node touch independent locks; each shard owns capacity/shards bytes of
+// the budget and its own LRU list and hit/miss/eviction counters. Aggregate
+// accessors sum over shards on read-out. Pass `shards = 1` for a single
+// globally-ordered LRU (deterministic eviction across all keys).
 #pragma once
 
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <vector>
 
 namespace bsc::sim {
 
 class PageCache {
  public:
-  explicit PageCache(std::uint64_t capacity_bytes) : capacity_(capacity_bytes) {}
+  static constexpr std::uint32_t kDefaultShards = 8;
+
+  /// `shards` is rounded up to a power of two; each shard gets an equal split
+  /// of `capacity_bytes`.
+  explicit PageCache(std::uint64_t capacity_bytes, std::uint32_t shards = kDefaultShards);
 
   /// Record a read of object `key` totalling `bytes`; returns true when the
   /// object was resident (the disk access is skipped).
@@ -35,22 +47,42 @@ class PageCache {
   [[nodiscard]] std::uint64_t bytes_cached() const;
   [[nodiscard]] std::uint64_t hits() const;
   [[nodiscard]] std::uint64_t misses() const;
+  [[nodiscard]] std::uint64_t evictions() const;
+
+  struct ShardCounters {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t bytes_cached = 0;
+  };
+  [[nodiscard]] std::size_t shard_count() const noexcept { return shards_.size(); }
+  [[nodiscard]] ShardCounters shard_counters(std::size_t i) const;
 
  private:
-  void insert_locked(std::uint64_t key, std::uint64_t bytes);
-  void evict_locked();
+  struct Shard {
+    explicit Shard(std::uint64_t cap) : capacity(cap) {}
 
-  const std::uint64_t capacity_;
-  mutable std::mutex mu_;
-  std::list<std::uint64_t> lru_;  ///< front = most recent
-  struct Entry {
+    const std::uint64_t capacity;
+    mutable std::mutex mu;
+    std::list<std::uint64_t> lru;  ///< front = most recent
+    struct Entry {
+      std::uint64_t bytes = 0;
+      std::list<std::uint64_t>::iterator pos;
+    };
+    std::unordered_map<std::uint64_t, Entry> entries;
     std::uint64_t bytes = 0;
-    std::list<std::uint64_t>::iterator pos;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+
+    void insert_locked(std::uint64_t key, std::uint64_t obj_bytes);
+    void evict_locked();
   };
-  std::unordered_map<std::uint64_t, Entry> entries_;
-  std::uint64_t bytes_ = 0;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
+
+  [[nodiscard]] Shard& shard_of(std::uint64_t key) const;
+
+  std::vector<std::unique_ptr<Shard>> shards_;  ///< size is a power of two
+  std::uint64_t mask_ = 0;
 };
 
 }  // namespace bsc::sim
