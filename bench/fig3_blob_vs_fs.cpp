@@ -179,6 +179,10 @@ int main(int argc, char** argv) {
   spark_comparison(&results);
   directory_emulation_cost(&results);
   storage_node_sweep();
-  if (!json_path.empty() && !bench::write_bench_json(json_path, results)) return 1;
+  if (!json_path.empty() &&
+      !bench::write_bench_json(json_path, bench::collect_run_meta("fig3_blob_vs_fs"),
+                               results)) {
+    return 1;
+  }
   return 0;
 }

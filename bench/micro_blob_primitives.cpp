@@ -277,6 +277,10 @@ int main(int argc, char** argv) {
   CapturingReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
-  if (!json.empty() && !bench::write_bench_json(json, reporter.results)) return 1;
+  if (!json.empty() &&
+      !bench::write_bench_json(json, bench::collect_run_meta("micro_blob_primitives"),
+                               reporter.results)) {
+    return 1;
+  }
   return 0;
 }

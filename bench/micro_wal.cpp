@@ -1,0 +1,192 @@
+// Microbenchmarks of the persistence subsystem: WAL append throughput under
+// each fsync policy, and recovery time as a function of log size. These put
+// numbers on the durability tax the journal adds to the engine's write path
+// and on how long a crashed blob server stays dark before it can rejoin.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "blob/storage_engine.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "persist/fault_file.hpp"
+#include "persist/wal.hpp"
+#include "support.hpp"
+
+using namespace bsc;
+
+namespace {
+
+persist::JournalConfig policy_config(int arg) {
+  persist::JournalConfig cfg;
+  switch (arg) {
+    case 0: cfg.fsync = persist::FsyncPolicy::always; break;
+    case 1: cfg.fsync = persist::FsyncPolicy::group; break;
+    default: cfg.fsync = persist::FsyncPolicy::none; break;
+  }
+  return cfg;
+}
+
+// --- append throughput vs fsync policy -------------------------------------
+// One journaled engine, 4 KiB writes round-robin over 64 keys. The spread
+// between `none` and `always` is the raw fsync cost; `group` should land
+// close to `none` while still bounding the loss window to one batch.
+
+void BM_WalAppend(benchmark::State& state) {
+  const persist::JournalConfig jcfg = policy_config(static_cast<int>(state.range(0)));
+  persist::TempDir dir;
+  auto j = persist::Journal::open(dir.path(), jcfg);
+  if (!j.ok()) {
+    state.SkipWithError("journal open failed");
+    return;
+  }
+  auto journal = std::move(j).take();
+  blob::StorageEngine engine;
+  engine.attach_journal(journal.get());
+
+  const std::uint64_t size = 4096;
+  const Bytes data = make_payload(1, 0, size);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    auto r = engine.write(strfmt("w-%llu", static_cast<unsigned long long>(i++ % 64)), 0,
+                          as_view(data), true);
+    benchmark::DoNotOptimize(r.ok());
+  }
+  engine.attach_journal(nullptr);
+  state.SetBytesProcessed(static_cast<std::int64_t>(size) * state.iterations());
+  state.SetLabel(std::string(to_string(jcfg.fsync)));
+  state.counters["fsyncs_per_op"] = benchmark::Counter(
+      state.iterations() > 0
+          ? static_cast<double>(journal->fsync_count()) / static_cast<double>(state.iterations())
+          : 0.0);
+}
+BENCHMARK(BM_WalAppend)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMicrosecond);
+
+// --- recovery time vs log size ---------------------------------------------
+// Build a WAL of N records once per benchmark, then measure how long
+// StorageEngine::recover takes to replay it from scratch. Reported bytes/s
+// is WAL bytes replayed per wall-clock second.
+
+void BM_WalRecovery(benchmark::State& state) {
+  const auto records = static_cast<std::uint64_t>(state.range(0));
+  persist::TempDir dir;
+  {
+    persist::JournalConfig jcfg;
+    jcfg.fsync = persist::FsyncPolicy::none;  // build fast; durability is moot here
+    auto j = persist::Journal::open(dir.path(), jcfg);
+    if (!j.ok()) {
+      state.SkipWithError("journal open failed");
+      return;
+    }
+    auto journal = std::move(j).take();
+    blob::StorageEngine engine;
+    engine.attach_journal(journal.get());
+    const Bytes data = make_payload(2, 0, 4096);
+    for (std::uint64_t i = 0; i < records; ++i) {
+      (void)engine.write(strfmt("r-%llu", static_cast<unsigned long long>(i % 256)),
+                         (i / 256) * 4096, as_view(data), true);
+    }
+    engine.attach_journal(nullptr);
+  }
+  const auto wal_bytes = persist::FaultFile(persist::wal_path(dir.path())).size().value_or(0);
+
+  std::uint64_t replayed = 0;
+  for (auto _ : state) {
+    persist::RecoveryReport report;
+    auto e = blob::StorageEngine::recover(dir.path(), {}, &report);
+    benchmark::DoNotOptimize(e.ok());
+    replayed = report.records_replayed;
+  }
+  if (replayed != records) {
+    state.SkipWithError("recovery replayed an unexpected record count");
+    return;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(wal_bytes) * state.iterations());
+  state.counters["wal_mb"] =
+      benchmark::Counter(static_cast<double>(wal_bytes) / (1024.0 * 1024.0));
+  state.counters["records"] = benchmark::Counter(static_cast<double>(records));
+}
+BENCHMARK(BM_WalRecovery)->Arg(256)->Arg(1024)->Arg(4096)->Arg(16384)
+    ->Unit(benchmark::kMillisecond);
+
+// --- recovery from checkpoint vs pure replay --------------------------------
+// Same object population, but snapshotted: a checkpoint turns O(history)
+// replay into O(live data) restore plus a short log tail.
+
+void BM_CheckpointRecovery(benchmark::State& state) {
+  const auto records = static_cast<std::uint64_t>(state.range(0));
+  persist::TempDir dir;
+  {
+    persist::JournalConfig jcfg;
+    jcfg.fsync = persist::FsyncPolicy::none;
+    auto j = persist::Journal::open(dir.path(), jcfg);
+    if (!j.ok()) {
+      state.SkipWithError("journal open failed");
+      return;
+    }
+    auto journal = std::move(j).take();
+    blob::StorageEngine engine;
+    engine.attach_journal(journal.get());
+    const Bytes data = make_payload(3, 0, 4096);
+    for (std::uint64_t i = 0; i < records; ++i) {
+      (void)engine.write(strfmt("r-%llu", static_cast<unsigned long long>(i % 256)),
+                         (i / 256) * 4096, as_view(data), true);
+    }
+    if (!engine.write_checkpoint(/*prune_wal=*/true).ok()) {
+      state.SkipWithError("checkpoint failed");
+      return;
+    }
+    engine.attach_journal(nullptr);
+  }
+
+  for (auto _ : state) {
+    persist::RecoveryReport report;
+    auto e = blob::StorageEngine::recover(dir.path(), {}, &report);
+    benchmark::DoNotOptimize(e.ok());
+  }
+  state.counters["records"] = benchmark::Counter(static_cast<double>(records));
+}
+BENCHMARK(BM_CheckpointRecovery)->Arg(4096)->Arg(16384)->Unit(benchmark::kMillisecond);
+
+/// Console reporter that also captures every run for `--json <path>` output
+/// (the machine-readable perf trajectory; schema in EXPERIMENTS.md).
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      bench::BenchResult r;
+      r.name = run.benchmark_name();
+      r.iterations = static_cast<std::uint64_t>(run.iterations);
+      r.ns_per_op = run.iterations > 0
+                        ? run.real_accumulated_time * 1e9 / static_cast<double>(run.iterations)
+                        : 0.0;
+      auto bps = run.counters.find("bytes_per_second");
+      if (bps != run.counters.end()) r.bytes_per_s = bps->second;
+      auto sim = run.counters.find("sim_us_per_op");
+      if (sim != run.counters.end()) r.sim_us_per_op = sim->second;
+      results.push_back(std::move(r));
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  std::vector<bench::BenchResult> results;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json = bench::take_json_path(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!json.empty() &&
+      !bench::write_bench_json(json, bench::collect_run_meta("micro_wal"),
+                               reporter.results)) {
+    return 1;
+  }
+  return 0;
+}

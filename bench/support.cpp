@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <string_view>
+#include <thread>
 
 #include "adapter/blobfs.hpp"
 #include "hdfs/hdfs.hpp"
@@ -101,6 +102,36 @@ apps::SparkSuiteResult run_spark(Backend backend, std::uint32_t storage_nodes) {
   return apps::run_spark_suite(*rig.fs, *rig.cluster, pool, opts);
 }
 
+RunMeta collect_run_meta(const std::string& bench_name) {
+  RunMeta meta;
+  meta.bench = bench_name;
+  meta.git_rev = "unknown";
+#ifdef BSC_SOURCE_DIR
+  if (std::FILE* p = ::popen("git -C \"" BSC_SOURCE_DIR "\" rev-parse --short HEAD 2>/dev/null",
+                             "r")) {
+    char buf[64] = {};
+    if (std::fgets(buf, sizeof(buf), p)) {
+      std::string rev(buf);
+      while (!rev.empty() && (rev.back() == '\n' || rev.back() == '\r')) rev.pop_back();
+      if (!rev.empty()) meta.git_rev = rev;
+    }
+    ::pclose(p);
+  }
+#endif
+#ifdef BSC_BUILD_TYPE
+  meta.build_type = BSC_BUILD_TYPE;
+#else
+  meta.build_type = "unknown";
+#endif
+#ifdef BSC_SANITIZE_NAME
+  meta.sanitizer = std::string_view{BSC_SANITIZE_NAME}.empty() ? "none" : BSC_SANITIZE_NAME;
+#else
+  meta.sanitizer = "none";
+#endif
+  meta.hardware_threads = std::thread::hardware_concurrency();
+  return meta;
+}
+
 std::string take_json_path(int* argc, char** argv) {
   std::string path;
   int out = 1;
@@ -115,24 +146,32 @@ std::string take_json_path(int* argc, char** argv) {
   return path;
 }
 
-bool write_bench_json(const std::string& path, const std::vector<BenchResult>& results) {
+bool write_bench_json(const std::string& path, const RunMeta& meta,
+                      const std::vector<BenchResult>& results) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (!f) {
     std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
     return false;
   }
-  std::fprintf(f, "[\n");
+  std::fprintf(f, "{\n");
+  std::fprintf(f,
+               "  \"meta\": {\"bench\": \"%s\", \"git_rev\": \"%s\", "
+               "\"build_type\": \"%s\", \"sanitizer\": \"%s\", "
+               "\"hardware_threads\": %u},\n",
+               meta.bench.c_str(), meta.git_rev.c_str(), meta.build_type.c_str(),
+               meta.sanitizer.c_str(), meta.hardware_threads);
+  std::fprintf(f, "  \"results\": [\n");
   for (std::size_t i = 0; i < results.size(); ++i) {
     const BenchResult& r = results[i];
     // Names are benchmark identifiers (no quotes/backslashes) — emit as-is.
     std::fprintf(f,
-                 "  {\"name\": \"%s\", \"iterations\": %llu, \"ns_per_op\": %.3f, "
+                 "    {\"name\": \"%s\", \"iterations\": %llu, \"ns_per_op\": %.3f, "
                  "\"bytes_per_s\": %.1f, \"sim_us_per_op\": %.3f}%s\n",
                  r.name.c_str(), static_cast<unsigned long long>(r.iterations),
                  r.ns_per_op, r.bytes_per_s, r.sim_us_per_op,
                  i + 1 < results.size() ? "," : "");
   }
-  std::fprintf(f, "]\n");
+  std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
   return true;
 }

@@ -70,13 +70,28 @@ struct BenchResult {
   double sim_us_per_op = 0.0;
 };
 
+/// Run metadata embedded in every --json output (the `meta` object): enough
+/// to tell two baseline files apart — source revision, build flavour, and
+/// the parallelism the run had available.
+struct RunMeta {
+  std::string bench;              ///< benchmark executable name
+  std::string git_rev;            ///< short HEAD revision, "unknown" outside git
+  std::string build_type;         ///< CMAKE_BUILD_TYPE at configure time
+  std::string sanitizer;          ///< BSC_SANITIZE, or "none"
+  unsigned hardware_threads = 0;  ///< std::thread::hardware_concurrency()
+};
+
+/// Fill a RunMeta for this build (git rev is probed via `git rev-parse`).
+[[nodiscard]] RunMeta collect_run_meta(const std::string& bench_name);
+
 /// Extract and REMOVE a `--json <path>` argument pair from argv (so that the
 /// remaining args can be handed to google-benchmark). Empty when absent.
 [[nodiscard]] std::string take_json_path(int* argc, char** argv);
 
-/// Write `results` to `path` as a JSON array of objects. Returns false (and
+/// Write `{"meta": {...}, "results": [...]}` to `path`. Returns false (and
 /// prints to stderr) on I/O failure.
-bool write_bench_json(const std::string& path, const std::vector<BenchResult>& results);
+bool write_bench_json(const std::string& path, const RunMeta& meta,
+                      const std::vector<BenchResult>& results);
 
 /// Paper reference values (Table I) for side-by-side output.
 struct PaperRow {

@@ -20,6 +20,64 @@ BlobServer::KeyLock BlobServer::lock_key(std::string_view key) {
   return lk;
 }
 
+Status BlobServer::enable_persistence(const std::string& dir, persist::JournalConfig jcfg) {
+  std::unique_lock lk(mu_);
+  std::scoped_lock elk(engine_mu_);
+  auto j = persist::Journal::open(dir, jcfg);
+  if (!j.ok()) return j.error();
+  journal_ = std::move(j).take();
+  persist_dir_ = dir;
+  jcfg_ = jcfg;
+  engine_.attach_journal(journal_.get());
+  if (engine_.object_count() > 0) {
+    // Late enable: objects written before the journal existed are only in
+    // memory; snapshot them so the log has a durable base.
+    auto c = engine_.write_checkpoint();
+    if (!c.ok()) return c.error();
+  }
+  return Status::success();
+}
+
+void BlobServer::crash() {
+  std::unique_lock lk(mu_);
+  std::scoped_lock elk(engine_mu_);
+  engine_.attach_journal(nullptr);
+  if (journal_) journal_->abandon();  // un-fsynced batch dies with the process
+  journal_.reset();
+  engine_ = StorageEngine(ecfg_);
+}
+
+Status BlobServer::restart(persist::RecoveryReport* report) {
+  std::unique_lock lk(mu_);
+  std::scoped_lock elk(engine_mu_);
+  if (persist_dir_.empty()) return {Errc::invalid_argument, "persistence not enabled"};
+  auto e = StorageEngine::recover(persist_dir_, ecfg_, report);
+  if (!e.ok()) return e.error();
+  engine_ = std::move(e).take();
+  auto j = persist::Journal::open(persist_dir_, jcfg_);
+  if (!j.ok()) return j.error();
+  journal_ = std::move(j).take();
+  engine_.attach_journal(journal_.get());
+  return Status::success();
+}
+
+Result<std::uint64_t> BlobServer::checkpoint_now(SimMicros* service_us, bool prune_wal) {
+  std::unique_lock lk(mu_);
+  std::scoped_lock elk(engine_mu_);
+  // Checkpointing reads and rewrites every live byte sequentially, plus a
+  // journal barrier.
+  *service_us = node_->disk().service_us(engine_.live_bytes(), true) +
+                costs_.meta_journal_us;
+  return engine_.write_checkpoint(prune_wal);
+}
+
+Status BlobServer::sync_journal() {
+  std::unique_lock lk(mu_);
+  std::scoped_lock elk(engine_mu_);
+  if (!journal_) return Status::success();
+  return journal_->sync();
+}
+
 std::array<std::uint64_t, BlobServer::kLockStripes> BlobServer::stripe_acquisitions() const {
   std::array<std::uint64_t, kLockStripes> out{};
   for (std::size_t i = 0; i < kLockStripes; ++i) {

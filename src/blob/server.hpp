@@ -20,6 +20,7 @@
 
 #include <array>
 #include <atomic>
+#include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <string>
@@ -29,6 +30,7 @@
 #include "blob/storage_engine.hpp"
 #include "blob/types.hpp"
 #include "common/result.hpp"
+#include "persist/wal.hpp"
 #include "sim/node.hpp"
 
 namespace bsc::blob {
@@ -47,9 +49,34 @@ class BlobServer {
   static constexpr std::size_t kLockStripes = 64;
 
   BlobServer(sim::SimNode& node, EngineConfig ecfg = {}, ServerCosts costs = {})
-      : node_(&node), engine_(ecfg), costs_(costs) {}
+      : node_(&node), engine_(ecfg), ecfg_(ecfg), costs_(costs) {}
 
   [[nodiscard]] sim::SimNode& node() noexcept { return *node_; }
+
+  // --- durability: write-ahead log, checkpoints, crash / restart ---
+
+  /// Back this server's engine with a WAL under `dir` (created if needed).
+  /// If the engine already holds objects, an initial checkpoint is written
+  /// so pre-existing state is durable too.
+  Status enable_persistence(const std::string& dir, persist::JournalConfig jcfg = {});
+  [[nodiscard]] bool persistent() const noexcept { return !persist_dir_.empty(); }
+
+  /// Simulate process death: the engine and the journal's un-fsynced
+  /// group-commit buffer vanish; only what reached the WAL/checkpoints
+  /// survives. The server keeps serving an EMPTY engine afterwards — mark
+  /// it down at the store level before crashing it.
+  void crash();
+
+  /// Rebuild the engine from the persistence directory (newest valid
+  /// checkpoint + WAL replay) and reattach the journal.
+  Status restart(persist::RecoveryReport* report = nullptr);
+
+  /// Snapshot the engine into a checkpoint file; with `prune_wal`, reset
+  /// the log afterwards. Charges a sequential sweep of live bytes.
+  Result<std::uint64_t> checkpoint_now(SimMicros* service_us, bool prune_wal = false);
+
+  /// Flush + fsync any pending group-commit buffer.
+  Status sync_journal();
 
   // Each operation applies to the in-memory engine and reports the simulated
   // service time in *service_us.
@@ -139,7 +166,11 @@ class BlobServer {
   std::array<Stripe, kLockStripes> stripes_;
   std::mutex engine_mu_;
   StorageEngine engine_;
+  EngineConfig ecfg_;
   ServerCosts costs_;
+  std::string persist_dir_;                   ///< empty = volatile server
+  persist::JournalConfig jcfg_;
+  std::unique_ptr<persist::Journal> journal_; ///< engine_ holds a raw sink ptr
 };
 
 }  // namespace bsc::blob

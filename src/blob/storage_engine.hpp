@@ -8,6 +8,13 @@
 //
 // The engine is deliberately single-node and unlocked: thread safety and
 // distribution live one layer up (blob::BlobServer / blob::BlobStore).
+//
+// Durability: the in-memory log can be backed by a write-ahead journal
+// (persist::Journal). With one attached, every successful mutation is
+// appended as a WAL record, `write_checkpoint()` snapshots the object table
+// + extent data, and `recover(dir)` rebuilds an engine from the newest
+// valid checkpoint plus WAL replay — reproducing logical contents, holes,
+// and versions exactly (physical segment layout may differ).
 #pragma once
 
 #include <cstdint>
@@ -18,6 +25,8 @@
 #include "common/bytes.hpp"
 #include "common/result.hpp"
 #include "blob/types.hpp"
+#include "persist/checkpoint.hpp"
+#include "persist/wal.hpp"
 
 namespace bsc::blob {
 
@@ -43,6 +52,26 @@ struct ReadOutcome {
 class StorageEngine {
  public:
   explicit StorageEngine(EngineConfig cfg = {});
+
+  /// Rebuild an engine from a persistence directory: load the newest valid
+  /// checkpoint (corrupt ones are skipped), replay WAL records past its
+  /// LSN, stop cleanly at a torn/corrupt tail record (the log is truncated
+  /// there), and verify every extent checksum before returning. The result
+  /// has no journal attached — reattach one to resume logging.
+  static Result<StorageEngine> recover(const std::string& dir, EngineConfig cfg = {},
+                                       persist::RecoveryReport* report = nullptr);
+
+  /// Attach (or detach with nullptr) a write-ahead journal sink: every
+  /// subsequent successful mutation is appended as a WAL record. Non-owning;
+  /// the journal must outlive the engine or be detached first.
+  void attach_journal(persist::Journal* journal) noexcept { journal_ = journal; }
+  [[nodiscard]] persist::Journal* journal() const noexcept { return journal_; }
+
+  /// Snapshot the whole object table + extent data into a checkpoint file
+  /// in the attached journal's directory, covering every record assigned so
+  /// far. With `prune_wal` the log is reset afterwards (bounded replay, at
+  /// the cost of older-checkpoint fallback depth). Returns the covered LSN.
+  Result<std::uint64_t> write_checkpoint(bool prune_wal = false);
 
   /// Create an empty object. Fails with already_exists if present.
   Status create(const std::string& key);
@@ -119,11 +148,19 @@ class StorageEngine {
   /// Replace [off, off+len) of the object's extent list with a new extent.
   void supersede_range(ObjectRec& rec, std::uint64_t off, std::uint64_t len);
 
+  /// Append a record to the attached journal (no-op without one).
+  Status journal_append(persist::WalRecord rec);
+
+  /// Recovery: install one checkpointed object wholesale (extents appended
+  /// to the log, length/version restored verbatim).
+  Status restore_object(const persist::CheckpointObject& obj);
+
   EngineConfig cfg_;
   std::map<std::string, ObjectRec> objects_;
   std::vector<Bytes> segments_;
   std::uint64_t live_bytes_ = 0;
   std::uint64_t dead_bytes_ = 0;
+  persist::Journal* journal_ = nullptr;
 };
 
 }  // namespace bsc::blob

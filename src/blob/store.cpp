@@ -37,7 +37,34 @@ std::optional<std::uint32_t> BlobStore::first_up(
   return std::nullopt;
 }
 
-std::uint64_t BlobStore::resync_server(std::uint32_t index, sim::SimAgent* agent) {
+Status BlobStore::enable_persistence(const std::string& base_dir,
+                                     persist::JournalConfig jcfg) {
+  for (std::uint32_t i = 0; i < servers_.size(); ++i) {
+    auto st = servers_[i]->enable_persistence(
+        base_dir + "/server-" + std::to_string(i), jcfg);
+    if (!st.ok()) return st;
+  }
+  return Status::success();
+}
+
+void BlobStore::crash_server(std::uint32_t index) {
+  fail_server(index);
+  servers_[index]->crash();
+}
+
+Result<std::uint64_t> BlobStore::restart_server(std::uint32_t index, sim::SimAgent* agent,
+                                                persist::RecoveryReport* report,
+                                                ResyncStats* stats) {
+  auto st = servers_[index]->restart(report);
+  if (!st.ok()) return st.error();
+  recover_server(index);
+  // Local recovery already rebuilt everything the WAL captured; the resync
+  // pass only moves the delta (updates missed while down, ghost removals).
+  return resync_server(index, agent, stats);
+}
+
+std::uint64_t BlobStore::resync_server(std::uint32_t index, sim::SimAgent* agent,
+                                       ResyncStats* stats) {
   if (is_down(index)) return 0;  // recover first
   // Collect every key that should live on `index`, as seen by any healthy
   // peer (the recovering server's own view may be stale or empty).
@@ -81,6 +108,7 @@ std::uint64_t BlobStore::resync_server(std::uint32_t index, sim::SimAgent* agent
         (void)target.remove(stat.key, &rm_svc);
         target.node().serve(agent ? agent->now() : 0, rm_svc);
         ++repaired;
+        if (stats) ++stats->deleted;
       }
     }
   }
@@ -88,11 +116,34 @@ std::uint64_t BlobStore::resync_server(std::uint32_t index, sim::SimAgent* agent
   for (const auto& [key, src] : to_repair) {
     BlobServer& source = *servers_[src];
     BlobServer& target = *servers_[index];
+    if (stats) ++stats->examined;
     SimMicros svc = 0;
     auto size = source.size(key, &svc);
     if (!size.ok()) continue;
     auto data = source.read(key, 0, size.value(), &svc);
     if (!data.ok()) continue;
+
+    // Delta check: a copy the target already holds (e.g. via local WAL
+    // recovery) with identical content needs no recopy — only the digest
+    // crosses the wire. Versions may differ across replicas by design, so
+    // equality is judged on bytes.
+    {
+      SimMicros tsvc = 0;
+      auto tsize = target.size(key, &tsvc);
+      if (tsize.ok() && tsize.value() == size.value()) {
+        auto tdata = target.read(key, 0, tsize.value(), &tsvc);
+        if (tdata.ok() && content_checksum(as_view(tdata.value().data)) ==
+                              content_checksum(as_view(data.value().data))) {
+          if (stats) ++stats->skipped_identical;
+          if (agent) {
+            transport_.call(*agent, target.node(), 64, 64, tsvc);
+          } else {
+            target.node().serve(0, tsvc);
+          }
+          continue;
+        }
+      }
+    }
     // Replace the target's copy wholesale; the copy is content-equal (holes
     // come back as explicit zeros) even though versions restart.
     {
@@ -117,6 +168,10 @@ std::uint64_t BlobStore::resync_server(std::uint32_t index, sim::SimAgent* agent
       target.node().serve(0, svc);
     }
     ++repaired;
+    if (stats) {
+      ++stats->copied;
+      stats->bytes_copied += size.value();
+    }
   }
   return repaired;
 }

@@ -46,10 +46,43 @@ class BlobStore {
   [[nodiscard]] std::optional<std::uint32_t> first_up(
       const std::vector<std::uint32_t>& replicas) const;
 
+  /// What one resync pass did. `skipped_identical` counts copies whose
+  /// content already matched the acting primary (digest exchange only) —
+  /// the delta-resync win a WAL-recovered replica gets over a blank one.
+  struct ResyncStats {
+    std::uint64_t examined = 0;
+    std::uint64_t copied = 0;
+    std::uint64_t skipped_identical = 0;
+    std::uint64_t deleted = 0;
+    std::uint64_t bytes_copied = 0;
+  };
+
   /// Repair a recovered server: every object whose replica set includes it
-  /// is copied from its acting primary. Returns the number of objects
-  /// repaired. Charges `agent` (when non-null) for the recovery traffic.
-  std::uint64_t resync_server(std::uint32_t index, sim::SimAgent* agent = nullptr);
+  /// is compared against its acting primary by content digest and copied
+  /// only when missing or divergent (ghost copies are deleted). Returns the
+  /// number of objects repaired (copied + deleted). Charges `agent` (when
+  /// non-null) for the recovery traffic.
+  std::uint64_t resync_server(std::uint32_t index, sim::SimAgent* agent = nullptr,
+                              ResyncStats* stats = nullptr);
+
+  // --- durability: per-server WAL + checkpoints, crash / restart ---
+  /// Give every current server a persistence directory under
+  /// `base_dir/server-<index>`. Servers added later stay volatile.
+  Status enable_persistence(const std::string& base_dir,
+                            persist::JournalConfig jcfg = {});
+
+  /// Process-kill a server: mark it down and wipe its volatile state
+  /// (engine + un-fsynced journal buffer). Requires enable_persistence for
+  /// anything to survive.
+  void crash_server(std::uint32_t index);
+
+  /// Restart a crashed server: rebuild its engine from the local WAL +
+  /// checkpoints, mark it up, then delta-resync from peers (content-equal
+  /// objects are skipped, divergent/missing ones copied, ghosts deleted).
+  /// Returns the resync repair count.
+  Result<std::uint64_t> restart_server(std::uint32_t index, sim::SimAgent* agent = nullptr,
+                                       persist::RecoveryReport* report = nullptr,
+                                       ResyncStats* stats = nullptr);
 
   // --- elasticity: add / decommission storage nodes with data movement ---
   /// Statistics of one rebalance pass.

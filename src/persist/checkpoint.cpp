@@ -1,0 +1,179 @@
+#include "persist/checkpoint.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <optional>
+
+#include "common/hash.hpp"
+#include "common/strings.hpp"
+#include "persist/wal.hpp"
+
+namespace bsc::persist {
+
+namespace {
+
+constexpr char kMagic[8] = {'B', 'S', 'C', 'C', 'K', 'P', 'T', '1'};
+constexpr std::uint32_t kFormatVersion = 1;
+constexpr char kPrefix[] = "checkpoint-";
+constexpr char kSuffix[] = ".ckpt";
+
+std::string checkpoint_path(const std::string& dir, std::uint64_t lsn) {
+  return dir + "/" + kPrefix +
+         strfmt("%020llu", static_cast<unsigned long long>(lsn)) + kSuffix;
+}
+
+/// Parse a fully-read checkpoint file; nullopt on any validation failure.
+std::optional<CheckpointState> parse_checkpoint(ByteView buf) {
+  if (buf.size() < sizeof(kMagic) + 4 + 8 + 8 + 8) return std::nullopt;
+  if (std::memcmp(buf.data(), kMagic, sizeof(kMagic)) != 0) return std::nullopt;
+  const ByteView body = buf.first(buf.size() - 8);
+  Cursor trailer{buf, buf.size() - 8};
+  if (content_checksum(body) != trailer.u64()) return std::nullopt;
+
+  Cursor c{body, sizeof(kMagic)};
+  if (c.u32() != kFormatVersion) return std::nullopt;
+  CheckpointState state;
+  state.found = true;
+  state.lsn = c.u64();
+  const std::uint64_t count = c.u64();
+  state.objects.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    CheckpointObject obj;
+    const std::uint32_t key_len = c.u32();
+    if (key_len > c.remaining()) return std::nullopt;
+    obj.key = bsc::to_string(c.take(key_len));
+    obj.length = c.u64();
+    obj.version = c.u64();
+    const std::uint32_t run_count = c.u32();
+    if (!c.ok) return std::nullopt;
+    obj.runs.reserve(run_count);
+    for (std::uint32_t r = 0; r < run_count; ++r) {
+      CheckpointRun run;
+      run.log_off = c.u64();
+      const std::uint64_t len = c.u64();
+      run.checksum = c.u64();
+      if (!c.ok || len > c.remaining()) return std::nullopt;
+      const ByteView data = c.take(len);
+      if (content_checksum(data) != run.checksum) return std::nullopt;
+      run.data.assign(data.begin(), data.end());
+      obj.runs.push_back(std::move(run));
+    }
+    state.objects.push_back(std::move(obj));
+  }
+  if (!c.ok || c.remaining() != 0) return std::nullopt;  // trailing garbage
+  return state;
+}
+
+}  // namespace
+
+Status write_checkpoint(const std::string& dir, std::uint64_t lsn,
+                        const std::vector<CheckpointObject>& objects) {
+  Bytes buf;
+  buf.resize(sizeof(kMagic));
+  std::memcpy(buf.data(), kMagic, sizeof(kMagic));
+  put_u32(buf, kFormatVersion);
+  put_u64(buf, lsn);
+  put_u64(buf, objects.size());
+  for (const CheckpointObject& obj : objects) {
+    put_u32(buf, static_cast<std::uint32_t>(obj.key.size()));
+    append(buf, as_view(to_bytes(obj.key)));
+    put_u64(buf, obj.length);
+    put_u64(buf, obj.version);
+    put_u32(buf, static_cast<std::uint32_t>(obj.runs.size()));
+    for (const CheckpointRun& run : obj.runs) {
+      put_u64(buf, run.log_off);
+      put_u64(buf, run.data.size());
+      put_u64(buf, run.checksum);
+      append(buf, as_view(run.data));
+    }
+  }
+  put_u64(buf, content_checksum(as_view(buf)));
+
+  const std::string final_path = checkpoint_path(dir, lsn);
+  const std::string tmp_path = final_path + ".tmp";
+  const int fd = ::open(tmp_path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd < 0) return {Errc::io_error, tmp_path + ": " + std::strerror(errno)};
+  const std::byte* p = buf.data();
+  std::size_t left = buf.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return {Errc::io_error, std::string("checkpoint write: ") + std::strerror(errno)};
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    return {Errc::io_error, std::string("checkpoint fsync: ") + std::strerror(errno)};
+  }
+  ::close(fd);
+  std::error_code ec;
+  std::filesystem::rename(tmp_path, final_path, ec);
+  if (ec) return {Errc::io_error, "checkpoint rename: " + ec.message()};
+  return Status::success();
+}
+
+std::vector<std::pair<std::uint64_t, std::string>> list_checkpoints(const std::string& dir) {
+  std::vector<std::pair<std::uint64_t, std::string>> out;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() <= sizeof(kPrefix) - 1 + sizeof(kSuffix) - 1) continue;
+    if (name.compare(0, sizeof(kPrefix) - 1, kPrefix) != 0) continue;
+    if (name.compare(name.size() - (sizeof(kSuffix) - 1), sizeof(kSuffix) - 1, kSuffix) != 0) {
+      continue;
+    }
+    const std::string digits = name.substr(
+        sizeof(kPrefix) - 1, name.size() - (sizeof(kPrefix) - 1) - (sizeof(kSuffix) - 1));
+    char* end = nullptr;
+    const std::uint64_t lsn = std::strtoull(digits.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') continue;
+    out.emplace_back(lsn, entry.path().string());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  return out;
+}
+
+std::uint64_t newest_checkpoint_lsn(const std::string& dir) {
+  const auto all = list_checkpoints(dir);
+  return all.empty() ? 0 : all.front().first;
+}
+
+CheckpointState load_newest_checkpoint(const std::string& dir) {
+  CheckpointState none;
+  for (const auto& [lsn, path] : list_checkpoints(dir)) {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (!f) {
+      ++none.skipped;
+      continue;
+    }
+    std::fseek(f, 0, SEEK_END);
+    const long sz = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    Bytes buf(sz > 0 ? static_cast<std::size_t>(sz) : 0);
+    const bool read_ok =
+        buf.empty() || std::fread(buf.data(), 1, buf.size(), f) == buf.size();
+    std::fclose(f);
+    if (read_ok) {
+      if (auto state = parse_checkpoint(as_view(buf))) {
+        state->skipped = none.skipped;
+        return *std::move(state);
+      }
+    }
+    ++none.skipped;
+  }
+  return none;
+}
+
+}  // namespace bsc::persist

@@ -1,0 +1,71 @@
+// Checkpoint files: point-in-time snapshots of a storage engine's object
+// table (keys, logical lengths, versions) and extent data, so recovery can
+// bound WAL replay.
+//
+// File layout (`<dir>/checkpoint-<lsn>.ckpt`, integers little-endian):
+//
+//   magic "BSCCKPT1" (8 bytes) | u32 format_version | u64 lsn | u64 count
+//   count x object:
+//     u32 key_len | key | u64 length | u64 version | u32 run_count
+//     run_count x run: u64 log_off | u64 data_len | u64 checksum | data
+//   u64 file_checksum       (content_checksum of everything before it)
+//
+// Runs are the object's live extents in ascending log_off order; holes are
+// simply absent (so sparse objects stay sparse across recovery). The file
+// is written to a `.tmp` sibling, fsynced, then renamed — a crash mid-write
+// never leaves a half-checkpoint under the live name, and the trailing
+// whole-file checksum rejects bit flips. Recovery walks checkpoints newest
+// first and skips any that fail validation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+
+namespace bsc::persist {
+
+/// One contiguous run of object data at logical offset `log_off`.
+struct CheckpointRun {
+  std::uint64_t log_off = 0;
+  Bytes data;
+  std::uint64_t checksum = 0;  ///< content_checksum(data)
+};
+
+struct CheckpointObject {
+  std::string key;
+  std::uint64_t length = 0;   ///< logical length (>= last run end for sparse tails)
+  std::uint64_t version = 0;
+  std::vector<CheckpointRun> runs;  ///< ascending log_off, non-overlapping
+};
+
+/// A parsed checkpoint (or the absence of one).
+struct CheckpointState {
+  bool found = false;
+  std::uint64_t lsn = 0;  ///< WAL records with lsn <= this are covered
+  std::vector<CheckpointObject> objects;
+  std::uint32_t skipped = 0;  ///< newer checkpoints rejected as corrupt
+};
+
+/// Write `checkpoint-<lsn>.ckpt` into `dir` (atomically via tmp + rename).
+Status write_checkpoint(const std::string& dir, std::uint64_t lsn,
+                        const std::vector<CheckpointObject>& objects);
+
+/// All checkpoint files in `dir` as (lsn, path), newest first. Based on
+/// file names only — validation happens at load time.
+[[nodiscard]] std::vector<std::pair<std::uint64_t, std::string>> list_checkpoints(
+    const std::string& dir);
+
+/// Highest checkpoint LSN present by file name (0 when none). Upper bound
+/// only; used to keep journal LSNs advancing past pruned history.
+[[nodiscard]] std::uint64_t newest_checkpoint_lsn(const std::string& dir);
+
+/// Load the newest checkpoint that passes validation (magic, format,
+/// whole-file checksum, structural parse), skipping corrupt ones.
+/// `found == false` (with `skipped` populated) when none survives.
+[[nodiscard]] CheckpointState load_newest_checkpoint(const std::string& dir);
+
+}  // namespace bsc::persist

@@ -1,0 +1,70 @@
+#include "persist/fault_file.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+
+namespace bsc::persist {
+
+Result<std::uint64_t> FaultFile::size() const {
+  std::error_code ec;
+  const auto n = std::filesystem::file_size(path_, ec);
+  if (ec) return {Errc::not_found, path_ + ": " + ec.message()};
+  return static_cast<std::uint64_t>(n);
+}
+
+Status FaultFile::truncate_to(std::uint64_t new_size) {
+  auto cur = size();
+  if (!cur.ok()) return cur.error();
+  if (new_size >= cur.value()) return Status::success();
+  std::error_code ec;
+  std::filesystem::resize_file(path_, new_size, ec);
+  if (ec) return {Errc::io_error, path_ + ": " + ec.message()};
+  return Status::success();
+}
+
+Status FaultFile::flip_byte(std::uint64_t offset) {
+  std::FILE* f = std::fopen(path_.c_str(), "r+b");
+  if (!f) return {Errc::not_found, path_};
+  if (std::fseek(f, static_cast<long>(offset), SEEK_SET) != 0) {
+    std::fclose(f);
+    return {Errc::out_of_range, path_};
+  }
+  const int c = std::fgetc(f);
+  if (c == EOF) {
+    std::fclose(f);
+    return {Errc::out_of_range, path_};
+  }
+  std::fseek(f, static_cast<long>(offset), SEEK_SET);
+  std::fputc(c ^ 0xff, f);
+  std::fclose(f);
+  return Status::success();
+}
+
+Status FaultFile::append_garbage(std::uint64_t n) {
+  std::FILE* f = std::fopen(path_.c_str(), "ab");
+  if (!f) return {Errc::not_found, path_};
+  for (std::uint64_t i = 0; i < n; ++i) std::fputc(0xa5, f);
+  std::fclose(f);
+  return Status::success();
+}
+
+TempDir::TempDir() {
+  std::string tmpl =
+      (std::filesystem::temp_directory_path() / "bsc-persist-XXXXXX").string();
+  char* made = ::mkdtemp(tmpl.data());
+  path_ = made ? made : tmpl;  // mkdtemp failure surfaces as open() errors later
+}
+
+TempDir::~TempDir() {
+  if (!path_.empty()) {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+}
+
+}  // namespace bsc::persist

@@ -1,0 +1,54 @@
+// Crash-injection harness for the persistence tests and benches.
+//
+// FaultFile mutates an on-disk file the way real failures do:
+//   * truncate_to — a torn write / crash mid-append (the tail vanishes),
+//   * flip_byte   — silent media corruption (one bit pattern inverted),
+//   * append_garbage — a partial fsync that left junk past the last record.
+//
+// TempDir is the matching scratch-directory guard (mkdtemp + recursive
+// remove on destruction) so every test/bench run gets an isolated
+// persistence directory.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.hpp"
+
+namespace bsc::persist {
+
+class FaultFile {
+ public:
+  explicit FaultFile(std::string path) : path_(std::move(path)) {}
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  [[nodiscard]] Result<std::uint64_t> size() const;
+
+  /// Cut the file to `new_size` bytes (no-op if already shorter).
+  Status truncate_to(std::uint64_t new_size);
+
+  /// XOR the byte at `offset` with 0xff.
+  Status flip_byte(std::uint64_t offset);
+
+  /// Append `n` bytes of non-zero junk.
+  Status append_garbage(std::uint64_t n);
+
+ private:
+  std::string path_;
+};
+
+/// Scratch directory under the system temp root; removed on destruction.
+class TempDir {
+ public:
+  TempDir();
+  ~TempDir();
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace bsc::persist
