@@ -166,6 +166,10 @@ class CapturingReporter : public benchmark::ConsoleReporter {
       if (bps != run.counters.end()) r.bytes_per_s = bps->second;
       auto sim = run.counters.find("sim_us_per_op");
       if (sim != run.counters.end()) r.sim_us_per_op = sim->second;
+      auto p50 = run.counters.find("sim_p50_us");
+      if (p50 != run.counters.end()) r.sim_p50_us = p50->second;
+      auto p99 = run.counters.find("sim_p99_us");
+      if (p99 != run.counters.end()) r.sim_p99_us = p99->second;
       results.push_back(std::move(r));
     }
     benchmark::ConsoleReporter::ReportRuns(runs);

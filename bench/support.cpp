@@ -166,10 +166,11 @@ bool write_bench_json(const std::string& path, const RunMeta& meta,
     // Names are benchmark identifiers (no quotes/backslashes) — emit as-is.
     std::fprintf(f,
                  "    {\"name\": \"%s\", \"iterations\": %llu, \"ns_per_op\": %.3f, "
-                 "\"bytes_per_s\": %.1f, \"sim_us_per_op\": %.3f}%s\n",
+                 "\"bytes_per_s\": %.1f, \"sim_us_per_op\": %.3f, "
+                 "\"sim_p50_us\": %.3f, \"sim_p99_us\": %.3f}%s\n",
                  r.name.c_str(), static_cast<unsigned long long>(r.iterations),
-                 r.ns_per_op, r.bytes_per_s, r.sim_us_per_op,
-                 i + 1 < results.size() ? "," : "");
+                 r.ns_per_op, r.bytes_per_s, r.sim_us_per_op, r.sim_p50_us,
+                 r.sim_p99_us, i + 1 < results.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);

@@ -61,13 +61,18 @@ apps::SparkSuiteResult run_spark(Backend backend, std::uint32_t storage_nodes = 
 // --- machine-readable results (--json mode, schema in EXPERIMENTS.md) ---
 
 /// One benchmark result row. `sim_us_per_op` is 0 when the benchmark has no
-/// simulated-time dimension (pure wall-clock micro).
+/// simulated-time dimension (pure wall-clock micro). `sim_p50_us` /
+/// `sim_p99_us` are per-operation simulated-completion-time percentiles —
+/// the tail-latency dimension fault benchmarks live on — and stay 0 for
+/// benchmarks that only report means.
 struct BenchResult {
   std::string name;
   std::uint64_t iterations = 0;
   double ns_per_op = 0.0;
   double bytes_per_s = 0.0;
   double sim_us_per_op = 0.0;
+  double sim_p50_us = 0.0;
+  double sim_p99_us = 0.0;
 };
 
 /// Run metadata embedded in every --json output (the `meta` object): enough

@@ -10,10 +10,87 @@ namespace {
 /// Wire envelope overhead of a request/response (header, op code, status).
 constexpr std::uint64_t kEnvelope = 32;
 
+/// Wire size of a version-probe request/response (stat of one key).
+constexpr std::uint64_t kProbeReq = 64;
+constexpr std::uint64_t kProbeResp = kEnvelope + 24;
+
 std::uint64_t req_bytes(std::string_view key, std::uint64_t payload = 0) {
   return kEnvelope + key.size() + payload;
 }
 }  // namespace
+
+BlobClient::AttemptPlan BlobClient::plan_attempt(BlobServer& srv, SimMicros attempt_start,
+                                                 std::uint64_t request_bytes) {
+  const auto& net = store_->cluster().net();
+  rpc::FaultVerdict v = store_->transport().admit(srv.node(), attempt_start);
+  AttemptPlan plan;
+  switch (v.kind) {
+    case rpc::FaultVerdict::Kind::deliver:
+      plan.delivered = true;
+      plan.extra_latency_us = v.extra_latency_us;
+      return plan;
+    case rpc::FaultVerdict::Kind::drop: {
+      // Lost request: indistinguishable from a slow reply, so the client
+      // burns the whole per-attempt deadline before concluding timeout.
+      const SimMicros deadline = store_->config().retry.attempt_deadline_us;
+      plan.failed_at = attempt_start +
+                       (deadline > 0 ? deadline : rpc::Transport::kDefaultDropWaitUs);
+      plan.err = Errc::timeout;
+      return plan;
+    }
+    case rpc::FaultVerdict::Kind::error:
+      // The node answered with a transient error after one short round trip.
+      plan.failed_at = attempt_start + 2 * net.transfer_us(request_bytes);
+      plan.err = Errc::unavailable;
+      return plan;
+    case rpc::FaultVerdict::Kind::outage:
+      // Connection refused: detected after the send attempt.
+      plan.failed_at = attempt_start + net.transfer_us(request_bytes);
+      plan.err = Errc::unavailable;
+      return plan;
+  }
+  plan.failed_at = attempt_start;
+  plan.err = Errc::io_error;
+  return plan;
+}
+
+SimMicros BlobClient::next_backoff(SimMicros* prev) {
+  const RetryPolicy& rp = store_->config().retry;
+  const SimMicros lo = rp.backoff_base_us;
+  const SimMicros hi = std::max(lo, *prev * 3);
+  SimMicros sleep = lo >= hi ? lo
+                             : static_cast<SimMicros>(rng_.next_in(
+                                   static_cast<std::int64_t>(lo), static_cast<std::int64_t>(hi)));
+  if (rp.backoff_cap_us > 0) sleep = std::min(sleep, rp.backoff_cap_us);
+  *prev = sleep;
+  return sleep;
+}
+
+BlobClient::LegDelivery BlobClient::try_deliver(BlobServer& srv, SimMicros start,
+                                                std::uint64_t request_bytes) {
+  const RetryPolicy& rp = store_->config().retry;
+  const std::uint32_t attempts = std::max<std::uint32_t>(1, rp.max_attempts);
+  SimMicros t = start;
+  SimMicros prev = rp.backoff_base_us;
+  LegDelivery out;
+  for (std::uint32_t a = 0; a < attempts; ++a) {
+    if (a > 0) {
+      t += next_backoff(&prev);
+      ++counters_.retries;
+    }
+    AttemptPlan p = plan_attempt(srv, t, request_bytes);
+    if (p.delivered) {
+      out.ok = true;
+      out.attempt_start = t;
+      out.extra_latency_us = p.extra_latency_us;
+      return out;
+    }
+    t = p.failed_at;
+    out.err = p.err;
+  }
+  out.failed_at = t;
+  return out;
+}
 
 Status BlobClient::mutation_leg(const std::string& ekey,
                                 const std::vector<BlobServer::TxnOp>& ops,
@@ -37,13 +114,14 @@ Status BlobClient::mutation_leg(const std::string& ekey,
   // Applicability check against the acting primary's current state, so the
   // apply below cannot fail on one replica and succeed on another. Ops in a
   // leg are validated sequentially (later ops see earlier ops' effects).
-  // Down replicas are skipped (degraded write); resync repairs them later.
   const auto acting = store_->first_up(replicas);
-  if (!acting) return {Errc::io_error, "all replicas down: " + ekey};
+  if (!acting) return {Errc::unavailable, "all replicas down: " + ekey};
   BlobServer& primary = store_->server(*acting);
   bool exists = !primary.version_matches(ekey, 0);
+  const bool pre_exists = exists;
   Status precheck = Status::success();
   std::uint64_t payload = 0;
+  bool ends_removed = exists;
   for (const auto& op : ops) {
     payload += op.data.size();
     switch (op.kind) {
@@ -68,35 +146,127 @@ Status BlobClient::mutation_leg(const std::string& ekey,
     }
     if (!precheck.ok()) break;
   }
+  ends_removed = !exists;
 
   const auto& net = store_->cluster().net();
   const std::uint64_t req = req_bytes(ekey, payload);
 
   if (!precheck.ok()) {
-    // Pay the failed round-trip to the primary.
+    // Pay the failed round-trip to the primary (the rejection itself is a
+    // tiny, delivered reply — a faulted leg would surface below anyway).
     const SimMicros done = primary.node().serve(start + net.transfer_us(req), 3);
     *completion = done + net.transfer_us(kEnvelope);
     return precheck;
   }
 
-  // Apply at the acting primary, then forward to the remaining live
-  // replicas in parallel; the client's ack waits for the slowest replica
-  // (strong durability, as in RADOS).
+  // Replica-version bookkeeping. `pre_version` is the authoritative base a
+  // replica must be at to apply this leg (else it missed earlier ops and
+  // would diverge — it gets a hint instead). `base` is the highest version
+  // any live replica holds: the post-apply version continues above it so
+  // versions never regress across remove/recreate cycles, keeping
+  // "max version = freshest" true for quorum arbitration. The version
+  // exchange piggybacks on the lock round already holding every replica.
+  const Version pre_version =
+      pre_exists ? primary.peek_version(ekey).value_or(0) : 0;
+  Version base = pre_version;
+  for (std::uint32_t rid : replicas) {
+    if (store_->is_down(rid)) continue;
+    base = std::max(base, store_->server(rid).peek_version(ekey).value_or(0));
+  }
+  const Version new_version = base + ops.size();
+  const bool continue_versions = base > pre_version;
+
+  // Coordinator leg: the acting primary must ack, with retries. Nothing has
+  // been applied anywhere if this fails — the mutation is atomically absent.
+  LegDelivery prim = try_deliver(primary, start, req);
+  if (!prim.ok) {
+    *completion = prim.failed_at;
+    return {prim.err, "primary unreachable: " + ekey};
+  }
   SimMicros svc0 = 0;
   Status st = primary.apply_txn_ops(ops, &svc0);
-  const SimMicros prim_done = primary.node().serve(start + net.transfer_us(req), svc0);
-  SimMicros done = prim_done;
-  for (std::uint32_t rid : replicas) {
-    if (!st.ok()) break;
-    if (rid == *acting || store_->is_down(rid)) continue;
-    SimMicros svc = 0;
-    BlobServer& rep = store_->server(rid);
-    Status rs = rep.apply_txn_ops(ops, &svc);
-    if (!rs.ok()) st = {Errc::io_error, "replica divergence: " + rs.message()};
-    done = std::max(done, rep.node().serve(prim_done + net.transfer_us(req), svc));
+  if (continue_versions && st.ok() && !ends_removed) {
+    (void)primary.force_version(ekey, new_version);
   }
-  *completion = done + net.transfer_us(kEnvelope);
-  return st;
+  const SimMicros prim_arrival =
+      prim.attempt_start + net.transfer_us(req) + prim.extra_latency_us;
+  const SimMicros prim_done = primary.node().serve(prim_arrival, svc0);
+  SimMicros done =
+      prim_done + net.transfer_us(kEnvelope) + prim.extra_latency_us;
+  if (!st.ok()) {
+    *completion = done;
+    return st;
+  }
+
+  // Forward to the remaining replicas in parallel (pipelined off the
+  // primary's apply). Down, stale, or unreachable replicas are misses.
+  std::uint32_t acks = 1;
+  std::vector<std::uint32_t> missed;
+  Errc miss_err = Errc::unavailable;
+  for (std::uint32_t rid : replicas) {
+    if (rid == *acting) continue;
+    if (store_->is_down(rid)) {
+      missed.push_back(rid);
+      continue;
+    }
+    BlobServer& rep = store_->server(rid);
+    if (!rep.version_matches(ekey, pre_version)) {
+      // Behind (missed earlier ops): applying would interleave histories.
+      missed.push_back(rid);
+      continue;
+    }
+    LegDelivery d = try_deliver(rep, prim_done, req);
+    if (!d.ok) {
+      missed.push_back(rid);
+      miss_err = d.err;
+      done = std::max(done, d.failed_at);
+      continue;
+    }
+    SimMicros svc = 0;
+    Status rs = rep.apply_txn_ops(ops, &svc);
+    if (!rs.ok()) {
+      st = {Errc::io_error, "replica divergence: " + rs.message()};
+      break;
+    }
+    if (continue_versions && !ends_removed) (void)rep.force_version(ekey, new_version);
+    ++acks;
+    const SimMicros arr = prim_done + net.transfer_us(req) + d.extra_latency_us;
+    done = std::max(done,
+                    rep.node().serve(arr, svc) + net.transfer_us(kEnvelope) +
+                        d.extra_latency_us);
+  }
+  *completion = done;
+  if (!st.ok()) return st;
+
+  // The op is now applied at the primary regardless of the quorum outcome;
+  // in quorum mode, hint every miss so the repair path knows exactly what
+  // to fix. Classic mode (W=0) keeps its original contract: the full
+  // digest resync repairs a recovered replica, no hints involved.
+  const std::uint32_t W = store_->config().write_quorum;
+  if (W > 0) {
+    for (std::uint32_t rid : missed) {
+      if (primary.add_hint(rid, ekey)) ++counters_.hints_written;
+    }
+  }
+
+  // Quorum evaluation. W=0 — classic all-live-replicas semantics. W>0 —
+  // W acks suffice, except for legs that END with the key removed: a
+  // removal must reach every live replica, or a stale copy could win
+  // version arbitration against "absent" (there are no tombstones).
+  bool quorum_met;
+  if (W == 0 || ends_removed) {
+    quorum_met = true;
+    for (std::uint32_t rid : missed) {
+      if (!store_->is_down(rid)) quorum_met = false;
+    }
+  } else {
+    quorum_met = acks >= std::min<std::uint32_t>(W, replicas.size());
+  }
+  if (!quorum_met) {
+    return {miss_err, "insufficient acks: " + ekey};
+  }
+  if (!missed.empty()) ++counters_.quorum_degraded_writes;
+  return Status::success();
 }
 
 Status BlobClient::replicated_mutation(std::string_view key,
@@ -109,31 +279,227 @@ Status BlobClient::replicated_mutation(std::string_view key,
   return st;
 }
 
+BlobClient::ProbeRound BlobClient::quorum_probe(const std::string& ekey,
+                                                const std::vector<std::uint32_t>& lives,
+                                                std::uint32_t quorum, SimMicros start) {
+  const auto& net = store_->cluster().net();
+  ProbeRound out;
+  struct Probe {
+    std::uint32_t rid;
+    Version v;
+    SimMicros done;
+    BlobStat stat;
+    bool found;
+  };
+  std::vector<Probe> got;
+  SimMicros slowest = start;
+  Errc last_err = Errc::unavailable;
+  for (std::uint32_t rid : lives) {
+    if (got.size() >= quorum) break;
+    BlobServer& srv = store_->server(rid);
+    LegDelivery d = try_deliver(srv, start, kProbeReq);
+    if (!d.ok) {
+      slowest = std::max(slowest, d.failed_at);
+      last_err = d.err;
+      continue;
+    }
+    SimMicros svc = 0;
+    auto s = srv.stat(ekey, &svc);
+    const SimMicros arr = d.attempt_start + net.transfer_us(kProbeReq) + d.extra_latency_us;
+    const SimMicros pdone =
+        srv.node().serve(arr, svc) + net.transfer_us(kProbeResp) + d.extra_latency_us;
+    got.push_back({rid, s.ok() ? s.value().version : 0, pdone,
+                   s.ok() ? s.value() : BlobStat{ekey, 0, 0}, s.ok()});
+  }
+  if (got.size() < quorum) {
+    out.done = slowest;
+    out.err = last_err;
+    return out;
+  }
+  out.ok = true;
+  out.done = start;
+  Version maxv = 0;
+  bool any_found = false;
+  for (const Probe& p : got) {
+    out.done = std::max(out.done, p.done);
+    any_found = any_found || p.found;
+    maxv = std::max(maxv, p.v);
+  }
+  out.found = any_found;
+  for (const Probe& p : got) {
+    if (p.found && p.v == maxv) {
+      if (out.fresh.empty()) out.stat = p.stat;
+      out.fresh.push_back(p.rid);
+    }
+  }
+  return out;
+}
+
+SimMicros BlobClient::hedge_delay() const {
+  const HedgePolicy& h = store_->config().hedge;
+  if (!h.enabled) return 0;
+  if (read_latency_.count() >= h.min_samples) {
+    return static_cast<SimMicros>(read_latency_.percentile(h.percentile));
+  }
+  return h.fixed_delay_us;
+}
+
 Result<ReadOutcome> BlobClient::read_leg(const std::string& ekey, std::uint64_t off,
                                          std::uint64_t len, SimMicros start,
                                          SimMicros* completion) {
   *completion = start;
   const auto replicas = store_->replicas_of(ekey);
   if (replicas.empty()) return {Errc::no_space, "no storage nodes in ring"};
-  // Failover: reads are served by the first live replica.
-  const auto acting = store_->first_up(replicas);
-  if (!acting) return {Errc::io_error, "all replicas down: " + ekey};
-  BlobServer& primary = store_->server(*acting);
+  std::vector<std::uint32_t> lives;
+  for (std::uint32_t rid : replicas) {
+    if (!store_->is_down(rid)) lives.push_back(rid);
+  }
+  if (lives.empty()) return {Errc::unavailable, "all replicas down: " + ekey};
+
   const auto& net = store_->cluster().net();
-  SimMicros svc = 0;
-  auto r = primary.read(ekey, off, len, &svc);
-  const std::uint64_t resp = kEnvelope + (r.ok() ? r.value().data.size() : 0);
-  const SimMicros served = primary.node().serve(start + net.transfer_us(req_bytes(ekey)), svc);
-  *completion = served + net.transfer_us(resp);
-  return r;
+  const std::uint64_t req = req_bytes(ekey);
+  const std::uint32_t R = store_->config().read_quorum();
+
+  // Candidate servers to read from, in preference order. With R == 1 every
+  // live replica is equally fresh (writes ack on all live replicas); with
+  // R > 1 a version-probe round first finds the freshest responders.
+  std::vector<std::uint32_t> candidates = lives;
+  SimMicros t = start;
+  if (R > 1) {
+    ProbeRound probe = quorum_probe(ekey, lives, std::min<std::uint32_t>(R, lives.size()),
+                                    start);
+    if (!probe.ok) {
+      *completion = probe.done;
+      return {probe.err, "read quorum unreachable: " + ekey};
+    }
+    t = probe.done;  // barrier: arbitration needs all R probe replies
+    if (!probe.found) {
+      *completion = t;
+      return {Errc::not_found, ekey};
+    }
+    candidates = probe.fresh;
+  }
+
+  Error last{Errc::unavailable, "unreachable: " + ekey};
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (i > 0) ++counters_.failovers;
+    BlobServer& srv = store_->server(candidates[i]);
+    LegDelivery d = try_deliver(srv, t, req);
+    if (!d.ok) {
+      t = d.failed_at;
+      last = {d.err, "unreachable: " + ekey};
+      continue;
+    }
+    SimMicros svc = 0;
+    auto r = srv.read(ekey, off, len, &svc);
+    const std::uint64_t resp = kEnvelope + (r.ok() ? r.value().data.size() : 0);
+    const SimMicros arr = d.attempt_start + net.transfer_us(req) + d.extra_latency_us;
+    SimMicros comp =
+        srv.node().serve(arr, svc) + net.transfer_us(resp) + d.extra_latency_us;
+
+    // Hedging: when this leg ran past the hedge delay, a speculative copy
+    // of the request goes to the next equally fresh candidate, and the
+    // caller takes whichever reply lands first (contents are identical).
+    const SimMicros delay = hedge_delay();
+    if (delay > 0 && comp - d.attempt_start > delay && i + 1 < candidates.size()) {
+      ++counters_.hedges;
+      BlobServer& alt = store_->server(candidates[i + 1]);
+      const SimMicros h_start = d.attempt_start + delay;
+      AttemptPlan hp = plan_attempt(alt, h_start, req);
+      if (hp.delivered) {
+        SimMicros hsvc = 0;
+        auto hr = alt.read(ekey, off, len, &hsvc);
+        if (hr.ok() == r.ok()) {
+          const SimMicros h_arr =
+              h_start + net.transfer_us(req) + hp.extra_latency_us;
+          const SimMicros h_comp = alt.node().serve(h_arr, hsvc) +
+                                   net.transfer_us(resp) + hp.extra_latency_us;
+          comp = std::min(comp, h_comp);
+        }
+      }
+    }
+    read_latency_.add(static_cast<std::uint64_t>(comp - d.attempt_start));
+    *completion = comp;
+    return r;  // a delivered reply is authoritative, not_found included
+  }
+  *completion = t;
+  return last;
+}
+
+Result<BlobStat> BlobClient::stat_leg(const std::string& ekey, SimMicros start,
+                                      SimMicros* completion) {
+  *completion = start;
+  const auto replicas = store_->replicas_of(ekey);
+  if (replicas.empty()) return {Errc::no_space, "no storage nodes in ring"};
+  std::vector<std::uint32_t> lives;
+  for (std::uint32_t rid : replicas) {
+    if (!store_->is_down(rid)) lives.push_back(rid);
+  }
+  if (lives.empty()) return {Errc::unavailable, "all replicas down: " + ekey};
+
+  const std::uint32_t R = store_->config().read_quorum();
+  const auto& net = store_->cluster().net();
+
+  if (R > 1) {
+    ProbeRound probe = quorum_probe(ekey, lives, std::min<std::uint32_t>(R, lives.size()),
+                                    start);
+    *completion = probe.done;
+    if (!probe.ok) return {probe.err, "read quorum unreachable: " + ekey};
+    if (!probe.found) return {Errc::not_found, ekey};
+    return probe.stat;
+  }
+
+  SimMicros t = start;
+  Error last{Errc::unavailable, "unreachable: " + ekey};
+  for (std::size_t i = 0; i < lives.size(); ++i) {
+    if (i > 0) ++counters_.failovers;
+    BlobServer& srv = store_->server(lives[i]);
+    LegDelivery d = try_deliver(srv, t, kProbeReq);
+    if (!d.ok) {
+      t = d.failed_at;
+      last = {d.err, "unreachable: " + ekey};
+      continue;
+    }
+    SimMicros svc = 0;
+    auto s = srv.stat(ekey, &svc);
+    const SimMicros arr = d.attempt_start + net.transfer_us(kProbeReq) + d.extra_latency_us;
+    *completion =
+        srv.node().serve(arr, svc) + net.transfer_us(kProbeResp) + d.extra_latency_us;
+    if (!s.ok()) return s.error();
+    return s;
+  }
+  *completion = t;
+  return last;
 }
 
 Result<std::uint64_t> BlobClient::peek_logical_size(const std::string& ekey) {
   const auto replicas = store_->replicas_of(ekey);
   if (replicas.empty()) return {Errc::no_space, "no storage nodes in ring"};
   const auto acting = store_->first_up(replicas);
-  if (!acting) return {Errc::io_error, "all replicas down: " + ekey};
-  return store_->server(*acting).peek_size(ekey);
+  if (!acting) return {Errc::unavailable, "all replicas down: " + ekey};
+  if (store_->config().write_quorum == 0) {
+    // Classic mode: every live replica holds every acked op, the acting
+    // primary included.
+    return store_->server(*acting).peek_size(ekey);
+  }
+  // Quorum mode: the freshest live replica wins (a stale primary may have
+  // missed acked writes that went through a previous acting primary).
+  bool found = false;
+  Version best_v = 0;
+  std::uint64_t best_size = 0;
+  for (std::uint32_t rid : replicas) {
+    if (store_->is_down(rid)) continue;
+    BlobServer& srv = store_->server(rid);
+    auto v = srv.peek_version(ekey);
+    if (!v.ok()) continue;
+    if (!found || v.value() > best_v) {
+      found = true;
+      best_v = v.value();
+      best_size = srv.peek_size(ekey).value_or(0);
+    }
+  }
+  if (!found) return {Errc::not_found, ekey};
+  return best_size;
 }
 
 Status BlobClient::create(std::string_view key) {
@@ -179,20 +545,11 @@ Result<Bytes> BlobClient::read(std::string_view key, std::uint64_t offset,
   ++counters_.reads;
   const std::uint64_t cb = store_->config().chunk_bytes;
   if (cb == 0 || offset + len <= cb) {
-    // Single-chunk fast path: one round trip to the acting primary.
-    const auto replicas = store_->replicas_of(key);
-    if (replicas.empty()) return {Errc::no_space, "no storage nodes in ring"};
-    const auto acting = store_->first_up(replicas);
-    if (!acting) return {Errc::io_error, "all replicas down: " + std::string{key}};
-    BlobServer& primary = store_->server(*acting);
-    SimMicros svc = 0;
-    auto r = primary.read(std::string{key}, offset, len, &svc);
-    const std::uint64_t resp = kEnvelope + (r.ok() ? r.value().data.size() : 0);
-    if (agent_) {
-      store_->transport().call(*agent_, primary.node(), req_bytes(key), resp, svc);
-    } else {
-      primary.node().serve(0, svc);
-    }
+    // Single-chunk fast path: one leg (failover/quorum logic inside).
+    const SimMicros start = agent_ ? agent_->now() : 0;
+    SimMicros comp = start;
+    auto r = read_leg(std::string{key}, offset, len, start, &comp);
+    if (agent_) agent_->advance_to(comp);
     if (!r.ok()) return r.error();
     counters_.bytes_read += r.value().data.size();
     return std::move(r.value().data);
@@ -255,30 +612,21 @@ Result<Bytes> BlobClient::read(std::string_view key, std::uint64_t offset,
 
 Result<std::uint64_t> BlobClient::size(std::string_view key) {
   ++counters_.sizes;
-  const auto replicas = store_->replicas_of(key);
-  if (replicas.empty()) return {Errc::no_space, "no storage nodes in ring"};
-  const auto acting = store_->first_up(replicas);
-  if (!acting) return {Errc::io_error, "all replicas down: " + std::string{key}};
-  BlobServer& primary = store_->server(*acting);
-  SimMicros svc = 0;
+  const SimMicros start = agent_ ? agent_->now() : 0;
+  SimMicros comp = start;
   // Chunk 0 carries the full logical size of a striped blob.
-  auto r = primary.size(std::string{key}, &svc);
-  if (agent_) store_->transport().call(*agent_, primary.node(), req_bytes(key), kEnvelope, svc);
-  return r;
+  auto s = stat_leg(std::string{key}, start, &comp);
+  if (agent_) agent_->advance_to(comp);
+  if (!s.ok()) return s.error();
+  return s.value().size;
 }
 
 Result<BlobStat> BlobClient::stat(std::string_view key) {
-  const auto replicas = store_->replicas_of(key);
-  if (replicas.empty()) return {Errc::no_space, "no storage nodes in ring"};
-  const auto acting = store_->first_up(replicas);
-  if (!acting) return {Errc::io_error, "all replicas down: " + std::string{key}};
-  BlobServer& primary = store_->server(*acting);
-  SimMicros svc = 0;
-  auto r = primary.stat(std::string{key}, &svc);
-  if (agent_) {
-    store_->transport().call(*agent_, primary.node(), req_bytes(key), kEnvelope + 24, svc);
-  }
-  return r;
+  const SimMicros start = agent_ ? agent_->now() : 0;
+  SimMicros comp = start;
+  auto s = stat_leg(std::string{key}, start, &comp);
+  if (agent_) agent_->advance_to(comp);
+  return s;
 }
 
 bool BlobClient::exists(std::string_view key) { return stat(key).ok(); }
@@ -406,6 +754,9 @@ Result<std::vector<BlobStat>> BlobClient::scan(std::string_view prefix) {
   // copies of the same key) and present a sorted global namespace view.
   // Internal chunk keys are implementation detail — hidden from the
   // namespace (their bytes are reported via chunk 0's logical size).
+  // Namespace enumeration is management-plane traffic on the reliable
+  // channel: a scan's answer is best-effort by nature (it merges whatever
+  // the live servers hold), so injected faults add nothing to test here.
   std::map<std::string, BlobStat> merged;
   SimMicros done = start;
   for (std::size_t i = 0; i < store_->server_count(); ++i) {
@@ -468,6 +819,7 @@ Status BlobTransaction::commit() {
   ++c.counters_.txns;
   if (ops_.empty()) return Status::success();
   BlobStore& store = c.store();
+  const std::uint32_t W = store.config().write_quorum;
 
   // Involved servers: every replica of every touched key.
   std::set<std::uint32_t> involved;
@@ -485,6 +837,9 @@ Status BlobTransaction::commit() {
   // Lock phase: whole-server exclusive locks in ascending node id order —
   // the one global order shared with the per-key mutation path, which rules
   // out deadlock between concurrent transactions and striped writers alike.
+  // The commit protocol itself runs on the reliable channel (Týr's commit
+  // rounds carry their own acknowledgment/retry machinery); what failures
+  // leave behind is modeled by the version gating below.
   std::vector<std::unique_lock<std::shared_mutex>> locks;
   locks.reserve(involved.size());
   for (std::uint32_t n : involved) locks.push_back(store.server(n).lock_exclusive());
@@ -500,12 +855,45 @@ Status BlobTransaction::commit() {
     prepare_done = std::max(prepare_done, store.server(n).node().serve(arr, 3));
   }
 
-  // Precondition validation at the acting primaries.
-  for (const auto& [key, expected] : preconditions_) {
+  // Authoritative per-key version: the freshest live replica (in classic
+  // mode every live replica agrees; in quorum mode stale replicas may lag).
+  std::set<std::string> touched;
+  for (const auto& op : ops_) touched.insert(op.key);
+  std::map<std::string, Version> auth;
+  std::map<std::string, std::uint32_t> auth_holder;
+  for (const std::string& key : touched) {
     const auto reps = store.replicas_of(key);
     const auto acting = store.first_up(reps);
-    if (reps.empty() || !acting ||
-        !store.server(*acting).version_matches(key, expected)) {
+    if (!acting) {
+      if (agent) agent->advance_to(prepare_done + net.transfer_us(32));
+      return {Errc::unavailable, "all replicas down: " + key};
+    }
+    Version v = 0;
+    std::uint32_t holder = *acting;
+    for (std::uint32_t r : reps) {
+      if (store.is_down(r)) continue;
+      auto rv = store.server(r).peek_version(key);
+      if (rv.ok() && rv.value() > v) {
+        v = rv.value();
+        holder = r;
+      }
+    }
+    auth[key] = v;
+    auth_holder[key] = holder;
+  }
+
+  // Precondition validation against the authoritative versions.
+  for (const auto& [key, expected] : preconditions_) {
+    const Version have = auth.count(key) ? auth[key] : [&] {
+      Version v = 0;
+      for (std::uint32_t r : store.replicas_of(key)) {
+        if (store.is_down(r)) continue;
+        auto rv = store.server(r).peek_version(key);
+        if (rv.ok()) v = std::max(v, rv.value());
+      }
+      return v;
+    }();
+    if (have != expected) {
       if (agent) agent->advance_to(prepare_done + net.transfer_us(32));
       return {Errc::conflict, "precondition failed: " + key};
     }
@@ -517,13 +905,10 @@ Status BlobTransaction::commit() {
   // ops on the same key is fine; validation only checks the initial state.
   std::set<std::string> created_in_txn;
   for (const auto& op : ops_) {
-    const auto reps = store.replicas_of(op.key);
-    const auto acting = store.first_up(reps);
-    if (!acting) {
-      if (agent) agent->advance_to(prepare_done + net.transfer_us(32));
-      return {Errc::io_error, "all replicas down: " + op.key};
-    }
-    const bool pre_exists = !store.server(*acting).version_matches(op.key, 0);
+    const bool pre_exists = [&] {
+      const std::uint32_t holder = auth_holder[op.key];
+      return !store.server(holder).version_matches(op.key, 0);
+    }();
     const bool exists = pre_exists || created_in_txn.count(op.key) != 0;
     bool applicable = true;
     switch (op.kind) {
@@ -546,14 +931,72 @@ Status BlobTransaction::commit() {
     }
   }
 
-  // Commit round: apply the batch on every involved server (replicas too).
+  // Freshness gate: a replica applies a key's ops only from the
+  // authoritative version (else histories would interleave). Because the
+  // exclusive locks freeze every version, ack counts are known BEFORE
+  // anything applies — an under-replicated key aborts the whole
+  // transaction atomically instead of committing partially.
+  std::map<std::uint32_t, std::set<std::string>> stale;  // server -> gated keys
+  for (const std::string& key : touched) {
+    std::uint32_t acks = 0;
+    std::uint32_t live = 0;
+    const auto reps = store.replicas_of(key);
+    for (std::uint32_t r : reps) {
+      if (store.is_down(r)) continue;
+      ++live;
+      auto rv = store.server(r).peek_version(key);
+      const Version have = rv.ok() ? rv.value() : 0;
+      if (have == auth[key]) {
+        ++acks;
+      } else {
+        stale[r].insert(key);
+      }
+    }
+    const std::uint32_t need =
+        (W == 0) ? live : std::min<std::uint32_t>(W, static_cast<std::uint32_t>(reps.size()));
+    if (acks < need || acks == 0) {
+      if (agent) agent->advance_to(prepare_done + net.transfer_us(32));
+      return {Errc::unavailable, "insufficient fresh replicas: " + key};
+    }
+  }
+
+  // Commit round: apply the batch on every involved fresh server; gated
+  // (stale) replicas are hinted for repair instead.
   SimMicros commit_done = prepare_done;
   Status failure = Status::success();
+  std::map<std::string, std::uint64_t> key_op_count;
+  for (const auto& op : ops_) ++key_op_count[op.key];
   for (auto& [n, server_ops] : per_server) {
     if (store.is_down(n)) continue;  // degraded commit; resync repairs later
+    std::vector<BlobServer::TxnOp> runnable;
+    const auto& gated = stale.count(n) ? stale[n] : std::set<std::string>{};
+    for (const auto& op : server_ops) {
+      if (!gated.count(op.key)) runnable.push_back(op);
+    }
+    for (const std::string& key : gated) {
+      if (W > 0 && store.server(auth_holder[key]).add_hint(n, key)) {
+        ++c.counters_.hints_written;
+      }
+    }
+    if (runnable.empty()) continue;
     SimMicros svc = 0;
-    Status st = store.server(n).apply_txn_ops(server_ops, &svc);
+    Status st = store.server(n).apply_txn_ops(runnable, &svc);
     if (!st.ok() && failure.ok()) failure = st;
+    // Version continuation: a remove+recreate inside the transaction resets
+    // the engine version, which could lose arbitration against a stale
+    // copy. Lift such keys to a floor above every pre-commit version. Plain
+    // mutations already land above the floor — no extra journaling.
+    if (st.ok()) {
+      std::set<std::string> seen;
+      for (const auto& op : runnable) {
+        if (!seen.insert(op.key).second) continue;
+        const Version floor = auth[op.key] + key_op_count[op.key];
+        auto pv = store.server(n).peek_version(op.key);
+        if (pv.ok() && pv.value() < floor) {
+          (void)store.server(n).force_version(op.key, floor);
+        }
+      }
+    }
     const SimMicros arr = prepare_done + net.transfer_us(64 + payload);
     commit_done = std::max(commit_done, store.server(n).node().serve(arr, svc));
   }

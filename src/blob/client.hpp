@@ -33,6 +33,8 @@
 
 #include "blob/store.hpp"
 #include "common/result.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
 #include "sim/sim_clock.hpp"
 
 namespace bsc::blob {
@@ -48,6 +50,13 @@ struct ClientCounters {
   std::uint64_t txns = 0;
   std::uint64_t bytes_read = 0;
   std::uint64_t bytes_written = 0;
+  // Fault-tolerance machinery (see DESIGN.md "Fault model").
+  std::uint64_t retries = 0;                ///< re-sent attempts after timeout/error
+  std::uint64_t hedges = 0;                 ///< speculative second read legs fired
+  std::uint64_t failovers = 0;              ///< read legs moved to another replica
+  std::uint64_t quorum_degraded_writes = 0; ///< acked mutations that missed >=1 replica
+  std::uint64_t hints_written = 0;          ///< hinted-handoff entries recorded
+  std::uint64_t hints_drained = 0;          ///< hint repairs this client executed
 };
 
 class BlobTransaction;
@@ -89,10 +98,57 @@ class BlobClient {
  private:
   friend class BlobTransaction;
 
+  /// Fate of one fault-injected request attempt, planned from the leg's own
+  /// fork time (scatter-gather legs do not run at the agent's clock, so the
+  /// client charges costs itself instead of going through Transport::call).
+  struct AttemptPlan {
+    bool delivered = false;
+    SimMicros extra_latency_us = 0;  ///< per network leg, when delivered
+    SimMicros failed_at = 0;         ///< failure-detection time, when not
+    Errc err = Errc::ok;
+  };
+  AttemptPlan plan_attempt(BlobServer& srv, SimMicros attempt_start,
+                           std::uint64_t request_bytes);
+
+  /// Decorrelated-jitter backoff (simulated time): sleep drawn uniformly
+  /// from [base, prev*3], clamped to the policy cap. Mutates *prev.
+  SimMicros next_backoff(SimMicros* prev);
+
+  /// Drive one request leg to delivery, retrying per RetryPolicy with
+  /// backoff. On success `attempt_start` is the (possibly backed-off) send
+  /// time of the delivered attempt; on failure `failed_at` is when the last
+  /// attempt's failure was detected.
+  struct LegDelivery {
+    bool ok = false;
+    SimMicros attempt_start = 0;
+    SimMicros extra_latency_us = 0;
+    SimMicros failed_at = 0;
+    Errc err = Errc::ok;
+  };
+  LegDelivery try_deliver(BlobServer& srv, SimMicros start, std::uint64_t request_bytes);
+
+  /// Version-probe round for quorum reads: stat `ekey` on live replicas (in
+  /// replica order, each with retries) until `quorum` respond. `absent`
+  /// responses participate with version 0.
+  struct ProbeRound {
+    bool ok = false;           ///< quorum responders gathered
+    Errc err = Errc::ok;       ///< failure reason when !ok
+    SimMicros done = 0;        ///< barrier: slowest used probe (or last failure)
+    std::vector<std::uint32_t> fresh;  ///< responders at the max version, replica order
+    BlobStat stat;             ///< freshest responder's stat
+    bool found = false;        ///< false: every responder reported absent
+  };
+  ProbeRound quorum_probe(const std::string& ekey,
+                          const std::vector<std::uint32_t>& lives,
+                          std::uint32_t quorum, SimMicros start);
+
   /// One replicated mutation leg: apply `ops` (all targeting engine key
-  /// `ekey`) to the full replica set with primary-forwarding timing, holding
-  /// the key's stripe on every replica (ascending node order). Forks from
-  /// simulated time `start`; sets *completion to the slowest-replica ack.
+  /// `ekey`) with primary-forwarding timing, holding the key's stripe on
+  /// every replica (ascending node order). Forks from simulated time
+  /// `start`; sets *completion to the ack time. The acting primary must ack
+  /// (coordinator); further replicas ack until the configured write quorum
+  /// is met, and replicas that are down, stale, or unreachable through the
+  /// fault injector are recorded as hinted-handoff entries on the primary.
   /// `force_create` lets a write leg create the key regardless of
   /// StoreConfig::write_creates (chunk keys of an existing blob).
   Status mutation_leg(const std::string& ekey, const std::vector<BlobServer::TxnOp>& ops,
@@ -104,16 +160,31 @@ class BlobClient {
                              const std::vector<BlobServer::TxnOp>& ops,
                              bool force_create = false);
 
-  /// One read leg against the acting primary of `ekey`, forked from `start`.
+  /// One read leg, forked from `start`. With read quorum 1 the leg fails
+  /// over through the live replica set (retrying per policy) and optionally
+  /// hedges; with a larger read quorum it first version-probes R replicas
+  /// and reads from the freshest responder.
   Result<ReadOutcome> read_leg(const std::string& ekey, std::uint64_t off,
                                std::uint64_t len, SimMicros start, SimMicros* completion);
 
-  /// Uncharged logical-size peek at the acting primary of `ekey`.
+  /// Charged stat with the same failover/quorum arbitration as read_leg.
+  Result<BlobStat> stat_leg(const std::string& ekey, SimMicros start,
+                            SimMicros* completion);
+
+  /// Uncharged logical-size peek for layout decisions. Classic mode asks
+  /// the acting primary (always freshest); quorum mode arbitrates by
+  /// version across live replicas.
   Result<std::uint64_t> peek_logical_size(const std::string& ekey);
+
+  /// Hedge delay currently in force: the observed read-latency percentile
+  /// once warmed up, else the fixed delay (0 = hedging dormant).
+  [[nodiscard]] SimMicros hedge_delay() const;
 
   BlobStore* store_;
   sim::SimAgent* agent_;
   ClientCounters counters_;
+  Rng rng_{0xb10bfa117ULL};  ///< backoff jitter; per-client, deterministic
+  Histogram read_latency_;   ///< delivered read-leg latency (drives hedging)
 };
 
 /// A batch of mutations committed atomically across blobs. Preconditions

@@ -45,6 +45,12 @@ void BlobServer::crash() {
   if (journal_) journal_->abandon();  // un-fsynced batch dies with the process
   journal_.reset();
   engine_ = StorageEngine(ecfg_);
+  {
+    // Hints are process state, not engine state: they die too. Resync is
+    // the durable backstop for whatever they would have repaired.
+    std::scoped_lock hlk(hints_mu_);
+    hints_.clear();
+  }
 }
 
 Status BlobServer::restart(persist::RecoveryReport* report) {
@@ -272,6 +278,71 @@ bool BlobServer::version_matches(const std::string& key, Version expected) {
 Result<std::uint64_t> BlobServer::peek_size(const std::string& key) {
   std::scoped_lock elk(engine_mu_);
   return engine_.size(key);
+}
+
+Result<Version> BlobServer::peek_version(const std::string& key) {
+  std::scoped_lock elk(engine_mu_);
+  return engine_.version(key);
+}
+
+Status BlobServer::force_version(const std::string& key, Version v) {
+  std::scoped_lock elk(engine_mu_);
+  return engine_.set_version(key, v);
+}
+
+Status BlobServer::install_copy(const std::string& key, ByteView data,
+                                std::uint64_t logical_size, Version version,
+                                SimMicros* service_us) {
+  KeyLock lk = lock_key(key);
+  node_->cache().invalidate(fnv1a64(key));
+  Status st = [&]() -> Status {
+    std::scoped_lock elk(engine_mu_);
+    if (engine_.contains(key)) {
+      auto rm = engine_.remove(key);
+      if (!rm.ok()) return rm;
+    }
+    auto w = engine_.write(key, 0, data, /*create_if_missing=*/true);
+    if (!w.ok()) return w.error();
+    if (logical_size != data.size()) {
+      auto t = engine_.truncate(key, logical_size);
+      if (!t.ok()) return t.error();
+    }
+    return engine_.set_version(key, version);
+  }();
+  SimMicros t = costs_.cpu_op_us + svc_bytes_cpu(data.size());
+  if (st.ok()) {
+    t += node_->disk().service_us(data.size(), /*sequential=*/true);
+    std::uint64_t obj_size = peek_size(key).value_or(0);
+    node_->cache().touch_write(fnv1a64(key), obj_size);
+  }
+  *service_us = t;
+  return st;
+}
+
+bool BlobServer::add_hint(std::uint32_t target, const BlobKey& key) {
+  std::scoped_lock lk(hints_mu_);
+  auto& keys = hints_[target];
+  for (const BlobKey& k : keys) {
+    if (k == key) return false;  // dedup: one hint per (target, key) suffices
+  }
+  keys.push_back(key);
+  return true;
+}
+
+std::vector<BlobKey> BlobServer::take_hints_for(std::uint32_t target) {
+  std::scoped_lock lk(hints_mu_);
+  auto it = hints_.find(target);
+  if (it == hints_.end()) return {};
+  std::vector<BlobKey> out = std::move(it->second);
+  hints_.erase(it);
+  return out;
+}
+
+std::uint64_t BlobServer::hint_count() const {
+  std::scoped_lock lk(hints_mu_);
+  std::uint64_t n = 0;
+  for (const auto& [target, keys] : hints_) n += keys.size();
+  return n;
 }
 
 std::uint64_t BlobServer::object_count() {

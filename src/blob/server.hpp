@@ -20,6 +20,7 @@
 
 #include <array>
 #include <atomic>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
@@ -115,6 +116,43 @@ class BlobServer {
   /// stable answer matters.
   [[nodiscard]] Result<std::uint64_t> peek_size(const std::string& key);
 
+  /// Uncharged engine-version peek (same locking contract as peek_size).
+  /// Quorum reads arbitrate replica freshness with this.
+  [[nodiscard]] Result<Version> peek_version(const std::string& key);
+
+  /// Overwrite the key's version (journaled). Caller holds lock_exclusive()
+  /// or a KeyLock on `key`. The replication layer uses this to keep
+  /// versions monotonic across remove/recreate cycles and identical on
+  /// every replica that applied the same ops — the invariant quorum reads
+  /// arbitrate on.
+  Status force_version(const std::string& key, Version v);
+
+  /// Install an exact copy of an object — contents, logical size, AND
+  /// version — replacing whatever is present. Repair traffic (resync, hint
+  /// drain, scrub, rebalance) uses this so a repaired replica is
+  /// indistinguishable from one that applied the original op stream: equal
+  /// versions again imply equal contents across the replica set.
+  Status install_copy(const std::string& key, ByteView data, std::uint64_t logical_size,
+                      Version version, SimMicros* service_us);
+
+  // --- hinted handoff -------------------------------------------------------
+  //
+  // When a quorum write cannot reach a replica, the coordinator records a
+  // {missed node, key} hint on one of the replicas that DID ack. When the
+  // missed node comes back, the store drains its hints by copying the
+  // current object (install_copy) before running the digest-based resync.
+  // Hints are volatile (a crash loses them) — resync remains the backstop.
+
+  /// Record that `target` missed a mutation of `key`. Returns false when an
+  /// identical hint was already pending (deduplicated).
+  bool add_hint(std::uint32_t target, const BlobKey& key);
+
+  /// Remove and return all hinted keys destined for `target`.
+  [[nodiscard]] std::vector<BlobKey> take_hints_for(std::uint32_t target);
+
+  /// Outstanding hints across all targets (observability / tests).
+  [[nodiscard]] std::uint64_t hint_count() const;
+
   /// Exclusive access for multi-server commit protocols. Locks are acquired
   /// by the client in ascending node-id order, which rules out deadlock.
   [[nodiscard]] std::unique_lock<std::shared_mutex> lock_exclusive() {
@@ -168,6 +206,8 @@ class BlobServer {
   StorageEngine engine_;
   EngineConfig ecfg_;
   ServerCosts costs_;
+  mutable std::mutex hints_mu_;  ///< leaf lock; never held across other locks
+  std::map<std::uint32_t, std::vector<BlobKey>> hints_;
   std::string persist_dir_;                   ///< empty = volatile server
   persist::JournalConfig jcfg_;
   std::unique_ptr<persist::Journal> journal_; ///< engine_ holds a raw sink ptr

@@ -8,6 +8,13 @@
 
 namespace bsc::blob {
 
+namespace {
+/// Checkpoint key prefix marking a version-floor entry (ASCII "record
+/// separator" — never the first byte of a real engine key, which is either
+/// an application key or an application key plus a chunk suffix).
+constexpr char kFloorMarker = '\x1e';
+}  // namespace
+
 StorageEngine::StorageEngine(EngineConfig cfg) : cfg_(cfg) {
   segments_.emplace_back();  // active segment
 }
@@ -19,17 +26,28 @@ Status StorageEngine::journal_append(persist::WalRecord rec) {
   return journal_->append(std::move(rec));
 }
 
+Version StorageEngine::take_floor(const std::string& key) {
+  auto it = removed_floors_.find(key);
+  if (it == removed_floors_.end()) return 0;
+  const Version v = it->second;
+  removed_floors_.erase(it);
+  return v;
+}
+
 Status StorageEngine::create(const std::string& key) {
   if (key.empty()) return {Errc::invalid_argument, "empty blob key"};
   auto [it, inserted] = objects_.try_emplace(key);
   if (!inserted) return {Errc::already_exists, key};
-  it->second.version = 1;
+  it->second.version = take_floor(key) + 1;
   return journal_append({.op = persist::WalOp::create, .key = key});
 }
 
 Status StorageEngine::remove(const std::string& key) {
   auto it = objects_.find(key);
   if (it == objects_.end()) return {Errc::not_found, key};
+  // Keep the dead object's version as a floor so a recreation continues the
+  // sequence — see the header for why freshest-wins repair depends on this.
+  removed_floors_[key] = it->second.version;
   for (const auto& e : it->second.extents) {
     live_bytes_ -= e.len;
     dead_bytes_ += e.len;
@@ -93,7 +111,7 @@ Result<WriteOutcome> StorageEngine::write(const std::string& key, std::uint64_t 
   if (it == objects_.end()) {
     if (!create_if_missing) return {Errc::not_found, key};
     it = objects_.try_emplace(key).first;
-    it->second.version = 0;
+    it->second.version = take_floor(key);  // ++ below lands at floor + 1
   }
   ObjectRec& rec = it->second;
   if (!data.empty()) {
@@ -200,6 +218,14 @@ Result<Version> StorageEngine::version(const std::string& key) const {
   return it->second.version;
 }
 
+Status StorageEngine::set_version(const std::string& key, Version v) {
+  auto it = objects_.find(key);
+  if (it == objects_.end()) return {Errc::not_found, key};
+  it->second.version = v;
+  // The version rides in the `size` field — set_version carries no payload.
+  return journal_append({.op = persist::WalOp::set_version, .key = key, .size = v});
+}
+
 std::vector<BlobStat> StorageEngine::scan(const std::string& prefix) const {
   std::vector<BlobStat> out;
   for (const auto& [key, rec] : objects_) {
@@ -294,6 +320,15 @@ Result<std::uint64_t> StorageEngine::write_checkpoint(bool prune_wal) {
     }
     objs.push_back(std::move(obj));
   }
+  // Outstanding version floors ride along as marker entries (key prefixed
+  // with kFloorMarker, version = floor, no data). Floors and live objects
+  // are disjoint — creation consumes the floor — so no key appears twice.
+  for (const auto& [key, floor] : removed_floors_) {
+    persist::CheckpointObject obj;
+    obj.key = std::string(1, kFloorMarker) + key;
+    obj.version = floor;
+    objs.push_back(std::move(obj));
+  }
   auto st = persist::write_checkpoint(journal_->dir(), lsn, objs);
   if (!st.ok()) return st.error();
   if (prune_wal) {
@@ -305,6 +340,10 @@ Result<std::uint64_t> StorageEngine::write_checkpoint(bool prune_wal) {
 
 Status StorageEngine::restore_object(const persist::CheckpointObject& obj) {
   if (obj.key.empty()) return {Errc::io_error, "checkpoint object with empty key"};
+  if (obj.key[0] == kFloorMarker) {
+    removed_floors_[obj.key.substr(1)] = obj.version;
+    return Status::success();
+  }
   auto [it, inserted] = objects_.try_emplace(obj.key);
   if (!inserted) return {Errc::io_error, "duplicate checkpoint object: " + obj.key};
   ObjectRec& rec = it->second;
@@ -375,6 +414,9 @@ Result<StorageEngine> StorageEngine::recover(const std::string& dir, EngineConfi
         st = g.ok() ? Status::success() : Status(g.error());
         break;
       }
+      case persist::WalOp::set_version:
+        st = e.set_version(r.key, r.size);
+        break;
     }
     if (!st.ok()) {
       return Error{Errc::io_error,

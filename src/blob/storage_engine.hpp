@@ -76,7 +76,14 @@ class StorageEngine {
   /// Create an empty object. Fails with already_exists if present.
   Status create(const std::string& key);
 
-  /// Remove an object and account its extents as dead.
+  /// Remove an object and account its extents as dead. The removed object's
+  /// version is kept as a *version floor*: recreating the key continues the
+  /// version sequence past it instead of restarting at 1. Without the floor,
+  /// a replica that was down across a remove+recreate would hold the old
+  /// incarnation at a HIGHER version than the live ones, and every
+  /// freshest-wins repair path (resync, scrub, hint drain) would resurrect
+  /// the deleted data. Floors survive recovery: WAL replay of the remove
+  /// record rebuilds them, and checkpoints snapshot outstanding floors.
   Status remove(const std::string& key);
 
   [[nodiscard]] bool contains(const std::string& key) const;
@@ -101,6 +108,13 @@ class StorageEngine {
 
   Result<std::uint64_t> size(const std::string& key) const;
   Result<Version> version(const std::string& key) const;
+
+  /// Force the object's version to `v` without touching its contents.
+  /// Repair paths (resync, scrub, hint drain, rebalance) use this to install
+  /// a copy at the *source's* version: replicas then agree that equal
+  /// versions imply equal contents, which is what version-arbitrated quorum
+  /// reads rely on. Journaled (WalOp::set_version) so recovery round-trips.
+  Status set_version(const std::string& key, Version v);
 
   /// All keys in lexicographic order, optionally filtered by prefix.
   /// The walk always visits every object (the namespace is flat; prefix
@@ -155,8 +169,13 @@ class StorageEngine {
   /// to the log, length/version restored verbatim).
   Status restore_object(const persist::CheckpointObject& obj);
 
+  /// Consume the version floor a prior remove left for `key` (0 if none):
+  /// the recreated object's version sequence starts above it.
+  Version take_floor(const std::string& key);
+
   EngineConfig cfg_;
   std::map<std::string, ObjectRec> objects_;
+  std::map<std::string, Version> removed_floors_;  ///< last version of removed keys
   std::vector<Bytes> segments_;
   std::uint64_t live_bytes_ = 0;
   std::uint64_t dead_bytes_ = 0;

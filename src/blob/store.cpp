@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <set>
 
 #include "common/hash.hpp"
 
@@ -21,8 +22,87 @@ void BlobStore::fail_server(std::uint32_t index) {
   down_[index]->store(true, std::memory_order_release);
 }
 
-void BlobStore::recover_server(std::uint32_t index) {
+void BlobStore::recover_server(std::uint32_t index, sim::SimAgent* agent,
+                               HintStats* stats) {
   down_[index]->store(false, std::memory_order_release);
+  drain_hints(index, agent, stats);
+}
+
+void BlobStore::drain_hints(std::uint32_t index, sim::SimAgent* agent,
+                            HintStats* stats) {
+  // Every surviving server may hold hints for the recovered one; union the
+  // hinted key sets (the same key can be hinted by several coordinators).
+  std::set<std::string> keys;
+  for (std::uint32_t j = 0; j < servers_.size(); ++j) {
+    if (j == index || is_down(j)) continue;
+    for (auto& k : servers_[j]->take_hints_for(index)) keys.insert(std::move(k));
+  }
+  if (keys.empty()) return;
+
+  BlobServer& target = *servers_[index];
+  for (const auto& key : keys) {
+    const auto replicas = replicas_of(key);
+    if (std::find(replicas.begin(), replicas.end(), index) == replicas.end()) {
+      continue;  // ring changed while down; rebalance owns this key now
+    }
+    // Source = freshest live holder. A hint records *that* a mutation was
+    // missed, not its payload, so the repair copies current state — which
+    // subsumes any ops missed after the hint was written.
+    bool found = false;
+    std::uint32_t best = 0;
+    Version best_v = 0;
+    for (std::uint32_t r : replicas) {
+      if (r == index || is_down(r)) continue;
+      auto v = servers_[r]->peek_version(key);
+      if (!v.ok()) continue;
+      if (!found || v.value() > best_v) {
+        found = true;
+        best = r;
+        best_v = v.value();
+      }
+    }
+    if (!found) {
+      // No live replica holds the key: it was removed after the hint was
+      // recorded. Dropping the recovered server's stale copy (if any) —
+      // installing it would resurrect a deleted blob.
+      SimMicros svc = 0;
+      if (target.stat(key, &svc).ok()) {
+        SimMicros rm_svc = 0;
+        (void)target.remove(key, &rm_svc);
+        svc += rm_svc;
+        if (stats) ++stats->removed;
+      }
+      if (agent) {
+        transport_.call_reliable(*agent, target.node(), 64, 64, svc);
+      } else {
+        target.node().serve(0, svc);
+      }
+      continue;
+    }
+    if (target.peek_version(key).value_or(0) >= best_v) {
+      continue;  // already as fresh as any live holder (e.g. WAL recovery)
+    }
+    BlobServer& source = *servers_[best];
+    SimMicros svc = 0;
+    auto size = source.size(key, &svc);
+    if (!size.ok()) continue;
+    auto data = source.read(key, 0, size.value(), &svc);
+    if (!data.ok()) continue;
+    SimMicros put_svc = 0;
+    if (!target
+             .install_copy(key, as_view(data.value().data), size.value(), best_v,
+                           &put_svc)
+             .ok()) {
+      continue;
+    }
+    if (agent) {
+      transport_.call_reliable(*agent, target.node(), size.value() + 64, 64,
+                               svc + put_svc);
+    } else {
+      target.node().serve(0, svc + put_svc);
+    }
+    if (stats) ++stats->drained;
+  }
 }
 
 bool BlobStore::is_down(std::uint32_t index) const {
@@ -57,7 +137,9 @@ Result<std::uint64_t> BlobStore::restart_server(std::uint32_t index, sim::SimAge
                                                 ResyncStats* stats) {
   auto st = servers_[index]->restart(report);
   if (!st.ok()) return st.error();
-  recover_server(index);
+  // recover_server drains hinted handoff first (targeted, version-exact);
+  // the digest resync below only moves whatever no hint covered.
+  recover_server(index, agent);
   // Local recovery already rebuilt everything the WAL captured; the resync
   // pass only moves the delta (updates missed while down, ghost removals).
   return resync_server(index, agent, stats);
@@ -97,12 +179,22 @@ std::uint64_t BlobStore::resync_server(std::uint32_t index, sim::SimAgent* agent
       const auto replicas = replicas_of(stat.key);
       bool any_healthy_peer = false;
       bool held_by_peer = false;
+      bool any_down_peer = false;
       for (std::uint32_t r : replicas) {
-        if (r == index || is_down(r)) continue;
+        if (r == index) continue;
+        if (is_down(r)) {
+          any_down_peer = true;
+          continue;
+        }
         any_healthy_peer = true;
         SimMicros peek_svc = 0;
         if (servers_[r]->stat(stat.key, &peek_svc).ok()) held_by_peer = true;
       }
+      // Quorum mode cannot tell a ghost (removed while down) from an acked
+      // copy whose only other holder is currently down — deleting the
+      // latter would hide an acknowledged write until the peer returns.
+      // Defer the deletion until the whole replica set is reachable.
+      if (cfg_.write_quorum > 0 && any_down_peer) continue;
       if (any_healthy_peer && !held_by_peer) {
         SimMicros rm_svc = 0;
         (void)target.remove(stat.key, &rm_svc);
@@ -123,10 +215,22 @@ std::uint64_t BlobStore::resync_server(std::uint32_t index, sim::SimAgent* agent
     auto data = source.read(key, 0, size.value(), &svc);
     if (!data.ok()) continue;
 
+    const Version src_version = source.peek_version(key).value_or(1);
+
+    // Never move a replica backward: if the target's copy is FRESHER than
+    // this source (it survived a crash holding applies the source missed),
+    // overwriting it could erase the last quorum copy of an acked write.
+    // Leave it — scrub's freshest-wins pass spreads it the other way.
+    if (target.peek_version(key).value_or(0) > src_version) {
+      if (stats) ++stats->skipped_identical;
+      continue;
+    }
+
     // Delta check: a copy the target already holds (e.g. via local WAL
     // recovery) with identical content needs no recopy — only the digest
-    // crosses the wire. Versions may differ across replicas by design, so
-    // equality is judged on bytes.
+    // crosses the wire. Equality is judged on bytes; if the versions drifted
+    // apart (quorum-mode misses) the target's is aligned to the source's, so
+    // version arbitration keeps implying content equality afterwards.
     {
       SimMicros tsvc = 0;
       auto tsize = target.size(key, &tsvc);
@@ -134,9 +238,13 @@ std::uint64_t BlobStore::resync_server(std::uint32_t index, sim::SimAgent* agent
         auto tdata = target.read(key, 0, tsize.value(), &tsvc);
         if (tdata.ok() && content_checksum(as_view(tdata.value().data)) ==
                               content_checksum(as_view(data.value().data))) {
+          if (target.peek_version(key).value_or(0) != src_version) {
+            auto lock = target.lock_exclusive();
+            (void)target.force_version(key, src_version);
+          }
           if (stats) ++stats->skipped_identical;
           if (agent) {
-            transport_.call(*agent, target.node(), 64, 64, tsvc);
+            transport_.call_reliable(*agent, target.node(), 64, 64, tsvc);
           } else {
             target.node().serve(0, tsvc);
           }
@@ -144,26 +252,22 @@ std::uint64_t BlobStore::resync_server(std::uint32_t index, sim::SimAgent* agent
         }
       }
     }
-    // Replace the target's copy wholesale; the copy is content-equal (holes
-    // come back as explicit zeros) even though versions restart.
+    // Replace the target's copy wholesale with an exact install — contents,
+    // logical size, and the source's version (holes come back as explicit
+    // zeros), so the repaired replica is indistinguishable from one that
+    // applied the original op stream.
     {
-      auto lock = target.lock_exclusive();
-      std::vector<BlobServer::TxnOp> ops;
-      ops.push_back({BlobServer::TxnOp::Kind::remove, key, 0, {}, 0});
-      ops.push_back({BlobServer::TxnOp::Kind::write, key, 0,
-                     std::move(data.value().data), 0});
-      ops.push_back({BlobServer::TxnOp::Kind::truncate, key, 0, {}, size.value()});
-      SimMicros apply_svc = 0;
-      // remove may fail when the target never had the key; retry without it.
-      if (!target.apply_txn_ops(ops, &apply_svc).ok()) {
-        ops.erase(ops.begin());
-        apply_svc = 0;
-        if (!target.apply_txn_ops(ops, &apply_svc).ok()) continue;
+      SimMicros put_svc = 0;
+      if (!target
+               .install_copy(key, as_view(data.value().data), size.value(),
+                             src_version, &put_svc)
+               .ok()) {
+        continue;
       }
-      svc += apply_svc;
+      svc += put_svc;
     }
     if (agent) {
-      transport_.call(*agent, target.node(), size.value() + 64, 64, svc);
+      transport_.call_reliable(*agent, target.node(), size.value() + 64, 64, svc);
     } else {
       target.node().serve(0, svc);
     }
@@ -248,16 +352,15 @@ void BlobStore::rebalance_after_ring_change(
       auto data = src.read(key, 0, size.value(), &src_svc);
       if (!data.ok()) break;
       SimMicros put_svc = 0;
-      {
-        auto lock = dst.lock_exclusive();
-        std::vector<BlobServer::TxnOp> ops;
-        ops.push_back({BlobServer::TxnOp::Kind::write, key, 0,
-                       std::move(data.value().data), 0});
-        ops.push_back({BlobServer::TxnOp::Kind::truncate, key, 0, {}, size.value()});
-        if (!dst.apply_txn_ops(ops, &put_svc).ok()) continue;
+      // Exact install (version included): the migrated copy participates in
+      // version arbitration exactly like the source it was copied from.
+      if (!dst.install_copy(key, as_view(data.value().data), size.value(),
+                            src.peek_version(key).value_or(1), &put_svc)
+               .ok()) {
+        continue;
       }
       if (agent) {
-        transport_.call(*agent, dst.node(), size.value() + 64, 64, put_svc);
+        transport_.call_reliable(*agent, dst.node(), size.value() + 64, 64, put_svc);
       } else {
         dst.node().serve(0, put_svc);
       }
@@ -299,64 +402,60 @@ BlobStore::ScrubReport BlobStore::scrub(bool repair, sim::SimAgent* agent) {
     ++report.objects_checked;
     const auto replicas = replicas_of(key);
 
-    // Gather each live replica's bytes + its engine checksum verdict.
+    // Gather each live replica's bytes + version + engine checksum verdict.
     struct Copy {
       std::uint32_t server;
       Bytes data;
       std::uint64_t fingerprint;
       bool checksum_ok;
+      Version version;
     };
     std::vector<Copy> copies;
     for (std::uint32_t r : replicas) {
       if (is_down(r)) continue;
       BlobServer& srv = *servers_[r];
       SimMicros svc = 0;
-      auto size = srv.size(key, &svc);
-      if (!size.ok()) continue;  // missing copy: resync territory, not scrub
-      auto data = srv.read(key, 0, size.value(), &svc);
+      auto st = srv.stat(key, &svc);
+      if (!st.ok()) continue;  // missing copy: resync territory, not scrub
+      auto data = srv.read(key, 0, st.value().size, &svc);
       if (!data.ok()) continue;
       const bool sum_ok = srv.verify_key(key).ok();
       if (!sum_ok) ++report.checksum_errors;
       // Charge the scrub read (sequential sweep) to the maintenance agent.
-      if (agent) transport_.call(*agent, srv.node(), 64, size.value(), svc);
+      if (agent) transport_.call_reliable(*agent, srv.node(), 64, st.value().size, svc);
       const std::uint64_t fp = content_checksum(as_view(data.value().data));
-      copies.push_back({r, std::move(data.value().data), fp, sum_ok});
+      copies.push_back({r, std::move(data.value().data), fp, sum_ok, st.value().version});
     }
     if (copies.size() < 2) continue;
 
-    // Quorum content: the fingerprint shared by the most checksum-clean
-    // copies (clean copies outrank corrupt ones).
-    std::map<std::uint64_t, std::uint32_t> votes;
-    for (const auto& c : copies) {
-      if (c.checksum_ok) ++votes[c.fingerprint];
-    }
-    if (votes.empty()) continue;  // everything corrupt: unrecoverable here
-    const auto quorum =
-        std::max_element(votes.begin(), votes.end(),
-                         [](const auto& a, const auto& b) { return a.second < b.second; })
-            ->first;
+    // Authoritative copy: the freshest (highest-version) checksum-clean
+    // one. Never a majority vote — under quorum writes a minority replica
+    // may be the only one holding an acked mutation, and voting would roll
+    // it back. The write path keeps versions identical across replicas
+    // that applied the same ops, so "freshest clean copy" is exact.
     const Copy* good = nullptr;
     for (const auto& c : copies) {
-      if (c.checksum_ok && c.fingerprint == quorum) {
-        good = &c;
-        break;
-      }
+      if (c.checksum_ok && (!good || c.version > good->version)) good = &c;
     }
+    if (!good) continue;  // everything corrupt: unrecoverable here
     for (const auto& c : copies) {
-      if (c.fingerprint == quorum && c.checksum_ok) continue;
+      if (c.checksum_ok && c.fingerprint == good->fingerprint &&
+          c.version == good->version) {
+        continue;
+      }
       ++report.divergent_replicas;
-      if (!repair || !good) continue;
+      if (!repair) continue;
       BlobServer& target = *servers_[c.server];
-      auto lock = target.lock_exclusive();
-      std::vector<BlobServer::TxnOp> ops;
-      ops.push_back({BlobServer::TxnOp::Kind::remove, key, 0, {}, 0});
-      ops.push_back({BlobServer::TxnOp::Kind::write, key, 0, good->data, 0});
-      ops.push_back(
-          {BlobServer::TxnOp::Kind::truncate, key, 0, {}, good->data.size()});
       SimMicros svc = 0;
-      if (target.apply_txn_ops(ops, &svc).ok()) {
+      if (target
+              .install_copy(key, as_view(good->data), good->data.size(),
+                            good->version, &svc)
+              .ok()) {
         ++report.repaired;
-        if (agent) transport_.call(*agent, target.node(), good->data.size() + 64, 64, svc);
+        if (agent) {
+          transport_.call_reliable(*agent, target.node(), good->data.size() + 64, 64,
+                                   svc);
+        }
       }
     }
   }

@@ -39,8 +39,21 @@ class BlobStore {
   /// Mark a server down: reads fail over to the next replica, mutations
   /// proceed degraded (the down replica misses updates until resync).
   void fail_server(std::uint32_t index);
-  /// Mark a server up again. Call resync_server to repair its contents.
-  void recover_server(std::uint32_t index);
+
+  /// What draining the hinted-handoff queue for a recovered server did.
+  struct HintStats {
+    std::uint64_t drained = 0;  ///< copies installed from a hint
+    std::uint64_t removed = 0;  ///< hinted keys dropped (no live holder left)
+  };
+
+  /// Mark a server up again, then drain every hinted-handoff entry other
+  /// servers hold for it: each hinted key is re-copied from its freshest
+  /// live replica (exact version included), or removed from the recovered
+  /// server when no live replica still holds it — a hint must never
+  /// resurrect a blob that was removed later. Call resync_server afterwards
+  /// to repair whatever no hint covered (hints are volatile).
+  void recover_server(std::uint32_t index, sim::SimAgent* agent = nullptr,
+                      HintStats* stats = nullptr);
   [[nodiscard]] bool is_down(std::uint32_t index) const;
   /// First live replica of a set (acting primary); nullopt if none is up.
   [[nodiscard]] std::optional<std::uint32_t> first_up(
@@ -115,8 +128,12 @@ class BlobStore {
   };
 
   /// Deep scrub: verify every engine's checksums, then compare replica
-  /// contents per key; with `repair`, rewrite bad copies from a healthy
-  /// majority/any-clean replica. Maintenance traffic charges `agent`.
+  /// copies per key. The authoritative copy is the freshest checksum-clean
+  /// one (highest version — never a majority vote, which under quorum
+  /// writes could roll back an acked mutation); any copy differing from it
+  /// in content OR version counts as divergent. With `repair`, divergent
+  /// copies are replaced by an exact install of the authoritative copy.
+  /// Maintenance traffic charges `agent`.
   ScrubReport scrub(bool repair, sim::SimAgent* agent = nullptr);
 
   // --- store-wide introspection for tests/benches ---
@@ -128,6 +145,9 @@ class BlobStore {
   /// Move/copy/drop keys so physical placement matches the (changed) ring.
   void rebalance_after_ring_change(const std::map<std::string, std::uint32_t>& holders,
                                    RebalanceStats* stats, sim::SimAgent* agent);
+
+  /// Replay hinted-handoff entries destined for `index` (see recover_server).
+  void drain_hints(std::uint32_t index, sim::SimAgent* agent, HintStats* stats);
 
   sim::Cluster* cluster_;
   StoreConfig cfg_;

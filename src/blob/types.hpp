@@ -12,6 +12,8 @@
 #include <string>
 #include <string_view>
 
+#include "common/units.hpp"
+
 namespace bsc::blob {
 
 /// Blob keys are arbitrary non-empty strings in a single flat namespace.
@@ -28,11 +30,49 @@ struct BlobStat {
   Version version = 0;
 };
 
+/// Client-side retry behavior, all in simulated time. Backoff between
+/// attempts uses decorrelated jitter (sleep = uniform[base, prev*3], capped)
+/// drawn from the client's seeded rng, so runs are deterministic.
+struct RetryPolicy {
+  std::uint32_t max_attempts = 4;        ///< total tries per replica leg (1 = no retry)
+  SimMicros attempt_deadline_us = 2000;  ///< per-attempt deadline (timeout on drop)
+  SimMicros backoff_base_us = 100;       ///< first backoff lower bound
+  SimMicros backoff_cap_us = 10000;      ///< backoff upper clamp
+};
+
+/// Read hedging: after a delivered read leg exceeds the hedge delay, charge
+/// a second speculative read to an equally fresh replica and take the
+/// faster completion. The delay adapts to the observed p99 of read-leg
+/// latency once enough samples exist; before that, `fixed_delay_us` is used
+/// (0 disables hedging until the histogram warms up).
+struct HedgePolicy {
+  bool enabled = false;
+  SimMicros fixed_delay_us = 0;         ///< 0 = adaptive only
+  std::uint32_t min_samples = 64;       ///< histogram warm-up before p99 kicks in
+  double percentile = 99.0;             ///< delay = this percentile of read latency
+};
+
 struct StoreConfig {
   std::uint32_t replication = 3;      ///< replicas per chunk (primary included)
   std::uint64_t chunk_bytes = 1 << 20; ///< striping unit across storage nodes (0 = off)
   std::uint32_t vnodes_per_node = 64; ///< ring virtual nodes
   bool write_creates = true;          ///< RADOS-style implicit create on write
+
+  /// Write quorum W. 0 (default) keeps the classic behavior: every *live*
+  /// replica must ack (down replicas are repaired by resync). A non-zero
+  /// W <= replication makes a mutation succeed once W replicas ack; missed
+  /// replicas get hinted-handoff entries, and reads arbitrate freshness
+  /// across R = replication - W + 1 replicas by version.
+  std::uint32_t write_quorum = 0;
+
+  RetryPolicy retry;
+  HedgePolicy hedge;
+
+  /// Effective read quorum for the configured write quorum.
+  [[nodiscard]] std::uint32_t read_quorum() const noexcept {
+    if (write_quorum == 0 || write_quorum >= replication) return 1;
+    return replication - write_quorum + 1;
+  }
 };
 
 // --- chunk striping -------------------------------------------------------

@@ -33,7 +33,8 @@ enum class Errc {
   unsupported,      // ENOTSUP
   conflict,         // transaction / optimistic-concurrency conflict
   closed,           // handle already closed
-  timeout,
+  timeout,          // deadline exceeded waiting for a reply (request may be lost)
+  unavailable,      // peer unreachable / out of service (whole replica set, outage)
 };
 
 /// Human-readable name for an error code (stable, used in logs and tests).
@@ -56,6 +57,7 @@ constexpr std::string_view to_string(Errc e) noexcept {
     case Errc::conflict: return "conflict";
     case Errc::closed: return "closed";
     case Errc::timeout: return "timeout";
+    case Errc::unavailable: return "unavailable";
   }
   return "unknown";
 }

@@ -25,7 +25,7 @@ HdfsLikeFs::HdfsLikeFs(sim::Cluster& cluster, HdfsConfig cfg)
 void HdfsLikeFs::charge_nn_rpc(const vfs::IoCtx& ctx, SimMicros service_us,
                                std::uint64_t req, std::uint64_t resp) {
   if (ctx.agent) {
-    transport_.call(*ctx.agent, namenode_->node(), req, resp, service_us);
+    transport_.call_reliable(*ctx.agent, namenode_->node(), req, resp, service_us);
   } else {
     namenode_->node().serve(0, service_us);
   }

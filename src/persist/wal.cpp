@@ -115,7 +115,7 @@ WalScanResult scan_wal(const std::string& path) {
     }
     const ByteView payload = c.take(c.remaining());
     rec.data.assign(payload.begin(), payload.end());
-    if (rec.op < WalOp::create || rec.op > WalOp::grow || rec.lsn <= prev_lsn) {
+    if (rec.op < WalOp::create || rec.op > WalOp::set_version || rec.lsn <= prev_lsn) {
       out.tail_torn = true;
       out.tail_reason = rec.lsn <= prev_lsn ? "non-monotonic lsn" : "unknown op";
       break;

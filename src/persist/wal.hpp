@@ -90,6 +90,7 @@ enum class WalOp : std::uint8_t {
   write = 3,
   truncate = 4,
   grow = 5,
+  set_version = 6,  ///< repair/hint-drain installs a copy at the source's version
 };
 
 struct WalRecord {

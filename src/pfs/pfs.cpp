@@ -61,7 +61,7 @@ Result<LustreLikeFs::OpenFile> LustreLikeFs::lookup_handle(vfs::FileHandle fh) {
 void LustreLikeFs::charge_mds_rpc(const vfs::IoCtx& ctx, SimMicros service_us,
                                   std::uint64_t req_bytes, std::uint64_t resp_bytes) {
   if (ctx.agent) {
-    transport_.call(*ctx.agent, mds_->node(), req_bytes, resp_bytes, service_us);
+    transport_.call_reliable(*ctx.agent, mds_->node(), req_bytes, resp_bytes, service_us);
   } else {
     mds_->node().serve(0, service_us);
   }

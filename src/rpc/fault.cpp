@@ -1,0 +1,67 @@
+#include "rpc/fault.hpp"
+
+namespace bsc::rpc {
+
+void FaultInjector::set_plan(std::uint32_t node, FaultPlan plan) {
+  std::lock_guard lk(mu_);
+  plans_[node] = std::move(plan);
+}
+
+void FaultInjector::clear_plan(std::uint32_t node) {
+  std::lock_guard lk(mu_);
+  plans_.erase(node);
+}
+
+void FaultInjector::clear_all() {
+  std::lock_guard lk(mu_);
+  plans_.clear();
+}
+
+FaultVerdict FaultInjector::decide(std::uint32_t node, SimMicros now) {
+  std::lock_guard lk(mu_);
+  auto it = plans_.find(node);
+  if (it == plans_.end() || it->second.trivial()) {
+    ++counters_.delivered;
+    return {};
+  }
+  const FaultPlan& plan = it->second;
+
+  // Outage windows are checked first: an unreachable node neither drops nor
+  // delays — the connection attempt is refused outright, and no random draw
+  // is consumed (so toggling an outage does not perturb the rest of the
+  // random sequence).
+  for (const Outage& o : plan.outages) {
+    if (now >= o.from && now < o.until) {
+      ++counters_.outage_rejections;
+      return {.kind = FaultVerdict::Kind::outage};
+    }
+  }
+
+  // Probabilistic verdicts consume draws in a fixed order (drop, error,
+  // jitter) so identical plans replay identically.
+  if (plan.drop_probability > 0.0 && rng_.chance(plan.drop_probability)) {
+    ++counters_.dropped;
+    return {.kind = FaultVerdict::Kind::drop};
+  }
+  if (plan.error_probability > 0.0 && rng_.chance(plan.error_probability)) {
+    ++counters_.errored;
+    return {.kind = FaultVerdict::Kind::error};
+  }
+
+  FaultVerdict v;
+  v.extra_latency_us = plan.added_latency_us;
+  if (plan.jitter_us > 0) {
+    v.extra_latency_us +=
+        static_cast<SimMicros>(rng_.next_below(static_cast<std::uint64_t>(plan.jitter_us) + 1));
+  }
+  ++counters_.delivered;
+  if (v.extra_latency_us > 0) ++counters_.delayed;
+  return v;
+}
+
+FaultInjector::Counters FaultInjector::counters() const {
+  std::lock_guard lk(mu_);
+  return counters_;
+}
+
+}  // namespace bsc::rpc

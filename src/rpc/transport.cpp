@@ -2,15 +2,64 @@
 
 namespace bsc::rpc {
 
-CallCost Transport::call(sim::SimAgent& agent, sim::SimNode& server,
-                         std::uint64_t request_bytes, std::uint64_t response_bytes,
-                         SimMicros server_service_us) {
+Result<CallCost> Transport::call(sim::SimAgent& agent, sim::SimNode& server,
+                                 std::uint64_t request_bytes, std::uint64_t response_bytes,
+                                 SimMicros server_service_us, CallOptions opts) {
+  FaultVerdict verdict = admit(server, agent.now());
+  if (verdict.kind != FaultVerdict::Kind::deliver) {
+    Status st = charge_failure(agent, verdict, request_bytes, opts);
+    return st.error();
+  }
+
+  const SimMicros start = agent.now();
+  const SimMicros arrival =
+      start + net().transfer_us(request_bytes) + verdict.extra_latency_us;
+  const SimMicros served = server.serve(arrival, server_service_us);
+  const SimMicros completion =
+      served + net().transfer_us(response_bytes) + verdict.extra_latency_us;
+  agent.advance_to(completion);
+  return CallCost{.start = start, .completion = completion};
+}
+
+CallCost Transport::call_reliable(sim::SimAgent& agent, sim::SimNode& server,
+                                  std::uint64_t request_bytes, std::uint64_t response_bytes,
+                                  SimMicros server_service_us) {
   const SimMicros start = agent.now();
   const SimMicros arrival = start + net().transfer_us(request_bytes);
   const SimMicros served = server.serve(arrival, server_service_us);
   const SimMicros completion = served + net().transfer_us(response_bytes);
   agent.advance_to(completion);
   return {.start = start, .completion = completion};
+}
+
+FaultVerdict Transport::admit(sim::SimNode& server, SimMicros now) {
+  if (injector_ == nullptr) return {};
+  return injector_->decide(server.id(), now);
+}
+
+Status Transport::charge_failure(sim::SimAgent& agent, const FaultVerdict& verdict,
+                                 std::uint64_t request_bytes, CallOptions opts) {
+  switch (verdict.kind) {
+    case FaultVerdict::Kind::drop: {
+      // The request is gone; the client cannot distinguish slow from lost
+      // and burns its whole per-attempt deadline before concluding timeout.
+      const SimMicros wait = opts.deadline_us > 0 ? opts.deadline_us : kDefaultDropWaitUs;
+      agent.charge(wait);
+      return {Errc::timeout, "request lost"};
+    }
+    case FaultVerdict::Kind::error:
+      // The node answered, just unhelpfully: charge one round trip of the
+      // request envelope (the error reply is tiny).
+      agent.charge(2 * net().transfer_us(request_bytes));
+      return {Errc::unavailable, "transient server error"};
+    case FaultVerdict::Kind::outage:
+      // Connection refused: detected after a single send attempt.
+      agent.charge(net().transfer_us(request_bytes));
+      return {Errc::unavailable, "node outage"};
+    case FaultVerdict::Kind::deliver:
+      break;
+  }
+  return {Errc::invalid_argument, "charge_failure on delivered verdict"};
 }
 
 SimMicros Transport::send_oneway(sim::SimAgent& agent, sim::SimNode& server,

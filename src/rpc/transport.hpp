@@ -4,10 +4,19 @@
 // charged request transfer, then the server node queues the service time
 // (FCFS in simulated time), then the response transfer. The returned value
 // is the simulated completion time; the agent's clock is advanced to it.
+//
+// An optional FaultInjector makes individual calls fallible: a call may be
+// dropped (the client waits out its deadline and gets Errc::timeout),
+// rejected with a transient error or an outage refusal (Errc::unavailable
+// after a short round trip), or delivered late. `call_reliable` bypasses the
+// injector entirely — the store's maintenance traffic (resync, scrub,
+// rebalance) models an out-of-band repair channel with retries baked in.
 #pragma once
 
 #include <cstdint>
 
+#include "common/result.hpp"
+#include "rpc/fault.hpp"
 #include "sim/cluster.hpp"
 #include "sim/sim_clock.hpp"
 
@@ -19,15 +28,46 @@ struct CallCost {
   [[nodiscard]] SimMicros latency() const noexcept { return completion - start; }
 };
 
+struct CallOptions {
+  /// Per-attempt deadline. When a call is dropped the client cannot tell a
+  /// slow reply from a lost one; it waits `deadline_us` then gives up with
+  /// Errc::timeout. 0 means "no deadline": a dropped call still times out,
+  /// but only after a conservative default wait.
+  SimMicros deadline_us = 0;
+};
+
 class Transport {
  public:
   explicit Transport(sim::Cluster& cluster) : cluster_(&cluster) {}
 
-  /// Execute a simulated RPC against `server`. Advances `agent` past the
-  /// response arrival and returns the timing breakdown.
-  CallCost call(sim::SimAgent& agent, sim::SimNode& server,
-                std::uint64_t request_bytes, std::uint64_t response_bytes,
-                SimMicros server_service_us);
+  /// Execute a simulated RPC against `server`, subject to the installed
+  /// fault injector (if any). On success advances `agent` past the response
+  /// arrival and returns the timing breakdown. On failure advances `agent`
+  /// past the failure-detection point (full deadline for a drop, one short
+  /// round trip for an error/outage) and returns Errc::timeout /
+  /// Errc::unavailable.
+  Result<CallCost> call(sim::SimAgent& agent, sim::SimNode& server,
+                        std::uint64_t request_bytes, std::uint64_t response_bytes,
+                        SimMicros server_service_us, CallOptions opts = {});
+
+  /// Execute a simulated RPC that cannot fail (pre-injector semantics).
+  /// Used by store maintenance paths whose failure handling lives above the
+  /// transport (down-flags checked by the caller).
+  CallCost call_reliable(sim::SimAgent& agent, sim::SimNode& server,
+                         std::uint64_t request_bytes, std::uint64_t response_bytes,
+                         SimMicros server_service_us);
+
+  /// Fault verdict for one request leg to `server` at the agent's current
+  /// time, without charging any cost. Client code that applies operations
+  /// directly on server objects (the blob data path) asks for a verdict
+  /// first, then charges the corresponding cost itself.
+  [[nodiscard]] FaultVerdict admit(sim::SimNode& server, SimMicros now);
+
+  /// Charge `agent` for a failed attempt: the full deadline for a dropped
+  /// request, or one short round trip for an error/outage rejection.
+  /// Returns the matching error. `deliver` verdicts are a programming error.
+  Status charge_failure(sim::SimAgent& agent, const FaultVerdict& verdict,
+                        std::uint64_t request_bytes, CallOptions opts);
 
   /// One-way fire-and-forget message (used for pipelined replication).
   /// Charges only the send leg to the agent; server service is queued at the
@@ -35,11 +75,20 @@ class Transport {
   SimMicros send_oneway(sim::SimAgent& agent, sim::SimNode& server,
                         std::uint64_t message_bytes, SimMicros server_service_us);
 
+  /// Install a fault injector (not owned; nullptr uninstalls). All
+  /// subsequent `call`/`admit` invocations consult it.
+  void set_fault_injector(FaultInjector* injector) noexcept { injector_ = injector; }
+  [[nodiscard]] FaultInjector* fault_injector() const noexcept { return injector_; }
+
   [[nodiscard]] sim::Cluster& cluster() noexcept { return *cluster_; }
   [[nodiscard]] const sim::NetModel& net() const noexcept { return cluster_->net(); }
 
+  /// Wait applied when a request with no explicit deadline is dropped.
+  static constexpr SimMicros kDefaultDropWaitUs = 5000;
+
  private:
   sim::Cluster* cluster_;
+  FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace bsc::rpc

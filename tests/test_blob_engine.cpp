@@ -94,6 +94,27 @@ TEST(Engine, VersionBumpsOnEveryMutation) {
   EXPECT_LT(v2, v3);
 }
 
+TEST(Engine, RecreateAfterRemoveContinuesVersionSequence) {
+  // Remove leaves a version floor: a recreated key's versions continue past
+  // the dead incarnation's instead of restarting at 1, so a replica that
+  // slept through remove+recreate can never look "freshest" to repair.
+  StorageEngine e;
+  ASSERT_TRUE(e.create("k").ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(e.write("k", 0, as_view(to_bytes("x")), false).ok());
+  }
+  const Version before = e.version("k").value();
+  ASSERT_TRUE(e.remove("k").ok());
+  ASSERT_TRUE(e.create("k").ok());
+  EXPECT_GT(e.version("k").value(), before);
+
+  // Same through the write-creates path.
+  ASSERT_TRUE(e.remove("k").ok());
+  const Version floor = before + 1;  // create consumed + reinstated the floor
+  ASSERT_TRUE(e.write("k", 0, as_view(to_bytes("y")), true).ok());
+  EXPECT_GT(e.version("k").value(), floor);
+}
+
 TEST(Engine, ScanSortedAndPrefixFiltered) {
   StorageEngine e;
   ASSERT_TRUE(e.create("b/2").ok());

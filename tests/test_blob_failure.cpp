@@ -2,9 +2,12 @@
 // writes, recovery resync, and all-replicas-down behaviour.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "blob/client.hpp"
 #include "common/rng.hpp"
 #include "common/strings.hpp"
+#include "rpc/fault.hpp"
 
 namespace bsc::blob {
 namespace {
@@ -34,11 +37,17 @@ TEST_F(FailureTest, ReadFailsOverToReplica) {
 TEST_F(FailureTest, AllReplicasDownFailsCleanly) {
   ASSERT_TRUE(client_.write("k", 0, as_view(to_bytes("x"))).ok());
   for (std::uint32_t n : store_.replicas_of("k")) store_.fail_server(n);
-  EXPECT_EQ(client_.read("k", 0, 1).code(), Errc::io_error);
-  EXPECT_EQ(client_.write("k", 0, as_view(to_bytes("y"))).code(), Errc::io_error);
-  EXPECT_EQ(client_.size("k").code(), Errc::io_error);
+  EXPECT_EQ(client_.read("k", 0, 1).code(), Errc::unavailable);
+  EXPECT_EQ(client_.write("k", 0, as_view(to_bytes("y"))).code(), Errc::unavailable);
+  EXPECT_EQ(client_.size("k").code(), Errc::unavailable);
+  EXPECT_EQ(client_.truncate("k", 0).code(), Errc::unavailable);
+  EXPECT_EQ(client_.remove("k").code(), Errc::unavailable);
   for (std::uint32_t n : store_.replicas_of("k")) store_.recover_server(n);
-  EXPECT_TRUE(client_.read("k", 0, 1).ok());
+  // The failed mutations were atomically absent: the original content is
+  // intact on every replica.
+  auto r = client_.read("k", 0, 1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(equal(as_view(r.value()), as_view(to_bytes("x"))));
 }
 
 TEST_F(FailureTest, DegradedWriteThenResyncConverges) {
@@ -111,8 +120,121 @@ TEST_F(FailureTest, TransactionsFailWhenKeyUnavailable) {
   for (std::uint32_t n : store_.replicas_of("txk")) store_.fail_server(n);
   auto txn = client_.begin_transaction();
   txn.write("txk", 0, as_view(to_bytes("x")));
-  EXPECT_EQ(txn.commit().code(), Errc::io_error);
+  EXPECT_EQ(txn.commit().code(), Errc::unavailable);
   for (std::uint32_t n : store_.replicas_of("txk")) store_.recover_server(n);
+}
+
+TEST_F(FailureTest, InjectedOutageSurfacesUnavailableNotHang) {
+  ASSERT_TRUE(client_.write("out", 0, as_view(to_bytes("payload"))).ok());
+  rpc::FaultInjector inj(7);
+  store_.transport().set_fault_injector(&inj);
+  rpc::FaultPlan dead;
+  dead.outages.push_back({0, std::numeric_limits<SimMicros>::max()});
+  for (std::uint32_t n : store_.replicas_of("out")) {
+    inj.set_plan(store_.server(n).node().id(), dead);
+  }
+  // Every replica is unreachable (though none is marked down): the client
+  // must exhaust retries and fail over cleanly, never hang or apply half.
+  EXPECT_EQ(client_.read("out", 0, 7).code(), Errc::unavailable);
+  EXPECT_EQ(client_.write("out", 0, as_view(to_bytes("zzzzzzz"))).code(),
+            Errc::unavailable);
+  EXPECT_GT(client_.counters().retries, 0u);
+  store_.transport().set_fault_injector(nullptr);
+  auto r = client_.read("out", 0, 7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(equal(as_view(r.value()), as_view(to_bytes("payload"))));
+}
+
+class QuorumTest : public ::testing::Test {
+ protected:
+  static StoreConfig quorum_config() {
+    StoreConfig cfg;
+    cfg.write_quorum = 2;  // W=2, R = 3-2+1 = 2 over replication 3
+    return cfg;
+  }
+  sim::Cluster cluster_;
+  BlobStore store_{cluster_, quorum_config()};
+  sim::SimAgent agent_;
+  BlobClient client_{store_, &agent_};
+};
+
+TEST_F(QuorumTest, DegradedWriteHintsAndDrainsOnRecover) {
+  const Bytes v1 = make_payload(10, 0, 4096);
+  const Bytes v2 = make_payload(11, 0, 4096);
+  ASSERT_TRUE(client_.write("q", 0, as_view(v1)).ok());
+  const auto replicas = store_.replicas_of("q");
+  ASSERT_EQ(replicas.size(), 3u);
+
+  // One replica dies; W=2 still reachable — the write succeeds degraded and
+  // the miss is recorded as a hint on the acting primary.
+  const std::uint32_t victim = replicas.back();
+  store_.fail_server(victim);
+  ASSERT_TRUE(client_.write("q", 0, as_view(v2)).ok());
+  EXPECT_EQ(client_.counters().quorum_degraded_writes, 1u);
+  EXPECT_EQ(client_.counters().hints_written, 1u);
+  EXPECT_EQ(store_.server(replicas.front()).hint_count(), 1u);
+
+  // Quorum read arbitrates by version and returns the acked update even
+  // though one replica never saw it.
+  auto r = client_.read("q", 0, 4096);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(equal(as_view(r.value()), as_view(v2)));
+
+  // Recovery drains the hint: the victim gets an exact copy (bytes AND
+  // version), after which a scrub finds zero divergence.
+  BlobStore::HintStats hs;
+  store_.recover_server(victim, &agent_, &hs);
+  EXPECT_EQ(hs.drained, 1u);
+  EXPECT_EQ(store_.server(replicas.front()).hint_count(), 0u);
+  for (std::uint32_t n : replicas) {
+    SimMicros svc = 0;
+    auto copy = store_.server(n).read("q", 0, 4096, &svc);
+    ASSERT_TRUE(copy.ok());
+    EXPECT_TRUE(equal(as_view(copy.value().data), as_view(v2))) << "replica " << n;
+  }
+  const auto report = store_.scrub(/*repair=*/false, &agent_);
+  EXPECT_EQ(report.divergent_replicas, 0u);
+}
+
+TEST_F(QuorumTest, HintsReplayBeforeResyncDigestComparison) {
+  ASSERT_TRUE(client_.write("hr", 0, as_view(make_payload(20, 0, 2048))).ok());
+  const auto replicas = store_.replicas_of("hr");
+  const std::uint32_t victim = replicas.back();
+  store_.fail_server(victim);
+  ASSERT_TRUE(client_.write("hr", 0, as_view(make_payload(21, 0, 2048))).ok());
+  ASSERT_EQ(client_.counters().hints_written, 1u);
+
+  // recover_server drains the hint; by the time resync runs its digest
+  // comparison the copy is already identical — nothing left to copy.
+  BlobStore::HintStats hs;
+  store_.recover_server(victim, &agent_, &hs);
+  ASSERT_EQ(hs.drained, 1u);
+  BlobStore::ResyncStats rs;
+  (void)store_.resync_server(victim, &agent_, &rs);
+  EXPECT_EQ(rs.copied, 0u);
+  EXPECT_GE(rs.skipped_identical, 1u);
+}
+
+TEST_F(QuorumTest, HintMustNotResurrectRemovedBlob) {
+  ASSERT_TRUE(client_.write("zombie", 0, as_view(make_payload(30, 0, 1024))).ok());
+  const auto replicas = store_.replicas_of("zombie");
+  const std::uint32_t victim = replicas.back();
+  store_.fail_server(victim);
+  // Miss an update (hint recorded), then remove the blob entirely. The
+  // removal reaches every live replica; the hint now points at a dead key.
+  ASSERT_TRUE(client_.write("zombie", 0, as_view(make_payload(31, 0, 1024))).ok());
+  ASSERT_TRUE(client_.remove("zombie").ok());
+
+  BlobStore::HintStats hs;
+  store_.recover_server(victim, &agent_, &hs);
+  // Draining found no live holder: the victim's stale copy is dropped, not
+  // spread — a hint must never resurrect a removed blob.
+  EXPECT_EQ(hs.drained, 0u);
+  EXPECT_EQ(hs.removed, 1u);
+  EXPECT_FALSE(client_.exists("zombie"));
+  auto scan = client_.scan("zombie");
+  ASSERT_TRUE(scan.ok());
+  EXPECT_TRUE(scan.value().empty());
 }
 
 TEST_F(FailureTest, ResyncWithNothingToDoIsZero) {

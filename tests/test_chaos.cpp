@@ -1,0 +1,468 @@
+// Deterministic chaos harness for the blob store's fault-tolerance layer.
+//
+// A scripted mixed workload (writes, reads, truncates, creates, removes,
+// multi-key transactions over a few dozen keys) runs against a scripted
+// fault schedule: flaky nodes (drops + transient errors + jitter), rolling
+// full outages, and a crash + restart mid-stream. Quorum writes (W=2 over
+// replication 3) keep the store available throughout.
+//
+// The oracle tracks, per key, the SET of states a correct store may expose:
+//  * an ACKED mutation advances every candidate (the client's ack plus the
+//    R+W > N read quorum guarantee that the freshest replica is probed mean
+//    the op is visible to every subsequent read);
+//  * a mutation rejected before apply ("primary unreachable", "all replicas
+//    down", precondition failures) leaves the candidates untouched — the op
+//    must be atomically absent;
+//  * a mutation that failed AFTER the acting primary applied ("insufficient
+//    acks") forks the candidates: both with-op and without-op states are
+//    legal until repair converges on one.
+// Every delivered read must match a candidate exactly. After each phase the
+// faults clear, hinted handoff drains, every server resyncs, and a repairing
+// scrub runs; then each key must read back as exactly one candidate and a
+// verify-only scrub must report ZERO divergence.
+//
+// Determinism: every random choice (workload and fault plans alike) derives
+// from one seed, overridable via BSC_CHAOS_SEED; the whole schedule is
+// replayed twice and the two op-by-op traces must be identical. The final
+// line `CHAOS_INVARIANTS_CHECKED ...` is the marker CI greps for — its
+// absence means the invariant checks were skipped, which fails the job.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "blob/client.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "persist/fault_file.hpp"
+#include "rpc/fault.hpp"
+
+namespace bsc::blob {
+namespace {
+
+constexpr std::uint64_t kDefaultSeed = 0xC0FFEE;
+constexpr std::uint64_t kMaxBlobLen = 1 << 14;  // well under one chunk
+constexpr int kKeys = 16;
+
+std::uint64_t chaos_seed() {
+  if (const char* env = std::getenv("BSC_CHAOS_SEED")) {
+    return std::strtoull(env, nullptr, 0);
+  }
+  return kDefaultSeed;
+}
+
+/// One possible key state: nullopt = absent, else exact contents.
+using State = std::optional<Bytes>;
+
+State apply_write(const State& s, std::uint64_t off, const Bytes& data) {
+  Bytes c = s ? *s : Bytes{};
+  if (c.size() < off + data.size()) c.resize(off + data.size(), std::byte{0});
+  std::copy(data.begin(), data.end(),
+            c.begin() + static_cast<std::ptrdiff_t>(off));
+  return c;
+}
+
+State apply_trunc(const State& s, std::uint64_t len) {
+  if (!s) return s;
+  Bytes c = *s;
+  c.resize(len, std::byte{0});
+  return c;
+}
+
+struct Oracle {
+  // Oldest-to-newest list of legal states; every entry embeds every acked op.
+  std::map<std::string, std::vector<State>> keys;
+
+  std::vector<State>& of(const std::string& k) {
+    auto& v = keys[k];
+    if (v.empty()) v.push_back(std::nullopt);
+    return v;
+  }
+
+  static void push_unique(std::vector<State>& v, State s) {
+    for (const State& e : v) {
+      if (e == s) return;
+    }
+    v.push_back(std::move(s));
+  }
+
+  /// Acked mutation: every candidate advances (candidates on which the op's
+  /// precondition could not have held are pruned — the acting primary's
+  /// precheck passed, so they were not the true state).
+  template <typename Fn>
+  void acked(const std::string& k, Fn&& fn) {
+    auto& v = of(k);
+    std::vector<State> next;
+    for (const State& s : v) {
+      auto r = fn(s);
+      if (r.has_value()) push_unique(next, std::move(*r));
+    }
+    if (next.empty()) next.push_back(std::nullopt);  // defensive; unreachable
+    v = std::move(next);
+  }
+
+  /// Applied-at-primary-only mutation: keep the old candidates AND add the
+  /// advanced ones.
+  template <typename Fn>
+  void uncertain(const std::string& k, Fn&& fn) {
+    auto& v = of(k);
+    std::vector<State> extra;
+    for (const State& s : v) {
+      auto r = fn(s);
+      if (r.has_value()) push_unique(extra, std::move(*r));
+    }
+    for (State& s : extra) push_unique(v, std::move(s));
+  }
+
+  bool matches(const std::string& k, const State& observed) {
+    for (const State& s : of(k)) {
+      if (s == observed) return true;
+    }
+    return false;
+  }
+
+  void collapse(const std::string& k, State observed) {
+    keys[k] = {std::move(observed)};
+  }
+};
+
+/// True when the error proves the mutation was applied NOWHERE.
+bool definitely_not_applied(const Status& st) {
+  switch (st.code()) {
+    case Errc::already_exists:
+    case Errc::not_found:
+    case Errc::conflict:
+    case Errc::invalid_argument:
+      return true;  // rejected by precheck, before any apply
+    default:
+      break;
+  }
+  const std::string& ctx = st.error().context;
+  return ctx.rfind("primary unreachable", 0) == 0 ||
+         ctx.rfind("all replicas down", 0) == 0 ||
+         ctx.rfind("insufficient fresh replicas", 0) == 0 ||
+         ctx.rfind("read quorum unreachable", 0) == 0;
+}
+
+struct ChaosOutcome {
+  std::vector<std::string> trace;  ///< op-by-op log; determinism witness
+  std::uint64_t ops = 0;
+  std::uint64_t acked = 0;
+  std::uint64_t rejected = 0;   ///< atomically-absent failures
+  std::uint64_t uncertain = 0;  ///< applied-at-primary failures
+  std::uint64_t reads_checked = 0;
+  std::uint64_t keys_verified = 0;
+  std::uint64_t scrub_divergence = 0;  ///< must end at zero
+  std::uint64_t hints_written = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t failovers = 0;
+};
+
+class ChaosRun {
+ public:
+  explicit ChaosRun(std::uint64_t seed)
+      : rng_(seed), injector_(seed ^ 0x9e3779b97f4a7c15ULL) {
+    StoreConfig cfg;
+    cfg.write_quorum = 2;  // W=2 over replication 3 -> R=2, R+W > N
+    store_ = std::make_unique<BlobStore>(cluster_, cfg);
+    client_ = std::make_unique<BlobClient>(*store_, &agent_);
+    persist::JournalConfig jcfg;
+    jcfg.fsync = persist::FsyncPolicy::always;  // a crash loses nothing acked
+    EXPECT_TRUE(store_->enable_persistence(dir_.path(), jcfg).ok());
+    store_->transport().set_fault_injector(&injector_);
+    for (int i = 0; i < kKeys; ++i) keys_.push_back(strfmt("c-%02d", i));
+  }
+
+  ChaosOutcome run() {
+    // Phase 1: healthy warmup — seed every key, no faults.
+    for (int i = 0; i < 48; ++i) step();
+    repair_and_verify("warmup");
+
+    // Phase 2: flaky nodes — drops, transient errors, jitter on 3 nodes.
+    rpc::FaultPlan flaky;
+    flaky.drop_probability = 0.05;
+    flaky.error_probability = 0.05;
+    flaky.added_latency_us = 50;
+    flaky.jitter_us = 200;
+    for (std::uint32_t n = 0; n < 3; ++n) {
+      injector_.set_plan(store_->server(n).node().id(), flaky);
+    }
+    for (int i = 0; i < 64; ++i) step();
+    injector_.clear_all();
+    repair_and_verify("flaky");
+
+    // Phase 2b: asymmetric storm on one replica set — the primary stays
+    // healthy while the other two replicas drop most requests, so some
+    // writes apply at the primary yet fail quorum ("insufficient acks"):
+    // exactly the applied-but-unacknowledged limbo the oracle's candidate
+    // forks model.
+    {
+      const std::string& hot = keys_[0];
+      const auto reps = store_->replicas_of(hot);
+      rpc::FaultPlan storm;
+      storm.drop_probability = 0.6;
+      storm.error_probability = 0.2;
+      for (std::size_t i = 1; i < reps.size(); ++i) {
+        injector_.set_plan(store_->server(reps[i]).node().id(), storm);
+      }
+      for (int i = 0; i < 32; ++i) {
+        ++out_.ops;
+        const Bytes data = make_payload(out_.ops, 0, 512 + rng_.next_below(512));
+        auto r = client_->write(hot, 0, as_view(data));
+        Status st = r.ok() ? Status::success() : Status{r.error()};
+        note("storm-write", hot, st);
+        account(hot, st, [&](const State& s) -> std::optional<State> {
+          return apply_write(s, 0, data);
+        });
+      }
+      injector_.clear_all();
+      repair_and_verify("storm");
+    }
+
+    // Phase 3: rolling outages — one node fully unreachable at a time.
+    for (std::uint32_t round = 0; round < 4; ++round) {
+      const std::uint32_t node =
+          static_cast<std::uint32_t>(rng_.next_below(store_->server_count()));
+      rpc::FaultPlan dead;
+      dead.outages.push_back({0, std::numeric_limits<SimMicros>::max()});
+      injector_.set_plan(store_->server(node).node().id(), dead);
+      for (int i = 0; i < 16; ++i) step();
+      injector_.clear_all();
+    }
+    repair_and_verify("outages");
+
+    // Phase 4: crash + restart mid-stream. The victim's volatile state is
+    // wiped; WAL recovery + hint drain + resync bring it back.
+    const auto victim =
+        static_cast<std::uint32_t>(rng_.next_below(store_->server_count()));
+    store_->crash_server(victim);
+    for (int i = 0; i < 32; ++i) step();
+    auto restarted = store_->restart_server(victim, &agent_);
+    EXPECT_TRUE(restarted.ok()) << "restart failed";
+    for (int i = 0; i < 16; ++i) step();
+    repair_and_verify("crash-restart");
+
+    out_.hints_written = client_->counters().hints_written;
+    out_.retries = client_->counters().retries;
+    out_.failovers = client_->counters().failovers;
+    return std::move(out_);
+  }
+
+ private:
+  const std::string& pick_key() { return keys_[rng_.next_below(keys_.size())]; }
+
+  void note(const std::string& op, const std::string& key, const Status& st) {
+    out_.trace.push_back(strfmt("%llu %s %s -> %s",
+                                static_cast<unsigned long long>(out_.ops),
+                                op.c_str(), key.c_str(),
+                                std::string(to_string(st.code())).c_str()));
+  }
+
+  /// Classify one mutation result and update the oracle accordingly.
+  template <typename Fn>
+  void account(const std::string& key, const Status& st, Fn&& fn) {
+    if (st.ok()) {
+      ++out_.acked;
+      oracle_.acked(key, fn);
+    } else if (definitely_not_applied(st)) {
+      ++out_.rejected;
+    } else {
+      ++out_.uncertain;
+      oracle_.uncertain(key, fn);
+    }
+  }
+
+  void step() {
+    ++out_.ops;
+    const std::uint64_t dice = rng_.next_below(100);
+    const std::uint64_t id = out_.ops;
+    if (dice < 35) {  // write
+      const std::string& key = pick_key();
+      const std::uint64_t off = 1024 * rng_.next_below(3);
+      const std::uint64_t len = 512 + rng_.next_below(1536);
+      const Bytes data = make_payload(id, off, len);
+      Status st = [&] {
+        auto r = client_->write(key, off, as_view(data));
+        return r.ok() ? Status::success() : Status{r.error()};
+      }();
+      note("write", key, st);
+      account(key, st, [&](const State& s) -> std::optional<State> {
+        return apply_write(s, off, data);
+      });
+    } else if (dice < 60) {  // read + invariant check
+      const std::string& key = pick_key();
+      auto r = client_->read(key, 0, kMaxBlobLen);
+      Status st = r.ok() ? Status::success() : Status{r.error()};
+      note("read", key, st);
+      State observed;
+      bool informative = true;
+      if (r.ok()) {
+        observed = std::move(r.value());
+      } else if (r.code() == Errc::not_found) {
+        observed = std::nullopt;
+      } else {
+        informative = false;  // request-level failure: no state revealed
+      }
+      if (informative) {
+        ++out_.reads_checked;
+        EXPECT_TRUE(oracle_.matches(key, observed))
+            << "read of " << key << " returned a state no correct store "
+            << "could expose (op " << id << ")";
+      }
+    } else if (dice < 70) {  // truncate
+      const std::string& key = pick_key();
+      const std::uint64_t len = rng_.next_below(4096);
+      Status st = client_->truncate(key, len);
+      note("truncate", key, st);
+      account(key, st, [&](const State& s) -> std::optional<State> {
+        if (!s) return std::nullopt;  // prune: op acked => key existed
+        return apply_trunc(s, len);
+      });
+    } else if (dice < 78) {  // create
+      const std::string& key = pick_key();
+      Status st = client_->create(key);
+      note("create", key, st);
+      account(key, st, [&](const State& s) -> std::optional<State> {
+        if (s) return std::nullopt;  // prune: op acked => key was absent
+        return State{Bytes{}};
+      });
+    } else if (dice < 88) {  // remove
+      const std::string& key = pick_key();
+      Status st = client_->remove(key);
+      note("remove", key, st);
+      account(key, st, [&](const State& s) -> std::optional<State> {
+        if (!s) return std::nullopt;  // prune: op acked => key existed
+        return State{std::nullopt};
+      });
+    } else {  // multi-key transaction: two whole-key writes, atomic
+      const std::string k1 = pick_key();
+      const std::string k2 = pick_key();
+      const Bytes d1 = make_payload(id * 2, 0, 256 + rng_.next_below(512));
+      const Bytes d2 = make_payload(id * 2 + 1, 0, 256 + rng_.next_below(512));
+      auto txn = client_->begin_transaction();
+      txn.write(k1, 0, as_view(d1));
+      if (k2 != k1) txn.write(k2, 0, as_view(d2));
+      Status st = txn.commit();
+      note("txn", k1 + "+" + k2, st);
+      // commit() validates and gates BEFORE applying anywhere: a failed
+      // commit applied nothing, a successful one applied on every fresh
+      // replica of both keys.
+      if (st.ok()) {
+        out_.acked += 1;
+        oracle_.acked(k1, [&](const State& s) -> std::optional<State> {
+          return apply_write(s, 0, d1);
+        });
+        if (k2 != k1) {
+          oracle_.acked(k2, [&](const State& s) -> std::optional<State> {
+            return apply_write(s, 0, d2);
+          });
+        }
+      } else {
+        ++out_.rejected;
+        EXPECT_TRUE(definitely_not_applied(st))
+            << "txn failed with a verdict that does not prove atomic "
+            << "absence: " << st.message();
+      }
+    }
+  }
+
+  /// End-of-phase convergence: drain hints everywhere, resync every server,
+  /// repair-scrub, then check every key reads back as exactly one legal
+  /// state and a verify-only scrub sees zero divergence.
+  void repair_and_verify(const char* phase) {
+    for (std::uint32_t i = 0; i < store_->server_count(); ++i) {
+      store_->recover_server(i, &agent_);  // up-flag (idempotent) + hint drain
+    }
+    for (std::uint32_t i = 0; i < store_->server_count(); ++i) {
+      (void)store_->resync_server(i, &agent_);
+    }
+    (void)store_->scrub(/*repair=*/true, &agent_);
+
+    for (const auto& key : keys_) {
+      auto r = client_->read(key, 0, kMaxBlobLen);
+      State observed;
+      if (r.ok()) {
+        observed = std::move(r.value());
+      } else {
+        ASSERT_EQ(r.code(), Errc::not_found)
+            << "post-repair read of " << key << " failed in phase " << phase
+            << ": " << r.error().message();
+        observed = std::nullopt;
+      }
+      EXPECT_TRUE(oracle_.matches(key, observed))
+          << "post-repair state of " << key << " in phase " << phase
+          << " matches no legal candidate";
+      ++out_.keys_verified;
+      oracle_.collapse(key, std::move(observed));
+    }
+
+    const auto report = store_->scrub(/*repair=*/false, &agent_);
+    EXPECT_EQ(report.divergent_replicas, 0u)
+        << "replicas diverged after repair in phase " << phase;
+    EXPECT_EQ(report.checksum_errors, 0u);
+    out_.scrub_divergence += report.divergent_replicas;
+    out_.trace.push_back(strfmt("verify %s keys=%d", phase, kKeys));
+  }
+
+  Rng rng_;
+  rpc::FaultInjector injector_;
+  sim::Cluster cluster_;
+  std::unique_ptr<BlobStore> store_;
+  sim::SimAgent agent_;
+  std::unique_ptr<BlobClient> client_;
+  persist::TempDir dir_;
+  std::vector<std::string> keys_;
+  Oracle oracle_;
+  ChaosOutcome out_;
+};
+
+TEST(Chaos, MixedWorkloadSurvivesFaultScheduleDeterministically) {
+  const std::uint64_t seed = chaos_seed();
+
+  ChaosOutcome first = ChaosRun(seed).run();
+  ASSERT_FALSE(::testing::Test::HasFailure())
+      << "invariant violation in first run (seed " << seed << ")";
+
+  // Same seed, fresh store: the op-by-op trace must replay identically —
+  // fault injection, retries, hedging and repair are all deterministic.
+  ChaosOutcome second = ChaosRun(seed).run();
+  ASSERT_EQ(first.trace.size(), second.trace.size());
+  for (std::size_t i = 0; i < first.trace.size(); ++i) {
+    ASSERT_EQ(first.trace[i], second.trace[i]) << "trace diverged at op " << i;
+  }
+
+  // The schedule must actually exercise the machinery it claims to test.
+  EXPECT_GT(first.acked, 0u);
+  EXPECT_GT(first.reads_checked, 0u);
+  EXPECT_GT(first.retries, 0u);
+  EXPECT_GT(first.hints_written, 0u);
+  EXPECT_GT(first.uncertain, 0u);  // applied-at-primary limbo was exercised
+  EXPECT_EQ(first.scrub_divergence, 0u);
+
+  // CI greps for this exact marker: it only prints after every invariant
+  // check above ran on a green run.
+  if (!::testing::Test::HasFailure()) {
+    std::printf("CHAOS_INVARIANTS_CHECKED seed=0x%llx ops=%llu acked=%llu "
+                "rejected=%llu uncertain=%llu reads=%llu keys_verified=%llu "
+                "retries=%llu hints=%llu failovers=%llu\n",
+                static_cast<unsigned long long>(seed),
+                static_cast<unsigned long long>(first.ops),
+                static_cast<unsigned long long>(first.acked),
+                static_cast<unsigned long long>(first.rejected),
+                static_cast<unsigned long long>(first.uncertain),
+                static_cast<unsigned long long>(first.reads_checked),
+                static_cast<unsigned long long>(first.keys_verified),
+                static_cast<unsigned long long>(first.retries),
+                static_cast<unsigned long long>(first.hints_written),
+                static_cast<unsigned long long>(first.failovers));
+  }
+}
+
+}  // namespace
+}  // namespace bsc::blob

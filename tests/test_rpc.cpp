@@ -1,6 +1,8 @@
 // Unit tests for the wire format and the cost-charging transport.
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "rpc/transport.hpp"
 #include "rpc/wire.hpp"
 
@@ -58,11 +60,12 @@ TEST(Transport, ChargesRequestServiceResponse) {
   Transport t(cluster);
   sim::SimAgent agent;
   auto cost = t.call(agent, cluster.storage_node(0), 1000, 2000, 500);
-  EXPECT_EQ(cost.start, 0);
+  ASSERT_TRUE(cost.ok());
+  EXPECT_EQ(cost.value().start, 0);
   const auto& net = cluster.net();
   const SimMicros expected =
       net.transfer_us(1000) + 500 + net.transfer_us(2000);
-  EXPECT_EQ(cost.completion, expected);
+  EXPECT_EQ(cost.value().completion, expected);
   EXPECT_EQ(agent.now(), expected);
 }
 
@@ -71,10 +74,133 @@ TEST(Transport, QueueingDelaysSecondCaller) {
   Transport t(cluster);
   sim::SimAgent a1;
   sim::SimAgent a2;
-  t.call(a1, cluster.storage_node(0), 0, 0, 10000);
-  t.call(a2, cluster.storage_node(0), 0, 0, 10000);
+  ASSERT_TRUE(t.call(a1, cluster.storage_node(0), 0, 0, 10000).ok());
+  ASSERT_TRUE(t.call(a2, cluster.storage_node(0), 0, 0, 10000).ok());
   // a2's request queued behind a1's service window.
   EXPECT_GT(a2.now(), a1.now());
+}
+
+TEST(Transport, ReliableCallMatchesFaultFreeCall) {
+  sim::Cluster cluster;
+  Transport t(cluster);
+  sim::SimAgent a1;
+  sim::SimAgent a2;
+  auto fallible = t.call(a1, cluster.storage_node(0), 1000, 2000, 500);
+  CallCost reliable = t.call_reliable(a2, cluster.storage_node(1), 1000, 2000, 500);
+  ASSERT_TRUE(fallible.ok());
+  EXPECT_EQ(fallible.value().latency(), reliable.latency());
+}
+
+TEST(Transport, DropBurnsDeadlineAndTimesOut) {
+  sim::Cluster cluster;
+  Transport t(cluster);
+  FaultInjector inj(/*seed=*/1);
+  inj.set_plan(cluster.storage_node(0).id(), {.drop_probability = 1.0});
+  t.set_fault_injector(&inj);
+
+  sim::SimAgent agent;
+  auto r = t.call(agent, cluster.storage_node(0), 100, 100, 50,
+                  {.deadline_us = 2000});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), Errc::timeout);
+  EXPECT_EQ(agent.now(), 2000);  // the whole deadline was burned waiting
+  EXPECT_EQ(inj.counters().dropped, 1u);
+}
+
+TEST(Transport, DropWithoutDeadlineUsesDefaultWait) {
+  sim::Cluster cluster;
+  Transport t(cluster);
+  FaultInjector inj(/*seed=*/1);
+  inj.set_plan(cluster.storage_node(0).id(), {.drop_probability = 1.0});
+  t.set_fault_injector(&inj);
+
+  sim::SimAgent agent;
+  auto r = t.call(agent, cluster.storage_node(0), 100, 100, 50);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), Errc::timeout);
+  EXPECT_EQ(agent.now(), Transport::kDefaultDropWaitUs);
+}
+
+TEST(Transport, TransientErrorIsFastAndUnavailable) {
+  sim::Cluster cluster;
+  Transport t(cluster);
+  FaultInjector inj(/*seed=*/7);
+  inj.set_plan(cluster.storage_node(0).id(), {.error_probability = 1.0});
+  t.set_fault_injector(&inj);
+
+  sim::SimAgent agent;
+  auto r = t.call(agent, cluster.storage_node(0), 100, 100, 50,
+                  {.deadline_us = 10000});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), Errc::unavailable);
+  EXPECT_LT(agent.now(), 10000);  // detected well before the deadline
+  EXPECT_EQ(inj.counters().errored, 1u);
+}
+
+TEST(Transport, OutageWindowRejectsOnlyInsideWindow) {
+  sim::Cluster cluster;
+  Transport t(cluster);
+  FaultInjector inj(/*seed=*/3);
+  FaultPlan plan;
+  plan.outages.push_back({.from = 1000, .until = 5000});
+  inj.set_plan(cluster.storage_node(0).id(), plan);
+  t.set_fault_injector(&inj);
+
+  sim::SimAgent agent;
+  EXPECT_TRUE(t.call(agent, cluster.storage_node(0), 10, 10, 5).ok());  // before
+  agent.advance_to(2000);
+  auto r = t.call(agent, cluster.storage_node(0), 10, 10, 5);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), Errc::unavailable);  // inside
+  agent.advance_to(5000);
+  EXPECT_TRUE(t.call(agent, cluster.storage_node(0), 10, 10, 5).ok());  // after
+  EXPECT_EQ(inj.counters().outage_rejections, 1u);
+}
+
+TEST(Transport, AddedLatencySlowsDeliveredCalls) {
+  sim::Cluster cluster;
+  Transport t(cluster);
+  sim::SimAgent base_agent;
+  CallCost base = t.call_reliable(base_agent, cluster.storage_node(0), 100, 100, 50);
+
+  FaultInjector inj(/*seed=*/5);
+  inj.set_plan(cluster.storage_node(1).id(), {.added_latency_us = 300});
+  t.set_fault_injector(&inj);
+  sim::SimAgent slow_agent;
+  auto slow = t.call(slow_agent, cluster.storage_node(1), 100, 100, 50);
+  ASSERT_TRUE(slow.ok());
+  // Extra latency applies to both the request and the response leg.
+  EXPECT_EQ(slow.value().latency(), base.latency() + 600);
+  EXPECT_EQ(inj.counters().delayed, 1u);
+}
+
+TEST(Transport, SameSeedSameVerdictSequence) {
+  sim::Cluster cluster;
+  auto run = [&](std::uint64_t seed) {
+    FaultInjector inj(seed);
+    inj.set_plan(0, {.drop_probability = 0.3, .error_probability = 0.2, .jitter_us = 50});
+    std::vector<int> verdicts;
+    for (int i = 0; i < 200; ++i) {
+      auto v = inj.decide(0, /*now=*/i);
+      verdicts.push_back(static_cast<int>(v.kind) * 1000 +
+                         static_cast<int>(v.extra_latency_us));
+    }
+    return verdicts;
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+}
+
+TEST(Transport, UnplannedNodesAreUnaffected) {
+  sim::Cluster cluster;
+  Transport t(cluster);
+  FaultInjector inj(/*seed=*/9);
+  inj.set_plan(cluster.storage_node(0).id(), {.drop_probability = 1.0});
+  t.set_fault_injector(&inj);
+  sim::SimAgent agent;
+  EXPECT_TRUE(t.call(agent, cluster.storage_node(1), 10, 10, 5).ok());
+  inj.clear_all();
+  EXPECT_TRUE(t.call(agent, cluster.storage_node(0), 10, 10, 5).ok());
 }
 
 TEST(Transport, OnewayDoesNotBlockSender) {
