@@ -6,9 +6,58 @@
 // EH shows directory/other calls, and they disappear in EH/MPI.
 #include <cstdio>
 
+#include "obs/metrics.hpp"
 #include "support.hpp"
 
 using namespace bsc;
+
+namespace {
+
+/// Census cross-check: the registry's always-on `trace.calls.<category>`
+/// counters must reproduce the exact call mix the trace layer reports for
+/// the same runs (same counts, hence same percentages). A drift means one
+/// of the two census paths lost or double-counted calls.
+int check_registry_census(const std::vector<trace::AppCensus>& measured) {
+  trace::Census agg;
+  for (const auto& app : measured) agg += app.census;
+
+  const auto snap = obs::MetricsRegistry::global().snapshot();
+  auto counter = [&](const char* name) -> std::uint64_t {
+    auto it = snap.counters.find(name);
+    return it == snap.counters.end() ? 0 : it->second;
+  };
+
+  std::printf("Registry census cross-check (trace layer vs metrics registry):\n");
+  std::printf("  %-12s %14s %14s\n", "category", "trace", "registry");
+  int mismatches = 0;
+  for (std::size_t i = 0; i < trace::kCategoryCount; ++i) {
+    const auto cat = static_cast<trace::Category>(i);
+    const std::uint64_t want = agg.category_count(cat);
+    const std::uint64_t got =
+        counter((std::string{"trace.calls."} + std::string{trace::to_string(cat)}).c_str());
+    std::printf("  %-12s %14llu %14llu%s\n",
+                std::string{trace::to_string(cat)}.c_str(),
+                static_cast<unsigned long long>(want),
+                static_cast<unsigned long long>(got), want == got ? "" : "  MISMATCH");
+    if (want != got) ++mismatches;
+  }
+  const std::uint64_t total_got = counter("trace.calls.total");
+  if (agg.total_calls() != total_got) {
+    std::printf("  total: trace=%llu registry=%llu  MISMATCH\n",
+                static_cast<unsigned long long>(agg.total_calls()),
+                static_cast<unsigned long long>(total_got));
+    ++mismatches;
+  }
+  if (agg.bytes_read != counter("trace.bytes_read") ||
+      agg.bytes_written != counter("trace.bytes_written")) {
+    std::printf("  byte volumes diverge  MISMATCH\n");
+    ++mismatches;
+  }
+  std::printf("  %s\n\n", mismatches == 0 ? "CENSUS_CROSSCHECK_OK" : "CENSUS_CROSSCHECK_FAILED");
+  return mismatches;
+}
+
+}  // namespace
 
 int main() {
   bench::print_banner("FIGURE 1 — HPC STORAGE-CALL RATIOS");
@@ -49,5 +98,6 @@ int main() {
                 app.name.c_str(), rw, static_cast<unsigned long long>(dirs),
                 app.name == "EH" ? "(run scripts)" : "");
   }
-  return 0;
+  std::printf("\n");
+  return check_registry_census(measured) == 0 ? 0 : 1;
 }

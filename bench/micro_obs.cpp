@@ -1,0 +1,211 @@
+// Microbenchmarks of the observability layer: what the metrics registry
+// costs on the blob data path (the same 4 KiB write/read loop with metrics
+// enabled vs disabled — the spread is the instrumentation tax, budgeted at
+// <=5% in EXPERIMENTS.md), plus tight-loop prices of the primitives
+// (counter add, sharded-histogram add) and of a snapshot/export cycle.
+//
+// `--metrics <path>` additionally dumps the registry snapshot after the run
+// (CI uses it to assert the instrumented layers actually published their
+// series).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "blob/client.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/strings.hpp"
+#include "obs/metrics.hpp"
+#include "support.hpp"
+
+using namespace bsc;
+
+namespace {
+
+constexpr std::uint64_t kPayload = 4096;
+constexpr int kKeys = 64;
+
+/// One client rig on the classic (W=0) path, no fault injector: the fastest
+/// data path the store has, where a fixed instrumentation cost is the
+/// largest relative tax.
+struct Rig {
+  sim::Cluster cluster;
+  blob::BlobStore store;
+  sim::SimAgent agent;
+  blob::BlobClient client;
+
+  Rig() : store(cluster, blob::StoreConfig{}), client(store, &agent) {}
+};
+
+/// Flips the process-wide metrics switch for one benchmark run and always
+/// restores the default (enabled) on exit, so run order cannot leak a
+/// disabled registry into later benchmarks or the final snapshot.
+struct MetricsArm {
+  explicit MetricsArm(bool on) { obs::set_metrics_enabled(on); }
+  ~MetricsArm() { obs::set_metrics_enabled(true); }
+};
+
+void report_sim(benchmark::State& state, const Histogram& lat, SimMicros total) {
+  state.counters["sim_us_per_op"] = benchmark::Counter(
+      state.iterations() > 0
+          ? static_cast<double>(total) / static_cast<double>(state.iterations())
+          : 0.0);
+  state.counters["sim_p50_us"] =
+      benchmark::Counter(static_cast<double>(lat.percentile(50)));
+  state.counters["sim_p99_us"] =
+      benchmark::Counter(static_cast<double>(lat.percentile(99)));
+}
+
+// --- data-path tax ---------------------------------------------------------
+// Arg(0): 0 = metrics disabled, 1 = enabled (the default). Identical loops;
+// only the registry publishing differs.
+
+void BM_Write4K(benchmark::State& state) {
+  MetricsArm arm(state.range(0) != 0);
+  Rig rig;
+  const Bytes data = make_payload(1, 0, kPayload);
+  Histogram lat;
+  std::uint64_t i = 0;
+  const SimMicros sim_start = rig.agent.now();
+  for (auto _ : state) {
+    const SimMicros t0 = rig.agent.now();
+    auto r = rig.client.write(strfmt("w-%llu", static_cast<unsigned long long>(i++ % kKeys)),
+                              0, as_view(data));
+    benchmark::DoNotOptimize(r.ok());
+    lat.add(static_cast<std::uint64_t>(rig.agent.now() - t0));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(kPayload) * state.iterations());
+  state.SetLabel(state.range(0) != 0 ? "metrics-on" : "metrics-off");
+  report_sim(state, lat, rig.agent.now() - sim_start);
+}
+BENCHMARK(BM_Write4K)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
+void BM_Read4K(benchmark::State& state) {
+  Rig rig;
+  const Bytes data = make_payload(2, 0, kPayload);
+  for (int k = 0; k < kKeys; ++k) {
+    auto r = rig.client.write(strfmt("r-%d", k), 0, as_view(data));
+    if (!r.ok()) {
+      state.SkipWithError("seed write failed");
+      return;
+    }
+  }
+  MetricsArm arm(state.range(0) != 0);
+  Histogram lat;
+  std::uint64_t i = 0;
+  const SimMicros sim_start = rig.agent.now();
+  for (auto _ : state) {
+    const SimMicros t0 = rig.agent.now();
+    auto r = rig.client.read(strfmt("r-%llu", static_cast<unsigned long long>(i++ % kKeys)),
+                             0, kPayload);
+    benchmark::DoNotOptimize(r.ok());
+    lat.add(static_cast<std::uint64_t>(rig.agent.now() - t0));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(kPayload) * state.iterations());
+  state.SetLabel(state.range(0) != 0 ? "metrics-on" : "metrics-off");
+  report_sim(state, lat, rig.agent.now() - sim_start);
+}
+BENCHMARK(BM_Read4K)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
+// --- primitive prices ------------------------------------------------------
+
+void BM_CounterAdd(benchmark::State& state) {
+  obs::Counter& c = obs::MetricsRegistry::global().counter("bench.micro_obs.counter");
+  for (auto _ : state) c.inc();
+  benchmark::DoNotOptimize(c.value());
+}
+BENCHMARK(BM_CounterAdd);
+
+void BM_ShardedHistogramAdd(benchmark::State& state) {
+  obs::ShardedHistogram& h =
+      obs::MetricsRegistry::global().histogram("bench.micro_obs.hist");
+  std::uint64_t v = 1;
+  for (auto _ : state) h.add(v = v * 2862933555777941757ULL + 3037000493ULL);
+  benchmark::DoNotOptimize(h.count());
+}
+BENCHMARK(BM_ShardedHistogramAdd);
+
+void BM_SnapshotToJson(benchmark::State& state) {
+  // Priced against whatever the data-path benchmarks left in the registry —
+  // a realistically populated series set.
+  for (auto _ : state) {
+    auto snap = obs::MetricsRegistry::global().snapshot();
+    auto json = snap.to_json();
+    benchmark::DoNotOptimize(json.data());
+  }
+}
+BENCHMARK(BM_SnapshotToJson);
+
+/// Console reporter that also captures every run for `--json <path>` output
+/// (the machine-readable perf trajectory; schema in EXPERIMENTS.md).
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      bench::BenchResult r;
+      r.name = run.benchmark_name();
+      r.iterations = static_cast<std::uint64_t>(run.iterations);
+      r.ns_per_op = run.iterations > 0
+                        ? run.real_accumulated_time * 1e9 / static_cast<double>(run.iterations)
+                        : 0.0;
+      auto bps = run.counters.find("bytes_per_second");
+      if (bps != run.counters.end()) r.bytes_per_s = bps->second;
+      auto sim = run.counters.find("sim_us_per_op");
+      if (sim != run.counters.end()) r.sim_us_per_op = sim->second;
+      auto p50 = run.counters.find("sim_p50_us");
+      if (p50 != run.counters.end()) r.sim_p50_us = p50->second;
+      auto p99 = run.counters.find("sim_p99_us");
+      if (p99 != run.counters.end()) r.sim_p99_us = p99->second;
+      results.push_back(std::move(r));
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  std::vector<bench::BenchResult> results;
+};
+
+/// Extract and remove a `--metrics <path>` argument pair (mirrors
+/// bench::take_json_path, which owns `--json`).
+std::string take_metrics_path(int* argc, char** argv) {
+  for (int i = 1; i + 1 < *argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics") == 0) {
+      std::string path = argv[i + 1];
+      for (int j = i; j + 2 < *argc; ++j) argv[j] = argv[j + 2];
+      *argc -= 2;
+      return path;
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json = bench::take_json_path(&argc, argv);
+  const std::string metrics = take_metrics_path(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!json.empty() &&
+      !bench::write_bench_json(json, bench::collect_run_meta("micro_obs"),
+                               reporter.results)) {
+    return 1;
+  }
+  if (!metrics.empty()) {
+    const std::string out = obs::MetricsRegistry::global().snapshot().to_json();
+    std::FILE* f = std::fopen(metrics.c_str(), "wb");
+    if (!f || std::fwrite(out.data(), 1, out.size(), f) != out.size()) {
+      std::fprintf(stderr, "cannot write metrics snapshot: %s\n", metrics.c_str());
+      if (f) std::fclose(f);
+      return 1;
+    }
+    std::fclose(f);
+  }
+  return 0;
+}

@@ -4,6 +4,8 @@
 #include <map>
 #include <set>
 
+#include "trace/taxonomy.hpp"
+
 namespace bsc::blob {
 
 namespace {
@@ -17,6 +19,75 @@ constexpr std::uint64_t kProbeResp = kEnvelope + 24;
 std::uint64_t req_bytes(std::string_view key, std::uint64_t payload = 0) {
   return kEnvelope + key.size() + payload;
 }
+
+/// Registry series of one client primitive. The category counter is the
+/// paper's §IV taxonomy roll-up, reached through the closest POSIX OpKind:
+/// create→open, remove→unlink, size/stat→stat, scan→readdir, txn→sync
+/// (read/write/truncate map to themselves).
+struct PrimSeries {
+  std::string label;  ///< slow-op op name, e.g. "client.read"
+  obs::Counter& calls;
+  obs::Counter& category;
+  obs::ShardedHistogram& latency_us;
+};
+
+PrimSeries make_series(const char* prim, trace::OpKind kind) {
+  auto& reg = obs::MetricsRegistry::global();
+  const std::string base = std::string{"client."} + prim;
+  return PrimSeries{base, reg.counter(base + ".calls"),
+                    reg.counter(std::string{"client.category."} +
+                                std::string{trace::to_string(trace::classify(kind))}),
+                    reg.histogram(base + ".latency_us")};
+}
+
+/// All client series, resolved once per process (registry references are
+/// stable for the process lifetime).
+struct ClientMetrics {
+  PrimSeries create = make_series("create", trace::OpKind::open);
+  PrimSeries remove = make_series("remove", trace::OpKind::unlink);
+  PrimSeries read = make_series("read", trace::OpKind::read);
+  PrimSeries write = make_series("write", trace::OpKind::write);
+  PrimSeries truncate = make_series("truncate", trace::OpKind::truncate);
+  PrimSeries size = make_series("size", trace::OpKind::stat);
+  PrimSeries stat = make_series("stat", trace::OpKind::stat);
+  PrimSeries scan = make_series("scan", trace::OpKind::readdir);
+  PrimSeries txn = make_series("txn", trace::OpKind::sync);
+  obs::ShardedHistogram& read_bytes =
+      obs::MetricsRegistry::global().histogram("client.read.bytes");
+  obs::ShardedHistogram& write_bytes =
+      obs::MetricsRegistry::global().histogram("client.write.bytes");
+};
+
+ClientMetrics& client_metrics() {
+  static ClientMetrics m;
+  return m;
+}
+
+/// Publishes one primitive call on every return path: calls + category
+/// counters, the simulated-latency histogram (the agent-clock delta this
+/// call cost, scatter-gather legs included), and slow-op admission.
+class PrimTimer {
+ public:
+  PrimTimer(const PrimSeries& s, sim::SimAgent* agent, std::string_view key)
+      : s_(s), agent_(agent), key_(key), start_(agent ? agent->now() : 0) {}
+  PrimTimer(const PrimTimer&) = delete;
+  PrimTimer& operator=(const PrimTimer&) = delete;
+  ~PrimTimer() {
+    const SimMicros end = agent_ ? agent_->now() : start_;
+    const auto latency = static_cast<std::uint64_t>(end - start_);
+    s_.calls.inc();
+    s_.category.inc();
+    s_.latency_us.add(latency);
+    obs::MetricsRegistry::global().slow_ops().observe(s_.label, key_, latency,
+                                                      static_cast<std::uint64_t>(end));
+  }
+
+ private:
+  const PrimSeries& s_;
+  sim::SimAgent* agent_;
+  std::string_view key_;  // outlived by the caller's key argument
+  SimMicros start_;
+};
 }  // namespace
 
 BlobClient::AttemptPlan BlobClient::plan_attempt(BlobServer& srv, SimMicros attempt_start,
@@ -76,7 +147,7 @@ BlobClient::LegDelivery BlobClient::try_deliver(BlobServer& srv, SimMicros start
   for (std::uint32_t a = 0; a < attempts; ++a) {
     if (a > 0) {
       t += next_backoff(&prev);
-      ++counters_.retries;
+      counters_.retries.inc();
     }
     AttemptPlan p = plan_attempt(srv, t, request_bytes);
     if (p.delivered) {
@@ -245,7 +316,7 @@ Status BlobClient::mutation_leg(const std::string& ekey,
   const std::uint32_t W = store_->config().write_quorum;
   if (W > 0) {
     for (std::uint32_t rid : missed) {
-      if (primary.add_hint(rid, ekey)) ++counters_.hints_written;
+      if (primary.add_hint(rid, ekey)) counters_.hints_written.inc();
     }
   }
 
@@ -265,7 +336,7 @@ Status BlobClient::mutation_leg(const std::string& ekey,
   if (!quorum_met) {
     return {miss_err, "insufficient acks: " + ekey};
   }
-  if (!missed.empty()) ++counters_.quorum_degraded_writes;
+  if (!missed.empty()) counters_.quorum_degraded_writes.inc();
   return Status::success();
 }
 
@@ -382,7 +453,7 @@ Result<ReadOutcome> BlobClient::read_leg(const std::string& ekey, std::uint64_t 
 
   Error last{Errc::unavailable, "unreachable: " + ekey};
   for (std::size_t i = 0; i < candidates.size(); ++i) {
-    if (i > 0) ++counters_.failovers;
+    if (i > 0) counters_.failovers.inc();
     BlobServer& srv = store_->server(candidates[i]);
     LegDelivery d = try_deliver(srv, t, req);
     if (!d.ok) {
@@ -402,7 +473,7 @@ Result<ReadOutcome> BlobClient::read_leg(const std::string& ekey, std::uint64_t 
     // caller takes whichever reply lands first (contents are identical).
     const SimMicros delay = hedge_delay();
     if (delay > 0 && comp - d.attempt_start > delay && i + 1 < candidates.size()) {
-      ++counters_.hedges;
+      counters_.hedges.inc();
       BlobServer& alt = store_->server(candidates[i + 1]);
       const SimMicros h_start = d.attempt_start + delay;
       AttemptPlan hp = plan_attempt(alt, h_start, req);
@@ -452,7 +523,7 @@ Result<BlobStat> BlobClient::stat_leg(const std::string& ekey, SimMicros start,
   SimMicros t = start;
   Error last{Errc::unavailable, "unreachable: " + ekey};
   for (std::size_t i = 0; i < lives.size(); ++i) {
-    if (i > 0) ++counters_.failovers;
+    if (i > 0) counters_.failovers.inc();
     BlobServer& srv = store_->server(lives[i]);
     LegDelivery d = try_deliver(srv, t, kProbeReq);
     if (!d.ok) {
@@ -503,14 +574,16 @@ Result<std::uint64_t> BlobClient::peek_logical_size(const std::string& ekey) {
 }
 
 Status BlobClient::create(std::string_view key) {
-  ++counters_.creates;
+  counters_.creates.inc();
+  PrimTimer timer(client_metrics().create, agent_, key);
   if (key.empty()) return {Errc::invalid_argument, "empty blob key"};
   return replicated_mutation(
       key, {{BlobServer::TxnOp::Kind::create, std::string{key}, 0, {}, 0}});
 }
 
 Status BlobClient::remove(std::string_view key) {
-  ++counters_.removes;
+  counters_.removes.inc();
+  PrimTimer timer(client_metrics().remove, agent_, key);
   const std::uint64_t cb = store_->config().chunk_bytes;
   std::uint64_t logical = 0;
   if (cb > 0) {
@@ -542,7 +615,8 @@ Status BlobClient::remove(std::string_view key) {
 
 Result<Bytes> BlobClient::read(std::string_view key, std::uint64_t offset,
                                std::uint64_t len) {
-  ++counters_.reads;
+  counters_.reads.inc();
+  PrimTimer timer(client_metrics().read, agent_, key);
   const std::uint64_t cb = store_->config().chunk_bytes;
   if (cb == 0 || offset + len <= cb) {
     // Single-chunk fast path: one leg (failover/quorum logic inside).
@@ -551,7 +625,8 @@ Result<Bytes> BlobClient::read(std::string_view key, std::uint64_t offset,
     auto r = read_leg(std::string{key}, offset, len, start, &comp);
     if (agent_) agent_->advance_to(comp);
     if (!r.ok()) return r.error();
-    counters_.bytes_read += r.value().data.size();
+    counters_.bytes_read.add(r.value().data.size());
+    client_metrics().read_bytes.add(r.value().data.size());
     return std::move(r.value().data);
   }
 
@@ -606,12 +681,14 @@ Result<Bytes> BlobClient::read(std::string_view key, std::uint64_t offset,
   }
   if (agent_) agent_->advance_to(done);
   if (!fail.ok()) return fail.error();
-  counters_.bytes_read += out.size();
+  counters_.bytes_read.add(out.size());
+  client_metrics().read_bytes.add(out.size());
   return out;
 }
 
 Result<std::uint64_t> BlobClient::size(std::string_view key) {
-  ++counters_.sizes;
+  counters_.sizes.inc();
+  PrimTimer timer(client_metrics().size, agent_, key);
   const SimMicros start = agent_ ? agent_->now() : 0;
   SimMicros comp = start;
   // Chunk 0 carries the full logical size of a striped blob.
@@ -622,6 +699,7 @@ Result<std::uint64_t> BlobClient::size(std::string_view key) {
 }
 
 Result<BlobStat> BlobClient::stat(std::string_view key) {
+  PrimTimer timer(client_metrics().stat, agent_, key);
   const SimMicros start = agent_ ? agent_->now() : 0;
   SimMicros comp = start;
   auto s = stat_leg(std::string{key}, start, &comp);
@@ -633,7 +711,8 @@ bool BlobClient::exists(std::string_view key) { return stat(key).ok(); }
 
 Result<std::uint64_t> BlobClient::write(std::string_view key, std::uint64_t offset,
                                         ByteView data) {
-  ++counters_.writes;
+  counters_.writes.inc();
+  PrimTimer timer(client_metrics().write, agent_, key);
   if (key.empty()) return {Errc::invalid_argument, "empty blob key"};
   const std::uint64_t cb = store_->config().chunk_bytes;
   const std::uint64_t end = offset + data.size();
@@ -643,7 +722,8 @@ Result<std::uint64_t> BlobClient::write(std::string_view key, std::uint64_t offs
         key, {{BlobServer::TxnOp::Kind::write, std::string{key}, offset,
                Bytes(data.begin(), data.end()), 0}});
     if (!st.ok()) return st.error();
-    counters_.bytes_written += data.size();
+    counters_.bytes_written.add(data.size());
+    client_metrics().write_bytes.add(data.size());
     return data.size();
   }
 
@@ -689,12 +769,14 @@ Result<std::uint64_t> BlobClient::write(std::string_view key, std::uint64_t offs
   }
   if (agent_) agent_->advance_to(done);
   if (!st.ok()) return st.error();
-  counters_.bytes_written += data.size();
+  counters_.bytes_written.add(data.size());
+  client_metrics().write_bytes.add(data.size());
   return data.size();
 }
 
 Status BlobClient::truncate(std::string_view key, std::uint64_t new_size) {
-  ++counters_.truncates;
+  counters_.truncates.inc();
+  PrimTimer timer(client_metrics().truncate, agent_, key);
   const std::uint64_t cb = store_->config().chunk_bytes;
   std::uint64_t logical = 0;
   bool known = false;
@@ -745,7 +827,8 @@ Status BlobClient::truncate(std::string_view key, std::uint64_t new_size) {
 }
 
 Result<std::vector<BlobStat>> BlobClient::scan(std::string_view prefix) {
-  ++counters_.scans;
+  counters_.scans.inc();
+  PrimTimer timer(client_metrics().scan, agent_, prefix);
   const auto& net = store_->cluster().net();
   const SimMicros start = agent_ ? agent_->now() : 0;
   const std::string pfx{prefix};
@@ -816,7 +899,8 @@ BlobTransaction& BlobTransaction::expect_version(std::string_view key, Version v
 
 Status BlobTransaction::commit() {
   BlobClient& c = *client_;
-  ++c.counters_.txns;
+  c.counters_.txns.inc();
+  PrimTimer timer(client_metrics().txn, c.agent(), ops_.empty() ? "" : ops_.front().key);
   if (ops_.empty()) return Status::success();
   BlobStore& store = c.store();
   const std::uint32_t W = store.config().write_quorum;
@@ -975,7 +1059,7 @@ Status BlobTransaction::commit() {
     }
     for (const std::string& key : gated) {
       if (W > 0 && store.server(auth_holder[key]).add_hint(n, key)) {
-        ++c.counters_.hints_written;
+        c.counters_.hints_written.inc();
       }
     }
     if (runnable.empty()) continue;

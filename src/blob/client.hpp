@@ -35,28 +35,33 @@
 #include "common/result.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
+#include "obs/metrics.hpp"
 #include "sim/sim_clock.hpp"
 
 namespace bsc::blob {
 
+/// Per-client counters. Fields are obs::Counter — relaxed atomics that read
+/// as plain integers — so clients shared across threads (or observed from a
+/// monitoring thread mid-run) never tear a count. The struct is
+/// address-stable and non-copyable, like the client owning it.
 struct ClientCounters {
-  std::uint64_t creates = 0;
-  std::uint64_t removes = 0;
-  std::uint64_t reads = 0;
-  std::uint64_t writes = 0;
-  std::uint64_t truncates = 0;
-  std::uint64_t sizes = 0;
-  std::uint64_t scans = 0;
-  std::uint64_t txns = 0;
-  std::uint64_t bytes_read = 0;
-  std::uint64_t bytes_written = 0;
+  obs::Counter creates;
+  obs::Counter removes;
+  obs::Counter reads;
+  obs::Counter writes;
+  obs::Counter truncates;
+  obs::Counter sizes;
+  obs::Counter scans;
+  obs::Counter txns;
+  obs::Counter bytes_read;
+  obs::Counter bytes_written;
   // Fault-tolerance machinery (see DESIGN.md "Fault model").
-  std::uint64_t retries = 0;                ///< re-sent attempts after timeout/error
-  std::uint64_t hedges = 0;                 ///< speculative second read legs fired
-  std::uint64_t failovers = 0;              ///< read legs moved to another replica
-  std::uint64_t quorum_degraded_writes = 0; ///< acked mutations that missed >=1 replica
-  std::uint64_t hints_written = 0;          ///< hinted-handoff entries recorded
-  std::uint64_t hints_drained = 0;          ///< hint repairs this client executed
+  obs::Counter retries;                ///< re-sent attempts after timeout/error
+  obs::Counter hedges;                 ///< speculative second read legs fired
+  obs::Counter failovers;              ///< read legs moved to another replica
+  obs::Counter quorum_degraded_writes; ///< acked mutations that missed >=1 replica
+  obs::Counter hints_written;          ///< hinted-handoff entries recorded
+  obs::Counter hints_drained;          ///< hint repairs this client executed
 };
 
 class BlobTransaction;

@@ -3,8 +3,68 @@
 #include <cmath>
 
 #include "common/hash.hpp"
+#include "obs/metrics.hpp"
 
 namespace bsc::blob {
+
+namespace {
+/// Registry series of one server-side op (calls + simulated service time).
+struct OpSeries {
+  obs::Counter& calls;
+  obs::ShardedHistogram& service_us;
+};
+
+OpSeries make_op(const char* op) {
+  auto& reg = obs::MetricsRegistry::global();
+  const std::string base = std::string{"server."} + op;
+  return OpSeries{reg.counter(base + ".calls"), reg.histogram(base + ".service_us")};
+}
+
+/// All server series, aggregated across every BlobServer instance in the
+/// process (per-server decomposition stays with the stripe counter arrays).
+struct ServerMetrics {
+  OpSeries create = make_op("create");
+  OpSeries remove = make_op("remove");
+  OpSeries write = make_op("write");
+  OpSeries read = make_op("read");
+  OpSeries truncate = make_op("truncate");
+  OpSeries size = make_op("size");
+  OpSeries stat = make_op("stat");
+  OpSeries scan = make_op("scan");
+  OpSeries txn = make_op("txn");
+  obs::ShardedHistogram& read_bytes =
+      obs::MetricsRegistry::global().histogram("server.read.bytes");
+  obs::ShardedHistogram& write_bytes =
+      obs::MetricsRegistry::global().histogram("server.write.bytes");
+  obs::Counter& stripe_acquisitions =
+      obs::MetricsRegistry::global().counter("server.stripe.acquisitions");
+  obs::Counter& stripe_contended =
+      obs::MetricsRegistry::global().counter("server.stripe.contended");
+};
+
+ServerMetrics& server_metrics() {
+  static ServerMetrics m;
+  return m;
+}
+
+/// Publishes one op when the enclosing call returns; every return path
+/// writes the service cost through `service_us` first.
+class OpPublisher {
+ public:
+  OpPublisher(const OpSeries& s, const SimMicros* service_us)
+      : s_(s), svc_(service_us) {}
+  OpPublisher(const OpPublisher&) = delete;
+  OpPublisher& operator=(const OpPublisher&) = delete;
+  ~OpPublisher() {
+    s_.calls.inc();
+    s_.service_us.add(static_cast<std::uint64_t>(*svc_));
+  }
+
+ private:
+  const OpSeries& s_;
+  const SimMicros* svc_;
+};
+}  // namespace
 
 std::size_t BlobServer::stripe_of(std::string_view key) noexcept {
   static_assert((kLockStripes & (kLockStripes - 1)) == 0, "stripe count is a power of two");
@@ -15,7 +75,16 @@ BlobServer::KeyLock BlobServer::lock_key(std::string_view key) {
   KeyLock lk;
   lk.structure = std::shared_lock(mu_);
   Stripe& s = stripes_[stripe_of(key)];
-  lk.stripe = std::unique_lock(s.mu);
+  auto& m = server_metrics();
+  m.stripe_acquisitions.inc();
+  // Contention probe: a failed try_lock means another writer holds this
+  // stripe right now — the wait that follows is real contention, not just
+  // an acquisition.
+  lk.stripe = std::unique_lock(s.mu, std::try_to_lock);
+  if (!lk.stripe.owns_lock()) {
+    m.stripe_contended.inc();
+    lk.stripe.lock();
+  }
   s.acquisitions.fetch_add(1, std::memory_order_relaxed);
   return lk;
 }
@@ -93,6 +162,7 @@ std::array<std::uint64_t, BlobServer::kLockStripes> BlobServer::stripe_acquisiti
 }
 
 Status BlobServer::create(const std::string& key, SimMicros* service_us) {
+  OpPublisher pub(server_metrics().create, service_us);
   KeyLock lk = lock_key(key);
   *service_us = svc_metadata();
   std::scoped_lock elk(engine_mu_);
@@ -100,6 +170,7 @@ Status BlobServer::create(const std::string& key, SimMicros* service_us) {
 }
 
 Status BlobServer::remove(const std::string& key, SimMicros* service_us) {
+  OpPublisher pub(server_metrics().remove, service_us);
   KeyLock lk = lock_key(key);
   *service_us = svc_metadata();
   node_->cache().invalidate(fnv1a64(key));
@@ -110,6 +181,7 @@ Status BlobServer::remove(const std::string& key, SimMicros* service_us) {
 Result<WriteOutcome> BlobServer::write(const std::string& key, std::uint64_t off,
                                        ByteView data, bool create_if_missing,
                                        SimMicros* service_us) {
+  OpPublisher pub(server_metrics().write, service_us);
   KeyLock lk = lock_key(key);
   std::uint64_t obj_size = 0;
   auto r = [&] {
@@ -123,6 +195,7 @@ Result<WriteOutcome> BlobServer::write(const std::string& key, std::uint64_t off
     // Log-structured append: sequential disk write; write-through cache.
     t += node_->disk().service_us(data.size(), /*sequential=*/true);
     node_->cache().touch_write(fnv1a64(key), obj_size);
+    server_metrics().write_bytes.add(data.size());
   }
   *service_us = t;
   return r;
@@ -130,6 +203,7 @@ Result<WriteOutcome> BlobServer::write(const std::string& key, std::uint64_t off
 
 Result<ReadOutcome> BlobServer::read(const std::string& key, std::uint64_t off,
                                      std::uint64_t len, SimMicros* service_us) {
+  OpPublisher pub(server_metrics().read, service_us);
   std::shared_lock lk(mu_);
   std::uint64_t obj_size = 0;
   auto r = [&] {
@@ -141,6 +215,7 @@ Result<ReadOutcome> BlobServer::read(const std::string& key, std::uint64_t off,
   SimMicros t = costs_.cpu_op_us;
   if (r.ok()) {
     const auto& out = r.value();
+    server_metrics().read_bytes.add(out.data.size());
     t += svc_bytes_cpu(out.data.size());
     const bool cached = node_->cache().touch_read(fnv1a64(key), obj_size);
     if (cached || out.extents_touched == 0) {
@@ -160,6 +235,7 @@ Result<ReadOutcome> BlobServer::read(const std::string& key, std::uint64_t off,
 
 Result<Version> BlobServer::truncate(const std::string& key, std::uint64_t new_size,
                                      SimMicros* service_us) {
+  OpPublisher pub(server_metrics().truncate, service_us);
   KeyLock lk = lock_key(key);
   *service_us = svc_metadata();
   std::scoped_lock elk(engine_mu_);
@@ -167,6 +243,7 @@ Result<Version> BlobServer::truncate(const std::string& key, std::uint64_t new_s
 }
 
 Result<std::uint64_t> BlobServer::size(const std::string& key, SimMicros* service_us) {
+  OpPublisher pub(server_metrics().size, service_us);
   std::shared_lock lk(mu_);
   *service_us = costs_.cpu_op_us;
   std::scoped_lock elk(engine_mu_);
@@ -174,6 +251,7 @@ Result<std::uint64_t> BlobServer::size(const std::string& key, SimMicros* servic
 }
 
 Result<BlobStat> BlobServer::stat(const std::string& key, SimMicros* service_us) {
+  OpPublisher pub(server_metrics().stat, service_us);
   std::shared_lock lk(mu_);
   *service_us = costs_.cpu_op_us;
   std::scoped_lock elk(engine_mu_);
@@ -185,6 +263,7 @@ Result<BlobStat> BlobServer::stat(const std::string& key, SimMicros* service_us)
 }
 
 std::vector<BlobStat> BlobServer::scan(const std::string& prefix, SimMicros* service_us) {
+  OpPublisher pub(server_metrics().scan, service_us);
   std::shared_lock lk(mu_);
   // The flat namespace has no directory index: scan walks every object
   // regardless of how selective the prefix is (§III: "far from optimized").
@@ -196,6 +275,12 @@ std::vector<BlobStat> BlobServer::scan(const std::string& prefix, SimMicros* ser
 }
 
 Status BlobServer::apply_txn_ops(const std::vector<TxnOp>& ops, SimMicros* service_us) {
+  auto& m = server_metrics();
+  OpPublisher pub(m.txn, service_us);
+  // Every client mutation arrives here (single-op calls are one-op legs), so
+  // per-op attribution lives in this loop: each applied op counts against its
+  // own server.<op>.calls series, while the leg-level call + service time
+  // stay on server.txn.*.
   // Caller holds lock_exclusive() or a KeyLock covering every op's key; the
   // engine itself is guarded by engine_mu_ (per op, so concurrent readers of
   // other keys interleave between ops, never inside one).
@@ -215,6 +300,8 @@ Status BlobServer::apply_txn_ops(const std::vector<TxnOp>& ops, SimMicros* servi
           *service_us = t;
           return st;
         }
+        m.write.calls.inc();
+        m.write_bytes.add(op.data.size());
         t += svc_bytes_cpu(op.data.size()) +
              node_->disk().service_us(op.data.size(), true);
         node_->cache().touch_write(fnv1a64(op.key), obj_size);
@@ -227,6 +314,7 @@ Status BlobServer::apply_txn_ops(const std::vector<TxnOp>& ops, SimMicros* servi
           *service_us = t;
           return r.error();
         }
+        m.truncate.calls.inc();
         t += svc_metadata();
         break;
       }
@@ -237,6 +325,7 @@ Status BlobServer::apply_txn_ops(const std::vector<TxnOp>& ops, SimMicros* servi
           *service_us = t;
           return r;
         }
+        m.create.calls.inc();
         t += svc_metadata();
         break;
       }
@@ -248,6 +337,7 @@ Status BlobServer::apply_txn_ops(const std::vector<TxnOp>& ops, SimMicros* servi
           *service_us = t;
           return r;
         }
+        m.remove.calls.inc();
         t += svc_metadata();
         break;
       }

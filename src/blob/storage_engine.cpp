@@ -4,6 +4,7 @@
 #include <filesystem>
 
 #include "common/hash.hpp"
+#include "obs/metrics.hpp"
 #include "persist/fault_file.hpp"
 
 namespace bsc::blob {
@@ -13,6 +14,31 @@ namespace {
 /// separator" — never the first byte of a real engine key, which is either
 /// an application key or an application key plus a chunk suffix).
 constexpr char kFloorMarker = '\x1e';
+
+/// Process-wide engine op counts: every StorageEngine instance (one per
+/// server) publishes into the same aggregate series.
+struct EngineMetrics {
+  obs::Counter& creates;
+  obs::Counter& removes;
+  obs::Counter& writes;
+  obs::Counter& reads;
+  obs::Counter& truncates;
+  obs::Counter& grows;
+  obs::Counter& bytes_written;
+  obs::Counter& bytes_read;
+  obs::Counter& compactions;
+};
+
+EngineMetrics& engine_metrics() {
+  auto& reg = obs::MetricsRegistry::global();
+  static EngineMetrics m{
+      reg.counter("engine.op.create"),    reg.counter("engine.op.remove"),
+      reg.counter("engine.op.write"),     reg.counter("engine.op.read"),
+      reg.counter("engine.op.truncate"),  reg.counter("engine.op.grow"),
+      reg.counter("engine.bytes_written"), reg.counter("engine.bytes_read"),
+      reg.counter("engine.compactions")};
+  return m;
+}
 }  // namespace
 
 StorageEngine::StorageEngine(EngineConfig cfg) : cfg_(cfg) {
@@ -39,6 +65,7 @@ Status StorageEngine::create(const std::string& key) {
   auto [it, inserted] = objects_.try_emplace(key);
   if (!inserted) return {Errc::already_exists, key};
   it->second.version = take_floor(key) + 1;
+  engine_metrics().creates.inc();
   return journal_append({.op = persist::WalOp::create, .key = key});
 }
 
@@ -53,6 +80,7 @@ Status StorageEngine::remove(const std::string& key) {
     dead_bytes_ += e.len;
   }
   objects_.erase(it);
+  engine_metrics().removes.inc();
   return journal_append({.op = persist::WalOp::remove, .key = key});
 }
 
@@ -134,6 +162,8 @@ Result<WriteOutcome> StorageEngine::write(const std::string& key, std::uint64_t 
                              .create_if_missing = create_if_missing,
                              .data = Bytes(data.begin(), data.end())});
   if (!jst.ok()) return jst.error();
+  engine_metrics().writes.inc();
+  engine_metrics().bytes_written.add(data.size());
   return WriteOutcome{.bytes = data.size(), .sequential_disk = true,
                       .version = rec.version};
 }
@@ -158,6 +188,8 @@ Result<ReadOutcome> StorageEngine::read(const std::string& key, std::uint64_t of
                 hi - lo, out.data.begin() + static_cast<std::ptrdiff_t>(lo - offset));
     ++out.extents_touched;
   }
+  engine_metrics().reads.inc();
+  engine_metrics().bytes_read.add(out.data.size());
   return out;
 }
 
@@ -192,6 +224,7 @@ Result<Version> StorageEngine::truncate(const std::string& key, std::uint64_t ne
   ++rec.version;
   auto jst = journal_append({.op = persist::WalOp::truncate, .key = key, .size = new_size});
   if (!jst.ok()) return jst.error();
+  engine_metrics().truncates.inc();
   return rec.version;
 }
 
@@ -203,6 +236,7 @@ Result<Version> StorageEngine::grow(const std::string& key, std::uint64_t min_si
   ++rec.version;
   auto jst = journal_append({.op = persist::WalOp::grow, .key = key, .size = min_size});
   if (!jst.ok()) return jst.error();
+  engine_metrics().grows.inc();
   return rec.version;
 }
 
@@ -267,6 +301,7 @@ std::uint64_t StorageEngine::compact() {
   }
   segments_ = std::move(fresh);
   dead_bytes_ = 0;
+  engine_metrics().compactions.inc();
   return reclaimed;
 }
 

@@ -46,21 +46,7 @@ double StatSummary::variance() const noexcept {
 
 double StatSummary::stddev() const noexcept { return std::sqrt(variance()); }
 
-namespace {
-constexpr int kSubBucketsLog2 = 1;  // 2 sub-buckets per octave
-constexpr std::size_t kNumBuckets = 63 << kSubBucketsLog2;
-}  // namespace
-
-Histogram::Histogram() : buckets_(kNumBuckets, 0) {}
-
-std::size_t Histogram::bucket_of(std::uint64_t v) noexcept {
-  if (v < 2) return v;  // 0 and 1 get exact buckets at the bottom
-  const int octave = 63 - std::countl_zero(v);
-  const auto sub = static_cast<std::size_t>((v >> (octave - kSubBucketsLog2)) &
-                                            ((1u << kSubBucketsLog2) - 1));
-  auto idx = (static_cast<std::size_t>(octave) << kSubBucketsLog2) + sub;
-  return std::min(idx, kNumBuckets - 1);
-}
+Histogram::Histogram() : buckets_(kBucketCount, 0) {}
 
 std::uint64_t Histogram::bucket_upper(std::size_t b) noexcept {
   if (b < 2) return b;
@@ -70,7 +56,7 @@ std::uint64_t Histogram::bucket_upper(std::size_t b) noexcept {
 }
 
 void Histogram::add(std::uint64_t value) noexcept {
-  ++buckets_[bucket_of(value)];
+  ++buckets_[bucket_index(value)];
   ++total_;
   sum_ += static_cast<double>(value);
   max_ = std::max(max_, value);
@@ -83,17 +69,43 @@ void Histogram::merge(const Histogram& other) noexcept {
   max_ = std::max(max_, other.max_);
 }
 
+void Histogram::subtract(const Histogram& earlier) noexcept {
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] -= std::min(buckets_[i], earlier.buckets_[i]);
+  }
+  total_ -= std::min(total_, earlier.total_);
+  sum_ = std::max(0.0, sum_ - earlier.sum_);
+  // max_ stays: the cumulative maximum is an upper bound for the interval
+  // (the true interval max is not recoverable from bucket counts alone).
+}
+
 std::uint64_t Histogram::percentile(double p) const noexcept {
   if (total_ == 0) return 0;
   p = std::clamp(p, 0.0, 100.0);
-  const auto rank = static_cast<std::uint64_t>(
-      std::ceil(p / 100.0 * static_cast<double>(total_)));
+  // Rank is clamped to [1, total]: a rank of 0 would satisfy `seen >= rank`
+  // on the very first (possibly empty) bucket, making percentile(0) report
+  // bucket 0's bound even when no sample ever landed there. Rank 1 walks to
+  // the first non-empty bucket instead — the true minimum bucket.
+  const auto rank = std::clamp<std::uint64_t>(
+      static_cast<std::uint64_t>(std::ceil(p / 100.0 * static_cast<double>(total_))), 1,
+      total_);
   std::uint64_t seen = 0;
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
     seen += buckets_[i];
     if (seen >= rank) return std::min(bucket_upper(i), max_);
   }
   return max_;
+}
+
+void Histogram::accumulate(const std::uint64_t* bucket_counts, std::size_t n,
+                           double sum, std::uint64_t max) noexcept {
+  const std::size_t m = std::min(n, buckets_.size());
+  for (std::size_t i = 0; i < m; ++i) {
+    buckets_[i] += bucket_counts[i];
+    total_ += bucket_counts[i];
+  }
+  sum_ += sum;
+  max_ = std::max(max_, max);
 }
 
 double Histogram::mean() const noexcept {

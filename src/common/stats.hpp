@@ -3,6 +3,7 @@
 // to print the paper's tables.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <limits>
 #include <string>
@@ -46,6 +47,12 @@ class Histogram {
   void add(std::uint64_t value) noexcept;
   void merge(const Histogram& other) noexcept;
 
+  /// Remove an earlier snapshot's contents (bucket-wise, clamped at zero):
+  /// `now.subtract(before)` leaves the distribution of what was added in
+  /// between. `max()`-derived values keep the cumulative maximum — an upper
+  /// bound for the interval.
+  void subtract(const Histogram& earlier) noexcept;
+
   [[nodiscard]] std::uint64_t count() const noexcept { return total_; }
   /// Approximate p-th percentile (p in [0, 100]).
   [[nodiscard]] std::uint64_t percentile(double p) const noexcept;
@@ -54,8 +61,30 @@ class Histogram {
   /// Render as "count=N mean=X p50=.. p99=.. max=..".
   [[nodiscard]] std::string summary() const;
 
+  /// Bucket geometry, exposed for external recorders (obs::ShardedHistogram)
+  /// that keep their own per-thread bucket arrays in this histogram's layout
+  /// and fold them back in via accumulate(). Constexpr so recorders can size
+  /// arrays and compute indices without a call.
+  static constexpr int kSubBucketsLog2 = 1;  // 2 sub-buckets per octave
+  static constexpr std::size_t kBucketCount = 63 << kSubBucketsLog2;
+
+  [[nodiscard]] static constexpr std::size_t bucket_index(std::uint64_t v) noexcept {
+    if (v < 2) return v;  // 0 and 1 get exact buckets at the bottom
+    const int octave = 63 - std::countl_zero(v);
+    const auto sub = static_cast<std::size_t>((v >> (octave - kSubBucketsLog2)) &
+                                              ((1u << kSubBucketsLog2) - 1));
+    const auto idx = (static_cast<std::size_t>(octave) << kSubBucketsLog2) + sub;
+    return idx < kBucketCount - 1 ? idx : kBucketCount - 1;
+  }
+
+  /// Merge raw parts produced against this histogram's bucket layout:
+  /// bucket_counts[0..n) add bucket-wise (n may be smaller than
+  /// bucket_count()), the total derives from the counts, and sum/max fold
+  /// into the running aggregates.
+  void accumulate(const std::uint64_t* bucket_counts, std::size_t n, double sum,
+                  std::uint64_t max) noexcept;
+
  private:
-  static std::size_t bucket_of(std::uint64_t v) noexcept;
   static std::uint64_t bucket_upper(std::size_t b) noexcept;
 
   std::vector<std::uint64_t> buckets_;

@@ -108,6 +108,21 @@ std::string format_bytes(std::uint64_t bytes) {
   return strfmt("%llu B", static_cast<unsigned long long>(bytes));
 }
 
+std::string csv_field(std::string_view field) {
+  const bool needs_quoting =
+      field.find_first_of(",\"\r\n") != std::string_view::npos;
+  if (!needs_quoting) return std::string{field};
+  std::string out;
+  out.reserve(field.size() + 2);
+  out += '"';
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
 std::string format_sim_time(SimMicros us) {
   if (us >= 1000LL * 1000 * 60) return strfmt("%.2f min", static_cast<double>(us) / 60e6);
   if (us >= 1000LL * 1000) return strfmt("%.2f s", static_cast<double>(us) / 1e6);

@@ -31,4 +31,9 @@ namespace bsc {
 /// printf-style formatting into std::string.
 [[nodiscard]] std::string strfmt(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 
+/// RFC-4180 CSV field encoding: a field containing a comma, a double quote,
+/// or a line break is wrapped in double quotes with embedded quotes doubled;
+/// anything else passes through verbatim.
+[[nodiscard]] std::string csv_field(std::string_view field);
+
 }  // namespace bsc

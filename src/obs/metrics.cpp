@@ -1,0 +1,355 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+namespace bsc::obs {
+
+namespace {
+std::atomic<bool> g_enabled{true};
+}  // namespace
+
+bool metrics_enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
+void set_metrics_enabled(bool on) noexcept {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+// --- ShardedHistogram -----------------------------------------------------
+
+ShardedHistogram::~ShardedHistogram() {
+  for (auto& p : slots_) delete p.load(std::memory_order_acquire);
+}
+
+ShardedHistogram::Slot* ShardedHistogram::claim_slot(std::size_t tid) noexcept {
+  // Only the thread with id `tid` ever writes slots_[tid], so no CAS race:
+  // the release store publishes the zero-initialized slot to readers.
+  Slot* s = new Slot();
+  slots_[tid].store(s, std::memory_order_release);
+  return s;
+}
+
+void ShardedHistogram::add_overflow(std::uint64_t value) noexcept {
+  while (overflow_busy_.test_and_set(std::memory_order_acquire)) {}
+  overflow_.add(value);
+  overflow_busy_.clear(std::memory_order_release);
+}
+
+Histogram ShardedHistogram::merged() const {
+  Histogram out;
+  constexpr std::size_t n = Histogram::kBucketCount;
+  std::vector<std::uint64_t> counts(n);
+  for (const auto& p : slots_) {
+    const Slot* s = p.load(std::memory_order_acquire);
+    if (s == nullptr) continue;
+    for (std::size_t i = 0; i < n; ++i) {
+      counts[i] = s->buckets[i].load(std::memory_order_relaxed);
+    }
+    out.accumulate(counts.data(), n, s->sum.load(std::memory_order_relaxed),
+                   s->max.load(std::memory_order_relaxed));
+  }
+  while (overflow_busy_.test_and_set(std::memory_order_acquire)) {}
+  out.merge(overflow_);
+  overflow_busy_.clear(std::memory_order_release);
+  return out;
+}
+
+std::uint64_t ShardedHistogram::count() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& p : slots_) {
+    const Slot* s = p.load(std::memory_order_acquire);
+    if (s != nullptr) n += s->total.load(std::memory_order_relaxed);
+  }
+  while (overflow_busy_.test_and_set(std::memory_order_acquire)) {}
+  n += overflow_.count();
+  overflow_busy_.clear(std::memory_order_release);
+  return n;
+}
+
+void ShardedHistogram::reset() noexcept {
+  constexpr std::size_t n = Histogram::kBucketCount;
+  for (auto& p : slots_) {
+    Slot* s = p.load(std::memory_order_acquire);
+    if (s == nullptr) continue;
+    for (std::size_t i = 0; i < n; ++i) {
+      s->buckets[i].store(0, std::memory_order_relaxed);
+    }
+    s->total.store(0, std::memory_order_relaxed);
+    s->sum.store(0.0, std::memory_order_relaxed);
+    s->max.store(0, std::memory_order_relaxed);
+  }
+  while (overflow_busy_.test_and_set(std::memory_order_acquire)) {}
+  overflow_ = Histogram{};
+  overflow_busy_.clear(std::memory_order_release);
+}
+
+// --- SlowOpLog ------------------------------------------------------------
+
+namespace {
+/// Min-heap comparator: the entry with the SMALLEST latency sits on top so
+/// it is the first evicted when a slower call arrives.
+bool slower(const SlowOp& a, const SlowOp& b) noexcept {
+  return a.latency_us > b.latency_us;
+}
+}  // namespace
+
+void SlowOpLog::refresh_gate() noexcept {
+  std::uint64_t gate = threshold_us_;
+  if (heap_.size() >= capacity_) {
+    // A full heap admits only calls strictly slower than the cheapest
+    // survivor; saturate rather than wrap at the (theoretical) ceiling.
+    const std::uint64_t floor = heap_.front().latency_us;
+    gate = std::max(gate, floor == UINT64_MAX ? floor : floor + 1);
+  }
+  gate_us_.store(gate, std::memory_order_relaxed);
+}
+
+void SlowOpLog::configure(std::size_t capacity, std::uint64_t threshold_us) {
+  std::scoped_lock lk(mu_);
+  capacity_ = capacity ? capacity : 1;
+  threshold_us_ = threshold_us;
+  while (heap_.size() > capacity_) {
+    std::pop_heap(heap_.begin(), heap_.end(), slower);
+    heap_.pop_back();
+  }
+  refresh_gate();
+}
+
+void SlowOpLog::observe(std::string_view op, std::string_view key,
+                        std::uint64_t latency_us, std::uint64_t at_us) {
+  if (!metrics_enabled()) return;
+  // Lock-free rejection for the steady state (call is not among the worst).
+  // The gate may briefly lag the true floor; the checks under the lock stay
+  // authoritative.
+  if (latency_us < gate_us_.load(std::memory_order_relaxed)) return;
+  std::scoped_lock lk(mu_);
+  if (latency_us < threshold_us_) return;
+  if (heap_.size() >= capacity_) {
+    if (latency_us <= heap_.front().latency_us) return;  // not among the worst
+    std::pop_heap(heap_.begin(), heap_.end(), slower);
+    heap_.pop_back();
+  }
+  heap_.push_back({std::string{op}, std::string{key}, latency_us, at_us});
+  std::push_heap(heap_.begin(), heap_.end(), slower);
+  refresh_gate();
+}
+
+std::vector<SlowOp> SlowOpLog::worst() const {
+  std::vector<SlowOp> out;
+  {
+    std::scoped_lock lk(mu_);
+    out = heap_;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SlowOp& a, const SlowOp& b) { return a.latency_us > b.latency_us; });
+  return out;
+}
+
+std::uint64_t SlowOpLog::threshold_us() const {
+  std::scoped_lock lk(mu_);
+  return threshold_us_;
+}
+
+std::size_t SlowOpLog::capacity() const {
+  std::scoped_lock lk(mu_);
+  return capacity_;
+}
+
+void SlowOpLog::clear() {
+  std::scoped_lock lk(mu_);
+  heap_.clear();
+  refresh_gate();
+}
+
+// --- MetricsSnapshot ------------------------------------------------------
+
+HistogramStats MetricsSnapshot::histogram_stats(const std::string& name) const {
+  HistogramStats s;
+  auto it = histograms.find(name);
+  if (it == histograms.end()) return s;
+  const Histogram& h = it->second;
+  s.count = h.count();
+  s.mean = h.mean();
+  s.p50 = h.percentile(50);
+  s.p99 = h.percentile(99);
+  s.max = h.percentile(100);
+  return s;
+}
+
+MetricsSnapshot MetricsSnapshot::delta_since(const MetricsSnapshot& earlier) const {
+  MetricsSnapshot out = *this;
+  for (auto& [name, v] : out.counters) {
+    auto it = earlier.counters.find(name);
+    if (it != earlier.counters.end()) v = v >= it->second ? v - it->second : 0;
+  }
+  for (auto& [name, h] : out.histograms) {
+    auto it = earlier.histograms.find(name);
+    if (it != earlier.histograms.end()) h.subtract(it->second);
+  }
+  // Gauges are point-in-time readings and slow ops a cumulative worst-list:
+  // both keep the newer state.
+  return out;
+}
+
+namespace {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string prom_name(std::string_view name) {
+  std::string out = "bsc_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::to_json() const {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"meta\": {\"source\": \"bsc-metrics\", \"schema_version\": 1},\n";
+
+  os << "  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    os << (first ? "\n" : ",\n") << "    \"" << json_escape(name) << "\": " << v;
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n";
+
+  os << "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    os << (first ? "\n" : ",\n") << "    \"" << json_escape(name) << "\": " << v;
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n";
+
+  os << "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    HistogramStats s = histogram_stats(name);
+    os << (first ? "\n" : ",\n") << "    \"" << json_escape(name) << "\": {\"count\": "
+       << s.count << ", \"mean\": " << s.mean << ", \"p50\": " << s.p50
+       << ", \"p99\": " << s.p99 << ", \"max\": " << s.max << "}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n";
+
+  os << "  \"slow_ops\": [";
+  first = true;
+  for (const SlowOp& op : slow_ops) {
+    os << (first ? "\n" : ",\n") << "    {\"op\": \"" << json_escape(op.op)
+       << "\", \"key\": \"" << json_escape(op.key)
+       << "\", \"latency_us\": " << op.latency_us << ", \"at_us\": " << op.at_us << "}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "]\n";
+  os << "}\n";
+  return os.str();
+}
+
+std::string MetricsSnapshot::to_prometheus() const {
+  std::ostringstream os;
+  for (const auto& [name, v] : counters) {
+    const std::string p = prom_name(name);
+    os << "# TYPE " << p << " counter\n" << p << " " << v << "\n";
+  }
+  for (const auto& [name, v] : gauges) {
+    const std::string p = prom_name(name);
+    os << "# TYPE " << p << " gauge\n" << p << " " << v << "\n";
+  }
+  for (const auto& [name, h] : histograms) {
+    const std::string p = prom_name(name);
+    HistogramStats s = histogram_stats(name);
+    os << "# TYPE " << p << " summary\n";
+    os << p << "{quantile=\"0.5\"} " << s.p50 << "\n";
+    os << p << "{quantile=\"0.99\"} " << s.p99 << "\n";
+    os << p << "{quantile=\"1\"} " << s.max << "\n";
+    os << p << "_sum " << s.mean * static_cast<double>(s.count) << "\n";
+    os << p << "_count " << s.count << "\n";
+  }
+  return os.str();
+}
+
+// --- MetricsRegistry ------------------------------------------------------
+
+MetricsRegistry& MetricsRegistry::global() {
+  // Leaked on purpose: publishers cache references in function-local statics
+  // and may fire during static destruction.
+  static MetricsRegistry* reg = new MetricsRegistry();
+  return *reg;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::scoped_lock lk(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string{name}, std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::scoped_lock lk(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string{name}, std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+ShardedHistogram& MetricsRegistry::histogram(std::string_view name) {
+  std::scoped_lock lk(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string{name}, std::make_unique<ShardedHistogram>()).first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot out;
+  std::scoped_lock lk(mu_);
+  for (const auto& [name, c] : counters_) out.counters.emplace(name, c->value());
+  for (const auto& [name, g] : gauges_) out.gauges.emplace(name, g->value());
+  for (const auto& [name, h] : histograms_) out.histograms.emplace(name, h->merged());
+  out.slow_ops = slow_ops_.worst();
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  std::scoped_lock lk(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+  slow_ops_.clear();
+}
+
+}  // namespace bsc::obs

@@ -4,11 +4,13 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 
 #include "common/hash.hpp"
+#include "obs/metrics.hpp"
 #include "persist/checkpoint.hpp"
 
 namespace bsc::persist {
@@ -18,6 +20,34 @@ namespace {
 /// Hard cap on one record's body; anything larger is treated as corruption
 /// (a garbage length prefix must not make the scanner allocate gigabytes).
 constexpr std::uint64_t kMaxBodyBytes = 1ULL << 30;
+
+/// Journal series. Unlike the simulated-time series elsewhere, append/fsync
+/// latencies here are real wall-clock microseconds — the WAL does real I/O.
+struct WalMetrics {
+  obs::Counter& appends;
+  obs::Counter& flushes;
+  obs::Counter& flushed_bytes;
+  obs::Counter& fsyncs;
+  obs::ShardedHistogram& append_us;
+  obs::ShardedHistogram& fsync_us;
+  obs::ShardedHistogram& batch_records;  ///< group-commit batch sizes
+};
+
+WalMetrics& wal_metrics() {
+  auto& reg = obs::MetricsRegistry::global();
+  static WalMetrics m{reg.counter("wal.appends"),       reg.counter("wal.flushes"),
+                      reg.counter("wal.flushed_bytes"), reg.counter("wal.fsyncs"),
+                      reg.histogram("wal.append_us"),   reg.histogram("wal.fsync_us"),
+                      reg.histogram("wal.batch_records")};
+  return m;
+}
+
+std::uint64_t wall_now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 constexpr std::size_t kRecordHeaderBytes = 12;  // u32 len + u64 checksum
 
@@ -163,6 +193,8 @@ Journal::~Journal() {
 
 Status Journal::flush_buffer(bool do_fsync) {
   if (fd_ < 0) return {Errc::closed, "journal closed"};
+  const std::uint64_t flushing = buf_.size();
+  const std::uint64_t batch = buf_records_;
   const std::byte* p = buf_.data();
   std::size_t left = buf_.size();
   while (left > 0) {
@@ -176,33 +208,51 @@ Status Journal::flush_buffer(bool do_fsync) {
   }
   buf_.clear();
   buf_records_ = 0;
+  auto& m = wal_metrics();
+  if (flushing > 0) {
+    m.flushes.inc();
+    m.flushed_bytes.add(flushing);
+    m.batch_records.add(batch);
+  }
   if (do_fsync) {
+    const bool timed = obs::metrics_enabled();
+    const std::uint64_t t0 = timed ? wall_now_us() : 0;
     if (::fsync(fd_) != 0) {
       return {Errc::io_error, std::string("wal fsync: ") + std::strerror(errno)};
     }
     ++fsync_count_;
+    m.fsyncs.inc();
+    if (timed) m.fsync_us.add(wall_now_us() - t0);
   }
   return Status::success();
 }
 
 Status Journal::append(WalRecord rec) {
   if (fd_ < 0) return {Errc::closed, "journal closed"};
+  const bool timed = obs::metrics_enabled();
+  const std::uint64_t t0 = timed ? wall_now_us() : 0;
   rec.lsn = next_lsn_++;
   encode_record(rec, buf_);
   ++buf_records_;
   ++append_count_;
-  switch (cfg_.fsync) {
-    case FsyncPolicy::always:
-      return flush_buffer(true);
-    case FsyncPolicy::none:
-      return flush_buffer(false);
-    case FsyncPolicy::group:
-      if (buf_records_ >= cfg_.group_records || buf_.size() >= cfg_.group_bytes) {
+  Status st = [&]() -> Status {
+    switch (cfg_.fsync) {
+      case FsyncPolicy::always:
         return flush_buffer(true);
-      }
-      return Status::success();
-  }
-  return Status::success();
+      case FsyncPolicy::none:
+        return flush_buffer(false);
+      case FsyncPolicy::group:
+        if (buf_records_ >= cfg_.group_records || buf_.size() >= cfg_.group_bytes) {
+          return flush_buffer(true);
+        }
+        return Status::success();
+    }
+    return Status::success();
+  }();
+  auto& m = wal_metrics();
+  m.appends.inc();
+  if (timed) m.append_us.add(wall_now_us() - t0);
+  return st;
 }
 
 Status Journal::sync() { return flush_buffer(true); }

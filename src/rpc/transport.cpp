@@ -1,6 +1,42 @@
 #include "rpc/transport.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace bsc::rpc {
+
+namespace {
+/// Transport-level series: one attempt per admit() (the blob data path asks
+/// for a verdict and charges costs itself, so admit is the one chokepoint
+/// every fault-injected request leg passes through), plus completed-call
+/// latency for the RPCs the transport drives end to end.
+struct TransportMetrics {
+  obs::Counter& attempts;
+  obs::Counter& drops;
+  obs::Counter& errors;
+  obs::Counter& outages;
+  obs::Counter& timeouts;
+  obs::Counter& calls;
+  obs::Counter& call_failures;
+  obs::Counter& reliable_calls;
+  obs::Counter& oneways;
+  obs::ShardedHistogram& call_latency_us;
+};
+
+TransportMetrics& transport_metrics() {
+  auto& reg = obs::MetricsRegistry::global();
+  static TransportMetrics m{reg.counter("rpc.attempts"),
+                            reg.counter("rpc.attempt.drops"),
+                            reg.counter("rpc.attempt.errors"),
+                            reg.counter("rpc.attempt.outages"),
+                            reg.counter("rpc.timeouts"),
+                            reg.counter("rpc.calls"),
+                            reg.counter("rpc.call_failures"),
+                            reg.counter("rpc.reliable_calls"),
+                            reg.counter("rpc.oneways"),
+                            reg.histogram("rpc.call.latency_us")};
+  return m;
+}
+}  // namespace
 
 Result<CallCost> Transport::call(sim::SimAgent& agent, sim::SimNode& server,
                                  std::uint64_t request_bytes, std::uint64_t response_bytes,
@@ -18,6 +54,8 @@ Result<CallCost> Transport::call(sim::SimAgent& agent, sim::SimNode& server,
   const SimMicros completion =
       served + net().transfer_us(response_bytes) + verdict.extra_latency_us;
   agent.advance_to(completion);
+  transport_metrics().calls.inc();
+  transport_metrics().call_latency_us.add(completion - start);
   return CallCost{.start = start, .completion = completion};
 }
 
@@ -29,12 +67,23 @@ CallCost Transport::call_reliable(sim::SimAgent& agent, sim::SimNode& server,
   const SimMicros served = server.serve(arrival, server_service_us);
   const SimMicros completion = served + net().transfer_us(response_bytes);
   agent.advance_to(completion);
+  transport_metrics().reliable_calls.inc();
+  transport_metrics().call_latency_us.add(completion - start);
   return {.start = start, .completion = completion};
 }
 
 FaultVerdict Transport::admit(sim::SimNode& server, SimMicros now) {
+  auto& m = transport_metrics();
+  m.attempts.inc();
   if (injector_ == nullptr) return {};
-  return injector_->decide(server.id(), now);
+  FaultVerdict verdict = injector_->decide(server.id(), now);
+  switch (verdict.kind) {
+    case FaultVerdict::Kind::drop: m.drops.inc(); break;
+    case FaultVerdict::Kind::error: m.errors.inc(); break;
+    case FaultVerdict::Kind::outage: m.outages.inc(); break;
+    case FaultVerdict::Kind::deliver: break;
+  }
+  return verdict;
 }
 
 Status Transport::charge_failure(sim::SimAgent& agent, const FaultVerdict& verdict,
@@ -45,16 +94,20 @@ Status Transport::charge_failure(sim::SimAgent& agent, const FaultVerdict& verdi
       // and burns its whole per-attempt deadline before concluding timeout.
       const SimMicros wait = opts.deadline_us > 0 ? opts.deadline_us : kDefaultDropWaitUs;
       agent.charge(wait);
+      transport_metrics().timeouts.inc();
+      transport_metrics().call_failures.inc();
       return {Errc::timeout, "request lost"};
     }
     case FaultVerdict::Kind::error:
       // The node answered, just unhelpfully: charge one round trip of the
       // request envelope (the error reply is tiny).
       agent.charge(2 * net().transfer_us(request_bytes));
+      transport_metrics().call_failures.inc();
       return {Errc::unavailable, "transient server error"};
     case FaultVerdict::Kind::outage:
       // Connection refused: detected after a single send attempt.
       agent.charge(net().transfer_us(request_bytes));
+      transport_metrics().call_failures.inc();
       return {Errc::unavailable, "node outage"};
     case FaultVerdict::Kind::deliver:
       break;
@@ -68,6 +121,7 @@ SimMicros Transport::send_oneway(sim::SimAgent& agent, sim::SimNode& server,
   const SimMicros arrival = agent.now() + net().transfer_us(message_bytes);
   // The sender only pays serialization/injection cost, not the full transfer.
   agent.charge(net().profile().per_packet_us + 1);
+  transport_metrics().oneways.inc();
   return server.serve(arrival, server_service_us);
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/hash.hpp"
+#include "obs/metrics.hpp"
 
 namespace bsc::sim {
 
@@ -11,6 +12,21 @@ std::uint32_t round_up_pow2(std::uint32_t v) {
   std::uint32_t p = 1;
   while (p < v) p <<= 1;
   return p;
+}
+
+/// Process-wide cache series (aggregated across every node's cache; the
+/// per-shard counters below stay the per-instance source of truth).
+struct CacheMetrics {
+  obs::Counter& hits;
+  obs::Counter& misses;
+  obs::Counter& evictions;
+};
+
+CacheMetrics& cache_metrics() {
+  auto& reg = obs::MetricsRegistry::global();
+  static CacheMetrics m{reg.counter("cache.hits"), reg.counter("cache.misses"),
+                        reg.counter("cache.evictions")};
+  return m;
 }
 }  // namespace
 
@@ -35,6 +51,7 @@ bool PageCache::touch_read(std::uint64_t key, std::uint64_t bytes) {
   auto it = s.entries.find(key);
   if (it != s.entries.end()) {
     ++s.hits;
+    cache_metrics().hits.inc();
     s.lru.splice(s.lru.begin(), s.lru, it->second.pos);
     if (bytes > it->second.bytes) {
       s.bytes += bytes - it->second.bytes;
@@ -44,6 +61,7 @@ bool PageCache::touch_read(std::uint64_t key, std::uint64_t bytes) {
     return true;
   }
   ++s.misses;
+  cache_metrics().misses.inc();
   s.insert_locked(key, bytes);
   return false;
 }
@@ -141,6 +159,7 @@ void PageCache::Shard::evict_locked() {
     bytes -= it->second.bytes;
     entries.erase(it);
     ++evictions;
+    cache_metrics().evictions.inc();
   }
 }
 

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <sstream>
 
+#include "common/strings.hpp"
+
 namespace bsc::trace {
 
 void CallRecord::set_path(std::string_view p) noexcept {
@@ -64,9 +66,12 @@ std::string CallLog::to_csv() const {
   std::ostringstream os;
   os << "op,category,path,bytes,start_us,latency_us,ok\n";
   for (const auto& r : records) {
-    os << to_string(r.op) << ',' << to_string(classify(r.op)) << ',' << r.path << ','
-       << r.bytes << ',' << r.start_us << ',' << r.latency_us << ','
-       << (r.ok ? 1 : 0) << '\n';
+    // `path` is application-controlled and may contain commas/quotes; every
+    // other field is an identifier or a number. RFC-4180-quote the path so a
+    // hostile path cannot shift the remaining columns.
+    os << to_string(r.op) << ',' << to_string(classify(r.op)) << ','
+       << csv_field(r.path) << ',' << r.bytes << ',' << r.start_us << ','
+       << r.latency_us << ',' << (r.ok ? 1 : 0) << '\n';
   }
   return os.str();
 }

@@ -1,6 +1,34 @@
 #include "trace/recorder.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace bsc::trace {
+
+namespace {
+/// Registry mirror of the recorder's census: one counter per paper category
+/// plus totals, so a registry snapshot reproduces the trace-layer call mix
+/// without touching any TraceRecorder instance (cross-checked by
+/// bench/fig1_hpc_calls).
+struct TraceMetrics {
+  obs::Counter* categories[kCategoryCount];
+  obs::Counter& total;
+  obs::Counter& bytes_read;
+  obs::Counter& bytes_written;
+  obs::Counter& failures;
+};
+
+TraceMetrics& trace_metrics() {
+  auto& reg = obs::MetricsRegistry::global();
+  static TraceMetrics m{
+      {&reg.counter("trace.calls.file_read"), &reg.counter("trace.calls.file_write"),
+       &reg.counter("trace.calls.directory"), &reg.counter("trace.calls.other")},
+      reg.counter("trace.calls.total"),
+      reg.counter("trace.bytes_read"),
+      reg.counter("trace.bytes_written"),
+      reg.counter("trace.failures")};
+  return m;
+}
+}  // namespace
 
 std::uint64_t Census::category_count(Category c) const noexcept {
   std::uint64_t n = 0;
@@ -35,6 +63,12 @@ void TraceRecorder::record(OpKind op, std::uint64_t bytes, SimMicros latency_us,
   if (op == OpKind::read) bytes_read_.fetch_add(bytes, std::memory_order_relaxed);
   if (op == OpKind::write) bytes_written_.fetch_add(bytes, std::memory_order_relaxed);
   if (!ok) failures_.fetch_add(1, std::memory_order_relaxed);
+  auto& m = trace_metrics();
+  m.categories[static_cast<std::size_t>(classify(op))]->inc();
+  m.total.inc();
+  if (op == OpKind::read) m.bytes_read.add(bytes);
+  if (op == OpKind::write) m.bytes_written.add(bytes);
+  if (!ok) m.failures.inc();
   if (latency_us >= 0) {
     std::scoped_lock lk(hist_mu_);
     latency_[static_cast<std::size_t>(classify(op))].add(

@@ -171,6 +171,80 @@ TEST(Stats, HistogramMerge) {
   EXPECT_GE(a.percentile(100), 1000u);
 }
 
+TEST(Stats, HistogramPercentileEdgeCases) {
+  Histogram h;
+  EXPECT_EQ(h.percentile(0), 0u);  // empty histogram: all percentiles 0
+  EXPECT_EQ(h.percentile(100), 0u);
+
+  h.add(100);
+  // Single sample: every percentile must report that sample (bucket bound
+  // clamped to the true max). The rank-0 bug made percentile(0) report
+  // bucket 0's bound — i.e. 0 — for any distribution without zeros.
+  EXPECT_EQ(h.percentile(0), 100u);
+  EXPECT_EQ(h.percentile(50), 100u);
+  EXPECT_EQ(h.percentile(100), 100u);
+}
+
+TEST(Stats, HistogramPercentileZeroSkipsEmptyBuckets) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.add(v);
+  // p=0 walks to the first non-empty bucket: the minimum lives in bucket 1
+  // (exact bucket for value 1), never in the untouched zero bucket.
+  EXPECT_EQ(h.percentile(0), 1u);
+  EXPECT_EQ(h.percentile(100), 1000u);  // clamped to the true max
+}
+
+TEST(Stats, HistogramMergeDisjointShards) {
+  // Two shards with disjoint value ranges (the sharded-histogram case:
+  // per-thread shards merged on read-out) must merge into exactly the
+  // distribution a single histogram would have seen.
+  Histogram lo;
+  Histogram hi;
+  Histogram whole;
+  double lo_sum = 0.0;
+  for (std::uint64_t v = 1; v <= 100; ++v) {
+    lo.add(v);
+    whole.add(v);
+    lo_sum += static_cast<double>(v);
+  }
+  for (std::uint64_t v = 10'000; v <= 10'100; ++v) {
+    hi.add(v);
+    whole.add(v);
+    lo_sum += static_cast<double>(v);
+  }
+  lo.merge(hi);
+  EXPECT_EQ(lo.count(), whole.count());
+  EXPECT_DOUBLE_EQ(lo.mean(), whole.mean());
+  EXPECT_DOUBLE_EQ(lo.mean() * static_cast<double>(lo.count()), lo_sum);
+  for (double p : {0.0, 50.0, 90.0, 99.0, 100.0}) {
+    EXPECT_EQ(lo.percentile(p), whole.percentile(p)) << "p=" << p;
+  }
+  EXPECT_EQ(lo.percentile(100), 10'100u);  // max carried across the merge
+}
+
+TEST(Stats, HistogramSubtractIsolatesInterval) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 100; ++v) h.add(v);
+  const Histogram earlier = h;  // point-in-time snapshot
+  for (int i = 0; i < 50; ++i) h.add(1000);
+  Histogram delta = h;
+  delta.subtract(earlier);
+  EXPECT_EQ(delta.count(), 50u);
+  EXPECT_DOUBLE_EQ(delta.mean(), 1000.0);
+  // All interval samples were 1000: p50 is 1000's bucket bound clamped to
+  // the cumulative max.
+  EXPECT_EQ(delta.percentile(50), 1000u);
+}
+
+TEST(Strings, CsvFieldQuoting) {
+  EXPECT_EQ(csv_field("plain"), "plain");
+  EXPECT_EQ(csv_field(""), "");
+  EXPECT_EQ(csv_field("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_field("line\nbreak"), "\"line\nbreak\"");
+  EXPECT_EQ(csv_field("cr\rhere"), "\"cr\rhere\"");
+}
+
 TEST(Strings, NormalizePath) {
   EXPECT_EQ(normalize_path(""), "/");
   EXPECT_EQ(normalize_path("/"), "/");
