@@ -900,7 +900,12 @@ BlobTransaction& BlobTransaction::expect_version(std::string_view key, Version v
 Status BlobTransaction::commit() {
   BlobClient& c = *client_;
   c.counters_.txns.inc();
-  PrimTimer timer(client_metrics().txn, c.agent(), ops_.empty() ? "" : ops_.front().key);
+  // Both branches must already be string_views: a ""/std::string ternary
+  // would materialize a temporary string that dies here while the timer's
+  // view of it lives until end of commit().
+  PrimTimer timer(client_metrics().txn, c.agent(),
+                  ops_.empty() ? std::string_view{}
+                               : std::string_view{ops_.front().key});
   if (ops_.empty()) return Status::success();
   BlobStore& store = c.store();
   const std::uint32_t W = store.config().write_quorum;

@@ -40,28 +40,31 @@
 
 namespace bsc::blob {
 
-/// Per-client counters. Fields are obs::Counter — relaxed atomics that read
-/// as plain integers — so clients shared across threads (or observed from a
-/// monitoring thread mid-run) never tear a count. The struct is
-/// address-stable and non-copyable, like the client owning it.
+/// Per-client counters. Fields are obs::LocalCounter — always-on relaxed
+/// atomics that read as plain integers — so clients shared across threads
+/// (or observed from a monitoring thread mid-run) never tear a count, and
+/// the counts keep advancing even when the global metrics switch is off:
+/// this is functional accounting (retry/hint/quorum bookkeeping read by
+/// tests, benches, and repair logic), not an observability series. The
+/// struct is address-stable and non-copyable, like the client owning it.
 struct ClientCounters {
-  obs::Counter creates;
-  obs::Counter removes;
-  obs::Counter reads;
-  obs::Counter writes;
-  obs::Counter truncates;
-  obs::Counter sizes;
-  obs::Counter scans;
-  obs::Counter txns;
-  obs::Counter bytes_read;
-  obs::Counter bytes_written;
+  obs::LocalCounter creates;
+  obs::LocalCounter removes;
+  obs::LocalCounter reads;
+  obs::LocalCounter writes;
+  obs::LocalCounter truncates;
+  obs::LocalCounter sizes;
+  obs::LocalCounter scans;
+  obs::LocalCounter txns;
+  obs::LocalCounter bytes_read;
+  obs::LocalCounter bytes_written;
   // Fault-tolerance machinery (see DESIGN.md "Fault model").
-  obs::Counter retries;                ///< re-sent attempts after timeout/error
-  obs::Counter hedges;                 ///< speculative second read legs fired
-  obs::Counter failovers;              ///< read legs moved to another replica
-  obs::Counter quorum_degraded_writes; ///< acked mutations that missed >=1 replica
-  obs::Counter hints_written;          ///< hinted-handoff entries recorded
-  obs::Counter hints_drained;          ///< hint repairs this client executed
+  obs::LocalCounter retries;                ///< re-sent attempts after timeout/error
+  obs::LocalCounter hedges;                 ///< speculative second read legs fired
+  obs::LocalCounter failovers;              ///< read legs moved to another replica
+  obs::LocalCounter quorum_degraded_writes; ///< acked mutations that missed >=1 replica
+  obs::LocalCounter hints_written;          ///< hinted-handoff entries recorded
+  obs::LocalCounter hints_drained;          ///< hint repairs this client executed
 };
 
 class BlobTransaction;

@@ -35,26 +35,47 @@ Bytes KvStore::encode_bucket(const Entries& entries) {
 Result<KvStore::Entries> KvStore::load_bucket(blob::BlobClient& client,
                                               std::uint32_t bucket,
                                               blob::Version* version) {
-  auto st = client.stat(bucket_key(bucket));
-  if (!st.ok()) {
-    if (version) *version = 0;  // bucket blob not created yet
-    return Entries{};
+  // stat and read are two separate blob ops: a commit landing between them
+  // hands us the size of one bucket incarnation and the bytes of another,
+  // and the truncated-or-padded encoding decodes as garbage. Such a torn
+  // snapshot is indistinguishable from real corruption here, but unlike
+  // corruption it heals on reload (each tear requires a fresh concurrent
+  // commit), so retry before concluding the bucket is damaged. A same-size
+  // overwrite decodes fine with a stale version and is caught later by the
+  // transaction's expect_version.
+  constexpr std::uint32_t kTornLoadRetries = 8;
+  Error torn{Errc::io_error, "corrupt bucket"};
+  for (std::uint32_t attempt = 0; attempt < kTornLoadRetries; ++attempt) {
+    auto st = client.stat(bucket_key(bucket));
+    if (!st.ok()) {
+      if (version) *version = 0;  // bucket blob not created yet
+      return Entries{};
+    }
+    if (version) *version = st.value().version;
+    auto data = client.read(bucket_key(bucket), 0, st.value().size);
+    if (!data.ok()) return data.error();
+    rpc::WireReader r(as_view(data.value()));
+    auto count = r.get_u32();
+    if (!count.ok()) {
+      torn = {Errc::io_error, "corrupt bucket header"};
+      continue;
+    }
+    Entries entries;
+    entries.reserve(count.value());
+    bool decoded = true;
+    for (std::uint32_t i = 0; i < count.value(); ++i) {
+      auto k = r.get_string();
+      auto v = r.get_string();
+      if (!k.ok() || !v.ok()) {
+        torn = {Errc::io_error, "corrupt bucket entry"};
+        decoded = false;
+        break;
+      }
+      entries.emplace_back(std::move(k).take(), std::move(v).take());
+    }
+    if (decoded) return entries;
   }
-  if (version) *version = st.value().version;
-  auto data = client.read(bucket_key(bucket), 0, st.value().size);
-  if (!data.ok()) return data.error();
-  rpc::WireReader r(as_view(data.value()));
-  auto count = r.get_u32();
-  if (!count.ok()) return {Errc::io_error, "corrupt bucket header"};
-  Entries entries;
-  entries.reserve(count.value());
-  for (std::uint32_t i = 0; i < count.value(); ++i) {
-    auto k = r.get_string();
-    auto v = r.get_string();
-    if (!k.ok() || !v.ok()) return {Errc::io_error, "corrupt bucket entry"};
-    entries.emplace_back(std::move(k).take(), std::move(v).take());
-  }
-  return entries;
+  return {torn.code, std::move(torn.context)};
 }
 
 template <typename MutateFn>

@@ -48,27 +48,94 @@ namespace bsc::obs {
 void set_metrics_enabled(bool on) noexcept;
 
 /// Per-thread slot capacity shared by Counter and ShardedHistogram: each
-/// thread gets a process-wide small integer id on first publish; ids below
-/// kThreadSlots index a private cell (single-writer, so updates are plain
-/// relaxed load+store — no RMW on the hot path). Later threads fall back to
-/// a shared RMW cell: still correct, just not wait-free.
+/// thread leases a process-wide small integer id on first publish and
+/// returns it at thread exit; ids below kThreadSlots index a private cell
+/// (single-writer, so updates are plain relaxed load+store — no RMW on the
+/// hot path). Only when more than kThreadSlots threads publish
+/// *concurrently* do the extras fall back to a shared RMW cell: still
+/// correct, just not wait-free.
 inline constexpr std::size_t kThreadSlots = 64;
 
+/// Cache-line size used to pad per-thread counter stripes: without padding,
+/// neighbouring slot ids write the same line on every add() and the false
+/// sharing serializes the stripes, defeating the whole design under
+/// multithreaded load.
+inline constexpr std::size_t kCacheLineBytes = 64;
+
 namespace detail {
-inline std::atomic<std::size_t> g_next_thread_slot{0};
+/// Process-wide slot-id pool with recycling: a thread takes an id on first
+/// publish and its thread_local lease returns it at thread exit, so bounded
+/// worker pools — however often they churn — keep reusing the same
+/// kThreadSlots private cells instead of permanently exhausting them.
+/// Handing a recycled id to a successor thread is safe: the predecessor has
+/// exited, and the pool mutex orders its final relaxed stores before the
+/// successor's first, so cells stay single-writer *over time*. Threads that
+/// start while every id is leased get the kThreadSlots sentinel (shared
+/// overflow path); `overflow_threads` records each such thread so the
+/// degradation is observable rather than silent.
+struct SlotIdPool {
+  std::mutex mu;
+  std::vector<std::size_t> free_ids;
+  std::size_t next_fresh = 0;
+  std::uint64_t overflow_threads = 0;
+
+  SlotIdPool() { free_ids.reserve(kThreadSlots); }  // release() never allocates
+
+  static SlotIdPool& instance() {
+    // Leaked on purpose: thread exits (lease destructors) can outlive
+    // static destruction of ordinary globals.
+    static SlotIdPool* pool = new SlotIdPool();
+    return *pool;
+  }
+
+  std::size_t acquire() noexcept {
+    std::scoped_lock lk(mu);
+    if (!free_ids.empty()) {
+      const std::size_t id = free_ids.back();
+      free_ids.pop_back();
+      return id;
+    }
+    if (next_fresh < kThreadSlots) return next_fresh++;
+    ++overflow_threads;
+    return kThreadSlots;  // sentinel: routes every publisher to its overflow path
+  }
+
+  void release(std::size_t id) noexcept {
+    if (id >= kThreadSlots) return;
+    std::scoped_lock lk(mu);
+    free_ids.push_back(id);
+  }
+};
+
+/// RAII lease binding one slot id to the current thread for its lifetime.
+struct ThreadSlotLease {
+  const std::size_t id = SlotIdPool::instance().acquire();
+  ~ThreadSlotLease() { SlotIdPool::instance().release(id); }
+};
+
 inline std::size_t thread_slot_id() noexcept {
-  static thread_local const std::size_t id =
-      g_next_thread_slot.fetch_add(1, std::memory_order_relaxed);
-  return id;
+  static thread_local const ThreadSlotLease lease;
+  return lease.id;
 }
 }  // namespace detail
 
+/// Number of threads that ever started publishing while all kThreadSlots
+/// ids were leased to live threads — i.e. how often the wait-free private
+/// path was unavailable and the shared RMW/overflow path was used instead.
+[[nodiscard]] inline std::uint64_t overflowed_thread_count() {
+  auto& pool = detail::SlotIdPool::instance();
+  std::scoped_lock lk(pool.mu);
+  return pool.overflow_threads;
+}
+
 /// Monotonic counter, striped per thread (see kThreadSlots): add() is a
-/// relaxed load+store on a cell only this thread writes, value() sums the
-/// stripes. Implicitly readable as an integer so that registry-backed
-/// counters can replace plain uint64_t struct fields (e.g.
-/// blob::ClientCounters) without touching their consumers. A read concurrent
-/// with writers may miss in-flight adds; after writers quiesce it is exact.
+/// relaxed load+store on a cache-line-padded cell only this thread writes,
+/// value() sums the stripes. Implicitly readable as an integer so that
+/// registry-backed counters can replace plain uint64_t struct fields
+/// without touching their consumers. A read concurrent with writers may
+/// miss in-flight adds; after writers quiesce it is exact. Gated on
+/// metrics_enabled(): readings freeze while the switch is off — use
+/// LocalCounter for functional accounting that must never stop.
 class Counter {
  public:
   Counter() = default;
@@ -79,7 +146,7 @@ class Counter {
     if (!metrics_enabled()) return;
     const std::size_t tid = detail::thread_slot_id();
     if (tid < kThreadSlots) {
-      auto& c = slots_[tid];
+      auto& c = slots_[tid].v;
       c.store(c.load(std::memory_order_relaxed) + delta, std::memory_order_relaxed);
     } else {
       overflow_.fetch_add(delta, std::memory_order_relaxed);
@@ -89,20 +156,54 @@ class Counter {
 
   [[nodiscard]] std::uint64_t value() const noexcept {
     std::uint64_t v = overflow_.load(std::memory_order_relaxed);
-    for (const auto& c : slots_) v += c.load(std::memory_order_relaxed);
+    for (const auto& c : slots_) v += c.v.load(std::memory_order_relaxed);
     return v;
   }
   operator std::uint64_t() const noexcept { return value(); }  // NOLINT(google-explicit-constructor)
 
   /// Not linearizable against concurrent writers (for tests and benches).
   void reset() noexcept {
-    for (auto& c : slots_) c.store(0, std::memory_order_relaxed);
+    for (auto& c : slots_) c.v.store(0, std::memory_order_relaxed);
     overflow_.store(0, std::memory_order_relaxed);
   }
 
  private:
-  std::atomic<std::uint64_t> slots_[kThreadSlots] = {};
+  /// One stripe per slot id, padded so neighbouring ids never share a line.
+  struct alignas(kCacheLineBytes) Cell {
+    std::atomic<std::uint64_t> v{0};
+  };
+
+  Cell slots_[kThreadSlots];
   std::atomic<std::uint64_t> overflow_{0};
+};
+
+/// Always-on single-cell relaxed atomic counter for *functional* accounting
+/// that must keep counting while the metrics switch is off (obs::Counter
+/// early-outs when disabled). blob::ClientCounters uses this for its
+/// fault-tolerance bookkeeping — retries, hints, quorum shortfalls — which
+/// feeds repair decisions and test oracles, not dashboards. fetch_add is an
+/// RMW, but these objects are per-client, so contention is bounded by
+/// design.
+class LocalCounter {
+ public:
+  LocalCounter() = default;
+  LocalCounter(const LocalCounter&) = delete;
+  LocalCounter& operator=(const LocalCounter&) = delete;
+
+  void add(std::uint64_t delta) noexcept {
+    v_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void inc() noexcept { add(1); }
+
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  operator std::uint64_t() const noexcept { return value(); }  // NOLINT(google-explicit-constructor)
+
+  void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
 };
 
 /// Point-in-time signed value (queue depths, open handles, buffered bytes).
@@ -136,8 +237,10 @@ class Gauge {
 /// bsc::Histogram. A snapshot taken while writers are mid-add may lag by the
 /// in-flight operations; once writers quiesce (join), it is exact.
 ///
-/// Threads beyond kSlots (unbounded thread churn) share a spinlocked
-/// overflow histogram — correct, just not wait-free.
+/// Threads that start while all kSlots ids are leased to live threads
+/// (slot ids are recycled at thread exit, so only genuine >kSlots
+/// concurrency gets here) share a spinlocked overflow histogram — correct,
+/// just not wait-free.
 class ShardedHistogram {
  public:
   static constexpr std::size_t kSlots = kThreadSlots;
@@ -180,7 +283,8 @@ class ShardedHistogram {
  private:
   /// One thread's private recorder: atomics for reader visibility, but only
   /// the owning thread ever writes, so updates are load+store, never RMW.
-  struct Slot {
+  /// Cache-line aligned so separately-claimed slots never share a line.
+  struct alignas(kCacheLineBytes) Slot {
     std::atomic<std::uint64_t> buckets[Histogram::kBucketCount] = {};
     std::atomic<std::uint64_t> total{0};
     std::atomic<double> sum{0.0};

@@ -74,6 +74,34 @@ TEST_F(ObsTest, EnableFlagFreezesPublishers) {
   EXPECT_EQ(h.count(), 1u);
 }
 
+TEST_F(ObsTest, LocalCounterIgnoresMetricsSwitch) {
+  LocalCounter c;
+  set_metrics_enabled(false);
+  c.inc();
+  c.add(4);
+  set_metrics_enabled(true);
+  EXPECT_EQ(c.value(), 5u);
+  const std::uint64_t implicit = c;  // drop-in for plain uint64_t fields
+  EXPECT_EQ(implicit, 5u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST_F(ObsTest, ThreadSlotIdsAreRecycledAcrossThreadExit) {
+  Counter& c = MetricsRegistry::global().counter("test.recycle.counter");
+  c.reset();
+  const std::uint64_t overflow_before = overflowed_thread_count();
+  // Far more thread *lifetimes* than slots, but only one at a time: every
+  // thread must land on a recycled private slot, so the count stays exact
+  // through the wait-free path and nobody overflows.
+  constexpr int kThreadLifetimes = static_cast<int>(kThreadSlots) * 3;
+  for (int i = 0; i < kThreadLifetimes; ++i) {
+    std::thread([&c] { c.inc(); }).join();
+  }
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreadLifetimes));
+  EXPECT_EQ(overflowed_thread_count(), overflow_before);
+}
+
 TEST_F(ObsTest, ShardedHistogramMatchesPlainHistogram) {
   ShardedHistogram& sh = MetricsRegistry::global().histogram("test.sharded.equiv");
   sh.reset();
@@ -273,6 +301,33 @@ TEST_F(ObsTest, BlobWorkloadPublishesRegistrySeries) {
             static_cast<std::uint64_t>(kWrites));
   EXPECT_GE(delta.counters.at("server.txn.calls"),
             static_cast<std::uint64_t>(kWrites));
+}
+
+TEST_F(ObsTest, ClientCountersKeepCountingWhenMetricsDisabled) {
+  auto& reg = MetricsRegistry::global();
+
+  sim::Cluster cluster;
+  blob::BlobStore store(cluster, blob::StoreConfig{});
+  sim::SimAgent agent;
+  blob::BlobClient client(store, &agent);
+  const Bytes payload = to_bytes(std::string(512, 'y'));
+
+  const MetricsSnapshot before = reg.snapshot();
+  set_metrics_enabled(false);
+  ASSERT_TRUE(client.write("obs-gated-key", 0, as_view(payload)).ok());
+  ASSERT_TRUE(client.read("obs-gated-key", 0, 512).ok());
+  set_metrics_enabled(true);
+  const MetricsSnapshot delta = reg.snapshot().delta_since(before);
+
+  // ClientCounters is functional accounting, not observability: it must
+  // keep counting while the metrics switch is off...
+  EXPECT_EQ(client.counters().writes, 1u);
+  EXPECT_EQ(client.counters().reads, 1u);
+  EXPECT_EQ(client.counters().bytes_written, 512u);
+  EXPECT_EQ(client.counters().bytes_read, 512u);
+  // ...while the registry series stay frozen.
+  EXPECT_EQ(delta.counters.at("client.write.calls"), 0u);
+  EXPECT_EQ(delta.counters.at("client.read.calls"), 0u);
 }
 
 }  // namespace
