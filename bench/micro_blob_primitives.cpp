@@ -6,12 +6,17 @@
 //     number the storage comparison actually argues about.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "blob/client.hpp"
 #include "common/rng.hpp"
 #include "common/strings.hpp"
+#include "obs/metrics.hpp"
 #include "support.hpp"
 
 using namespace bsc;
@@ -120,6 +125,82 @@ void BM_BlobRead(benchmark::State& state) {
       static_cast<double>(rig.agent.now() - t0) / static_cast<double>(state.iterations()));
 }
 BENCHMARK(BM_BlobRead)->Arg(1024)->Arg(64 * 1024)->Arg(1 << 20);
+
+// --- striped scatter-gather scenarios (batched envelopes vs per-leg RPC) ---
+//
+// Arg 0 toggles `batched_striping` + `client_meta_cache`; Arg 1 is the blob
+// size. 8 MiB over 1 MiB chunks = 8-way striping, so the per-leg variant
+// pays eight envelope/lock/version rounds, a content hash per replica apply
+// on writes, and a per-chunk staging buffer on both sides, where the
+// batched variant pays one envelope per acting primary with client-computed
+// checksums and zero-copy vectored sub-ops. Per-op simulated completion
+// times are sampled individually so the JSON rows carry exact p50/p99, not
+// means.
+
+blob::StoreConfig striped_cfg(bool batched) {
+  blob::StoreConfig cfg;
+  cfg.batched_striping = batched;
+  cfg.client_meta_cache = batched;
+  return cfg;
+}
+
+void report_striped(benchmark::State& state, std::uint64_t size,
+                    std::vector<double>& samples, bool batched) {
+  state.SetBytesProcessed(static_cast<std::int64_t>(size) * state.iterations());
+  state.SetLabel(batched ? "batched" : "per-leg");
+  if (samples.empty()) return;
+  std::sort(samples.begin(), samples.end());
+  double sum = 0.0;
+  for (double s : samples) sum += s;
+  state.counters["sim_us_per_op"] =
+      benchmark::Counter(sum / static_cast<double>(samples.size()));
+  state.counters["sim_p50_us"] =
+      benchmark::Counter(samples[(samples.size() - 1) * 50 / 100]);
+  state.counters["sim_p99_us"] =
+      benchmark::Counter(samples[(samples.size() - 1) * 99 / 100]);
+}
+
+void BM_BlobStripedWrite(benchmark::State& state) {
+  const bool batched = state.range(0) != 0;
+  const auto size = static_cast<std::uint64_t>(state.range(1));
+  sim::Cluster cluster;
+  blob::BlobStore store(cluster, striped_cfg(batched));
+  sim::SimAgent agent;
+  blob::BlobClient client(store, &agent);
+  const Bytes data = make_payload(21, 0, size);
+  std::vector<double> samples;
+  samples.reserve(256);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const SimMicros t0 = agent.now();
+    auto r = client.write(strfmt("sw-%llu", static_cast<unsigned long long>(i++ % 8)),
+                          0, as_view(data));
+    benchmark::DoNotOptimize(r.ok());
+    samples.push_back(static_cast<double>(agent.now() - t0));
+  }
+  report_striped(state, size, samples, batched);
+}
+BENCHMARK(BM_BlobStripedWrite)->Args({0, 8 << 20})->Args({1, 8 << 20});
+
+void BM_BlobStripedRead(benchmark::State& state) {
+  const bool batched = state.range(0) != 0;
+  const auto size = static_cast<std::uint64_t>(state.range(1));
+  sim::Cluster cluster;
+  blob::BlobStore store(cluster, striped_cfg(batched));
+  sim::SimAgent agent;
+  blob::BlobClient client(store, &agent);
+  (void)client.write("sr", 0, as_view(make_payload(22, 0, size)));
+  std::vector<double> samples;
+  samples.reserve(256);
+  for (auto _ : state) {
+    const SimMicros t0 = agent.now();
+    auto r = client.read("sr", 0, size);
+    benchmark::DoNotOptimize(r.ok());
+    samples.push_back(static_cast<double>(agent.now() - t0));
+  }
+  report_striped(state, size, samples, batched);
+}
+BENCHMARK(BM_BlobStripedRead)->Args({0, 8 << 20})->Args({1, 8 << 20});
 
 void BM_BlobCreateRemove(benchmark::State& state) {
   BlobRig rig;
@@ -272,10 +353,25 @@ class CapturingReporter : public benchmark::ConsoleReporter {
   std::vector<bench::BenchResult> results;
 };
 
+/// Extract and remove a `--metrics <path>` argument pair (mirrors
+/// bench::take_json_path, which owns `--json`).
+std::string take_metrics_path(int* argc, char** argv) {
+  for (int i = 1; i + 1 < *argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics") == 0) {
+      std::string path = argv[i + 1];
+      for (int j = i; j + 2 < *argc; ++j) argv[j] = argv[j + 2];
+      *argc -= 2;
+      return path;
+    }
+  }
+  return {};
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::string json = bench::take_json_path(&argc, argv);
+  const std::string metrics = take_metrics_path(&argc, argv);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   CapturingReporter reporter;
@@ -285,6 +381,16 @@ int main(int argc, char** argv) {
       !bench::write_bench_json(json, bench::collect_run_meta("micro_blob_primitives"),
                                reporter.results)) {
     return 1;
+  }
+  if (!metrics.empty()) {
+    const std::string out = obs::MetricsRegistry::global().snapshot().to_json();
+    std::FILE* f = std::fopen(metrics.c_str(), "wb");
+    if (!f || std::fwrite(out.data(), 1, out.size(), f) != out.size()) {
+      std::fprintf(stderr, "cannot write metrics snapshot: %s\n", metrics.c_str());
+      if (f) std::fclose(f);
+      return 1;
+    }
+    std::fclose(f);
   }
   return 0;
 }

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <map>
 #include <set>
+#include <thread>
 
+#include "common/hash.hpp"
+#include "rpc/wire.hpp"
 #include "trace/taxonomy.hpp"
 
 namespace bsc::blob {
@@ -19,6 +22,22 @@ constexpr std::uint64_t kProbeResp = kEnvelope + 24;
 std::uint64_t req_bytes(std::string_view key, std::uint64_t payload = 0) {
   return kEnvelope + key.size() + payload;
 }
+
+/// Exact wire bytes of one batch sub-op header (payload excluded). Coalesced
+/// runs of consecutive chunks share a single header (`span` chunks, one key);
+/// the payload itself is charged once per envelope at the largest-leg rate,
+/// matching the per-leg model's parallel-stream assumption.
+std::uint64_t batch_header_bytes(std::string_view first_key, rpc::BatchOpKind kind,
+                                 std::uint32_t span) {
+  rpc::BatchOp op;
+  op.kind = kind;
+  op.key.assign(first_key);
+  op.span = span;
+  return rpc::wire_size(op);
+}
+
+/// Wire bytes of one per-sub status in a batch reply (payload excluded).
+std::uint64_t batch_substatus_bytes() { return rpc::wire_size(rpc::BatchSubStatus{}); }
 
 /// Registry series of one client primitive. The category counter is the
 /// paper's §IV taxonomy roll-up, reached through the closest POSIX OpKind:
@@ -56,6 +75,21 @@ struct ClientMetrics {
       obs::MetricsRegistry::global().histogram("client.read.bytes");
   obs::ShardedHistogram& write_bytes =
       obs::MetricsRegistry::global().histogram("client.write.bytes");
+  // Batched scatter-gather + metadata cache series.
+  obs::ShardedHistogram& read_hole_bytes =
+      obs::MetricsRegistry::global().histogram("client.read.hole_bytes");
+  obs::ShardedHistogram& batch_size =
+      obs::MetricsRegistry::global().histogram("client.batch.size");
+  obs::Counter& batch_envelopes =
+      obs::MetricsRegistry::global().counter("client.batch.envelopes");
+  obs::Counter& batch_coalesced =
+      obs::MetricsRegistry::global().counter("client.batch.coalesced");
+  obs::Counter& metacache_hits =
+      obs::MetricsRegistry::global().counter("client.metacache.hits");
+  obs::Counter& metacache_misses =
+      obs::MetricsRegistry::global().counter("client.metacache.misses");
+  obs::Counter& metacache_invalidations =
+      obs::MetricsRegistry::global().counter("client.metacache.invalidations");
 };
 
 ClientMetrics& client_metrics() {
@@ -91,9 +125,13 @@ class PrimTimer {
 }  // namespace
 
 BlobClient::AttemptPlan BlobClient::plan_attempt(BlobServer& srv, SimMicros attempt_start,
-                                                 std::uint64_t request_bytes) {
+                                                 std::uint64_t request_bytes,
+                                                 std::uint32_t batch_subs) {
   const auto& net = store_->cluster().net();
-  rpc::FaultVerdict v = store_->transport().admit(srv.node(), attempt_start);
+  rpc::FaultVerdict v =
+      batch_subs > 0
+          ? store_->transport().admit_batch(srv.node(), attempt_start, batch_subs)
+          : store_->transport().admit(srv.node(), attempt_start);
   AttemptPlan plan;
   switch (v.kind) {
     case rpc::FaultVerdict::Kind::deliver:
@@ -138,7 +176,8 @@ SimMicros BlobClient::next_backoff(SimMicros* prev) {
 }
 
 BlobClient::LegDelivery BlobClient::try_deliver(BlobServer& srv, SimMicros start,
-                                                std::uint64_t request_bytes) {
+                                                std::uint64_t request_bytes,
+                                                std::uint32_t batch_subs) {
   const RetryPolicy& rp = store_->config().retry;
   const std::uint32_t attempts = std::max<std::uint32_t>(1, rp.max_attempts);
   SimMicros t = start;
@@ -149,7 +188,7 @@ BlobClient::LegDelivery BlobClient::try_deliver(BlobServer& srv, SimMicros start
       t += next_backoff(&prev);
       counters_.retries.inc();
     }
-    AttemptPlan p = plan_attempt(srv, t, request_bytes);
+    AttemptPlan p = plan_attempt(srv, t, request_bytes, batch_subs);
     if (p.delivered) {
       out.ok = true;
       out.attempt_start = t;
@@ -166,7 +205,7 @@ BlobClient::LegDelivery BlobClient::try_deliver(BlobServer& srv, SimMicros start
 Status BlobClient::mutation_leg(const std::string& ekey,
                                 const std::vector<BlobServer::TxnOp>& ops,
                                 bool force_create, SimMicros start,
-                                SimMicros* completion) {
+                                SimMicros* completion, LegInfo* info) {
   *completion = start;
   auto replicas = store_->replicas_of(ekey);
   if (replicas.empty()) return {Errc::no_space, "no storage nodes in ring"};
@@ -190,11 +229,37 @@ Status BlobClient::mutation_leg(const std::string& ekey,
   BlobServer& primary = store_->server(*acting);
   bool exists = !primary.version_matches(ekey, 0);
   const bool pre_exists = exists;
+  if (info != nullptr) {
+    // Piggyback the pre-leg size on the lock round already holding every
+    // replica — the striped paths use it for chunk layout instead of a
+    // separate stat round. In quorum mode the freshest live replica is
+    // authoritative (a stale primary may have missed acked writes).
+    info->pre_exists = pre_exists;
+    info->pre_size = 0;
+    if (pre_exists) {
+      if (store_->config().write_quorum == 0) {
+        info->pre_size = primary.peek_size(ekey).value_or(0);
+      } else {
+        bool found = false;
+        Version best_v = 0;
+        for (std::uint32_t rid : replicas) {
+          if (store_->is_down(rid)) continue;
+          BlobServer& srv = store_->server(rid);
+          auto v = srv.peek_version(ekey);
+          if (v.ok() && (!found || v.value() > best_v)) {
+            found = true;
+            best_v = v.value();
+            info->pre_size = srv.peek_size(ekey).value_or(0);
+          }
+        }
+      }
+    }
+  }
   Status precheck = Status::success();
   std::uint64_t payload = 0;
   bool ends_removed = exists;
   for (const auto& op : ops) {
-    payload += op.data.size();
+    payload += op.payload().size();
     switch (op.kind) {
       case BlobServer::TxnOp::Kind::create:
         if (exists) precheck = {Errc::already_exists, op.key};
@@ -246,6 +311,7 @@ Status BlobClient::mutation_leg(const std::string& ekey,
   }
   const Version new_version = base + ops.size();
   const bool continue_versions = base > pre_version;
+  if (info != nullptr) info->new_version = new_version;
 
   // Coordinator leg: the acting primary must ack, with retries. Nothing has
   // been applied anywhere if this fails — the mutation is atomically absent.
@@ -348,6 +414,633 @@ Status BlobClient::replicated_mutation(std::string_view key,
   Status st = mutation_leg(std::string{key}, ops, force_create, start, &completion);
   if (agent_) agent_->advance_to(completion);
   return st;
+}
+
+// ----------------------------------------------- batched striping ------
+
+void BlobClient::cache_put(const std::string& key, MetaEntry e) {
+  if (!store_->config().client_meta_cache) return;
+  if (meta_cache_.size() >= kMetaCacheCap &&
+      meta_cache_.find(key) == meta_cache_.end()) {
+    // Blunt cap: entries are tiny and stat-verified on use, so a full reset
+    // costs one extra stat round per blob, not correctness.
+    meta_cache_.clear();
+  }
+  meta_cache_[key] = e;
+}
+
+void BlobClient::cache_erase(const std::string& key) {
+  if (meta_cache_.erase(key) > 0) {
+    counters_.metacache_invalidations.inc();
+    client_metrics().metacache_invalidations.inc();
+  }
+}
+
+ThreadPool& BlobClient::pool() {
+  if (!pool_) {
+    const std::size_t hw =
+        std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    pool_ = std::make_unique<ThreadPool>(std::min<std::size_t>(8, hw));
+  }
+  return *pool_;
+}
+
+namespace {
+rpc::BatchOpKind to_wire_kind(BlobServer::TxnOp::Kind k) {
+  switch (k) {
+    case BlobServer::TxnOp::Kind::write: return rpc::BatchOpKind::write;
+    case BlobServer::TxnOp::Kind::truncate: return rpc::BatchOpKind::truncate;
+    case BlobServer::TxnOp::Kind::create: return rpc::BatchOpKind::create;
+    case BlobServer::TxnOp::Kind::remove: return rpc::BatchOpKind::remove;
+    case BlobServer::TxnOp::Kind::grow: return rpc::BatchOpKind::grow;
+  }
+  return rpc::BatchOpKind::write;
+}
+}  // namespace
+
+Status BlobClient::mutation_group_leg(std::vector<BatchSub*>& subs,
+                                      std::uint32_t primary_id, SimMicros start,
+                                      SimMicros* completion) {
+  *completion = start;
+  const auto& net = store_->cluster().net();
+  BlobServer& primary = store_->server(primary_id);
+
+  struct SubState {
+    std::vector<std::uint32_t> replicas;
+    bool skip = false;  ///< tolerated not_found: the chunk is a hole
+    Version pre_version = 0;
+    Version new_version = 0;
+    bool continue_versions = false;
+    bool ends_removed = false;
+    std::uint32_t acks = 1;  ///< the primary's ack, counted below
+    std::vector<std::uint32_t> missed;
+  };
+  std::vector<SubState> st(subs.size());
+
+  // One MultiKeyLock per involved node (ascending id), covering every group
+  // key replicated there: the same lexicographic (node, stripe) global order
+  // as per-leg lock_key rounds and transaction commits, so the three paths
+  // cannot deadlock — this is the "single striped-lock acquisition round".
+  std::map<std::uint32_t, std::vector<std::string_view>> node_keys;
+  for (std::size_t i = 0; i < subs.size(); ++i) {
+    st[i].replicas = store_->replicas_of(subs[i]->ekey);
+    if (st[i].replicas.empty()) return {Errc::no_space, "no storage nodes in ring"};
+    for (std::uint32_t n : st[i].replicas) node_keys[n].push_back(subs[i]->ekey);
+  }
+  std::vector<BlobServer::MultiKeyLock> locks;
+  locks.reserve(node_keys.size());
+  for (auto& [n, keys] : node_keys) locks.push_back(store_->server(n).lock_keys(keys));
+
+  // Prechecks + one version exchange per key, all under the held locks.
+  // Wave-2 writes create chunk keys on demand (the application-visible blob
+  // already exists); absent targets of tolerated truncate/remove subs are
+  // holes — skipped, not errors.
+  for (std::size_t i = 0; i < subs.size(); ++i) {
+    BatchSub& sub = *subs[i];
+    const bool exists = !primary.version_matches(sub.ekey, 0);
+    if (!exists && sub.op.kind != BlobServer::TxnOp::Kind::write) {
+      if (sub.tolerate_not_found) {
+        st[i].skip = true;
+        continue;
+      }
+      // Pay one failed round trip, as the per-leg precheck path does.
+      const SimMicros done =
+          primary.node().serve(start + net.transfer_us(req_bytes(sub.ekey)), 3);
+      *completion = done + net.transfer_us(kEnvelope);
+      return {Errc::not_found, sub.ekey};
+    }
+    st[i].ends_removed = sub.op.kind == BlobServer::TxnOp::Kind::remove;
+    st[i].pre_version = exists ? primary.peek_version(sub.ekey).value_or(0) : 0;
+    Version base = st[i].pre_version;
+    for (std::uint32_t rid : st[i].replicas) {
+      if (store_->is_down(rid)) continue;
+      base = std::max(base, store_->server(rid).peek_version(sub.ekey).value_or(0));
+    }
+    st[i].new_version = base + 1;
+    st[i].continue_versions = base > st[i].pre_version;
+  }
+
+  std::vector<std::size_t> run_idx;
+  run_idx.reserve(subs.size());
+  for (std::size_t i = 0; i < subs.size(); ++i) {
+    if (!st[i].skip) run_idx.push_back(i);
+  }
+  if (run_idx.empty()) return Status::success();  // all holes: nothing to send
+
+  // Envelope sizing: one header per coalesced run of consecutive same-kind
+  // chunks. Chunk payloads stream in parallel exactly as the per-leg model
+  // they replace — a vectored run is scattered at the NIC, so it is charged
+  // at the largest single chunk, not the run's sum; what coalescing saves
+  // is header bytes and per-sub fixed costs.
+  std::uint64_t req_meta = kEnvelope;
+  std::uint64_t max_payload = 0;
+  {
+    std::size_t r = 0;
+    while (r < run_idx.size()) {
+      const BatchSub& first = *subs[run_idx[r]];
+      std::size_t e = r + 1;
+      std::uint64_t run_max = first.op.data.size();
+      while (e < run_idx.size() &&
+             subs[run_idx[e]]->op.kind == first.op.kind &&
+             subs[run_idx[e]]->chunk == subs[run_idx[e - 1]]->chunk + 1) {
+        run_max = std::max<std::uint64_t>(run_max, subs[run_idx[e]]->op.data.size());
+        ++e;
+      }
+      const auto span = static_cast<std::uint32_t>(e - r);
+      req_meta += batch_header_bytes(first.ekey, to_wire_kind(first.op.kind), span);
+      if (span >= 2) {
+        counters_.coalesced_ops.inc();
+        client_metrics().batch_coalesced.inc();
+      }
+      max_payload = std::max(max_payload, run_max);
+      r = e;
+    }
+  }
+  const std::uint64_t req = req_meta + max_payload;
+  const std::uint64_t reply_meta =
+      kEnvelope + run_idx.size() * batch_substatus_bytes();
+  counters_.batch_envelopes.inc();
+  client_metrics().batch_envelopes.inc();
+  client_metrics().batch_size.add(run_idx.size());
+
+  // Coordinator trip: one envelope, one fault decision, one apply_ops, one
+  // queueing trip. Nothing is applied anywhere if it fails — the whole
+  // group is atomically absent.
+  LegDelivery prim =
+      try_deliver(primary, start, req, static_cast<std::uint32_t>(run_idx.size()));
+  if (!prim.ok) {
+    *completion = prim.failed_at;
+    return {prim.err, "primary unreachable: " + subs.front()->ekey};
+  }
+  std::vector<BlobServer::OpRef> refs;
+  refs.reserve(run_idx.size());
+  for (std::size_t i : run_idx) refs.push_back(subs[i]->op);
+  SimMicros svc0 = 0;
+  std::vector<SimMicros> marks(run_idx.size(), 0);
+  Status ast = primary.apply_ops(refs.data(), refs.size(), &svc0, marks.data());
+  if (ast.ok()) {
+    for (std::size_t i : run_idx) {
+      if (st[i].continue_versions && !st[i].ends_removed) {
+        (void)primary.force_version(subs[i]->ekey, st[i].new_version);
+      }
+    }
+  }
+  const SimMicros prim_arrival =
+      prim.attempt_start + net.transfer_us(req) + prim.extra_latency_us;
+  if (!ast.ok()) {
+    const SimMicros pd = primary.node().serve(prim_arrival, svc0);
+    *completion = pd + net.transfer_us(reply_meta) + prim.extra_latency_us;
+    return ast;
+  }
+  // The batch is ONE queueing trip, but sub-ops stream out of the primary as
+  // their slice of the service completes: sub j finishes at serve-start +
+  // marks[j] and its replica forwards launch right then — the same
+  // pipelining the per-leg path gets from independent legs, without paying
+  // per-leg envelopes. Chained serve() calls (same arrival, per-op deltas)
+  // leave the node's FCFS busy-until identical to one serve(total).
+  std::vector<SimMicros> prim_sub_done(run_idx.size(), prim_arrival);
+  SimMicros prim_done = prim_arrival;
+  {
+    SimMicros prev = 0;
+    for (std::size_t j = 0; j < run_idx.size(); ++j) {
+      prim_done = primary.node().serve(prim_arrival, marks[j] - prev);
+      prim_sub_done[j] = prim_done;
+      prev = marks[j];
+    }
+  }
+  SimMicros done = prim_done + net.transfer_us(reply_meta) + prim.extra_latency_us;
+
+  // Forward to the remaining replicas: one envelope per distinct node,
+  // pipelined off the primary's apply, with the per-key freshness gate.
+  Errc miss_err = Errc::unavailable;
+  Status fail = Status::success();
+  for (auto& [rid, keys] : node_keys) {
+    if (rid == primary_id) continue;
+    auto replicated_here = [&](std::size_t i) {
+      return std::find(st[i].replicas.begin(), st[i].replicas.end(), rid) !=
+             st[i].replicas.end();
+    };
+    if (store_->is_down(rid)) {
+      for (std::size_t i : run_idx) {
+        if (replicated_here(i)) st[i].missed.push_back(rid);
+      }
+      continue;
+    }
+    BlobServer& rep = store_->server(rid);
+    std::vector<std::size_t> fwd;  // positions into run_idx
+    for (std::size_t j = 0; j < run_idx.size(); ++j) {
+      const std::size_t i = run_idx[j];
+      if (!replicated_here(i)) continue;
+      if (!rep.version_matches(subs[i]->ekey, st[i].pre_version)) {
+        st[i].missed.push_back(rid);  // behind: applying would interleave
+      } else {
+        fwd.push_back(j);
+      }
+    }
+    if (fwd.empty()) continue;
+    // One forward envelope per node (one fault decision), opened when the
+    // FIRST forwarded sub streams out of the primary.
+    LegDelivery d = try_deliver(rep, prim_sub_done[fwd.front()], req,
+                                static_cast<std::uint32_t>(fwd.size()));
+    if (!d.ok) {
+      for (std::size_t j : fwd) st[run_idx[j]].missed.push_back(rid);
+      miss_err = d.err;
+      done = std::max(done, d.failed_at);
+      continue;
+    }
+    std::vector<BlobServer::OpRef> frefs;
+    frefs.reserve(fwd.size());
+    for (std::size_t j : fwd) frefs.push_back(subs[run_idx[j]]->op);
+    SimMicros svc = 0;
+    std::vector<SimMicros> fmarks(fwd.size(), 0);
+    Status rs = rep.apply_ops(frefs.data(), frefs.size(), &svc, fmarks.data());
+    if (!rs.ok()) {
+      fail = {Errc::io_error, "replica divergence: " + rs.message()};
+      break;
+    }
+    for (std::size_t j : fwd) {
+      const std::size_t i = run_idx[j];
+      if (st[i].continue_versions && !st[i].ends_removed) {
+        (void)rep.force_version(subs[i]->ekey, st[i].new_version);
+      }
+      ++st[i].acks;
+    }
+    // Pipelined forwarding, mirroring the per-leg path: sub j's payload
+    // leaves the primary at prim_sub_done[j] (not at the whole group's
+    // prim_done), so later subs' primary serves overlap earlier subs'
+    // replica serves. The replica applies each sub FCFS as it lands.
+    SimMicros rep_done = 0;
+    SimMicros prev = 0;
+    for (std::size_t k = 0; k < fwd.size(); ++k) {
+      const std::size_t j = fwd[k];
+      const BatchSub& sub = *subs[run_idx[j]];
+      std::uint64_t sub_req =
+          batch_header_bytes(sub.ekey, to_wire_kind(sub.op.kind), 1) +
+          sub.op.data.size();
+      if (k == 0) sub_req += kEnvelope;
+      const SimMicros launch = std::max(d.attempt_start, prim_sub_done[j]);
+      const SimMicros arr =
+          launch + net.transfer_us(sub_req) + d.extra_latency_us;
+      rep_done = rep.node().serve(arr, fmarks[k] - prev);
+      prev = fmarks[k];
+    }
+    done = std::max(done, rep_done + net.transfer_us(reply_meta) +
+                              d.extra_latency_us);
+  }
+  *completion = done;
+  if (!fail.ok()) return fail;
+
+  // Hints + per-key quorum evaluation, exactly as the per-leg path.
+  const std::uint32_t W = store_->config().write_quorum;
+  for (std::size_t i : run_idx) {
+    if (W > 0) {
+      for (std::uint32_t rid : st[i].missed) {
+        if (primary.add_hint(rid, subs[i]->ekey)) counters_.hints_written.inc();
+      }
+    }
+    bool quorum_met;
+    if (W == 0 || st[i].ends_removed) {
+      quorum_met = true;
+      for (std::uint32_t rid : st[i].missed) {
+        if (!store_->is_down(rid)) quorum_met = false;
+      }
+    } else {
+      quorum_met = st[i].acks >=
+                   std::min<std::uint32_t>(W, static_cast<std::uint32_t>(
+                                                  st[i].replicas.size()));
+    }
+    if (!quorum_met) return {miss_err, "insufficient acks: " + subs[i]->ekey};
+    if (!st[i].missed.empty()) counters_.quorum_degraded_writes.inc();
+  }
+  return Status::success();
+}
+
+Status BlobClient::batched_mutation_wave(std::vector<BatchSub>& subs, SimMicros start,
+                                         SimMicros* done) {
+  *done = start;
+  if (subs.empty()) return Status::success();
+  for (auto& s : subs) s.op.key = &s.ekey;  // pointers are stable only now
+
+  // Group by acting primary; groups are formed and ordered by chunk index —
+  // deterministic batch formation, independent of execution timing.
+  std::map<std::uint32_t, std::vector<BatchSub*>> by_primary;
+  for (auto& s : subs) {
+    const auto replicas = store_->replicas_of(s.ekey);
+    if (replicas.empty()) return {Errc::no_space, "no storage nodes in ring"};
+    const auto acting = store_->first_up(replicas);
+    if (!acting) return {Errc::unavailable, "all replicas down: " + s.ekey};
+    by_primary[*acting].push_back(&s);
+  }
+  struct Group {
+    std::uint32_t primary = 0;
+    std::vector<BatchSub*> subs;
+    Status status = Status::success();
+    SimMicros completion = 0;
+  };
+  std::vector<Group> groups;
+  groups.reserve(by_primary.size());
+  for (auto& [p, v] : by_primary) groups.push_back({p, std::move(v)});
+  std::sort(groups.begin(), groups.end(), [](const Group& a, const Group& b) {
+    return a.subs.front()->chunk < b.subs.front()->chunk;
+  });
+
+  // Wall-clock fan-out across per-primary groups. Simulated time is
+  // max-of-legs either way (every group forks from `start`), so parallel
+  // and sequential execution yield identical simulated traces; with a fault
+  // injector installed, the sequential order keeps verdict draws
+  // deterministic.
+  const bool parallel = groups.size() > 1 &&
+                        store_->transport().fault_injector() == nullptr &&
+                        std::thread::hardware_concurrency() > 1;
+  if (parallel) {
+    pool().parallel_for(groups.size(), [&](std::size_t gi) {
+      Group& g = groups[gi];
+      g.status = mutation_group_leg(g.subs, g.primary, start, &g.completion);
+    });
+  } else {
+    for (Group& g : groups) {
+      g.status = mutation_group_leg(g.subs, g.primary, start, &g.completion);
+    }
+  }
+  Status st = Status::success();
+  for (Group& g : groups) {
+    *done = std::max(*done, g.completion);
+    if (st.ok() && !g.status.ok()) st = g.status;
+  }
+  return st;
+}
+
+Status BlobClient::read_group_leg(std::vector<ReadSub*>& subs,
+                                  std::uint32_t primary_id, SimMicros start,
+                                  SimMicros* completion) {
+  *completion = start;
+  const auto& net = store_->cluster().net();
+  BlobServer& primary = store_->server(primary_id);
+
+  // Request: one header per coalesced run (stat subs never coalesce).
+  std::uint64_t req = kEnvelope;
+  {
+    std::size_t r = 0;
+    while (r < subs.size()) {
+      std::size_t e = r + 1;
+      while (e < subs.size() && !subs[r]->stat_only && !subs[e]->stat_only &&
+             subs[e]->chunk == subs[e - 1]->chunk + 1) {
+        ++e;
+      }
+      const auto span = static_cast<std::uint32_t>(e - r);
+      req += batch_header_bytes(subs[r]->ekey,
+                                subs[r]->stat_only ? rpc::BatchOpKind::stat
+                                                   : rpc::BatchOpKind::read,
+                                span);
+      if (span >= 2) {
+        counters_.coalesced_ops.inc();
+        client_metrics().batch_coalesced.inc();
+      }
+      r = e;
+    }
+  }
+  counters_.batch_envelopes.inc();
+  client_metrics().batch_envelopes.inc();
+  client_metrics().batch_size.add(subs.size());
+
+  LegDelivery d =
+      try_deliver(primary, start, req, static_cast<std::uint32_t>(subs.size()));
+  if (!d.ok) {
+    // Envelope undeliverable after retries: fall back to per-leg reads for
+    // this group (replica failover lives inside read_leg/stat_leg). Only
+    // reachable with a fault injector installed — always sequential.
+    SimMicros t = d.failed_at;
+    SimMicros done = t;
+    for (ReadSub* sub : subs) {
+      SimMicros comp = t;
+      if (sub->stat_only) {
+        auto s = stat_leg(sub->ekey, t, &comp);
+        done = std::max(done, comp);
+        if (s.ok()) {
+          sub->size = s.value().size;
+          sub->version = s.value().version;
+        } else if (s.error().code == Errc::not_found) {
+          sub->err = Errc::not_found;
+        } else {
+          *completion = done;
+          return s.error();
+        }
+        continue;
+      }
+      auto r = read_leg(sub->ekey, sub->off, sub->dst.size(), t, &comp);
+      done = std::max(done, comp);
+      if (r.ok()) {
+        const Bytes& part = r.value().data;
+        std::copy(part.begin(), part.end(), sub->dst.begin());
+        sub->data_len = part.size();
+        sub->covered = r.value().covered;
+      } else if (r.error().code == Errc::not_found) {
+        sub->err = Errc::not_found;  // whole chunk is a hole
+      } else {
+        *completion = done;
+        return r.error();
+      }
+    }
+    *completion = done;
+    return Status::success();
+  }
+
+  std::vector<BlobServer::ReadSubOp> ops;
+  ops.reserve(subs.size());
+  for (ReadSub* sub : subs) {
+    ops.push_back({&sub->ekey, sub->off, sub->dst, sub->stat_only});
+  }
+  std::vector<BlobServer::ReadSubResult> results(subs.size());
+  SimMicros svc = 0;
+  primary.read_batch(ops.data(), ops.size(), results.data(), &svc);
+  for (std::size_t i = 0; i < subs.size(); ++i) {
+    subs[i]->err = results[i].err;
+    subs[i]->data_len = results[i].data_len;
+    subs[i]->covered = results[i].covered;
+    subs[i]->size = results[i].size;
+    subs[i]->version = results[i].version;
+  }
+
+  // Reply: per-sub statuses plus the largest single chunk's payload (chunk
+  // payloads stream back in parallel, like the per-leg replies they
+  // replace — a vectored run gathers at the NIC, it does not serialize).
+  std::uint64_t reply = kEnvelope + subs.size() * batch_substatus_bytes();
+  {
+    std::uint64_t max_chunk = 0;
+    for (const ReadSub* sub : subs) {
+      max_chunk = std::max<std::uint64_t>(max_chunk, sub->data_len);
+    }
+    reply += max_chunk;
+  }
+  const SimMicros arr = d.attempt_start + net.transfer_us(req) + d.extra_latency_us;
+  *completion =
+      primary.node().serve(arr, svc) + net.transfer_us(reply) + d.extra_latency_us;
+  return Status::success();
+}
+
+Result<Bytes> BlobClient::batched_striped_read(std::string_view key,
+                                               std::uint64_t offset,
+                                               std::uint64_t len) {
+  const std::uint64_t cb = store_->config().chunk_bytes;
+  const std::string base{key};
+  const bool use_cache = store_->config().client_meta_cache;
+
+  MetaEntry entry;
+  bool have = false;
+  if (use_cache) {
+    auto it = meta_cache_.find(base);
+    if (it != meta_cache_.end()) {
+      entry = it->second;
+      have = true;
+      counters_.metacache_hits.inc();
+      client_metrics().metacache_hits.inc();
+    } else {
+      counters_.metacache_misses.inc();
+      client_metrics().metacache_misses.inc();
+    }
+  }
+  if (!have) {
+    // One charged stat round primes the cache — and is the complete answer
+    // for an absent blob (a single round trip; the per-leg path used to pay
+    // a second, full-length probe leg on top).
+    const SimMicros s0 = agent_ ? agent_->now() : 0;
+    SimMicros comp = s0;
+    auto s = stat_leg(base, s0, &comp);
+    if (agent_) agent_->advance_to(comp);
+    if (!s.ok()) return s.error();
+    entry = {s.value().size, s.value().version};
+    cache_put(base, entry);
+  }
+
+  for (int attempt = 0;; ++attempt) {
+    const std::uint64_t logical = entry.logical;
+    const std::uint64_t rlen =
+        offset < logical ? std::min(len, logical - offset) : 0;
+    if (rlen == 0) {
+      // At/after EOF per the cached size: verify with one charged stat round
+      // (there is no data envelope to piggyback on) instead of shipping a
+      // full-length probe leg.
+      const SimMicros s0 = agent_ ? agent_->now() : 0;
+      SimMicros comp = s0;
+      auto s = stat_leg(base, s0, &comp);
+      if (agent_) agent_->advance_to(comp);
+      if (!s.ok()) {
+        cache_erase(base);
+        return s.error();
+      }
+      cache_put(base, {s.value().size, s.value().version});
+      if (attempt < 2 && offset < s.value().size) {
+        entry = {s.value().size, s.value().version};
+        continue;  // cached size was stale: there is data after all
+      }
+      client_metrics().read_bytes.add(0);
+      return Bytes{};
+    }
+
+    const SimMicros start = agent_ ? agent_->now() : 0;
+    Bytes out(rlen, std::byte{0});  // holes and absent chunks read as zero
+    const std::uint64_t end = offset + rlen;
+    std::vector<ReadSub> subs;
+    subs.reserve(end / cb - offset / cb + 2);
+    for (std::uint64_t c = offset / cb; c * cb < end; ++c) {
+      const std::uint64_t lo = std::max(offset, c * cb);
+      const std::uint64_t hi = std::min(end, (c + 1) * cb);
+      ReadSub sub;
+      sub.ekey = chunk_engine_key(key, c);
+      sub.chunk = c;
+      sub.off = lo - c * cb;
+      sub.dst = MutableByteView{out}.subspan(lo - offset, hi - lo);
+      subs.push_back(std::move(sub));
+    }
+    {
+      // Cache-verification stat of the base key, piggybacked on the group
+      // whose primary holds chunk 0 (or a mini-group of its own otherwise).
+      ReadSub sub;
+      sub.ekey = base;
+      sub.chunk = ~0ULL;  // sentinel: never coalesces, stays last in its group
+      sub.stat_only = true;
+      subs.push_back(std::move(sub));
+    }
+
+    std::map<std::uint32_t, std::vector<ReadSub*>> by_primary;
+    for (auto& s : subs) {
+      const auto replicas = store_->replicas_of(s.ekey);
+      if (replicas.empty()) return {Errc::no_space, "no storage nodes in ring"};
+      const auto acting = store_->first_up(replicas);
+      if (!acting) return {Errc::unavailable, "all replicas down: " + s.ekey};
+      by_primary[*acting].push_back(&s);
+    }
+    struct Group {
+      std::uint32_t primary = 0;
+      std::vector<ReadSub*> subs;
+      Status status = Status::success();
+      SimMicros completion = 0;
+    };
+    std::vector<Group> groups;
+    groups.reserve(by_primary.size());
+    for (auto& [p, v] : by_primary) groups.push_back({p, std::move(v)});
+    std::sort(groups.begin(), groups.end(), [](const Group& a, const Group& b) {
+      return a.subs.front()->chunk < b.subs.front()->chunk;
+    });
+
+    const bool parallel = groups.size() > 1 &&
+                          store_->transport().fault_injector() == nullptr &&
+                          std::thread::hardware_concurrency() > 1;
+    if (parallel) {
+      pool().parallel_for(groups.size(), [&](std::size_t gi) {
+        Group& g = groups[gi];
+        g.status = read_group_leg(g.subs, g.primary, start, &g.completion);
+      });
+    } else {
+      for (Group& g : groups) {
+        g.status = read_group_leg(g.subs, g.primary, start, &g.completion);
+      }
+    }
+    SimMicros done = start;
+    Status fail = Status::success();
+    for (Group& g : groups) {
+      done = std::max(done, g.completion);
+      if (fail.ok() && !g.status.ok()) fail = g.status;
+    }
+    if (agent_) agent_->advance_to(done);
+    if (!fail.ok()) return fail.error();
+
+    // Cache verification from the piggybacked stat.
+    const ReadSub* vstat = nullptr;
+    for (const auto& s : subs) {
+      if (s.stat_only) vstat = &s;
+    }
+    if (vstat->err == Errc::not_found) {
+      cache_erase(base);
+      return {Errc::not_found, base};
+    }
+    if (vstat->size != logical && attempt < 2) {
+      // Size drifted (concurrent truncate/recreate): relayout and re-read.
+      counters_.metacache_invalidations.inc();
+      client_metrics().metacache_invalidations.inc();
+      entry = {vstat->size, vstat->version};
+      cache_put(base, entry);
+      continue;
+    }
+    if (vstat->version != entry.v0 || vstat->size != logical) {
+      // Version-only drift (or a still-moving size on the final attempt):
+      // the chunk data just read is current as of its serve; refresh the
+      // entry and accept.
+      cache_put(base, {vstat->size, vstat->version});
+    }
+
+    std::uint64_t covered = 0;
+    for (const auto& s : subs) {
+      if (s.stat_only) continue;
+      if (s.err != Errc::ok && s.err != Errc::not_found) return {s.err, s.ekey};
+      covered += s.covered;
+    }
+    counters_.bytes_read.add(covered);
+    counters_.read_hole_bytes.add(rlen - covered);
+    client_metrics().read_bytes.add(rlen);
+    client_metrics().read_hole_bytes.add(rlen - covered);
+    return out;
+  }
 }
 
 BlobClient::ProbeRound BlobClient::quorum_probe(const std::string& ekey,
@@ -577,6 +1270,7 @@ Status BlobClient::create(std::string_view key) {
   counters_.creates.inc();
   PrimTimer timer(client_metrics().create, agent_, key);
   if (key.empty()) return {Errc::invalid_argument, "empty blob key"};
+  cache_erase(std::string{key});
   return replicated_mutation(
       key, {{BlobServer::TxnOp::Kind::create, std::string{key}, 0, {}, 0}});
 }
@@ -585,6 +1279,42 @@ Status BlobClient::remove(std::string_view key) {
   counters_.removes.inc();
   PrimTimer timer(client_metrics().remove, agent_, key);
   const std::uint64_t cb = store_->config().chunk_bytes;
+  const std::string base{key};
+
+  if (store_->config().batched_striping && cb > 0) {
+    // Batched path: remove chunk 0 first (its leg reports the pre-image
+    // logical size, replacing the peek round), then sweep the chunk keys in
+    // per-primary batch envelopes with tolerated not_found (hole chunks).
+    const SimMicros start = agent_ ? agent_->now() : 0;
+    SimMicros done = start;
+    SimMicros comp = start;
+    LegInfo li;
+    Status st = mutation_leg(
+        base, {{BlobServer::TxnOp::Kind::remove, base, 0, {}, 0}}, false, start,
+        &comp, &li);
+    done = std::max(done, comp);
+    if (st.ok() && li.pre_size > cb) {
+      std::vector<BatchSub> subs;
+      const std::uint64_t chunks = (li.pre_size + cb - 1) / cb;
+      for (std::uint64_t c = 1; c < chunks; ++c) {
+        BatchSub sub;
+        sub.ekey = chunk_engine_key(key, c);
+        sub.chunk = c;
+        sub.tolerate_not_found = true;
+        sub.op = {BlobServer::TxnOp::Kind::remove, nullptr, 0, {}, 0, 0};
+        subs.push_back(std::move(sub));
+      }
+      SimMicros wdone = start;
+      Status ws = batched_mutation_wave(subs, start, &wdone);
+      done = std::max(done, wdone);
+      st = ws;
+    }
+    if (agent_) agent_->advance_to(done);
+    cache_erase(base);
+    return st;
+  }
+
+  cache_erase(base);
   std::uint64_t logical = 0;
   if (cb > 0) {
     if (auto sz = peek_logical_size(std::string{key}); sz.ok()) logical = sz.value();
@@ -625,65 +1355,76 @@ Result<Bytes> BlobClient::read(std::string_view key, std::uint64_t offset,
     auto r = read_leg(std::string{key}, offset, len, start, &comp);
     if (agent_) agent_->advance_to(comp);
     if (!r.ok()) return r.error();
-    counters_.bytes_read.add(r.value().data.size());
+    // bytes_read counts extent-backed bytes only; zero-filled hole bytes in
+    // the returned span are accounted separately in read_hole_bytes.
+    const std::uint64_t covered = r.value().covered;
+    counters_.bytes_read.add(covered);
+    counters_.read_hole_bytes.add(r.value().data.size() - covered);
     client_metrics().read_bytes.add(r.value().data.size());
+    client_metrics().read_hole_bytes.add(r.value().data.size() - covered);
     return std::move(r.value().data);
   }
 
-  // Striped read: clip to the logical size (held by chunk 0), then issue one
-  // leg per touched chunk to its own acting primary. Legs fork from the same
-  // simulated instant; the call completes at the slowest leg.
+  // Batched scatter-gather path: per-primary multi-op envelopes plus the
+  // client metadata cache. Quorum reads (R > 1) and hedging need per-leg
+  // freshness arbitration, so they stay on the per-leg path below.
+  const auto& cfg = store_->config();
+  if (cfg.batched_striping && cfg.read_quorum() == 1 && !cfg.hedge.enabled) {
+    return batched_striped_read(key, offset, len);
+  }
+
+  // Per-leg striped read: clip to the logical size (held by chunk 0) via one
+  // charged stat round, then issue one leg per touched chunk to its own
+  // acting primary. Legs fork from the same simulated instant; the call
+  // completes at the slowest leg.
   const std::string base{key};
-  auto lsz = peek_logical_size(base);
-  if (!lsz.ok()) {
-    // Blob absent (or ring empty): one failed round trip, as in the fast path.
+  {
     const SimMicros start = agent_ ? agent_->now() : 0;
     SimMicros comp = start;
-    auto r = read_leg(base, offset, len, start, &comp);
+    auto s = stat_leg(base, start, &comp);
     if (agent_) agent_->advance_to(comp);
-    return r.ok() ? Result<Bytes>{Errc::not_found, base} : Result<Bytes>{r.error()};
-  }
-  const std::uint64_t logical = lsz.value();
-  const std::uint64_t rlen = offset < logical ? std::min(len, logical - offset) : 0;
+    // Absent blob: the stat round is the complete (failed) answer — one
+    // round trip, no second full-length probe leg.
+    if (!s.ok()) return s.error();
+    const std::uint64_t logical = s.value().size;
+    const std::uint64_t rlen = offset < logical ? std::min(len, logical - offset) : 0;
+    // At/after EOF: the stat round already answered; nothing to ship.
+    if (rlen == 0) return Bytes{};
 
-  const SimMicros start = agent_ ? agent_->now() : 0;
-  SimMicros done = start;
-  Bytes out(rlen, std::byte{0});  // unwritten holes (and absent chunks) read as zero
-  if (rlen == 0) {
-    // At/after EOF: the engine answers from chunk 0's index alone.
-    SimMicros comp = start;
-    auto r = read_leg(base, offset, len, start, &comp);
-    done = std::max(done, comp);
+    const SimMicros t0 = agent_ ? agent_->now() : 0;
+    SimMicros done = t0;
+    Bytes out(rlen, std::byte{0});  // unwritten holes (and absent chunks) read as zero
+    const std::uint64_t end = offset + rlen;
+    std::uint64_t covered_total = 0;
+    Status fail = Status::success();
+    for (std::uint64_t c = offset / cb; c * cb < end; ++c) {
+      const std::uint64_t lo = std::max(offset, c * cb);
+      const std::uint64_t hi = std::min(end, (c + 1) * cb);
+      const std::string ekey = chunk_engine_key(key, c);
+      SimMicros comp2 = t0;
+      auto r = read_leg(ekey, lo - c * cb, hi - lo, t0, &comp2);
+      done = std::max(done, comp2);
+      if (r.ok()) {
+        // The leg may return fewer bytes than requested (hole at the chunk's
+        // tail): the remainder stays zero.
+        const Bytes& part = r.value().data;
+        std::copy(part.begin(), part.end(),
+                  out.begin() + static_cast<std::ptrdiff_t>(lo - offset));
+        covered_total += r.value().covered;
+      } else if (r.error().code != Errc::not_found) {
+        fail = r.error();
+        break;
+      }
+      // not_found: the whole chunk is a hole — zeros are already in place.
+    }
     if (agent_) agent_->advance_to(done);
-    if (!r.ok()) return r.error();
+    if (!fail.ok()) return fail.error();
+    counters_.bytes_read.add(covered_total);
+    counters_.read_hole_bytes.add(rlen - covered_total);
+    client_metrics().read_bytes.add(rlen);
+    client_metrics().read_hole_bytes.add(rlen - covered_total);
     return out;
   }
-  const std::uint64_t end = offset + rlen;
-  Status fail = Status::success();
-  for (std::uint64_t c = offset / cb; c * cb < end; ++c) {
-    const std::uint64_t lo = std::max(offset, c * cb);
-    const std::uint64_t hi = std::min(end, (c + 1) * cb);
-    const std::string ekey = chunk_engine_key(key, c);
-    SimMicros comp = start;
-    auto r = read_leg(ekey, lo - c * cb, hi - lo, start, &comp);
-    done = std::max(done, comp);
-    if (r.ok()) {
-      // The leg may return fewer bytes than requested (hole at the chunk's
-      // tail): the remainder stays zero.
-      const Bytes& part = r.value().data;
-      std::copy(part.begin(), part.end(),
-                out.begin() + static_cast<std::ptrdiff_t>(lo - offset));
-    } else if (r.error().code != Errc::not_found) {
-      fail = r.error();
-      break;
-    }
-    // not_found: the whole chunk is a hole — zeros are already in place.
-  }
-  if (agent_) agent_->advance_to(done);
-  if (!fail.ok()) return fail.error();
-  counters_.bytes_read.add(out.size());
-  client_metrics().read_bytes.add(out.size());
-  return out;
 }
 
 Result<std::uint64_t> BlobClient::size(std::string_view key) {
@@ -717,7 +1458,9 @@ Result<std::uint64_t> BlobClient::write(std::string_view key, std::uint64_t offs
   const std::uint64_t cb = store_->config().chunk_bytes;
   const std::uint64_t end = offset + data.size();
   if (cb == 0 || end <= cb) {
-    // Single-chunk fast path.
+    // Single-chunk fast path. Any cached size/version for this key is stale
+    // the moment the mutation lands.
+    cache_erase(std::string{key});
     Status st = replicated_mutation(
         key, {{BlobServer::TxnOp::Kind::write, std::string{key}, offset,
                Bytes(data.begin(), data.end()), 0}});
@@ -738,37 +1481,79 @@ Result<std::uint64_t> BlobClient::write(std::string_view key, std::uint64_t offs
   SimMicros done = start;
   SimMicros comp = start;
 
+  const bool batched = store_->config().batched_striping;
   std::vector<BlobServer::TxnOp> base_ops;
   if (offset < cb) {
     const std::uint64_t hi = std::min(end, cb);
-    base_ops.push_back({BlobServer::TxnOp::Kind::write, base, offset,
-                        Bytes(data.begin(), data.begin() + static_cast<std::ptrdiff_t>(
-                                                hi - offset)),
-                        0});
+    if (batched) {
+      // Batched mode ships the chunk-0 slice as a zero-copy iovec view plus
+      // a client-computed end-to-end checksum, so the base leg neither
+      // marshals a payload copy nor makes replicas re-hash it.
+      const ByteView slice = data.subspan(0, hi - offset);
+      BlobServer::TxnOp op{BlobServer::TxnOp::Kind::write, base, offset, {}, 0,
+                           content_checksum(slice)};
+      op.view = slice;
+      base_ops.push_back(std::move(op));
+    } else {
+      base_ops.push_back(
+          {BlobServer::TxnOp::Kind::write, base, offset,
+           Bytes(data.begin(), data.begin() + static_cast<std::ptrdiff_t>(hi - offset)),
+           0});
+    }
   } else {
     base_ops.push_back({BlobServer::TxnOp::Kind::write, base, 0, {}, 0});
   }
   base_ops.push_back({BlobServer::TxnOp::Kind::grow, base, 0, {}, end});
-  Status st = mutation_leg(base, base_ops, false, start, &comp);
+  LegInfo li;
+  Status st = mutation_leg(base, base_ops, false, start, &comp, &li);
   done = std::max(done, comp);
 
-  for (std::uint64_t c = std::max<std::uint64_t>(1, offset / cb); c * cb < end && st.ok();
-       ++c) {
-    const std::uint64_t lo = std::max(offset, c * cb);
-    const std::uint64_t hi = std::min(end, (c + 1) * cb);
-    const std::string ekey = chunk_engine_key(key, c);
-    std::vector<BlobServer::TxnOp> ops;
-    ops.push_back({BlobServer::TxnOp::Kind::write, ekey, lo - c * cb,
-                   Bytes(data.begin() + static_cast<std::ptrdiff_t>(lo - offset),
-                         data.begin() + static_cast<std::ptrdiff_t>(hi - offset)),
-                   0});
-    // Chunk keys of an existing blob are created on demand regardless of the
-    // write_creates policy (the application-visible blob already exists).
-    st = mutation_leg(ekey, ops, /*force_create=*/true, start, &comp);
-    done = std::max(done, comp);
+  if (batched) {
+    // Chunk legs c >= 1 travel as per-primary batch envelopes: one queueing
+    // trip, one lock round, one fault decision per acting primary.
+    if (st.ok() && end > cb) {
+      std::vector<BatchSub> subs;
+      for (std::uint64_t c = std::max<std::uint64_t>(1, offset / cb); c * cb < end;
+           ++c) {
+        const std::uint64_t lo = std::max(offset, c * cb);
+        const std::uint64_t hi = std::min(end, (c + 1) * cb);
+        const ByteView slice = data.subspan(lo - offset, hi - lo);
+        BatchSub sub;
+        sub.ekey = chunk_engine_key(key, c);
+        sub.chunk = c;
+        sub.op = {BlobServer::TxnOp::Kind::write, nullptr, lo - c * cb, slice, 0,
+                  content_checksum(slice)};
+        subs.push_back(std::move(sub));
+      }
+      SimMicros wdone = start;
+      st = batched_mutation_wave(subs, start, &wdone);
+      done = std::max(done, wdone);
+    }
+  } else {
+    for (std::uint64_t c = std::max<std::uint64_t>(1, offset / cb);
+         c * cb < end && st.ok(); ++c) {
+      const std::uint64_t lo = std::max(offset, c * cb);
+      const std::uint64_t hi = std::min(end, (c + 1) * cb);
+      const std::string ekey = chunk_engine_key(key, c);
+      std::vector<BlobServer::TxnOp> ops;
+      ops.push_back({BlobServer::TxnOp::Kind::write, ekey, lo - c * cb,
+                     Bytes(data.begin() + static_cast<std::ptrdiff_t>(lo - offset),
+                           data.begin() + static_cast<std::ptrdiff_t>(hi - offset)),
+                     0});
+      // Chunk keys of an existing blob are created on demand regardless of the
+      // write_creates policy (the application-visible blob already exists).
+      st = mutation_leg(ekey, ops, /*force_create=*/true, start, &comp);
+      done = std::max(done, comp);
+    }
   }
   if (agent_) agent_->advance_to(done);
-  if (!st.ok()) return st.error();
+  if (!st.ok()) {
+    cache_erase(base);
+    return st.error();
+  }
+  // The base leg told us the pre-image size and the version it installed:
+  // enough to refresh the metadata cache without another round.
+  cache_put(base, {std::max(li.pre_size, end), li.new_version});
   counters_.bytes_written.add(data.size());
   client_metrics().write_bytes.add(data.size());
   return data.size();
@@ -778,8 +1563,59 @@ Status BlobClient::truncate(std::string_view key, std::uint64_t new_size) {
   counters_.truncates.inc();
   PrimTimer timer(client_metrics().truncate, agent_, key);
   const std::uint64_t cb = store_->config().chunk_bytes;
+  const std::string base{key};
+
+  if (store_->config().batched_striping && cb > 0) {
+    // Batched path: the base leg is a plain truncate to new_size (chunk 0's
+    // record carries the logical size) and reports the pre-image size, so no
+    // peek round is needed to plan the chunk wave. Chunks entirely past the
+    // new end become tolerated removes; the straddling chunk is trimmed.
+    const SimMicros start = agent_ ? agent_->now() : 0;
+    SimMicros done = start;
+    SimMicros comp = start;
+    LegInfo li;
+    Status st = mutation_leg(
+        base, {{BlobServer::TxnOp::Kind::truncate, base, 0, {}, new_size}}, false,
+        start, &comp, &li);
+    done = std::max(done, comp);
+    if (st.ok()) {
+      const std::uint64_t chunks = (std::max(li.pre_size, new_size) + cb - 1) / cb;
+      if (chunks > 1) {
+        std::vector<BatchSub> subs;
+        for (std::uint64_t c = 1; c < chunks; ++c) {
+          const std::uint64_t cstart = c * cb;
+          BatchSub sub;
+          sub.ekey = chunk_engine_key(key, c);
+          sub.chunk = c;
+          sub.tolerate_not_found = true;  // hole chunks have no stored key
+          if (cstart >= new_size) {
+            sub.op = {BlobServer::TxnOp::Kind::remove, nullptr, 0, {}, 0, 0};
+          } else if (new_size < cstart + cb) {
+            sub.op = {BlobServer::TxnOp::Kind::truncate, nullptr, 0, {},
+                      new_size - cstart, 0};
+          } else {
+            continue;  // chunk fully below the new end
+          }
+          subs.push_back(std::move(sub));
+        }
+        SimMicros wdone = start;
+        Status ws = batched_mutation_wave(subs, start, &wdone);
+        done = std::max(done, wdone);
+        if (st.ok()) st = ws;
+      }
+    }
+    if (agent_) agent_->advance_to(done);
+    if (!st.ok()) {
+      cache_erase(base);
+      return st;
+    }
+    cache_put(base, {new_size, li.new_version});
+    return st;
+  }
+
   std::uint64_t logical = 0;
   bool known = false;
+  cache_erase(base);
   if (cb > 0) {
     if (auto sz = peek_logical_size(std::string{key}); sz.ok()) {
       logical = sz.value();
@@ -798,7 +1634,6 @@ Status BlobClient::truncate(std::string_view key, std::uint64_t new_size) {
   // extents, any other target only moves the logical length (chunk 0 never
   // holds data past chunk_bytes). Chunks entirely past the new end are
   // removed; the chunk straddling it is trimmed locally.
-  const std::string base{key};
   const SimMicros start = agent_ ? agent_->now() : 0;
   SimMicros done = start;
   SimMicros comp = start;
@@ -948,6 +1783,9 @@ Status BlobTransaction::commit() {
   // mode every live replica agrees; in quorum mode stale replicas may lag).
   std::set<std::string> touched;
   for (const auto& op : ops_) touched.insert(op.key);
+  // A committed transaction bumps versions behind the metadata cache's back;
+  // dropping the entries before application covers every outcome.
+  for (const std::string& k : touched) c.cache_erase(k);
   std::map<std::string, Version> auth;
   std::map<std::string, std::uint32_t> auth_holder;
   for (const std::string& key : touched) {

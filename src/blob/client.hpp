@@ -27,14 +27,17 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "blob/store.hpp"
 #include "common/result.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
+#include "common/thread_pool.hpp"
 #include "obs/metrics.hpp"
 #include "sim/sim_clock.hpp"
 
@@ -65,6 +68,15 @@ struct ClientCounters {
   obs::LocalCounter quorum_degraded_writes; ///< acked mutations that missed >=1 replica
   obs::LocalCounter hints_written;          ///< hinted-handoff entries recorded
   obs::LocalCounter hints_drained;          ///< hint repairs this client executed
+  // Batched scatter-gather + metadata cache (see DESIGN.md "Batched striping").
+  // bytes_read counts bytes backed by stored extents only; zero-filled bytes
+  // a read returns for unwritten holes / absent chunks land here instead.
+  obs::LocalCounter read_hole_bytes;        ///< zero-filled bytes returned by reads
+  obs::LocalCounter batch_envelopes;        ///< multi-op batch requests sent
+  obs::LocalCounter coalesced_ops;          ///< vectored sub-ops covering >=2 chunks
+  obs::LocalCounter metacache_hits;
+  obs::LocalCounter metacache_misses;
+  obs::LocalCounter metacache_invalidations;
 };
 
 class BlobTransaction;
@@ -115,8 +127,11 @@ class BlobClient {
     SimMicros failed_at = 0;         ///< failure-detection time, when not
     Errc err = Errc::ok;
   };
+  /// `batch_subs` > 0 marks the attempt as a multi-op batch envelope: one
+  /// fault verdict for the whole envelope (drawn via Transport::admit_batch
+  /// so batch traffic is accounted separately).
   AttemptPlan plan_attempt(BlobServer& srv, SimMicros attempt_start,
-                           std::uint64_t request_bytes);
+                           std::uint64_t request_bytes, std::uint32_t batch_subs = 0);
 
   /// Decorrelated-jitter backoff (simulated time): sleep drawn uniformly
   /// from [base, prev*3], clamped to the policy cap. Mutates *prev.
@@ -133,7 +148,8 @@ class BlobClient {
     SimMicros failed_at = 0;
     Errc err = Errc::ok;
   };
-  LegDelivery try_deliver(BlobServer& srv, SimMicros start, std::uint64_t request_bytes);
+  LegDelivery try_deliver(BlobServer& srv, SimMicros start, std::uint64_t request_bytes,
+                          std::uint32_t batch_subs = 0);
 
   /// Version-probe round for quorum reads: stat `ekey` on live replicas (in
   /// replica order, each with retries) until `quorum` respond. `absent`
@@ -159,8 +175,18 @@ class BlobClient {
   /// fault injector are recorded as hinted-handoff entries on the primary.
   /// `force_create` lets a write leg create the key regardless of
   /// StoreConfig::write_creates (chunk keys of an existing blob).
+  /// Pre-leg state of the mutated key, observed under the leg's own lock
+  /// round (one version exchange — no extra stat round). The batched striped
+  /// paths use it for chunk layout (pre_size) and the metadata cache
+  /// (new_version) instead of a separate peek.
+  struct LegInfo {
+    bool pre_exists = false;
+    std::uint64_t pre_size = 0;  ///< authoritative logical size before the leg
+    Version new_version = 0;     ///< key's version after a successful leg
+  };
   Status mutation_leg(const std::string& ekey, const std::vector<BlobServer::TxnOp>& ops,
-                      bool force_create, SimMicros start, SimMicros* completion);
+                      bool force_create, SimMicros start, SimMicros* completion,
+                      LegInfo* info = nullptr);
 
   /// Single-leg convenience wrapper: runs the leg at the agent's current
   /// time and advances the agent to its completion.
@@ -188,11 +214,83 @@ class BlobClient {
   /// once warmed up, else the fixed delay (0 = hedging dormant).
   [[nodiscard]] SimMicros hedge_delay() const;
 
+  // --- batched scatter-gather (StoreConfig::batched_striping) --------------
+
+  /// One chunk-granular mutation of a batched wave. `op.key` is fixed up to
+  /// point at `ekey` once the wave's sub vector is final (short keys live in
+  /// SSO storage, so the pointer is only stable after the last push_back).
+  struct BatchSub {
+    std::string ekey;
+    std::uint64_t chunk = 0;           ///< chunk index (grouping / coalescing)
+    BlobServer::OpRef op;              ///< views the caller's buffer, no copy
+    bool tolerate_not_found = false;   ///< truncate/remove of a maybe-hole chunk
+  };
+
+  /// Execute a wave of chunk mutations: group by acting primary, one batch
+  /// envelope per group (chunk-ascending group order, deterministic), fanned
+  /// out on the shared thread pool when no fault injector is installed.
+  /// *done is the max group completion (sim stays max-of-legs).
+  Status batched_mutation_wave(std::vector<BatchSub>& subs, SimMicros start,
+                               SimMicros* done);
+
+  /// One per-primary mutation group: single striped-lock acquisition round
+  /// per node (ascending), one version exchange per key, one envelope +
+  /// apply_ops trip to the primary, one per forwarding replica.
+  Status mutation_group_leg(std::vector<BatchSub*>& subs, std::uint32_t primary_id,
+                            SimMicros start, SimMicros* completion);
+
+  /// One chunk-granular slice of a batched striped read (plus its result).
+  struct ReadSub {
+    std::string ekey;
+    std::uint64_t chunk = 0;
+    std::uint64_t off = 0;             ///< intra-chunk offset
+    MutableByteView dst;               ///< pre-zeroed slice of the caller buffer
+    bool stat_only = false;            ///< piggybacked base-key verification
+    // Results (filled by read_group_leg):
+    Errc err = Errc::ok;
+    std::uint64_t data_len = 0;
+    std::uint64_t covered = 0;         ///< extent-backed bytes among data_len
+    std::uint64_t size = 0;            ///< stat subs
+    Version version = 0;               ///< stat subs
+  };
+
+  /// One per-primary read group: one envelope, one BlobServer::read_batch
+  /// gathering straight into the caller's buffer. When the envelope cannot
+  /// be delivered (fault injector), falls back to legacy per-chunk read_leg
+  /// calls for this group's subs.
+  Status read_group_leg(std::vector<ReadSub*>& subs, std::uint32_t primary_id,
+                        SimMicros start, SimMicros* completion);
+
+  /// Striped read over batch envelopes + the metadata cache (requires read
+  /// quorum 1 and hedging off — per-leg arbitration falls back to read_leg).
+  Result<Bytes> batched_striped_read(std::string_view key, std::uint64_t offset,
+                                     std::uint64_t len);
+
+  // --- client metadata cache (StoreConfig::client_meta_cache) --------------
+
+  /// Cached chunk-0 metadata: logical blob size + chunk-0 version. Verified
+  /// by the stat sub piggybacked on every batched read round and invalidated
+  /// on any local mutation or observed drift. Per-client (the client is
+  /// bound to one logical thread), so no lock.
+  struct MetaEntry {
+    std::uint64_t logical = 0;
+    Version v0 = 0;
+  };
+  static constexpr std::size_t kMetaCacheCap = 4096;
+  void cache_put(const std::string& key, MetaEntry e);
+  void cache_erase(const std::string& key);
+
+  /// Lazily-created pool for wall-clock-parallel group fan-out (fault-free
+  /// runs only: injected faults need the deterministic sequential order).
+  ThreadPool& pool();
+
   BlobStore* store_;
   sim::SimAgent* agent_;
   ClientCounters counters_;
   Rng rng_{0xb10bfa117ULL};  ///< backoff jitter; per-client, deterministic
   Histogram read_latency_;   ///< delivered read-leg latency (drives hedging)
+  std::unordered_map<std::string, MetaEntry> meta_cache_;
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 /// A batch of mutations committed atomically across blobs. Preconditions

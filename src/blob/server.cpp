@@ -89,6 +89,30 @@ BlobServer::KeyLock BlobServer::lock_key(std::string_view key) {
   return lk;
 }
 
+BlobServer::MultiKeyLock BlobServer::lock_keys(const std::vector<std::string_view>& keys) {
+  MultiKeyLock lk;
+  lk.structure = std::shared_lock(mu_);
+  // Dedup the batch's stripes and take them in ascending index order — the
+  // same total order repeated lock_key() calls would follow, minus the
+  // duplicate acquisitions when several chunk keys share a stripe.
+  std::array<bool, kLockStripes> want{};
+  for (std::string_view key : keys) want[stripe_of(key)] = true;
+  auto& m = server_metrics();
+  for (std::size_t i = 0; i < kLockStripes; ++i) {
+    if (!want[i]) continue;
+    Stripe& s = stripes_[i];
+    m.stripe_acquisitions.inc();
+    std::unique_lock stripe(s.mu, std::try_to_lock);
+    if (!stripe.owns_lock()) {
+      m.stripe_contended.inc();
+      stripe.lock();
+    }
+    s.acquisitions.fetch_add(1, std::memory_order_relaxed);
+    lk.stripes.push_back(std::move(stripe));
+  }
+  return lk;
+}
+
 Status BlobServer::enable_persistence(const std::string& dir, persist::JournalConfig jcfg) {
   std::unique_lock lk(mu_);
   std::scoped_lock elk(engine_mu_);
@@ -233,6 +257,60 @@ Result<ReadOutcome> BlobServer::read(const std::string& key, std::uint64_t off,
   return r;
 }
 
+void BlobServer::read_batch(const ReadSubOp* subs, std::size_t count,
+                            ReadSubResult* results, SimMicros* service_us) {
+  auto& m = server_metrics();
+  // One structure-lock acquisition and one fixed CPU charge for the whole
+  // envelope; each sub-op then pays exactly what read()/stat() would have
+  // charged for its own data (stat subs ride along for 1µs).
+  std::shared_lock lk(mu_);
+  SimMicros t = costs_.cpu_op_us;
+  for (std::size_t i = 0; i < count; ++i) {
+    const ReadSubOp& sub = subs[i];
+    ReadSubResult& res = results[i];
+    res = {};
+    if (sub.stat_only) {
+      m.stat.calls.inc();
+      t += 1;
+      std::scoped_lock elk(engine_mu_);
+      auto s = engine_.size(*sub.key);
+      if (!s.ok()) {
+        res.err = Errc::not_found;
+        continue;
+      }
+      res.size = s.value();
+      res.version = engine_.version(*sub.key).value_or(0);
+      continue;
+    }
+    std::uint64_t obj_size = 0;
+    auto r = [&] {
+      std::scoped_lock elk(engine_mu_);
+      auto rr = engine_.read_into(*sub.key, sub.off, sub.dst);
+      if (rr.ok()) obj_size = engine_.size(*sub.key).value_or(0);
+      return rr;
+    }();
+    if (!r.ok()) {
+      res.err = r.code();
+      continue;
+    }
+    const auto& out = r.value();
+    res.data_len = out.data_len;
+    res.covered = out.covered;
+    m.read.calls.inc();
+    m.read_bytes.add(out.data_len);
+    t += svc_bytes_cpu(out.data_len);
+    const bool cached = node_->cache().touch_read(fnv1a64(*sub.key), obj_size);
+    if (cached || out.extents_touched == 0) {
+      t += 1;
+    } else {
+      const auto& dp = node_->disk().params();
+      t += node_->disk().service_us(out.data_len, /*sequential=*/false);
+      t += static_cast<SimMicros>(out.extents_touched - 1) * (dp.rotational_us / 2);
+    }
+  }
+  *service_us = t;
+}
+
 Result<Version> BlobServer::truncate(const std::string& key, std::uint64_t new_size,
                                      SimMicros* service_us) {
   OpPublisher pub(server_metrics().truncate, service_us);
@@ -275,25 +353,38 @@ std::vector<BlobStat> BlobServer::scan(const std::string& prefix, SimMicros* ser
 }
 
 Status BlobServer::apply_txn_ops(const std::vector<TxnOp>& ops, SimMicros* service_us) {
+  std::vector<OpRef> refs;
+  refs.reserve(ops.size());
+  for (const auto& op : ops) {
+    refs.push_back(OpRef{op.kind, &op.key, op.offset, op.payload(), op.new_size,
+                         op.checksum});
+  }
+  return apply_ops(refs.data(), refs.size(), service_us);
+}
+
+Status BlobServer::apply_ops(const OpRef* ops, std::size_t count, SimMicros* service_us,
+                             SimMicros* per_op_us) {
   auto& m = server_metrics();
   OpPublisher pub(m.txn, service_us);
   // Every client mutation arrives here (single-op calls are one-op legs), so
   // per-op attribution lives in this loop: each applied op counts against its
-  // own server.<op>.calls series, while the leg-level call + service time
-  // stay on server.txn.*.
-  // Caller holds lock_exclusive() or a KeyLock covering every op's key; the
-  // engine itself is guarded by engine_mu_ (per op, so concurrent readers of
-  // other keys interleave between ops, never inside one).
+  // own server.<op>.calls series, while the envelope-level call + service
+  // time stay on server.txn.*. The fixed request-handling CPU is charged
+  // once per envelope — k batched sub-ops parse once, not k times.
+  // Caller holds lock_exclusive() or a (Multi)KeyLock covering every op's
+  // key; the engine itself is guarded by engine_mu_ (per op, so concurrent
+  // readers of other keys interleave between ops, never inside one).
   SimMicros t = costs_.cpu_op_us;
-  for (const auto& op : ops) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const OpRef& op = ops[i];
     switch (op.kind) {
       case TxnOp::Kind::write: {
         std::uint64_t obj_size = 0;
         Status st = [&]() -> Status {
           std::scoped_lock elk(engine_mu_);
-          auto r = engine_.write(op.key, op.offset, as_view(op.data), true);
+          auto r = engine_.write(*op.key, op.offset, op.data, true, op.checksum);
           if (!r.ok()) return r.error();
-          obj_size = engine_.size(op.key).value_or(0);
+          obj_size = engine_.size(*op.key).value_or(0);
           return Status::success();
         }();
         if (!st.ok()) {
@@ -304,12 +395,12 @@ Status BlobServer::apply_txn_ops(const std::vector<TxnOp>& ops, SimMicros* servi
         m.write_bytes.add(op.data.size());
         t += svc_bytes_cpu(op.data.size()) +
              node_->disk().service_us(op.data.size(), true);
-        node_->cache().touch_write(fnv1a64(op.key), obj_size);
+        node_->cache().touch_write(fnv1a64(*op.key), obj_size);
         break;
       }
       case TxnOp::Kind::truncate: {
         std::scoped_lock elk(engine_mu_);
-        auto r = engine_.truncate(op.key, op.new_size);
+        auto r = engine_.truncate(*op.key, op.new_size);
         if (!r.ok()) {
           *service_us = t;
           return r.error();
@@ -320,7 +411,7 @@ Status BlobServer::apply_txn_ops(const std::vector<TxnOp>& ops, SimMicros* servi
       }
       case TxnOp::Kind::create: {
         std::scoped_lock elk(engine_mu_);
-        auto r = engine_.create(op.key);
+        auto r = engine_.create(*op.key);
         if (!r.ok()) {
           *service_us = t;
           return r;
@@ -330,9 +421,9 @@ Status BlobServer::apply_txn_ops(const std::vector<TxnOp>& ops, SimMicros* servi
         break;
       }
       case TxnOp::Kind::remove: {
-        node_->cache().invalidate(fnv1a64(op.key));
+        node_->cache().invalidate(fnv1a64(*op.key));
         std::scoped_lock elk(engine_mu_);
-        auto r = engine_.remove(op.key);
+        auto r = engine_.remove(*op.key);
         if (!r.ok()) {
           *service_us = t;
           return r;
@@ -343,7 +434,7 @@ Status BlobServer::apply_txn_ops(const std::vector<TxnOp>& ops, SimMicros* servi
       }
       case TxnOp::Kind::grow: {
         std::scoped_lock elk(engine_mu_);
-        auto r = engine_.grow(op.key, op.new_size);
+        auto r = engine_.grow(*op.key, op.new_size);
         if (!r.ok()) {
           *service_us = t;
           return r.error();
@@ -352,6 +443,7 @@ Status BlobServer::apply_txn_ops(const std::vector<TxnOp>& ops, SimMicros* servi
         break;
       }
     }
+    if (per_op_us != nullptr) per_op_us[i] = t;
   }
   *service_us = t;
   return Status::success();

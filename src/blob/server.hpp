@@ -88,6 +88,35 @@ class BlobServer {
                              bool create_if_missing, SimMicros* service_us);
   Result<ReadOutcome> read(const std::string& key, std::uint64_t off, std::uint64_t len,
                            SimMicros* service_us);
+
+  // --- batched scatter-gather reads ---------------------------------------
+
+  /// One sub-operation of a batched read envelope. Data subs gather straight
+  /// into the caller's (pre-zeroed) buffer slice `dst`; stat subs
+  /// (`stat_only`, empty dst) piggyback a metadata verification on the
+  /// envelope already in flight.
+  struct ReadSubOp {
+    const std::string* key;
+    std::uint64_t off = 0;
+    MutableByteView dst;
+    bool stat_only = false;
+  };
+
+  struct ReadSubResult {
+    Errc err = Errc::ok;          ///< ok / not_found
+    std::uint64_t data_len = 0;   ///< bytes within the object (wire payload)
+    std::uint64_t covered = 0;    ///< extent-backed bytes among data_len
+    std::uint64_t size = 0;       ///< object size (stat subs; 0 on not_found)
+    Version version = 0;          ///< object version (stat subs; 0 on not_found)
+  };
+
+  /// Execute a batch of read/stat sub-ops under ONE structure-lock
+  /// acquisition. Per-sub costs match read()/stat() exactly; the fixed
+  /// request-handling CPU (cpu_op_us) is charged once for the envelope.
+  /// Writes the total service time to *service_us; `results` must hold
+  /// `count` entries.
+  void read_batch(const ReadSubOp* subs, std::size_t count, ReadSubResult* results,
+                  SimMicros* service_us);
   Result<Version> truncate(const std::string& key, std::uint64_t new_size,
                            SimMicros* service_us);
   Result<std::uint64_t> size(const std::string& key, SimMicros* service_us);
@@ -103,9 +132,41 @@ class BlobServer {
     std::string key;
     std::uint64_t offset = 0;
     Bytes data;
-    std::uint64_t new_size = 0;  ///< truncate target / grow minimum size
+    std::uint64_t new_size = 0;   ///< truncate target / grow minimum size
+    std::uint64_t checksum = 0;   ///< sender-computed content checksum (0 = none)
+    /// When non-empty, the payload lives in the caller's buffer and `data`
+    /// stays empty — the batched client ships iovec slices instead of
+    /// marshalling per-leg copies. The buffer must outlive the leg.
+    ByteView view{};
+    ByteView payload() const noexcept {
+      return view.empty() ? ByteView{data.data(), data.size()} : view;
+    }
   };
   Status apply_txn_ops(const std::vector<TxnOp>& ops, SimMicros* service_us);
+
+  /// Zero-copy view of one mutation op: the batched scatter-gather client
+  /// references the caller's buffer slices directly instead of materializing
+  /// per-leg Bytes copies. `key` and `data` must outlive the call.
+  struct OpRef {
+    TxnOp::Kind kind;
+    const std::string* key;
+    std::uint64_t offset = 0;
+    ByteView data;
+    std::uint64_t new_size = 0;
+    std::uint64_t checksum = 0;
+  };
+
+  /// Apply a batch of op views under the caller's locks (same contract as
+  /// apply_txn_ops, which delegates here). Charges cpu_op_us ONCE for the
+  /// batch plus each op's own data/metadata costs — the server-side half of
+  /// the batching win: k ops in one envelope parse once, not k times.
+  /// When `per_op_us` is non-null it must hold `count` entries and receives
+  /// the CUMULATIVE service time after each op, so a caller modelling
+  /// streamed execution can mark the instant each sub-op's work finished
+  /// (sub i done at serve_start + per_op_us[i]) instead of serializing
+  /// everything behind the batch's total.
+  Status apply_ops(const OpRef* ops, std::size_t count, SimMicros* service_us,
+                   SimMicros* per_op_us = nullptr);
 
   /// Expected-version check for optimistic transactions (0 = "must not
   /// exist"). Caller holds lock_exclusive() or a KeyLock on `key`.
@@ -170,6 +231,20 @@ class BlobServer {
   /// order — the same global order as lock_exclusive(), so the two paths
   /// cannot deadlock against each other.
   [[nodiscard]] KeyLock lock_key(std::string_view key);
+
+  /// Holds the structure lock (shared) plus every mutation stripe a batch of
+  /// keys maps to — one acquisition round for the whole batch.
+  struct MultiKeyLock {
+    std::shared_lock<std::shared_mutex> structure;
+    std::vector<std::unique_lock<std::mutex>> stripes;  ///< ascending stripe index
+  };
+
+  /// Batched per-key mutation lock: shared structure access plus the deduped
+  /// set of stripes covering `keys`, acquired in ascending stripe order. A
+  /// batched client acquires one MultiKeyLock per replica in ascending node
+  /// order — the same node-major/stripe-minor global order as repeated
+  /// lock_key() calls, so batched and per-leg mutators cannot deadlock.
+  [[nodiscard]] MultiKeyLock lock_keys(const std::vector<std::string_view>& keys);
 
   [[nodiscard]] static std::size_t stripe_of(std::string_view key) noexcept;
 

@@ -44,8 +44,20 @@ struct WriteOutcome {
 
 /// Outcome of a read: data plus the number of distinct extents touched
 /// (each non-adjacent extent costs a seek on the simulated disk).
+/// `covered` counts the bytes actually backed by extents — the remainder of
+/// `data` is zero-filled holes, which throughput accounting must not claim
+/// as transferred payload.
 struct ReadOutcome {
   Bytes data;
+  std::uint32_t extents_touched = 0;
+  std::uint64_t covered = 0;
+};
+
+/// Outcome of a read_into: like ReadOutcome but the data went straight into
+/// the caller's buffer, so only the accounting travels back.
+struct ReadIntoOutcome {
+  std::uint64_t data_len = 0;   ///< bytes within the object (what a wire reply would carry)
+  std::uint64_t covered = 0;    ///< extent-backed bytes among data_len
   std::uint32_t extents_touched = 0;
 };
 
@@ -90,13 +102,26 @@ class StorageEngine {
 
   /// Random-access write; grows the object as needed. Creates the object
   /// when `create_if_missing` (RADOS semantics), else not_found.
+  /// `checksum`, when non-zero, is the caller's precomputed
+  /// content_checksum(data): batched clients compute it once and ship it
+  /// end-to-end, so each replica stores instead of recomputing (and a wire
+  /// corruption is caught later against the *sender's* checksum, which a
+  /// server-side recompute would bless). 0 = compute here.
   Result<WriteOutcome> write(const std::string& key, std::uint64_t offset, ByteView data,
-                             bool create_if_missing);
+                             bool create_if_missing, std::uint64_t checksum = 0);
 
   /// Random-access read; unwritten holes read as zero; reads past the end
   /// are clipped (empty result at/after EOF).
   Result<ReadOutcome> read(const std::string& key, std::uint64_t offset,
                            std::uint64_t len) const;
+
+  /// Scatter-gather read into a caller-provided buffer: copies the extent
+  /// bytes overlapping [offset, offset + dst.size()) directly into `dst`,
+  /// skipping the intermediate ReadOutcome allocation+copy of read().
+  /// Contract: `dst` is pre-zeroed by the caller — holes and the tail past
+  /// the object's length are left untouched (they already read as zero).
+  Result<ReadIntoOutcome> read_into(const std::string& key, std::uint64_t offset,
+                                    MutableByteView dst) const;
 
   /// Grow (sparse) or shrink the object.
   Result<Version> truncate(const std::string& key, std::uint64_t new_size);
@@ -159,6 +184,15 @@ class StorageEngine {
   /// Append raw data to the log; returns (segment, seg_off).
   std::pair<std::uint32_t, std::uint64_t> append_to_log(ByteView data);
 
+  /// Account `n` bytes of `segment` dead (live_bytes_/dead_bytes_/per-segment
+  /// live count) and recycle the slot if the segment is now fully dead.
+  void retire_bytes(std::uint32_t segment, std::uint64_t n);
+
+  /// If `segment` is sealed, non-empty and fully dead, clear its buffer and
+  /// put the slot on the free list so the next sealed-segment transition
+  /// reuses it (warm pages) instead of faulting a fresh allocation.
+  void maybe_recycle(std::uint32_t segment);
+
   /// Replace [off, off+len) of the object's extent list with a new extent.
   void supersede_range(ObjectRec& rec, std::uint64_t off, std::uint64_t len);
 
@@ -177,6 +211,12 @@ class StorageEngine {
   std::map<std::string, ObjectRec> objects_;
   std::map<std::string, Version> removed_floors_;  ///< last version of removed keys
   std::vector<Bytes> segments_;
+  std::uint32_t active_ = 0;                ///< index of the open (append) segment
+  std::vector<std::uint64_t> seg_live_;     ///< live bytes per segment slot
+  std::vector<std::uint32_t> free_slots_;   ///< fully-dead slots ready for reuse
+  /// Slots beyond this many on the free list drop their buffer memory (the
+  /// slot itself is still reused, it just re-reserves on next open).
+  static constexpr std::size_t kWarmSlots = 8;
   std::uint64_t live_bytes_ = 0;
   std::uint64_t dead_bytes_ = 0;
   persist::Journal* journal_ = nullptr;

@@ -58,6 +58,21 @@ struct StoreConfig {
   std::uint32_t vnodes_per_node = 64; ///< ring virtual nodes
   bool write_creates = true;          ///< RADOS-style implicit create on write
 
+  /// Batched scatter-gather striping: chunk legs destined for the same
+  /// acting primary travel as one multi-op batch envelope (one queueing
+  /// trip, one fault-injection decision, per-sub-op status in the reply)
+  /// instead of fully independent per-chunk RPCs. Off = the per-leg path
+  /// (kept for A/B benches and as the fallback when read quorum > 1 or
+  /// hedging is enabled, which need per-leg arbitration).
+  bool batched_striping = true;
+
+  /// Client-side metadata cache of {logical size, chunk-0 version} per blob,
+  /// verified by a piggybacked stat sub-op and invalidated on any local
+  /// mutation or version/size drift in a reply. Eliminates the stat round
+  /// that otherwise precedes every striped read. Only consulted by the
+  /// batched read path.
+  bool client_meta_cache = true;
+
   /// Write quorum W. 0 (default) keeps the classic behavior: every *live*
   /// replica must ack (down replicas are repaired by resync). A non-zero
   /// W <= replication makes a mutation succeed once W replicas ack; missed

@@ -19,6 +19,8 @@ struct TransportMetrics {
   obs::Counter& call_failures;
   obs::Counter& reliable_calls;
   obs::Counter& oneways;
+  obs::Counter& batches;
+  obs::Counter& batch_subops;
   obs::ShardedHistogram& call_latency_us;
 };
 
@@ -33,6 +35,8 @@ TransportMetrics& transport_metrics() {
                             reg.counter("rpc.call_failures"),
                             reg.counter("rpc.reliable_calls"),
                             reg.counter("rpc.oneways"),
+                            reg.counter("rpc.batches"),
+                            reg.counter("rpc.batch.subops"),
                             reg.histogram("rpc.call.latency_us")};
   return m;
 }
@@ -84,6 +88,14 @@ FaultVerdict Transport::admit(sim::SimNode& server, SimMicros now) {
     case FaultVerdict::Kind::deliver: break;
   }
   return verdict;
+}
+
+FaultVerdict Transport::admit_batch(sim::SimNode& server, SimMicros now,
+                                    std::uint32_t sub_ops) {
+  auto& m = transport_metrics();
+  m.batches.inc();
+  m.batch_subops.add(sub_ops);
+  return admit(server, now);
 }
 
 Status Transport::charge_failure(sim::SimAgent& agent, const FaultVerdict& verdict,

@@ -63,6 +63,14 @@ class Transport {
   /// first, then charges the corresponding cost itself.
   [[nodiscard]] FaultVerdict admit(sim::SimNode& server, SimMicros now);
 
+  /// One fault verdict for a whole multi-op batch envelope carrying
+  /// `sub_ops` sub-operations: the batch is one request on the wire, so it
+  /// draws exactly one verdict (all sub-ops share its fate). Accounted
+  /// separately (rpc.batches / rpc.batch.subops) on top of the rpc.attempts
+  /// the underlying admit records.
+  [[nodiscard]] FaultVerdict admit_batch(sim::SimNode& server, SimMicros now,
+                                         std::uint32_t sub_ops);
+
   /// Charge `agent` for a failed attempt: the full deadline for a dropped
   /// request, or one short round trip for an error/outage rejection.
   /// Returns the matching error. `deliver` verdicts are a programming error.

@@ -85,10 +85,135 @@ Result<Bytes> WireReader::get_bytes() {
   return b;
 }
 
+Result<ByteView> WireReader::get_bytes_view() {
+  auto len = get_u64();
+  if (!len.ok()) return len.error();
+  if (!need(len.value())) return Errc::out_of_range;
+  ByteView v = data_.subspan(pos_, len.value());
+  pos_ += len.value();
+  return v;
+}
+
 Result<bool> WireReader::get_bool() {
   auto v = get_u8();
   if (!v.ok()) return v.error();
   return v.value() != 0;
+}
+
+// --- batch envelope --------------------------------------------------------
+
+std::uint64_t wire_size(const BatchOp& op) noexcept {
+  // kind u8 + span u32 + key (u32 + chars) + offset u64 + len u64 +
+  // checksum u64 + data (u64 + bytes).
+  return 1 + 4 + (4 + op.key.size()) + 8 + 8 + 8 + (8 + op.data.size());
+}
+
+std::uint64_t wire_size(const BatchRequest& req) noexcept {
+  std::uint64_t n = 4;  // op count u32
+  for (const BatchOp& op : req.ops) n += wire_size(op);
+  return n;
+}
+
+std::uint64_t wire_size(const BatchSubStatus& sub) noexcept {
+  // errc u8 + size u64 + version u64 + data (u64 + bytes).
+  return 1 + 8 + 8 + (8 + sub.data.size());
+}
+
+std::uint64_t wire_size(const BatchReply& reply) noexcept {
+  std::uint64_t n = 4;  // sub count u32
+  for (const BatchSubStatus& sub : reply.subs) n += wire_size(sub);
+  return n;
+}
+
+Bytes encode(const BatchRequest& req) {
+  WireWriter w;
+  w.put_u32(static_cast<std::uint32_t>(req.ops.size()));
+  for (const BatchOp& op : req.ops) {
+    w.put_u8(static_cast<std::uint8_t>(op.kind));
+    w.put_u32(op.span);
+    w.put_string(op.key);
+    w.put_u64(op.offset);
+    w.put_u64(op.len);
+    w.put_u64(op.checksum);
+    w.put_bytes(op.data);
+  }
+  return std::move(w).take();
+}
+
+Bytes encode(const BatchReply& reply) {
+  WireWriter w;
+  w.put_u32(static_cast<std::uint32_t>(reply.subs.size()));
+  for (const BatchSubStatus& sub : reply.subs) {
+    w.put_u8(sub.errc);
+    w.put_u64(sub.size);
+    w.put_u64(sub.version);
+    w.put_bytes(sub.data);
+  }
+  return std::move(w).take();
+}
+
+Result<BatchRequest> decode_batch_request(ByteView buf) {
+  WireReader r(buf);
+  auto count = r.get_u32();
+  if (!count.ok()) return count.error();
+  BatchRequest req;
+  req.ops.reserve(count.value());
+  for (std::uint32_t i = 0; i < count.value(); ++i) {
+    BatchOp op;
+    auto kind = r.get_u8();
+    if (!kind.ok()) return kind.error();
+    if (kind.value() < 1 || kind.value() > 7) {
+      return {Errc::invalid_argument, "bad batch op kind"};
+    }
+    op.kind = static_cast<BatchOpKind>(kind.value());
+    auto span = r.get_u32();
+    if (!span.ok()) return span.error();
+    op.span = span.value();
+    auto key = r.get_string();
+    if (!key.ok()) return key.error();
+    op.key = std::move(key).take();
+    auto off = r.get_u64();
+    if (!off.ok()) return off.error();
+    op.offset = off.value();
+    auto len = r.get_u64();
+    if (!len.ok()) return len.error();
+    op.len = len.value();
+    auto ck = r.get_u64();
+    if (!ck.ok()) return ck.error();
+    op.checksum = ck.value();
+    auto data = r.get_bytes_view();
+    if (!data.ok()) return data.error();
+    op.data = data.value();
+    req.ops.push_back(std::move(op));
+  }
+  if (!r.exhausted()) return {Errc::invalid_argument, "trailing bytes in batch request"};
+  return req;
+}
+
+Result<BatchReply> decode_batch_reply(ByteView buf) {
+  WireReader r(buf);
+  auto count = r.get_u32();
+  if (!count.ok()) return count.error();
+  BatchReply reply;
+  reply.subs.reserve(count.value());
+  for (std::uint32_t i = 0; i < count.value(); ++i) {
+    BatchSubStatus sub;
+    auto errc = r.get_u8();
+    if (!errc.ok()) return errc.error();
+    sub.errc = errc.value();
+    auto size = r.get_u64();
+    if (!size.ok()) return size.error();
+    sub.size = size.value();
+    auto version = r.get_u64();
+    if (!version.ok()) return version.error();
+    sub.version = version.value();
+    auto data = r.get_bytes_view();
+    if (!data.ok()) return data.error();
+    sub.data = data.value();
+    reply.subs.push_back(sub);
+  }
+  if (!r.exhausted()) return {Errc::invalid_argument, "trailing bytes in batch reply"};
+  return reply;
 }
 
 }  // namespace bsc::rpc

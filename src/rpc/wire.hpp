@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/bytes.hpp"
 #include "common/result.hpp"
@@ -47,6 +48,10 @@ class WireReader {
   [[nodiscard]] Result<std::int64_t> get_i64();
   [[nodiscard]] Result<std::string> get_string();
   [[nodiscard]] Result<Bytes> get_bytes();
+  /// Zero-copy variant of get_bytes: the returned view aliases the source
+  /// buffer, which must outlive it. Batch decoding uses this so a reply's
+  /// payloads are not copied a second time on the way out.
+  [[nodiscard]] Result<ByteView> get_bytes_view();
   [[nodiscard]] Result<bool> get_bool();
 
   [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - pos_; }
@@ -58,5 +63,71 @@ class WireReader {
   ByteView data_;
   std::size_t pos_ = 0;
 };
+
+// --- multi-op batch envelope ----------------------------------------------
+//
+// All chunk legs of a striped blob operation destined for the same acting
+// primary travel as one request: one envelope, one queueing trip, one
+// fault-injection decision, per-sub-op status in the reply. Sub-op payloads
+// are ByteViews (non-owning, both directions): encoding appends them to the
+// wire buffer, decoding returns views aliasing the source buffer — the hot
+// path computes exact message sizes with wire_size() and never materializes
+// the wire buffer at all (the services execute in-process).
+//
+// `span` >= 2 marks a coalesced vectored sub-op: the operation covers `span`
+// consecutive chunks starting at `key` (chunk keys are derivable), sharing
+// one sub-header instead of repeating key + header per chunk. Coalescing is
+// a descriptor optimization: the segments still scatter-gather per chunk at
+// the endpoints, matching the per-leg model's parallel-stream assumption.
+
+enum class BatchOpKind : std::uint8_t {
+  read = 1,
+  write = 2,
+  truncate = 3,
+  create = 4,
+  remove = 5,
+  grow = 6,
+  stat = 7,  ///< piggybacked metadata verification (size + version)
+};
+
+struct BatchOp {
+  BatchOpKind kind = BatchOpKind::read;
+  std::string key;            ///< engine key of the first covered chunk
+  std::uint32_t span = 1;     ///< consecutive chunks covered (>= 2 = coalesced)
+  std::uint64_t offset = 0;   ///< intra-object offset (reads/writes)
+  std::uint64_t len = 0;      ///< read length / truncate-grow target size
+  std::uint64_t checksum = 0; ///< sender's content checksum of `data` (0 = none)
+  ByteView data;              ///< write payload (empty otherwise)
+};
+
+struct BatchRequest {
+  std::vector<BatchOp> ops;
+};
+
+struct BatchSubStatus {
+  std::uint8_t errc = 0;      ///< numeric Errc of this sub-op (0 = ok)
+  std::uint64_t size = 0;     ///< object size (stat) / bytes applied (mutations)
+  std::uint64_t version = 0;  ///< post-op / current object version
+  ByteView data;              ///< read payload (empty otherwise)
+};
+
+struct BatchReply {
+  std::vector<BatchSubStatus> subs;
+};
+
+/// Exact encoded size without materializing the buffer — what the network
+/// cost model is fed on the hot path. Tests pin wire_size(x) ==
+/// encode(x).size() so the two can never drift.
+[[nodiscard]] std::uint64_t wire_size(const BatchOp& op) noexcept;
+[[nodiscard]] std::uint64_t wire_size(const BatchRequest& req) noexcept;
+[[nodiscard]] std::uint64_t wire_size(const BatchSubStatus& sub) noexcept;
+[[nodiscard]] std::uint64_t wire_size(const BatchReply& reply) noexcept;
+
+[[nodiscard]] Bytes encode(const BatchRequest& req);
+[[nodiscard]] Bytes encode(const BatchReply& reply);
+
+/// Decoded payloads alias `buf`, which must outlive the result.
+[[nodiscard]] Result<BatchRequest> decode_batch_request(ByteView buf);
+[[nodiscard]] Result<BatchReply> decode_batch_reply(ByteView buf);
 
 }  // namespace bsc::rpc

@@ -1,0 +1,342 @@
+// Batched scatter-gather striping: wire envelope round-trips, batched vs
+// per-leg equivalence (byte contents, sizes, replica convergence), chunk
+// coalescing, hole accounting in the read counters, the client metadata
+// cache under concurrent truncate/remove/recreate, and the single-round
+// behavior of absent / at-EOF striped reads.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "blob/client.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "rpc/wire.hpp"
+
+namespace bsc::blob {
+namespace {
+
+constexpr std::uint64_t kChunk = 1ULL << 20;
+
+StoreConfig batched_cfg() {
+  StoreConfig cfg;
+  cfg.batched_striping = true;
+  cfg.client_meta_cache = true;
+  return cfg;
+}
+
+StoreConfig per_leg_cfg() {
+  StoreConfig cfg;
+  cfg.batched_striping = false;
+  cfg.client_meta_cache = false;
+  return cfg;
+}
+
+// --- wire envelope --------------------------------------------------------
+
+TEST(BatchWire, RequestRoundTripPinsWireSize) {
+  const Bytes payload = make_payload(7, 0, 300);
+  rpc::BatchRequest req;
+  req.ops.push_back({rpc::BatchOpKind::write, "blob\x1f""3", 2, 4096, 0,
+                     0xdeadbeefULL, as_view(payload)});
+  req.ops.push_back({rpc::BatchOpKind::read, "blob", 1, 0, 512, 0, {}});
+  req.ops.push_back({rpc::BatchOpKind::stat, "blob", 1, 0, 0, 0, {}});
+
+  const Bytes buf = rpc::encode(req);
+  ASSERT_EQ(rpc::wire_size(req), buf.size());
+
+  auto dec = rpc::decode_batch_request(as_view(buf));
+  ASSERT_TRUE(dec.ok());
+  const auto& ops = dec.value().ops;
+  ASSERT_EQ(ops.size(), 3u);
+  EXPECT_EQ(ops[0].kind, rpc::BatchOpKind::write);
+  EXPECT_EQ(ops[0].key, "blob\x1f""3");
+  EXPECT_EQ(ops[0].span, 2u);
+  EXPECT_EQ(ops[0].offset, 4096u);
+  EXPECT_EQ(ops[0].checksum, 0xdeadbeefULL);
+  EXPECT_TRUE(equal(ops[0].data, as_view(payload)));
+  EXPECT_EQ(ops[1].kind, rpc::BatchOpKind::read);
+  EXPECT_EQ(ops[1].len, 512u);
+  EXPECT_EQ(ops[2].kind, rpc::BatchOpKind::stat);
+}
+
+TEST(BatchWire, ReplyRoundTripPinsWireSize) {
+  const Bytes payload = make_payload(9, 0, 129);
+  rpc::BatchReply reply;
+  reply.subs.push_back({0, 129, 42, as_view(payload)});
+  reply.subs.push_back({static_cast<std::uint8_t>(Errc::not_found), 0, 0, {}});
+
+  const Bytes buf = rpc::encode(reply);
+  ASSERT_EQ(rpc::wire_size(reply), buf.size());
+
+  auto dec = rpc::decode_batch_reply(as_view(buf));
+  ASSERT_TRUE(dec.ok());
+  ASSERT_EQ(dec.value().subs.size(), 2u);
+  EXPECT_EQ(dec.value().subs[0].version, 42u);
+  EXPECT_TRUE(equal(dec.value().subs[0].data, as_view(payload)));
+  EXPECT_EQ(dec.value().subs[1].errc, static_cast<std::uint8_t>(Errc::not_found));
+}
+
+TEST(BatchWire, RejectsUnknownKindAndTruncation) {
+  rpc::BatchRequest req;
+  req.ops.push_back({rpc::BatchOpKind::write, "k", 1, 0, 0, 0, {}});
+  Bytes buf = rpc::encode(req);
+  Bytes bad = buf;
+  bad[4] = std::byte{99};  // kind of the first op, after the u32 count
+  EXPECT_FALSE(rpc::decode_batch_request(as_view(bad)).ok());
+  buf.pop_back();
+  EXPECT_FALSE(rpc::decode_batch_request(as_view(buf)).ok());
+}
+
+// --- batched vs per-leg equivalence ---------------------------------------
+
+/// Runs one scripted striped workload against a fresh store and returns the
+/// full observable state: every app-level read plus final sizes.
+struct ScriptResult {
+  std::vector<Bytes> reads;
+  std::vector<std::uint64_t> sizes;
+  std::vector<Errc> errs;
+};
+
+ScriptResult run_script(const StoreConfig& cfg) {
+  sim::Cluster cluster;
+  BlobStore store(cluster, cfg);
+  sim::SimAgent agent;
+  BlobClient client(store, &agent);
+  ScriptResult out;
+
+  auto record_read = [&](std::string_view key, std::uint64_t off, std::uint64_t len) {
+    auto r = client.read(key, off, len);
+    out.errs.push_back(r.code());
+    out.reads.push_back(r.ok() ? std::move(r.value()) : Bytes{});
+  };
+  auto record_size = [&](std::string_view key) {
+    auto s = client.size(key);
+    out.sizes.push_back(s.ok() ? s.value() : ~0ULL);
+  };
+
+  // 4.5-chunk blob written at an odd offset, then overwritten mid-stripe.
+  const Bytes big = make_payload(1, 12345, 4 * kChunk + kChunk / 2);
+  EXPECT_TRUE(client.write("a", 12345, as_view(big)).ok());
+  const Bytes over = make_payload(2, 0, kChunk);
+  EXPECT_TRUE(client.write("a", 2 * kChunk - 777, as_view(over)).ok());
+  record_size("a");
+  record_read("a", 0, 6 * kChunk);
+  record_read("a", 2 * kChunk - 800, 1000);      // straddles the overwrite
+  record_read("a", kChunk - 3, 7);               // chunk boundary
+  record_read("a", 4 * kChunk, 2 * kChunk);      // tail, clipped at EOF
+  record_read("a", 7 * kChunk, 16);              // past EOF -> empty
+
+  // Sparse blob: write lands in chunk 3 only; chunks 0-2 are holes.
+  EXPECT_TRUE(client.write("sparse", 3 * kChunk + 11, as_view(make_payload(3, 0, 4096))).ok());
+  record_size("sparse");
+  record_read("sparse", 0, 4 * kChunk);
+  record_read("sparse", kChunk, 100);            // pure hole chunk
+
+  // Truncate down to mid-chunk (drops chunks 2+, trims chunk 1), then up.
+  EXPECT_TRUE(client.truncate("a", kChunk + kChunk / 2).ok());
+  record_size("a");
+  record_read("a", 0, 2 * kChunk);
+  EXPECT_TRUE(client.truncate("a", 3 * kChunk).ok());
+  record_size("a");
+  record_read("a", kChunk, 2 * kChunk);          // trailing zeros
+
+  // Remove + recreate with different striped contents.
+  EXPECT_TRUE(client.remove("a").ok());
+  record_read("a", 0, kChunk * 2);               // not_found
+  const Bytes fresh = make_payload(4, 0, 2 * kChunk + 99);
+  EXPECT_TRUE(client.write("a", 0, as_view(fresh)).ok());
+  record_size("a");
+  record_read("a", 0, 3 * kChunk);
+
+  // Absent blob: striped-range read of a key that never existed.
+  record_read("ghost", 0, 5 * kChunk);
+
+  // Replica convergence: scrub must be clean in both modes.
+  const auto report = store.scrub(/*repair=*/false, &agent);
+  EXPECT_EQ(report.divergent_replicas, 0u);
+  EXPECT_EQ(report.checksum_errors, 0u);
+  EXPECT_TRUE(store.verify_all_integrity().ok());
+  return out;
+}
+
+TEST(BatchEquivalence, BatchedAndPerLegProduceIdenticalResults) {
+  const ScriptResult on = run_script(batched_cfg());
+  const ScriptResult off = run_script(per_leg_cfg());
+  ASSERT_EQ(on.reads.size(), off.reads.size());
+  ASSERT_EQ(on.errs, off.errs);
+  ASSERT_EQ(on.sizes, off.sizes);
+  for (std::size_t i = 0; i < on.reads.size(); ++i) {
+    EXPECT_TRUE(equal(as_view(on.reads[i]), as_view(off.reads[i])))
+        << "read " << i << " diverged between batched and per-leg modes";
+  }
+}
+
+// --- coalescing -----------------------------------------------------------
+
+TEST(BatchCoalescing, AdjacentChunksOnOnePrimaryShareASubHeader) {
+  // One storage node: every chunk's acting primary is the same server, so
+  // the chunk legs of a striped write form a single batch whose consecutive
+  // chunks coalesce into one vectored sub-op.
+  sim::Cluster cluster{sim::ClusterSpec::with_storage_nodes(1)};
+  StoreConfig cfg = batched_cfg();
+  cfg.replication = 1;
+  BlobStore store(cluster, cfg);
+  sim::SimAgent agent;
+  BlobClient client(store, &agent);
+
+  const Bytes data = make_payload(5, 0, 4 * kChunk);
+  ASSERT_TRUE(client.write("c", 0, as_view(data)).ok());
+  EXPECT_GE(client.counters().batch_envelopes, 1u);
+  EXPECT_GE(client.counters().coalesced_ops, 1u);
+
+  auto r = client.read("c", 0, 4 * kChunk);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(equal(as_view(r.value()), as_view(data)));
+  // The read fanned out as one batch too (chunks 0..3 plus the stat sub).
+  EXPECT_GE(client.counters().batch_envelopes, 2u);
+}
+
+// --- hole accounting (satellite: bytes_read counted zero-filled bytes) ----
+
+TEST(BatchHoleAccounting, BytesReadCountsExtentBackedBytesOnly) {
+  for (const bool batched : {true, false}) {
+    sim::Cluster cluster;
+    BlobStore store(cluster, batched ? batched_cfg() : per_leg_cfg());
+    sim::SimAgent agent;
+    BlobClient client(store, &agent);
+
+    // 4 KiB of real data deep in chunk 3; chunks 0-2 are pure holes.
+    ASSERT_TRUE(client.write("h", 3 * kChunk + 11, as_view(make_payload(6, 0, 4096))).ok());
+    const std::uint64_t logical = 3 * kChunk + 11 + 4096;
+    auto r = client.read("h", 0, 4 * kChunk);
+    ASSERT_TRUE(r.ok());
+    ASSERT_EQ(r.value().size(), logical);
+    EXPECT_EQ(client.counters().bytes_read, 4096u) << "batched=" << batched;
+    EXPECT_EQ(client.counters().read_hole_bytes, logical - 4096u)
+        << "batched=" << batched;
+
+    // Single-chunk path: truncate-up creates a tail hole inside chunk 0.
+    ASSERT_TRUE(client.write("s", 0, as_view(make_payload(7, 0, 100))).ok());
+    ASSERT_TRUE(client.truncate("s", 50000).ok());
+    auto sr = client.read("s", 0, 50000);
+    ASSERT_TRUE(sr.ok());
+    ASSERT_EQ(sr.value().size(), 50000u);
+    EXPECT_EQ(client.counters().bytes_read, 4096u + 100u) << "batched=" << batched;
+    EXPECT_EQ(client.counters().read_hole_bytes, (logical - 4096u) + 49900u)
+        << "batched=" << batched;
+  }
+}
+
+// --- metadata cache -------------------------------------------------------
+
+class MetaCacheTest : public ::testing::Test {
+ protected:
+  sim::Cluster cluster_;
+  BlobStore store_{cluster_, batched_cfg()};
+  sim::SimAgent agent_a_, agent_b_;
+  BlobClient a_{store_, &agent_a_};
+  BlobClient b_{store_, &agent_b_};
+};
+
+TEST_F(MetaCacheTest, HitsSkipTheStatRound) {
+  const Bytes data = make_payload(8, 0, 3 * kChunk);
+  ASSERT_TRUE(a_.write("k", 0, as_view(data)).ok());  // write primes the cache
+  ASSERT_TRUE(a_.read("k", 0, 3 * kChunk).ok());
+  ASSERT_TRUE(a_.read("k", kChunk, kChunk).ok());
+  EXPECT_EQ(a_.counters().metacache_hits, 2u);
+  EXPECT_EQ(a_.counters().metacache_misses, 0u);
+
+  // A fresh client misses once, then hits.
+  ASSERT_TRUE(b_.read("k", 0, 3 * kChunk).ok());
+  ASSERT_TRUE(b_.read("k", 0, 3 * kChunk).ok());
+  EXPECT_EQ(b_.counters().metacache_misses, 1u);
+  EXPECT_EQ(b_.counters().metacache_hits, 1u);
+}
+
+TEST_F(MetaCacheTest, ConcurrentTruncateIsDetectedAndReread) {
+  const Bytes data = make_payload(9, 0, 3 * kChunk);
+  ASSERT_TRUE(a_.write("k", 0, as_view(data)).ok());
+  ASSERT_TRUE(a_.read("k", 0, 3 * kChunk).ok());
+
+  // Another client shrinks the blob behind a_'s cache.
+  ASSERT_TRUE(b_.truncate("k", kChunk + 5).ok());
+
+  auto r = a_.read("k", 0, 3 * kChunk);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().size(), kChunk + 5);  // stale size detected, re-read
+  EXPECT_TRUE(equal(as_view(r.value()), subview(as_view(data), 0, kChunk + 5)));
+  EXPECT_GE(a_.counters().metacache_invalidations, 1u);
+}
+
+TEST_F(MetaCacheTest, ConcurrentRemoveAndRecreateAreDetected) {
+  ASSERT_TRUE(a_.write("k", 0, as_view(make_payload(10, 0, 2 * kChunk))).ok());
+  ASSERT_TRUE(a_.read("k", 0, 2 * kChunk).ok());
+
+  ASSERT_TRUE(b_.remove("k").ok());
+  EXPECT_EQ(a_.read("k", 0, 2 * kChunk).code(), Errc::not_found);
+
+  const Bytes fresh = make_payload(11, 0, 2 * kChunk + kChunk / 2);
+  ASSERT_TRUE(b_.write("k", 0, as_view(fresh)).ok());
+  auto r = a_.read("k", 0, 3 * kChunk);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(equal(as_view(r.value()), as_view(fresh)));
+}
+
+TEST_F(MetaCacheTest, LocalMutationsInvalidate) {
+  ASSERT_TRUE(a_.write("k", 0, as_view(make_payload(12, 0, 2 * kChunk))).ok());
+  ASSERT_TRUE(a_.read("k", 0, 2 * kChunk).ok());
+  ASSERT_TRUE(a_.truncate("k", kChunk / 2).ok());  // refreshes the entry itself
+  auto r = a_.read("k", 0, 2 * kChunk);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().size(), kChunk / 2);
+
+  // A transaction on the key drops the entry outright.
+  auto txn = a_.begin_transaction();
+  txn.truncate("k", 10);
+  ASSERT_TRUE(txn.commit().ok());
+  auto r2 = a_.read("k", 0, kChunk);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2.value().size(), 10u);
+}
+
+// --- absent / at-EOF striped reads (satellite: full-len probe legs) -------
+
+TEST(BatchProbeEconomy, AbsentStripedReadCostsOneStatRound) {
+  sim::Cluster cluster;
+  BlobStore store(cluster, batched_cfg());
+  sim::SimAgent agent;
+  BlobClient client(store, &agent);
+
+  const SimMicros t0 = agent.now();
+  EXPECT_EQ(client.stat("ghost-a").code(), Errc::not_found);
+  const SimMicros stat_cost = agent.now() - t0;
+
+  const SimMicros t1 = agent.now();
+  EXPECT_EQ(client.read("ghost-b", 0, 8 * kChunk).code(), Errc::not_found);
+  const SimMicros read_cost = agent.now() - t1;
+
+  // The absent read is answered by its stat round alone — no batch envelope,
+  // no full-length probe leg shipped over the wire.
+  EXPECT_EQ(read_cost, stat_cost);
+  EXPECT_EQ(client.counters().batch_envelopes, 0u);
+}
+
+TEST(BatchProbeEconomy, AtEofStripedReadShipsNoData) {
+  sim::Cluster cluster;
+  BlobStore store(cluster, batched_cfg());
+  sim::SimAgent agent;
+  BlobClient client(store, &agent);
+  ASSERT_TRUE(client.write("k", 0, as_view(make_payload(13, 0, 2 * kChunk))).ok());
+
+  const std::uint64_t envelopes_before = client.counters().batch_envelopes;
+  auto r = client.read("k", 5 * kChunk, 3 * kChunk);  // far past EOF
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().empty());
+  // Verified by a stat round, not by a data batch.
+  EXPECT_EQ(client.counters().batch_envelopes, envelopes_before);
+  EXPECT_EQ(client.counters().bytes_read, 0u);
+}
+
+}  // namespace
+}  // namespace bsc::blob

@@ -151,6 +151,55 @@ TEST(Engine, CompactionReclaimsDeadBytesAndPreservesData) {
   }
 }
 
+TEST(Engine, SteadyStateOverwriteRecyclesSegmentSlots) {
+  // A bounded working set overwritten forever must not grow the segment
+  // list without bound: every overwrite fully kills the previous round's
+  // extents, so their sealed segments become recyclable slots.
+  StorageEngine e(EngineConfig{.segment_bytes = 4096});
+  const Bytes data = make_payload(9, 0, 4000);
+  for (int round = 0; round < 200; ++round) {
+    for (int k = 0; k < 4; ++k) {
+      ASSERT_TRUE(e.write("hot-" + std::to_string(k), 0, as_view(data), true).ok());
+    }
+  }
+  // 800 segment-filling writes land in a handful of recycled slots, not 800
+  // fresh segments.
+  EXPECT_LT(e.segments_total(), 32u);
+  EXPECT_TRUE(e.verify_integrity().ok());
+  for (int k = 0; k < 4; ++k) {
+    auto r = e.read("hot-" + std::to_string(k), 0, 4000);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(equal(as_view(r.value().data), as_view(data)));
+  }
+}
+
+TEST(Engine, RecycledSlotSurvivesRemoveTruncateAndCompact) {
+  StorageEngine e(EngineConfig{.segment_bytes = 2048});
+  const Bytes data = make_payload(10, 0, 2000);
+  for (int i = 0; i < 8; ++i) {
+    const std::string key = "r-" + std::to_string(i);
+    ASSERT_TRUE(e.write(key, 0, as_view(data), true).ok());
+    if (i % 2 == 0) {
+      ASSERT_TRUE(e.remove(key).ok());
+    } else {
+      ASSERT_TRUE(e.truncate(key, 100).ok());
+    }
+  }
+  ASSERT_TRUE(e.write("keep", 0, as_view(data), true).ok());
+  EXPECT_TRUE(e.verify_integrity().ok());
+  e.compact();
+  EXPECT_TRUE(e.verify_integrity().ok());
+  auto r = e.read("keep", 0, 2000);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(equal(as_view(r.value().data), as_view(data)));
+  // Compaction rebuilt the log; steady-state overwrites keep recycling.
+  for (int round = 0; round < 50; ++round) {
+    ASSERT_TRUE(e.write("keep", 0, as_view(data), true).ok());
+  }
+  EXPECT_LT(e.segments_total(), 16u);
+  EXPECT_TRUE(e.verify_integrity().ok());
+}
+
 TEST(Engine, IntegrityDetectsCorruption) {
   StorageEngine e;
   ASSERT_TRUE(e.write("k", 0, as_view(make_payload(3, 0, 256)), true).ok());
