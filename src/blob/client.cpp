@@ -90,6 +90,17 @@ struct ClientMetrics {
       obs::MetricsRegistry::global().counter("client.metacache.misses");
   obs::Counter& metacache_invalidations =
       obs::MetricsRegistry::global().counter("client.metacache.invalidations");
+  // Elastic membership: the epoch protocol and dual writes. dual_writes is
+  // the same registry series the rebalancer interns — one counter tells the
+  // whole story of a migration window regardless of which side mirrored.
+  obs::Counter& epoch_refreshes =
+      obs::MetricsRegistry::global().counter("client.epoch.refreshes");
+  obs::Counter& stale_retries =
+      obs::MetricsRegistry::global().counter("client.epoch.stale_retries");
+  obs::Counter& batch_retries =
+      obs::MetricsRegistry::global().counter("client.batch.retries");
+  obs::Counter& dual_writes =
+      obs::MetricsRegistry::global().counter("rebalance.dual_writes");
 };
 
 ClientMetrics& client_metrics() {
@@ -207,19 +218,45 @@ Status BlobClient::mutation_leg(const std::string& ekey,
                                 bool force_create, SimMicros start,
                                 SimMicros* completion, LegInfo* info) {
   *completion = start;
-  auto replicas = store_->replicas_of(ekey);
-  if (replicas.empty()) return {Errc::no_space, "no storage nodes in ring"};
 
-  // Per-key striped locks on every replica of this key, acquired in
-  // ascending node order (the same global order the transaction path uses —
-  // no deadlock). Racing writers to one key serialize on its stripe and
-  // apply in the same order on every replica; writers to distinct keys
-  // proceed in parallel.
-  std::vector<std::uint32_t> sorted = replicas;
-  std::sort(sorted.begin(), sorted.end());
+  // Placement loop: resolve (possibly from the placement cache), lock, then
+  // re-resolve under the held stripes. The rebalancer flips a key's
+  // migration state under those same stripes, so a placement that re-reads
+  // identically is stable for the rest of the leg; a mismatch means the
+  // cached entry went stale (membership moved) — flush it, pay one refresh
+  // round trip, and retry against the authoritative placement. The final
+  // pass proceeds on whatever it locked: finalize()'s verify sweep repairs
+  // any drift a pathological race could leave behind.
+  Placement p;
   std::vector<BlobServer::KeyLock> locks;
-  locks.reserve(sorted.size());
-  for (std::uint32_t n : sorted) locks.push_back(store_->server(n).lock_key(ekey));
+  for (int pass = 0;; ++pass) {
+    p = pass == 0 ? locate(ekey) : store_->placement_of(ekey);
+    if (p.replicas.empty()) return {Errc::no_space, "no storage nodes in ring"};
+
+    // Per-key striped locks on every replica AND dual-write target of this
+    // key, acquired in ascending node order (the same global order the
+    // transaction path and the rebalancer use — no deadlock). Racing
+    // writers to one key serialize on its stripe and apply in the same
+    // order on every replica; writers to distinct keys proceed in parallel.
+    std::vector<std::uint32_t> sorted = p.replicas;
+    sorted.insert(sorted.end(), p.pending.begin(), p.pending.end());
+    std::sort(sorted.begin(), sorted.end());
+    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+    locks.clear();
+    locks.reserve(sorted.size());
+    for (std::uint32_t n : sorted) locks.push_back(store_->server(n).lock_key(ekey));
+
+    const Placement fresh = store_->placement_of(ekey);
+    if (fresh.replicas == p.replicas && fresh.pending == p.pending) break;
+    place_flush(ekey);
+    counters_.epoch_refreshes.inc();
+    client_metrics().epoch_refreshes.inc();
+    if (pass >= 2) break;
+    counters_.stale_epoch_retries.inc();
+    client_metrics().stale_retries.inc();
+    start += 2 * store_->cluster().net().transfer_us(kProbeReq);
+  }
+  const std::vector<std::uint32_t>& replicas = p.replicas;
 
   // Applicability check against the acting primary's current state, so the
   // apply below cannot fail on one replica and succeed on another. Ops in a
@@ -372,8 +409,42 @@ Status BlobClient::mutation_leg(const std::string& ekey,
                     rep.node().serve(arr, svc) + net.transfer_us(kEnvelope) +
                         d.extra_latency_us);
   }
+  if (!st.ok()) {
+    *completion = done;
+    return st;
+  }
+
+  // Dual-write targets (open migration window): the new-only owners get the
+  // leg's ops too, version-gated exactly like forwarding replicas so an
+  // out-of-order migration copy can never interleave histories. They are
+  // NOT acks — the old set stays authoritative for quorum — and a missed or
+  // down target gets a hint; finalize()'s verify sweep repairs whatever the
+  // hints don't. This is what makes the write-vs-copy race safe in both
+  // orders: copy-then-write lands here, write-then-copy is picked up by the
+  // copy itself.
+  for (std::uint32_t tid : p.pending) {
+    if (store_->is_down(tid)) {
+      if (primary.add_hint(tid, ekey)) counters_.hints_written.inc();
+      continue;
+    }
+    BlobServer& tgt = store_->server(tid);
+    if (!tgt.version_matches(ekey, pre_version)) continue;  // copy not landed yet
+    LegDelivery dd = try_deliver(tgt, prim_done, req);
+    if (!dd.ok) {
+      if (primary.add_hint(tid, ekey)) counters_.hints_written.inc();
+      done = std::max(done, dd.failed_at);
+      continue;
+    }
+    SimMicros dsvc = 0;
+    if (!tgt.apply_txn_ops(ops, &dsvc).ok()) continue;
+    if (continue_versions && !ends_removed) (void)tgt.force_version(ekey, new_version);
+    counters_.dual_writes.inc();
+    client_metrics().dual_writes.inc();
+    const SimMicros arr = prim_done + net.transfer_us(req) + dd.extra_latency_us;
+    done = std::max(done, tgt.node().serve(arr, dsvc) + net.transfer_us(kEnvelope) +
+                              dd.extra_latency_us);
+  }
   *completion = done;
-  if (!st.ok()) return st;
 
   // The op is now applied at the primary regardless of the quorum outcome;
   // in quorum mode, hint every miss so the repair path knows exactly what
@@ -436,6 +507,25 @@ void BlobClient::cache_erase(const std::string& key) {
   }
 }
 
+Placement BlobClient::locate(const std::string& ekey) {
+  if (const auto it = place_cache_.find(ekey); it != place_cache_.end()) {
+    return it->second;
+  }
+  Placement p = store_->placement_of(ekey);
+  // Only window-free placements are cacheable: a cached entry never carries
+  // dual-write targets, and the stamp check catches it going stale.
+  if (p.pending.empty()) {
+    if (place_cache_.size() >= kMetaCacheCap &&
+        place_cache_.find(ekey) == place_cache_.end()) {
+      place_cache_.clear();  // same blunt cap policy as the metadata cache
+    }
+    place_cache_[ekey] = p;
+  }
+  return p;
+}
+
+void BlobClient::place_flush(const std::string& ekey) { place_cache_.erase(ekey); }
+
 ThreadPool& BlobClient::pool() {
   if (!pool_) {
     const std::size_t hw =
@@ -467,6 +557,7 @@ Status BlobClient::mutation_group_leg(std::vector<BatchSub*>& subs,
 
   struct SubState {
     std::vector<std::uint32_t> replicas;
+    std::vector<std::uint32_t> pending;  ///< dual-write targets (migration)
     bool skip = false;  ///< tolerated not_found: the chunk is a hole
     Version pre_version = 0;
     Version new_version = 0;
@@ -478,18 +569,47 @@ Status BlobClient::mutation_group_leg(std::vector<BatchSub*>& subs,
   std::vector<SubState> st(subs.size());
 
   // One MultiKeyLock per involved node (ascending id), covering every group
-  // key replicated there: the same lexicographic (node, stripe) global order
-  // as per-leg lock_key rounds and transaction commits, so the three paths
-  // cannot deadlock — this is the "single striped-lock acquisition round".
+  // key replicated OR dual-targeted there: the same lexicographic
+  // (node, stripe) global order as per-leg lock_key rounds and transaction
+  // commits, so the three paths cannot deadlock — this is the "single
+  // striped-lock acquisition round". Placements are re-resolved under the
+  // held stripes (the rebalancer flips migration state under the same
+  // stripes), retrying the round when a cutover moved a key in between.
   std::map<std::uint32_t, std::vector<std::string_view>> node_keys;
-  for (std::size_t i = 0; i < subs.size(); ++i) {
-    st[i].replicas = store_->replicas_of(subs[i]->ekey);
-    if (st[i].replicas.empty()) return {Errc::no_space, "no storage nodes in ring"};
-    for (std::uint32_t n : st[i].replicas) node_keys[n].push_back(subs[i]->ekey);
-  }
   std::vector<BlobServer::MultiKeyLock> locks;
-  locks.reserve(node_keys.size());
-  for (auto& [n, keys] : node_keys) locks.push_back(store_->server(n).lock_keys(keys));
+  for (int pass = 0;; ++pass) {
+    node_keys.clear();
+    for (std::size_t i = 0; i < subs.size(); ++i) {
+      const Placement p = store_->placement_of(subs[i]->ekey);
+      if (p.replicas.empty()) return {Errc::no_space, "no storage nodes in ring"};
+      st[i].replicas = p.replicas;
+      st[i].pending = p.pending;
+      for (std::uint32_t n : p.replicas) node_keys[n].push_back(subs[i]->ekey);
+      for (std::uint32_t n : p.pending) node_keys[n].push_back(subs[i]->ekey);
+    }
+    locks.clear();
+    locks.reserve(node_keys.size());
+    for (auto& [n, keys] : node_keys) locks.push_back(store_->server(n).lock_keys(keys));
+    bool stable = true;
+    for (std::size_t i = 0; i < subs.size() && stable; ++i) {
+      const Placement p = store_->placement_of(subs[i]->ekey);
+      stable = p.replicas == st[i].replicas && p.pending == st[i].pending;
+    }
+    if (stable || pass >= 2) break;
+    counters_.stale_epoch_retries.inc();
+    client_metrics().stale_retries.inc();
+  }
+
+  // The wave grouped these subs under `primary_id` from pre-lock placements;
+  // if a cutover moved a sub off this primary in between, the caller must
+  // re-group — applying through a non-owner could strand an acked write on
+  // servers about to drop it.
+  for (std::size_t i = 0; i < subs.size(); ++i) {
+    if (std::find(st[i].replicas.begin(), st[i].replicas.end(), primary_id) ==
+        st[i].replicas.end()) {
+      return {Errc::busy, "placement moved during batch: " + subs[i]->ekey};
+    }
+  }
 
   // Prechecks + one version exchange per key, all under the held locks.
   // Wave-2 writes create chunk keys on demand (the application-visible blob
@@ -568,6 +688,17 @@ Status BlobClient::mutation_group_leg(std::vector<BatchSub*>& subs,
   // group is atomically absent.
   LegDelivery prim =
       try_deliver(primary, start, req, static_cast<std::uint32_t>(run_idx.size()));
+  if (!prim.ok) {
+    // One whole-envelope re-send after a fresh backoff before giving up: a
+    // batch envelope represents many legs, so it earns one extra attempt
+    // beyond the per-attempt retry policy (ROADMAP "batch-envelope retry
+    // semantics").
+    counters_.batch_retries.inc();
+    client_metrics().batch_retries.inc();
+    SimMicros prev = store_->config().retry.backoff_base_us;
+    prim = try_deliver(primary, prim.failed_at + next_backoff(&prev), req,
+                       static_cast<std::uint32_t>(run_idx.size()));
+  }
   if (!prim.ok) {
     *completion = prim.failed_at;
     return {prim.err, "primary unreachable: " + subs.front()->ekey};
@@ -687,8 +818,44 @@ Status BlobClient::mutation_group_leg(std::vector<BatchSub*>& subs,
     done = std::max(done, rep_done + net.transfer_us(reply_meta) +
                               d.extra_latency_us);
   }
+  if (!fail.ok()) {
+    *completion = done;
+    return fail;
+  }
+
+  // Dual-write targets per sub (open migration window): mirror each applied
+  // sub onto its pending new owners, version-gated, never counted as acks.
+  // See mutation_leg for the write-vs-copy race argument.
+  for (std::size_t i : run_idx) {
+    for (std::uint32_t tid : st[i].pending) {
+      if (store_->is_down(tid)) {
+        if (primary.add_hint(tid, subs[i]->ekey)) counters_.hints_written.inc();
+        continue;
+      }
+      BlobServer& tgt = store_->server(tid);
+      if (!tgt.version_matches(subs[i]->ekey, st[i].pre_version)) continue;
+      const std::uint64_t dreq = req_bytes(subs[i]->ekey, subs[i]->op.data.size());
+      LegDelivery dd = try_deliver(tgt, prim_done, dreq);
+      if (!dd.ok) {
+        if (primary.add_hint(tid, subs[i]->ekey)) counters_.hints_written.inc();
+        done = std::max(done, dd.failed_at);
+        continue;
+      }
+      BlobServer::OpRef ref = subs[i]->op;
+      SimMicros dsvc = 0;
+      SimMicros dmark = 0;
+      if (!tgt.apply_ops(&ref, 1, &dsvc, &dmark).ok()) continue;
+      if (st[i].continue_versions && !st[i].ends_removed) {
+        (void)tgt.force_version(subs[i]->ekey, st[i].new_version);
+      }
+      counters_.dual_writes.inc();
+      client_metrics().dual_writes.inc();
+      const SimMicros arr = prim_done + net.transfer_us(dreq) + dd.extra_latency_us;
+      done = std::max(done, tgt.node().serve(arr, dsvc) + net.transfer_us(kEnvelope) +
+                                dd.extra_latency_us);
+    }
+  }
   *completion = done;
-  if (!fail.ok()) return fail;
 
   // Hints + per-key quorum evaluation, exactly as the per-leg path.
   const std::uint32_t W = store_->config().write_quorum;
@@ -721,6 +888,8 @@ Status BlobClient::batched_mutation_wave(std::vector<BatchSub>& subs, SimMicros 
   if (subs.empty()) return Status::success();
   for (auto& s : subs) s.op.key = &s.ekey;  // pointers are stable only now
 
+  for (int pass = 0;; ++pass) {
+  const std::uint64_t epoch0 = store_->ring_epoch();
   // Group by acting primary; groups are formed and ordered by chunk index —
   // deterministic batch formation, independent of execution timing.
   std::map<std::uint32_t, std::vector<BatchSub*>> by_primary;
@@ -767,7 +936,17 @@ Status BlobClient::batched_mutation_wave(std::vector<BatchSub>& subs, SimMicros 
     *done = std::max(*done, g.completion);
     if (st.ok() && !g.status.ok()) st = g.status;
   }
+  // A group that saw its placement move under it (membership cutover racing
+  // the wave) asks for a re-group: re-place every sub on the new ring and
+  // re-run. Sub ops are content-idempotent, so re-applying an already-
+  // applied sub only advances its version.
+  if (st.code() == Errc::busy && store_->ring_epoch() != epoch0 && pass < 1) {
+    counters_.stale_epoch_retries.inc();
+    client_metrics().stale_retries.inc();
+    continue;
+  }
   return st;
+  }
 }
 
 Status BlobClient::read_group_leg(std::vector<ReadSub*>& subs,
@@ -805,6 +984,17 @@ Status BlobClient::read_group_leg(std::vector<ReadSub*>& subs,
 
   LegDelivery d =
       try_deliver(primary, start, req, static_cast<std::uint32_t>(subs.size()));
+  if (!d.ok) {
+    // One whole-envelope re-send after a fresh backoff before degrading: the
+    // per-leg fallback pays one round trip per sub, so a single extra
+    // envelope attempt is the cheaper first response to a transient fault
+    // (ROADMAP "batch-envelope retry semantics").
+    counters_.batch_retries.inc();
+    client_metrics().batch_retries.inc();
+    SimMicros prev = store_->config().retry.backoff_base_us;
+    d = try_deliver(primary, d.failed_at + next_backoff(&prev), req,
+                    static_cast<std::uint32_t>(subs.size()));
+  }
   if (!d.ok) {
     // Envelope undeliverable after retries: fall back to per-leg reads for
     // this group (replica failover lives inside read_leg/stat_leg). Only
@@ -938,6 +1128,7 @@ Result<Bytes> BlobClient::batched_striped_read(std::string_view key,
     }
 
     const SimMicros start = agent_ ? agent_->now() : 0;
+    const std::uint64_t epoch0 = store_->ring_epoch();
     Bytes out(rlen, std::byte{0});  // holes and absent chunks read as zero
     const std::uint64_t end = offset + rlen;
     std::vector<ReadSub> subs;
@@ -1004,6 +1195,15 @@ Result<Bytes> BlobClient::batched_striped_read(std::string_view key,
     }
     if (agent_) agent_->advance_to(done);
     if (!fail.ok()) return fail.error();
+
+    // Membership cutover mid-wave: chunks the wave read from old owners may
+    // already be dropped (read as holes). Cheap insurance: re-run the wave
+    // on the post-cutover placement.
+    if (store_->ring_epoch() != epoch0 && attempt < 2) {
+      counters_.stale_epoch_retries.inc();
+      client_metrics().stale_retries.inc();
+      continue;
+    }
 
     // Cache verification from the piggybacked stat.
     const ReadSub* vstat = nullptr;
@@ -1112,128 +1312,180 @@ Result<ReadOutcome> BlobClient::read_leg(const std::string& ekey, std::uint64_t 
                                          std::uint64_t len, SimMicros start,
                                          SimMicros* completion) {
   *completion = start;
-  const auto replicas = store_->replicas_of(ekey);
-  if (replicas.empty()) return {Errc::no_space, "no storage nodes in ring"};
-  std::vector<std::uint32_t> lives;
-  for (std::uint32_t rid : replicas) {
-    if (!store_->is_down(rid)) lives.push_back(rid);
-  }
-  if (lives.empty()) return {Errc::unavailable, "all replicas down: " + ekey};
-
   const auto& net = store_->cluster().net();
   const std::uint64_t req = req_bytes(ekey);
   const std::uint32_t R = store_->config().read_quorum();
 
-  // Candidate servers to read from, in preference order. With R == 1 every
-  // live replica is equally fresh (writes ack on all live replicas); with
-  // R > 1 a version-probe round first finds the freshest responders.
-  std::vector<std::uint32_t> candidates = lives;
-  SimMicros t = start;
-  if (R > 1) {
-    ProbeRound probe = quorum_probe(ekey, lives, std::min<std::uint32_t>(R, lives.size()),
-                                    start);
-    if (!probe.ok) {
-      *completion = probe.done;
-      return {probe.err, "read quorum unreachable: " + ekey};
+  // Stale-epoch retry loop: a delivered reply stamped with a ring epoch
+  // newer than the one this leg's placement was computed at means
+  // membership moved under the cached entry — the data may have migrated
+  // off the contacted replica entirely. Flush the entry, refetch the
+  // placement, and re-run the leg from the stale round's completion time
+  // (the wasted round trip is paid, not hidden).
+  for (int pass = 0;; ++pass) {
+    const Placement p =
+        pass == 0 ? locate(ekey) : store_->placement_of(ekey);
+    if (p.replicas.empty()) return {Errc::no_space, "no storage nodes in ring"};
+    std::vector<std::uint32_t> lives;
+    for (std::uint32_t rid : p.replicas) {
+      if (!store_->is_down(rid)) lives.push_back(rid);
     }
-    t = probe.done;  // barrier: arbitration needs all R probe replies
-    if (!probe.found) {
-      *completion = t;
-      return {Errc::not_found, ekey};
-    }
-    candidates = probe.fresh;
-  }
+    if (lives.empty()) return {Errc::unavailable, "all replicas down: " + ekey};
 
-  Error last{Errc::unavailable, "unreachable: " + ekey};
-  for (std::size_t i = 0; i < candidates.size(); ++i) {
-    if (i > 0) counters_.failovers.inc();
-    BlobServer& srv = store_->server(candidates[i]);
-    LegDelivery d = try_deliver(srv, t, req);
-    if (!d.ok) {
-      t = d.failed_at;
-      last = {d.err, "unreachable: " + ekey};
-      continue;
+    // Candidate servers to read from, in preference order. With R == 1
+    // every live replica is equally fresh (writes ack on all live
+    // replicas); with R > 1 a version-probe round first finds the freshest
+    // responders.
+    std::vector<std::uint32_t> candidates = lives;
+    SimMicros t = start;
+    if (R > 1) {
+      ProbeRound probe = quorum_probe(
+          ekey, lives, std::min<std::uint32_t>(R, lives.size()), start);
+      if (!probe.ok) {
+        *completion = probe.done;
+        return {probe.err, "read quorum unreachable: " + ekey};
+      }
+      t = probe.done;  // barrier: arbitration needs all R probe replies
+      if (!probe.found) {
+        *completion = t;
+        return {Errc::not_found, ekey};
+      }
+      candidates = probe.fresh;
     }
-    SimMicros svc = 0;
-    auto r = srv.read(ekey, off, len, &svc);
-    const std::uint64_t resp = kEnvelope + (r.ok() ? r.value().data.size() : 0);
-    const SimMicros arr = d.attempt_start + net.transfer_us(req) + d.extra_latency_us;
-    SimMicros comp =
-        srv.node().serve(arr, svc) + net.transfer_us(resp) + d.extra_latency_us;
 
-    // Hedging: when this leg ran past the hedge delay, a speculative copy
-    // of the request goes to the next equally fresh candidate, and the
-    // caller takes whichever reply lands first (contents are identical).
-    const SimMicros delay = hedge_delay();
-    if (delay > 0 && comp - d.attempt_start > delay && i + 1 < candidates.size()) {
-      counters_.hedges.inc();
-      BlobServer& alt = store_->server(candidates[i + 1]);
-      const SimMicros h_start = d.attempt_start + delay;
-      AttemptPlan hp = plan_attempt(alt, h_start, req);
-      if (hp.delivered) {
-        SimMicros hsvc = 0;
-        auto hr = alt.read(ekey, off, len, &hsvc);
-        if (hr.ok() == r.ok()) {
-          const SimMicros h_arr =
-              h_start + net.transfer_us(req) + hp.extra_latency_us;
-          const SimMicros h_comp = alt.node().serve(h_arr, hsvc) +
-                                   net.transfer_us(resp) + hp.extra_latency_us;
-          comp = std::min(comp, h_comp);
+    bool stale = false;
+    Error last{Errc::unavailable, "unreachable: " + ekey};
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (i > 0) counters_.failovers.inc();
+      BlobServer& srv = store_->server(candidates[i]);
+      LegDelivery d = try_deliver(srv, t, req);
+      if (!d.ok) {
+        t = d.failed_at;
+        last = {d.err, "unreachable: " + ekey};
+        continue;
+      }
+      SimMicros svc = 0;
+      auto r = srv.read(ekey, off, len, &svc);
+      const std::uint64_t resp = kEnvelope + (r.ok() ? r.value().data.size() : 0);
+      const SimMicros arr = d.attempt_start + net.transfer_us(req) + d.extra_latency_us;
+      SimMicros comp =
+          srv.node().serve(arr, svc) + net.transfer_us(resp) + d.extra_latency_us;
+
+      // Stale-epoch stamp check, before the reply is trusted: the replica
+      // answered, but from a membership the client no longer shares.
+      if (srv.ring_epoch() > p.epoch && pass < 2) {
+        place_flush(ekey);
+        counters_.epoch_refreshes.inc();
+        client_metrics().epoch_refreshes.inc();
+        counters_.stale_epoch_retries.inc();
+        client_metrics().stale_retries.inc();
+        start = comp;
+        stale = true;
+        break;
+      }
+
+      // Hedging: when this leg ran past the hedge delay, a speculative copy
+      // of the request goes to the next equally fresh candidate, and the
+      // caller takes whichever reply lands first (contents are identical).
+      const SimMicros delay = hedge_delay();
+      if (delay > 0 && comp - d.attempt_start > delay && i + 1 < candidates.size()) {
+        counters_.hedges.inc();
+        BlobServer& alt = store_->server(candidates[i + 1]);
+        const SimMicros h_start = d.attempt_start + delay;
+        AttemptPlan hp = plan_attempt(alt, h_start, req);
+        if (hp.delivered) {
+          SimMicros hsvc = 0;
+          auto hr = alt.read(ekey, off, len, &hsvc);
+          if (hr.ok() == r.ok()) {
+            const SimMicros h_arr =
+                h_start + net.transfer_us(req) + hp.extra_latency_us;
+            const SimMicros h_comp = alt.node().serve(h_arr, hsvc) +
+                                     net.transfer_us(resp) + hp.extra_latency_us;
+            comp = std::min(comp, h_comp);
+          }
         }
       }
+      read_latency_.add(static_cast<std::uint64_t>(comp - d.attempt_start));
+      *completion = comp;
+      return r;  // a delivered reply is authoritative, not_found included
     }
-    read_latency_.add(static_cast<std::uint64_t>(comp - d.attempt_start));
-    *completion = comp;
-    return r;  // a delivered reply is authoritative, not_found included
+    if (stale) continue;
+    *completion = t;
+    return last;
   }
-  *completion = t;
-  return last;
 }
 
 Result<BlobStat> BlobClient::stat_leg(const std::string& ekey, SimMicros start,
                                       SimMicros* completion) {
   *completion = start;
-  const auto replicas = store_->replicas_of(ekey);
-  if (replicas.empty()) return {Errc::no_space, "no storage nodes in ring"};
-  std::vector<std::uint32_t> lives;
-  for (std::uint32_t rid : replicas) {
-    if (!store_->is_down(rid)) lives.push_back(rid);
-  }
-  if (lives.empty()) return {Errc::unavailable, "all replicas down: " + ekey};
-
   const std::uint32_t R = store_->config().read_quorum();
   const auto& net = store_->cluster().net();
 
-  if (R > 1) {
-    ProbeRound probe = quorum_probe(ekey, lives, std::min<std::uint32_t>(R, lives.size()),
-                                    start);
-    *completion = probe.done;
-    if (!probe.ok) return {probe.err, "read quorum unreachable: " + ekey};
-    if (!probe.found) return {Errc::not_found, ekey};
-    return probe.stat;
-  }
-
-  SimMicros t = start;
-  Error last{Errc::unavailable, "unreachable: " + ekey};
-  for (std::size_t i = 0; i < lives.size(); ++i) {
-    if (i > 0) counters_.failovers.inc();
-    BlobServer& srv = store_->server(lives[i]);
-    LegDelivery d = try_deliver(srv, t, kProbeReq);
-    if (!d.ok) {
-      t = d.failed_at;
-      last = {d.err, "unreachable: " + ekey};
-      continue;
+  // Same stale-epoch retry loop as read_leg (see there for the argument).
+  for (int pass = 0;; ++pass) {
+    const Placement p =
+        pass == 0 ? locate(ekey) : store_->placement_of(ekey);
+    if (p.replicas.empty()) return {Errc::no_space, "no storage nodes in ring"};
+    std::vector<std::uint32_t> lives;
+    for (std::uint32_t rid : p.replicas) {
+      if (!store_->is_down(rid)) lives.push_back(rid);
     }
-    SimMicros svc = 0;
-    auto s = srv.stat(ekey, &svc);
-    const SimMicros arr = d.attempt_start + net.transfer_us(kProbeReq) + d.extra_latency_us;
-    *completion =
-        srv.node().serve(arr, svc) + net.transfer_us(kProbeResp) + d.extra_latency_us;
-    if (!s.ok()) return s.error();
-    return s;
+    if (lives.empty()) return {Errc::unavailable, "all replicas down: " + ekey};
+
+    if (R > 1) {
+      ProbeRound probe = quorum_probe(
+          ekey, lives, std::min<std::uint32_t>(R, lives.size()), start);
+      *completion = probe.done;
+      if (probe.ok && store_->server(lives.front()).ring_epoch() > p.epoch &&
+          pass < 2) {
+        place_flush(ekey);
+        counters_.epoch_refreshes.inc();
+        client_metrics().epoch_refreshes.inc();
+        counters_.stale_epoch_retries.inc();
+        client_metrics().stale_retries.inc();
+        start = probe.done;
+        continue;
+      }
+      if (!probe.ok) return {probe.err, "read quorum unreachable: " + ekey};
+      if (!probe.found) return {Errc::not_found, ekey};
+      return probe.stat;
+    }
+
+    bool stale = false;
+    SimMicros t = start;
+    Error last{Errc::unavailable, "unreachable: " + ekey};
+    for (std::size_t i = 0; i < lives.size(); ++i) {
+      if (i > 0) counters_.failovers.inc();
+      BlobServer& srv = store_->server(lives[i]);
+      LegDelivery d = try_deliver(srv, t, kProbeReq);
+      if (!d.ok) {
+        t = d.failed_at;
+        last = {d.err, "unreachable: " + ekey};
+        continue;
+      }
+      SimMicros svc = 0;
+      auto s = srv.stat(ekey, &svc);
+      const SimMicros arr =
+          d.attempt_start + net.transfer_us(kProbeReq) + d.extra_latency_us;
+      *completion =
+          srv.node().serve(arr, svc) + net.transfer_us(kProbeResp) + d.extra_latency_us;
+      if (srv.ring_epoch() > p.epoch && pass < 2) {
+        place_flush(ekey);
+        counters_.epoch_refreshes.inc();
+        client_metrics().epoch_refreshes.inc();
+        counters_.stale_epoch_retries.inc();
+        client_metrics().stale_retries.inc();
+        start = *completion;
+        stale = true;
+        break;
+      }
+      if (!s.ok()) return s.error();
+      return s;
+    }
+    if (stale) continue;
+    *completion = t;
+    return last;
   }
-  *completion = t;
-  return last;
 }
 
 Result<std::uint64_t> BlobClient::peek_logical_size(const std::string& ekey) {

@@ -77,6 +77,11 @@ struct ClientCounters {
   obs::LocalCounter metacache_hits;
   obs::LocalCounter metacache_misses;
   obs::LocalCounter metacache_invalidations;
+  // Elastic membership (see DESIGN.md "Elastic membership & rebalancing").
+  obs::LocalCounter epoch_refreshes;     ///< placement-cache flush + refetch events
+  obs::LocalCounter stale_epoch_retries; ///< legs re-run after a stale-epoch stamp
+  obs::LocalCounter dual_writes;         ///< mutations mirrored to pending new owners
+  obs::LocalCounter batch_retries;       ///< whole-envelope re-sends before degrading
 };
 
 class BlobTransaction;
@@ -210,6 +215,22 @@ class BlobClient {
   /// version across live replicas.
   Result<std::uint64_t> peek_logical_size(const std::string& ekey);
 
+  // --- elastic membership (placement cache + epoch protocol) ---------------
+
+  /// Placement resolution through the client placement cache. Only
+  /// window-free placements (empty `pending`) are cacheable, so a leg routed
+  /// by a cache hit may skip the dual-write machinery entirely; what makes
+  /// that safe is the epoch stamp protocol — every server carries the ring
+  /// epoch it was last told about, legs compare the stamp of the server that
+  /// answered against the epoch the placement was computed at, and a newer
+  /// stamp means membership moved under the cached entry: flush, refetch,
+  /// retry (bounded). Mutation legs additionally re-resolve the placement
+  /// under the held key stripes — the rebalancer flips a key's migration
+  /// state under those same stripes, so a placement that re-reads
+  /// identically cannot change for the rest of the leg.
+  Placement locate(const std::string& ekey);
+  void place_flush(const std::string& ekey);
+
   /// Hedge delay currently in force: the observed read-latency percentile
   /// once warmed up, else the fixed delay (0 = hedging dormant).
   [[nodiscard]] SimMicros hedge_delay() const;
@@ -290,6 +311,7 @@ class BlobClient {
   Rng rng_{0xb10bfa117ULL};  ///< backoff jitter; per-client, deterministic
   Histogram read_latency_;   ///< delivered read-leg latency (drives hedging)
   std::unordered_map<std::string, MetaEntry> meta_cache_;
+  std::unordered_map<std::string, Placement> place_cache_;
   std::unique_ptr<ThreadPool> pool_;
 };
 

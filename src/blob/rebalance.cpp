@@ -1,0 +1,497 @@
+#include "blob/rebalance.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "blob/store.hpp"
+#include "common/hash.hpp"
+#include "obs/metrics.hpp"
+#include "rpc/wire.hpp"
+
+namespace bsc::blob {
+
+namespace {
+
+/// Registry series for the rebalance subsystem. `rebalance.dual_writes` is
+/// incremented by the client's mutation legs; it is interned here too so a
+/// metrics snapshot taken before the first dual write still carries the
+/// series.
+struct RebalanceMetrics {
+  obs::Counter& keys_moved;
+  obs::Counter& bytes_moved;
+  obs::Counter& dual_writes;
+  obs::Counter& batches;
+  obs::Counter& verify_recopies;
+  obs::ShardedHistogram& migration_us;
+
+  RebalanceMetrics()
+      : keys_moved(obs::MetricsRegistry::global().counter("rebalance.keys_moved")),
+        bytes_moved(obs::MetricsRegistry::global().counter("rebalance.bytes_moved")),
+        dual_writes(obs::MetricsRegistry::global().counter("rebalance.dual_writes")),
+        batches(obs::MetricsRegistry::global().counter("rebalance.batches")),
+        verify_recopies(
+            obs::MetricsRegistry::global().counter("rebalance.verify_recopies")),
+        migration_us(
+            obs::MetricsRegistry::global().histogram("rebalance.migration_us")) {
+    // Gauges published by the store; touching them here pins the series.
+    obs::MetricsRegistry::global().gauge("rebalance.epoch");
+    obs::MetricsRegistry::global().gauge("rebalance.active");
+  }
+};
+
+RebalanceMetrics& rebalance_metrics() {
+  static RebalanceMetrics m;
+  return m;
+}
+
+/// Ascending union of two replica sets — the rebalancer's lock set for one
+/// key (same ascending-node global order the clients use).
+std::vector<std::uint32_t> lock_union(const std::vector<std::uint32_t>& a,
+                                      const std::vector<std::uint32_t>& b) {
+  std::vector<std::uint32_t> u;
+  u.reserve(a.size() + b.size());
+  u.insert(u.end(), a.begin(), a.end());
+  u.insert(u.end(), b.begin(), b.end());
+  std::sort(u.begin(), u.end());
+  u.erase(std::unique(u.begin(), u.end()), u.end());
+  return u;
+}
+
+bool contains(const std::vector<std::uint32_t>& v, std::uint32_t n) {
+  return std::find(v.begin(), v.end(), n) != v.end();
+}
+
+/// Wire bytes of one migration sub-op, sized exactly like the PR-6 batch
+/// path would ship it (one BatchOp write descriptor + payload).
+std::uint64_t copy_wire_bytes(const std::string& key, std::uint64_t payload) {
+  rpc::BatchOp op;
+  op.kind = rpc::BatchOpKind::write;
+  op.key = key;
+  op.len = payload;
+  const std::uint64_t header = rpc::wire_size(op);  // data view empty: header only
+  return header + payload;
+}
+
+constexpr std::uint64_t kEnvelopeBytes = 32;  ///< batch header + framing
+
+}  // namespace
+
+Rebalancer::Rebalancer(BlobStore& store, Kind kind, std::uint32_t subject,
+                       RebalanceConfig cfg)
+    : store_(&store), kind_(kind), subject_(subject), cfg_(cfg) {
+  if (cfg_.batch_keys == 0) cfg_.batch_keys = 1;
+  std::shared_lock lk(store_->mig_mu_);
+  prog_.keys_total = store_->plan_ ? store_->plan_->keys.size() : 0;
+}
+
+Rebalancer::~Rebalancer() { join(); }
+
+std::uint64_t Rebalancer::pending_count() const {
+  std::shared_lock lk(store_->mig_mu_);
+  return store_->plan_ ? store_->plan_->pending : 0;
+}
+
+bool Rebalancer::done() const { return pending_count() == 0; }
+
+void Rebalancer::flip_migrated(const std::string& key) {
+  // Caller still holds the key's stripes on every involved server, so a
+  // writer whose placement said "pending" is either serialized before this
+  // flip (the copy above included its write) or after it (it re-fetches
+  // placement per-op and dual-applied to the new owners anyway).
+  std::unique_lock lk(store_->mig_mu_);
+  if (!store_->plan_) return;
+  auto it = store_->plan_->keys.find(key);
+  if (it == store_->plan_->keys.end()) return;
+  if (it->second.state != MigrationPlan::KeyState::pending) return;
+  it->second.state = MigrationPlan::KeyState::migrated;
+  --store_->plan_->pending;
+}
+
+Status Rebalancer::migrate_key(const std::string& key,
+                               const MigrationPlan::Entry& entry,
+                               std::map<std::uint32_t, NodeCharge>* charges,
+                               std::uint64_t* moved_bytes) {
+  BlobStore& st = *store_;
+  const std::vector<std::uint32_t> involved =
+      lock_union(entry.old_replicas, entry.new_replicas);
+  std::vector<BlobServer::KeyLock> locks;
+  locks.reserve(involved.size());
+  for (std::uint32_t n : involved) locks.push_back(st.servers_[n]->lock_key(key));
+
+  // Freshest live source among the OLD (authoritative) replicas.
+  bool found = false;
+  bool any_old_down = false;
+  std::uint32_t best = 0;
+  Version best_v = 0;
+  for (std::uint32_t r : entry.old_replicas) {
+    if (st.is_down(r)) {
+      any_old_down = true;
+      continue;
+    }
+    auto v = st.servers_[r]->peek_version(key);
+    if (!v.ok()) continue;
+    if (!found || v.value() > best_v) {
+      found = true;
+      best = r;
+      best_v = v.value();
+    }
+  }
+  if (!found) {
+    if (any_old_down) {
+      // The only holders are down — defer; finalize retries after recovery.
+      return {Errc::busy, "no live source for " + key};
+    }
+    // Removed on every live old replica while pending: nothing to move (the
+    // dual-applied remove already cleared any pending-target copy).
+    flip_migrated(key);
+    std::scoped_lock plk(prog_mu_);
+    ++prog_.keys_moved;
+    return Status::success();
+  }
+
+  BlobServer& src = *st.servers_[best];
+  auto size = src.peek_size(key);
+  if (!size.ok()) {
+    flip_migrated(key);
+    std::scoped_lock plk(prog_mu_);
+    ++prog_.keys_moved;
+    return Status::success();
+  }
+  SimMicros src_svc = 0;
+  auto data = src.read_locked(key, 0, size.value(), &src_svc);
+  if (!data.ok()) return data.error();
+  if (charges) {
+    auto& c = (*charges)[best];
+    c.service_us += src_svc;
+  }
+
+  for (std::uint32_t t : entry.new_replicas) {
+    if (contains(entry.old_replicas, t)) continue;  // holds the history already
+    if (st.is_down(t)) {
+      // Mirror hinted handoff: the drain after recovery installs the copy;
+      // finalize() re-verifies before the window can close.
+      if (src.add_hint(t, key)) {
+        std::scoped_lock plk(prog_mu_);
+        ++prog_.hinted_down_targets;
+      }
+      continue;
+    }
+    // Version-exact copy — but never backwards: a dual write that already
+    // landed on the pending owner may have advanced it past the source
+    // snapshot we hold.
+    const Version tv = st.servers_[t]->peek_version(key).value_or(0);
+    if (tv >= best_v) {
+      std::scoped_lock plk(prog_mu_);
+      ++prog_.skipped_fresh;
+      continue;
+    }
+    SimMicros put_svc = 0;
+    auto ist = st.servers_[t]->install_copy_locked(key, as_view(data.value().data),
+                                                   size.value(), best_v, &put_svc);
+    if (!ist.ok()) return ist;
+    if (charges) {
+      auto& c = (*charges)[t];
+      c.wire_bytes += copy_wire_bytes(key, size.value());
+      ++c.subs;
+      c.service_us += put_svc;
+    }
+    *moved_bytes += size.value();
+    {
+      std::scoped_lock plk(prog_mu_);
+      ++prog_.copies_installed;
+      prog_.bytes_moved += size.value();
+    }
+    rebalance_metrics().bytes_moved.add(size.value());
+  }
+
+  flip_migrated(key);
+  {
+    std::scoped_lock plk(prog_mu_);
+    ++prog_.keys_moved;
+  }
+  rebalance_metrics().keys_moved.inc();
+  return Status::success();
+}
+
+void Rebalancer::pace(sim::SimAgent* agent, std::uint64_t batch_bytes) {
+  if (agent == nullptr || cfg_.throttle_bytes_per_sec == 0) return;
+  const double secs = static_cast<double>(batch_bytes) /
+                      static_cast<double>(cfg_.throttle_bytes_per_sec);
+  next_allowed_us_ = agent->now() + static_cast<SimMicros>(secs * 1e6);
+}
+
+Status Rebalancer::step(sim::SimAgent* agent) {
+  if (finished() || cancelled()) return Status::success();
+  BlobStore& st = *store_;
+
+  // Throttle: the previous batch's bytes dictate when this one may start.
+  if (agent != nullptr && cfg_.throttle_bytes_per_sec != 0) {
+    agent->advance_to(next_allowed_us_);
+  }
+  const SimMicros batch_start = agent ? agent->now() : 0;
+
+  // Snapshot the next batch of pending keys (deterministic map order).
+  std::vector<std::pair<std::string, MigrationPlan::Entry>> batch;
+  {
+    std::shared_lock lk(st.mig_mu_);
+    if (!st.plan_ || st.plan_->pending == 0) return Status::success();
+    batch.reserve(cfg_.batch_keys);
+    for (const auto& [key, entry] : st.plan_->keys) {
+      if (entry.state != MigrationPlan::KeyState::pending) continue;
+      batch.emplace_back(key, entry);
+      if (batch.size() >= cfg_.batch_keys) break;
+    }
+  }
+  if (batch.empty()) return Status::success();
+
+  std::map<std::uint32_t, NodeCharge> charges;
+  std::uint64_t batch_bytes = 0;
+  std::uint64_t deferred = 0;
+  for (const auto& [key, entry] : batch) {
+    if (cancelled()) break;
+    auto s = migrate_key(key, entry, &charges, &batch_bytes);
+    if (!s.ok()) {
+      if (s.code() == Errc::busy) {
+        ++deferred;  // stays pending; finalize retries after recovery
+        continue;
+      }
+      return s;
+    }
+  }
+  if (deferred > 0) {
+    std::scoped_lock plk(prog_mu_);
+    prog_.deferred += deferred;
+  }
+
+  // Charge the batch as one envelope per destination (the PR-6 batch-path
+  // shape: one queueing trip per server regardless of sub-op count).
+  SimMicros batch_done = batch_start;
+  for (const auto& [n, c] : charges) {
+    if (c.subs == 0 && c.wire_bytes == 0) {
+      // Pure source read service: charge the node without an envelope.
+      if (agent) {
+        st.transport_.call_reliable(*agent, st.servers_[n]->node(), 64, 64,
+                                    c.service_us);
+        batch_done = std::max(batch_done, agent->now());
+      } else {
+        st.servers_[n]->node().serve(0, c.service_us);
+      }
+      continue;
+    }
+    const std::uint64_t req = kEnvelopeBytes + c.wire_bytes;
+    const std::uint64_t resp =
+        kEnvelopeBytes + c.subs * rpc::wire_size(rpc::BatchSubStatus{});
+    if (agent) {
+      st.transport_.call_reliable(*agent, st.servers_[n]->node(), req, resp,
+                                  c.service_us);
+      batch_done = std::max(batch_done, agent->now());
+    } else {
+      st.servers_[n]->node().serve(0, c.service_us);
+    }
+    {
+      std::scoped_lock plk(prog_mu_);
+      ++prog_.batches;
+    }
+    rebalance_metrics().batches.inc();
+  }
+  if (agent) {
+    rebalance_metrics().migration_us.add(
+        static_cast<std::uint64_t>(std::max<SimMicros>(0, batch_done - batch_start)));
+  }
+  pace(agent, batch_bytes);
+  return Status::success();
+}
+
+Status Rebalancer::run_to_completion(sim::SimAgent* agent) {
+  std::uint64_t last_pending = ~0ull;
+  while (!cancelled()) {
+    const std::uint64_t before = pending_count();
+    if (before == 0) break;
+    if (before == last_pending) break;  // only deferred (down-source) keys left
+    last_pending = before;
+    auto s = step(agent);
+    if (!s.ok()) return s;
+  }
+  if (cancelled()) return Status::success();  // pause: the window stays open
+  return finalize(agent);
+}
+
+Status Rebalancer::finalize(sim::SimAgent* agent) {
+  if (finished()) return Status::success();
+  BlobStore& st = *store_;
+
+  // Drain anything still pending (deferred keys may have live sources now).
+  std::uint64_t last_pending = ~0ull;
+  while (true) {
+    const std::uint64_t before = pending_count();
+    if (before == 0) break;
+    if (before == last_pending) {
+      return {Errc::busy, "unmigrated keys remain (source replicas down)"};
+    }
+    last_pending = before;
+    auto s = step(agent);
+    if (!s.ok()) return s;
+  }
+
+  // Snapshot the plan for the verify + drop passes.
+  std::vector<std::pair<std::string, MigrationPlan::Entry>> entries;
+  {
+    std::shared_lock lk(st.mig_mu_);
+    if (st.plan_) {
+      entries.reserve(st.plan_->keys.size());
+      for (const auto& kv : st.plan_->keys) entries.push_back(kv);
+    }
+  }
+
+  // Verify sweep: every new-only owner must hold the key at (at least) the
+  // freshest live old-replica version; a decommission additionally digest-
+  // compares contents so the drain is verified, not assumed. Stragglers
+  // (e.g. a dual write that missed its pending target) are re-copied here.
+  for (const auto& [key, entry] : entries) {
+    const std::vector<std::uint32_t> involved =
+        lock_union(entry.old_replicas, entry.new_replicas);
+    std::vector<BlobServer::KeyLock> locks;
+    locks.reserve(involved.size());
+    for (std::uint32_t n : involved) locks.push_back(st.servers_[n]->lock_key(key));
+
+    bool found = false;
+    std::uint32_t best = 0;
+    Version best_v = 0;
+    for (std::uint32_t r : entry.old_replicas) {
+      if (st.is_down(r)) continue;
+      auto v = st.servers_[r]->peek_version(key);
+      if (!v.ok()) continue;
+      if (!found || v.value() > best_v) {
+        found = true;
+        best = r;
+        best_v = v.value();
+      }
+    }
+    if (!found) continue;  // removed during the window: nothing to verify
+
+    BlobServer& src = *st.servers_[best];
+    auto size = src.peek_size(key);
+    if (!size.ok()) continue;
+    SimMicros src_svc = 0;
+    auto data = src.read_locked(key, 0, size.value(), &src_svc);
+    if (!data.ok()) return data.error();
+    const std::uint64_t src_digest = content_checksum(as_view(data.value().data));
+
+    for (std::uint32_t t : entry.new_replicas) {
+      if (contains(entry.old_replicas, t)) continue;
+      if (st.is_down(t)) {
+        if (kind_ == Kind::decommission) {
+          return {Errc::busy,
+                  "decommission drain unverified: target " + std::to_string(t) +
+                      " is down"};
+        }
+        continue;  // add: the hint installs it on recovery; resync backstops
+      }
+      BlobServer& dst = *st.servers_[t];
+      bool recopy = dst.peek_version(key).value_or(0) < best_v;
+      if (!recopy && kind_ == Kind::decommission) {
+        // Digest comparison against the draining source's copy.
+        auto dsize = dst.peek_size(key);
+        SimMicros dsvc = 0;
+        auto ddata = dsize.ok() ? dst.read_locked(key, 0, dsize.value(), &dsvc)
+                                : Result<ReadOutcome>(dsize.error());
+        const bool match = ddata.ok() && dst.peek_version(key).value_or(0) == best_v &&
+                           content_checksum(as_view(ddata.value().data)) == src_digest;
+        {
+          std::scoped_lock plk(prog_mu_);
+          ++prog_.digests_checked;
+        }
+        if (agent) {
+          st.transport_.call_reliable(*agent, dst.node(), 64, 72, dsvc);
+        }
+        recopy = !match;
+      }
+      if (recopy) {
+        SimMicros put_svc = 0;
+        auto ist = dst.install_copy_locked(key, as_view(data.value().data),
+                                           size.value(), best_v, &put_svc);
+        if (!ist.ok()) return ist;
+        if (agent) {
+          st.transport_.call_reliable(*agent, dst.node(), size.value() + 64, 64,
+                                      put_svc);
+        } else {
+          dst.node().serve(0, put_svc);
+        }
+        {
+          std::scoped_lock plk(prog_mu_);
+          ++prog_.verify_recopies;
+        }
+        rebalance_metrics().verify_recopies.inc();
+      }
+    }
+  }
+
+  // Cutover: close the window and bump the epoch BEFORE dropping stale
+  // copies, so a client still holding a pending-window placement fails the
+  // stamp check (and re-fetches the new ring) rather than reading a replica
+  // the drop pass is about to clear.
+  {
+    std::unique_lock lk(st.mig_mu_);
+    st.migrating_.store(false, std::memory_order_release);
+    st.plan_.reset();
+    st.old_ring_.reset();
+    st.ring_.bump_epoch();
+  }
+  st.publish_epoch();
+  obs::MetricsRegistry::global().gauge("rebalance.active").set(0);
+
+  // Drop copies from servers that no longer own their keys.
+  for (const auto& [key, entry] : entries) {
+    for (std::uint32_t n : entry.old_replicas) {
+      if (contains(entry.new_replicas, n)) continue;
+      if (st.is_down(n)) continue;  // resync's ghost pass cleans it later
+      BlobServer& holder = *st.servers_[n];
+      SimMicros peek_svc = 0;
+      if (!holder.stat(key, &peek_svc).ok()) continue;
+      SimMicros rm_svc = 0;
+      (void)holder.remove(key, &rm_svc);
+      if (agent) {
+        st.transport_.call_reliable(*agent, holder.node(), 64, 64,
+                                    peek_svc + rm_svc);
+      } else {
+        holder.node().serve(0, peek_svc + rm_svc);
+      }
+      std::scoped_lock plk(prog_mu_);
+      ++prog_.copies_dropped;
+    }
+  }
+
+  // A decommissioned server leaves empty: sweep whatever it still holds
+  // (ghost copies included — it owns no placement anymore).
+  if (kind_ == Kind::decommission && !st.is_down(subject_)) {
+    BlobServer& subject = *st.servers_[subject_];
+    SimMicros scan_svc = 0;
+    for (const auto& s : subject.scan("", &scan_svc)) {
+      SimMicros rm_svc = 0;
+      (void)subject.remove(s.key, &rm_svc);
+      std::scoped_lock plk(prog_mu_);
+      ++prog_.copies_dropped;
+    }
+  }
+
+  finished_.store(true, std::memory_order_release);
+  return Status::success();
+}
+
+void Rebalancer::start_async() {
+  if (thread_.joinable()) return;
+  // The async driver charges no SimAgent (wall-clock maintenance); tests
+  // that assert simulated timing drive step() inline instead.
+  thread_ = std::thread([this] { (void)run_to_completion(nullptr); });
+}
+
+void Rebalancer::join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+RebalanceProgress Rebalancer::progress() const {
+  std::scoped_lock lk(prog_mu_);
+  return prog_;
+}
+
+}  // namespace bsc::blob

@@ -1,0 +1,175 @@
+// Online cluster rebalancing: the data-movement half of elastic membership.
+//
+// A membership change (BlobStore::begin_add_server / begin_decommission)
+// computes the ownership delta between the pre-change and post-change rings
+// and opens a MIGRATION WINDOW: every key whose replica set changed gets a
+// plan entry that starts `pending` and flips to `migrated` once its data has
+// been copied, version-exact, onto every new owner. While a key is pending,
+// its OLD replica set stays authoritative (reads, write acks, quorum) and
+// the new-only owners are DUAL-WRITE targets — mutation legs forward to them
+// opportunistically, mirroring hinted handoff, so a write landing on either
+// side of the copy instant is never lost. The Rebalancer drains the plan in
+// throttled batches; `finalize()` verifies every moved key (version compare,
+// plus content-digest comparison when a decommission is draining a source),
+// cuts the window over (epoch bump, stale-copy drop), and for a decommission
+// leaves the subject empty and out of the ring.
+//
+// Pausing is free: every prefix of the migration is a correct system state
+// (the window just stays open), which is what cancel() relies on.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/units.hpp"
+
+namespace bsc::sim {
+class SimAgent;
+}
+
+namespace bsc::blob {
+
+class BlobStore;
+
+/// Tuning for one rebalance run.
+struct RebalanceConfig {
+  /// Keys copied per batch envelope (one throttle/pacing decision per batch).
+  std::size_t batch_keys = 16;
+  /// Simulated migration bandwidth cap in bytes per simulated second;
+  /// 0 = unthrottled. Pacing needs a SimAgent (steps without one just batch).
+  std::uint64_t throttle_bytes_per_sec = 0;
+};
+
+/// The ownership delta of one membership change. Keys absent from the plan
+/// kept their replica set (or were created after the change and placed on
+/// the target ring directly).
+struct MigrationPlan {
+  enum class KeyState : std::uint8_t { pending, migrated };
+  struct Entry {
+    std::vector<std::uint32_t> old_replicas;  ///< pre-change set (primary first)
+    std::vector<std::uint32_t> new_replicas;  ///< post-change set (primary first)
+    KeyState state = KeyState::pending;
+  };
+  /// std::map: deterministic iteration order is what makes fixed-seed chaos
+  /// traces identical across sanitizers when churn interleaves with faults.
+  std::map<std::string, Entry> keys;
+  std::uint64_t pending = 0;  ///< entries still in KeyState::pending
+};
+
+/// Counters of one rebalance run (plain reads are safe after join()/ a
+/// single-threaded step loop; the async driver updates them under a mutex).
+struct RebalanceProgress {
+  std::uint64_t keys_total = 0;        ///< plan entries at window open
+  std::uint64_t keys_moved = 0;        ///< entries flipped to migrated
+  std::uint64_t copies_installed = 0;  ///< per-target installs (>= keys_moved)
+  std::uint64_t bytes_moved = 0;
+  std::uint64_t skipped_fresh = 0;     ///< targets already fresh (dual writes)
+  std::uint64_t verify_recopies = 0;   ///< finalize() repaired a stale target
+  std::uint64_t digests_checked = 0;   ///< decommission content comparisons
+  std::uint64_t hinted_down_targets = 0;
+  std::uint64_t deferred = 0;          ///< keys postponed (no live source yet)
+  std::uint64_t batches = 0;
+  std::uint64_t copies_dropped = 0;    ///< stale copies removed at cutover
+};
+
+/// Drives one membership change's data movement. Owned by the BlobStore that
+/// created it; at most one rebalance runs per store at a time.
+class Rebalancer {
+ public:
+  enum class Kind : std::uint8_t { add, decommission };
+
+  Rebalancer(BlobStore& store, Kind kind, std::uint32_t subject, RebalanceConfig cfg);
+  ~Rebalancer();
+
+  Rebalancer(const Rebalancer&) = delete;
+  Rebalancer& operator=(const Rebalancer&) = delete;
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  /// The server joining (add) or leaving (decommission).
+  [[nodiscard]] std::uint32_t subject() const noexcept { return subject_; }
+
+  /// Migrate up to cfg.batch_keys pending keys as one batched envelope per
+  /// (source, target) pair, respecting the throughput throttle. Returns ok
+  /// with no work left when the plan is drained (check done()).
+  Status step(sim::SimAgent* agent = nullptr);
+
+  /// step() until the plan drains (or cancel()), then finalize().
+  Status run_to_completion(sim::SimAgent* agent = nullptr);
+
+  /// Verify the moved set (version floor on every new owner; content digest
+  /// against the draining source for a decommission), repair stragglers,
+  /// then cut the window over: clear the plan, bump the ring epoch, drop
+  /// copies from servers that no longer own their keys, and (decommission)
+  /// drop everything the subject still holds before it leaves the ring.
+  /// Returns Errc::busy without cutting over when a decommission cannot be
+  /// drain-verified (needed target down) — recover the target and call
+  /// finalize() again; the window simply stays open.
+  Status finalize(sim::SimAgent* agent = nullptr);
+
+  /// Request a pause. step()/run_to_completion() return early; the migration
+  /// window stays open and correct (dual writes keep flowing). Clear with
+  /// resume() or just call run_to_completion() after.
+  void cancel() noexcept { cancel_.store(true, std::memory_order_release); }
+  void resume() noexcept { cancel_.store(false, std::memory_order_release); }
+  [[nodiscard]] bool cancelled() const noexcept {
+    return cancel_.load(std::memory_order_acquire);
+  }
+
+  /// All plan entries migrated (finalize may still be outstanding).
+  [[nodiscard]] bool done() const;
+  /// finalize() completed and the window is closed.
+  [[nodiscard]] bool finished() const noexcept {
+    return finished_.load(std::memory_order_acquire);
+  }
+
+  /// Drive run_to_completion() on a background thread (join() to wait).
+  /// The background run charges no SimAgent; tests that need simulated
+  /// timing drive step() inline instead.
+  void start_async();
+  void join();
+
+  [[nodiscard]] RebalanceProgress progress() const;
+
+ private:
+  /// Per-envelope accumulation of one batch's traffic toward a server.
+  struct NodeCharge {
+    std::uint64_t wire_bytes = 0;  ///< encoded sub-op bytes (rpc::wire_size)
+    std::uint64_t subs = 0;
+    SimMicros service_us = 0;
+  };
+
+  /// Copy one pending key onto its new-only owners and flip it to migrated.
+  /// Returns Errc::busy when no live source exists yet (deferred).
+  Status migrate_key(const std::string& key, const MigrationPlan::Entry& entry,
+                     std::map<std::uint32_t, NodeCharge>* charges,
+                     std::uint64_t* moved_bytes);
+
+  /// Throughput throttle: delay the next batch so cumulative bytes stay
+  /// under cfg.throttle_bytes_per_sec of simulated time.
+  void pace(sim::SimAgent* agent, std::uint64_t batch_bytes);
+
+  [[nodiscard]] std::uint64_t pending_count() const;
+  void flip_migrated(const std::string& key);
+
+  BlobStore* store_;
+  Kind kind_;
+  std::uint32_t subject_;
+  RebalanceConfig cfg_;
+
+  mutable std::mutex prog_mu_;
+  RebalanceProgress prog_;
+
+  std::atomic<bool> cancel_{false};
+  std::atomic<bool> finished_{false};
+  SimMicros next_allowed_us_ = 0;  ///< throttle horizon (simulated clock)
+
+  std::thread thread_;
+};
+
+}  // namespace bsc::blob

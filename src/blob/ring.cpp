@@ -16,6 +16,7 @@ void HashRing::add_node(std::uint32_t node_id) {
     const std::uint64_t point = mix64(hash_combine(mix64(node_id), v));
     ring_.emplace(point, node_id);
   }
+  ++epoch_;
 }
 
 void HashRing::remove_node(std::uint32_t node_id) {
@@ -23,6 +24,7 @@ void HashRing::remove_node(std::uint32_t node_id) {
   for (auto it = ring_.begin(); it != ring_.end();) {
     it = it->second == node_id ? ring_.erase(it) : std::next(it);
   }
+  ++epoch_;
 }
 
 bool HashRing::has_node(std::uint32_t node_id) const { return nodes_.count(node_id) != 0; }

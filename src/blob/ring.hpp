@@ -6,6 +6,7 @@
 // its vnodes (the property the ring tests assert).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <set>
@@ -23,6 +24,23 @@ class HashRing {
   void remove_node(std::uint32_t node_id);
   [[nodiscard]] bool has_node(std::uint32_t node_id) const;
   [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+  /// All member node ids, ascending.
+  [[nodiscard]] std::vector<std::uint32_t> members() const {
+    return {nodes_.begin(), nodes_.end()};
+  }
+
+  // --- epoch-versioned membership ---
+  // Every mutation that changes the member set bumps the ring epoch. Servers
+  // stamp responses with the epoch they were configured at; clients compare
+  // the stamp against the epoch their placement was computed at and refresh
+  // on mismatch. The store bumps the epoch a second time when a migration
+  // window closes (cutover), so "same epoch" always implies "same placement
+  // rules", including the dual-write window.
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+  /// Membership-neutral bump (migration-window cutover).
+  void bump_epoch() noexcept { ++epoch_; }
+  /// Restore a recovered epoch (never moves backwards).
+  void set_epoch(std::uint64_t e) noexcept { epoch_ = std::max(epoch_, e); }
 
   /// The ordered replica set (primary first) for `key`. Returns at most
   /// min(replicas, node_count) distinct nodes; empty when the ring is empty.
@@ -36,6 +54,7 @@ class HashRing {
   std::uint32_t vnodes_;
   std::set<std::uint32_t> nodes_;
   std::map<std::uint64_t, std::uint32_t> ring_;  ///< point -> node id
+  std::uint64_t epoch_ = 0;
 };
 
 }  // namespace bsc::blob

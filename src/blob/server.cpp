@@ -476,6 +476,13 @@ Status BlobServer::install_copy(const std::string& key, ByteView data,
                                 std::uint64_t logical_size, Version version,
                                 SimMicros* service_us) {
   KeyLock lk = lock_key(key);
+  return install_copy_locked(key, data, logical_size, version, service_us);
+}
+
+Status BlobServer::install_copy_locked(const std::string& key, ByteView data,
+                                       std::uint64_t logical_size, Version version,
+                                       SimMicros* service_us) {
+  // Caller holds lock_exclusive() or a KeyLock on `key`.
   node_->cache().invalidate(fnv1a64(key));
   Status st = [&]() -> Status {
     std::scoped_lock elk(engine_mu_);
@@ -499,6 +506,37 @@ Status BlobServer::install_copy(const std::string& key, ByteView data,
   }
   *service_us = t;
   return st;
+}
+
+Result<ReadOutcome> BlobServer::read_locked(const std::string& key, std::uint64_t off,
+                                            std::uint64_t len, SimMicros* service_us) {
+  // Caller holds lock_exclusive() or a KeyLock on `key` — identical to
+  // read() minus the structure lock it would re-acquire (self-deadlock on
+  // the rebalancer's copy path, which already holds the key's stripes).
+  OpPublisher pub(server_metrics().read, service_us);
+  std::uint64_t obj_size = 0;
+  auto r = [&] {
+    std::scoped_lock elk(engine_mu_);
+    auto rr = engine_.read(key, off, len);
+    if (rr.ok()) obj_size = engine_.size(key).value_or(0);
+    return rr;
+  }();
+  SimMicros t = costs_.cpu_op_us;
+  if (r.ok()) {
+    const auto& out = r.value();
+    server_metrics().read_bytes.add(out.data.size());
+    t += svc_bytes_cpu(out.data.size());
+    const bool cached = node_->cache().touch_read(fnv1a64(key), obj_size);
+    if (cached || out.extents_touched == 0) {
+      t += 1;
+    } else {
+      const auto& dp = node_->disk().params();
+      t += node_->disk().service_us(out.data.size(), /*sequential=*/false);
+      t += static_cast<SimMicros>(out.extents_touched - 1) * (dp.rotational_us / 2);
+    }
+  }
+  *service_us = t;
+  return r;
 }
 
 bool BlobServer::add_hint(std::uint32_t target, const BlobKey& key) {

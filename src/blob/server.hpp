@@ -196,6 +196,34 @@ class BlobServer {
   Status install_copy(const std::string& key, ByteView data, std::uint64_t logical_size,
                       Version version, SimMicros* service_us);
 
+  /// install_copy under the CALLER's lock (lock_exclusive() or a KeyLock on
+  /// `key`). The rebalancer holds the key's stripes on source and target
+  /// servers across a copy + plan-state flip; taking a second KeyLock on the
+  /// same non-recursive stripe would self-deadlock.
+  Status install_copy_locked(const std::string& key, ByteView data,
+                             std::uint64_t logical_size, Version version,
+                             SimMicros* service_us);
+
+  /// Whole-object read under the caller's lock (same contract as
+  /// install_copy_locked): the structure lock is NOT re-acquired, so it is
+  /// safe while already holding a KeyLock on this server.
+  [[nodiscard]] Result<ReadOutcome> read_locked(const std::string& key, std::uint64_t off,
+                                                std::uint64_t len, SimMicros* service_us);
+
+  // --- ring-epoch stamp -----------------------------------------------------
+  //
+  // Servers answer requests stamped with the membership epoch they were last
+  // configured at. A client whose placement was computed at an older epoch
+  // sees a newer stamp on the reply, drops its cached placement, refreshes
+  // the ring, and retries — the in-process analogue of a stale-epoch
+  // rejection in a real RPC layer.
+  [[nodiscard]] std::uint64_t ring_epoch() const noexcept {
+    return ring_epoch_.load(std::memory_order_acquire);
+  }
+  void set_ring_epoch(std::uint64_t e) noexcept {
+    ring_epoch_.store(e, std::memory_order_release);
+  }
+
   // --- hinted handoff -------------------------------------------------------
   //
   // When a quorum write cannot reach a replica, the coordinator records a
@@ -286,6 +314,7 @@ class BlobServer {
   std::string persist_dir_;                   ///< empty = volatile server
   persist::JournalConfig jcfg_;
   std::unique_ptr<persist::Journal> journal_; ///< engine_ holds a raw sink ptr
+  std::atomic<std::uint64_t> ring_epoch_{0};  ///< membership epoch stamp
 };
 
 }  // namespace bsc::blob

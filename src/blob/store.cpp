@@ -5,6 +5,8 @@
 #include <set>
 
 #include "common/hash.hpp"
+#include "obs/metrics.hpp"
+#include "persist/checkpoint.hpp"
 
 namespace bsc::blob {
 
@@ -16,6 +18,74 @@ BlobStore::BlobStore(sim::Cluster& cluster, StoreConfig cfg)
     ring_.add_node(static_cast<std::uint32_t>(i));
     down_.push_back(std::make_unique<std::atomic<bool>>(false));
   }
+  for (auto& s : servers_) s->set_ring_epoch(ring_.epoch());
+}
+
+BlobStore::~BlobStore() {
+  if (rebalancer_) rebalancer_->join();
+}
+
+Placement BlobStore::placement_of(std::string_view key) const {
+  if (!migrating_.load(std::memory_order_acquire)) {
+    return {ring_.locate(key, cfg_.replication), {}, ring_.epoch()};
+  }
+  std::shared_lock lk(mig_mu_);
+  if (!plan_) {  // window closed between the flag check and the lock
+    return {ring_.locate(key, cfg_.replication), {}, ring_.epoch()};
+  }
+  const auto it = plan_->keys.find(std::string(key));
+  if (it == plan_->keys.end()) {
+    // Placement unchanged by the membership change, or a key created after
+    // it: the target ring is authoritative.
+    return {ring_.locate(key, cfg_.replication), {}, ring_.epoch()};
+  }
+  const MigrationPlan::Entry& e = it->second;
+  if (e.state == MigrationPlan::KeyState::migrated) {
+    return {e.new_replicas, {}, ring_.epoch()};
+  }
+  // Pending: the old set keeps serving reads and counting acks; new-only
+  // owners are dual-write targets until the copy lands.
+  Placement p{e.old_replicas, {}, ring_.epoch()};
+  for (std::uint32_t n : e.new_replicas) {
+    if (std::find(e.old_replicas.begin(), e.old_replicas.end(), n) ==
+        e.old_replicas.end()) {
+      p.pending.push_back(n);
+    }
+  }
+  return p;
+}
+
+void BlobStore::publish_epoch() {
+  const std::uint64_t e = ring_.epoch();
+  for (auto& s : servers_) s->set_ring_epoch(e);
+  obs::MetricsRegistry::global().gauge("rebalance.epoch").set(
+      static_cast<std::int64_t>(e));
+  if (!persist_base_dir_.empty()) {
+    persist::MembershipRecord rec;
+    rec.epoch = e;
+    rec.members = ring_.members();
+    (void)persist::write_membership(persist_base_dir_, rec);
+  }
+}
+
+Status BlobStore::recover_membership() {
+  if (persist_base_dir_.empty()) return Status::success();
+  auto rec = persist::load_membership(persist_base_dir_);
+  if (!rec.ok()) {
+    return rec.code() == Errc::not_found ? Status::success() : rec.error().code;
+  }
+  // Removals are re-applied (a decommissioned server must not rejoin the
+  // ring just because the process restarted); additions were re-registered
+  // by the caller before this. Epoch never moves backwards.
+  for (std::uint32_t i = 0; i < servers_.size(); ++i) {
+    const bool member = std::find(rec.value().members.begin(),
+                                  rec.value().members.end(),
+                                  i) != rec.value().members.end();
+    if (!member && ring_.has_node(i)) ring_.remove_node(i);
+  }
+  ring_.set_epoch(rec.value().epoch);
+  publish_epoch();
+  return Status::success();
 }
 
 void BlobStore::fail_server(std::uint32_t index) {
@@ -32,19 +102,36 @@ void BlobStore::drain_hints(std::uint32_t index, sim::SimAgent* agent,
                             HintStats* stats) {
   // Every surviving server may hold hints for the recovered one; union the
   // hinted key sets (the same key can be hinted by several coordinators).
-  std::set<std::string> keys;
+  // Drain order is part of the determinism contract: coordinators are
+  // visited in ascending server index and the union is drained in sorted
+  // key order, so a fixed-seed chaos run issues the identical repair
+  // sequence on every platform/sanitizer — even when a membership change
+  // interleaved with the outage and reshuffled who hinted what.
+  std::vector<std::string> keys;
   for (std::uint32_t j = 0; j < servers_.size(); ++j) {
     if (j == index || is_down(j)) continue;
-    for (auto& k : servers_[j]->take_hints_for(index)) keys.insert(std::move(k));
+    for (auto& k : servers_[j]->take_hints_for(index)) keys.push_back(std::move(k));
   }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
   if (keys.empty()) return;
 
   BlobServer& target = *servers_[index];
   for (const auto& key : keys) {
-    const auto replicas = replicas_of(key);
-    if (std::find(replicas.begin(), replicas.end(), index) == replicas.end()) {
+    // Placement-aware ownership check: while a migration window is open the
+    // recovered server may own `key` only as a PENDING (new) owner — the
+    // hint is still live (the dual write it records was acked against the
+    // old set and the migration copy may have happened before the hint's
+    // mutation). Dropping it would strand the pending copy stale until
+    // finalize's verify pass.
+    const Placement p = placement_of(key);
+    const bool owner =
+        std::find(p.replicas.begin(), p.replicas.end(), index) != p.replicas.end() ||
+        std::find(p.pending.begin(), p.pending.end(), index) != p.pending.end();
+    if (!owner) {
       continue;  // ring changed while down; rebalance owns this key now
     }
+    const auto& replicas = p.replicas;
     // Source = freshest live holder. A hint records *that* a mutation was
     // missed, not its payload, so the repair copies current state — which
     // subsumes any ops missed after the hint was written.
@@ -123,6 +210,23 @@ Status BlobStore::enable_persistence(const std::string& base_dir,
     auto st = servers_[i]->enable_persistence(
         base_dir + "/server-" + std::to_string(i), jcfg);
     if (!st.ok()) return st;
+  }
+  // Remember the base so servers added later get journals too, and so
+  // membership changes can persist their record for recovery.
+  const bool have_record = persist::load_membership(base_dir).ok();
+  persist_base_dir_ = base_dir;
+  persist_jcfg_ = jcfg;
+  if (have_record) {
+    // A membership record survives from a previous incarnation. Writing one
+    // here would stamp the construction-time member set over the removals it
+    // encodes, so only propagate the epoch to the servers and leave the file
+    // for recover_membership() (or the next membership change) to rewrite.
+    const std::uint64_t e = ring_.epoch();
+    for (auto& s : servers_) s->set_ring_epoch(e);
+    obs::MetricsRegistry::global().gauge("rebalance.epoch").set(
+        static_cast<std::int64_t>(e));
+  } else {
+    publish_epoch();
   }
   return Status::success();
 }
@@ -280,111 +384,111 @@ std::uint64_t BlobStore::resync_server(std::uint32_t index, sim::SimAgent* agent
   return repaired;
 }
 
-namespace {
-/// Snapshot of every live key with a reachable holder, taken before a ring
-/// change so post-change placements can be compared against it.
-struct KeySnapshot {
-  std::map<std::string, std::uint32_t> holder;  ///< key -> some live server
-};
-}  // namespace
-
-std::uint32_t BlobStore::add_server(sim::SimNode& node, RebalanceStats* stats,
-                                    sim::SimAgent* agent) {
-  // Capture pre-change key universe (any live holder suffices as source).
-  KeySnapshot snap;
+std::unique_ptr<MigrationPlan> BlobStore::build_plan(const HashRing& before) const {
+  // Key universe: every live key with a reachable holder. std::map keeps the
+  // plan (and thus migration order) deterministic.
+  auto plan = std::make_unique<MigrationPlan>();
+  std::set<std::string> universe;
   for (std::uint32_t j = 0; j < servers_.size(); ++j) {
-    if (!in_ring(j) || is_down(j)) continue;
+    if (!before.has_node(j) || is_down(j)) continue;
     SimMicros svc = 0;
-    for (const auto& s : servers_[j]->scan("", &svc)) snap.holder.emplace(s.key, j);
+    for (const auto& s : servers_[j]->scan("", &svc)) universe.insert(s.key);
   }
+  for (const std::string& key : universe) {
+    MigrationPlan::Entry e;
+    e.old_replicas = before.locate(key, cfg_.replication);
+    e.new_replicas = ring_.locate(key, cfg_.replication);
+    if (e.old_replicas == e.new_replicas) continue;  // ~ (N-K)/N of all keys
+    plan->keys.emplace(key, std::move(e));
+  }
+  plan->pending = plan->keys.size();
+  return plan;
+}
 
+Result<std::uint32_t> BlobStore::begin_add_server(sim::SimNode& node,
+                                                  RebalanceConfig rcfg) {
+  if (migrating_.load(std::memory_order_acquire)) {
+    return Error{Errc::busy, "a rebalance is already in progress"};
+  }
+  if (rebalancer_) rebalancer_->join();
+
+  auto before = std::make_unique<HashRing>(ring_);
   const auto index = static_cast<std::uint32_t>(servers_.size());
   servers_.push_back(std::make_unique<BlobServer>(node));
   down_.push_back(std::make_unique<std::atomic<bool>>(false));
-  ring_.add_node(index);
+  if (!persist_base_dir_.empty()) {
+    auto st = servers_[index]->enable_persistence(
+        persist_base_dir_ + "/server-" + std::to_string(index), persist_jcfg_);
+    if (!st.ok()) return st.error();
+  }
+  ring_.add_node(index);  // bumps the ring epoch
 
-  rebalance_after_ring_change(snap.holder, stats, agent);
+  auto plan = build_plan(*before);
+  {
+    std::unique_lock lk(mig_mu_);
+    plan_ = std::move(plan);
+    old_ring_ = std::move(before);
+    migrating_.store(true, std::memory_order_release);
+  }
+  publish_epoch();
+  obs::MetricsRegistry::global().gauge("rebalance.active").set(1);
+  rebalancer_ = std::make_unique<Rebalancer>(*this, Rebalancer::Kind::add, index, rcfg);
   return index;
 }
 
-Status BlobStore::decommission_server(std::uint32_t index, RebalanceStats* stats,
-                                      sim::SimAgent* agent) {
+Status BlobStore::begin_decommission(std::uint32_t index, RebalanceConfig rcfg) {
   if (index >= servers_.size() || !in_ring(index)) {
     return {Errc::not_found, "server not in ring"};
   }
   if (is_down(index)) return {Errc::busy, "server is down; recover or resync first"};
-  KeySnapshot snap;
-  for (std::uint32_t j = 0; j < servers_.size(); ++j) {
-    if (!in_ring(j) || is_down(j)) continue;
-    SimMicros svc = 0;
-    for (const auto& s : servers_[j]->scan("", &svc)) snap.holder.emplace(s.key, j);
+  if (migrating_.load(std::memory_order_acquire)) {
+    return {Errc::busy, "a rebalance is already in progress"};
   }
-  ring_.remove_node(index);
-  rebalance_after_ring_change(snap.holder, stats, agent);
+  if (rebalancer_) rebalancer_->join();
 
-  // Drop everything the decommissioned server still holds.
-  SimMicros svc = 0;
-  for (const auto& s : servers_[index]->scan("", &svc)) {
-    SimMicros rm_svc = 0;
-    (void)servers_[index]->remove(s.key, &rm_svc);
-    if (stats) ++stats->objects_dropped;
+  auto before = std::make_unique<HashRing>(ring_);
+  ring_.remove_node(index);  // bumps the ring epoch
+
+  auto plan = build_plan(*before);
+  {
+    std::unique_lock lk(mig_mu_);
+    plan_ = std::move(plan);
+    old_ring_ = std::move(before);
+    migrating_.store(true, std::memory_order_release);
   }
+  publish_epoch();
+  obs::MetricsRegistry::global().gauge("rebalance.active").set(1);
+  rebalancer_ = std::make_unique<Rebalancer>(*this, Rebalancer::Kind::decommission,
+                                             index, rcfg);
   return Status::success();
 }
 
-void BlobStore::rebalance_after_ring_change(
-    const std::map<std::string, std::uint32_t>& holders, RebalanceStats* stats,
-    sim::SimAgent* agent) {
-  for (const auto& [key, src_hint] : holders) {
-    const auto new_replicas = replicas_of(key);
-    // Source: any live server currently holding the key (the hint, unless
-    // placement says it should not have it — it still does physically).
-    BlobServer& src = *servers_[src_hint];
-    SimMicros src_svc = 0;
-    auto size = src.size(key, &src_svc);
-    if (!size.ok()) continue;
-
-    for (std::uint32_t owner : new_replicas) {
-      BlobServer& dst = *servers_[owner];
-      if (is_down(owner)) continue;
-      SimMicros peek_svc = 0;
-      if (dst.stat(key, &peek_svc).ok()) continue;  // already holds a copy
-      auto data = src.read(key, 0, size.value(), &src_svc);
-      if (!data.ok()) break;
-      SimMicros put_svc = 0;
-      // Exact install (version included): the migrated copy participates in
-      // version arbitration exactly like the source it was copied from.
-      if (!dst.install_copy(key, as_view(data.value().data), size.value(),
-                            src.peek_version(key).value_or(1), &put_svc)
-               .ok()) {
-        continue;
-      }
-      if (agent) {
-        transport_.call_reliable(*agent, dst.node(), size.value() + 64, 64, put_svc);
-      } else {
-        dst.node().serve(0, put_svc);
-      }
-      if (stats) {
-        ++stats->objects_moved;
-        stats->bytes_moved += size.value();
-      }
-    }
-
-    // Drop copies from servers no longer in the key's replica set (skip the
-    // decommission case where the server was already pulled from the ring —
-    // its copies are dropped wholesale by the caller).
-    for (std::uint32_t j = 0; j < servers_.size(); ++j) {
-      if (!in_ring(j) || is_down(j)) continue;
-      if (std::find(new_replicas.begin(), new_replicas.end(), j) != new_replicas.end()) {
-        continue;
-      }
-      SimMicros peek_svc = 0;
-      if (!servers_[j]->stat(key, &peek_svc).ok()) continue;
-      SimMicros rm_svc = 0;
-      (void)servers_[j]->remove(key, &rm_svc);
-      if (stats) ++stats->objects_dropped;
-    }
+std::uint32_t BlobStore::add_server(sim::SimNode& node, RebalanceStats* stats,
+                                    sim::SimAgent* agent) {
+  auto r = begin_add_server(node);
+  if (!r.ok()) return static_cast<std::uint32_t>(servers_.size());
+  (void)rebalancer_->run_to_completion(agent);
+  if (stats) {
+    const auto p = rebalancer_->progress();
+    stats->objects_moved += p.copies_installed;
+    stats->bytes_moved += p.bytes_moved;
+    stats->objects_dropped += p.copies_dropped;
   }
+  return r.value();
+}
+
+Status BlobStore::decommission_server(std::uint32_t index, RebalanceStats* stats,
+                                      sim::SimAgent* agent) {
+  auto st = begin_decommission(index);
+  if (!st.ok()) return st;
+  st = rebalancer_->run_to_completion(agent);
+  if (stats) {
+    const auto p = rebalancer_->progress();
+    stats->objects_moved += p.copies_installed;
+    stats->bytes_moved += p.bytes_moved;
+    stats->objects_dropped += p.copies_dropped;
+  }
+  return st;
 }
 
 BlobStore::ScrubReport BlobStore::scrub(bool repair, sim::SimAgent* agent) {

@@ -8,8 +8,10 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <shared_mutex>
 #include <vector>
 
+#include "blob/rebalance.hpp"
 #include "blob/ring.hpp"
 #include "blob/server.hpp"
 #include "blob/types.hpp"
@@ -18,9 +20,22 @@
 
 namespace bsc::blob {
 
+/// Where a key lives right now, window-aware. Outside a migration window
+/// `pending` is empty and `replicas` is the ring placement. While the key is
+/// inside an open migration window, `replicas` is the OLD (authoritative)
+/// set — reads, acks and quorum counting stay on it — and `pending` lists
+/// the new-only owners that mutations must dual-apply to so the copy the
+/// rebalancer installs can never miss an acknowledged write.
+struct Placement {
+  std::vector<std::uint32_t> replicas;
+  std::vector<std::uint32_t> pending;
+  std::uint64_t epoch = 0;  ///< ring epoch this placement was computed at
+};
+
 class BlobStore {
  public:
   BlobStore(sim::Cluster& cluster, StoreConfig cfg = {});
+  ~BlobStore();
 
   [[nodiscard]] const StoreConfig& config() const noexcept { return cfg_; }
   [[nodiscard]] const HashRing& ring() const noexcept { return ring_; }
@@ -30,10 +45,19 @@ class BlobStore {
   [[nodiscard]] std::size_t server_count() const noexcept { return servers_.size(); }
   [[nodiscard]] BlobServer& server(std::uint32_t index) noexcept { return *servers_[index]; }
 
-  /// Replica servers (primary first) for `key`.
+  /// Replica servers (primary first) for `key` — the authoritative set,
+  /// window-aware (see Placement).
   [[nodiscard]] std::vector<std::uint32_t> replicas_of(std::string_view key) const {
-    return ring_.locate(key, cfg_.replication);
+    return placement_of(key).replicas;
   }
+
+  /// Full window-aware placement (authoritative set + dual-write targets +
+  /// the ring epoch it was computed at).
+  [[nodiscard]] Placement placement_of(std::string_view key) const;
+
+  /// Current membership epoch (bumped by every membership change AND by
+  /// every migration-window cutover).
+  [[nodiscard]] std::uint64_t ring_epoch() const noexcept { return ring_.epoch(); }
 
   // --- failure injection & recovery ---
   /// Mark a server down: reads fail over to the next replica, mutations
@@ -80,7 +104,9 @@ class BlobStore {
 
   // --- durability: per-server WAL + checkpoints, crash / restart ---
   /// Give every current server a persistence directory under
-  /// `base_dir/server-<index>`. Servers added later stay volatile.
+  /// `base_dir/server-<index>`. The base directory is remembered: servers
+  /// added later through (begin_)add_server get journals there too, and
+  /// membership changes persist a membership record for recovery.
   Status enable_persistence(const std::string& base_dir,
                             persist::JournalConfig jcfg = {});
 
@@ -106,16 +132,53 @@ class BlobStore {
   };
 
   /// Register `node` (a storage node of the cluster not yet in the store)
-  /// as a new blob server, extend the ring, and migrate the keys whose
-  /// replica sets changed. Returns the new server's index.
+  /// as a new blob server, extend the ring, and synchronously migrate the
+  /// keys whose replica sets changed. Returns the new server's index.
+  /// Convenience wrapper over begin_add_server + run_to_completion.
   std::uint32_t add_server(sim::SimNode& node, RebalanceStats* stats = nullptr,
                            sim::SimAgent* agent = nullptr);
 
-  /// Remove server `index` from the ring and re-replicate its keys onto
-  /// their new owners, then drop every copy it held. The server object
-  /// stays allocated (indices remain stable) but owns no placement.
+  /// Remove server `index` from the ring, synchronously re-replicate its
+  /// keys onto their new owners, then drop every copy it held. The server
+  /// object stays allocated (indices remain stable) but owns no placement.
+  /// Convenience wrapper over begin_decommission + run_to_completion.
   Status decommission_server(std::uint32_t index, RebalanceStats* stats = nullptr,
                              sim::SimAgent* agent = nullptr);
+
+  // --- online (incremental) membership changes ---
+  //
+  // begin_* registers the membership change, bumps the ring epoch, and opens
+  // a migration window (every affected key dual-writes until migrated); the
+  // returned Rebalancer moves the data incrementally — step() it between
+  // client batches, run it to completion, or drive it from a background
+  // thread via start_async(). Membership registration itself must be called
+  // quiescently (no in-flight client ops); the MIGRATION is what safely
+  // overlaps live traffic. At most one rebalance can be open per store.
+
+  /// Open an add-server window. If persistence was enabled on the store the
+  /// new server gets a journal directory too (so crash/restart keeps
+  /// working after growth). Returns the new server's index.
+  Result<std::uint32_t> begin_add_server(sim::SimNode& node, RebalanceConfig rcfg = {});
+
+  /// Open a decommission window for server `index` (must be in-ring and up).
+  Status begin_decommission(std::uint32_t index, RebalanceConfig rcfg = {});
+
+  /// The rebalancer of the currently open (or most recently finished)
+  /// membership change; nullptr before the first begin_*.
+  [[nodiscard]] Rebalancer* rebalancer() noexcept { return rebalancer_.get(); }
+
+  /// True while a migration window is open.
+  [[nodiscard]] bool rebalance_active() const noexcept {
+    return migrating_.load(std::memory_order_acquire);
+  }
+
+  /// Restore persisted membership after a full-cluster restart: reload the
+  /// membership record (epoch + member set) written on every epoch change,
+  /// re-apply removals, and restore the epoch. Additions cannot be
+  /// reconstructed from disk (server objects bind to live SimNodes), so a
+  /// recovered store re-adds grown servers through begin_add_server before
+  /// calling this. No-op when persistence is off or no record exists.
+  Status recover_membership();
 
   [[nodiscard]] bool in_ring(std::uint32_t index) const { return ring_.has_node(index); }
 
@@ -142,12 +205,18 @@ class BlobStore {
   [[nodiscard]] Status verify_all_integrity();
 
  private:
-  /// Move/copy/drop keys so physical placement matches the (changed) ring.
-  void rebalance_after_ring_change(const std::map<std::string, std::uint32_t>& holders,
-                                   RebalanceStats* stats, sim::SimAgent* agent);
+  friend class Rebalancer;
 
   /// Replay hinted-handoff entries destined for `index` (see recover_server).
   void drain_hints(std::uint32_t index, sim::SimAgent* agent, HintStats* stats);
+
+  /// Snapshot every live key with a reachable holder, then diff placements
+  /// between `before` and the current ring into a MigrationPlan.
+  [[nodiscard]] std::unique_ptr<MigrationPlan> build_plan(const HashRing& before) const;
+
+  /// Push the current ring epoch to every server's response stamp and
+  /// persist the membership record (when persistence is enabled).
+  void publish_epoch();
 
   sim::Cluster* cluster_;
   StoreConfig cfg_;
@@ -155,6 +224,19 @@ class BlobStore {
   HashRing ring_;
   std::vector<std::unique_ptr<BlobServer>> servers_;
   std::vector<std::unique_ptr<std::atomic<bool>>> down_;
+
+  // Migration-window state. Clients take mig_mu_ shared only inside
+  // placement_of (released before any server lock); the rebalancer flips a
+  // key's state while holding that key's stripes — stripe-then-mig order on
+  // one side, mig-with-no-stripes on the other, so no lock-order inversion.
+  mutable std::shared_mutex mig_mu_;
+  std::atomic<bool> migrating_{false};
+  std::unique_ptr<MigrationPlan> plan_;  ///< guarded by mig_mu_
+  std::unique_ptr<HashRing> old_ring_;   ///< pre-change ring; guarded by mig_mu_
+  std::unique_ptr<Rebalancer> rebalancer_;
+
+  std::string persist_base_dir_;  ///< remembered by enable_persistence
+  persist::JournalConfig persist_jcfg_;
 };
 
 }  // namespace bsc::blob

@@ -150,6 +150,89 @@ std::uint64_t newest_checkpoint_lsn(const std::string& dir) {
   return all.empty() ? 0 : all.front().first;
 }
 
+namespace {
+constexpr char kMembershipMagic[8] = {'B', 'S', 'C', 'M', 'B', 'R', '0', '1'};
+constexpr std::uint32_t kMembershipFormat = 1;
+
+std::string membership_path(const std::string& dir) { return dir + "/membership.bsm"; }
+}  // namespace
+
+Status write_membership(const std::string& dir, const MembershipRecord& rec) {
+  Bytes buf;
+  buf.resize(sizeof(kMembershipMagic));
+  std::memcpy(buf.data(), kMembershipMagic, sizeof(kMembershipMagic));
+  put_u32(buf, kMembershipFormat);
+  put_u64(buf, rec.epoch);
+  put_u64(buf, rec.members.size());
+  for (std::uint32_t m : rec.members) put_u32(buf, m);
+  put_u64(buf, content_checksum(as_view(buf)));
+
+  const std::string final_path = membership_path(dir);
+  const std::string tmp_path = final_path + ".tmp";
+  const int fd = ::open(tmp_path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd < 0) return {Errc::io_error, tmp_path + ": " + std::strerror(errno)};
+  const std::byte* p = buf.data();
+  std::size_t left = buf.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return {Errc::io_error, std::string("membership write: ") + std::strerror(errno)};
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    return {Errc::io_error, std::string("membership fsync: ") + std::strerror(errno)};
+  }
+  ::close(fd);
+  std::error_code ec;
+  std::filesystem::rename(tmp_path, final_path, ec);
+  if (ec) return {Errc::io_error, "membership rename: " + ec.message()};
+  return Status::success();
+}
+
+Result<MembershipRecord> load_membership(const std::string& dir) {
+  const std::string path = membership_path(dir);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return Error{Errc::not_found, "no membership record"};
+  std::fseek(f, 0, SEEK_END);
+  const long sz = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  Bytes buf(sz > 0 ? static_cast<std::size_t>(sz) : 0);
+  const bool read_ok =
+      buf.empty() || std::fread(buf.data(), 1, buf.size(), f) == buf.size();
+  std::fclose(f);
+  if (!read_ok) return Error{Errc::io_error, "membership read failed"};
+
+  const ByteView view = as_view(buf);
+  if (view.size() < sizeof(kMembershipMagic) + 4 + 8 + 8 + 8 ||
+      std::memcmp(view.data(), kMembershipMagic, sizeof(kMembershipMagic)) != 0) {
+    return Error{Errc::io_error, "membership record malformed"};
+  }
+  const ByteView body = view.first(view.size() - 8);
+  Cursor trailer{view, view.size() - 8};
+  if (content_checksum(body) != trailer.u64()) {
+    return Error{Errc::io_error, "membership checksum mismatch"};
+  }
+  Cursor c{body, sizeof(kMembershipMagic)};
+  if (c.u32() != kMembershipFormat) {
+    return Error{Errc::io_error, "membership format version unsupported"};
+  }
+  MembershipRecord rec;
+  rec.epoch = c.u64();
+  const std::uint64_t count = c.u64();
+  if (!c.ok || count * 4 != c.remaining()) {
+    return Error{Errc::io_error, "membership record truncated"};
+  }
+  rec.members.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) rec.members.push_back(c.u32());
+  if (!c.ok) return Error{Errc::io_error, "membership record truncated"};
+  return rec;
+}
+
 CheckpointState load_newest_checkpoint(const std::string& dir) {
   CheckpointState none;
   for (const auto& [lsn, path] : list_checkpoints(dir)) {

@@ -68,4 +68,27 @@ Status write_checkpoint(const std::string& dir, std::uint64_t lsn,
 /// `found == false` (with `skipped` populated) when none survives.
 [[nodiscard]] CheckpointState load_newest_checkpoint(const std::string& dir);
 
+// --- cluster membership record ----------------------------------------------
+//
+// One small record per store (`<dir>/membership.bsm`) holding the ring epoch
+// and the in-ring member set, rewritten atomically (tmp + fsync + rename,
+// whole-file checksum — same discipline as checkpoints) on every epoch
+// change. Recovery restores the epoch and re-applies removals so a restarted
+// cluster does not resurrect decommissioned placement.
+//
+//   magic "BSCMBR01" (8) | u32 format_version | u64 epoch | u64 count
+//   count x u32 member_index | u64 file_checksum
+
+struct MembershipRecord {
+  std::uint64_t epoch = 0;
+  std::vector<std::uint32_t> members;  ///< in-ring server indices, ascending
+};
+
+/// Atomically (re)write `<dir>/membership.bsm`.
+Status write_membership(const std::string& dir, const MembershipRecord& rec);
+
+/// Load the membership record; Errc::not_found when absent, Errc::io_error
+/// when present but failing validation.
+[[nodiscard]] Result<MembershipRecord> load_membership(const std::string& dir);
+
 }  // namespace bsc::persist

@@ -116,6 +116,111 @@ TEST(Ring, AddRemoveRoundTripRestoresPlacement) {
   for (const auto& key : keys) EXPECT_EQ(ring.locate(key, 3), before[key]);
 }
 
+// --- Epoch-versioned membership (elastic rebalancing protocol) -------------
+
+TEST(Ring, EpochBumpsOnlyOnMembershipChange) {
+  HashRing ring;
+  EXPECT_EQ(ring.epoch(), 0u);
+  ring.add_node(0);
+  EXPECT_EQ(ring.epoch(), 1u);
+  ring.add_node(0);  // duplicate: member set unchanged, epoch unchanged
+  EXPECT_EQ(ring.epoch(), 1u);
+  ring.add_node(1);
+  EXPECT_EQ(ring.epoch(), 2u);
+  ring.remove_node(7);  // absent: no change
+  EXPECT_EQ(ring.epoch(), 2u);
+  ring.remove_node(1);
+  EXPECT_EQ(ring.epoch(), 3u);
+  (void)ring.locate("k", 3);  // reads never bump
+  EXPECT_EQ(ring.epoch(), 3u);
+  ring.bump_epoch();  // migration-window cutover bump
+  EXPECT_EQ(ring.epoch(), 4u);
+  ring.set_epoch(2);  // recovery restore never regresses
+  EXPECT_EQ(ring.epoch(), 4u);
+  ring.set_epoch(9);
+  EXPECT_EQ(ring.epoch(), 9u);
+}
+
+TEST(Ring, MembersAreSortedAndTrackMembershipOps) {
+  HashRing ring;
+  for (std::uint32_t n : {5u, 1u, 9u, 3u}) ring.add_node(n);
+  EXPECT_EQ(ring.members(), (std::vector<std::uint32_t>{1, 3, 5, 9}));
+  ring.remove_node(5);
+  EXPECT_EQ(ring.members(), (std::vector<std::uint32_t>{1, 3, 9}));
+}
+
+TEST(Ring, AddChangesReplicaSetsForOnlyAShare) {
+  // Replica-set-granularity version of AddingNodeMovesOnlyItsShare: the
+  // fraction of keys whose FULL replica set changes on a grow is bounded,
+  // and a changed set differs from the old one only by gaining the new
+  // node — no lateral reshuffling between surviving nodes. This is exactly
+  // the property the migration planner relies on to touch ~K/N keys.
+  HashRing ring;
+  for (std::uint32_t n = 0; n < 8; ++n) ring.add_node(n);
+  const auto keys = make_keys(8000);
+  std::map<std::string, std::vector<std::uint32_t>> before;
+  for (const auto& key : keys) before[key] = ring.locate(key, 3);
+  ring.add_node(8);
+  std::size_t changed = 0;
+  for (const auto& key : keys) {
+    const auto now = ring.locate(key, 3);
+    if (now == before[key]) continue;
+    ++changed;
+    EXPECT_NE(std::find(now.begin(), now.end(), 8u), now.end()) << key;
+    const std::set<std::uint32_t> old_set(before[key].begin(), before[key].end());
+    for (std::uint32_t n : now) {
+      if (n != 8u) EXPECT_TRUE(old_set.count(n)) << key;
+    }
+  }
+  // Expected share: ~replication/N = 3/9 of keys gain the new node.
+  EXPECT_GT(changed, keys.size() / 10);
+  EXPECT_LT(changed, keys.size() * 6 / 10);
+}
+
+TEST(Ring, RemoveOnlyAffectsKeysThatHeldTheNode) {
+  HashRing ring;
+  for (std::uint32_t n = 0; n < 8; ++n) ring.add_node(n);
+  const auto keys = make_keys(8000);
+  std::map<std::string, std::vector<std::uint32_t>> before;
+  for (const auto& key : keys) before[key] = ring.locate(key, 3);
+  ring.remove_node(3);
+  for (const auto& key : keys) {
+    const auto now = ring.locate(key, 3);
+    const bool held = std::find(before[key].begin(), before[key].end(), 3u) !=
+                      before[key].end();
+    if (!held) {
+      EXPECT_EQ(now, before[key]) << key;  // untouched replica sets stay
+      continue;
+    }
+    EXPECT_EQ(std::find(now.begin(), now.end(), 3u), now.end()) << key;
+    for (std::uint32_t n : before[key]) {  // survivors all keep their copy
+      if (n != 3u) {
+        EXPECT_NE(std::find(now.begin(), now.end(), n), now.end()) << key;
+      }
+    }
+  }
+}
+
+TEST(Ring, ReplicaSetsStayDistinctUnderChurn) {
+  HashRing ring;
+  for (std::uint32_t n = 0; n < 6; ++n) ring.add_node(n);
+  const std::uint32_t churn[][2] = {{1, 6}, {0, 3}, {1, 7}, {0, 0}, {1, 8}, {0, 7}};
+  const auto keys = make_keys(300);
+  for (const auto& step : churn) {
+    if (step[0] == 1) {
+      ring.add_node(step[1]);
+    } else {
+      ring.remove_node(step[1]);
+    }
+    for (const auto& key : keys) {
+      const auto reps = ring.locate(key, 3);
+      const std::set<std::uint32_t> uniq(reps.begin(), reps.end());
+      EXPECT_EQ(uniq.size(), reps.size()) << key;
+      for (std::uint32_t n : reps) EXPECT_TRUE(ring.has_node(n)) << key;
+    }
+  }
+}
+
 // Parameterized over replication factor.
 class RingReplication : public ::testing::TestWithParam<std::uint32_t> {};
 

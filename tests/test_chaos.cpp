@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "blob/client.hpp"
+#include "blob/rebalance.hpp"
 #include "common/rng.hpp"
 #include "common/strings.hpp"
 #include "persist/fault_file.hpp"
@@ -162,6 +163,8 @@ struct ChaosOutcome {
   std::uint64_t hints_written = 0;
   std::uint64_t retries = 0;
   std::uint64_t failovers = 0;
+  std::uint64_t churn_keys_moved = 0;  ///< migrated during membership churn
+  std::uint64_t dual_writes = 0;       ///< mutations mirrored into open windows
 };
 
 class ChaosRun {
@@ -253,6 +256,37 @@ class ChaosRun {
     for (int i = 0; i < 16; ++i) step();
     repair_and_verify("crash-restart");
 
+    // Phase 5: membership churn — a server joins, then leaves again, while
+    // the mixed workload keeps running. Small migration batches interleave
+    // with client ops so writes land inside the open window (dual-write
+    // protocol) and reads cross the cutover (epoch refresh). The plan's
+    // std::map ordering keeps the whole phase bit-deterministic.
+    {
+      RebalanceConfig rcfg;
+      rcfg.batch_keys = 2;  // several batches; ops interleave mid-window
+      auto grown = store_->begin_add_server(cluster_.compute_node(0), rcfg);
+      EXPECT_TRUE(grown.ok()) << "begin_add_server failed";
+      Rebalancer* rb = store_->rebalancer();
+      while (!rb->done()) {
+        EXPECT_TRUE(rb->step(&agent_).ok());
+        for (int i = 0; i < 4; ++i) step();
+      }
+      EXPECT_TRUE(rb->finalize(&agent_).ok());
+      out_.churn_keys_moved += rb->progress().keys_moved;
+      repair_and_verify("grow");
+
+      EXPECT_TRUE(store_->begin_decommission(grown.value(), rcfg).ok());
+      rb = store_->rebalancer();
+      while (!rb->done()) {
+        EXPECT_TRUE(rb->step(&agent_).ok());
+        for (int i = 0; i < 4; ++i) step();
+      }
+      EXPECT_TRUE(rb->finalize(&agent_).ok());
+      out_.churn_keys_moved += rb->progress().keys_moved;
+      repair_and_verify("shrink");
+    }
+
+    out_.dual_writes = client_->counters().dual_writes;
     out_.hints_written = client_->counters().hints_written;
     out_.retries = client_->counters().retries;
     out_.failovers = client_->counters().failovers;
@@ -459,13 +493,15 @@ TEST(Chaos, MixedWorkloadSurvivesFaultScheduleDeterministically) {
   EXPECT_GT(first.hints_written, 0u);
   EXPECT_GT(first.uncertain, 0u);  // applied-at-primary limbo was exercised
   EXPECT_EQ(first.scrub_divergence, 0u);
+  EXPECT_GT(first.churn_keys_moved, 0u);  // membership churn migrated data
 
   // CI greps for this exact marker: it only prints after every invariant
   // check above ran on a green run.
   if (!::testing::Test::HasFailure()) {
     std::printf("CHAOS_INVARIANTS_CHECKED seed=0x%llx ops=%llu acked=%llu "
                 "rejected=%llu uncertain=%llu reads=%llu keys_verified=%llu "
-                "retries=%llu hints=%llu failovers=%llu\n",
+                "retries=%llu hints=%llu failovers=%llu churn_moved=%llu "
+                "dual_writes=%llu\n",
                 static_cast<unsigned long long>(seed),
                 static_cast<unsigned long long>(first.ops),
                 static_cast<unsigned long long>(first.acked),
@@ -475,7 +511,9 @@ TEST(Chaos, MixedWorkloadSurvivesFaultScheduleDeterministically) {
                 static_cast<unsigned long long>(first.keys_verified),
                 static_cast<unsigned long long>(first.retries),
                 static_cast<unsigned long long>(first.hints_written),
-                static_cast<unsigned long long>(first.failovers));
+                static_cast<unsigned long long>(first.failovers),
+                static_cast<unsigned long long>(first.churn_keys_moved),
+                static_cast<unsigned long long>(first.dual_writes));
   }
 }
 
