@@ -1,0 +1,335 @@
+// Microbenchmarks of the overload-resilience layer: what saturation costs a
+// client with and without the defenses (bounded-backlog shedding, deadline
+// budgets, circuit breakers), how fast a shed rejection is compared to
+// waiting out a saturated queue, and what a brownout window costs the
+// foreground workload while the backlog drains. All the interesting numbers
+// are simulated time (`sim_*` counters); ns_per_op is host wall-clock for
+// the harness itself.
+//
+// `--json <path>` writes the machine-readable result file; `--metrics <path>`
+// dumps the registry snapshot after the run so CI can assert the
+// server.shed.* / client.breaker.* / client.deadline.* series exist.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "blob/client.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/strings.hpp"
+#include "obs/metrics.hpp"
+#include "rpc/transport.hpp"
+#include "support.hpp"
+
+using namespace bsc;
+
+namespace {
+
+constexpr std::uint64_t kPayload = 4096;
+constexpr int kObjects = 128;
+constexpr std::uint32_t kVictims = 2;  // saturated storage nodes per run
+
+sim::ClusterSpec rig_spec() {
+  sim::ClusterSpec s;
+  s.storage_nodes = 8;
+  return s;
+}
+
+/// Defended store: bounded backlogs are installed on the nodes by the
+/// benchmark; the client carries an op deadline budget and live breakers.
+blob::StoreConfig defended_cfg() {
+  blob::StoreConfig cfg;
+  cfg.deadline.op_deadline_us = 12000;
+  return cfg;  // BreakerPolicy defaults to enabled
+}
+
+/// Naive store: no admission control, no budget, no breakers — a request to
+/// a saturated node queues behind the whole backlog and waits it out.
+blob::StoreConfig naive_cfg() {
+  blob::StoreConfig cfg;
+  cfg.deadline.op_deadline_us = 0;
+  cfg.breaker.enabled = false;
+  return cfg;
+}
+
+/// Store preloaded with kObjects payload objects on a healthy cluster.
+struct Rig {
+  sim::Cluster cluster{rig_spec()};
+  blob::BlobStore store;
+  sim::SimAgent agent;
+  blob::BlobClient client;
+
+  explicit Rig(blob::StoreConfig cfg) : store(cluster, cfg), client(store, &agent) {
+    const Bytes data = make_payload(7, 0, kPayload);
+    for (int i = 0; i < kObjects; ++i) {
+      auto r = client.write(strfmt("o-%04d", i), 0, as_view(data));
+      if (!r.ok()) std::abort();
+    }
+  }
+};
+
+// --- goodput and tail latency under sustained saturation --------------------
+// Arg 0 = naive, Arg 1 = defended. Each iteration measures a pre-overload
+// baseline window, then holds two storage nodes at ~50ms of injected backlog
+// (external load the admission bound can see but the client did not create)
+// while the same read mix runs. Defended clients shed, open breakers, and
+// route around the victims — goodput should hold within ~20% of baseline.
+// Naive clients queue behind the backlog and tail latency collapses to the
+// backlog depth.
+
+constexpr SimMicros kSteadyBacklogUs = 50'000;
+constexpr SimMicros kInjectSliceUs = 10'000;
+constexpr SimMicros kShedBoundUs = 3'000;
+constexpr int kBaselineOps = 128;
+constexpr int kOverloadOps = 256;
+
+void BM_OverloadGoodput(benchmark::State& state) {
+  const bool defended = state.range(0) != 0;
+  Histogram lat;
+  double base_us_sum = 0.0, over_us_sum = 0.0;
+  std::uint64_t acked = 0, attempted = 0;
+  std::uint64_t sheds = 0, opens = 0, excess_service = 0, recovery = 0;
+  for (auto _ : state) {
+    state.PauseTiming();  // rig construction/preload is not the subject
+    Rig rig(defended ? defended_cfg() : naive_cfg());
+    state.ResumeTiming();
+
+    // Baseline window: the same read mix against the healthy cluster.
+    const SimMicros base_start = rig.agent.now();
+    for (int i = 0; i < kBaselineOps; ++i) {
+      auto r = rig.client.read(strfmt("o-%04d", (i * 7 + 3) % kObjects), 0, kPayload);
+      benchmark::DoNotOptimize(r.ok());
+    }
+    base_us_sum += static_cast<double>(rig.agent.now() - base_start);
+
+    if (defended) {
+      for (std::uint32_t s = 0; s < rig.store.server_count(); ++s)
+        rig.store.server(s).node().set_overload({.max_queue_us = kShedBoundUs});
+    }
+    const std::uint64_t sheds0 = rig.client.counters().sheds_observed.value();
+    const std::uint64_t opens0 = rig.client.counters().breaker_opens.value();
+    std::uint64_t busy0 = 0, injected = 0;
+    for (std::uint32_t v = 0; v < kVictims; ++v)
+      busy0 += static_cast<std::uint64_t>(rig.store.server(v).node().busy_total());
+
+    // Overload window: keep the victims' backlog topped up to the steady
+    // target (injected via serve(), i.e. load the admission check can see
+    // but that is not the measured client's own traffic).
+    const SimMicros over_start = rig.agent.now();
+    for (int i = 0; i < kOverloadOps; ++i) {
+      for (std::uint32_t v = 0; v < kVictims; ++v) {
+        sim::SimNode& n = rig.store.server(v).node();
+        while (n.queue_delay(rig.agent.now()) < kSteadyBacklogUs) {
+          n.serve(rig.agent.now(), kInjectSliceUs);
+          injected += kInjectSliceUs;
+        }
+      }
+      const SimMicros t0 = rig.agent.now();
+      auto r = rig.client.read(strfmt("o-%04d", (i * 7 + 3) % kObjects), 0, kPayload);
+      benchmark::DoNotOptimize(r.ok());
+      lat.add(static_cast<std::uint64_t>(rig.agent.now() - t0));
+      ++attempted;
+      if (r.ok()) ++acked;
+    }
+    over_us_sum += static_cast<double>(rig.agent.now() - over_start);
+
+    sheds += rig.client.counters().sheds_observed.value() - sheds0;
+    opens += rig.client.counters().breaker_opens.value() - opens0;
+    std::uint64_t busy1 = 0;
+    SimMicros worst_drain = 0;
+    for (std::uint32_t v = 0; v < kVictims; ++v) {
+      sim::SimNode& n = rig.store.server(v).node();
+      busy1 += static_cast<std::uint64_t>(n.busy_total());
+      worst_drain = std::max(worst_drain, n.queue_delay(rig.agent.now()));
+    }
+    excess_service += (busy1 - busy0) - injected;  // client-contributed load
+    recovery += static_cast<std::uint64_t>(worst_drain);
+  }
+  state.SetLabel(defended ? "defended" : "naive");
+  const auto iters = static_cast<double>(state.iterations());
+  const double base_per_op = iters > 0 ? base_us_sum / (iters * kBaselineOps) : 0.0;
+  const double over_per_acked =
+      acked > 0 ? over_us_sum / static_cast<double>(acked) : 0.0;
+  state.counters["sim_us_per_op"] = benchmark::Counter(over_per_acked);
+  state.counters["sim_p50_us"] =
+      benchmark::Counter(static_cast<double>(lat.percentile(50)));
+  state.counters["sim_p99_us"] =
+      benchmark::Counter(static_cast<double>(lat.percentile(99)));
+  state.counters["sim_baseline_us_per_op"] = benchmark::Counter(base_per_op);
+  state.counters["goodput_vs_baseline"] = benchmark::Counter(
+      over_per_acked > 0 ? base_per_op / over_per_acked : 0.0);
+  state.counters["acked_fraction"] = benchmark::Counter(
+      attempted > 0 ? static_cast<double>(acked) / static_cast<double>(attempted) : 0.0);
+  state.counters["sheds_per_run"] =
+      benchmark::Counter(iters > 0 ? static_cast<double>(sheds) / iters : 0.0);
+  state.counters["breaker_opens_per_run"] =
+      benchmark::Counter(iters > 0 ? static_cast<double>(opens) / iters : 0.0);
+  state.counters["victim_excess_service_us"] =
+      benchmark::Counter(iters > 0 ? static_cast<double>(excess_service) / iters : 0.0);
+  state.counters["sim_residual_backlog_us"] =
+      benchmark::Counter(iters > 0 ? static_cast<double>(recovery) / iters : 0.0);
+}
+BENCHMARK(BM_OverloadGoodput)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+// --- shed rejection vs. queueing behind the backlog -------------------------
+// Raw transport attempt against a node holding ~20ms of backlog, re-topped
+// every call. Arg = max_queue_us admission bound (0 = unbounded). Unbounded,
+// the delivered call waits out the whole queue; bounded, the server bounces
+// it at admission for the cost of one small round trip. The spread is the
+// per-attempt price of NOT having admission control.
+
+void BM_ShedFastFail(benchmark::State& state) {
+  const auto bound = static_cast<SimMicros>(state.range(0));
+  sim::Cluster cluster{rig_spec()};
+  rpc::Transport t(cluster);
+  sim::SimNode& node = cluster.storage_node(0);
+  node.set_overload({.max_queue_us = bound});
+  sim::SimAgent agent;
+  Histogram lat;
+  std::uint64_t sheds = 0;
+  for (auto _ : state) {
+    while (node.queue_delay(agent.now()) < 20'000) node.serve(agent.now(), 5'000);
+    const SimMicros t0 = agent.now();
+    auto r = t.call(agent, node, kPayload, kPayload, /*server_service_us=*/200);
+    benchmark::DoNotOptimize(r.ok());
+    lat.add(static_cast<std::uint64_t>(agent.now() - t0));
+    if (!r.ok() && r.code() == Errc::overloaded) ++sheds;
+  }
+  state.SetLabel(bound == 0 ? "unbounded-queue" : strfmt("bound=%lluus",
+                     static_cast<unsigned long long>(bound)));
+  const auto iters = static_cast<double>(state.iterations());
+  state.counters["sim_us_per_op"] = benchmark::Counter(
+      iters > 0 ? static_cast<double>(agent.now()) / iters : 0.0);
+  state.counters["sim_p50_us"] =
+      benchmark::Counter(static_cast<double>(lat.percentile(50)));
+  state.counters["sim_p99_us"] =
+      benchmark::Counter(static_cast<double>(lat.percentile(99)));
+  state.counters["shed_fraction"] = benchmark::Counter(
+      iters > 0 ? static_cast<double>(sheds) / iters : 0.0);
+}
+BENCHMARK(BM_ShedFastFail)->Arg(0)->Arg(2000)->Unit(benchmark::kMicrosecond);
+
+// --- brownout recovery -------------------------------------------------------
+// One 100ms burst lands on a single node, then the read mix keeps running
+// until the backlog fully drains. The backlog drains at one simulated
+// microsecond per microsecond either way; what differs is what the
+// foreground got done meanwhile. Defended clients shed/route around the
+// victim and complete a window full of fast ops; naive clients stall on it
+// for the remaining backlog, so the same wall of simulated time carries a
+// handful of ops and a collapsed tail.
+
+constexpr SimMicros kBurstUs = 100'000;
+constexpr int kBrownoutOpCap = 4096;
+
+void BM_BrownoutRecovery(benchmark::State& state) {
+  const bool defended = state.range(0) != 0;
+  Histogram lat;
+  std::uint64_t recovery = 0, ops_done = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Rig rig(defended ? defended_cfg() : naive_cfg());
+    state.ResumeTiming();
+    sim::SimNode& victim = rig.store.server(0).node();
+    if (defended) victim.set_overload({.max_queue_us = kShedBoundUs});
+    victim.serve(rig.agent.now(), kBurstUs);
+    const SimMicros burst_at = rig.agent.now();
+    int ops = 0;
+    while (victim.queue_delay(rig.agent.now()) > 0 && ops < kBrownoutOpCap) {
+      const SimMicros t0 = rig.agent.now();
+      auto r = rig.client.read(strfmt("o-%04d", (ops * 7 + 3) % kObjects), 0, kPayload);
+      benchmark::DoNotOptimize(r.ok());
+      lat.add(static_cast<std::uint64_t>(rig.agent.now() - t0));
+      ++ops;
+    }
+    recovery += static_cast<std::uint64_t>(rig.agent.now() - burst_at);
+    ops_done += static_cast<std::uint64_t>(ops);
+  }
+  state.SetLabel(defended ? "defended" : "naive");
+  const auto iters = static_cast<double>(state.iterations());
+  state.counters["sim_recovery_us"] = benchmark::Counter(
+      iters > 0 ? static_cast<double>(recovery) / iters : 0.0);
+  state.counters["sim_us_per_op"] = benchmark::Counter(
+      ops_done > 0 ? static_cast<double>(recovery) / static_cast<double>(ops_done) : 0.0);
+  state.counters["ops_in_brownout"] =
+      benchmark::Counter(iters > 0 ? static_cast<double>(ops_done) / iters : 0.0);
+  state.counters["sim_p50_us"] =
+      benchmark::Counter(static_cast<double>(lat.percentile(50)));
+  state.counters["sim_p99_us"] =
+      benchmark::Counter(static_cast<double>(lat.percentile(99)));
+}
+BENCHMARK(BM_BrownoutRecovery)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+/// Console reporter that also captures every run for `--json <path>` output
+/// (the machine-readable perf trajectory; schema in EXPERIMENTS.md).
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      bench::BenchResult r;
+      r.name = run.benchmark_name();
+      r.iterations = static_cast<std::uint64_t>(run.iterations);
+      r.ns_per_op = run.iterations > 0
+                        ? run.real_accumulated_time * 1e9 / static_cast<double>(run.iterations)
+                        : 0.0;
+      auto bps = run.counters.find("bytes_per_second");
+      if (bps != run.counters.end()) r.bytes_per_s = bps->second;
+      auto sim = run.counters.find("sim_us_per_op");
+      if (sim != run.counters.end()) r.sim_us_per_op = sim->second;
+      auto p50 = run.counters.find("sim_p50_us");
+      if (p50 != run.counters.end()) r.sim_p50_us = p50->second;
+      auto p99 = run.counters.find("sim_p99_us");
+      if (p99 != run.counters.end()) r.sim_p99_us = p99->second;
+      results.push_back(std::move(r));
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  std::vector<bench::BenchResult> results;
+};
+
+/// Extract and remove a `--metrics <path>` argument pair (mirrors
+/// bench::take_json_path; the registry snapshot goes there after the run).
+std::string take_metrics_path(int* argc, char** argv) {
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics") == 0) {
+      if (i + 1 >= *argc) return {};
+      std::string path = argv[i + 1];
+      for (int j = i; j + 2 < *argc; ++j) argv[j] = argv[j + 2];
+      *argc -= 2;
+      return path;
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json = bench::take_json_path(&argc, argv);
+  const std::string metrics = take_metrics_path(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!json.empty() &&
+      !bench::write_bench_json(json, bench::collect_run_meta("micro_overload"),
+                               reporter.results)) {
+    return 1;
+  }
+  if (!metrics.empty()) {
+    const std::string out = obs::MetricsRegistry::global().snapshot().to_json();
+    std::FILE* f = std::fopen(metrics.c_str(), "wb");
+    if (!f || std::fwrite(out.data(), 1, out.size(), f) != out.size()) {
+      std::fprintf(stderr, "cannot write metrics snapshot: %s\n", metrics.c_str());
+      if (f) std::fclose(f);
+      return 1;
+    }
+    std::fclose(f);
+  }
+  return 0;
+}

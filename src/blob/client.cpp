@@ -101,6 +101,28 @@ struct ClientMetrics {
       obs::MetricsRegistry::global().counter("client.batch.retries");
   obs::Counter& dual_writes =
       obs::MetricsRegistry::global().counter("rebalance.dual_writes");
+  // Overload resilience: end-to-end deadline budgets, the client-wide retry
+  // token bucket, and the per-node circuit breakers.
+  obs::Counter& deadline_exceeded =
+      obs::MetricsRegistry::global().counter("client.deadline.exceeded");
+  obs::Counter& deadline_clamped =
+      obs::MetricsRegistry::global().counter("client.deadline.clamped_attempts");
+  obs::Counter& retries_suppressed =
+      obs::MetricsRegistry::global().counter("client.deadline.retries_suppressed");
+  obs::Counter& sheds_observed =
+      obs::MetricsRegistry::global().counter("client.breaker.sheds_observed");
+  obs::Counter& breaker_opens =
+      obs::MetricsRegistry::global().counter("client.breaker.opens");
+  obs::Counter& breaker_closes =
+      obs::MetricsRegistry::global().counter("client.breaker.closes");
+  obs::Counter& breaker_probes =
+      obs::MetricsRegistry::global().counter("client.breaker.probes");
+  obs::Counter& breaker_fast_hints =
+      obs::MetricsRegistry::global().counter("client.breaker.fast_hints");
+  obs::Counter& breaker_demotions =
+      obs::MetricsRegistry::global().counter("client.breaker.demotions");
+  obs::Gauge& breaker_open_nodes =
+      obs::MetricsRegistry::global().gauge("client.breaker.open_nodes");
 };
 
 ClientMetrics& client_metrics() {
@@ -137,7 +159,8 @@ class PrimTimer {
 
 BlobClient::AttemptPlan BlobClient::plan_attempt(BlobServer& srv, SimMicros attempt_start,
                                                  std::uint64_t request_bytes,
-                                                 std::uint32_t batch_subs) {
+                                                 std::uint32_t batch_subs,
+                                                 SimMicros attempt_deadline_us) {
   const auto& net = store_->cluster().net();
   rpc::FaultVerdict v =
       batch_subs > 0
@@ -152,7 +175,10 @@ BlobClient::AttemptPlan BlobClient::plan_attempt(BlobServer& srv, SimMicros atte
     case rpc::FaultVerdict::Kind::drop: {
       // Lost request: indistinguishable from a slow reply, so the client
       // burns the whole per-attempt deadline before concluding timeout.
-      const SimMicros deadline = store_->config().retry.attempt_deadline_us;
+      // Callers with an op budget pass the remaining-budget clamp in.
+      const SimMicros deadline = attempt_deadline_us > 0
+                                     ? attempt_deadline_us
+                                     : store_->config().retry.attempt_deadline_us;
       plan.failed_at = attempt_start +
                        (deadline > 0 ? deadline : rpc::Transport::kDefaultDropWaitUs);
       plan.err = Errc::timeout;
@@ -167,6 +193,14 @@ BlobClient::AttemptPlan BlobClient::plan_attempt(BlobServer& srv, SimMicros atte
       // Connection refused: detected after the send attempt.
       plan.failed_at = attempt_start + net.transfer_us(request_bytes);
       plan.err = Errc::unavailable;
+      return plan;
+    case rpc::FaultVerdict::Kind::shed:
+      // Bounced at the server's backlog bound: request out, tiny reject
+      // back — fast fail, not a burned deadline.
+      plan.failed_at = attempt_start + 2 * net.transfer_us(request_bytes);
+      plan.err = Errc::overloaded;
+      counters_.sheds_observed.inc();
+      client_metrics().sheds_observed.inc();
       return plan;
   }
   plan.failed_at = attempt_start;
@@ -186,26 +220,195 @@ SimMicros BlobClient::next_backoff(SimMicros* prev) {
   return sleep;
 }
 
+// --- overload resilience helpers -------------------------------------------
+
+BlobClient::OpBudget::OpBudget(BlobClient& c, SimMicros start) : c_(&c) {
+  const SimMicros budget = c.store_->config().deadline.op_deadline_us;
+  if (budget > 0 && c.op_deadline_at_ == 0) {
+    c.op_deadline_at_ = start + budget;
+    installed_ = true;
+  }
+}
+
+BlobClient::OpBudget::~OpBudget() {
+  if (installed_) c_->op_deadline_at_ = 0;
+}
+
+SimMicros BlobClient::attempt_deadline_at(SimMicros t) const noexcept {
+  const SimMicros policy = store_->config().retry.attempt_deadline_us;
+  if (op_deadline_at_ == 0) return policy;
+  const SimMicros remaining =
+      op_deadline_at_ > t ? op_deadline_at_ - t : 1;
+  if (policy == 0 || remaining < policy) {
+    return std::max<SimMicros>(1, remaining);
+  }
+  return policy;
+}
+
+void BlobClient::health_on_success(std::uint32_t node, SimMicros latency_us) {
+  if (!store_->config().breaker.enabled) return;
+  const BreakerPolicy& bp = store_->config().breaker;
+  std::lock_guard<std::mutex> lk(health_mu_);
+  NodeHealth& h = health_[node];
+  h.consecutive_failures = 0;
+  if (latency_us > 0) {  // 0 = delivery confirmation only, no latency sample
+    h.ewma_latency_us = h.samples == 0
+                            ? static_cast<double>(latency_us)
+                            : bp.ewma_alpha * static_cast<double>(latency_us) +
+                                  (1.0 - bp.ewma_alpha) * h.ewma_latency_us;
+    ++h.samples;
+    fleet_ewma_us_ = fleet_samples_ == 0
+                         ? static_cast<double>(latency_us)
+                         : bp.ewma_alpha * static_cast<double>(latency_us) +
+                               (1.0 - bp.ewma_alpha) * fleet_ewma_us_;
+    ++fleet_samples_;
+  }
+  if (h.state == NodeHealth::Breaker::half_open) {
+    if (++h.half_open_successes >= bp.half_open_probes) {
+      h.state = NodeHealth::Breaker::closed;
+      h.half_open_successes = 0;
+      counters_.breaker_closes.inc();
+      client_metrics().breaker_closes.inc();
+      client_metrics().breaker_open_nodes.add(-1);
+    }
+  }
+}
+
+void BlobClient::health_on_failure(std::uint32_t node, SimMicros now) {
+  if (!store_->config().breaker.enabled) return;
+  const BreakerPolicy& bp = store_->config().breaker;
+  std::lock_guard<std::mutex> lk(health_mu_);
+  NodeHealth& h = health_[node];
+  ++h.consecutive_failures;
+  if (h.state == NodeHealth::Breaker::half_open ||
+      (h.state == NodeHealth::Breaker::closed &&
+       h.consecutive_failures >= bp.failure_threshold)) {
+    if (h.state == NodeHealth::Breaker::closed) {
+      client_metrics().breaker_open_nodes.add(1);
+    }
+    h.state = NodeHealth::Breaker::open;
+    h.opened_at = now;
+    h.half_open_successes = 0;
+    counters_.breaker_opens.inc();
+    client_metrics().breaker_opens.inc();
+  }
+}
+
+bool BlobClient::breaker_allows(std::uint32_t node, SimMicros now) {
+  if (!store_->config().breaker.enabled) return true;
+  const BreakerPolicy& bp = store_->config().breaker;
+  std::lock_guard<std::mutex> lk(health_mu_);
+  auto it = health_.find(node);
+  if (it == health_.end()) return true;
+  NodeHealth& h = it->second;
+  switch (h.state) {
+    case NodeHealth::Breaker::closed:
+      return true;
+    case NodeHealth::Breaker::open:
+      if (now >= h.opened_at + bp.open_cooldown_us) {
+        h.state = NodeHealth::Breaker::half_open;
+        h.half_open_successes = 0;
+        counters_.breaker_probes.inc();
+        client_metrics().breaker_probes.inc();
+        return true;  // this caller is the first probe
+      }
+      return false;
+    case NodeHealth::Breaker::half_open:
+      counters_.breaker_probes.inc();
+      client_metrics().breaker_probes.inc();
+      return true;  // half-open admits single probes
+  }
+  return true;
+}
+
+bool BlobClient::is_suspect(std::uint32_t node) {
+  if (!store_->config().breaker.enabled) return false;
+  const BreakerPolicy& bp = store_->config().breaker;
+  std::lock_guard<std::mutex> lk(health_mu_);
+  auto it = health_.find(node);
+  if (it == health_.end()) return false;
+  const NodeHealth& h = it->second;
+  if (h.state != NodeHealth::Breaker::closed) return true;
+  return h.samples >= bp.suspect_min_samples && fleet_samples_ > 0 &&
+         h.ewma_latency_us > bp.suspect_latency_factor * fleet_ewma_us_;
+}
+
+void BlobClient::demote_suspects(std::vector<std::uint32_t>& candidates) {
+  if (!store_->config().breaker.enabled || candidates.size() < 2) return;
+  // Candidates are server indices; health is keyed by SimNode id.
+  const auto suspect_idx = [this](std::uint32_t server_index) {
+    return is_suspect(store_->server(server_index).node().id());
+  };
+  const auto first_suspect =
+      std::find_if(candidates.begin(), candidates.end(), suspect_idx);
+  if (first_suspect == candidates.end()) return;
+  std::stable_partition(
+      candidates.begin(), candidates.end(),
+      [&suspect_idx](std::uint32_t n) { return !suspect_idx(n); });
+  counters_.breaker_demotions.inc();
+  client_metrics().breaker_demotions.inc();
+}
+
+BlobClient::NodeHealth::Breaker BlobClient::breaker_state(std::uint32_t node) {
+  std::lock_guard<std::mutex> lk(health_mu_);
+  auto it = health_.find(node);
+  return it == health_.end() ? NodeHealth::Breaker::closed : it->second.state;
+}
+
 BlobClient::LegDelivery BlobClient::try_deliver(BlobServer& srv, SimMicros start,
                                                 std::uint64_t request_bytes,
                                                 std::uint32_t batch_subs) {
   const RetryPolicy& rp = store_->config().retry;
+  const DeadlinePolicy& dp = store_->config().deadline;
   const std::uint32_t attempts = std::max<std::uint32_t>(1, rp.max_attempts);
+  const std::uint32_t node = srv.node().id();
   SimMicros t = start;
   SimMicros prev = rp.backoff_base_us;
   LegDelivery out;
+  // Each fresh leg earns retry tokens; each retry below spends one. The
+  // bucket is client-wide, so a correlated failure drains it and retries
+  // stop fleet-wide instead of amplifying the overload.
+  const bool bucket_on = dp.retry_token_cap > 0.0;
+  if (bucket_on) {
+    if (retry_tokens_ < 0.0) retry_tokens_ = dp.retry_token_cap;  // initial fill
+    retry_tokens_ = std::min(dp.retry_token_cap, retry_tokens_ + dp.retry_token_ratio);
+  }
   for (std::uint32_t a = 0; a < attempts; ++a) {
     if (a > 0) {
+      if (bucket_on && retry_tokens_ < 1.0) {
+        counters_.retries_suppressed.inc();
+        client_metrics().retries_suppressed.inc();
+        break;
+      }
+      if (bucket_on) retry_tokens_ -= 1.0;
       t += next_backoff(&prev);
       counters_.retries.inc();
     }
-    AttemptPlan p = plan_attempt(srv, t, request_bytes, batch_subs);
+    // End-to-end budget: stop before sending an attempt the op can no
+    // longer afford (spent budget means the caller already missed its
+    // deadline — more attempts are pure retry amplification).
+    if (op_deadline_at_ > 0 && t >= op_deadline_at_) {
+      out.err = Errc::deadline_exceeded;
+      counters_.deadline_exceeded.inc();
+      client_metrics().deadline_exceeded.inc();
+      break;
+    }
+    SimMicros attempt_deadline = 0;
+    if (op_deadline_at_ > 0) {
+      attempt_deadline = attempt_deadline_at(t);
+      if (attempt_deadline < rp.attempt_deadline_us) {
+        client_metrics().deadline_clamped.inc();
+      }
+    }
+    AttemptPlan p = plan_attempt(srv, t, request_bytes, batch_subs, attempt_deadline);
     if (p.delivered) {
       out.ok = true;
       out.attempt_start = t;
       out.extra_latency_us = p.extra_latency_us;
+      health_on_success(node, 0);  // latency EWMA is fed at leg completion
       return out;
     }
+    health_on_failure(node, p.failed_at);
     t = p.failed_at;
     out.err = p.err;
   }
@@ -387,6 +590,18 @@ Status BlobClient::mutation_leg(const std::string& ekey,
     if (!rep.version_matches(ekey, pre_version)) {
       // Behind (missed earlier ops): applying would interleave histories.
       missed.push_back(rid);
+      continue;
+    }
+    if (store_->config().write_quorum > 0 &&
+        !breaker_allows(store_->server(rid).node().id(), prim_done)) {
+      // Open breaker on a quorum-mode forward: convert straight to a hint
+      // (recorded with the other misses below) instead of burning the
+      // retry/timeout ladder against a replica already known to be failing.
+      // Classic mode (W=0) keeps trying — there every live replica must ack
+      // and there is no hint repair path to absorb the miss.
+      missed.push_back(rid);
+      counters_.breaker_fast_hints.inc();
+      client_metrics().breaker_fast_hints.inc();
       continue;
     }
     LegDelivery d = try_deliver(rep, prim_done, req);
@@ -769,6 +984,16 @@ Status BlobClient::mutation_group_leg(std::vector<BatchSub*>& subs,
       }
     }
     if (fwd.empty()) continue;
+    if (store_->config().write_quorum > 0 &&
+        !breaker_allows(store_->server(rid).node().id(),
+                        prim_sub_done[fwd.front()])) {
+      // Open breaker on a quorum-mode forward: hint instead of burning the
+      // retry ladder (same gate as the per-leg path in mutation_leg).
+      for (std::size_t j : fwd) st[run_idx[j]].missed.push_back(rid);
+      counters_.breaker_fast_hints.inc();
+      client_metrics().breaker_fast_hints.inc();
+      continue;
+    }
     // One forward envelope per node (one fault decision), opened when the
     // FIRST forwarded sub streams out of the primary.
     LegDelivery d = try_deliver(rep, prim_sub_done[fwd.front()], req,
@@ -1335,7 +1560,9 @@ Result<ReadOutcome> BlobClient::read_leg(const std::string& ekey, std::uint64_t 
     // Candidate servers to read from, in preference order. With R == 1
     // every live replica is equally fresh (writes ack on all live
     // replicas); with R > 1 a version-probe round first finds the freshest
-    // responders.
+    // responders. Suspect replicas (open/half-open breaker, or a latency
+    // EWMA far above the fleet — gray failure) are demoted to the back:
+    // still reachable for availability, tried last.
     std::vector<std::uint32_t> candidates = lives;
     SimMicros t = start;
     if (R > 1) {
@@ -1352,6 +1579,7 @@ Result<ReadOutcome> BlobClient::read_leg(const std::string& ekey, std::uint64_t 
       }
       candidates = probe.fresh;
     }
+    demote_suspects(candidates);
 
     bool stale = false;
     Error last{Errc::unavailable, "unreachable: " + ekey};
@@ -1387,7 +1615,11 @@ Result<ReadOutcome> BlobClient::read_leg(const std::string& ekey, std::uint64_t 
       // Hedging: when this leg ran past the hedge delay, a speculative copy
       // of the request goes to the next equally fresh candidate, and the
       // caller takes whichever reply lands first (contents are identical).
-      const SimMicros delay = hedge_delay();
+      // A suspect serving replica is hedged against at half the delay — the
+      // whole point of tracking gray failure is not waiting the full p99
+      // on a node already known to be slow.
+      SimMicros delay = hedge_delay();
+      if (delay > 1 && is_suspect(srv.node().id())) delay /= 2;
       if (delay > 0 && comp - d.attempt_start > delay && i + 1 < candidates.size()) {
         counters_.hedges.inc();
         BlobServer& alt = store_->server(candidates[i + 1]);
@@ -1406,6 +1638,7 @@ Result<ReadOutcome> BlobClient::read_leg(const std::string& ekey, std::uint64_t 
         }
       }
       read_latency_.add(static_cast<std::uint64_t>(comp - d.attempt_start));
+      health_on_success(srv.node().id(), comp - d.attempt_start);
       *completion = comp;
       return r;  // a delivered reply is authoritative, not_found included
     }
@@ -1521,6 +1754,7 @@ Result<std::uint64_t> BlobClient::peek_logical_size(const std::string& ekey) {
 Status BlobClient::create(std::string_view key) {
   counters_.creates.inc();
   PrimTimer timer(client_metrics().create, agent_, key);
+  OpBudget budget(*this, agent_ ? agent_->now() : 0);
   if (key.empty()) return {Errc::invalid_argument, "empty blob key"};
   cache_erase(std::string{key});
   return replicated_mutation(
@@ -1530,6 +1764,7 @@ Status BlobClient::create(std::string_view key) {
 Status BlobClient::remove(std::string_view key) {
   counters_.removes.inc();
   PrimTimer timer(client_metrics().remove, agent_, key);
+  OpBudget budget(*this, agent_ ? agent_->now() : 0);
   const std::uint64_t cb = store_->config().chunk_bytes;
   const std::string base{key};
 
@@ -1599,6 +1834,7 @@ Result<Bytes> BlobClient::read(std::string_view key, std::uint64_t offset,
                                std::uint64_t len) {
   counters_.reads.inc();
   PrimTimer timer(client_metrics().read, agent_, key);
+  OpBudget budget(*this, agent_ ? agent_->now() : 0);
   const std::uint64_t cb = store_->config().chunk_bytes;
   if (cb == 0 || offset + len <= cb) {
     // Single-chunk fast path: one leg (failover/quorum logic inside).
@@ -1682,6 +1918,7 @@ Result<Bytes> BlobClient::read(std::string_view key, std::uint64_t offset,
 Result<std::uint64_t> BlobClient::size(std::string_view key) {
   counters_.sizes.inc();
   PrimTimer timer(client_metrics().size, agent_, key);
+  OpBudget budget(*this, agent_ ? agent_->now() : 0);
   const SimMicros start = agent_ ? agent_->now() : 0;
   SimMicros comp = start;
   // Chunk 0 carries the full logical size of a striped blob.
@@ -1693,6 +1930,7 @@ Result<std::uint64_t> BlobClient::size(std::string_view key) {
 
 Result<BlobStat> BlobClient::stat(std::string_view key) {
   PrimTimer timer(client_metrics().stat, agent_, key);
+  OpBudget budget(*this, agent_ ? agent_->now() : 0);
   const SimMicros start = agent_ ? agent_->now() : 0;
   SimMicros comp = start;
   auto s = stat_leg(std::string{key}, start, &comp);
@@ -1706,6 +1944,7 @@ Result<std::uint64_t> BlobClient::write(std::string_view key, std::uint64_t offs
                                         ByteView data) {
   counters_.writes.inc();
   PrimTimer timer(client_metrics().write, agent_, key);
+  OpBudget budget(*this, agent_ ? agent_->now() : 0);
   if (key.empty()) return {Errc::invalid_argument, "empty blob key"};
   const std::uint64_t cb = store_->config().chunk_bytes;
   const std::uint64_t end = offset + data.size();
@@ -1814,6 +2053,7 @@ Result<std::uint64_t> BlobClient::write(std::string_view key, std::uint64_t offs
 Status BlobClient::truncate(std::string_view key, std::uint64_t new_size) {
   counters_.truncates.inc();
   PrimTimer timer(client_metrics().truncate, agent_, key);
+  OpBudget budget(*this, agent_ ? agent_->now() : 0);
   const std::uint64_t cb = store_->config().chunk_bytes;
   const std::string base{key};
 
@@ -1916,6 +2156,7 @@ Status BlobClient::truncate(std::string_view key, std::uint64_t new_size) {
 Result<std::vector<BlobStat>> BlobClient::scan(std::string_view prefix) {
   counters_.scans.inc();
   PrimTimer timer(client_metrics().scan, agent_, prefix);
+  OpBudget budget(*this, agent_ ? agent_->now() : 0);
   const auto& net = store_->cluster().net();
   const SimMicros start = agent_ ? agent_->now() : 0;
   const std::string pfx{prefix};
@@ -1987,6 +2228,7 @@ BlobTransaction& BlobTransaction::expect_version(std::string_view key, Version v
 Status BlobTransaction::commit() {
   BlobClient& c = *client_;
   c.counters_.txns.inc();
+  BlobClient::OpBudget budget(c, c.agent() ? c.agent()->now() : 0);
   // Both branches must already be string_views: a ""/std::string ternary
   // would materialize a temporary string that dies here while the timer's
   // view of it lives until end of commit().

@@ -28,6 +28,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -82,6 +83,15 @@ struct ClientCounters {
   obs::LocalCounter stale_epoch_retries; ///< legs re-run after a stale-epoch stamp
   obs::LocalCounter dual_writes;         ///< mutations mirrored to pending new owners
   obs::LocalCounter batch_retries;       ///< whole-envelope re-sends before degrading
+  // Overload resilience (see DESIGN.md "Overload model").
+  obs::LocalCounter sheds_observed;      ///< attempts bounced Errc::overloaded
+  obs::LocalCounter deadline_exceeded;   ///< ops stopped with the budget spent
+  obs::LocalCounter retries_suppressed;  ///< retries the drained token bucket refused
+  obs::LocalCounter breaker_opens;       ///< closed/half_open -> open transitions
+  obs::LocalCounter breaker_closes;      ///< half_open -> closed transitions
+  obs::LocalCounter breaker_probes;      ///< half-open single probes admitted
+  obs::LocalCounter breaker_fast_hints;  ///< forwards converted straight to hints
+  obs::LocalCounter breaker_demotions;   ///< read candidates reordered past a suspect
 };
 
 class BlobTransaction;
@@ -134,9 +144,12 @@ class BlobClient {
   };
   /// `batch_subs` > 0 marks the attempt as a multi-op batch envelope: one
   /// fault verdict for the whole envelope (drawn via Transport::admit_batch
-  /// so batch traffic is accounted separately).
+  /// so batch traffic is accounted separately). `attempt_deadline_us`
+  /// overrides the policy per-attempt deadline for the drop wait (the
+  /// remaining-op-budget clamp); 0 = use the policy value.
   AttemptPlan plan_attempt(BlobServer& srv, SimMicros attempt_start,
-                           std::uint64_t request_bytes, std::uint32_t batch_subs = 0);
+                           std::uint64_t request_bytes, std::uint32_t batch_subs = 0,
+                           SimMicros attempt_deadline_us = 0);
 
   /// Decorrelated-jitter backoff (simulated time): sleep drawn uniformly
   /// from [base, prev*3], clamped to the policy cap. Mutates *prev.
@@ -235,6 +248,60 @@ class BlobClient {
   /// once warmed up, else the fixed delay (0 = hedging dormant).
   [[nodiscard]] SimMicros hedge_delay() const;
 
+  // --- overload resilience (deadline budgets + per-node breakers) ----------
+
+  /// RAII per-operation deadline budget: the outermost public primitive
+  /// installs `start + DeadlinePolicy::op_deadline_us` as the absolute
+  /// simulated-time budget; nested legs/retries/hedges all clamp against it
+  /// through op_deadline_at(). No-op when the policy is unbounded or a
+  /// budget is already installed (nested primitive).
+  class OpBudget {
+   public:
+    OpBudget(BlobClient& c, SimMicros start);
+    ~OpBudget();
+    OpBudget(const OpBudget&) = delete;
+    OpBudget& operator=(const OpBudget&) = delete;
+
+   private:
+    BlobClient* c_;
+    bool installed_ = false;
+  };
+
+  [[nodiscard]] SimMicros op_deadline_at() const noexcept { return op_deadline_at_; }
+  /// Per-attempt deadline at send time `t`: the policy attempt deadline
+  /// clamped to whatever op budget remains (>= 1 so a drop never waits 0).
+  [[nodiscard]] SimMicros attempt_deadline_at(SimMicros t) const noexcept;
+
+  /// Per-replica health: latency EWMA + consecutive-failure breaker.
+  /// Updated by try_deliver outcomes; guarded by health_mu_ because batched
+  /// group legs fan out on the thread pool in fault-free runs (under a fault
+  /// injector everything is sequential, keeping chaos traces deterministic).
+  struct NodeHealth {
+    enum class Breaker { closed, open, half_open };
+    Breaker state = Breaker::closed;
+    std::uint32_t consecutive_failures = 0;
+    std::uint32_t half_open_successes = 0;
+    SimMicros opened_at = 0;
+    double ewma_latency_us = 0.0;
+    std::uint64_t samples = 0;
+  };
+  /// Record one delivered (latency-bearing) or failed attempt against node.
+  /// `node` is the SimNode id (what try_deliver sees), NOT the server index;
+  /// demote_suspects converts from candidate server indices at its boundary.
+  void health_on_success(std::uint32_t node, SimMicros latency_us);
+  void health_on_failure(std::uint32_t node, SimMicros now);
+  /// Breaker gate for non-mandatory traffic to `node` at time `now`.
+  /// closed -> allowed; open past its cooldown -> transitions to half_open
+  /// and admits this caller as the single probe; open otherwise -> refused.
+  [[nodiscard]] bool breaker_allows(std::uint32_t node, SimMicros now);
+  /// Suspect = breaker not closed, or warmed-up latency EWMA far above the
+  /// fleet mean (gray failure: up but slow).
+  [[nodiscard]] bool is_suspect(std::uint32_t node);
+  /// Stable-partition healthy candidates ahead of suspects (availability is
+  /// preserved: suspects stay in the list, at the back).
+  void demote_suspects(std::vector<std::uint32_t>& candidates);
+  [[nodiscard]] NodeHealth::Breaker breaker_state(std::uint32_t node);
+
   // --- batched scatter-gather (StoreConfig::batched_striping) --------------
 
   /// One chunk-granular mutation of a batched wave. `op.key` is fixed up to
@@ -313,6 +380,13 @@ class BlobClient {
   std::unordered_map<std::string, MetaEntry> meta_cache_;
   std::unordered_map<std::string, Placement> place_cache_;
   std::unique_ptr<ThreadPool> pool_;
+  // Overload resilience state.
+  SimMicros op_deadline_at_ = 0;  ///< absolute budget of the op in flight (0 = none)
+  double retry_tokens_ = -1.0;    ///< client-wide bucket; <0 = fill on first use
+  std::mutex health_mu_;          ///< guards health_ (pool fan-out, fault-free runs)
+  std::unordered_map<std::uint32_t, NodeHealth> health_;
+  double fleet_ewma_us_ = 0.0;    ///< all-node latency EWMA (suspect baseline)
+  std::uint64_t fleet_samples_ = 0;
 };
 
 /// A batch of mutations committed atomically across blobs. Preconditions

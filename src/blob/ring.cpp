@@ -10,21 +10,35 @@ namespace bsc::blob {
 HashRing::HashRing(std::uint32_t vnodes_per_node)
     : vnodes_(vnodes_per_node ? vnodes_per_node : 1) {}
 
-void HashRing::add_node(std::uint32_t node_id) {
+void HashRing::add_node(std::uint32_t node_id, double weight) {
+  if (!(weight > 0.0)) weight = 1.0;  // nonsense weights degrade to default
   if (!nodes_.insert(node_id).second) return;
-  for (std::uint32_t v = 0; v < vnodes_; ++v) {
+  // Capacity weighting: the member takes round(weight * vnodes) points, so
+  // its expected key share is proportional to weight (each vnode owns an
+  // i.i.d. arc of the ring). At least one point — a member with no points
+  // would silently hold no data while counting toward replica fan-out.
+  const auto count = static_cast<std::uint32_t>(std::max(
+      1.0, weight * static_cast<double>(vnodes_) + 0.5));
+  for (std::uint32_t v = 0; v < count; ++v) {
     const std::uint64_t point = mix64(hash_combine(mix64(node_id), v));
     ring_.emplace(point, node_id);
   }
+  weights_[node_id] = weight;
   ++epoch_;
 }
 
 void HashRing::remove_node(std::uint32_t node_id) {
   if (nodes_.erase(node_id) == 0) return;
+  weights_.erase(node_id);
   for (auto it = ring_.begin(); it != ring_.end();) {
     it = it->second == node_id ? ring_.erase(it) : std::next(it);
   }
   ++epoch_;
+}
+
+double HashRing::weight_of(std::uint32_t node_id) const {
+  const auto it = weights_.find(node_id);
+  return it == weights_.end() ? 1.0 : it->second;
 }
 
 bool HashRing::has_node(std::uint32_t node_id) const { return nodes_.count(node_id) != 0; }

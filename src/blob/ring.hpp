@@ -20,9 +20,17 @@ class HashRing {
  public:
   explicit HashRing(std::uint32_t vnodes_per_node = 64);
 
-  void add_node(std::uint32_t node_id);
+  /// Add a member. `weight` scales the member's vnode count (and therefore
+  /// its expected key share) relative to a weight-1.0 node: a 2.0 node owns
+  /// ~2x the keys of a 1.0 node, a 0.5 node half — heterogeneous capacity,
+  /// or a joiner warming up with a small share. Clamped to at least one
+  /// vnode; weight changes for an existing member are a no-op (remove and
+  /// re-add to change capacity, which correctly bumps the epoch twice).
+  void add_node(std::uint32_t node_id, double weight = 1.0);
   void remove_node(std::uint32_t node_id);
   [[nodiscard]] bool has_node(std::uint32_t node_id) const;
+  /// Capacity weight the member was added with (1.0 for non-members).
+  [[nodiscard]] double weight_of(std::uint32_t node_id) const;
   [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
   /// All member node ids, ascending.
   [[nodiscard]] std::vector<std::uint32_t> members() const {
@@ -53,6 +61,7 @@ class HashRing {
  private:
   std::uint32_t vnodes_;
   std::set<std::uint32_t> nodes_;
+  std::map<std::uint32_t, double> weights_;      ///< node id -> capacity weight
   std::map<std::uint64_t, std::uint32_t> ring_;  ///< point -> node id
   std::uint64_t epoch_ = 0;
 };

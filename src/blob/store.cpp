@@ -406,7 +406,7 @@ std::unique_ptr<MigrationPlan> BlobStore::build_plan(const HashRing& before) con
 }
 
 Result<std::uint32_t> BlobStore::begin_add_server(sim::SimNode& node,
-                                                  RebalanceConfig rcfg) {
+                                                  RebalanceConfig rcfg, double weight) {
   if (migrating_.load(std::memory_order_acquire)) {
     return Error{Errc::busy, "a rebalance is already in progress"};
   }
@@ -421,7 +421,7 @@ Result<std::uint32_t> BlobStore::begin_add_server(sim::SimNode& node,
         persist_base_dir_ + "/server-" + std::to_string(index), persist_jcfg_);
     if (!st.ok()) return st.error();
   }
-  ring_.add_node(index);  // bumps the ring epoch
+  ring_.add_node(index, weight);  // bumps the ring epoch
 
   auto plan = build_plan(*before);
   {

@@ -157,8 +157,13 @@ class BlobStore {
 
   /// Open an add-server window. If persistence was enabled on the store the
   /// new server gets a journal directory too (so crash/restart keeps
-  /// working after growth). Returns the new server's index.
-  Result<std::uint32_t> begin_add_server(sim::SimNode& node, RebalanceConfig rcfg = {});
+  /// working after growth). Returns the new server's index. `weight` is the
+  /// joiner's ring capacity weight (HashRing::add_node): heterogeneous
+  /// storage or a warming-up joiner takes a proportional key share, and the
+  /// migration plan the window drains is computed against the weighted
+  /// ring, so the data moved is proportional too.
+  Result<std::uint32_t> begin_add_server(sim::SimNode& node, RebalanceConfig rcfg = {},
+                                         double weight = 1.0);
 
   /// Open a decommission window for server `index` (must be in-ring and up).
   Status begin_decommission(std::uint32_t index, RebalanceConfig rcfg = {});

@@ -52,6 +52,41 @@ struct HedgePolicy {
   double percentile = 99.0;             ///< delay = this percentile of read latency
 };
 
+/// End-to-end operation budget + retry-amplification control. The per-op
+/// deadline is carried across every retry, failover, hedge, and batch
+/// envelope of one client primitive: per-attempt deadlines are clamped to
+/// the remaining budget, and once it is spent the operation fails with
+/// Errc::deadline_exceeded instead of queueing more work behind a lost
+/// cause. The token bucket is client-wide: each fresh operation earns
+/// `retry_token_ratio` tokens, each retry spends one — under a correlated
+/// outage the bucket drains and retries are suppressed, bounding fleet-wide
+/// retry amplification at ~(1 + ratio) of offered load (the classic defense
+/// against metastable retry storms).
+struct DeadlinePolicy {
+  SimMicros op_deadline_us = 0;    ///< total per-operation budget (0 = unbounded)
+  double retry_token_ratio = 0.1;  ///< tokens earned per first attempt
+  double retry_token_cap = 64.0;   ///< bucket capacity + initial fill (<=0 = off)
+};
+
+/// Per-replica gray-failure defense in BlobClient. Every node the client
+/// talks to carries an EWMA of delivered-leg latency and a consecutive-
+/// failure count (errors, timeouts, and sheds alike); crossing the failure
+/// threshold opens a breaker: closed -> open (cooldown, no traffic) ->
+/// half_open (single probes) -> closed after `half_open_probes` successes,
+/// or straight back to open on a probe failure. Open/half-open nodes are
+/// demoted in read-candidate order and hedged against earlier; mutation
+/// forwards to an open-breaker replica convert to hinted handoff
+/// immediately instead of burning timeouts.
+struct BreakerPolicy {
+  bool enabled = true;
+  std::uint32_t failure_threshold = 5;   ///< consecutive failures to open
+  SimMicros open_cooldown_us = 20000;    ///< open -> half_open after this long
+  std::uint32_t half_open_probes = 2;    ///< successful probes to close
+  double ewma_alpha = 0.2;               ///< latency EWMA smoothing factor
+  double suspect_latency_factor = 3.0;   ///< EWMA > factor * fleet mean = suspect
+  std::uint32_t suspect_min_samples = 16;///< per-node samples before latency suspicion
+};
+
 struct StoreConfig {
   std::uint32_t replication = 3;      ///< replicas per chunk (primary included)
   std::uint64_t chunk_bytes = 1 << 20; ///< striping unit across storage nodes (0 = off)
@@ -82,6 +117,8 @@ struct StoreConfig {
 
   RetryPolicy retry;
   HedgePolicy hedge;
+  DeadlinePolicy deadline;
+  BreakerPolicy breaker;
 
   /// Effective read quorum for the configured write quorum.
   [[nodiscard]] std::uint32_t read_quorum() const noexcept {

@@ -35,6 +35,10 @@ enum class Errc {
   closed,           // handle already closed
   timeout,          // deadline exceeded waiting for a reply (request may be lost)
   unavailable,      // peer unreachable / out of service (whole replica set, outage)
+  // Appended codes only (BatchSubStatus carries Errc as a numeric u8 on the
+  // wire; reordering existing values would silently re-map old payloads).
+  overloaded,        // server shed the request (bounded backlog exceeded)
+  deadline_exceeded, // end-to-end operation budget spent across attempts
 };
 
 /// Human-readable name for an error code (stable, used in logs and tests).
@@ -58,6 +62,8 @@ constexpr std::string_view to_string(Errc e) noexcept {
     case Errc::closed: return "closed";
     case Errc::timeout: return "timeout";
     case Errc::unavailable: return "unavailable";
+    case Errc::overloaded: return "overloaded";
+    case Errc::deadline_exceeded: return "deadline_exceeded";
   }
   return "unknown";
 }

@@ -45,13 +45,18 @@ struct FaultPlan {
   }
 };
 
-/// Verdict for one request leg.
+/// Verdict for one request leg. `shed` is not produced by the injector: the
+/// transport issues it when the target node's bounded backlog
+/// (sim::OverloadConfig) rejects the arrival — admission control and
+/// injected faults share the verdict vocabulary so every client recovery
+/// path handles both uniformly.
 struct FaultVerdict {
   enum class Kind {
     deliver,  ///< request reaches the server (possibly late)
     drop,     ///< request lost in transit; no reply will ever come
     error,    ///< server reachable but answers a transient error
     outage,   ///< node refuses connections (scripted window)
+    shed,     ///< server over its backlog bound; rejected with overloaded
   };
   Kind kind = Kind::deliver;
   SimMicros extra_latency_us = 0;  ///< added to each network leg when delivered

@@ -21,6 +21,10 @@ struct TransportMetrics {
   obs::Counter& oneways;
   obs::Counter& batches;
   obs::Counter& batch_subops;
+  // Admission control: requests refused at the server's backlog bound.
+  obs::Counter& sheds;
+  obs::Counter& shed_batches;
+  obs::ShardedHistogram& shed_queue_us;
   obs::ShardedHistogram& call_latency_us;
 };
 
@@ -37,6 +41,9 @@ TransportMetrics& transport_metrics() {
                             reg.counter("rpc.oneways"),
                             reg.counter("rpc.batches"),
                             reg.counter("rpc.batch.subops"),
+                            reg.counter("server.shed.requests"),
+                            reg.counter("server.shed.batches"),
+                            reg.histogram("server.shed.queue_us"),
                             reg.histogram("rpc.call.latency_us")};
   return m;
 }
@@ -79,13 +86,27 @@ CallCost Transport::call_reliable(sim::SimAgent& agent, sim::SimNode& server,
 FaultVerdict Transport::admit(sim::SimNode& server, SimMicros now) {
   auto& m = transport_metrics();
   m.attempts.inc();
-  if (injector_ == nullptr) return {};
-  FaultVerdict verdict = injector_->decide(server.id(), now);
-  switch (verdict.kind) {
-    case FaultVerdict::Kind::drop: m.drops.inc(); break;
-    case FaultVerdict::Kind::error: m.errors.inc(); break;
-    case FaultVerdict::Kind::outage: m.outages.inc(); break;
-    case FaultVerdict::Kind::deliver: break;
+  FaultVerdict verdict;
+  if (injector_ != nullptr) {
+    verdict = injector_->decide(server.id(), now);
+    switch (verdict.kind) {
+      case FaultVerdict::Kind::drop: m.drops.inc(); break;
+      case FaultVerdict::Kind::error: m.errors.inc(); break;
+      case FaultVerdict::Kind::outage: m.outages.inc(); break;
+      case FaultVerdict::Kind::shed: break;  // injector never produces shed
+      case FaultVerdict::Kind::deliver: break;
+    }
+    if (verdict.kind != FaultVerdict::Kind::deliver) return verdict;
+  }
+  // Bounded-backlog admission: a request the network would deliver arrives
+  // at the server (after its request leg's extra latency) and is bounced
+  // there if the queue is over its configured bound.
+  const SimMicros arrival = now + verdict.extra_latency_us;
+  if (server.would_shed(arrival)) {
+    server.note_shed();
+    m.sheds.inc();
+    m.shed_queue_us.add(static_cast<std::uint64_t>(server.queue_delay(arrival)));
+    verdict.kind = FaultVerdict::Kind::shed;
   }
   return verdict;
 }
@@ -95,7 +116,9 @@ FaultVerdict Transport::admit_batch(sim::SimNode& server, SimMicros now,
   auto& m = transport_metrics();
   m.batches.inc();
   m.batch_subops.add(sub_ops);
-  return admit(server, now);
+  FaultVerdict v = admit(server, now);
+  if (v.kind == FaultVerdict::Kind::shed) m.shed_batches.inc();
+  return v;
 }
 
 Status Transport::charge_failure(sim::SimAgent& agent, const FaultVerdict& verdict,
@@ -121,6 +144,13 @@ Status Transport::charge_failure(sim::SimAgent& agent, const FaultVerdict& verdi
       agent.charge(net().transfer_us(request_bytes));
       transport_metrics().call_failures.inc();
       return {Errc::unavailable, "node outage"};
+    case FaultVerdict::Kind::shed:
+      // Load shed: the request arrived, the server bounced it before doing
+      // any work. One round trip of the request envelope — fast fail, the
+      // whole point of admission control vs. letting the deadline burn.
+      agent.charge(2 * net().transfer_us(request_bytes));
+      transport_metrics().call_failures.inc();
+      return {Errc::overloaded, "server shedding load"};
     case FaultVerdict::Kind::deliver:
       break;
   }

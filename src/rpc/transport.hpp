@@ -28,12 +28,18 @@ struct CallCost {
   [[nodiscard]] SimMicros latency() const noexcept { return completion - start; }
 };
 
+/// Default per-attempt deadline, matching blob::RetryPolicy's default
+/// attempt_deadline_us — every call carries an explicit deadline unless the
+/// caller deliberately opts out with 0.
+inline constexpr SimMicros kDefaultAttemptDeadlineUs = 2000;
+
 struct CallOptions {
   /// Per-attempt deadline. When a call is dropped the client cannot tell a
   /// slow reply from a lost one; it waits `deadline_us` then gives up with
-  /// Errc::timeout. 0 means "no deadline": a dropped call still times out,
-  /// but only after a conservative default wait.
-  SimMicros deadline_us = 0;
+  /// Errc::timeout. Defaults to the policy-derived per-attempt deadline;
+  /// passing 0 explicitly opts out, in which case a dropped call still times
+  /// out, but only after the conservative kDefaultDropWaitUs fallback.
+  SimMicros deadline_us = kDefaultAttemptDeadlineUs;
 };
 
 class Transport {
@@ -60,7 +66,10 @@ class Transport {
   /// Fault verdict for one request leg to `server` at the agent's current
   /// time, without charging any cost. Client code that applies operations
   /// directly on server objects (the blob data path) asks for a verdict
-  /// first, then charges the corresponding cost itself.
+  /// first, then charges the corresponding cost itself. A request the
+  /// injector would deliver is additionally checked against the server's
+  /// bounded backlog (sim::OverloadConfig): over the bound, the verdict is
+  /// `shed` and the caller fails fast with Errc::overloaded.
   [[nodiscard]] FaultVerdict admit(sim::SimNode& server, SimMicros now);
 
   /// One fault verdict for a whole multi-op batch envelope carrying
@@ -72,7 +81,7 @@ class Transport {
                                          std::uint32_t sub_ops);
 
   /// Charge `agent` for a failed attempt: the full deadline for a dropped
-  /// request, or one short round trip for an error/outage rejection.
+  /// request, or one short round trip for an error/outage/shed rejection.
   /// Returns the matching error. `deliver` verdicts are a programming error.
   Status charge_failure(sim::SimAgent& agent, const FaultVerdict& verdict,
                         std::uint64_t request_bytes, CallOptions opts);
@@ -91,7 +100,9 @@ class Transport {
   [[nodiscard]] sim::Cluster& cluster() noexcept { return *cluster_; }
   [[nodiscard]] const sim::NetModel& net() const noexcept { return cluster_->net(); }
 
-  /// Wait applied when a request with no explicit deadline is dropped.
+  /// Fallback wait when a caller explicitly opted out of a deadline
+  /// (CallOptions{.deadline_us = 0}) and the request is dropped. Documented
+  /// escape hatch only — callers normally inherit kDefaultAttemptDeadlineUs.
   static constexpr SimMicros kDefaultDropWaitUs = 5000;
 
  private:

@@ -19,6 +19,24 @@ SimMicros SimNode::serve(SimMicros arrival_us, SimMicros service_us) noexcept {
   return end;
 }
 
+std::uint64_t SimNode::estimated_queue_depth(SimMicros now) const noexcept {
+  const SimMicros delay = queue_delay(now);
+  if (delay == 0) return 0;
+  const std::uint64_t n = requests_.load(std::memory_order_relaxed);
+  const SimMicros total = busy_total_.load(std::memory_order_relaxed);
+  const SimMicros mean = n > 0 ? std::max<SimMicros>(1, total / static_cast<SimMicros>(n)) : 1;
+  return static_cast<std::uint64_t>(delay / mean);
+}
+
+bool SimNode::would_shed(SimMicros now) const noexcept {
+  const SimMicros qmax = max_queue_us_.load(std::memory_order_relaxed);
+  const std::uint64_t dmax = max_queue_depth_.load(std::memory_order_relaxed);
+  if (qmax == 0 && dmax == 0) return false;
+  if (qmax > 0 && queue_delay(now) > qmax) return true;
+  if (dmax > 0 && estimated_queue_depth(now) > dmax) return true;
+  return false;
+}
+
 void SimNode::reset() noexcept {
   // Queue/accounting state only: the page cache survives a reset, exactly
   // as freshly staged data remains cache-resident on a real node between
@@ -26,6 +44,9 @@ void SimNode::reset() noexcept {
   busy_until_.store(0, std::memory_order_relaxed);
   busy_total_.store(0, std::memory_order_relaxed);
   requests_.store(0, std::memory_order_relaxed);
+  sheds_.store(0, std::memory_order_relaxed);
+  // The overload config is experiment setup, not queue state: it survives,
+  // like the page cache.
 }
 
 }  // namespace bsc::sim

@@ -20,6 +20,17 @@ namespace bsc::sim {
 
 enum class NodeRole { compute, storage, metadata };
 
+/// Bounded-backlog admission policy for a node. Both limits default to 0 =
+/// unbounded (the pre-overload-control behavior). A request arriving while
+/// the queueing delay exceeds `max_queue_us`, or while the estimated number
+/// of waiting requests exceeds `max_queue_depth`, should be shed by the
+/// transport (Errc::overloaded) instead of joining the queue — queueing past
+/// the caller's patience converts capacity into dead work.
+struct OverloadConfig {
+  SimMicros max_queue_us = 0;         ///< max backlog in simulated time (0 = off)
+  std::uint64_t max_queue_depth = 0;  ///< max estimated queued requests (0 = off)
+};
+
 class SimNode {
  public:
   SimNode(std::uint32_t id, NodeRole role, DiskParams disk = DiskParams::hdd_250gb(),
@@ -44,6 +55,41 @@ class SimNode {
     return requests_.load(std::memory_order_relaxed);
   }
 
+  // --- bounded backlog (admission control) ---
+
+  /// Install the admission policy. Fields are stored as relaxed atomics so a
+  /// test/bench can flip limits while agents run; no ordering is implied.
+  void set_overload(OverloadConfig cfg) noexcept {
+    max_queue_us_.store(cfg.max_queue_us, std::memory_order_relaxed);
+    max_queue_depth_.store(cfg.max_queue_depth, std::memory_order_relaxed);
+  }
+  [[nodiscard]] OverloadConfig overload() const noexcept {
+    return {max_queue_us_.load(std::memory_order_relaxed),
+            max_queue_depth_.load(std::memory_order_relaxed)};
+  }
+
+  /// Queueing delay a request arriving at `now` would suffer before service
+  /// starts (0 when the node is idle at `now`).
+  [[nodiscard]] SimMicros queue_delay(SimMicros now) const noexcept {
+    const SimMicros busy = busy_until_.load(std::memory_order_relaxed);
+    return busy > now ? busy - now : 0;
+  }
+
+  /// Estimated requests currently waiting: backlog time divided by the mean
+  /// observed service time. The queue holds reservations, not a list, so
+  /// this is an estimator — good enough for a depth cap.
+  [[nodiscard]] std::uint64_t estimated_queue_depth(SimMicros now) const noexcept;
+
+  /// True when a request arriving at `now` exceeds the installed backlog
+  /// bounds and should be shed instead of queued.
+  [[nodiscard]] bool would_shed(SimMicros now) const noexcept;
+
+  /// Shed accounting (incremented by the transport on every shed verdict).
+  void note_shed() noexcept { sheds_.fetch_add(1, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t sheds() const noexcept {
+    return sheds_.load(std::memory_order_relaxed);
+  }
+
   /// Reset queue state between experiments.
   void reset() noexcept;
 
@@ -55,6 +101,9 @@ class SimNode {
   std::atomic<SimMicros> busy_until_{0};
   std::atomic<SimMicros> busy_total_{0};
   std::atomic<std::uint64_t> requests_{0};
+  std::atomic<SimMicros> max_queue_us_{0};
+  std::atomic<std::uint64_t> max_queue_depth_{0};
+  std::atomic<std::uint64_t> sheds_{0};
 };
 
 }  // namespace bsc::sim

@@ -221,6 +221,101 @@ TEST(Ring, ReplicaSetsStayDistinctUnderChurn) {
   }
 }
 
+// --- Capacity-weighted vnodes ----------------------------------------------
+
+TEST(Ring, WeightOfReportsDeclaredWeight) {
+  HashRing ring;
+  ring.add_node(0);
+  ring.add_node(1, 2.0);
+  ring.add_node(2, 0.5);
+  EXPECT_DOUBLE_EQ(ring.weight_of(0), 1.0);
+  EXPECT_DOUBLE_EQ(ring.weight_of(1), 2.0);
+  EXPECT_DOUBLE_EQ(ring.weight_of(2), 0.5);
+  EXPECT_DOUBLE_EQ(ring.weight_of(99), 1.0);  // non-member: default
+  ring.remove_node(1);
+  EXPECT_DOUBLE_EQ(ring.weight_of(1), 1.0);  // forgotten on removal
+}
+
+TEST(Ring, NonsenseWeightsDegradeToDefault) {
+  HashRing a;
+  HashRing b;
+  a.add_node(0, -3.0);
+  a.add_node(1, 0.0);
+  b.add_node(0);
+  b.add_node(1);
+  EXPECT_DOUBLE_EQ(a.weight_of(0), 1.0);
+  EXPECT_DOUBLE_EQ(a.weight_of(1), 1.0);
+  for (const auto& key : make_keys(200)) {
+    EXPECT_EQ(a.locate(key, 2), b.locate(key, 2));
+  }
+}
+
+TEST(Ring, TinyWeightStillOwnsAtLeastOneVnode) {
+  HashRing ring(64);
+  ring.add_node(0);
+  ring.add_node(1, 1e-9);
+  // A member must never silently own zero data while counting toward
+  // replica fan-out: with replication 2, every key must reach both nodes.
+  std::set<std::uint32_t> seen;
+  for (const auto& key : make_keys(2000)) {
+    for (std::uint32_t n : ring.locate(key, 2)) seen.insert(n);
+  }
+  EXPECT_EQ(seen.size(), 2u);
+}
+
+TEST(Ring, WeightedPrimaryShareIsProportional) {
+  // 7 weight-1.0 nodes plus one weight-2.0 node: the heavy node's expected
+  // primary share is 2/9 of the keys (twice a peer's); a 0.5 node takes
+  // half a peer's. Generous tolerance covers vnode placement variance.
+  HashRing ring(128);
+  for (std::uint32_t n = 0; n < 7; ++n) ring.add_node(n);
+  ring.add_node(7, 2.0);
+  const auto keys = make_keys(20000);
+  std::map<std::uint32_t, std::size_t> load;
+  for (const auto& key : keys) ++load[ring.primary(key)];
+  const double total_weight = 7.0 + 2.0;
+  const double heavy_expect =
+      static_cast<double>(keys.size()) * 2.0 / total_weight;
+  EXPECT_GT(static_cast<double>(load[7]), heavy_expect * 0.7);
+  EXPECT_LT(static_cast<double>(load[7]), heavy_expect * 1.3);
+  const double light_expect = static_cast<double>(keys.size()) / total_weight;
+  for (std::uint32_t n = 0; n < 7; ++n) {
+    EXPECT_GT(static_cast<double>(load[n]), light_expect * 0.6) << "node " << n;
+    EXPECT_LT(static_cast<double>(load[n]), light_expect * 1.4) << "node " << n;
+  }
+}
+
+TEST(Ring, LowWeightJoinerMovesProportionallyLess) {
+  // The K/N move-bound property, weighted: a 0.25-weight joiner relocates
+  // roughly a quarter of what a full-weight joiner would, and every moved
+  // key still moves TO the joiner (no lateral reshuffling).
+  const auto keys = make_keys(20000);
+  auto moved_with_weight = [&](double w) {
+    HashRing ring(128);
+    for (std::uint32_t n = 0; n < 8; ++n) ring.add_node(n);
+    std::map<std::string, std::uint32_t> before;
+    for (const auto& key : keys) before[key] = ring.primary(key);
+    ring.add_node(8, w);
+    std::size_t moved = 0;
+    for (const auto& key : keys) {
+      const std::uint32_t now = ring.primary(key);
+      if (now != before[key]) {
+        ++moved;
+        EXPECT_EQ(now, 8u) << key;
+      }
+    }
+    return moved;
+  };
+  const std::size_t full = moved_with_weight(1.0);
+  const std::size_t quarter = moved_with_weight(0.25);
+  // Expected shares: 1/9 and 0.25/8.25 of the keyspace.
+  EXPECT_GT(full, keys.size() / 20);
+  EXPECT_LT(full, keys.size() / 4);
+  EXPECT_GT(quarter, keys.size() / 100);
+  // The light joiner moves well under half of the full joiner's share.
+  EXPECT_LT(quarter * 2, full);
+}
+
 // Parameterized over replication factor.
 class RingReplication : public ::testing::TestWithParam<std::uint32_t> {};
 

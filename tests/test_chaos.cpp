@@ -165,6 +165,11 @@ struct ChaosOutcome {
   std::uint64_t failovers = 0;
   std::uint64_t churn_keys_moved = 0;  ///< migrated during membership churn
   std::uint64_t dual_writes = 0;       ///< mutations mirrored into open windows
+  std::uint64_t overload_sheds = 0;    ///< requests bounced by bounded backlogs
+  std::uint64_t overload_span_us = 0;  ///< simulated span of the overload phase
+  std::uint64_t sheds_observed = 0;    ///< client-side Errc::overloaded attempts
+  std::uint64_t deadline_exceeded = 0; ///< ops stopped by a spent op budget
+  std::uint64_t breaker_opens = 0;     ///< per-node breakers tripped
 };
 
 class ChaosRun {
@@ -286,10 +291,47 @@ class ChaosRun {
       repair_and_verify("shrink");
     }
 
+    // Phase 6: overload + gray failure — one node turns 10x slow (gray:
+    // up, answering, but far behind the fleet) while a deterministic
+    // background burst floods every storage backlog. Bounded backlogs
+    // (OverloadConfig) shed the excess instead of queueing behind it;
+    // acked mutations must still never be lost (the oracle keeps checking),
+    // and the whole phase must replay bit-identically like every other.
+    {
+      rpc::FaultPlan gray;
+      gray.added_latency_us = 500;  // ~10x a healthy small-op round trip
+      const std::uint32_t slow =
+          static_cast<std::uint32_t>(rng_.next_below(store_->server_count()));
+      injector_.set_plan(store_->server(slow).node().id(), gray);
+      for (std::uint32_t i = 0; i < store_->server_count(); ++i) {
+        store_->server(i).node().set_overload({.max_queue_us = 3000});
+      }
+      // Deterministic burst: scripted background work stacked straight onto
+      // the storage queues (no rng, no client machinery) — the kind of
+      // load a co-located batch job injects underneath the store.
+      const SimMicros burst_at = agent_.now();
+      for (std::uint32_t i = 0; i < store_->server_count(); ++i) {
+        for (int j = 0; j < 4; ++j) {
+          (void)store_->server(i).node().serve(burst_at, 2000);
+        }
+      }
+      for (int i = 0; i < 48; ++i) step();
+      injector_.clear_all();
+      for (std::uint32_t i = 0; i < store_->server_count(); ++i) {
+        out_.overload_sheds += store_->server(i).node().sheds();
+        store_->server(i).node().set_overload({});
+      }
+      out_.overload_span_us = agent_.now() - burst_at;
+      repair_and_verify("overload");
+    }
+
     out_.dual_writes = client_->counters().dual_writes;
     out_.hints_written = client_->counters().hints_written;
     out_.retries = client_->counters().retries;
     out_.failovers = client_->counters().failovers;
+    out_.sheds_observed = client_->counters().sheds_observed;
+    out_.deadline_exceeded = client_->counters().deadline_exceeded;
+    out_.breaker_opens = client_->counters().breaker_opens;
     return std::move(out_);
   }
 
@@ -494,6 +536,13 @@ TEST(Chaos, MixedWorkloadSurvivesFaultScheduleDeterministically) {
   EXPECT_GT(first.uncertain, 0u);  // applied-at-primary limbo was exercised
   EXPECT_EQ(first.scrub_divergence, 0u);
   EXPECT_GT(first.churn_keys_moved, 0u);  // membership churn migrated data
+  // The overload phase must have actually shed load at the servers AND
+  // surfaced it to the client as Errc::overloaded fast-failures — while the
+  // oracle above kept proving no acked write was lost and the phase span
+  // stayed bounded (shed fast-fails, not queue-drain waits).
+  EXPECT_GT(first.overload_sheds, 0u);
+  EXPECT_GT(first.sheds_observed, 0u);
+  EXPECT_LT(first.overload_span_us, 2'000'000u);
 
   // CI greps for this exact marker: it only prints after every invariant
   // check above ran on a green run.
@@ -501,7 +550,9 @@ TEST(Chaos, MixedWorkloadSurvivesFaultScheduleDeterministically) {
     std::printf("CHAOS_INVARIANTS_CHECKED seed=0x%llx ops=%llu acked=%llu "
                 "rejected=%llu uncertain=%llu reads=%llu keys_verified=%llu "
                 "retries=%llu hints=%llu failovers=%llu churn_moved=%llu "
-                "dual_writes=%llu\n",
+                "dual_writes=%llu overload_sheds=%llu sheds_observed=%llu "
+                "overload_span_us=%llu deadline_exceeded=%llu "
+                "breaker_opens=%llu\n",
                 static_cast<unsigned long long>(seed),
                 static_cast<unsigned long long>(first.ops),
                 static_cast<unsigned long long>(first.acked),
@@ -513,7 +564,12 @@ TEST(Chaos, MixedWorkloadSurvivesFaultScheduleDeterministically) {
                 static_cast<unsigned long long>(first.hints_written),
                 static_cast<unsigned long long>(first.failovers),
                 static_cast<unsigned long long>(first.churn_keys_moved),
-                static_cast<unsigned long long>(first.dual_writes));
+                static_cast<unsigned long long>(first.dual_writes),
+                static_cast<unsigned long long>(first.overload_sheds),
+                static_cast<unsigned long long>(first.sheds_observed),
+                static_cast<unsigned long long>(first.overload_span_us),
+                static_cast<unsigned long long>(first.deadline_exceeded),
+                static_cast<unsigned long long>(first.breaker_opens));
   }
 }
 

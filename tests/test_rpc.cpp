@@ -107,7 +107,11 @@ TEST(Transport, DropBurnsDeadlineAndTimesOut) {
   EXPECT_EQ(inj.counters().dropped, 1u);
 }
 
-TEST(Transport, DropWithoutDeadlineUsesDefaultWait) {
+TEST(Transport, DroppedCallWithDefaultOptionsWaitsDefaultAttemptDeadline) {
+  // Regression: default-constructed CallOptions used to mean deadline_us = 0,
+  // so every caller that forgot to set a deadline silently waited the long
+  // kDefaultDropWaitUs fallback on a drop. The default is now an explicit
+  // per-attempt deadline.
   sim::Cluster cluster;
   Transport t(cluster);
   FaultInjector inj(/*seed=*/1);
@@ -118,7 +122,100 @@ TEST(Transport, DropWithoutDeadlineUsesDefaultWait) {
   auto r = t.call(agent, cluster.storage_node(0), 100, 100, 50);
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.code(), Errc::timeout);
+  EXPECT_EQ(agent.now(), kDefaultAttemptDeadlineUs);
+  EXPECT_LT(agent.now(), Transport::kDefaultDropWaitUs);
+}
+
+TEST(Transport, DropWithExplicitZeroDeadlineUsesFallbackWait) {
+  // deadline_us = 0 is now a deliberate opt-out; only then does the
+  // conservative drop-wait fallback apply.
+  sim::Cluster cluster;
+  Transport t(cluster);
+  FaultInjector inj(/*seed=*/1);
+  inj.set_plan(cluster.storage_node(0).id(), {.drop_probability = 1.0});
+  t.set_fault_injector(&inj);
+
+  sim::SimAgent agent;
+  auto r = t.call(agent, cluster.storage_node(0), 100, 100, 50,
+                  {.deadline_us = 0});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), Errc::timeout);
   EXPECT_EQ(agent.now(), Transport::kDefaultDropWaitUs);
+}
+
+TEST(Transport, OverloadedServerShedsFast) {
+  sim::Cluster cluster;
+  Transport t(cluster);
+  sim::SimNode& node = cluster.storage_node(0);
+  node.set_overload({.max_queue_us = 1000});
+
+  // Pre-load the backlog well past the bound, then call at t=0.
+  node.serve(/*arrival_us=*/0, /*service_us=*/50000);
+
+  sim::SimAgent agent;
+  auto r = t.call(agent, node, 100, 100, 50, {.deadline_us = 10000});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), Errc::overloaded);
+  // Fast-fail: one short reject round trip, nowhere near the deadline and
+  // nowhere near the queue drain time.
+  EXPECT_LT(agent.now(), 1000u);
+  EXPECT_EQ(node.sheds(), 1u);
+
+  // Once the backlog drains the same node admits again.
+  agent.advance_to(60000);
+  EXPECT_TRUE(t.call(agent, node, 100, 100, 50).ok());
+}
+
+TEST(Transport, QueueDepthBoundShedsIndependently) {
+  sim::Cluster cluster;
+  Transport t(cluster);
+  sim::SimNode& node = cluster.storage_node(0);
+  node.set_overload({.max_queue_depth = 2});
+
+  // Stack up several equal service windows: depth estimate = backlog / mean.
+  for (int i = 0; i < 6; ++i) node.serve(0, 1000);
+
+  sim::SimAgent agent;
+  auto r = t.call(agent, node, 100, 100, 50, {.deadline_us = 60000});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), Errc::overloaded);
+}
+
+TEST(Transport, UnboundedBacklogNeverSheds) {
+  sim::Cluster cluster;
+  Transport t(cluster);
+  sim::SimNode& node = cluster.storage_node(0);
+  // Default OverloadConfig{} is unbounded: pile on work, still admitted.
+  for (int i = 0; i < 8; ++i) node.serve(0, 10000);
+  sim::SimAgent agent;
+  EXPECT_TRUE(t.call(agent, node, 100, 100, 50, {.deadline_us = 0}).ok());
+  EXPECT_EQ(node.sheds(), 0u);
+}
+
+TEST(Wire, NewErrcsRoundTripBatchSubStatus) {
+  // Errc travels as a numeric u8 inside BatchSubStatus; the two codes this
+  // layer added (overloaded, deadline_exceeded) must survive the round trip
+  // and must sit after every pre-existing code (appended, never reordered).
+  EXPECT_GT(static_cast<std::uint8_t>(Errc::overloaded),
+            static_cast<std::uint8_t>(Errc::unavailable));
+  EXPECT_GT(static_cast<std::uint8_t>(Errc::deadline_exceeded),
+            static_cast<std::uint8_t>(Errc::overloaded));
+
+  for (const Errc code : {Errc::overloaded, Errc::deadline_exceeded}) {
+    BatchReply reply;
+    BatchSubStatus sub;
+    sub.errc = static_cast<std::uint8_t>(code);
+    sub.size = 7;
+    sub.version = 3;
+    reply.subs.push_back(sub);
+    const Bytes buf = encode(reply);
+    auto decoded = decode_batch_reply(as_view(buf));
+    ASSERT_TRUE(decoded.ok());
+    ASSERT_EQ(decoded.value().subs.size(), 1u);
+    EXPECT_EQ(static_cast<Errc>(decoded.value().subs[0].errc), code);
+    EXPECT_NE(to_string(static_cast<Errc>(decoded.value().subs[0].errc)),
+              "unknown");
+  }
 }
 
 TEST(Transport, TransientErrorIsFastAndUnavailable) {
