@@ -90,6 +90,15 @@ struct ClientMetrics {
       obs::MetricsRegistry::global().counter("client.metacache.misses");
   obs::Counter& metacache_invalidations =
       obs::MetricsRegistry::global().counter("client.metacache.invalidations");
+  // Quorum-aware batched reads: per-sub version voting in the envelope.
+  obs::Counter& quorum_probes =
+      obs::MetricsRegistry::global().counter("client.batch.quorum_probes");
+  obs::Counter& quorum_winners =
+      obs::MetricsRegistry::global().counter("client.batch.quorum_winners");
+  obs::Counter& quorum_digest_savings =
+      obs::MetricsRegistry::global().counter("client.batch.quorum_digest_savings_bytes");
+  obs::Counter& quorum_refetches =
+      obs::MetricsRegistry::global().counter("client.batch.quorum_refetches");
   // Elastic membership: the epoch protocol and dual writes. dual_writes is
   // the same registry series the rebalancer interns — one counter tells the
   // whole story of a migration window regardless of which side mirrored.
@@ -1175,56 +1184,143 @@ Status BlobClient::batched_mutation_wave(std::vector<BatchSub>& subs, SimMicros 
 }
 
 Status BlobClient::read_group_leg(std::vector<ReadSub*>& subs,
-                                  std::uint32_t primary_id, SimMicros start,
-                                  SimMicros* completion) {
+                                  const std::vector<std::uint32_t>& candidates,
+                                  SimMicros start, SimMicros* completion) {
   *completion = start;
   const auto& net = store_->cluster().net();
-  BlobServer& primary = store_->server(primary_id);
+  const StoreConfig& cfg = store_->config();
+  // Quorum candidates actually voted: the group's candidate tuple is sized
+  // for max(R, hedge target), so clamp to R for the vote fan-out.
+  const std::uint32_t R = std::min<std::uint32_t>(
+      cfg.read_quorum(), static_cast<std::uint32_t>(candidates.size()));
 
-  // Request: one header per coalesced run (stat subs never coalesce).
-  std::uint64_t req = kEnvelope;
-  {
+  // Request descriptor bytes: one header per coalesced run (stat subs never
+  // coalesce). The same descriptor layout goes to every quorum candidate;
+  // payload-vs-digest reply mode rides in the envelope flags byte, which is
+  // part of the kEnvelope overhead.
+  auto envelope_bytes = [](const std::vector<ReadSub*>& list,
+                           std::uint32_t* coalesced) {
+    std::uint64_t req = kEnvelope;
+    *coalesced = 0;
     std::size_t r = 0;
-    while (r < subs.size()) {
+    while (r < list.size()) {
       std::size_t e = r + 1;
-      while (e < subs.size() && !subs[r]->stat_only && !subs[e]->stat_only &&
-             subs[e]->chunk == subs[e - 1]->chunk + 1) {
+      while (e < list.size() && !list[r]->stat_only && !list[e]->stat_only &&
+             list[e]->chunk == list[e - 1]->chunk + 1) {
         ++e;
       }
       const auto span = static_cast<std::uint32_t>(e - r);
-      req += batch_header_bytes(subs[r]->ekey,
-                                subs[r]->stat_only ? rpc::BatchOpKind::stat
+      req += batch_header_bytes(list[r]->ekey,
+                                list[r]->stat_only ? rpc::BatchOpKind::stat
                                                    : rpc::BatchOpKind::read,
                                 span);
-      if (span >= 2) {
-        counters_.coalesced_ops.inc();
-        client_metrics().batch_coalesced.inc();
-      }
+      if (span >= 2) ++(*coalesced);
       r = e;
     }
-  }
-  counters_.batch_envelopes.inc();
-  client_metrics().batch_envelopes.inc();
-  client_metrics().batch_size.add(subs.size());
+    return req;
+  };
+  std::uint32_t coalesced = 0;
+  const std::uint64_t req = envelope_bytes(subs, &coalesced);
 
-  LegDelivery d =
-      try_deliver(primary, start, req, static_cast<std::uint32_t>(subs.size()));
-  if (!d.ok) {
-    // One whole-envelope re-send after a fresh backoff before degrading: the
-    // per-leg fallback pays one round trip per sub, so a single extra
-    // envelope attempt is the cheaper first response to a transient fault
-    // (ROADMAP "batch-envelope retry semantics").
-    counters_.batch_retries.inc();
-    client_metrics().batch_retries.inc();
-    SimMicros prev = store_->config().retry.backoff_base_us;
-    d = try_deliver(primary, d.failed_at + next_backoff(&prev), req,
-                    static_cast<std::uint32_t>(subs.size()));
-  }
-  if (!d.ok) {
-    // Envelope undeliverable after retries: fall back to per-leg reads for
-    // this group (replica failover lives inside read_leg/stat_leg). Only
-    // reachable with a fault injector installed — always sequential.
-    SimMicros t = d.failed_at;
+  // One batched envelope against one candidate: deliver (one whole-envelope
+  // re-send after a fresh backoff before giving up — the per-leg fallback
+  // pays one round trip per sub, so a single extra envelope attempt is the
+  // cheaper first response to a transient fault), serve the subs with
+  // per-sub completion marks, charge the reply. Digest-mode envelopes are
+  // answered from the server's extent index — a vote costs a stat, not a
+  // read — and ship (version, digest) instead of payload.
+  struct CandRun {
+    bool delivered = false;
+    Errc err = Errc::unavailable;
+    SimMicros failed_at = 0;
+    SimMicros attempt_start = 0;
+    SimMicros comp = 0;
+    std::vector<BlobServer::ReadSubResult> results;
+    std::vector<SimMicros> sub_done;  ///< per-sub availability at the client
+  };
+  auto run_envelope = [&](std::uint32_t rid, const std::vector<ReadSub*>& list,
+                          std::uint64_t reqb, std::uint32_t ncoal,
+                          bool digest_mode, bool want_digest, SimMicros at) {
+    CandRun run;
+    BlobServer& srv = store_->server(rid);
+    counters_.batch_envelopes.inc();
+    client_metrics().batch_envelopes.inc();
+    client_metrics().batch_size.add(list.size());
+    for (std::uint32_t c = 0; c < ncoal; ++c) {
+      counters_.coalesced_ops.inc();
+      client_metrics().batch_coalesced.inc();
+    }
+    LegDelivery d =
+        try_deliver(srv, at, reqb, static_cast<std::uint32_t>(list.size()));
+    if (!d.ok) {
+      counters_.batch_retries.inc();
+      client_metrics().batch_retries.inc();
+      SimMicros prev = cfg.retry.backoff_base_us;
+      d = try_deliver(srv, d.failed_at + next_backoff(&prev), reqb,
+                      static_cast<std::uint32_t>(list.size()));
+    }
+    if (!d.ok) {
+      run.err = d.err;
+      run.failed_at = d.failed_at;
+      return run;
+    }
+    run.delivered = true;
+    run.attempt_start = d.attempt_start;
+    std::vector<BlobServer::ReadSubOp> ops;
+    ops.reserve(list.size());
+    for (ReadSub* sub : list) {
+      BlobServer::ReadSubOp op;
+      op.key = &sub->ekey;
+      op.off = sub->off;
+      op.stat_only = sub->stat_only;
+      if (digest_mode && !sub->stat_only) {
+        op.digest_only = true;
+        op.len = sub->dst.size();
+      } else {
+        op.dst = sub->dst;
+        op.want_digest = want_digest && !sub->stat_only;
+      }
+      ops.push_back(op);
+    }
+    run.results.resize(list.size());
+    std::vector<SimMicros> marks(list.size(), 0);
+    SimMicros svc = 0;
+    srv.read_batch(ops.data(), ops.size(), run.results.data(), &svc, marks.data());
+
+    // Reply: per-sub statuses, plus the largest single chunk's payload on a
+    // payload envelope (chunk payloads stream back in parallel, like the
+    // per-leg replies they replace — a vectored run gathers at the NIC, it
+    // does not serialize). Digest replies ship marks only.
+    std::uint64_t reply =
+        kEnvelope + list.size() * batch_substatus_bytes();
+    if (!digest_mode) {
+      std::uint64_t max_chunk = 0;
+      for (const auto& res : run.results) {
+        max_chunk = std::max(max_chunk, res.data_len);
+      }
+      reply += max_chunk;
+    }
+    // Chained serve: per-sub deltas leave the node's FCFS busy-until
+    // identical to one serve(total); sub j streams out at its own mark
+    // (same pipelining argument as mutation_group_leg).
+    const SimMicros arr = d.attempt_start + net.transfer_us(reqb) + d.extra_latency_us;
+    run.sub_done.resize(list.size(), arr);
+    SimMicros node_done = arr;
+    SimMicros prev_mark = 0;
+    for (std::size_t j = 0; j < list.size(); ++j) {
+      node_done = srv.node().serve(arr, marks[j] - prev_mark);
+      prev_mark = marks[j];
+      run.sub_done[j] = node_done + net.transfer_us(reply) + d.extra_latency_us;
+    }
+    run.comp = node_done + net.transfer_us(reply) + d.extra_latency_us;
+    return run;
+  };
+
+  // Whole-group degradation to per-leg legs (replica failover and quorum
+  // arbitration live inside read_leg/stat_leg). Only reachable with a fault
+  // injector installed — always sequential. Destinations are re-zeroed
+  // because an earlier candidate envelope may have partially gathered.
+  auto per_leg_fallback = [&](SimMicros t) -> Status {
     SimMicros done = t;
     for (ReadSub* sub : subs) {
       SimMicros comp = t;
@@ -1232,6 +1328,7 @@ Status BlobClient::read_group_leg(std::vector<ReadSub*>& subs,
         auto s = stat_leg(sub->ekey, t, &comp);
         done = std::max(done, comp);
         if (s.ok()) {
+          sub->err = Errc::ok;
           sub->size = s.value().size;
           sub->version = s.value().version;
         } else if (s.error().code == Errc::not_found) {
@@ -1242,11 +1339,14 @@ Status BlobClient::read_group_leg(std::vector<ReadSub*>& subs,
         }
         continue;
       }
+      std::fill(sub->dst.begin(), sub->dst.end(), std::byte{0});
+      sub->latency_us = 0;  // read_leg feeds read_latency_ itself
       auto r = read_leg(sub->ekey, sub->off, sub->dst.size(), t, &comp);
       done = std::max(done, comp);
       if (r.ok()) {
         const Bytes& part = r.value().data;
         std::copy(part.begin(), part.end(), sub->dst.begin());
+        sub->err = Errc::ok;
         sub->data_len = part.size();
         sub->covered = r.value().covered;
       } else if (r.error().code == Errc::not_found) {
@@ -1258,38 +1358,231 @@ Status BlobClient::read_group_leg(std::vector<ReadSub*>& subs,
     }
     *completion = done;
     return Status::success();
-  }
+  };
 
-  std::vector<BlobServer::ReadSubOp> ops;
-  ops.reserve(subs.size());
-  for (ReadSub* sub : subs) {
-    ops.push_back({&sub->ekey, sub->off, sub->dst, sub->stat_only});
-  }
-  std::vector<BlobServer::ReadSubResult> results(subs.size());
-  SimMicros svc = 0;
-  primary.read_batch(ops.data(), ops.size(), results.data(), &svc);
-  for (std::size_t i = 0; i < subs.size(); ++i) {
-    subs[i]->err = results[i].err;
-    subs[i]->data_len = results[i].data_len;
-    subs[i]->covered = results[i].covered;
-    subs[i]->size = results[i].size;
-    subs[i]->version = results[i].version;
-  }
-
-  // Reply: per-sub statuses plus the largest single chunk's payload (chunk
-  // payloads stream back in parallel, like the per-leg replies they
-  // replace — a vectored run gathers at the NIC, it does not serialize).
-  std::uint64_t reply = kEnvelope + subs.size() * batch_substatus_bytes();
-  {
-    std::uint64_t max_chunk = 0;
-    for (const ReadSub* sub : subs) {
-      max_chunk = std::max<std::uint64_t>(max_chunk, sub->data_len);
+  // Fan one envelope to each of the R quorum candidates: full payload from
+  // candidates[0], digest-only version votes from the rest, all forked from
+  // the same instant — the single-envelope-per-primary path survives R > 1
+  // with ~1x payload bytes on the wire instead of Rx.
+  std::vector<CandRun> cand(R);
+  for (std::uint32_t j = 0; j < R; ++j) {
+    cand[j] = run_envelope(candidates[j], subs, req, coalesced,
+                           /*digest_mode=*/j > 0, /*want_digest=*/R > 1, start);
+    if (!cand[j].delivered) return per_leg_fallback(cand[j].failed_at);
+    if (j > 0) {
+      counters_.quorum_probes.inc();
+      client_metrics().quorum_probes.inc();
+      std::uint64_t avoided = 0;
+      for (const auto& res : cand[j].results) {
+        avoided = std::max(avoided, res.data_len);
+      }
+      counters_.quorum_digest_savings_bytes.add(avoided);
+      client_metrics().quorum_digest_savings.add(avoided);
     }
-    reply += max_chunk;
   }
-  const SimMicros arr = d.attempt_start + net.transfer_us(req) + d.extra_latency_us;
-  *completion =
-      primary.node().serve(arr, svc) + net.transfer_us(reply) + d.extra_latency_us;
+
+  // Hedging composes on the batched path: a payload envelope running past
+  // the hedge delay arms a duplicate payload-sized request to candidates[1]
+  // at attempt_start + delay, and the client takes the earlier completion
+  // when the hedged replica's per-sub versions prove its payload
+  // byte-identical (at R == 1 every live replica holds every acked write,
+  // so matching versions are the common case). The hedge serve runs in
+  // digest mode so the caller's buffer keeps a single writer, but with
+  // probe_payload set it is charged like the real payload read it stands in
+  // for, and the reply is charged at full payload size — it is the payload
+  // that would have won.
+  {
+    BlobServer& prim_srv = store_->server(candidates[0]);
+    SimMicros delay = hedge_delay();
+    if (delay > 1 && is_suspect(prim_srv.node().id())) delay /= 2;
+    if (delay > 0 && candidates.size() > 1 &&
+        cand[0].comp - cand[0].attempt_start > delay) {
+      counters_.hedges.inc();
+      BlobServer& alt = store_->server(candidates[1]);
+      const SimMicros h_start = cand[0].attempt_start + delay;
+      AttemptPlan hp =
+          plan_attempt(alt, h_start, req, static_cast<std::uint32_t>(subs.size()));
+      if (hp.delivered) {
+        std::vector<BlobServer::ReadSubOp> hops;
+        hops.reserve(subs.size());
+        for (ReadSub* sub : subs) {
+          BlobServer::ReadSubOp op;
+          op.key = &sub->ekey;
+          op.off = sub->off;
+          op.stat_only = sub->stat_only;
+          if (!sub->stat_only) {
+            op.digest_only = true;
+            op.probe_payload = true;
+            op.len = sub->dst.size();
+          }
+          hops.push_back(op);
+        }
+        std::vector<BlobServer::ReadSubResult> hres(subs.size());
+        std::vector<SimMicros> hmarks(subs.size(), 0);
+        SimMicros hsvc = 0;
+        alt.read_batch(hops.data(), hops.size(), hres.data(), &hsvc, hmarks.data());
+        bool same = true;
+        for (std::size_t k = 0; k < subs.size(); ++k) {
+          if (subs[k]->stat_only) continue;
+          if (hres[k].err != cand[0].results[k].err ||
+              hres[k].version != cand[0].results[k].version) {
+            same = false;
+          }
+        }
+        if (same) {
+          std::uint64_t reply = kEnvelope + subs.size() * batch_substatus_bytes();
+          std::uint64_t max_chunk = 0;
+          for (const auto& res : hres) max_chunk = std::max(max_chunk, res.data_len);
+          reply += max_chunk;
+          const SimMicros harr = h_start + net.transfer_us(req) + hp.extra_latency_us;
+          SimMicros hdone = harr;
+          SimMicros prev_mark = 0;
+          for (std::size_t k = 0; k < subs.size(); ++k) {
+            hdone = alt.node().serve(harr, hmarks[k] - prev_mark);
+            prev_mark = hmarks[k];
+            const SimMicros avail =
+                hdone + net.transfer_us(reply) + hp.extra_latency_us;
+            cand[0].sub_done[k] = std::min(cand[0].sub_done[k], avail);
+          }
+          cand[0].comp = std::min(
+              cand[0].comp, hdone + net.transfer_us(reply) + hp.extra_latency_us);
+        }
+      }
+    }
+  }
+
+  // Default every sub to the payload candidate's result (the payload is
+  // already gathered in place).
+  for (std::size_t k = 0; k < subs.size(); ++k) {
+    ReadSub* sub = subs[k];
+    const auto& res = cand[0].results[k];
+    sub->err = res.err;
+    sub->data_len = res.data_len;
+    sub->covered = res.covered;
+    sub->size = res.size;
+    sub->version = res.version;
+    sub->latency_us = cand[0].sub_done[k] > cand[0].attempt_start
+                          ? cand[0].sub_done[k] - cand[0].attempt_start
+                          : 0;
+  }
+  SimMicros done = start;
+  for (const CandRun& c : cand) done = std::max(done, c.comp);
+
+  if (R > 1) {
+    // Per-sub version vote across the R replies. The payload wins at the
+    // max version, or below it with a byte-identical span digest (a version
+    // bump that did not change this span); otherwise the sub is stale and
+    // is re-fetched — one payload envelope per winning replica, forked at
+    // the vote barrier, so the winning payload still crosses the wire once.
+    std::map<std::uint32_t, std::vector<ReadSub*>> refetch;  // cand idx -> subs
+    for (std::size_t k = 0; k < subs.size(); ++k) {
+      ReadSub* sub = subs[k];
+      // A sub's reply is arbitrated once every vote for it has landed.
+      SimMicros avail = 0;
+      for (std::uint32_t j = 0; j < R; ++j) {
+        avail = std::max(avail, cand[j].sub_done[k]);
+      }
+      sub->latency_us =
+          avail > cand[0].attempt_start ? avail - cand[0].attempt_start : 0;
+      Version maxv = 0;
+      std::uint32_t win = 0;
+      bool any = false;
+      for (std::uint32_t j = 0; j < R; ++j) {
+        const auto& r = cand[j].results[k];
+        if (r.err != Errc::ok) continue;
+        if (!any || r.version > maxv) {
+          any = true;
+          maxv = r.version;
+          win = j;
+        }
+      }
+      if (sub->stat_only) {
+        // Mirror quorum_probe: the max-version responder's stat wins;
+        // absent only when every responder reports absent.
+        if (!any) {
+          sub->err = Errc::not_found;
+          sub->size = 0;
+          sub->version = 0;
+        } else {
+          sub->err = Errc::ok;
+          sub->size = cand[win].results[k].size;
+          sub->version = maxv;
+        }
+        continue;
+      }
+      if (!any) continue;  // absent everywhere: the chunk is a hole
+      const auto& r0 = cand[0].results[k];
+      if (r0.err == Errc::ok && r0.version >= maxv) {
+        counters_.quorum_winners.inc();
+        client_metrics().quorum_winners.inc();
+        continue;
+      }
+      if (r0.err == Errc::ok && r0.digest != 0 &&
+          r0.digest == cand[win].results[k].digest) {
+        sub->version = maxv;
+        counters_.quorum_winners.inc();
+        client_metrics().quorum_winners.inc();
+        continue;
+      }
+      refetch[win].push_back(sub);
+    }
+
+    for (auto& [win, list] : refetch) {
+      // The stale payload may cover spans the fresh version leaves as
+      // holes; re-zero before gathering so read_into's pre-zeroed-dst
+      // contract holds.
+      for (ReadSub* sub : list) {
+        std::fill(sub->dst.begin(), sub->dst.end(), std::byte{0});
+      }
+      std::uint32_t rcoal = 0;
+      const std::uint64_t rreq = envelope_bytes(list, &rcoal);
+      CandRun rr = run_envelope(candidates[win], list, rreq, rcoal,
+                                /*digest_mode=*/false, /*want_digest=*/false,
+                                done);
+      if (!rr.delivered) {
+        // Injector-only: degrade the stale subs to per-leg reads.
+        SimMicros t = rr.failed_at;
+        for (ReadSub* sub : list) {
+          std::fill(sub->dst.begin(), sub->dst.end(), std::byte{0});
+          SimMicros comp = t;
+          auto rl = read_leg(sub->ekey, sub->off, sub->dst.size(), t, &comp);
+          done = std::max(done, comp);
+          counters_.quorum_refetches.inc();
+          client_metrics().quorum_refetches.inc();
+          sub->latency_us = 0;  // read_leg feeds read_latency_ itself
+          if (rl.ok()) {
+            const Bytes& part = rl.value().data;
+            std::copy(part.begin(), part.end(), sub->dst.begin());
+            sub->err = Errc::ok;
+            sub->data_len = part.size();
+            sub->covered = rl.value().covered;
+          } else if (rl.error().code == Errc::not_found) {
+            sub->err = Errc::not_found;
+          } else {
+            *completion = done;
+            return rl.error();
+          }
+        }
+        continue;
+      }
+      for (std::size_t i = 0; i < list.size(); ++i) {
+        ReadSub* sub = list[i];
+        const auto& r = rr.results[i];
+        sub->err = r.err;
+        sub->data_len = r.data_len;
+        sub->covered = r.covered;
+        sub->version = r.version;
+        sub->latency_us = rr.sub_done[i] > cand[0].attempt_start
+                              ? rr.sub_done[i] - cand[0].attempt_start
+                              : 0;
+        counters_.quorum_refetches.inc();
+        client_metrics().quorum_refetches.inc();
+      }
+      done = std::max(done, rr.comp);
+    }
+  }
+
+  *completion = done;
   return Status::success();
 }
 
@@ -1378,23 +1671,37 @@ Result<Bytes> BlobClient::batched_striped_read(std::string_view key,
       subs.push_back(std::move(sub));
     }
 
-    std::map<std::uint32_t, std::vector<ReadSub*>> by_primary;
+    // Group subs by their ordered candidate tuple: the first K live
+    // replicas in replica order, K sized for the quorum fan-out plus the
+    // hedge target. At R == 1 without hedging this degenerates to grouping
+    // by acting primary — exactly the pre-quorum batching. Subs sharing a
+    // tuple share all K envelopes, so a group costs K queueing trips total
+    // regardless of its sub count.
+    const std::uint32_t R = store_->config().read_quorum();
+    const std::uint32_t K =
+        std::max<std::uint32_t>(R, store_->config().hedge.enabled ? 2 : 1);
+    std::map<std::vector<std::uint32_t>, std::vector<ReadSub*>> by_cands;
     for (auto& s : subs) {
       const auto replicas = store_->replicas_of(s.ekey);
       if (replicas.empty()) return {Errc::no_space, "no storage nodes in ring"};
-      const auto acting = store_->first_up(replicas);
-      if (!acting) return {Errc::unavailable, "all replicas down: " + s.ekey};
-      by_primary[*acting].push_back(&s);
+      std::vector<std::uint32_t> cands;
+      for (std::uint32_t rid : replicas) {
+        if (store_->is_down(rid)) continue;
+        cands.push_back(rid);
+        if (cands.size() >= K) break;
+      }
+      if (cands.empty()) return {Errc::unavailable, "all replicas down: " + s.ekey};
+      by_cands[std::move(cands)].push_back(&s);
     }
     struct Group {
-      std::uint32_t primary = 0;
+      std::vector<std::uint32_t> candidates;
       std::vector<ReadSub*> subs;
       Status status = Status::success();
       SimMicros completion = 0;
     };
     std::vector<Group> groups;
-    groups.reserve(by_primary.size());
-    for (auto& [p, v] : by_primary) groups.push_back({p, std::move(v)});
+    groups.reserve(by_cands.size());
+    for (auto& [c, v] : by_cands) groups.push_back({c, std::move(v)});
     std::sort(groups.begin(), groups.end(), [](const Group& a, const Group& b) {
       return a.subs.front()->chunk < b.subs.front()->chunk;
     });
@@ -1405,11 +1712,11 @@ Result<Bytes> BlobClient::batched_striped_read(std::string_view key,
     if (parallel) {
       pool().parallel_for(groups.size(), [&](std::size_t gi) {
         Group& g = groups[gi];
-        g.status = read_group_leg(g.subs, g.primary, start, &g.completion);
+        g.status = read_group_leg(g.subs, g.candidates, start, &g.completion);
       });
     } else {
       for (Group& g : groups) {
-        g.status = read_group_leg(g.subs, g.primary, start, &g.completion);
+        g.status = read_group_leg(g.subs, g.candidates, start, &g.completion);
       }
     }
     SimMicros done = start;
@@ -1419,6 +1726,15 @@ Result<Bytes> BlobClient::batched_striped_read(std::string_view key,
       if (fail.ok() && !g.status.ok()) fail = g.status;
     }
     if (agent_) agent_->advance_to(done);
+    // Batched completion marks feed the hedging histogram AFTER the group
+    // barrier, on the caller's thread (the histogram is not thread-safe and
+    // groups may fan out on the pool). Subs answered by an internal
+    // read_leg fallback carry latency 0 — read_leg recorded its own sample.
+    for (const auto& s : subs) {
+      if (!s.stat_only && s.latency_us > 0) {
+        read_latency_.add(static_cast<std::uint64_t>(s.latency_us));
+      }
+    }
     if (!fail.ok()) return fail.error();
 
     // Membership cutover mid-wave: chunks the wave read from old owners may
@@ -1853,20 +2169,39 @@ Result<Bytes> BlobClient::read(std::string_view key, std::uint64_t offset,
     return std::move(r.value().data);
   }
 
-  // Batched scatter-gather path: per-primary multi-op envelopes plus the
-  // client metadata cache. Quorum reads (R > 1) and hedging need per-leg
-  // freshness arbitration, so they stay on the per-leg path below.
+  // Batched scatter-gather path: per-candidate-set multi-op envelopes plus
+  // the client metadata cache. R > 1 and hedged reads stay on it too — the
+  // envelopes carry per-sub version votes (see read_group_leg).
   const auto& cfg = store_->config();
-  if (cfg.batched_striping && cfg.read_quorum() == 1 && !cfg.hedge.enabled) {
+  if (cfg.batched_striping) {
     return batched_striped_read(key, offset, len);
   }
 
-  // Per-leg striped read: clip to the logical size (held by chunk 0) via one
-  // charged stat round, then issue one leg per touched chunk to its own
-  // acting primary. Legs fork from the same simulated instant; the call
-  // completes at the slowest leg.
+  // Per-leg striped read: clip to the logical size (held by chunk 0), then
+  // issue one leg per touched chunk to its own acting primary. Legs fork
+  // from the same simulated instant; the call completes at the slowest leg.
+  // A version-validated metadata-cache entry replaces the serialized
+  // up-front stat round: the chunk legs fork immediately, and a
+  // verification stat leg runs in parallel with them — the round is still
+  // charged, it just no longer gates the data path (mismatch = relayout and
+  // re-read, same discipline as the batched path's piggybacked stat sub).
   const std::string base{key};
-  {
+  const bool use_cache = cfg.client_meta_cache;
+  MetaEntry entry;
+  bool from_cache = false;
+  if (use_cache) {
+    auto it = meta_cache_.find(base);
+    if (it != meta_cache_.end()) {
+      entry = it->second;
+      from_cache = true;
+      counters_.metacache_hits.inc();
+      client_metrics().metacache_hits.inc();
+    } else {
+      counters_.metacache_misses.inc();
+      client_metrics().metacache_misses.inc();
+    }
+  }
+  if (!from_cache) {
     const SimMicros start = agent_ ? agent_->now() : 0;
     SimMicros comp = start;
     auto s = stat_leg(base, start, &comp);
@@ -1874,10 +2209,34 @@ Result<Bytes> BlobClient::read(std::string_view key, std::uint64_t offset,
     // Absent blob: the stat round is the complete (failed) answer — one
     // round trip, no second full-length probe leg.
     if (!s.ok()) return s.error();
-    const std::uint64_t logical = s.value().size;
+    entry = {s.value().size, s.value().version};
+    cache_put(base, entry);
+  }
+
+  for (int attempt = 0;; ++attempt) {
+    const std::uint64_t logical = entry.logical;
     const std::uint64_t rlen = offset < logical ? std::min(len, logical - offset) : 0;
-    // At/after EOF: the stat round already answered; nothing to ship.
-    if (rlen == 0) return Bytes{};
+    if (rlen == 0) {
+      // At/after EOF per the (possibly cached) size. A cache hit still
+      // verifies with one charged stat round — there is no data leg to
+      // overlap it with — retrying once if the cached size was stale-low.
+      if (!from_cache) return Bytes{};
+      const SimMicros start = agent_ ? agent_->now() : 0;
+      SimMicros comp = start;
+      auto s = stat_leg(base, start, &comp);
+      if (agent_) agent_->advance_to(comp);
+      if (!s.ok()) {
+        cache_erase(base);
+        return s.error();
+      }
+      cache_put(base, {s.value().size, s.value().version});
+      if (attempt < 2 && offset < s.value().size) {
+        entry = {s.value().size, s.value().version};
+        from_cache = false;  // entry is now authoritative
+        continue;
+      }
+      return Bytes{};
+    }
 
     const SimMicros t0 = agent_ ? agent_->now() : 0;
     SimMicros done = t0;
@@ -1885,6 +2244,13 @@ Result<Bytes> BlobClient::read(std::string_view key, std::uint64_t offset,
     const std::uint64_t end = offset + rlen;
     std::uint64_t covered_total = 0;
     Status fail = Status::success();
+    // Cache-hit verification stat, overlapped with the chunk legs.
+    Result<BlobStat> vstat = BlobStat{};
+    if (from_cache) {
+      SimMicros comp2 = t0;
+      vstat = stat_leg(base, t0, &comp2);
+      done = std::max(done, comp2);
+    }
     for (std::uint64_t c = offset / cb; c * cb < end; ++c) {
       const std::uint64_t lo = std::max(offset, c * cb);
       const std::uint64_t hi = std::min(end, (c + 1) * cb);
@@ -1907,6 +2273,26 @@ Result<Bytes> BlobClient::read(std::string_view key, std::uint64_t offset,
     }
     if (agent_) agent_->advance_to(done);
     if (!fail.ok()) return fail.error();
+    if (from_cache) {
+      if (!vstat.ok()) {
+        cache_erase(base);
+        return vstat.error();
+      }
+      if (vstat.value().size != logical && attempt < 2) {
+        // Size drifted (concurrent truncate/recreate): the layout the legs
+        // used is wrong — relayout and re-read.
+        counters_.metacache_invalidations.inc();
+        client_metrics().metacache_invalidations.inc();
+        entry = {vstat.value().size, vstat.value().version};
+        cache_put(base, entry);
+        continue;
+      }
+      if (vstat.value().version != entry.v0 || vstat.value().size != logical) {
+        // Version-only drift (or a still-moving size on the final attempt):
+        // the chunk data just read is current as of its serve; refresh.
+        cache_put(base, {vstat.value().size, vstat.value().version});
+      }
+    }
     counters_.bytes_read.add(covered_total);
     counters_.read_hole_bytes.add(rlen - covered_total);
     client_metrics().read_bytes.add(rlen);
@@ -1915,15 +2301,37 @@ Result<Bytes> BlobClient::read(std::string_view key, std::uint64_t offset,
   }
 }
 
+Result<BlobStat> BlobClient::cached_stat(const std::string& base) {
+  // Same cache lookup/invalidate discipline as the read paths: a hit
+  // answers from the client-held {logical size, chunk-0 version} entry with
+  // zero rounds (the entry is erased by every local mutation and verified
+  // against a replica by every striped read); a miss pays one charged stat
+  // round and primes the cache. Absent blobs are not cached — a stat after
+  // a failed stat pays the round again, matching read-path probe economy.
+  if (store_->config().client_meta_cache) {
+    auto it = meta_cache_.find(base);
+    if (it != meta_cache_.end()) {
+      counters_.metacache_hits.inc();
+      client_metrics().metacache_hits.inc();
+      return BlobStat{base, it->second.logical, it->second.v0};
+    }
+    counters_.metacache_misses.inc();
+    client_metrics().metacache_misses.inc();
+  }
+  const SimMicros start = agent_ ? agent_->now() : 0;
+  SimMicros comp = start;
+  auto s = stat_leg(base, start, &comp);
+  if (agent_) agent_->advance_to(comp);
+  if (s.ok()) cache_put(base, {s.value().size, s.value().version});
+  return s;
+}
+
 Result<std::uint64_t> BlobClient::size(std::string_view key) {
   counters_.sizes.inc();
   PrimTimer timer(client_metrics().size, agent_, key);
   OpBudget budget(*this, agent_ ? agent_->now() : 0);
-  const SimMicros start = agent_ ? agent_->now() : 0;
-  SimMicros comp = start;
   // Chunk 0 carries the full logical size of a striped blob.
-  auto s = stat_leg(std::string{key}, start, &comp);
-  if (agent_) agent_->advance_to(comp);
+  auto s = cached_stat(std::string{key});
   if (!s.ok()) return s.error();
   return s.value().size;
 }
@@ -1931,11 +2339,7 @@ Result<std::uint64_t> BlobClient::size(std::string_view key) {
 Result<BlobStat> BlobClient::stat(std::string_view key) {
   PrimTimer timer(client_metrics().stat, agent_, key);
   OpBudget budget(*this, agent_ ? agent_->now() : 0);
-  const SimMicros start = agent_ ? agent_->now() : 0;
-  SimMicros comp = start;
-  auto s = stat_leg(std::string{key}, start, &comp);
-  if (agent_) agent_->advance_to(comp);
-  return s;
+  return cached_stat(std::string{key});
 }
 
 bool BlobClient::exists(std::string_view key) { return stat(key).ok(); }

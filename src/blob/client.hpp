@@ -78,6 +78,11 @@ struct ClientCounters {
   obs::LocalCounter metacache_hits;
   obs::LocalCounter metacache_misses;
   obs::LocalCounter metacache_invalidations;
+  // Quorum-aware batched reads (see DESIGN.md "Per-sub quorum voting").
+  obs::LocalCounter quorum_probes;          ///< digest-only vote envelopes sent
+  obs::LocalCounter quorum_winners;         ///< read sub-ops arbitrated by version vote
+  obs::LocalCounter quorum_digest_savings_bytes; ///< payload bytes digest replies avoided
+  obs::LocalCounter quorum_refetches;       ///< sub-ops re-fetched from a fresher replica
   // Elastic membership (see DESIGN.md "Elastic membership & rebalancing").
   obs::LocalCounter epoch_refreshes;     ///< placement-cache flush + refetch events
   obs::LocalCounter stale_epoch_retries; ///< legs re-run after a stale-epoch stamp
@@ -339,20 +344,35 @@ class BlobClient {
     std::uint64_t data_len = 0;
     std::uint64_t covered = 0;         ///< extent-backed bytes among data_len
     std::uint64_t size = 0;            ///< stat subs
-    Version version = 0;               ///< stat subs
+    Version version = 0;               ///< stat subs / arbitrated read version
+    /// Per-sub delivered latency (availability time - group attempt start),
+    /// folded into read_latency_ by the caller AFTER the group barrier —
+    /// the histogram is not thread-safe and groups may fan out on the pool.
+    SimMicros latency_us = 0;
   };
 
-  /// One per-primary read group: one envelope, one BlobServer::read_batch
-  /// gathering straight into the caller's buffer. When the envelope cannot
-  /// be delivered (fault injector), falls back to legacy per-chunk read_leg
-  /// calls for this group's subs.
-  Status read_group_leg(std::vector<ReadSub*>& subs, std::uint32_t primary_id,
+  /// One per-candidate-set read group: a full-payload envelope to
+  /// `candidates[0]` plus one digest-only vote envelope per further quorum
+  /// candidate, arbitrated per sub-op by version (digest tie-break), with
+  /// stale sub-ops re-fetched from the winning replica. Hedging composes: a
+  /// slow payload envelope arms a delayed duplicate to candidates[1]. When
+  /// an envelope cannot be delivered (fault injector), falls back to legacy
+  /// per-chunk read_leg calls for this group's subs.
+  Status read_group_leg(std::vector<ReadSub*>& subs,
+                        const std::vector<std::uint32_t>& candidates,
                         SimMicros start, SimMicros* completion);
 
-  /// Striped read over batch envelopes + the metadata cache (requires read
-  /// quorum 1 and hedging off — per-leg arbitration falls back to read_leg).
+  /// Striped read over batch envelopes + the metadata cache. Handles every
+  /// read configuration — R > 1 arbitrates per-sub versions inside the
+  /// batch envelopes (see read_group_leg) instead of degrading to per-leg.
   Result<Bytes> batched_striped_read(std::string_view key, std::uint64_t offset,
                                      std::uint64_t len);
+
+  /// size()/stat() backend: metadata-cache lookup first (a hit answers with
+  /// zero rounds; the entry is invalidated on local mutation and verified by
+  /// the piggybacked stat sub of every batched read), falling back to one
+  /// charged stat round that primes the cache.
+  Result<BlobStat> cached_stat(const std::string& base);
 
   // --- client metadata cache (StoreConfig::client_meta_cache) --------------
 

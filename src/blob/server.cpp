@@ -258,13 +258,19 @@ Result<ReadOutcome> BlobServer::read(const std::string& key, std::uint64_t off,
 }
 
 void BlobServer::read_batch(const ReadSubOp* subs, std::size_t count,
-                            ReadSubResult* results, SimMicros* service_us) {
+                            ReadSubResult* results, SimMicros* service_us,
+                            SimMicros* per_op_us) {
   auto& m = server_metrics();
   // One structure-lock acquisition and one fixed CPU charge for the whole
   // envelope; each sub-op then pays exactly what read()/stat() would have
   // charged for its own data (stat subs ride along for 1µs).
   std::shared_lock lk(mu_);
   SimMicros t = costs_.cpu_op_us;
+  // Digest-only subs are answered from the extent index (span_probe folds
+  // the stored per-extent checksums) — no payload bytes are read, so a
+  // quorum vote costs what a stat does, and the reply carries only
+  // (version, digest). probe_payload votes charge the full read cost
+  // anyway: they stand in for a real payload serve on a hedged replica.
   for (std::size_t i = 0; i < count; ++i) {
     const ReadSubOp& sub = subs[i];
     ReadSubResult& res = results[i];
@@ -276,26 +282,83 @@ void BlobServer::read_batch(const ReadSubOp* subs, std::size_t count,
       auto s = engine_.size(*sub.key);
       if (!s.ok()) {
         res.err = Errc::not_found;
+        if (per_op_us) per_op_us[i] = t;
         continue;
       }
       res.size = s.value();
       res.version = engine_.version(*sub.key).value_or(0);
+      if (per_op_us) per_op_us[i] = t;
+      continue;
+    }
+    if (sub.digest_only) {
+      std::uint64_t obj_size = 0;
+      SpanProbeOutcome probe;
+      const Errc perr = [&] {
+        std::scoped_lock elk(engine_mu_);
+        auto pr = engine_.span_probe(*sub.key, sub.off, sub.len);
+        if (!pr.ok()) return pr.code();
+        probe = pr.value();
+        obj_size = engine_.size(*sub.key).value_or(0);
+        res.version = engine_.version(*sub.key).value_or(0);
+        return Errc::ok;
+      }();
+      if (perr != Errc::ok) {
+        res.err = perr;
+        t += 1;
+        if (per_op_us) per_op_us[i] = t;
+        continue;
+      }
+      res.digest = probe.digest;
+      res.data_len = probe.data_len;  // the payload bytes the vote avoided
+      res.covered = probe.covered;
+      if (sub.probe_payload) {
+        m.read.calls.inc();
+        m.read_bytes.add(probe.data_len);
+        t += svc_bytes_cpu(probe.data_len);
+        const bool cached = node_->cache().touch_read(fnv1a64(*sub.key), obj_size);
+        if (cached || probe.extents_touched == 0) {
+          t += 1;
+        } else {
+          const auto& dp = node_->disk().params();
+          t += node_->disk().service_us(probe.data_len, /*sequential=*/false);
+          t += static_cast<SimMicros>(probe.extents_touched - 1) *
+               (dp.rotational_us / 2);
+        }
+      } else {
+        m.stat.calls.inc();
+        t += 1;
+      }
+      if (per_op_us) per_op_us[i] = t;
       continue;
     }
     std::uint64_t obj_size = 0;
+    Version obj_version = 0;
+    std::uint64_t span_digest = 0;
     auto r = [&] {
       std::scoped_lock elk(engine_mu_);
       auto rr = engine_.read_into(*sub.key, sub.off, sub.dst);
-      if (rr.ok()) obj_size = engine_.size(*sub.key).value_or(0);
+      if (rr.ok()) {
+        obj_size = engine_.size(*sub.key).value_or(0);
+        obj_version = engine_.version(*sub.key).value_or(0);
+        if (sub.want_digest) {
+          // Same extent-index fold the digest-only votes use, so both sides
+          // of an arbitration compare digests with one definition.
+          auto pr = engine_.span_probe(*sub.key, sub.off, sub.dst.size());
+          if (pr.ok()) span_digest = pr.value().digest;
+        }
+      }
       return rr;
     }();
     if (!r.ok()) {
       res.err = r.code();
+      if (per_op_us) per_op_us[i] = t;
       continue;
     }
     const auto& out = r.value();
     res.data_len = out.data_len;
     res.covered = out.covered;
+    res.version = obj_version;
+    res.digest = span_digest;
     m.read.calls.inc();
     m.read_bytes.add(out.data_len);
     t += svc_bytes_cpu(out.data_len);
@@ -307,6 +370,7 @@ void BlobServer::read_batch(const ReadSubOp* subs, std::size_t count,
       t += node_->disk().service_us(out.data_len, /*sequential=*/false);
       t += static_cast<SimMicros>(out.extents_touched - 1) * (dp.rotational_us / 2);
     }
+    if (per_op_us) per_op_us[i] = t;
   }
   *service_us = t;
 }

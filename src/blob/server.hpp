@@ -100,6 +100,20 @@ class BlobServer {
     std::uint64_t off = 0;
     MutableByteView dst;
     bool stat_only = false;
+    /// Quorum-vote probe: answer (version, digest) from the extent index —
+    /// no payload bytes are read or shipped, so a vote costs what a stat
+    /// does. `dst` is empty; `len` carries the span the digest must cover.
+    bool digest_only = false;
+    /// Payload sub of a quorum round: also ship the span digest so the
+    /// client can accept a lower-versioned payload whose bytes match the
+    /// winning replica's (version bump without content change).
+    bool want_digest = false;
+    /// With digest_only: charge the full payload read cost anyway (cache /
+    /// disk / per-byte CPU). The hedged-read stand-in uses this — it models
+    /// a real payload serve on the alternate replica while keeping the
+    /// caller's buffer single-writer.
+    bool probe_payload = false;
+    std::uint64_t len = 0;  ///< span length for digest_only subs (dst empty)
   };
 
   struct ReadSubResult {
@@ -107,16 +121,20 @@ class BlobServer {
     std::uint64_t data_len = 0;   ///< bytes within the object (wire payload)
     std::uint64_t covered = 0;    ///< extent-backed bytes among data_len
     std::uint64_t size = 0;       ///< object size (stat subs; 0 on not_found)
-    Version version = 0;          ///< object version (stat subs; 0 on not_found)
+    Version version = 0;          ///< object version (read + stat subs)
+    std::uint64_t digest = 0;     ///< span checksum when requested (0 = none)
   };
 
   /// Execute a batch of read/stat sub-ops under ONE structure-lock
   /// acquisition. Per-sub costs match read()/stat() exactly; the fixed
   /// request-handling CPU (cpu_op_us) is charged once for the envelope.
   /// Writes the total service time to *service_us; `results` must hold
-  /// `count` entries.
+  /// `count` entries. When `per_op_us` is non-null it receives `count`
+  /// cumulative service marks (sub i complete at serve-start + per_op_us[i])
+  /// so the client can stream per-sub completions out of one queueing trip,
+  /// mirroring apply_ops.
   void read_batch(const ReadSubOp* subs, std::size_t count, ReadSubResult* results,
-                  SimMicros* service_us);
+                  SimMicros* service_us, SimMicros* per_op_us = nullptr);
   Result<Version> truncate(const std::string& key, std::uint64_t new_size,
                            SimMicros* service_us);
   Result<std::uint64_t> size(const std::string& key, SimMicros* service_us);

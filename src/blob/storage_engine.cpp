@@ -284,6 +284,43 @@ Result<ReadIntoOutcome> StorageEngine::read_into(const std::string& key,
   return out;
 }
 
+Result<SpanProbeOutcome> StorageEngine::span_probe(const std::string& key,
+                                                   std::uint64_t offset,
+                                                   std::uint64_t len) const {
+  auto it = objects_.find(key);
+  if (it == objects_.end()) return {Errc::not_found, key};
+  const ObjectRec& rec = it->second;
+  SpanProbeOutcome out;
+  out.digest = 0x9d5c0a7c3f4e1b27ULL;  // nonzero seed: 0 means "no digest" on the wire
+  if (offset >= rec.length || len == 0) return out;
+  out.data_len = std::min(len, rec.length - offset);
+  const std::uint64_t end = offset + out.data_len;
+  for (const Extent& e : rec.extents) {
+    const std::uint64_t e_end = e.log_off + e.len;
+    if (e_end <= offset || e.log_off >= end) continue;
+    const std::uint64_t lo = std::max(e.log_off, offset);
+    const std::uint64_t hi = std::min(e_end, end);
+    // The fold pins the window's position in the span, its position inside
+    // the extent, and the whole-extent (length, checksum): equal tuples mean
+    // the window covers the same bytes. Split/trimmed extents dropped their
+    // checksum (0), so hash their overlapping stored bytes instead.
+    std::uint64_t content = e.checksum;
+    if (content == 0) {
+      const Bytes& seg = segments_[e.segment];
+      content = content_checksum(
+          subview(as_view(seg), e.seg_off + (lo - e.log_off), hi - lo));
+    }
+    out.digest = hash_combine(out.digest, lo - offset);
+    out.digest = hash_combine(out.digest, hi - lo);
+    out.digest = hash_combine(out.digest, lo - e.log_off);
+    out.digest = hash_combine(out.digest, e.len);
+    out.digest = hash_combine(out.digest, content);
+    out.covered += hi - lo;
+    ++out.extents_touched;
+  }
+  return out;
+}
+
 Result<Version> StorageEngine::truncate(const std::string& key, std::uint64_t new_size) {
   auto it = objects_.find(key);
   if (it == objects_.end()) return {Errc::not_found, key};

@@ -61,6 +61,16 @@ struct ReadIntoOutcome {
   std::uint32_t extents_touched = 0;
 };
 
+/// Outcome of a span_probe: the digest a quorum vote ships plus the exact
+/// accounting a payload read of the same span would have reported, so the
+/// caller can charge read-equivalent costs without materializing bytes.
+struct SpanProbeOutcome {
+  std::uint64_t digest = 0;     ///< fold of the overlapping extent checksums
+  std::uint64_t data_len = 0;   ///< bytes a payload read would carry
+  std::uint64_t covered = 0;    ///< extent-backed bytes among data_len
+  std::uint32_t extents_touched = 0;
+};
+
 class StorageEngine {
  public:
   explicit StorageEngine(EngineConfig cfg = {});
@@ -122,6 +132,19 @@ class StorageEngine {
   /// the object's length are left untouched (they already read as zero).
   Result<ReadIntoOutcome> read_into(const std::string& key, std::uint64_t offset,
                                     MutableByteView dst) const;
+
+  /// Metadata-proportional span digest for quorum votes: folds the stored
+  /// per-extent checksums overlapping [offset, offset + len) — clipped at
+  /// the object's length, like a read — into one value, without touching
+  /// payload bytes. Replicas that applied the same op stream hold identical
+  /// extent layouts, so equal digests mean byte-identical read replies;
+  /// layouts that differ over identical bytes only differ in digest, which
+  /// costs the client a spurious (but safe) payload refetch. Extents whose
+  /// whole-extent checksum was dropped (overwrite splits, truncate trims)
+  /// fall back to hashing their overlapping stored bytes.
+  [[nodiscard]] Result<SpanProbeOutcome> span_probe(const std::string& key,
+                                                    std::uint64_t offset,
+                                                    std::uint64_t len) const;
 
   /// Grow (sparse) or shrink the object.
   Result<Version> truncate(const std::string& key, std::uint64_t new_size);

@@ -109,14 +109,14 @@ std::uint64_t wire_size(const BatchOp& op) noexcept {
 }
 
 std::uint64_t wire_size(const BatchRequest& req) noexcept {
-  std::uint64_t n = 4;  // op count u32
+  std::uint64_t n = 1 + 4;  // flags u8 + op count u32
   for (const BatchOp& op : req.ops) n += wire_size(op);
   return n;
 }
 
 std::uint64_t wire_size(const BatchSubStatus& sub) noexcept {
-  // errc u8 + size u64 + version u64 + data (u64 + bytes).
-  return 1 + 8 + 8 + (8 + sub.data.size());
+  // errc u8 + size u64 + version u64 + digest u64 + data (u64 + bytes).
+  return 1 + 8 + 8 + 8 + (8 + sub.data.size());
 }
 
 std::uint64_t wire_size(const BatchReply& reply) noexcept {
@@ -127,6 +127,7 @@ std::uint64_t wire_size(const BatchReply& reply) noexcept {
 
 Bytes encode(const BatchRequest& req) {
   WireWriter w;
+  w.put_u8(req.flags);
   w.put_u32(static_cast<std::uint32_t>(req.ops.size()));
   for (const BatchOp& op : req.ops) {
     w.put_u8(static_cast<std::uint8_t>(op.kind));
@@ -147,6 +148,7 @@ Bytes encode(const BatchReply& reply) {
     w.put_u8(sub.errc);
     w.put_u64(sub.size);
     w.put_u64(sub.version);
+    w.put_u64(sub.digest);
     w.put_bytes(sub.data);
   }
   return std::move(w).take();
@@ -154,9 +156,12 @@ Bytes encode(const BatchReply& reply) {
 
 Result<BatchRequest> decode_batch_request(ByteView buf) {
   WireReader r(buf);
+  auto flags = r.get_u8();
+  if (!flags.ok()) return flags.error();
   auto count = r.get_u32();
   if (!count.ok()) return count.error();
   BatchRequest req;
+  req.flags = flags.value();
   req.ops.reserve(count.value());
   for (std::uint32_t i = 0; i < count.value(); ++i) {
     BatchOp op;
@@ -207,6 +212,9 @@ Result<BatchReply> decode_batch_reply(ByteView buf) {
     auto version = r.get_u64();
     if (!version.ok()) return version.error();
     sub.version = version.value();
+    auto digest = r.get_u64();
+    if (!digest.ok()) return digest.error();
+    sub.digest = digest.value();
     auto data = r.get_bytes_view();
     if (!data.ok()) return data.error();
     sub.data = data.value();

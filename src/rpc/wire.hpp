@@ -100,7 +100,14 @@ struct BatchOp {
   ByteView data;              ///< write payload (empty otherwise)
 };
 
+/// BatchRequest::flags bit: the sender wants per-sub freshness marks only —
+/// replies carry (version, digest) per read sub and no payload bytes. The
+/// quorum read path sends one digest-only envelope per non-primary candidate
+/// so wire bytes stay ~1x under replication instead of Rx.
+inline constexpr std::uint8_t kBatchDigestOnly = 0x1;
+
 struct BatchRequest {
+  std::uint8_t flags = 0;  ///< kBatchDigestOnly et al.
   std::vector<BatchOp> ops;
 };
 
@@ -108,6 +115,7 @@ struct BatchSubStatus {
   std::uint8_t errc = 0;      ///< numeric Errc of this sub-op (0 = ok)
   std::uint64_t size = 0;     ///< object size (stat) / bytes applied (mutations)
   std::uint64_t version = 0;  ///< post-op / current object version
+  std::uint64_t digest = 0;   ///< extent-index span digest of the read span (0 = none)
   ByteView data;              ///< read payload (empty otherwise)
 };
 

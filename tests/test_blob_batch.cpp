@@ -5,7 +5,9 @@
 // behavior of absent / at-EOF striped reads.
 #include <gtest/gtest.h>
 
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "blob/client.hpp"
@@ -63,8 +65,8 @@ TEST(BatchWire, RequestRoundTripPinsWireSize) {
 TEST(BatchWire, ReplyRoundTripPinsWireSize) {
   const Bytes payload = make_payload(9, 0, 129);
   rpc::BatchReply reply;
-  reply.subs.push_back({0, 129, 42, as_view(payload)});
-  reply.subs.push_back({static_cast<std::uint8_t>(Errc::not_found), 0, 0, {}});
+  reply.subs.push_back({0, 129, 42, 0x5eedULL, as_view(payload)});
+  reply.subs.push_back({static_cast<std::uint8_t>(Errc::not_found), 0, 0, 0, {}});
 
   const Bytes buf = rpc::encode(reply);
   ASSERT_EQ(rpc::wire_size(reply), buf.size());
@@ -73,8 +75,21 @@ TEST(BatchWire, ReplyRoundTripPinsWireSize) {
   ASSERT_TRUE(dec.ok());
   ASSERT_EQ(dec.value().subs.size(), 2u);
   EXPECT_EQ(dec.value().subs[0].version, 42u);
+  EXPECT_EQ(dec.value().subs[0].digest, 0x5eedULL);
   EXPECT_TRUE(equal(dec.value().subs[0].data, as_view(payload)));
   EXPECT_EQ(dec.value().subs[1].errc, static_cast<std::uint8_t>(Errc::not_found));
+  EXPECT_EQ(dec.value().subs[1].digest, 0u);
+}
+
+TEST(BatchWire, RequestFlagsRoundTrip) {
+  rpc::BatchRequest req;
+  req.flags = rpc::kBatchDigestOnly;
+  req.ops.push_back({rpc::BatchOpKind::read, "k", 1, 0, 64, 0, {}});
+  const Bytes buf = rpc::encode(req);
+  ASSERT_EQ(rpc::wire_size(req), buf.size());
+  auto dec = rpc::decode_batch_request(as_view(buf));
+  ASSERT_TRUE(dec.ok());
+  EXPECT_EQ(dec.value().flags, rpc::kBatchDigestOnly);
 }
 
 TEST(BatchWire, RejectsUnknownKindAndTruncation) {
@@ -82,7 +97,7 @@ TEST(BatchWire, RejectsUnknownKindAndTruncation) {
   req.ops.push_back({rpc::BatchOpKind::write, "k", 1, 0, 0, 0, {}});
   Bytes buf = rpc::encode(req);
   Bytes bad = buf;
-  bad[4] = std::byte{99};  // kind of the first op, after the u32 count
+  bad[5] = std::byte{99};  // kind of the first op, after the flags u8 + u32 count
   EXPECT_FALSE(rpc::decode_batch_request(as_view(bad)).ok());
   buf.pop_back();
   EXPECT_FALSE(rpc::decode_batch_request(as_view(buf)).ok());
@@ -160,16 +175,48 @@ ScriptResult run_script(const StoreConfig& cfg) {
   return out;
 }
 
-TEST(BatchEquivalence, BatchedAndPerLegProduceIdenticalResults) {
-  const ScriptResult on = run_script(batched_cfg());
-  const ScriptResult off = run_script(per_leg_cfg());
+void expect_equivalent(const ScriptResult& on, const ScriptResult& off) {
   ASSERT_EQ(on.reads.size(), off.reads.size());
   ASSERT_EQ(on.errs, off.errs);
   ASSERT_EQ(on.sizes, off.sizes);
   for (std::size_t i = 0; i < on.reads.size(); ++i) {
     EXPECT_TRUE(equal(as_view(on.reads[i]), as_view(off.reads[i])))
-        << "read " << i << " diverged between batched and per-leg modes";
+        << "read " << i << " diverged between the two modes";
   }
+}
+
+TEST(BatchEquivalence, BatchedAndPerLegProduceIdenticalResults) {
+  expect_equivalent(run_script(batched_cfg()), run_script(per_leg_cfg()));
+}
+
+TEST(BatchEquivalence, PerLegWithMetaCacheMatchesUncached) {
+  StoreConfig cached = per_leg_cfg();
+  cached.client_meta_cache = true;
+  expect_equivalent(run_script(cached), run_script(per_leg_cfg()));
+}
+
+TEST(QuorumBatchEquivalence, R2BatchedMatchesPerLeg) {
+  StoreConfig on = batched_cfg();
+  on.write_quorum = 2;  // replication 3 -> R = 2: every read arbitrates
+  StoreConfig off = per_leg_cfg();
+  off.write_quorum = 2;
+  expect_equivalent(run_script(on), run_script(off));
+}
+
+TEST(QuorumBatchEquivalence, R3BatchedMatchesPerLeg) {
+  StoreConfig on = batched_cfg();
+  on.write_quorum = 1;  // replication 3 -> R = 3: full-set arbitration
+  StoreConfig off = per_leg_cfg();
+  off.write_quorum = 1;
+  expect_equivalent(run_script(on), run_script(off));
+}
+
+TEST(QuorumBatchEquivalence, HedgedBatchedMatchesPerLeg) {
+  StoreConfig on = batched_cfg();
+  on.hedge.enabled = true;
+  on.hedge.fixed_delay_us = 1;  // hedge aggressively; results must not change
+  StoreConfig off = per_leg_cfg();
+  expect_equivalent(run_script(on), run_script(off));
 }
 
 // --- coalescing -----------------------------------------------------------
@@ -298,6 +345,302 @@ TEST_F(MetaCacheTest, LocalMutationsInvalidate) {
   auto r2 = a_.read("k", 0, kChunk);
   ASSERT_TRUE(r2.ok());
   EXPECT_EQ(r2.value().size(), 10u);
+}
+
+// --- per-sub quorum voting in the batch envelope --------------------------
+
+TEST(QuorumBatchedReads, SixteenChunkReadShipsOneEnvelopePerGroupReplica) {
+  sim::Cluster cluster;
+  StoreConfig cfg = batched_cfg();
+  cfg.write_quorum = 2;  // replication 3 -> R = 2
+  BlobStore store(cluster, cfg);
+  sim::SimAgent agent;
+  BlobClient client(store, &agent);
+
+  const Bytes data = make_payload(20, 0, 16 * kChunk);
+  ASSERT_TRUE(client.write("e", 0, as_view(data)).ok());
+
+  // Reproduce the client's grouping: chunks sharing their first-R-live
+  // replica tuple ride one envelope pair (the stat sentinel uses the base
+  // key, which IS chunk 0's key, so it joins chunk 0's group).
+  std::set<std::vector<std::uint32_t>> tuples;
+  for (std::uint64_t c = 0; c < 16; ++c) {
+    const auto reps = store.replicas_of(chunk_engine_key("e", c));
+    ASSERT_GE(reps.size(), 2u);
+    tuples.insert({reps[0], reps[1]});
+  }
+  const auto groups = static_cast<std::uint64_t>(tuples.size());
+
+  const std::uint64_t env0 = client.counters().batch_envelopes;
+  const std::uint64_t probes0 = client.counters().quorum_probes;
+  const std::uint64_t winners0 = client.counters().quorum_winners;
+  const std::uint64_t savings0 = client.counters().quorum_digest_savings_bytes;
+  auto r = client.read("e", 0, 16 * kChunk);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(equal(as_view(r.value()), as_view(data)));
+
+  // One payload envelope + one digest-only envelope per candidate tuple;
+  // every sub resolves on the first vote (no refetch), so each sub-op's
+  // payload crossed the wire exactly once.
+  EXPECT_EQ(client.counters().batch_envelopes - env0, 2 * groups);
+  EXPECT_EQ(client.counters().quorum_probes - probes0, groups);
+  EXPECT_EQ(client.counters().quorum_winners - winners0, 16u);
+  EXPECT_EQ(client.counters().quorum_refetches, 0u);
+  // The digest-only envelopes saved ~1 payload per probed group.
+  EXPECT_GE(client.counters().quorum_digest_savings_bytes - savings0,
+            groups * kChunk);
+}
+
+TEST(QuorumBatchedReads, StaleReplicaPayloadLosesTheVoteAndIsRefetched) {
+  sim::Cluster cluster;
+  StoreConfig cfg = batched_cfg();
+  cfg.write_quorum = 2;  // R = 2
+  BlobStore store(cluster, cfg);
+  sim::SimAgent agent;
+  BlobClient client(store, &agent);
+
+  const Bytes v1 = make_payload(21, 0, 3 * kChunk);
+  ASSERT_TRUE(client.write("q", 0, as_view(v1)).ok());
+  const Bytes v2 = make_payload(22, 7, 3 * kChunk);
+  ASSERT_TRUE(client.write("q", 0, as_view(v2)).ok());
+
+  // Roll chunk 1's payload-bearing replica (candidate 0 in replica order)
+  // back to its v1 copy — exactly what a replica that missed the second
+  // mutation looks like under quorum writes.
+  const std::string c1 = chunk_engine_key("q", 1);
+  const auto replicas = store.replicas_of(c1);
+  ASSERT_GE(replicas.size(), 2u);
+  SimMicros svc = 0;
+  ASSERT_TRUE(store.server(replicas[0])
+                  .install_copy(c1, subview(as_view(v1), kChunk, kChunk), kChunk,
+                                /*version=*/1, &svc)
+                  .ok());
+
+  auto r = client.read("q", 0, 3 * kChunk);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(equal(as_view(r.value()), as_view(v2)))
+      << "stale candidate-0 payload must lose the per-sub version vote";
+  EXPECT_GE(client.counters().quorum_probes, 1u);
+  EXPECT_GE(client.counters().quorum_refetches, 1u);
+}
+
+TEST(QuorumBatchedReads, OlderVersionIdenticalPayloadAcceptedByDigest) {
+  sim::Cluster cluster;
+  StoreConfig cfg = batched_cfg();
+  cfg.write_quorum = 2;  // R = 2
+  BlobStore store(cluster, cfg);
+  sim::SimAgent agent;
+  BlobClient client(store, &agent);
+
+  const Bytes v1 = make_payload(23, 0, 3 * kChunk);
+  ASSERT_TRUE(client.write("q", 0, as_view(v1)).ok());
+  ASSERT_TRUE(client.write("q", 0, as_view(v1)).ok());  // no-op rewrite, version bump
+
+  // Candidate 0 of chunk 1 missed the rewrite: older version, same bytes.
+  const std::string c1 = chunk_engine_key("q", 1);
+  const auto replicas = store.replicas_of(c1);
+  SimMicros svc = 0;
+  ASSERT_TRUE(store.server(replicas[0])
+                  .install_copy(c1, subview(as_view(v1), kChunk, kChunk), kChunk,
+                                /*version=*/1, &svc)
+                  .ok());
+
+  const std::uint64_t winners0 = client.counters().quorum_winners;
+  auto r = client.read("q", 0, 3 * kChunk);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(equal(as_view(r.value()), as_view(v1)));
+  // The span digests matched, so the older payload was accepted as-is:
+  // no second payload transfer.
+  EXPECT_EQ(client.counters().quorum_refetches, 0u);
+  EXPECT_GT(client.counters().quorum_winners, winners0);
+}
+
+TEST(QuorumBatchedReads, HolesArbitrateAtR2) {
+  // Sparse blob at R = 2: chunks 0-2 are absent on every replica (a hole is
+  // "absent everywhere", not a stale divergence) and must stay zero.
+  sim::Cluster cluster;
+  StoreConfig cfg = batched_cfg();
+  cfg.write_quorum = 2;
+  BlobStore store(cluster, cfg);
+  sim::SimAgent agent;
+  BlobClient client(store, &agent);
+
+  const Bytes tail = make_payload(24, 0, 4096);
+  ASSERT_TRUE(client.write("sp", 3 * kChunk + 11, as_view(tail)).ok());
+  auto r = client.read("sp", 0, 4 * kChunk);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().size(), 3 * kChunk + 11 + 4096);
+  Bytes expect(3 * kChunk + 11 + 4096, std::byte{0});
+  std::copy(tail.begin(), tail.end(),
+            expect.begin() + static_cast<std::ptrdiff_t>(3 * kChunk + 11));
+  EXPECT_TRUE(equal(as_view(r.value()), as_view(expect)));
+  EXPECT_EQ(client.counters().quorum_refetches, 0u);
+}
+
+TEST(HedgedBatchedReads, HedgeComposesWithBatchedStriping) {
+  sim::Cluster cluster;
+  StoreConfig cfg = batched_cfg();
+  cfg.hedge.enabled = true;
+  cfg.hedge.fixed_delay_us = 1;        // hedge on every group
+  cfg.hedge.min_samples = 1u << 30;    // stay on the fixed delay
+  BlobStore store(cluster, cfg);
+  sim::SimAgent agent;
+  BlobClient client(store, &agent);
+
+  const Bytes data = make_payload(25, 0, 6 * kChunk);
+  ASSERT_TRUE(client.write("h", 0, as_view(data)).ok());
+  auto r = client.read("h", 0, 6 * kChunk);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(equal(as_view(r.value()), as_view(data)));
+  EXPECT_GE(client.counters().hedges, 1u);
+
+  // Hedged AND quorum together: votes + hedges on the same envelopes.
+  StoreConfig qcfg = cfg;
+  qcfg.write_quorum = 2;
+  sim::Cluster cluster2;
+  BlobStore store2(cluster2, qcfg);
+  sim::SimAgent agent2;
+  BlobClient client2(store2, &agent2);
+  ASSERT_TRUE(client2.write("h", 0, as_view(data)).ok());
+  auto r2 = client2.read("h", 0, 6 * kChunk);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(equal(as_view(r2.value()), as_view(data)));
+  EXPECT_GE(client2.counters().quorum_probes, 1u);
+  EXPECT_EQ(client2.counters().quorum_refetches, 0u);
+}
+
+// --- read accounting across the three read paths (satellite) --------------
+
+TEST(ReadAccounting, AllReadPathsDecomposeIdentically) {
+  // The same logical content and read script must yield byte-identical
+  // results AND identical {bytes_read, read_hole_bytes} decompositions on
+  // every read path: single-chunk (chunk_bytes = 0), per-leg striped
+  // (cached and uncached), and batched striped (R = 1 and R = 2).
+  struct Totals {
+    std::uint64_t bytes_read = 0;
+    std::uint64_t holes = 0;
+    std::uint64_t returned = 0;
+    std::vector<Bytes> reads;
+  };
+  auto run = [](StoreConfig cfg) {
+    sim::Cluster cluster;
+    BlobStore store(cluster, cfg);
+    sim::SimAgent agent;
+    BlobClient client(store, &agent);
+    EXPECT_TRUE(
+        client.write("x", 3 * kChunk + 11, as_view(make_payload(26, 0, 4096))).ok());
+    EXPECT_TRUE(client.write("x", kChunk - 5, as_view(make_payload(27, 0, 10))).ok());
+    EXPECT_TRUE(client.truncate("x", 5 * kChunk).ok());  // tail hole
+    Totals t;
+    for (const auto& [off, len] :
+         std::vector<std::pair<std::uint64_t, std::uint64_t>>{
+             {0, 6 * kChunk},           // whole blob, clipped at EOF
+             {kChunk - 8, 20},          // extent straddling a chunk boundary
+             {2 * kChunk, kChunk},      // pure hole chunk
+             {4 * kChunk + 1, kChunk},  // tail hole, clipped
+         }) {
+      auto r = client.read("x", off, len);
+      EXPECT_TRUE(r.ok());
+      t.returned += r.ok() ? r.value().size() : 0;
+      t.reads.push_back(r.ok() ? std::move(r.value()) : Bytes{});
+    }
+    t.bytes_read = client.counters().bytes_read;
+    t.holes = client.counters().read_hole_bytes;
+    return t;
+  };
+
+  StoreConfig single = batched_cfg();
+  single.chunk_bytes = 0;  // never stripes: the single-chunk read path
+  StoreConfig cached_leg = per_leg_cfg();
+  cached_leg.client_meta_cache = true;
+  StoreConfig quorum = batched_cfg();
+  quorum.write_quorum = 2;
+
+  const Totals base = run(single);
+  // Decomposition identity: every returned byte is extent-backed or hole.
+  EXPECT_EQ(base.bytes_read + base.holes, base.returned);
+  for (const StoreConfig& cfg :
+       {per_leg_cfg(), cached_leg, batched_cfg(), quorum}) {
+    const Totals t = run(cfg);
+    EXPECT_EQ(t.bytes_read, base.bytes_read);
+    EXPECT_EQ(t.holes, base.holes);
+    EXPECT_EQ(t.returned, base.returned);
+    ASSERT_EQ(t.reads.size(), base.reads.size());
+    for (std::size_t i = 0; i < t.reads.size(); ++i) {
+      EXPECT_TRUE(equal(as_view(t.reads[i]), as_view(base.reads[i])))
+          << "read " << i;
+    }
+  }
+}
+
+// --- size()/stat() through the metadata cache (satellite) -----------------
+
+TEST_F(MetaCacheTest, SizeAndStatAnswerFromTheCache) {
+  ASSERT_TRUE(a_.write("k", 0, as_view(make_payload(14, 0, 2 * kChunk))).ok());
+  const SimMicros t0 = agent_a_.now();
+  auto s = a_.size("k");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s.value(), 2 * kChunk);
+  EXPECT_EQ(agent_a_.now(), t0);  // cache hit: zero charged rounds
+  EXPECT_EQ(a_.counters().metacache_hits, 1u);
+
+  // A fresh client pays one charged stat round, then hits.
+  const SimMicros b0 = agent_b_.now();
+  ASSERT_TRUE(b_.stat("k").ok());
+  EXPECT_GT(agent_b_.now(), b0);
+  const SimMicros b1 = agent_b_.now();
+  auto s2 = b_.size("k");
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ(s2.value(), 2 * kChunk);
+  EXPECT_EQ(agent_b_.now(), b1);
+  EXPECT_EQ(b_.counters().metacache_misses, 1u);
+  EXPECT_EQ(b_.counters().metacache_hits, 1u);
+
+  // Local mutations keep the entry coherent: size() after truncate answers
+  // the new size from the refreshed entry.
+  ASSERT_TRUE(b_.truncate("k", 12345).ok());
+  auto s3 = b_.size("k");
+  ASSERT_TRUE(s3.ok());
+  EXPECT_EQ(s3.value(), 12345u);
+
+  // Absent blobs are never cached: each stat pays its round again.
+  EXPECT_EQ(b_.stat("ghost").code(), Errc::not_found);
+  const std::uint64_t misses = b_.counters().metacache_misses;
+  EXPECT_EQ(b_.stat("ghost").code(), Errc::not_found);
+  EXPECT_EQ(b_.counters().metacache_misses, misses + 1);
+}
+
+TEST(PerLegMetaCache, StripedReadsCountHitsAndMisses) {
+  // Satellite: the per-leg striped path uses the same cache + counters as
+  // the batched path. A stale entry is detected by the overlapped
+  // verification stat and the read is re-issued with the fresh layout.
+  sim::Cluster cluster;
+  StoreConfig cfg = per_leg_cfg();
+  cfg.client_meta_cache = true;
+  BlobStore store(cluster, cfg);
+  sim::SimAgent agent_a, agent_b;
+  BlobClient a(store, &agent_a);
+  BlobClient b(store, &agent_b);
+
+  const Bytes data = make_payload(15, 0, 3 * kChunk);
+  ASSERT_TRUE(a.write("k", 0, as_view(data)).ok());  // write primes the cache
+  ASSERT_TRUE(a.read("k", 0, 3 * kChunk).ok());
+  ASSERT_TRUE(a.read("k", kChunk, kChunk).ok());
+  EXPECT_EQ(a.counters().metacache_hits, 2u);
+  EXPECT_EQ(a.counters().metacache_misses, 0u);
+
+  ASSERT_TRUE(b.read("k", 0, 3 * kChunk).ok());
+  ASSERT_TRUE(b.read("k", 0, 3 * kChunk).ok());
+  EXPECT_EQ(b.counters().metacache_misses, 1u);
+  EXPECT_EQ(b.counters().metacache_hits, 1u);
+
+  // Concurrent truncate behind a's cache: detected, relayouted, re-read.
+  ASSERT_TRUE(b.truncate("k", kChunk + 5).ok());
+  auto r = a.read("k", 0, 3 * kChunk);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().size(), kChunk + 5);
+  EXPECT_TRUE(equal(as_view(r.value()), subview(as_view(data), 0, kChunk + 5)));
+  EXPECT_GE(a.counters().metacache_invalidations, 1u);
 }
 
 // --- absent / at-EOF striped reads (satellite: full-len probe legs) -------

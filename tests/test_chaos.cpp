@@ -170,6 +170,7 @@ struct ChaosOutcome {
   std::uint64_t sheds_observed = 0;    ///< client-side Errc::overloaded attempts
   std::uint64_t deadline_exceeded = 0; ///< ops stopped by a spent op budget
   std::uint64_t breaker_opens = 0;     ///< per-node breakers tripped
+  std::uint64_t read_quorum = 0;       ///< effective R the schedule ran at
 };
 
 class ChaosRun {
@@ -183,6 +184,7 @@ class ChaosRun {
     // single-leg paths and the traces must match exactly (asserted below).
     cfg.batched_striping = batched;
     cfg.client_meta_cache = batched;
+    out_.read_quorum = cfg.read_quorum();
     store_ = std::make_unique<BlobStore>(cluster_, cfg);
     client_ = std::make_unique<BlobClient>(*store_, &agent_);
     persist::JournalConfig jcfg;
@@ -552,7 +554,7 @@ TEST(Chaos, MixedWorkloadSurvivesFaultScheduleDeterministically) {
                 "retries=%llu hints=%llu failovers=%llu churn_moved=%llu "
                 "dual_writes=%llu overload_sheds=%llu sheds_observed=%llu "
                 "overload_span_us=%llu deadline_exceeded=%llu "
-                "breaker_opens=%llu\n",
+                "breaker_opens=%llu read_quorum=%llu\n",
                 static_cast<unsigned long long>(seed),
                 static_cast<unsigned long long>(first.ops),
                 static_cast<unsigned long long>(first.acked),
@@ -569,7 +571,8 @@ TEST(Chaos, MixedWorkloadSurvivesFaultScheduleDeterministically) {
                 static_cast<unsigned long long>(first.sheds_observed),
                 static_cast<unsigned long long>(first.overload_span_us),
                 static_cast<unsigned long long>(first.deadline_exceeded),
-                static_cast<unsigned long long>(first.breaker_opens));
+                static_cast<unsigned long long>(first.breaker_opens),
+                static_cast<unsigned long long>(first.read_quorum));
   }
 }
 
