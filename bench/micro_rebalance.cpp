@@ -188,6 +188,102 @@ void BM_DecommissionDrain(benchmark::State& state) {
 }
 BENCHMARK(BM_DecommissionDrain)->Unit(benchmark::kMillisecond);
 
+// --- concurrent joins: overlapped epoch chain vs serialized windows ---------
+// Two servers join the same preloaded store. Arg 0 runs the windows one
+// after the other (each drained to finalize before the next opens — the
+// pre-chain schedule); Arg 1 opens both, drains them interleaved on two
+// separate migration agents, and finalizes out of order. Wall-clock
+// migration time is the serialized sum vs the overlapped max; a foreground
+// write rides along every drain round in both schedules, so sim_p50_us is
+// the per-write tax of the (deeper) open window.
+
+void BM_ConcurrentJoin(benchmark::State& state) {
+  const bool overlapped = state.range(0) != 0;
+  Histogram fg;
+  Histogram dur;
+  std::uint64_t keys = 0;
+  const Bytes data = make_payload(13, 0, kPayload);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Rig rig;
+    state.ResumeTiming();
+    blob::RebalanceConfig rcfg;
+    rcfg.batch_keys = 8;
+    std::uint64_t fg_seq = 0;
+    const auto foreground = [&] {
+      const SimMicros t0 = rig.agent.now();
+      auto r = rig.client.write(
+          strfmt("o-%04d", static_cast<int>(fg_seq++ % kObjects)), 0, as_view(data));
+      benchmark::DoNotOptimize(r.ok());
+      fg.add(static_cast<std::uint64_t>(rig.agent.now() - t0));
+    };
+    if (overlapped) {
+      if (!rig.store.begin_add_server(rig.cluster.compute_node(0), rcfg).ok() ||
+          !rig.store.begin_add_server(rig.cluster.compute_node(1), rcfg).ok()) {
+        state.SkipWithError("begin_add_server failed");
+        return;
+      }
+      blob::Rebalancer* rb0 = rig.store.rebalancer_at(0);
+      blob::Rebalancer* rb1 = rig.store.rebalancer_at(1);
+      sim::SimAgent m0;
+      sim::SimAgent m1;
+      while (!rb0->done() || !rb1->done()) {
+        if (!rb0->done() && !rb0->step(&m0).ok()) {
+          state.SkipWithError("migration failed");
+          return;
+        }
+        if (!rb1->done() && !rb1->step(&m1).ok()) {
+          state.SkipWithError("migration failed");
+          return;
+        }
+        foreground();
+      }
+      // Out-of-order finalize: the newer epoch cuts over first.
+      if (!rb1->finalize(&m1).ok() || !rb0->finalize(&m0).ok()) {
+        state.SkipWithError("finalize failed");
+        return;
+      }
+      dur.add(static_cast<std::uint64_t>(std::max(m0.now(), m1.now())));
+      keys += rb0->progress().keys_moved + rb1->progress().keys_moved;
+    } else {
+      SimMicros total = 0;
+      for (int j = 0; j < 2; ++j) {
+        if (!rig.store.begin_add_server(rig.cluster.compute_node(j), rcfg).ok()) {
+          state.SkipWithError("begin_add_server failed");
+          return;
+        }
+        blob::Rebalancer* rb = rig.store.rebalancer();
+        sim::SimAgent mig;
+        while (!rb->done()) {
+          if (!rb->step(&mig).ok()) {
+            state.SkipWithError("migration failed");
+            return;
+          }
+          foreground();
+        }
+        if (!rb->finalize(&mig).ok()) {
+          state.SkipWithError("finalize failed");
+          return;
+        }
+        total += mig.now();
+        keys += rb->progress().keys_moved;
+      }
+      dur.add(static_cast<std::uint64_t>(total));
+    }
+  }
+  state.SetLabel(overlapped ? "overlapped" : "serialized");
+  const auto iters = static_cast<double>(state.iterations());
+  state.counters["sim_migration_us"] = benchmark::Counter(
+      iters > 0 ? dur.mean() * static_cast<double>(dur.count()) / iters : 0.0);
+  state.counters["sim_p50_us"] =
+      benchmark::Counter(static_cast<double>(fg.percentile(50)));
+  state.counters["sim_p99_us"] =
+      benchmark::Counter(static_cast<double>(fg.percentile(99)));
+  state.counters["keys_moved_per_run"] =
+      benchmark::Counter(iters > 0 ? static_cast<double>(keys) / iters : 0.0);
+}
+BENCHMARK(BM_ConcurrentJoin)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
 /// Console reporter that also captures every run for `--json <path>` output
 /// (the machine-readable perf trajectory; schema in EXPERIMENTS.md).
 class CapturingReporter : public benchmark::ConsoleReporter {

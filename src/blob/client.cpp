@@ -110,6 +110,8 @@ struct ClientMetrics {
       obs::MetricsRegistry::global().counter("client.batch.retries");
   obs::Counter& dual_writes =
       obs::MetricsRegistry::global().counter("rebalance.dual_writes");
+  obs::Counter& chain_dual_writes =
+      obs::MetricsRegistry::global().counter("rebalance.chain_dual_writes");
   // Overload resilience: end-to-end deadline budgets, the client-wide retry
   // token bucket, and the per-node circuit breakers.
   obs::Counter& deadline_exceeded =
@@ -664,6 +666,10 @@ Status BlobClient::mutation_leg(const std::string& ekey,
     if (continue_versions && !ends_removed) (void)tgt.force_version(ekey, new_version);
     counters_.dual_writes.inc();
     client_metrics().dual_writes.inc();
+    if (p.windows >= 2) {
+      counters_.chain_dual_writes.inc();
+      client_metrics().chain_dual_writes.inc();
+    }
     const SimMicros arr = prim_done + net.transfer_us(req) + dd.extra_latency_us;
     done = std::max(done, tgt.node().serve(arr, dsvc) + net.transfer_us(kEnvelope) +
                               dd.extra_latency_us);
@@ -782,6 +788,7 @@ Status BlobClient::mutation_group_leg(std::vector<BatchSub*>& subs,
   struct SubState {
     std::vector<std::uint32_t> replicas;
     std::vector<std::uint32_t> pending;  ///< dual-write targets (migration)
+    std::uint32_t windows = 0;           ///< open windows with this key pending
     bool skip = false;  ///< tolerated not_found: the chunk is a hole
     Version pre_version = 0;
     Version new_version = 0;
@@ -808,6 +815,7 @@ Status BlobClient::mutation_group_leg(std::vector<BatchSub*>& subs,
       if (p.replicas.empty()) return {Errc::no_space, "no storage nodes in ring"};
       st[i].replicas = p.replicas;
       st[i].pending = p.pending;
+      st[i].windows = p.windows;
       for (std::uint32_t n : p.replicas) node_keys[n].push_back(subs[i]->ekey);
       for (std::uint32_t n : p.pending) node_keys[n].push_back(subs[i]->ekey);
     }
@@ -1084,6 +1092,10 @@ Status BlobClient::mutation_group_leg(std::vector<BatchSub*>& subs,
       }
       counters_.dual_writes.inc();
       client_metrics().dual_writes.inc();
+      if (st[i].windows >= 2) {
+        counters_.chain_dual_writes.inc();
+        client_metrics().chain_dual_writes.inc();
+      }
       const SimMicros arr = prim_done + net.transfer_us(dreq) + dd.extra_latency_us;
       done = std::max(done, tgt.node().serve(arr, dsvc) + net.transfer_us(kEnvelope) +
                                 dd.extra_latency_us);

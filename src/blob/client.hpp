@@ -87,6 +87,7 @@ struct ClientCounters {
   obs::LocalCounter epoch_refreshes;     ///< placement-cache flush + refetch events
   obs::LocalCounter stale_epoch_retries; ///< legs re-run after a stale-epoch stamp
   obs::LocalCounter dual_writes;         ///< mutations mirrored to pending new owners
+  obs::LocalCounter chain_dual_writes;   ///< ...with >= 2 overlapping windows pending
   obs::LocalCounter batch_retries;       ///< whole-envelope re-sends before degrading
   // Overload resilience (see DESIGN.md "Overload model").
   obs::LocalCounter sheds_observed;      ///< attempts bounced Errc::overloaded

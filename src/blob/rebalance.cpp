@@ -12,10 +12,10 @@ namespace bsc::blob {
 
 namespace {
 
-/// Registry series for the rebalance subsystem. `rebalance.dual_writes` is
-/// incremented by the client's mutation legs; it is interned here too so a
-/// metrics snapshot taken before the first dual write still carries the
-/// series.
+/// Registry series for the rebalance subsystem. `rebalance.dual_writes` and
+/// `rebalance.chain_dual_writes` are incremented by the client's mutation
+/// legs; they are interned here too so a metrics snapshot taken before the
+/// first dual write still carries the series.
 struct RebalanceMetrics {
   obs::Counter& keys_moved;
   obs::Counter& bytes_moved;
@@ -36,6 +36,8 @@ struct RebalanceMetrics {
     // Gauges published by the store; touching them here pins the series.
     obs::MetricsRegistry::global().gauge("rebalance.epoch");
     obs::MetricsRegistry::global().gauge("rebalance.active");
+    obs::MetricsRegistry::global().gauge("rebalance.chain_depth");
+    obs::MetricsRegistry::global().counter("rebalance.chain_dual_writes");
   }
 };
 
@@ -44,14 +46,16 @@ RebalanceMetrics& rebalance_metrics() {
   return m;
 }
 
-/// Ascending union of two replica sets — the rebalancer's lock set for one
-/// key (same ascending-node global order the clients use).
+/// Ascending union of replica sets — the rebalancer's lock set for one key
+/// (same ascending-node global order the clients use).
 std::vector<std::uint32_t> lock_union(const std::vector<std::uint32_t>& a,
-                                      const std::vector<std::uint32_t>& b) {
+                                      const std::vector<std::uint32_t>& b,
+                                      const std::vector<std::uint32_t>& c = {}) {
   std::vector<std::uint32_t> u;
-  u.reserve(a.size() + b.size());
+  u.reserve(a.size() + b.size() + c.size());
   u.insert(u.end(), a.begin(), a.end());
   u.insert(u.end(), b.begin(), b.end());
+  u.insert(u.end(), c.begin(), c.end());
   std::sort(u.begin(), u.end());
   u.erase(std::unique(u.begin(), u.end()), u.end());
   return u;
@@ -76,169 +80,217 @@ constexpr std::uint64_t kEnvelopeBytes = 32;  ///< batch header + framing
 
 }  // namespace
 
-Rebalancer::Rebalancer(BlobStore& store, Kind kind, std::uint32_t subject,
+Rebalancer::Rebalancer(BlobStore& store, std::shared_ptr<MigrationWindow> window,
                        RebalanceConfig cfg)
-    : store_(&store), kind_(kind), subject_(subject), cfg_(cfg) {
+    : store_(&store), win_(std::move(window)), cfg_(cfg) {
   if (cfg_.batch_keys == 0) cfg_.batch_keys = 1;
   std::shared_lock lk(store_->mig_mu_);
-  prog_.keys_total = store_->plan_ ? store_->plan_->keys.size() : 0;
+  prog_.keys_total = win_->plan.keys.size();
 }
 
 Rebalancer::~Rebalancer() { join(); }
 
 std::uint64_t Rebalancer::pending_count() const {
   std::shared_lock lk(store_->mig_mu_);
-  return store_->plan_ ? store_->plan_->pending : 0;
+  return win_->plan.pending;
 }
 
 bool Rebalancer::done() const { return pending_count() == 0; }
 
-void Rebalancer::flip_migrated(const std::string& key) {
+void Rebalancer::flip_migrated(MigrationWindow& win, const std::string& key) {
   // Caller still holds the key's stripes on every involved server, so a
   // writer whose placement said "pending" is either serialized before this
   // flip (the copy above included its write) or after it (it re-fetches
   // placement per-op and dual-applied to the new owners anyway).
   std::unique_lock lk(store_->mig_mu_);
-  if (!store_->plan_) return;
-  auto it = store_->plan_->keys.find(key);
-  if (it == store_->plan_->keys.end()) return;
+  auto it = win.plan.keys.find(key);
+  if (it == win.plan.keys.end()) return;
   if (it->second.state != MigrationPlan::KeyState::pending) return;
   it->second.state = MigrationPlan::KeyState::migrated;
-  --store_->plan_->pending;
+  --win.plan.pending;
 }
 
-Status Rebalancer::migrate_key(const std::string& key,
-                               const MigrationPlan::Entry& entry,
-                               std::map<std::uint32_t, NodeCharge>* charges,
-                               std::uint64_t* moved_bytes) {
+Status Rebalancer::migrate_entry(MigrationWindow& win, const std::string& key,
+                                 std::map<std::uint32_t, NodeCharge>* charges,
+                                 std::uint64_t* moved_bytes) {
   BlobStore& st = *store_;
-  const std::vector<std::uint32_t> involved =
-      lock_union(entry.old_replicas, entry.new_replicas);
-  std::vector<BlobServer::KeyLock> locks;
-  locks.reserve(involved.size());
-  for (std::uint32_t n : involved) locks.push_back(st.servers_[n]->lock_key(key));
-
-  // Freshest live source among the OLD (authoritative) replicas.
-  bool found = false;
-  bool any_old_down = false;
-  std::uint32_t best = 0;
-  Version best_v = 0;
-  for (std::uint32_t r : entry.old_replicas) {
-    if (st.is_down(r)) {
-      any_old_down = true;
-      continue;
-    }
-    auto v = st.servers_[r]->peek_version(key);
-    if (!v.ok()) continue;
-    if (!found || v.value() > best_v) {
-      found = true;
-      best = r;
-      best_v = v.value();
-    }
-  }
-  if (!found) {
-    if (any_old_down) {
-      // The only holders are down — defer; finalize retries after recovery.
-      return {Errc::busy, "no live source for " + key};
-    }
-    // Removed on every live old replica while pending: nothing to move (the
-    // dual-applied remove already cleared any pending-target copy).
-    flip_migrated(key);
-    std::scoped_lock plk(prog_mu_);
-    ++prog_.keys_moved;
-    return Status::success();
-  }
-
-  BlobServer& src = *st.servers_[best];
-  auto size = src.peek_size(key);
-  if (!size.ok()) {
-    flip_migrated(key);
-    std::scoped_lock plk(prog_mu_);
-    ++prog_.keys_moved;
-    return Status::success();
-  }
-  SimMicros src_svc = 0;
-  auto data = src.read_locked(key, 0, size.value(), &src_svc);
-  if (!data.ok()) return data.error();
-  if (charges) {
-    auto& c = (*charges)[best];
-    c.service_us += src_svc;
-  }
-
-  for (std::uint32_t t : entry.new_replicas) {
-    if (contains(entry.old_replicas, t)) continue;  // holds the history already
-    if (st.is_down(t)) {
-      // Mirror hinted handoff: the drain after recovery installs the copy;
-      // finalize() re-verifies before the window can close.
-      if (src.add_hint(t, key)) {
-        std::scoped_lock plk(prog_mu_);
-        ++prog_.hinted_down_targets;
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    // Snapshot the entry and the chain fold: the fold's authoritative set is
+    // where the data lives (an older window's old set while that window is
+    // still draining) — the entry's own old set may not hold it yet.
+    std::vector<std::uint32_t> auth;
+    std::vector<std::uint32_t> targets;
+    std::vector<std::uint32_t> involved;
+    {
+      std::shared_lock lk(st.mig_mu_);
+      const auto it = win.plan.keys.find(key);
+      if (it == win.plan.keys.end() ||
+          it->second.state != MigrationPlan::KeyState::pending) {
+        return Status::success();  // raced: already migrated or re-based away
       }
-      continue;
+      auth = st.placement_locked(key).replicas;
+      for (std::uint32_t t : it->second.new_replicas) {
+        if (!contains(it->second.old_replicas, t)) targets.push_back(t);
+      }
+      involved = lock_union(auth, it->second.old_replicas, it->second.new_replicas);
     }
-    // Version-exact copy — but never backwards: a dual write that already
-    // landed on the pending owner may have advanced it past the source
-    // snapshot we hold.
-    const Version tv = st.servers_[t]->peek_version(key).value_or(0);
-    if (tv >= best_v) {
+    std::vector<BlobServer::KeyLock> locks;
+    locks.reserve(involved.size());
+    for (std::uint32_t n : involved) locks.push_back(st.servers_[n]->lock_key(key));
+
+    // Re-validate under the stripes: another window's finalize (mig_mu_
+    // exclusive, no stripes held) may have re-based this entry or shifted
+    // the fold between the snapshot and the lock acquisition.
+    {
+      std::shared_lock lk(st.mig_mu_);
+      const auto it = win.plan.keys.find(key);
+      if (it == win.plan.keys.end() ||
+          it->second.state != MigrationPlan::KeyState::pending) {
+        return Status::success();
+      }
+      std::vector<std::uint32_t> targets_now;
+      for (std::uint32_t t : it->second.new_replicas) {
+        if (!contains(it->second.old_replicas, t)) targets_now.push_back(t);
+      }
+      if (st.placement_locked(key).replicas != auth || targets_now != targets) {
+        continue;  // stale snapshot — drop the stripes and retry
+      }
+    }
+
+    // Freshest live source among the fold-authoritative replicas.
+    bool found = false;
+    bool any_auth_down = false;
+    std::uint32_t best = 0;
+    Version best_v = 0;
+    for (std::uint32_t r : auth) {
+      if (st.is_down(r)) {
+        any_auth_down = true;
+        continue;
+      }
+      auto v = st.servers_[r]->peek_version(key);
+      if (!v.ok()) continue;
+      if (!found || v.value() > best_v) {
+        found = true;
+        best = r;
+        best_v = v.value();
+      }
+    }
+    if (!found) {
+      if (any_auth_down) {
+        // The only holders are down — defer; finalize retries after recovery.
+        return {Errc::busy, "no live source for " + key};
+      }
+      // Removed on every live authoritative replica while pending: nothing to
+      // move (the dual-applied remove already cleared any pending-target copy).
+      flip_migrated(win, key);
       std::scoped_lock plk(prog_mu_);
-      ++prog_.skipped_fresh;
-      continue;
+      ++prog_.keys_moved;
+      return Status::success();
     }
-    SimMicros put_svc = 0;
-    auto ist = st.servers_[t]->install_copy_locked(key, as_view(data.value().data),
-                                                   size.value(), best_v, &put_svc);
-    if (!ist.ok()) return ist;
+
+    BlobServer& src = *st.servers_[best];
+    auto size = src.peek_size(key);
+    if (!size.ok()) {
+      flip_migrated(win, key);
+      std::scoped_lock plk(prog_mu_);
+      ++prog_.keys_moved;
+      return Status::success();
+    }
+    SimMicros src_svc = 0;
+    auto data = src.read_locked(key, 0, size.value(), &src_svc);
+    if (!data.ok()) return data.error();
     if (charges) {
-      auto& c = (*charges)[t];
-      c.wire_bytes += copy_wire_bytes(key, size.value());
-      ++c.subs;
-      c.service_us += put_svc;
+      auto& c = (*charges)[best];
+      c.service_us += src_svc;
     }
-    *moved_bytes += size.value();
+
+    for (std::uint32_t t : targets) {
+      if (st.is_down(t)) {
+        // Mirror hinted handoff: the drain after recovery installs the copy;
+        // finalize() re-verifies before the window can close.
+        if (src.add_hint(t, key)) {
+          std::scoped_lock plk(prog_mu_);
+          ++prog_.hinted_down_targets;
+        }
+        continue;
+      }
+      // Version-exact copy — but never backwards: a dual write that already
+      // landed on the pending owner may have advanced it past the source
+      // snapshot we hold.
+      const Version tv = st.servers_[t]->peek_version(key).value_or(0);
+      if (tv >= best_v) {
+        std::scoped_lock plk(prog_mu_);
+        ++prog_.skipped_fresh;
+        continue;
+      }
+      SimMicros put_svc = 0;
+      auto ist = st.servers_[t]->install_copy_locked(key, as_view(data.value().data),
+                                                     size.value(), best_v, &put_svc);
+      if (!ist.ok()) return ist;
+      if (charges) {
+        auto& c = (*charges)[t];
+        c.wire_bytes += copy_wire_bytes(key, size.value());
+        ++c.subs;
+        c.service_us += put_svc;
+      }
+      if (moved_bytes) *moved_bytes += size.value();
+      {
+        std::scoped_lock plk(prog_mu_);
+        ++prog_.copies_installed;
+        prog_.bytes_moved += size.value();
+      }
+      rebalance_metrics().bytes_moved.add(size.value());
+    }
+
+    flip_migrated(win, key);
     {
       std::scoped_lock plk(prog_mu_);
-      ++prog_.copies_installed;
-      prog_.bytes_moved += size.value();
+      ++prog_.keys_moved;
     }
-    rebalance_metrics().bytes_moved.add(size.value());
+    rebalance_metrics().keys_moved.inc();
+    return Status::success();
   }
-
-  flip_migrated(key);
-  {
-    std::scoped_lock plk(prog_mu_);
-    ++prog_.keys_moved;
-  }
-  rebalance_metrics().keys_moved.inc();
-  return Status::success();
+  // Four straight snapshot invalidations: heavy concurrent cutover churn.
+  // The key stays pending; the next step() retries it.
+  return {Errc::busy, "placement churned under migration of " + key};
 }
 
 void Rebalancer::pace(sim::SimAgent* agent, std::uint64_t batch_bytes) {
   if (agent == nullptr || cfg_.throttle_bytes_per_sec == 0) return;
   const double secs = static_cast<double>(batch_bytes) /
                       static_cast<double>(cfg_.throttle_bytes_per_sec);
-  next_allowed_us_ = agent->now() + static_cast<SimMicros>(secs * 1e6);
+  // The horizon is store-shared: every open window's batches push it, so
+  // concurrent migrations split one bandwidth budget.
+  std::scoped_lock tl(store_->mig_throttle_.mu);
+  SimMicros& next = store_->mig_throttle_.next_allowed_us;
+  next = std::max(next, agent->now()) + static_cast<SimMicros>(secs * 1e6);
 }
 
 Status Rebalancer::step(sim::SimAgent* agent) {
   if (finished() || cancelled()) return Status::success();
   BlobStore& st = *store_;
 
-  // Throttle: the previous batch's bytes dictate when this one may start.
+  // Throttle: the cumulative bytes of every window's previous batches
+  // dictate when this one may start.
   if (agent != nullptr && cfg_.throttle_bytes_per_sec != 0) {
-    agent->advance_to(next_allowed_us_);
+    SimMicros horizon = 0;
+    {
+      std::scoped_lock tl(st.mig_throttle_.mu);
+      horizon = st.mig_throttle_.next_allowed_us;
+    }
+    agent->advance_to(horizon);
   }
   const SimMicros batch_start = agent ? agent->now() : 0;
 
   // Snapshot the next batch of pending keys (deterministic map order).
-  std::vector<std::pair<std::string, MigrationPlan::Entry>> batch;
+  std::vector<std::string> batch;
   {
     std::shared_lock lk(st.mig_mu_);
-    if (!st.plan_ || st.plan_->pending == 0) return Status::success();
+    if (win_->plan.pending == 0) return Status::success();
     batch.reserve(cfg_.batch_keys);
-    for (const auto& [key, entry] : st.plan_->keys) {
+    for (const auto& [key, entry] : win_->plan.keys) {
       if (entry.state != MigrationPlan::KeyState::pending) continue;
-      batch.emplace_back(key, entry);
+      batch.push_back(key);
       if (batch.size() >= cfg_.batch_keys) break;
     }
   }
@@ -247,9 +299,9 @@ Status Rebalancer::step(sim::SimAgent* agent) {
   std::map<std::uint32_t, NodeCharge> charges;
   std::uint64_t batch_bytes = 0;
   std::uint64_t deferred = 0;
-  for (const auto& [key, entry] : batch) {
+  for (const auto& key : batch) {
     if (cancelled()) break;
-    auto s = migrate_key(key, entry, &charges, &batch_bytes);
+    auto s = migrate_entry(*win_, key, &charges, &batch_bytes);
     if (!s.ok()) {
       if (s.code() == Errc::busy) {
         ++deferred;  // stays pending; finalize retries after recovery
@@ -337,19 +389,23 @@ Status Rebalancer::finalize(sim::SimAgent* agent) {
   std::vector<std::pair<std::string, MigrationPlan::Entry>> entries;
   {
     std::shared_lock lk(st.mig_mu_);
-    if (st.plan_) {
-      entries.reserve(st.plan_->keys.size());
-      for (const auto& kv : st.plan_->keys) entries.push_back(kv);
-    }
+    entries.reserve(win_->plan.keys.size());
+    for (const auto& kv : win_->plan.keys) entries.push_back(kv);
   }
 
   // Verify sweep: every new-only owner must hold the key at (at least) the
-  // freshest live old-replica version; a decommission additionally digest-
-  // compares contents so the drain is verified, not assumed. Stragglers
-  // (e.g. a dual write that missed its pending target) are re-copied here.
+  // freshest live fold-authoritative version; a decommission additionally
+  // digest-compares contents so the drain is verified, not assumed.
+  // Stragglers (e.g. a dual write that missed its pending target) are
+  // re-copied here.
   for (const auto& [key, entry] : entries) {
+    std::vector<std::uint32_t> auth;
+    {
+      std::shared_lock lk(st.mig_mu_);
+      auth = st.placement_locked(key).replicas;
+    }
     const std::vector<std::uint32_t> involved =
-        lock_union(entry.old_replicas, entry.new_replicas);
+        lock_union(auth, entry.old_replicas, entry.new_replicas);
     std::vector<BlobServer::KeyLock> locks;
     locks.reserve(involved.size());
     for (std::uint32_t n : involved) locks.push_back(st.servers_[n]->lock_key(key));
@@ -357,7 +413,7 @@ Status Rebalancer::finalize(sim::SimAgent* agent) {
     bool found = false;
     std::uint32_t best = 0;
     Version best_v = 0;
-    for (std::uint32_t r : entry.old_replicas) {
+    for (std::uint32_t r : auth) {
       if (st.is_down(r)) continue;
       auto v = st.servers_[r]->peek_version(key);
       if (!v.ok()) continue;
@@ -380,7 +436,7 @@ Status Rebalancer::finalize(sim::SimAgent* agent) {
     for (std::uint32_t t : entry.new_replicas) {
       if (contains(entry.old_replicas, t)) continue;
       if (st.is_down(t)) {
-        if (kind_ == Kind::decommission) {
+        if (kind() == Kind::decommission) {
           return {Errc::busy,
                   "decommission drain unverified: target " + std::to_string(t) +
                       " is down"};
@@ -388,14 +444,17 @@ Status Rebalancer::finalize(sim::SimAgent* agent) {
         continue;  // add: the hint installs it on recovery; resync backstops
       }
       BlobServer& dst = *st.servers_[t];
-      bool recopy = dst.peek_version(key).value_or(0) < best_v;
-      if (!recopy && kind_ == Kind::decommission) {
-        // Digest comparison against the draining source's copy.
+      const Version dv = dst.peek_version(key).value_or(0);
+      bool recopy = dv < best_v;
+      if (!recopy && dv == best_v && kind() == Kind::decommission) {
+        // Digest comparison against the draining source's copy. A target
+        // FRESHER than the source (dual write landed after our snapshot)
+        // needs no repair — overwriting it would roll an acked write back.
         auto dsize = dst.peek_size(key);
         SimMicros dsvc = 0;
         auto ddata = dsize.ok() ? dst.read_locked(key, 0, dsize.value(), &dsvc)
                                 : Result<ReadOutcome>(dsize.error());
-        const bool match = ddata.ok() && dst.peek_version(key).value_or(0) == best_v &&
+        const bool match = ddata.ok() &&
                            content_checksum(as_view(ddata.value().data)) == src_digest;
         {
           std::scoped_lock plk(prog_mu_);
@@ -426,24 +485,75 @@ Status Rebalancer::finalize(sim::SimAgent* agent) {
     }
   }
 
-  // Cutover: close the window and bump the epoch BEFORE dropping stale
-  // copies, so a client still holding a pending-window placement fails the
-  // stamp check (and re-fetches the new ring) rather than reading a replica
-  // the drop pass is about to clear.
+  // A decommission may not cut over while the leaving node is still
+  // AUTHORITATIVE for keys of OLDER open windows (their pending entries'
+  // old sets contain it — the sweep below would destroy live copies).
+  // Force-complete those entries now, oldest window first: the same copy
+  // the owning window's rebalancer would make, just on this window's
+  // schedule. Flipping them walks the subject out of every fold.
+  if (kind() == Kind::decommission) {
+    std::vector<std::pair<std::shared_ptr<MigrationWindow>, std::string>> work;
+    {
+      std::shared_lock lk(st.mig_mu_);
+      for (const auto& w : st.chain_) {
+        if (w.get() == win_.get()) break;  // only windows OLDER than this one
+        for (const auto& [k, e] : w->plan.keys) {
+          if (e.state == MigrationPlan::KeyState::pending &&
+              contains(e.old_replicas, subject())) {
+            work.emplace_back(w, k);
+          }
+        }
+      }
+    }
+    std::uint64_t forced_bytes = 0;
+    for (const auto& [w, k] : work) {
+      auto s = migrate_entry(*w, k, nullptr, &forced_bytes);
+      if (!s.ok()) return s;  // busy: a source is down — the window stays open
+    }
+  }
+
+  // Cutover: remove this window from the chain and bump the epoch BEFORE
+  // dropping stale copies, so a client still holding a pending-window
+  // placement fails the stamp check (and re-fetches) rather than reading a
+  // replica the drop pass is about to clear. A decommission additionally
+  // re-bases the surviving windows' entries: the leaving node is stripped
+  // from their dual-write target sets so no fold ever resolves to it again.
+  std::uint64_t rebased = 0;
   {
     std::unique_lock lk(st.mig_mu_);
-    st.migrating_.store(false, std::memory_order_release);
-    st.plan_.reset();
-    st.old_ring_.reset();
+    auto it = std::find_if(st.chain_.begin(), st.chain_.end(),
+                           [&](const auto& w) { return w.get() == win_.get(); });
+    if (it != st.chain_.end()) st.chain_.erase(it);
+    if (kind() == Kind::decommission) {
+      for (const auto& w : st.chain_) {
+        for (auto& [k, e] : w->plan.keys) {
+          (void)k;
+          auto ne = std::remove(e.new_replicas.begin(), e.new_replicas.end(),
+                                subject());
+          if (ne != e.new_replicas.end()) {
+            e.new_replicas.erase(ne, e.new_replicas.end());
+            ++rebased;
+          }
+        }
+      }
+    }
+    st.migrating_.store(!st.chain_.empty(), std::memory_order_release);
     st.ring_.bump_epoch();
   }
+  if (rebased > 0) {
+    std::scoped_lock plk(prog_mu_);
+    prog_.rebased_entries += rebased;
+  }
   st.publish_epoch();
-  obs::MetricsRegistry::global().gauge("rebalance.active").set(0);
 
-  // Drop copies from servers that no longer own their keys.
+  // Drop copies nothing places anymore: every node this window's entries
+  // ever involved (old or new side) that the post-cutover fold — which
+  // still sees the surviving windows — neither lists as authoritative nor
+  // as a dual-write target.
   for (const auto& [key, entry] : entries) {
-    for (std::uint32_t n : entry.old_replicas) {
-      if (contains(entry.new_replicas, n)) continue;
+    const Placement p = st.placement_of(key);
+    for (std::uint32_t n : lock_union(entry.old_replicas, entry.new_replicas)) {
+      if (contains(p.replicas, n) || contains(p.pending, n)) continue;
       if (st.is_down(n)) continue;  // resync's ghost pass cleans it later
       BlobServer& holder = *st.servers_[n];
       SimMicros peek_svc = 0;
@@ -461,14 +571,95 @@ Status Rebalancer::finalize(sim::SimAgent* agent) {
     }
   }
 
-  // A decommissioned server leaves empty: sweep whatever it still holds
-  // (ghost copies included — it owns no placement anymore).
-  if (kind_ == Kind::decommission && !st.is_down(subject_)) {
-    BlobServer& subject = *st.servers_[subject_];
+  // A decommissioned server leaves empty: sweep whatever it still holds —
+  // except keys an older still-open window's fold still pins to it (its
+  // copy there is authoritative until that window migrates the key; that
+  // window's own finalize drops it).
+  if (kind() == Kind::decommission && !st.is_down(subject())) {
+    BlobServer& subj = *st.servers_[subject()];
     SimMicros scan_svc = 0;
-    for (const auto& s : subject.scan("", &scan_svc)) {
+    for (const auto& s : subj.scan("", &scan_svc)) {
+      const Placement p = st.placement_of(s.key);
+      if (contains(p.replicas, subject()) || contains(p.pending, subject())) continue;
       SimMicros rm_svc = 0;
-      (void)subject.remove(s.key, &rm_svc);
+      (void)subj.remove(s.key, &rm_svc);
+      std::scoped_lock plk(prog_mu_);
+      ++prog_.copies_dropped;
+    }
+  }
+
+  finished_.store(true, std::memory_order_release);
+  return Status::success();
+}
+
+Status Rebalancer::abort(sim::SimAgent* agent) {
+  if (finished()) return {Errc::busy, "window already finalized"};
+  BlobStore& st = *store_;
+  cancel();
+  join();
+
+  // Snapshot the entries for the cleanup pass below.
+  std::vector<std::pair<std::string, MigrationPlan::Entry>> entries;
+  {
+    std::shared_lock lk(st.mig_mu_);
+    entries.reserve(win_->plan.keys.size());
+    for (const auto& kv : win_->plan.keys) entries.push_back(kv);
+  }
+
+  // Undo the membership delta and remove the window from the chain. Vnode
+  // placement depends only on (node id, weight), and open windows have
+  // distinct subjects, so re-deriving the surviving windows' ring sequence
+  // afterwards reproduces their placements exactly.
+  {
+    std::unique_lock lk(st.mig_mu_);
+    auto it = std::find_if(st.chain_.begin(), st.chain_.end(),
+                           [&](const auto& w) { return w.get() == win_.get(); });
+    if (it != st.chain_.end()) st.chain_.erase(it);
+    if (kind() == Kind::add) {
+      if (st.ring_.has_node(subject())) st.ring_.remove_node(subject());
+    } else {
+      if (!st.ring_.has_node(subject())) st.ring_.add_node(subject(), win_->weight);
+    }
+    st.migrating_.store(!st.chain_.empty(), std::memory_order_release);
+  }
+  // Surviving windows' plans were computed against ring states that
+  // included the reverted delta — rebuild them against the restored
+  // sequence, deriving each entry's state from who actually holds the data.
+  st.rebuild_chain_plans();
+  st.publish_epoch();
+
+  // Drop the copies this window's migration installed that nothing places
+  // anymore (fold-checked: a surviving window may legitimately keep one).
+  for (const auto& [key, entry] : entries) {
+    const Placement p = st.placement_of(key);
+    for (std::uint32_t t : entry.new_replicas) {
+      if (contains(entry.old_replicas, t)) continue;
+      if (contains(p.replicas, t) || contains(p.pending, t)) continue;
+      if (st.is_down(t)) continue;
+      BlobServer& holder = *st.servers_[t];
+      SimMicros peek_svc = 0;
+      if (!holder.stat(key, &peek_svc).ok()) continue;
+      SimMicros rm_svc = 0;
+      (void)holder.remove(key, &rm_svc);
+      if (agent) {
+        st.transport_.call_reliable(*agent, holder.node(), 64, 64,
+                                    peek_svc + rm_svc);
+      } else {
+        holder.node().serve(0, peek_svc + rm_svc);
+      }
+      std::scoped_lock plk(prog_mu_);
+      ++prog_.copies_dropped;
+    }
+  }
+
+  // An aborted joiner leaves empty — it owns no placement on any surviving
+  // ring state.
+  if (kind() == Kind::add && !st.is_down(subject())) {
+    BlobServer& subj = *st.servers_[subject()];
+    SimMicros scan_svc = 0;
+    for (const auto& s : subj.scan("", &scan_svc)) {
+      SimMicros rm_svc = 0;
+      (void)subj.remove(s.key, &rm_svc);
       std::scoped_lock plk(prog_mu_);
       ++prog_.copies_dropped;
     }

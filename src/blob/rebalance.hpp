@@ -4,23 +4,33 @@
 // computes the ownership delta between the pre-change and post-change rings
 // and opens a MIGRATION WINDOW: every key whose replica set changed gets a
 // plan entry that starts `pending` and flips to `migrated` once its data has
-// been copied, version-exact, onto every new owner. While a key is pending,
-// its OLD replica set stays authoritative (reads, write acks, quorum) and
-// the new-only owners are DUAL-WRITE targets — mutation legs forward to them
+// been copied, version-exact, onto every new owner. Windows form an EPOCH
+// CHAIN: several joins and leaves may be open at once, each with its own
+// ring-delta and per-key plan, and a key's placement is resolved by folding
+// the chain oldest → newest (see BlobStore::placement_of). While a key has
+// any pending entry, the old set of its OLDEST pending epoch stays
+// authoritative (reads, write acks, quorum) and every newer-epoch new-only
+// owner is a DUAL-WRITE target — mutation legs forward to the whole union
 // opportunistically, mirroring hinted handoff, so a write landing on either
-// side of the copy instant is never lost. The Rebalancer drains the plan in
-// throttled batches; `finalize()` verifies every moved key (version compare,
-// plus content-digest comparison when a decommission is draining a source),
-// cuts the window over (epoch bump, stale-copy drop), and for a decommission
-// leaves the subject empty and out of the ring.
+// side of any copy instant is never lost. One Rebalancer drains each
+// window's plan in batches, all of them paced by ONE shared store-level
+// throttle; `finalize()` verifies the moved keys (version compare, plus
+// content-digest comparison when a decommission is draining a source), cuts
+// that epoch out of the chain (re-basing older epochs' entries so they
+// target the post-cutover owners — finalize order is free, an inner epoch
+// may close before an outer one), bumps the ring epoch, and drops copies no
+// remaining epoch still needs.
 //
-// Pausing is free: every prefix of the migration is a correct system state
-// (the window just stays open), which is what cancel() relies on.
+// Pausing is free: every prefix of every migration is a correct system
+// state (the windows just stay open), which is what cancel() relies on.
+// abort() goes further and REVERTS one epoch's membership delta — the chain
+// afterwards is exactly as if that begin_* had never been called.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -42,7 +52,10 @@ struct RebalanceConfig {
   /// Keys copied per batch envelope (one throttle/pacing decision per batch).
   std::size_t batch_keys = 16;
   /// Simulated migration bandwidth cap in bytes per simulated second;
-  /// 0 = unthrottled. Pacing needs a SimAgent (steps without one just batch).
+  /// 0 = unthrottled. Pacing needs a SimAgent (steps without one just
+  /// batch). The pacing horizon is SHARED across every open window of the
+  /// store: concurrent migrations split one bandwidth budget instead of
+  /// each claiming their own.
   std::uint64_t throttle_bytes_per_sec = 0;
 };
 
@@ -62,6 +75,22 @@ struct MigrationPlan {
   std::uint64_t pending = 0;  ///< entries still in KeyState::pending
 };
 
+/// One epoch of the migration chain: a ring-delta (who joined or left, at
+/// what weight) plus the per-key plan that delta produced. Owned by the
+/// BlobStore's chain while open; the Rebalancer that drains it holds a
+/// shared_ptr so progress stays queryable after the window closes. All plan
+/// access is guarded by the store's migration mutex.
+struct MigrationWindow {
+  enum class Kind : std::uint8_t { add, decommission };
+
+  std::uint64_t id = 0;             ///< chain-unique, monotonically assigned
+  std::uint64_t epoch_at_open = 0;  ///< ring epoch right after this delta applied
+  Kind kind = Kind::add;
+  std::uint32_t subject = 0;  ///< the server joining (add) or leaving (decommission)
+  double weight = 1.0;        ///< ring capacity weight of the subject
+  MigrationPlan plan;
+};
+
 /// Counters of one rebalance run (plain reads are safe after join()/ a
 /// single-threaded step loop; the async driver updates them under a mutex).
 struct RebalanceProgress {
@@ -76,27 +105,37 @@ struct RebalanceProgress {
   std::uint64_t deferred = 0;          ///< keys postponed (no live source yet)
   std::uint64_t batches = 0;
   std::uint64_t copies_dropped = 0;    ///< stale copies removed at cutover
+  std::uint64_t rebased_entries = 0;   ///< older-epoch entries re-targeted by this finalize
 };
 
-/// Drives one membership change's data movement. Owned by the BlobStore that
-/// created it; at most one rebalance runs per store at a time.
+/// Drives one migration window's data movement. Owned by the BlobStore that
+/// created it; any number of Rebalancers (one per open window) may drain
+/// concurrently — their batches share the store's pacing horizon, and
+/// per-key stripe locks serialize same-key work across windows.
 class Rebalancer {
  public:
-  enum class Kind : std::uint8_t { add, decommission };
+  using Kind = MigrationWindow::Kind;
 
-  Rebalancer(BlobStore& store, Kind kind, std::uint32_t subject, RebalanceConfig cfg);
+  Rebalancer(BlobStore& store, std::shared_ptr<MigrationWindow> window,
+             RebalanceConfig cfg);
   ~Rebalancer();
 
   Rebalancer(const Rebalancer&) = delete;
   Rebalancer& operator=(const Rebalancer&) = delete;
 
-  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] Kind kind() const noexcept { return win_->kind; }
   /// The server joining (add) or leaving (decommission).
-  [[nodiscard]] std::uint32_t subject() const noexcept { return subject_; }
+  [[nodiscard]] std::uint32_t subject() const noexcept { return win_->subject; }
+  /// Chain-unique id of the window this rebalancer drains.
+  [[nodiscard]] std::uint64_t window_id() const noexcept { return win_->id; }
+  /// Ring epoch stamped when this window's delta was applied.
+  [[nodiscard]] std::uint64_t epoch_at_open() const noexcept {
+    return win_->epoch_at_open;
+  }
 
   /// Migrate up to cfg.batch_keys pending keys as one batched envelope per
-  /// (source, target) pair, respecting the throughput throttle. Returns ok
-  /// with no work left when the plan is drained (check done()).
+  /// (source, target) pair, respecting the shared throughput throttle.
+  /// Returns ok with no work left when the plan is drained (check done()).
   Status step(sim::SimAgent* agent = nullptr);
 
   /// step() until the plan drains (or cancel()), then finalize().
@@ -104,13 +143,22 @@ class Rebalancer {
 
   /// Verify the moved set (version floor on every new owner; content digest
   /// against the draining source for a decommission), repair stragglers,
-  /// then cut the window over: clear the plan, bump the ring epoch, drop
-  /// copies from servers that no longer own their keys, and (decommission)
-  /// drop everything the subject still holds before it leaves the ring.
+  /// then cut THIS window out of the chain: re-base older epochs' entries
+  /// onto the post-cutover owners, bump the ring epoch, and drop copies no
+  /// remaining epoch still places. Finalize order across the chain is free —
+  /// an inner (newer) epoch may finalize before an outer (older) one.
   /// Returns Errc::busy without cutting over when a decommission cannot be
   /// drain-verified (needed target down) — recover the target and call
   /// finalize() again; the window simply stays open.
   Status finalize(sim::SimAgent* agent = nullptr);
+
+  /// Revert this window's membership delta entirely: undo the ring change,
+  /// drop the copies the migration installed (nothing any remaining epoch
+  /// still places), rebuild the surviving windows' plans against the
+  /// restored ring sequence, and close the window. Afterwards the store is
+  /// exactly as if this begin_* had never been called. Like begin_*, call
+  /// quiescently with respect to OTHER windows' step() drivers.
+  Status abort(sim::SimAgent* agent = nullptr);
 
   /// Request a pause. step()/run_to_completion() return early; the migration
   /// window stays open and correct (dual writes keep flowing). Clear with
@@ -123,7 +171,7 @@ class Rebalancer {
 
   /// All plan entries migrated (finalize may still be outstanding).
   [[nodiscard]] bool done() const;
-  /// finalize() completed and the window is closed.
+  /// finalize() (or abort()) completed and the window is closed.
   [[nodiscard]] bool finished() const noexcept {
     return finished_.load(std::memory_order_acquire);
   }
@@ -137,6 +185,8 @@ class Rebalancer {
   [[nodiscard]] RebalanceProgress progress() const;
 
  private:
+  friend class BlobStore;
+
   /// Per-envelope accumulation of one batch's traffic toward a server.
   struct NodeCharge {
     std::uint64_t wire_bytes = 0;  ///< encoded sub-op bytes (rpc::wire_size)
@@ -144,22 +194,27 @@ class Rebalancer {
     SimMicros service_us = 0;
   };
 
-  /// Copy one pending key onto its new-only owners and flip it to migrated.
-  /// Returns Errc::busy when no live source exists yet (deferred).
-  Status migrate_key(const std::string& key, const MigrationPlan::Entry& entry,
-                     std::map<std::uint32_t, NodeCharge>* charges,
-                     std::uint64_t* moved_bytes);
+  /// Copy one pending key of `win` onto that window's new-only owners and
+  /// flip its entry to migrated. The source is the freshest live holder of
+  /// the key's CURRENT authoritative set (the chain fold — an older epoch's
+  /// old set while that epoch is still pending), not the entry's own old
+  /// set, which may not hold data yet while an older window drains. Usually
+  /// win == *win_; a decommission finalize also runs it against OLDER
+  /// windows' entries to force the leaving node out of every fold. Returns
+  /// Errc::busy when no live source exists yet (deferred).
+  Status migrate_entry(MigrationWindow& win, const std::string& key,
+                       std::map<std::uint32_t, NodeCharge>* charges,
+                       std::uint64_t* moved_bytes);
 
-  /// Throughput throttle: delay the next batch so cumulative bytes stay
-  /// under cfg.throttle_bytes_per_sec of simulated time.
+  /// Throughput throttle: push the store-shared horizon so cumulative
+  /// migration bytes (across every window) stay under the bandwidth cap.
   void pace(sim::SimAgent* agent, std::uint64_t batch_bytes);
 
   [[nodiscard]] std::uint64_t pending_count() const;
-  void flip_migrated(const std::string& key);
+  void flip_migrated(MigrationWindow& win, const std::string& key);
 
   BlobStore* store_;
-  Kind kind_;
-  std::uint32_t subject_;
+  std::shared_ptr<MigrationWindow> win_;
   RebalanceConfig cfg_;
 
   mutable std::mutex prog_mu_;
@@ -167,7 +222,6 @@ class Rebalancer {
 
   std::atomic<bool> cancel_{false};
   std::atomic<bool> finished_{false};
-  SimMicros next_allowed_us_ = 0;  ///< throttle horizon (simulated clock)
 
   std::thread thread_;
 };

@@ -238,8 +238,15 @@ class BlobServer {
   [[nodiscard]] std::uint64_t ring_epoch() const noexcept {
     return ring_epoch_.load(std::memory_order_acquire);
   }
+  /// Monotonic: concurrent publishes from overlapping migration windows may
+  /// arrive out of order, and a regressing stamp would make fresh clients
+  /// "refresh" onto a stale epoch.
   void set_ring_epoch(std::uint64_t e) noexcept {
-    ring_epoch_.store(e, std::memory_order_release);
+    std::uint64_t cur = ring_epoch_.load(std::memory_order_relaxed);
+    while (cur < e && !ring_epoch_.compare_exchange_weak(
+                          cur, e, std::memory_order_release,
+                          std::memory_order_relaxed)) {
+    }
   }
 
   // --- hinted handoff -------------------------------------------------------

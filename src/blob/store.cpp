@@ -22,48 +22,97 @@ BlobStore::BlobStore(sim::Cluster& cluster, StoreConfig cfg)
 }
 
 BlobStore::~BlobStore() {
-  if (rebalancer_) rebalancer_->join();
+  for (auto& r : rebalancers_) r->join();
 }
 
 Placement BlobStore::placement_of(std::string_view key) const {
   if (!migrating_.load(std::memory_order_acquire)) {
-    return {ring_.locate(key, cfg_.replication), {}, ring_.epoch()};
+    return {ring_.locate(key, cfg_.replication), {}, ring_.epoch(), 0};
   }
   std::shared_lock lk(mig_mu_);
-  if (!plan_) {  // window closed between the flag check and the lock
-    return {ring_.locate(key, cfg_.replication), {}, ring_.epoch()};
-  }
-  const auto it = plan_->keys.find(std::string(key));
-  if (it == plan_->keys.end()) {
-    // Placement unchanged by the membership change, or a key created after
-    // it: the target ring is authoritative.
-    return {ring_.locate(key, cfg_.replication), {}, ring_.epoch()};
-  }
-  const MigrationPlan::Entry& e = it->second;
-  if (e.state == MigrationPlan::KeyState::migrated) {
-    return {e.new_replicas, {}, ring_.epoch()};
-  }
-  // Pending: the old set keeps serving reads and counting acks; new-only
-  // owners are dual-write targets until the copy lands.
-  Placement p{e.old_replicas, {}, ring_.epoch()};
-  for (std::uint32_t n : e.new_replicas) {
-    if (std::find(e.old_replicas.begin(), e.old_replicas.end(), n) ==
-        e.old_replicas.end()) {
-      p.pending.push_back(n);
+  return placement_locked(key);
+}
+
+Placement BlobStore::placement_locked(std::string_view key) const {
+  // The chain fold, oldest→newest. The OLDEST window holding a pending
+  // entry for the key is authoritative: its old set is where acked data
+  // lives, so reads, acks and quorum counting stay there. Everything the
+  // key is heading toward — that window's new-only owners, every newer
+  // window's new-only owners, and the final ring placement — is a
+  // dual-write target until the copies land and the windows close.
+  const std::string k(key);
+  std::size_t first = chain_.size();
+  std::uint32_t pending_windows = 0;
+  for (std::size_t i = 0; i < chain_.size(); ++i) {
+    const auto it = chain_[i]->plan.keys.find(k);
+    if (it == chain_[i]->plan.keys.end()) continue;
+    if (it->second.state == MigrationPlan::KeyState::pending) {
+      ++pending_windows;
+      if (first == chain_.size()) first = i;
     }
   }
+  if (first == chain_.size()) {
+    // No pending entry anywhere: either untouched by every open window, or
+    // migrated through all of them — the target ring is authoritative.
+    return {ring_.locate(key, cfg_.replication), {}, ring_.epoch(), 0};
+  }
+  const MigrationPlan::Entry& f = chain_[first]->plan.keys.find(k)->second;
+  Placement p{f.old_replicas, {}, ring_.epoch(), pending_windows};
+  const auto add_pending = [&p](const std::vector<std::uint32_t>& set) {
+    for (std::uint32_t n : set) {
+      if (std::find(p.replicas.begin(), p.replicas.end(), n) != p.replicas.end()) {
+        continue;
+      }
+      if (std::find(p.pending.begin(), p.pending.end(), n) != p.pending.end()) {
+        continue;
+      }
+      p.pending.push_back(n);
+    }
+  };
+  add_pending(f.new_replicas);
+  for (std::size_t i = first + 1; i < chain_.size(); ++i) {
+    const auto it = chain_[i]->plan.keys.find(k);
+    if (it == chain_[i]->plan.keys.end()) continue;
+    add_pending(it->second.new_replicas);  // migrated entries too: future owners
+  }
+  add_pending(ring_.locate(key, cfg_.replication));
   return p;
+}
+
+std::size_t BlobStore::migration_chain_depth() const {
+  std::shared_lock lk(mig_mu_);
+  return chain_.size();
 }
 
 void BlobStore::publish_epoch() {
   const std::uint64_t e = ring_.epoch();
   for (auto& s : servers_) s->set_ring_epoch(e);
-  obs::MetricsRegistry::global().gauge("rebalance.epoch").set(
-      static_cast<std::int64_t>(e));
+  persist::MembershipRecord rec;
+  std::size_t depth = 0;
+  {
+    std::shared_lock lk(mig_mu_);
+    depth = chain_.size();
+    if (!persist_base_dir_.empty()) {
+      for (const auto& w : chain_) {
+        persist::MembershipRecord::OpenWindow ow;
+        ow.id = w->id;
+        ow.epoch_at_open = w->epoch_at_open;
+        ow.kind = w->kind == MigrationWindow::Kind::add ? 0 : 1;
+        ow.subject = w->subject;
+        ow.weight = w->weight;
+        rec.windows.push_back(ow);
+      }
+    }
+  }
+  auto& reg = obs::MetricsRegistry::global();
+  reg.gauge("rebalance.epoch").set(static_cast<std::int64_t>(e));
+  reg.gauge("rebalance.chain_depth").set(static_cast<std::int64_t>(depth));
+  reg.gauge("rebalance.active").set(depth > 0 ? 1 : 0);
   if (!persist_base_dir_.empty()) {
-    persist::MembershipRecord rec;
     rec.epoch = e;
     rec.members = ring_.members();
+    rec.weights.reserve(rec.members.size());
+    for (std::uint32_t m : rec.members) rec.weights.push_back(ring_.weight_of(m));
     (void)persist::write_membership(persist_base_dir_, rec);
   }
 }
@@ -74,16 +123,68 @@ Status BlobStore::recover_membership() {
   if (!rec.ok()) {
     return rec.code() == Errc::not_found ? Status::success() : rec.error().code;
   }
-  // Removals are re-applied (a decommissioned server must not rejoin the
-  // ring just because the process restarted); additions were re-registered
-  // by the caller before this. Epoch never moves backwards.
-  for (std::uint32_t i = 0; i < servers_.size(); ++i) {
-    const bool member = std::find(rec.value().members.begin(),
-                                  rec.value().members.end(),
-                                  i) != rec.value().members.end();
-    if (!member && ring_.has_node(i)) ring_.remove_node(i);
+  const persist::MembershipRecord& r = rec.value();
+  // Every recorded member and every open window's subject needs a live
+  // server object (they bind to SimNodes and cannot come from disk) —
+  // reattach_server registers them for indices past the construction set.
+  for (std::uint32_t m : r.members) {
+    if (m >= servers_.size()) {
+      return {Errc::invalid_argument,
+              "member " + std::to_string(m) +
+                  " has no server object; reattach_server it first"};
+    }
   }
-  ring_.set_epoch(rec.value().epoch);
+  for (const auto& ow : r.windows) {
+    if (ow.subject >= servers_.size()) {
+      return {Errc::invalid_argument,
+              "window subject " + std::to_string(ow.subject) +
+                  " has no server object; reattach_server it first"};
+    }
+  }
+  // Removals are re-applied (a decommissioned server must not rejoin the
+  // ring just because the process restarted) and recorded members the
+  // fresh ring lacks are re-added at their recorded weight. Epoch never
+  // moves backwards.
+  for (std::uint32_t i = 0; i < servers_.size(); ++i) {
+    const auto it = std::find(r.members.begin(), r.members.end(), i);
+    const bool member = it != r.members.end();
+    if (!member && ring_.has_node(i)) ring_.remove_node(i);
+    if (member && !ring_.has_node(i)) {
+      const auto pos = static_cast<std::size_t>(it - r.members.begin());
+      const double w = pos < r.weights.size() ? r.weights[pos] : 1.0;
+      ring_.add_node(i, w);
+    }
+  }
+  ring_.set_epoch(r.epoch);
+  // Reopen every persisted migration window, oldest first: the chain
+  // structure comes from the record, the plans are rebuilt from who
+  // actually holds the data (a restart mid-migration resumes where the
+  // copies left off instead of assuming a single clean window).
+  {
+    std::unique_lock lk(mig_mu_);
+    chain_.clear();
+    for (const auto& ow : r.windows) {
+      auto win = std::make_shared<MigrationWindow>();
+      win->id = ow.id;
+      win->epoch_at_open = ow.epoch_at_open;
+      win->kind = ow.kind == 0 ? MigrationWindow::Kind::add
+                               : MigrationWindow::Kind::decommission;
+      win->subject = ow.subject;
+      win->weight = ow.weight;
+      chain_.push_back(std::move(win));
+      next_window_id_ = std::max(next_window_id_, ow.id + 1);
+    }
+    migrating_.store(!chain_.empty(), std::memory_order_release);
+  }
+  std::vector<std::shared_ptr<MigrationWindow>> reopened;
+  {
+    std::shared_lock lk(mig_mu_);
+    reopened = chain_;
+  }
+  if (!reopened.empty()) rebuild_chain_plans();
+  for (const auto& w : reopened) {
+    rebalancers_.push_back(std::make_unique<Rebalancer>(*this, w, RebalanceConfig{}));
+  }
   publish_epoch();
   return Status::success();
 }
@@ -384,35 +485,123 @@ std::uint64_t BlobStore::resync_server(std::uint32_t index, sim::SimAgent* agent
   return repaired;
 }
 
-std::unique_ptr<MigrationPlan> BlobStore::build_plan(const HashRing& before) const {
-  // Key universe: every live key with a reachable holder. std::map keeps the
-  // plan (and thus migration order) deterministic.
-  auto plan = std::make_unique<MigrationPlan>();
+void BlobStore::build_plan(MigrationPlan& plan, const HashRing& before,
+                           const HashRing& after) const {
+  // Key universe: every live key with a reachable holder, scanned across
+  // ALL registered servers — not just `before` members, because while older
+  // windows are open their decommission subjects (already out of the ring)
+  // still hold authoritative data. std::map keeps the plan (and thus
+  // migration order) deterministic.
   std::set<std::string> universe;
   for (std::uint32_t j = 0; j < servers_.size(); ++j) {
-    if (!before.has_node(j) || is_down(j)) continue;
+    if (is_down(j)) continue;
     SimMicros svc = 0;
     for (const auto& s : servers_[j]->scan("", &svc)) universe.insert(s.key);
   }
   for (const std::string& key : universe) {
     MigrationPlan::Entry e;
     e.old_replicas = before.locate(key, cfg_.replication);
-    e.new_replicas = ring_.locate(key, cfg_.replication);
+    e.new_replicas = after.locate(key, cfg_.replication);
     if (e.old_replicas == e.new_replicas) continue;  // ~ (N-K)/N of all keys
-    plan->keys.emplace(key, std::move(e));
+    plan.keys.emplace(key, std::move(e));
   }
-  plan->pending = plan->keys.size();
-  return plan;
+  plan.pending = plan.keys.size();
+}
+
+void BlobStore::assign_plan_states(MigrationPlan& plan) const {
+  // Holder-aware states for a rebuilt plan. The fold treats a pending
+  // entry's old set as authoritative, so an entry may only stay pending if
+  // that old set can actually serve the key: a live old-side holder, or a
+  // down old member that might hold the freshest copy (conservative —
+  // migration defers until it recovers). A key held only by new-side
+  // owners (created after the delta, or migrated before the restart) is
+  // migrated; a key nobody holds left no trace to move.
+  std::uint64_t pending = 0;
+  std::vector<std::string> gone;
+  for (auto& [key, e] : plan.keys) {
+    bool old_live_holds = false;
+    bool old_down = false;
+    bool new_live_holds = false;
+    for (std::uint32_t r : e.old_replicas) {
+      if (is_down(r)) {
+        old_down = true;
+        continue;
+      }
+      if (servers_[r]->peek_version(key).ok()) old_live_holds = true;
+    }
+    for (std::uint32_t r : e.new_replicas) {
+      if (is_down(r)) continue;
+      if (servers_[r]->peek_version(key).ok()) new_live_holds = true;
+    }
+    if (old_live_holds || old_down) {
+      e.state = MigrationPlan::KeyState::pending;
+      ++pending;
+    } else if (new_live_holds) {
+      e.state = MigrationPlan::KeyState::migrated;
+    } else {
+      gone.push_back(key);
+    }
+  }
+  for (const auto& k : gone) plan.keys.erase(k);
+  plan.pending = pending;
+}
+
+void BlobStore::rebuild_chain_plans() {
+  std::vector<std::shared_ptr<MigrationWindow>> chain;
+  {
+    std::shared_lock lk(mig_mu_);
+    chain = chain_;
+  }
+  if (chain.empty()) return;
+  // Reconstruct the ring sequence by undoing the open deltas newest→oldest
+  // from the current ring: rings[i] is the ring just before chain[i]'s
+  // delta, rings[i+1] just after. Open windows have distinct subjects and
+  // vnode placement depends only on (id, weight), so the reconstruction is
+  // exact regardless of which siblings finalized or aborted in between.
+  std::vector<HashRing> rings;
+  rings.reserve(chain.size() + 1);
+  rings.push_back(ring_);
+  for (std::size_t i = chain.size(); i-- > 0;) {
+    HashRing r = rings.back();
+    if (chain[i]->kind == MigrationWindow::Kind::add) {
+      if (r.has_node(chain[i]->subject)) r.remove_node(chain[i]->subject);
+    } else {
+      if (!r.has_node(chain[i]->subject)) r.add_node(chain[i]->subject, chain[i]->weight);
+    }
+    rings.push_back(std::move(r));
+  }
+  std::reverse(rings.begin(), rings.end());
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    MigrationPlan plan;
+    build_plan(plan, rings[i], rings[i + 1]);
+    assign_plan_states(plan);
+    std::unique_lock lk(mig_mu_);
+    chain[i]->plan = std::move(plan);
+  }
+}
+
+Rebalancer* BlobStore::open_window(MigrationWindow::Kind kind, std::uint32_t subject,
+                                   double weight, const HashRing& before,
+                                   RebalanceConfig rcfg) {
+  auto win = std::make_shared<MigrationWindow>();
+  win->kind = kind;
+  win->subject = subject;
+  win->weight = weight;
+  win->epoch_at_open = ring_.epoch();
+  build_plan(win->plan, before, ring_);
+  {
+    std::unique_lock lk(mig_mu_);
+    win->id = next_window_id_++;
+    chain_.push_back(win);
+    migrating_.store(true, std::memory_order_release);
+  }
+  publish_epoch();
+  rebalancers_.push_back(std::make_unique<Rebalancer>(*this, std::move(win), rcfg));
+  return rebalancers_.back().get();
 }
 
 Result<std::uint32_t> BlobStore::begin_add_server(sim::SimNode& node,
                                                   RebalanceConfig rcfg, double weight) {
-  if (migrating_.load(std::memory_order_acquire)) {
-    return Error{Errc::busy, "a rebalance is already in progress"};
-  }
-  if (rebalancer_) rebalancer_->join();
-
-  auto before = std::make_unique<HashRing>(ring_);
   const auto index = static_cast<std::uint32_t>(servers_.size());
   servers_.push_back(std::make_unique<BlobServer>(node));
   down_.push_back(std::make_unique<std::atomic<bool>>(false));
@@ -421,45 +610,34 @@ Result<std::uint32_t> BlobStore::begin_add_server(sim::SimNode& node,
         persist_base_dir_ + "/server-" + std::to_string(index), persist_jcfg_);
     if (!st.ok()) return st.error();
   }
+  const HashRing before(ring_);
   ring_.add_node(index, weight);  // bumps the ring epoch
-
-  auto plan = build_plan(*before);
-  {
-    std::unique_lock lk(mig_mu_);
-    plan_ = std::move(plan);
-    old_ring_ = std::move(before);
-    migrating_.store(true, std::memory_order_release);
-  }
-  publish_epoch();
-  obs::MetricsRegistry::global().gauge("rebalance.active").set(1);
-  rebalancer_ = std::make_unique<Rebalancer>(*this, Rebalancer::Kind::add, index, rcfg);
+  open_window(MigrationWindow::Kind::add, index, weight, before, rcfg);
   return index;
 }
 
 Status BlobStore::begin_decommission(std::uint32_t index, RebalanceConfig rcfg) {
+  {
+    // One open window per subject: overlapping deltas on the SAME node have
+    // no well-defined chain semantics (and would break the ring-sequence
+    // reconstruction rebuilds rely on). Checked before in_ring — an open
+    // decommission's subject is already out of the ring, and "busy" is the
+    // actionable verdict there, not "not found".
+    std::shared_lock lk(mig_mu_);
+    for (const auto& w : chain_) {
+      if (w->subject == index) {
+        return {Errc::busy, "server already has an open migration window"};
+      }
+    }
+  }
   if (index >= servers_.size() || !in_ring(index)) {
     return {Errc::not_found, "server not in ring"};
   }
   if (is_down(index)) return {Errc::busy, "server is down; recover or resync first"};
-  if (migrating_.load(std::memory_order_acquire)) {
-    return {Errc::busy, "a rebalance is already in progress"};
-  }
-  if (rebalancer_) rebalancer_->join();
-
-  auto before = std::make_unique<HashRing>(ring_);
+  const double weight = ring_.weight_of(index);
+  const HashRing before(ring_);
   ring_.remove_node(index);  // bumps the ring epoch
-
-  auto plan = build_plan(*before);
-  {
-    std::unique_lock lk(mig_mu_);
-    plan_ = std::move(plan);
-    old_ring_ = std::move(before);
-    migrating_.store(true, std::memory_order_release);
-  }
-  publish_epoch();
-  obs::MetricsRegistry::global().gauge("rebalance.active").set(1);
-  rebalancer_ = std::make_unique<Rebalancer>(*this, Rebalancer::Kind::decommission,
-                                             index, rcfg);
+  open_window(MigrationWindow::Kind::decommission, index, weight, before, rcfg);
   return Status::success();
 }
 
@@ -467,9 +645,10 @@ std::uint32_t BlobStore::add_server(sim::SimNode& node, RebalanceStats* stats,
                                     sim::SimAgent* agent) {
   auto r = begin_add_server(node);
   if (!r.ok()) return static_cast<std::uint32_t>(servers_.size());
-  (void)rebalancer_->run_to_completion(agent);
+  Rebalancer* rb = rebalancer();
+  (void)rb->run_to_completion(agent);
   if (stats) {
-    const auto p = rebalancer_->progress();
+    const auto p = rb->progress();
     stats->objects_moved += p.copies_installed;
     stats->bytes_moved += p.bytes_moved;
     stats->objects_dropped += p.copies_dropped;
@@ -481,14 +660,27 @@ Status BlobStore::decommission_server(std::uint32_t index, RebalanceStats* stats
                                       sim::SimAgent* agent) {
   auto st = begin_decommission(index);
   if (!st.ok()) return st;
-  st = rebalancer_->run_to_completion(agent);
+  Rebalancer* rb = rebalancer();
+  st = rb->run_to_completion(agent);
   if (stats) {
-    const auto p = rebalancer_->progress();
+    const auto p = rb->progress();
     stats->objects_moved += p.copies_installed;
     stats->bytes_moved += p.bytes_moved;
     stats->objects_dropped += p.copies_dropped;
   }
   return st;
+}
+
+std::uint32_t BlobStore::reattach_server(sim::SimNode& node) {
+  const auto index = static_cast<std::uint32_t>(servers_.size());
+  servers_.push_back(std::make_unique<BlobServer>(node));
+  down_.push_back(std::make_unique<std::atomic<bool>>(false));
+  if (!persist_base_dir_.empty()) {
+    (void)servers_[index]->enable_persistence(
+        persist_base_dir_ + "/server-" + std::to_string(index), persist_jcfg_);
+  }
+  servers_[index]->set_ring_epoch(ring_.epoch());
+  return index;
 }
 
 BlobStore::ScrubReport BlobStore::scrub(bool repair, sim::SimAgent* agent) {

@@ -20,16 +20,19 @@
 
 namespace bsc::blob {
 
-/// Where a key lives right now, window-aware. Outside a migration window
-/// `pending` is empty and `replicas` is the ring placement. While the key is
-/// inside an open migration window, `replicas` is the OLD (authoritative)
-/// set — reads, acks and quorum counting stay on it — and `pending` lists
-/// the new-only owners that mutations must dual-apply to so the copy the
-/// rebalancer installs can never miss an acknowledged write.
+/// Where a key lives right now, migration-chain-aware. Outside any migration
+/// window `pending` is empty and `replicas` is the ring placement. While the
+/// key has a pending entry in one or more open windows, `replicas` is the
+/// OLD (authoritative) set of the OLDEST such window — reads, acks and
+/// quorum counting stay on it — and `pending` is the union of every
+/// newer-epoch new-only owner (plus the final ring owners), the dual-write
+/// targets mutations must mirror to so the copies the rebalancers install
+/// can never miss an acknowledged write.
 struct Placement {
   std::vector<std::uint32_t> replicas;
   std::vector<std::uint32_t> pending;
-  std::uint64_t epoch = 0;  ///< ring epoch this placement was computed at
+  std::uint64_t epoch = 0;    ///< ring epoch this placement was computed at
+  std::uint32_t windows = 0;  ///< open windows with a pending entry for the key
 };
 
 class BlobStore {
@@ -51,8 +54,8 @@ class BlobStore {
     return placement_of(key).replicas;
   }
 
-  /// Full window-aware placement (authoritative set + dual-write targets +
-  /// the ring epoch it was computed at).
+  /// Full window-aware placement: the chain fold oldest→newest (see
+  /// Placement), or the plain ring placement when no window is open.
   [[nodiscard]] Placement placement_of(std::string_view key) const;
 
   /// Current membership epoch (bumped by every membership change AND by
@@ -151,9 +154,11 @@ class BlobStore {
   // a migration window (every affected key dual-writes until migrated); the
   // returned Rebalancer moves the data incrementally — step() it between
   // client batches, run it to completion, or drive it from a background
-  // thread via start_async(). Membership registration itself must be called
-  // quiescently (no in-flight client ops); the MIGRATION is what safely
-  // overlaps live traffic. At most one rebalance can be open per store.
+  // thread via start_async(). Windows form an EPOCH CHAIN: several joins and
+  // leaves may be open at once, each drained by its own Rebalancer under one
+  // shared throughput throttle, and finalized in ANY order. Membership
+  // registration itself must be called quiescently (no in-flight client
+  // ops); the MIGRATIONS are what safely overlap live traffic.
 
   /// Open an add-server window. If persistence was enabled on the store the
   /// new server gets a journal directory too (so crash/restart keeps
@@ -165,24 +170,50 @@ class BlobStore {
   Result<std::uint32_t> begin_add_server(sim::SimNode& node, RebalanceConfig rcfg = {},
                                          double weight = 1.0);
 
-  /// Open a decommission window for server `index` (must be in-ring and up).
+  /// Open a decommission window for server `index` (must be in-ring, up,
+  /// and not already the subject of an open window).
   Status begin_decommission(std::uint32_t index, RebalanceConfig rcfg = {});
 
-  /// The rebalancer of the currently open (or most recently finished)
-  /// membership change; nullptr before the first begin_*.
-  [[nodiscard]] Rebalancer* rebalancer() noexcept { return rebalancer_.get(); }
+  /// The rebalancer of the most recently opened membership change (nullptr
+  /// before the first begin_*). Earlier windows' rebalancers stay reachable
+  /// through rebalancer_at(); pointers remain stable for the store's life.
+  [[nodiscard]] Rebalancer* rebalancer() noexcept {
+    return rebalancers_.empty() ? nullptr : rebalancers_.back().get();
+  }
+  [[nodiscard]] std::size_t rebalancer_count() const noexcept {
+    return rebalancers_.size();
+  }
+  [[nodiscard]] Rebalancer* rebalancer_at(std::size_t i) noexcept {
+    return i < rebalancers_.size() ? rebalancers_[i].get() : nullptr;
+  }
 
-  /// True while a migration window is open.
+  /// True while at least one migration window is open.
   [[nodiscard]] bool rebalance_active() const noexcept {
     return migrating_.load(std::memory_order_acquire);
   }
 
+  /// Open migration windows right now (the epoch-chain depth).
+  [[nodiscard]] std::size_t migration_chain_depth() const;
+
+  /// Register a server object for a previously-grown member WITHOUT a ring
+  /// change (no window, no epoch bump): after a full-cluster restart the
+  /// membership record knows the member indices and weights, but server
+  /// objects bind to live SimNodes and cannot be reconstructed from disk.
+  /// Reattach them in index order, then call recover_membership() — it
+  /// re-adds recorded members to the ring at their recorded weight and
+  /// reopens any persisted migration windows.
+  std::uint32_t reattach_server(sim::SimNode& node);
+
   /// Restore persisted membership after a full-cluster restart: reload the
-  /// membership record (epoch + member set) written on every epoch change,
-  /// re-apply removals, and restore the epoch. Additions cannot be
-  /// reconstructed from disk (server objects bind to live SimNodes), so a
-  /// recovered store re-adds grown servers through begin_add_server before
-  /// calling this. No-op when persistence is off or no record exists.
+  /// membership record (epoch + weighted member set + open-window chain)
+  /// written on every epoch change, re-apply removals AND additions
+  /// (reattach_server first for members beyond the construction-time set),
+  /// restore the epoch, then reopen every unfinalized migration window in
+  /// chain order — each with a freshly rebuilt plan whose per-key state is
+  /// derived from who actually holds the data (a restart mid-migration
+  /// resumes where the copies left off). Run the recovered rebalancers
+  /// (oldest first, rebalancer_at) to completion to finish the migrations.
+  /// No-op when persistence is off or no record exists.
   Status recover_membership();
 
   [[nodiscard]] bool in_ring(std::uint32_t index) const { return ring_.has_node(index); }
@@ -215,12 +246,37 @@ class BlobStore {
   /// Replay hinted-handoff entries destined for `index` (see recover_server).
   void drain_hints(std::uint32_t index, sim::SimAgent* agent, HintStats* stats);
 
-  /// Snapshot every live key with a reachable holder, then diff placements
-  /// between `before` and the current ring into a MigrationPlan.
-  [[nodiscard]] std::unique_ptr<MigrationPlan> build_plan(const HashRing& before) const;
+  /// The chain fold for one key; caller holds mig_mu_ (any mode) whenever
+  /// the chain may be non-empty.
+  [[nodiscard]] Placement placement_locked(std::string_view key) const;
 
-  /// Push the current ring epoch to every server's response stamp and
-  /// persist the membership record (when persistence is enabled).
+  /// Diff placements between `before` and `after` over every live key (any
+  /// live server may hold authoritative data for an older open window, so
+  /// the universe scan covers them all) into `plan`; every entry starts
+  /// pending.
+  void build_plan(MigrationPlan& plan, const HashRing& before,
+                  const HashRing& after) const;
+
+  /// Re-derive each entry's state from who actually holds the data (plan
+  /// rebuilds after a restart or an aborted sibling window): pending when a
+  /// live old-set replica holds the key (or one is down — conservative),
+  /// migrated when only new-side holders do, dropped when nobody does.
+  void assign_plan_states(MigrationPlan& plan) const;
+
+  /// Rebuild every open window's plan against the reconstructed ring
+  /// sequence (current ring with the deltas of newer windows undone one by
+  /// one), holder-aware. Call quiescently; swaps the plans in under mig_mu_.
+  void rebuild_chain_plans();
+
+  /// Append a window for the just-applied ring delta (`before` = pre-delta
+  /// ring) and create its Rebalancer. Shared begin_* tail.
+  Rebalancer* open_window(MigrationWindow::Kind kind, std::uint32_t subject,
+                          double weight, const HashRing& before,
+                          RebalanceConfig rcfg);
+
+  /// Push the current ring epoch to every server's response stamp, update
+  /// the rebalance gauges, and persist the membership record — including
+  /// the open-window chain — when persistence is enabled.
   void publish_epoch();
 
   sim::Cluster* cluster_;
@@ -230,15 +286,26 @@ class BlobStore {
   std::vector<std::unique_ptr<BlobServer>> servers_;
   std::vector<std::unique_ptr<std::atomic<bool>>> down_;
 
-  // Migration-window state. Clients take mig_mu_ shared only inside
-  // placement_of (released before any server lock); the rebalancer flips a
+  // Migration-chain state. Clients take mig_mu_ shared only inside
+  // placement_of (released before any server lock); a rebalancer flips a
   // key's state while holding that key's stripes — stripe-then-mig order on
   // one side, mig-with-no-stripes on the other, so no lock-order inversion.
+  // Finalize's cutover (chain surgery + re-basing) takes mig_mu_ exclusive
+  // with no stripes held; migrate_key re-validates its fold under the
+  // stripes to catch a cutover that raced its snapshot.
   mutable std::shared_mutex mig_mu_;
-  std::atomic<bool> migrating_{false};
-  std::unique_ptr<MigrationPlan> plan_;  ///< guarded by mig_mu_
-  std::unique_ptr<HashRing> old_ring_;   ///< pre-change ring; guarded by mig_mu_
-  std::unique_ptr<Rebalancer> rebalancer_;
+  std::atomic<bool> migrating_{false};  ///< chain non-empty
+  std::vector<std::shared_ptr<MigrationWindow>> chain_;  ///< oldest→newest; guarded by mig_mu_
+  std::uint64_t next_window_id_ = 1;                     ///< guarded by mig_mu_
+  std::vector<std::unique_ptr<Rebalancer>> rebalancers_; ///< one per begin_*, stable
+
+  /// One pacing horizon shared by every open window's Rebalancer: concurrent
+  /// migrations split the configured bandwidth instead of multiplying it.
+  struct MigrationThrottle {
+    std::mutex mu;
+    SimMicros next_allowed_us = 0;
+  };
+  MigrationThrottle mig_throttle_;
 
   std::string persist_base_dir_;  ///< remembered by enable_persistence
   persist::JournalConfig persist_jcfg_;

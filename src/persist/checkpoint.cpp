@@ -152,7 +152,20 @@ std::uint64_t newest_checkpoint_lsn(const std::string& dir) {
 
 namespace {
 constexpr char kMembershipMagic[8] = {'B', 'S', 'C', 'M', 'B', 'R', '0', '1'};
-constexpr std::uint32_t kMembershipFormat = 1;
+constexpr std::uint32_t kMembershipFormat = 2;  // v1 (no weights/windows) still loads
+
+// Ring weights ride in the record as IEEE-754 bit patterns — exact
+// round-trip, no text formatting ambiguity.
+std::uint64_t f64_bits(double d) {
+  std::uint64_t u = 0;
+  std::memcpy(&u, &d, sizeof(u));
+  return u;
+}
+double bits_f64(std::uint64_t u) {
+  double d = 0;
+  std::memcpy(&d, &u, sizeof(d));
+  return d;
+}
 
 std::string membership_path(const std::string& dir) { return dir + "/membership.bsm"; }
 }  // namespace
@@ -164,7 +177,18 @@ Status write_membership(const std::string& dir, const MembershipRecord& rec) {
   put_u32(buf, kMembershipFormat);
   put_u64(buf, rec.epoch);
   put_u64(buf, rec.members.size());
-  for (std::uint32_t m : rec.members) put_u32(buf, m);
+  for (std::size_t i = 0; i < rec.members.size(); ++i) {
+    put_u32(buf, rec.members[i]);
+    put_u64(buf, f64_bits(i < rec.weights.size() ? rec.weights[i] : 1.0));
+  }
+  put_u64(buf, rec.windows.size());
+  for (const auto& w : rec.windows) {
+    put_u64(buf, w.id);
+    put_u64(buf, w.epoch_at_open);
+    put_u32(buf, w.kind);  // u8 widened; keeps the cursor helpers uniform
+    put_u32(buf, w.subject);
+    put_u64(buf, f64_bits(w.weight));
+  }
   put_u64(buf, content_checksum(as_view(buf)));
 
   const std::string final_path = membership_path(dir);
@@ -218,18 +242,50 @@ Result<MembershipRecord> load_membership(const std::string& dir) {
     return Error{Errc::io_error, "membership checksum mismatch"};
   }
   Cursor c{body, sizeof(kMembershipMagic)};
-  if (c.u32() != kMembershipFormat) {
+  const std::uint32_t format = c.u32();
+  if (format != 1 && format != kMembershipFormat) {
     return Error{Errc::io_error, "membership format version unsupported"};
   }
   MembershipRecord rec;
   rec.epoch = c.u64();
   const std::uint64_t count = c.u64();
-  if (!c.ok || count * 4 != c.remaining()) {
+  if (format == 1) {
+    // v1: bare member list, implicit weight 1.0, no migration chain.
+    if (!c.ok || count * 4 != c.remaining()) {
+      return Error{Errc::io_error, "membership record truncated"};
+    }
+    rec.members.reserve(count);
+    rec.weights.assign(count, 1.0);
+    for (std::uint64_t i = 0; i < count; ++i) rec.members.push_back(c.u32());
+    if (!c.ok) return Error{Errc::io_error, "membership record truncated"};
+    return rec;
+  }
+  if (!c.ok || count > c.remaining() / 12) {
     return Error{Errc::io_error, "membership record truncated"};
   }
   rec.members.reserve(count);
-  for (std::uint64_t i = 0; i < count; ++i) rec.members.push_back(c.u32());
-  if (!c.ok) return Error{Errc::io_error, "membership record truncated"};
+  rec.weights.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    rec.members.push_back(c.u32());
+    rec.weights.push_back(bits_f64(c.u64()));
+  }
+  const std::uint64_t nwin = c.u64();
+  if (!c.ok || nwin > c.remaining() / 32) {
+    return Error{Errc::io_error, "membership record truncated"};
+  }
+  rec.windows.reserve(nwin);
+  for (std::uint64_t i = 0; i < nwin; ++i) {
+    MembershipRecord::OpenWindow w;
+    w.id = c.u64();
+    w.epoch_at_open = c.u64();
+    w.kind = static_cast<std::uint8_t>(c.u32());
+    w.subject = c.u32();
+    w.weight = bits_f64(c.u64());
+    rec.windows.push_back(w);
+  }
+  if (!c.ok || c.remaining() != 0) {
+    return Error{Errc::io_error, "membership record truncated"};
+  }
   return rec;
 }
 

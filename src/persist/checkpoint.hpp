@@ -70,18 +70,40 @@ Status write_checkpoint(const std::string& dir, std::uint64_t lsn,
 
 // --- cluster membership record ----------------------------------------------
 //
-// One small record per store (`<dir>/membership.bsm`) holding the ring epoch
-// and the in-ring member set, rewritten atomically (tmp + fsync + rename,
-// whole-file checksum — same discipline as checkpoints) on every epoch
-// change. Recovery restores the epoch and re-applies removals so a restarted
-// cluster does not resurrect decommissioned placement.
+// One small record per store (`<dir>/membership.bsm`) holding the ring epoch,
+// the in-ring member set (with ring weights), and the chain of still-open
+// migration windows, rewritten atomically (tmp + fsync + rename, whole-file
+// checksum — same discipline as checkpoints) on every epoch change. Recovery
+// restores the epoch, re-applies removals so a restarted cluster does not
+// resurrect decommissioned placement, and reopens every unfinalized window so
+// in-flight migrations resume instead of silently vanishing.
 //
-//   magic "BSCMBR01" (8) | u32 format_version | u64 epoch | u64 count
-//   count x u32 member_index | u64 file_checksum
+//   magic "BSCMBR01" (8) | u32 format_version(=2) | u64 epoch | u64 count
+//   count x (u32 member_index | f64-as-u64 weight)
+//   u64 window_count
+//   window_count x (u64 id | u64 epoch_at_open | u32 kind | u32 subject
+//                   | f64-as-u64 weight)
+//   u64 file_checksum
+//
+// Format 1 (no weights, no windows) is still accepted on load: members decode
+// at weight 1.0 with an empty window chain.
 
 struct MembershipRecord {
+  /// One persisted open migration window (an epoch of the chain). The per-key
+  /// plan is NOT persisted — recovery rebuilds it from who actually holds the
+  /// data, which also reflects any copies that landed before the restart.
+  struct OpenWindow {
+    std::uint64_t id = 0;
+    std::uint64_t epoch_at_open = 0;
+    std::uint8_t kind = 0;  ///< 0 = add, 1 = decommission
+    std::uint32_t subject = 0;
+    double weight = 1.0;
+  };
+
   std::uint64_t epoch = 0;
   std::vector<std::uint32_t> members;  ///< in-ring server indices, ascending
+  std::vector<double> weights;         ///< parallel to members (1.0 for v1 files)
+  std::vector<OpenWindow> windows;     ///< open migration chain, oldest first
 };
 
 /// Atomically (re)write `<dir>/membership.bsm`.

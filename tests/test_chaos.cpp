@@ -165,6 +165,9 @@ struct ChaosOutcome {
   std::uint64_t failovers = 0;
   std::uint64_t churn_keys_moved = 0;  ///< migrated during membership churn
   std::uint64_t dual_writes = 0;       ///< mutations mirrored into open windows
+  std::uint64_t chain_depth = 0;       ///< max concurrently-open windows (phase 7)
+  std::uint64_t chain_moved = 0;       ///< keys migrated by the overlapped chain
+  std::uint64_t chain_dual_writes = 0; ///< mirrors taken with >=2 epochs pending
   std::uint64_t overload_sheds = 0;    ///< requests bounced by bounded backlogs
   std::uint64_t overload_span_us = 0;  ///< simulated span of the overload phase
   std::uint64_t sheds_observed = 0;    ///< client-side Errc::overloaded attempts
@@ -327,6 +330,66 @@ class ChaosRun {
       repair_and_verify("overload");
     }
 
+    // Phase 7: CONCURRENT membership changes — two joiners plus a
+    // decommission of an original server, all three migration windows open
+    // at once (the epoch chain), drained interleaved with the faulted
+    // workload and finalized OUT of opening order (the decommission, opened
+    // last, closes first — force-completing the older epochs' entries that
+    // still treat the leaving node as authoritative). The plans'
+    // std::map ordering keeps the whole phase bit-deterministic, batched or
+    // not, and the oracle keeps proving zero acked-write loss throughout.
+    {
+      rpc::FaultPlan flaky;
+      flaky.drop_probability = 0.05;
+      flaky.error_probability = 0.05;
+      for (std::uint32_t n = 0; n < 2; ++n) {
+        injector_.set_plan(store_->server(n).node().id(), flaky);
+      }
+      RebalanceConfig rcfg;
+      rcfg.batch_keys = 2;
+      auto g1 = store_->begin_add_server(cluster_.compute_node(1), rcfg);
+      EXPECT_TRUE(g1.ok()) << "begin_add_server (chain, 1st) failed";
+      for (int i = 0; i < 6; ++i) step();
+      auto g2 = store_->begin_add_server(cluster_.compute_node(2), rcfg);
+      EXPECT_TRUE(g2.ok()) << "begin_add_server (chain, 2nd) failed";
+      for (int i = 0; i < 6; ++i) step();
+      // Victim: an ORIGINAL storage server still in the ring (the phase-5
+      // joiner is already decommissioned; the phase-7 joiners stay).
+      std::uint32_t victim = 0;
+      do {
+        victim = static_cast<std::uint32_t>(
+            rng_.next_below(cluster_.storage_count()));
+      } while (!store_->in_ring(victim));
+      EXPECT_TRUE(store_->begin_decommission(victim, rcfg).ok())
+          << "begin_decommission (chain) failed";
+      out_.chain_depth = store_->migration_chain_depth();
+      EXPECT_EQ(out_.chain_depth, 3u);
+
+      Rebalancer* adds[2] = {store_->rebalancer_at(store_->rebalancer_count() - 3),
+                             store_->rebalancer_at(store_->rebalancer_count() - 2)};
+      Rebalancer* shrink = store_->rebalancer_at(store_->rebalancer_count() - 1);
+      while (!adds[0]->done() || !adds[1]->done() || !shrink->done()) {
+        for (Rebalancer* rb : {adds[0], adds[1], shrink}) {
+          if (!rb->done()) EXPECT_TRUE(rb->step(&agent_).ok());
+        }
+        for (int i = 0; i < 3; ++i) step();
+      }
+      injector_.clear_all();
+      // Out-of-order finalize: newest epoch first, then oldest, then middle.
+      EXPECT_TRUE(shrink->finalize(&agent_).ok());
+      EXPECT_TRUE(adds[0]->finalize(&agent_).ok());
+      EXPECT_TRUE(adds[1]->finalize(&agent_).ok());
+      EXPECT_FALSE(store_->rebalance_active());
+      EXPECT_FALSE(store_->in_ring(victim));
+      EXPECT_EQ(store_->server(victim).object_count(), 0u);
+      out_.chain_moved = adds[0]->progress().keys_moved +
+                         adds[1]->progress().keys_moved +
+                         shrink->progress().keys_moved;
+      out_.churn_keys_moved += out_.chain_moved;
+      repair_and_verify("chain");
+    }
+
+    out_.chain_dual_writes = client_->counters().chain_dual_writes;
     out_.dual_writes = client_->counters().dual_writes;
     out_.hints_written = client_->counters().hints_written;
     out_.retries = client_->counters().retries;
@@ -538,6 +601,10 @@ TEST(Chaos, MixedWorkloadSurvivesFaultScheduleDeterministically) {
   EXPECT_GT(first.uncertain, 0u);  // applied-at-primary limbo was exercised
   EXPECT_EQ(first.scrub_divergence, 0u);
   EXPECT_GT(first.churn_keys_moved, 0u);  // membership churn migrated data
+  // The concurrent-membership phase ran with all three windows open at once
+  // and the chain actually moved data.
+  EXPECT_EQ(first.chain_depth, 3u);
+  EXPECT_GT(first.chain_moved, 0u);
   // The overload phase must have actually shed load at the servers AND
   // surfaced it to the client as Errc::overloaded fast-failures — while the
   // oracle above kept proving no acked write was lost and the phase span
@@ -552,7 +619,8 @@ TEST(Chaos, MixedWorkloadSurvivesFaultScheduleDeterministically) {
     std::printf("CHAOS_INVARIANTS_CHECKED seed=0x%llx ops=%llu acked=%llu "
                 "rejected=%llu uncertain=%llu reads=%llu keys_verified=%llu "
                 "retries=%llu hints=%llu failovers=%llu churn_moved=%llu "
-                "dual_writes=%llu overload_sheds=%llu sheds_observed=%llu "
+                "dual_writes=%llu chain_depth=%llu chain_moved=%llu "
+                "chain_dual_writes=%llu overload_sheds=%llu sheds_observed=%llu "
                 "overload_span_us=%llu deadline_exceeded=%llu "
                 "breaker_opens=%llu read_quorum=%llu\n",
                 static_cast<unsigned long long>(seed),
@@ -567,6 +635,9 @@ TEST(Chaos, MixedWorkloadSurvivesFaultScheduleDeterministically) {
                 static_cast<unsigned long long>(first.failovers),
                 static_cast<unsigned long long>(first.churn_keys_moved),
                 static_cast<unsigned long long>(first.dual_writes),
+                static_cast<unsigned long long>(first.chain_depth),
+                static_cast<unsigned long long>(first.chain_moved),
+                static_cast<unsigned long long>(first.chain_dual_writes),
                 static_cast<unsigned long long>(first.overload_sheds),
                 static_cast<unsigned long long>(first.sheds_observed),
                 static_cast<unsigned long long>(first.overload_span_us),
