@@ -112,7 +112,8 @@ void Rebalancer::flip_migrated(MigrationWindow& win, const std::string& key) {
 
 Status Rebalancer::migrate_entry(MigrationWindow& win, const std::string& key,
                                  std::map<std::uint32_t, NodeCharge>* charges,
-                                 std::uint64_t* moved_bytes) {
+                                 std::uint64_t* moved_bytes,
+                                 bool require_live_targets) {
   BlobStore& st = *store_;
   for (int attempt = 0; attempt < 4; ++attempt) {
     // Snapshot the entry and the chain fold: the fold's authoritative set is
@@ -204,14 +205,19 @@ Status Rebalancer::migrate_entry(MigrationWindow& win, const std::string& key,
       c.service_us += src_svc;
     }
 
+    bool deferred_down_target = false;
     for (std::uint32_t t : targets) {
       if (st.is_down(t)) {
         // Mirror hinted handoff: the drain after recovery installs the copy;
-        // finalize() re-verifies before the window can close.
+        // finalize() re-verifies before the window can close. A hint is
+        // volatile, so in require_live_targets mode the entry must stay
+        // pending (the caller gets Errc::busy below) — the hinted source
+        // remains authoritative until the target actually holds the data.
         if (src.add_hint(t, key)) {
           std::scoped_lock plk(prog_mu_);
           ++prog_.hinted_down_targets;
         }
+        if (require_live_targets) deferred_down_target = true;
         continue;
       }
       // Version-exact copy — but never backwards: a dual write that already
@@ -242,6 +248,9 @@ Status Rebalancer::migrate_entry(MigrationWindow& win, const std::string& key,
       rebalance_metrics().bytes_moved.add(size.value());
     }
 
+    if (deferred_down_target) {
+      return {Errc::busy, "target down for " + key + "; hinted, not migrated"};
+    }
     flip_migrated(win, key);
     {
       std::scoped_lock plk(prog_mu_);
@@ -507,8 +516,15 @@ Status Rebalancer::finalize(sim::SimAgent* agent) {
     }
     std::uint64_t forced_bytes = 0;
     for (const auto& [w, k] : work) {
-      auto s = migrate_entry(*w, k, nullptr, &forced_bytes);
-      if (!s.ok()) return s;  // busy: a source is down — the window stays open
+      // require_live_targets: a force-completed entry may NOT settle for a
+      // hint on a down target — flipping it would walk the subject out of
+      // the fold and the sweeps below would delete the only durable copy of
+      // an acked write. Busy keeps this window open (same verdict the
+      // verify sweep gives for this window's own entries); recover the
+      // target and call finalize() again.
+      auto s = migrate_entry(*w, k, nullptr, &forced_bytes,
+                             /*require_live_targets=*/true);
+      if (!s.ok()) return s;  // busy: a source or target is down — stay open
     }
   }
 
@@ -537,8 +553,11 @@ Status Rebalancer::finalize(sim::SimAgent* agent) {
         }
       }
     }
-    st.migrating_.store(!st.chain_.empty(), std::memory_order_release);
+    // Bump BEFORE clearing migrating_: a client that observes the cleared
+    // flag takes placement_of's lock-free fast path and must already see the
+    // post-cutover epoch on its stamp.
     st.ring_.bump_epoch();
+    st.migrating_.store(!st.chain_.empty(), std::memory_order_release);
   }
   if (rebased > 0) {
     std::scoped_lock plk(prog_mu_);

@@ -88,6 +88,10 @@ struct MigrationWindow {
   Kind kind = Kind::add;
   std::uint32_t subject = 0;  ///< the server joining (add) or leaving (decommission)
   double weight = 1.0;        ///< ring capacity weight of the subject
+  /// Drain tuning the window was opened with. Persisted in the membership
+  /// record so a drain resumed after a restart keeps the operator's batch
+  /// size and bandwidth cap instead of running unthrottled.
+  RebalanceConfig cfg;
   MigrationPlan plan;
 };
 
@@ -132,6 +136,9 @@ class Rebalancer {
   [[nodiscard]] std::uint64_t epoch_at_open() const noexcept {
     return win_->epoch_at_open;
   }
+  /// Drain tuning this rebalancer runs with (recovered drains report the
+  /// persisted window config, not the defaults).
+  [[nodiscard]] const RebalanceConfig& config() const noexcept { return cfg_; }
 
   /// Migrate up to cfg.batch_keys pending keys as one batched envelope per
   /// (source, target) pair, respecting the shared throughput throttle.
@@ -201,10 +208,16 @@ class Rebalancer {
   /// set, which may not hold data yet while an older window drains. Usually
   /// win == *win_; a decommission finalize also runs it against OLDER
   /// windows' entries to force the leaving node out of every fold. Returns
-  /// Errc::busy when no live source exists yet (deferred).
+  /// Errc::busy when no live source exists yet (deferred). With
+  /// `require_live_targets`, a down target may still be hinted but the entry
+  /// is NOT flipped and Errc::busy is returned — the force-complete path
+  /// needs this because a hint is volatile: flipping would let the cutover
+  /// sweep delete the (possibly only) authoritative copy on the leaving
+  /// node while the target holds nothing.
   Status migrate_entry(MigrationWindow& win, const std::string& key,
                        std::map<std::uint32_t, NodeCharge>* charges,
-                       std::uint64_t* moved_bytes);
+                       std::uint64_t* moved_bytes,
+                       bool require_live_targets = false);
 
   /// Throughput throttle: push the store-shared horizon so cumulative
   /// migration bytes (across every window) stay under the bandwidth cap.

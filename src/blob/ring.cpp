@@ -24,7 +24,7 @@ void HashRing::add_node(std::uint32_t node_id, double weight) {
     ring_.emplace(point, node_id);
   }
   weights_[node_id] = weight;
-  ++epoch_;
+  epoch_.fetch_add(1, std::memory_order_release);
 }
 
 void HashRing::remove_node(std::uint32_t node_id) {
@@ -33,7 +33,7 @@ void HashRing::remove_node(std::uint32_t node_id) {
   for (auto it = ring_.begin(); it != ring_.end();) {
     it = it->second == node_id ? ring_.erase(it) : std::next(it);
   }
-  ++epoch_;
+  epoch_.fetch_add(1, std::memory_order_release);
 }
 
 double HashRing::weight_of(std::uint32_t node_id) const {

@@ -7,11 +7,13 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <set>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace bsc::blob {
@@ -19,6 +21,44 @@ namespace bsc::blob {
 class HashRing {
  public:
   explicit HashRing(std::uint32_t vnodes_per_node = 64);
+
+  // Copy/move are explicit because epoch_ is atomic (see below): snapshots
+  // of the ring (migration planning, chain rebuilds) carry the epoch value
+  // across without tearing.
+  HashRing(const HashRing& other)
+      : vnodes_(other.vnodes_),
+        nodes_(other.nodes_),
+        weights_(other.weights_),
+        ring_(other.ring_),
+        epoch_(other.epoch_.load(std::memory_order_acquire)) {}
+  HashRing& operator=(const HashRing& other) {
+    if (this != &other) {
+      vnodes_ = other.vnodes_;
+      nodes_ = other.nodes_;
+      weights_ = other.weights_;
+      ring_ = other.ring_;
+      epoch_.store(other.epoch_.load(std::memory_order_acquire),
+                   std::memory_order_release);
+    }
+    return *this;
+  }
+  HashRing(HashRing&& other) noexcept
+      : vnodes_(other.vnodes_),
+        nodes_(std::move(other.nodes_)),
+        weights_(std::move(other.weights_)),
+        ring_(std::move(other.ring_)),
+        epoch_(other.epoch_.load(std::memory_order_acquire)) {}
+  HashRing& operator=(HashRing&& other) noexcept {
+    if (this != &other) {
+      vnodes_ = other.vnodes_;
+      nodes_ = std::move(other.nodes_);
+      weights_ = std::move(other.weights_);
+      ring_ = std::move(other.ring_);
+      epoch_.store(other.epoch_.load(std::memory_order_acquire),
+                   std::memory_order_release);
+    }
+    return *this;
+  }
 
   /// Add a member. `weight` scales the member's vnode count (and therefore
   /// its expected key share) relative to a weight-1.0 node: a 2.0 node owns
@@ -44,11 +84,21 @@ class HashRing {
   // on mismatch. The store bumps the epoch a second time when a migration
   // window closes (cutover), so "same epoch" always implies "same placement
   // rules", including the dual-write window.
-  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+  // epoch_ is atomic because clients read it LOCK-FREE on the placement fast
+  // path (BlobStore::placement_of with no migration open) while a finalize
+  // thread bumps it during cutover.
+  [[nodiscard]] std::uint64_t epoch() const noexcept {
+    return epoch_.load(std::memory_order_acquire);
+  }
   /// Membership-neutral bump (migration-window cutover).
-  void bump_epoch() noexcept { ++epoch_; }
+  void bump_epoch() noexcept { epoch_.fetch_add(1, std::memory_order_release); }
   /// Restore a recovered epoch (never moves backwards).
-  void set_epoch(std::uint64_t e) noexcept { epoch_ = std::max(epoch_, e); }
+  void set_epoch(std::uint64_t e) noexcept {
+    std::uint64_t cur = epoch_.load(std::memory_order_relaxed);
+    while (cur < e && !epoch_.compare_exchange_weak(cur, e, std::memory_order_release,
+                                                    std::memory_order_relaxed)) {
+    }
+  }
 
   /// The ordered replica set (primary first) for `key`. Returns at most
   /// min(replicas, node_count) distinct nodes; empty when the ring is empty.
@@ -63,7 +113,7 @@ class HashRing {
   std::set<std::uint32_t> nodes_;
   std::map<std::uint32_t, double> weights_;      ///< node id -> capacity weight
   std::map<std::uint64_t, std::uint32_t> ring_;  ///< point -> node id
-  std::uint64_t epoch_ = 0;
+  std::atomic<std::uint64_t> epoch_{0};
 };
 
 }  // namespace bsc::blob

@@ -85,14 +85,27 @@ std::size_t BlobStore::migration_chain_depth() const {
 }
 
 void BlobStore::publish_epoch() {
-  const std::uint64_t e = ring_.epoch();
-  for (auto& s : servers_) s->set_ring_epoch(e);
+  // publish_mu_ serializes concurrent publishers (e.g. two sibling windows
+  // finalizing at once): snapshots are taken in lock order and written in
+  // that same order, so the record on disk is always the newest consistent
+  // snapshot — never an interleaved write, never a resurrection of a window
+  // whose cutover already happened.
+  std::scoped_lock pub(publish_mu_);
   persist::MembershipRecord rec;
   std::size_t depth = 0;
+  std::uint64_t e = 0;
   {
+    // Epoch, chain, and membership are read under one mig_mu_ hold so they
+    // are mutually consistent: cutover mutates all of them under the
+    // exclusive side of this lock.
     std::shared_lock lk(mig_mu_);
+    e = ring_.epoch();
     depth = chain_.size();
     if (!persist_base_dir_.empty()) {
+      rec.epoch = e;
+      rec.members = ring_.members();
+      rec.weights.reserve(rec.members.size());
+      for (std::uint32_t m : rec.members) rec.weights.push_back(ring_.weight_of(m));
       for (const auto& w : chain_) {
         persist::MembershipRecord::OpenWindow ow;
         ow.id = w->id;
@@ -100,19 +113,18 @@ void BlobStore::publish_epoch() {
         ow.kind = w->kind == MigrationWindow::Kind::add ? 0 : 1;
         ow.subject = w->subject;
         ow.weight = w->weight;
+        ow.batch_keys = w->cfg.batch_keys;
+        ow.throttle_bytes_per_sec = w->cfg.throttle_bytes_per_sec;
         rec.windows.push_back(ow);
       }
     }
   }
+  for (auto& s : servers_) s->set_ring_epoch(e);
   auto& reg = obs::MetricsRegistry::global();
   reg.gauge("rebalance.epoch").set(static_cast<std::int64_t>(e));
   reg.gauge("rebalance.chain_depth").set(static_cast<std::int64_t>(depth));
   reg.gauge("rebalance.active").set(depth > 0 ? 1 : 0);
   if (!persist_base_dir_.empty()) {
-    rec.epoch = e;
-    rec.members = ring_.members();
-    rec.weights.reserve(rec.members.size());
-    for (std::uint32_t m : rec.members) rec.weights.push_back(ring_.weight_of(m));
     (void)persist::write_membership(persist_base_dir_, rec);
   }
 }
@@ -171,6 +183,8 @@ Status BlobStore::recover_membership() {
                                : MigrationWindow::Kind::decommission;
       win->subject = ow.subject;
       win->weight = ow.weight;
+      win->cfg.batch_keys = static_cast<std::size_t>(ow.batch_keys);
+      win->cfg.throttle_bytes_per_sec = ow.throttle_bytes_per_sec;
       chain_.push_back(std::move(win));
       next_window_id_ = std::max(next_window_id_, ow.id + 1);
     }
@@ -183,7 +197,10 @@ Status BlobStore::recover_membership() {
   }
   if (!reopened.empty()) rebuild_chain_plans();
   for (const auto& w : reopened) {
-    rebalancers_.push_back(std::make_unique<Rebalancer>(*this, w, RebalanceConfig{}));
+    // Resume each drain with the config the window was opened with (restored
+    // from the record) — not the defaults, which would drop the operator's
+    // bandwidth cap.
+    rebalancers_.push_back(std::make_unique<Rebalancer>(*this, w, w->cfg));
   }
   publish_epoch();
   return Status::success();
@@ -587,6 +604,7 @@ Rebalancer* BlobStore::open_window(MigrationWindow::Kind kind, std::uint32_t sub
   win->kind = kind;
   win->subject = subject;
   win->weight = weight;
+  win->cfg = rcfg;  // persisted with the window so recovered drains keep it
   win->epoch_at_open = ring_.epoch();
   build_plan(win->plan, before, ring_);
   {

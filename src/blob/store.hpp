@@ -7,6 +7,7 @@
 #include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <shared_mutex>
 #include <vector>
@@ -276,7 +277,10 @@ class BlobStore {
 
   /// Push the current ring epoch to every server's response stamp, update
   /// the rebalance gauges, and persist the membership record — including
-  /// the open-window chain — when persistence is enabled.
+  /// the open-window chain — when persistence is enabled. Serialized by
+  /// publish_mu_: several windows may finalize (and publish) concurrently,
+  /// and each rewrite of membership.bsm must be one internally-consistent
+  /// snapshot, written in snapshot order.
   void publish_epoch();
 
   sim::Cluster* cluster_;
@@ -306,6 +310,10 @@ class BlobStore {
     SimMicros next_allowed_us = 0;
   };
   MigrationThrottle mig_throttle_;
+
+  /// Orders concurrent publish_epoch() calls (snapshot + file rewrite as one
+  /// unit) so a stale snapshot can never be the last one written.
+  std::mutex publish_mu_;
 
   std::string persist_base_dir_;  ///< remembered by enable_persistence
   persist::JournalConfig persist_jcfg_;

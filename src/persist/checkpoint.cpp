@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -152,7 +153,7 @@ std::uint64_t newest_checkpoint_lsn(const std::string& dir) {
 
 namespace {
 constexpr char kMembershipMagic[8] = {'B', 'S', 'C', 'M', 'B', 'R', '0', '1'};
-constexpr std::uint32_t kMembershipFormat = 2;  // v1 (no weights/windows) still loads
+constexpr std::uint32_t kMembershipFormat = 3;  // v1/v2 still load (see header)
 
 // Ring weights ride in the record as IEEE-754 bit patterns — exact
 // round-trip, no text formatting ambiguity.
@@ -188,11 +189,19 @@ Status write_membership(const std::string& dir, const MembershipRecord& rec) {
     put_u32(buf, w.kind);  // u8 widened; keeps the cursor helpers uniform
     put_u32(buf, w.subject);
     put_u64(buf, f64_bits(w.weight));
+    put_u64(buf, w.batch_keys);
+    put_u64(buf, w.throttle_bytes_per_sec);
   }
   put_u64(buf, content_checksum(as_view(buf)));
 
   const std::string final_path = membership_path(dir);
-  const std::string tmp_path = final_path + ".tmp";
+  // Per-call unique tmp name: even if two writers race (callers are expected
+  // to serialize, but separate store objects on one dir are not), neither
+  // can interleave bytes into the other's tmp file before the atomic rename.
+  static std::atomic<std::uint64_t> tmp_seq{0};
+  const std::string tmp_path =
+      final_path + ".tmp." +
+      std::to_string(tmp_seq.fetch_add(1, std::memory_order_relaxed));
   const int fd = ::open(tmp_path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
   if (fd < 0) return {Errc::io_error, tmp_path + ": " + std::strerror(errno)};
   const std::byte* p = buf.data();
@@ -243,7 +252,7 @@ Result<MembershipRecord> load_membership(const std::string& dir) {
   }
   Cursor c{body, sizeof(kMembershipMagic)};
   const std::uint32_t format = c.u32();
-  if (format != 1 && format != kMembershipFormat) {
+  if (format < 1 || format > kMembershipFormat) {
     return Error{Errc::io_error, "membership format version unsupported"};
   }
   MembershipRecord rec;
@@ -270,7 +279,8 @@ Result<MembershipRecord> load_membership(const std::string& dir) {
     rec.weights.push_back(bits_f64(c.u64()));
   }
   const std::uint64_t nwin = c.u64();
-  if (!c.ok || nwin > c.remaining() / 32) {
+  const std::uint64_t win_bytes = format >= 3 ? 48 : 32;  // v3 adds drain config
+  if (!c.ok || nwin > c.remaining() / win_bytes) {
     return Error{Errc::io_error, "membership record truncated"};
   }
   rec.windows.reserve(nwin);
@@ -281,6 +291,10 @@ Result<MembershipRecord> load_membership(const std::string& dir) {
     w.kind = static_cast<std::uint8_t>(c.u32());
     w.subject = c.u32();
     w.weight = bits_f64(c.u64());
+    if (format >= 3) {
+      w.batch_keys = c.u64();
+      w.throttle_bytes_per_sec = c.u64();
+    }
     rec.windows.push_back(w);
   }
   if (!c.ok || c.remaining() != 0) {

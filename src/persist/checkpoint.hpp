@@ -78,15 +78,17 @@ Status write_checkpoint(const std::string& dir, std::uint64_t lsn,
 // resurrect decommissioned placement, and reopens every unfinalized window so
 // in-flight migrations resume instead of silently vanishing.
 //
-//   magic "BSCMBR01" (8) | u32 format_version(=2) | u64 epoch | u64 count
+//   magic "BSCMBR01" (8) | u32 format_version(=3) | u64 epoch | u64 count
 //   count x (u32 member_index | f64-as-u64 weight)
 //   u64 window_count
 //   window_count x (u64 id | u64 epoch_at_open | u32 kind | u32 subject
-//                   | f64-as-u64 weight)
+//                   | f64-as-u64 weight
+//                   | u64 batch_keys | u64 throttle_bytes_per_sec)
 //   u64 file_checksum
 //
-// Format 1 (no weights, no windows) is still accepted on load: members decode
-// at weight 1.0 with an empty window chain.
+// Format 1 (no weights, no windows) and format 2 (no per-window drain
+// config) are still accepted on load: v1 members decode at weight 1.0 with
+// an empty window chain; v2 windows decode with the default drain config.
 
 struct MembershipRecord {
   /// One persisted open migration window (an epoch of the chain). The per-key
@@ -98,6 +100,10 @@ struct MembershipRecord {
     std::uint8_t kind = 0;  ///< 0 = add, 1 = decommission
     std::uint32_t subject = 0;
     double weight = 1.0;
+    /// Drain tuning (blob::RebalanceConfig) the window was opened with, so a
+    /// restarted drain keeps the operator's batch size and bandwidth cap.
+    std::uint64_t batch_keys = 16;
+    std::uint64_t throttle_bytes_per_sec = 0;
   };
 
   std::uint64_t epoch = 0;

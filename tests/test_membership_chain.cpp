@@ -264,6 +264,107 @@ TEST(MembershipChain, DecommissionFinalizeForcesSubjectOutOfEveryFold) {
   }
 }
 
+// Acked-write-loss regression: a decommission finalize force-completes the
+// OLDER windows' pending entries whose authoritative set contains the
+// leaving node. When such an entry's migration target is DOWN, the copy can
+// only be recorded as a volatile hint — the entry must NOT flip to migrated
+// (the cutover + subject sweep would then delete the subject's copy, the
+// only durable one), the finalize must return busy and leave the window
+// open until the target recovers.
+TEST(MembershipChain, DecommissionForceCompleteDefersToDownTarget) {
+  constexpr std::size_t kBytes = 768;
+  sim::Cluster cluster(spec());
+  StoreConfig scfg;
+  scfg.replication = 1;  // a key's ONLY durable copy can live on the subject
+  BlobStore store(cluster, scfg);
+  sim::SimAgent agent;
+  BlobClient client(store, &agent);
+
+  // Mirror the store's ring states (vnode placement depends only on id and
+  // weight) to script the scenario deterministically.
+  const std::uint32_t kInitial = 12;
+  const std::uint32_t joiner = kInitial;  // index begin_add_server assigns
+  HashRing base(scfg.vnodes_per_node);
+  HashRing with_j(scfg.vnodes_per_node);
+  for (std::uint32_t i = 0; i < kInitial; ++i) {
+    base.add_node(i);
+    with_j.add_node(i);
+  }
+  with_j.add_node(joiner);
+
+  // Victim = current primary of some key the joiner will claim: that key's
+  // add-window entry (old {victim} -> new {joiner}) is exactly what the
+  // decommission finalize force-completes.
+  std::uint32_t victim = 0;
+  std::string moved_key;
+  for (int i = 0; i < 200 && moved_key.empty(); ++i) {
+    const std::string k = strfmt("f-%04d", i);
+    if (with_j.locate(k, 1)[0] == joiner) {
+      victim = base.locate(k, 1)[0];
+      moved_key = k;
+    }
+  }
+  ASSERT_FALSE(moved_key.empty());
+  HashRing after_shrink(with_j);
+  after_shrink.remove_node(victim);
+
+  // Preload, skipping keys whose decommission move would TARGET the downed
+  // joiner — those trip the shrink window's own verify sweep and would mask
+  // the force-complete path this test is about.
+  std::vector<std::pair<std::string, int>> written;
+  for (int i = 0; i < 200; ++i) {
+    const std::string k = strfmt("f-%04d", i);
+    if (with_j.locate(k, 1)[0] == victim && after_shrink.locate(k, 1)[0] == joiner) {
+      continue;
+    }
+    ASSERT_TRUE(client.write(k, 0, as_view(make_payload(i, 0, kBytes))).ok()) << k;
+    written.emplace_back(k, i);
+  }
+
+  // Open the add window but do not drain it: every entry stays pending, then
+  // the joiner goes down.
+  auto j = store.begin_add_server(cluster.compute_node(0));
+  ASSERT_TRUE(j.ok());
+  ASSERT_EQ(j.value(), joiner);
+  store.fail_server(joiner);
+
+  ASSERT_TRUE(store.begin_decommission(victim).ok());
+  Rebalancer* shrink = store.rebalancer_at(1);
+  ASSERT_EQ(shrink->kind(), Rebalancer::Kind::decommission);
+
+  // The shrink window drains its own plan fine (no entry targets the down
+  // joiner, by construction) but finalize must refuse to cut over: the
+  // force-completed entry could only hint its down target.
+  auto st = shrink->run_to_completion(&agent);
+  EXPECT_EQ(st.code(), Errc::busy);
+  EXPECT_FALSE(shrink->finished());
+  EXPECT_EQ(store.migration_chain_depth(), 2u);
+  {
+    // The subject's authoritative copy survived the refused cutover.
+    SimMicros svc = 0;
+    auto copy = store.server(victim).read(moved_key, 0, kBytes, &svc);
+    ASSERT_TRUE(copy.ok()) << "subject's only copy of " << moved_key
+                           << " was deleted under a down target";
+  }
+
+  // Recover the joiner (the hint drain installs the deferred copy); now the
+  // cutover goes through and the rest of the chain completes.
+  store.recover_server(joiner, &agent);
+  ASSERT_TRUE(shrink->finalize(&agent).ok());
+  ASSERT_TRUE(shrink->finished());
+  EXPECT_FALSE(store.in_ring(victim));
+  EXPECT_EQ(store.server(victim).object_count(), 0u);
+  ASSERT_TRUE(store.rebalancer_at(0)->run_to_completion(&agent).ok());
+  EXPECT_FALSE(store.rebalance_active());
+
+  // Zero acked-write loss — the force-completed key included.
+  for (const auto& [k, seed] : written) {
+    auto r = client.read(k, 0, kBytes);
+    ASSERT_TRUE(r.ok()) << k;
+    EXPECT_TRUE(check_payload(seed, 0, as_view(r.value()))) << k;
+  }
+}
+
 // abort() of one epoch mid-chain reverts exactly that delta: membership and
 // per-key placement afterwards match a reference store where that begin_*
 // never happened, the aborted joiner holds nothing, and the sibling epoch
@@ -345,8 +446,11 @@ TEST(MembershipChainRecovery, RestartMidChainReopensAllWindows) {
     if (::testing::Test::HasFatalFailure()) return;
     RebalanceConfig rcfg;
     rcfg.batch_keys = 4;
+    rcfg.throttle_bytes_per_sec = 3 << 20;  // must survive the restart below
+    RebalanceConfig rcfg2;
+    rcfg2.batch_keys = 7;
     auto j0 = store.begin_add_server(cluster.compute_node(0), rcfg);
-    auto j1 = store.begin_add_server(cluster.compute_node(1), rcfg, 1.5);
+    auto j1 = store.begin_add_server(cluster.compute_node(1), rcfg2, 1.5);
     ASSERT_TRUE(j0.ok());
     ASSERT_TRUE(j1.ok());
     idx0 = j0.value();
@@ -382,6 +486,14 @@ TEST(MembershipChainRecovery, RestartMidChainReopensAllWindows) {
   EXPECT_EQ(store2.ring_epoch(), epoch_mid_chain);
   EXPECT_LT(store2.rebalancer_at(0)->window_id(), store2.rebalancer_at(1)->window_id());
   EXPECT_EQ(store2.rebalancer_at(1)->kind(), Rebalancer::Kind::add);
+  // The drain config rides in the membership record: a resumed drain keeps
+  // the operator's per-window batch size and bandwidth cap instead of
+  // restarting unthrottled with the defaults.
+  EXPECT_EQ(store2.rebalancer_at(0)->config().batch_keys, 4u);
+  EXPECT_EQ(store2.rebalancer_at(0)->config().throttle_bytes_per_sec,
+            static_cast<std::uint64_t>(3 << 20));
+  EXPECT_EQ(store2.rebalancer_at(1)->config().batch_keys, 7u);
+  EXPECT_EQ(store2.rebalancer_at(1)->config().throttle_bytes_per_sec, 0u);
 
   // Both recovered migrations complete; nothing acked before the restart is
   // lost anywhere in the final topology.
